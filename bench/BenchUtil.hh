@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the evaluation benches: fixed-width table
+ * printing and scenario-table runners.
+ */
+
+#ifndef HTH_BENCH_BENCHUTIL_HH
+#define HTH_BENCH_BENCHUTIL_HH
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "workloads/Scenario.hh"
+
+namespace hth::bench
+{
+
+/** Print a horizontal rule sized to the column widths. */
+inline void
+rule(const std::vector<int> &widths)
+{
+    std::cout << "+";
+    for (int w : widths)
+        std::cout << std::string((size_t)w + 2, '-') << "+";
+    std::cout << "\n";
+}
+
+/** Print one table row with the given column widths. */
+inline void
+row(const std::vector<int> &widths,
+    const std::vector<std::string> &cells)
+{
+    std::cout << "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+        std::string cell = i < cells.size() ? cells[i] : "";
+        std::cout << " " << std::left << std::setw(widths[i]) << cell
+                  << " |";
+    }
+    std::cout << "\n";
+}
+
+/** Severity display: "-", "LOW", "MEDIUM", "HIGH". */
+inline std::string
+severityCell(const Report &report)
+{
+    if (!report.flagged())
+        return "-";
+    return secpert::severityName(report.maxSeverity());
+}
+
+/** Check-mark cell. */
+inline std::string
+mark(bool value)
+{
+    return value ? "yes" : "";
+}
+
+/**
+ * Run a scenario list and print the classification table the
+ * paper's §8.1-§8.3 tables use. @return number of misclassified.
+ */
+inline int
+runScenarioTable(const std::string &title,
+                 const std::vector<workloads::Scenario> &scenarios,
+                 const HthOptions &options = {})
+{
+    std::cout << "\n== " << title << " ==\n\n";
+    std::vector<int> widths = {44, 10, 10, 10, 9};
+    rule(widths);
+    row(widths, {"Benchmark", "Expected", "Observed", "Severity",
+                 "Correct"});
+    rule(widths);
+    int wrong = 0;
+    for (const auto &s : scenarios) {
+        workloads::ScenarioResult r =
+            workloads::runScenario(s, options);
+        if (!r.correct)
+            ++wrong;
+        row(widths,
+            {s.id, s.expectMalicious ? "malicious" : "trusted",
+             r.flagged ? "flagged" : "clean",
+             severityCell(r.report), r.correct ? "yes" : "NO"});
+    }
+    rule(widths);
+    std::cout << (wrong == 0 ? "All benchmarks correctly classified."
+                             : "MISCLASSIFIED: some rows diverge!")
+              << "\n";
+    return wrong;
+}
+
+} // namespace hth::bench
+
+#endif // HTH_BENCH_BENCHUTIL_HH

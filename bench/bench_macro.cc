@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates the §8.4 macro-benchmark results: pwsafe, the
+ * mw2.2.1 perl script and Ultra Tic-Tac-Toe, each clean and with
+ * implanted malicious code.
+ */
+
+#include "bench/BenchUtil.hh"
+#include "workloads/Macro.hh"
+
+int
+main()
+{
+    return hth::bench::runScenarioTable(
+        "Section 8.4: Macro benchmarks",
+        hth::workloads::macroScenarios());
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Performance evaluation (paper §9) as google-benchmark cases.
+ *
+ * The paper's finding: Harrier's dominant cost is instruction-level
+ * data-flow tracking (its prototype structures were naive). The
+ * cases below separate the layers so the overhead composition can
+ * be read off directly:
+ *
+ *   BM_VmBare        — guest execution, no monitor, no taint
+ *   BM_VmMonitored   — monitor attached (BB callbacks + events),
+ *                      taint off
+ *   BM_VmTaint       — full HTH: monitor + data-flow tracking
+ *   BM_TagStoreUnion — the memoised tag-set union primitive
+ *   BM_ShadowMemory  — shadow byte tagging
+ *   BM_ClipsEvent    — Secpert cost per analyzed event
+ *
+ * Counters report guest instructions per second so the slowdown
+ * ratios (the §9 "shape": taint ≫ monitor ≈ bare) are explicit.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/Hth.hh"
+#include "harrier/Harrier.hh"
+#include "secpert/Secpert.hh"
+#include "taint/Shadow.hh"
+#include "taint/TagSet.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+/** A data-flow-heavy guest: copies and mixes two buffers. */
+std::shared_ptr<const vm::Image>
+makeComputeGuest(int iterations)
+{
+    Gasm a("/bench/compute.exe");
+    a.dataString("src", "abcdefghijklmnopqrstuvwxyz0123456789");
+    a.dataSpace("dst", 64);
+    a.label("main");
+    a.entry("main");
+    a.movi(Reg::Ebp, 0);
+    a.label("outer");
+    // Copy 32 bytes with load/store, mixing arithmetic.
+    a.movi(Reg::Edx, 0);
+    a.label("inner");
+    a.leaSym(Reg::Esi, "src");
+    a.add(Reg::Esi, Reg::Edx);
+    a.loadb(Reg::Eax, Reg::Esi, 0);
+    a.addi(Reg::Eax, 1);
+    a.leaSym(Reg::Edi, "dst");
+    a.add(Reg::Edi, Reg::Edx);
+    a.storeb(Reg::Edi, 0, Reg::Eax);
+    a.addi(Reg::Edx, 1);
+    a.cmpi(Reg::Edx, 32);
+    a.jl("inner");
+    a.addi(Reg::Ebp, 1);
+    a.cmpi(Reg::Ebp, iterations);
+    a.jl("outer");
+    a.exit(0);
+    return a.build();
+}
+
+constexpr int GUEST_ITERS = 5000;
+
+/** Run the guest; returns executed guest instructions. */
+uint64_t
+runGuest(bool monitored, bool taint)
+{
+    HthOptions options;
+    options.taintTracking = taint;
+    Hth hth(options);
+    if (!monitored) {
+        // Detach Harrier: raw kernel + VM only.
+        hth.kernel().setMonitor(nullptr);
+        hth.kernel().setInstrumentor(nullptr);
+    }
+    auto image = makeComputeGuest(GUEST_ITERS);
+    hth.kernel().vfs().addBinary(image->path, image);
+    hth.monitor(image->path, {image->path});
+    uint64_t instructions = 0;
+    for (const auto &p : hth.kernel().processes())
+        instructions += p->machine.stats().instructions;
+    return instructions;
+}
+
+void
+BM_VmBare(benchmark::State &state)
+{
+    uint64_t instructions = 0;
+    for (auto _ : state)
+        instructions += runGuest(false, false);
+    state.counters["guest_insns/s"] = benchmark::Counter(
+        (double)instructions, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmBare);
+
+void
+BM_VmMonitored(benchmark::State &state)
+{
+    uint64_t instructions = 0;
+    for (auto _ : state)
+        instructions += runGuest(true, false);
+    state.counters["guest_insns/s"] = benchmark::Counter(
+        (double)instructions, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmMonitored);
+
+void
+BM_VmTaint(benchmark::State &state)
+{
+    uint64_t instructions = 0;
+    for (auto _ : state)
+        instructions += runGuest(true, true);
+    state.counters["guest_insns/s"] = benchmark::Counter(
+        (double)instructions, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmTaint);
+
+void
+BM_TagStoreUnion(benchmark::State &state)
+{
+    taint::TagStore store;
+    std::vector<taint::TagSetId> sets;
+    for (uint32_t i = 0; i < 64; ++i)
+        sets.push_back(store.single(
+            {taint::SourceType::File, (taint::ResourceId)i}));
+    size_t i = 0;
+    for (auto _ : state) {
+        taint::TagSetId a = sets[i % sets.size()];
+        taint::TagSetId b = sets[(i * 7 + 3) % sets.size()];
+        benchmark::DoNotOptimize(store.unite(a, b));
+        ++i;
+    }
+    state.counters["union_cache_hit%"] =
+        100.0 * (double)store.stats().unionCacheHits /
+        (double)std::max<uint64_t>(1, store.stats().unionCalls);
+}
+BENCHMARK(BM_TagStoreUnion);
+
+void
+BM_ShadowMemory(benchmark::State &state)
+{
+    taint::TagStore store;
+    taint::ShadowMemory shadow;
+    taint::TagSetId tag = store.single(
+        {taint::SourceType::Binary, 1});
+    uint32_t addr = 0x1000;
+    for (auto _ : state) {
+        shadow.setRange(addr, 64, tag);
+        benchmark::DoNotOptimize(shadow.rangeUnion(store, addr, 64));
+        addr = (addr + 64) & 0xfffff;
+    }
+}
+BENCHMARK(BM_ShadowMemory);
+
+void
+BM_ClipsEvent(benchmark::State &state)
+{
+    secpert::Secpert secpert;
+    harrier::ResourceAccessEvent ev;
+    ev.ctx.pid = 1;
+    ev.ctx.time = 10;
+    ev.ctx.frequency = 5;
+    ev.syscall = "SYS_execve";
+    ev.resName = "/bin/ls";
+    ev.resType = taint::SourceType::File;
+    ev.origins = {{taint::SourceType::Binary, "/tmp/a.out"}};
+    for (auto _ : state)
+        secpert.onResourceAccess(ev);
+    state.counters["events"] =
+        (double)secpert.stats().eventsAnalyzed;
+}
+BENCHMARK(BM_ClipsEvent);
+
+} // namespace
+
+BENCHMARK_MAIN();

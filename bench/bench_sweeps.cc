@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Parameter sweeps over the policy thresholds — the "figure"
+ * counterpart to the paper's tables. Each sweep varies one workload
+ * parameter and prints the warning series, making the detection
+ * crossover points visible:
+ *
+ *   1. process count      → the §4.2 count threshold (Low)
+ *   2. creation spacing   → the §4.2 rate window (Medium)
+ *   3. sleep before execve → the §4.1 "started a while ago"
+ *                            escalation (Low → Medium)
+ *   4. heap growth        → the §10-extension memory rule (Low)
+ */
+
+#include <iostream>
+
+#include "bench/BenchUtil.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::bench;
+using namespace hth::workloads;
+using secpert::Severity;
+
+namespace
+{
+
+/** Forker with N children spaced by a sleep. */
+std::shared_ptr<const vm::Image>
+makeForker(int children, int spacing_ticks)
+{
+    Gasm a("/sweep/forker.exe");
+    a.label("main");
+    a.entry("main");
+    a.movi(Reg::Ebp, 0);
+    a.label("loop");
+    a.fork();
+    a.cmpi(Reg::Eax, 0);
+    a.jz("child");
+    if (spacing_ticks > 0)
+        a.sleepTicks(spacing_ticks);
+    a.addi(Reg::Ebp, 1);
+    a.cmpi(Reg::Ebp, children);
+    a.jl("loop");
+    a.exit(0);
+    a.label("child");
+    a.exit(0);
+    return a.build();
+}
+
+/** Sleep-then-execve guest. */
+std::shared_ptr<const vm::Image>
+makeSleeper(int sleep_ticks)
+{
+    Gasm a("/sweep/sleeper.exe");
+    a.dataString("prog", "/bin/nothing");
+    a.label("main");
+    a.entry("main");
+    if (sleep_ticks > 0)
+        a.sleepTicks(sleep_ticks);
+    a.execveSym("prog");
+    a.exit(0);
+    return a.build();
+}
+
+/** Heap eater growing by total_kb. */
+std::shared_ptr<const vm::Image>
+makeEater(int total_kb)
+{
+    Gasm a("/sweep/eater.exe");
+    a.label("main");
+    a.entry("main");
+    int rounds = total_kb / 64;
+    a.movi(Reg::Ebp, 0);
+    a.label("eat");
+    a.movi(Reg::Ebx, 0);
+    a.sysc(os::NR_brk);
+    a.mov(Reg::Ebx, Reg::Eax);
+    a.movi(Reg::Ecx, 64 * 1024);
+    a.add(Reg::Ebx, Reg::Ecx);
+    a.sysc(os::NR_brk);
+    a.addi(Reg::Ebp, 1);
+    a.cmpi(Reg::Ebp, rounds > 0 ? rounds : 1);
+    a.jl("eat");
+    a.exit(0);
+    return a.build();
+}
+
+Report
+runImage(std::shared_ptr<const vm::Image> image,
+         const HthOptions &options = {})
+{
+    Hth hth(options);
+    hth.kernel().vfs().addBinary(image->path, image);
+    return hth.monitor(image->path, {image->path});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<int> widths = {26, 10, 10, 10};
+
+    std::cout << "Sweep 1: process-creation count "
+                 "(threshold MAX_PROCESSES = 10)\n\n";
+    rule(widths);
+    row(widths, {"children forked", "count-Low", "rate-Med",
+                 "max sev"});
+    rule(widths);
+    for (int n : {2, 6, 10, 11, 14, 20, 26}) {
+        // Space forks far apart so only the count rule can fire.
+        Report r = runImage(makeForker(n, 50000));
+        row(widths,
+            {std::to_string(n),
+             std::to_string(r.countByRule("resource_abuse_count")),
+             std::to_string(r.countByRule("resource_abuse_rate")),
+             severityCell(r)});
+    }
+    rule(widths);
+    std::cout << "Expected shape: silent through 10, Low from 11.\n";
+
+    std::cout << "\nSweep 2: creation spacing "
+                 "(window RATE_WINDOW = 400, RATE_MAX = 6)\n\n";
+    rule(widths);
+    row(widths, {"ticks between forks", "count-Low", "rate-Med",
+                 "max sev"});
+    rule(widths);
+    for (int spacing : {0, 200, 2000, 20000, 100000}) {
+        Report r = runImage(makeForker(9, spacing));
+        row(widths,
+            {std::to_string(spacing),
+             std::to_string(r.countByRule("resource_abuse_count")),
+             std::to_string(r.countByRule("resource_abuse_rate")),
+             severityCell(r)});
+    }
+    rule(widths);
+    std::cout << "Expected shape: Medium for dense spacing, quiet "
+                 "once forks spread past the window.\n";
+
+    std::cout << "\nSweep 3: sleep before a hard-coded execve "
+                 "(LONG_TIME = 200 units = 20000 ticks)\n\n";
+    rule(widths);
+    row(widths, {"sleep ticks", "severity", "", ""});
+    rule(widths);
+    for (int sleep : {0, 5000, 15000, 25000, 60000, 200000}) {
+        auto image = makeSleeper(sleep);
+        Hth hth;
+        hth.kernel().vfs().addBinary(image->path, image);
+        Report r = hth.monitor(image->path, {image->path});
+        row(widths, {std::to_string(sleep), severityCell(r), "", ""});
+    }
+    rule(widths);
+    std::cout << "Expected shape: Low while young, Medium once the "
+                 "program has 'started a while ago'.\n";
+
+    std::cout << "\nSweep 4: heap growth "
+                 "(MAX_HEAP_GROWTH = 1 MB for this sweep)\n\n";
+    HthOptions mem_options;
+    mem_options.policy.maxHeapGrowth = 1024 * 1024;
+    rule(widths);
+    row(widths, {"heap growth (KB)", "mem-Low", "", ""});
+    rule(widths);
+    for (int kb : {128, 512, 1024, 1088, 2048, 8192}) {
+        Report r = runImage(makeEater(kb), mem_options);
+        row(widths,
+            {std::to_string(kb),
+             std::to_string(r.countByRule("resource_abuse_memory")),
+             "", ""});
+    }
+    rule(widths);
+    std::cout << "Expected shape: a single Low warning once growth "
+                 "crosses 1024 KB.\n";
+    return 0;
+}

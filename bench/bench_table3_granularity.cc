@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Regenerates Table 3: the information gathered at each
+ * instrumentation granularity — and demonstrates the Figure 3
+ * basic-block attribution: events raised from inside shared-object
+ * code are attributed to the *last application* basic block.
+ */
+
+#include <iostream>
+
+#include "bench/BenchUtil.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::bench;
+using namespace hth::workloads;
+
+int
+main()
+{
+    std::cout << "Table 3: Information gathered at each "
+                 "instrumentation granularity\n\n";
+    std::vector<int> widths = {18, 14, 44};
+    rule(widths);
+    row(widths, {"Policy rule", "Granularity", "Information gathered"});
+    rule(widths);
+    row(widths, {"Information Flow", "Instruction",
+                 "Data flow (reg/mem, mem/mem, reg/reg)"});
+    row(widths, {"Information Flow", "Instruction",
+                 "Hardware information (CPUID)"});
+    row(widths, {"Code Frequency", "Basic Block", "BB frequency"});
+    row(widths, {"Execution Flow", "Instruction",
+                 "System calls (execve)"});
+    row(widths, {"Resource Abuse", "Instruction",
+                 "System calls (clone)"});
+    row(widths, {"Information Flow", "Instruction",
+                 "System calls (IO read/write)"});
+    row(widths, {"Information Flow", "Image", "Binary load tagging"});
+    row(widths, {"Information Flow", "Instruction",
+                 "Initial stack location (USER_INPUT)"});
+    row(widths, {"Information Flow", "Routine",
+                 "'Short circuit' data flow (gethostbyname)"});
+    rule(widths);
+
+    //
+    // Measured: run a guest whose execve fires from a loop that also
+    // calls into libc (shared-object code) so the event's frequency
+    // attribution must use the last *application* BB (Fig. 3).
+    //
+    Gasm a("/bench/granularity.exe");
+    a.dataString("prog", "/bin/true");
+    a.dataString("scratch", "xyz");
+    a.dataSpace("copy", 16);
+    a.label("main");
+    a.entry("main");
+    a.movi(Reg::Ebp, 0);
+    a.label("loop");                // this BB runs 5 times
+    a.libc2("strcpy", "copy", "scratch");  // shared-object excursion
+    a.addi(Reg::Ebp, 1);
+    a.cmpi(Reg::Ebp, 5);
+    a.jl("loop");
+    a.execveSym("prog");            // fires from a fresh BB
+    a.exit(1);
+    auto image = a.build();
+
+    Hth hth;
+    hth.kernel().vfs().addBinary(image->path, image);
+    hth.kernel().vfs().addBinary("/bin/true",
+                                 makeNoopBinary("/bin/true"));
+    Report report = hth.monitor(image->path, {image->path});
+
+    uint64_t instructions = 0, bbs = 0, taint_ops = 0;
+    for (const auto &p : hth.kernel().processes()) {
+        instructions += p->machine.stats().instructions;
+        bbs += p->machine.stats().basicBlocks;
+        taint_ops += p->machine.stats().taintOps;
+    }
+
+    std::cout << "\nMeasured instrumentation activity:\n"
+              << "  instructions instrumented : " << instructions
+              << "\n"
+              << "  basic blocks observed     : " << bbs << "\n"
+              << "  data-flow operations      : " << taint_ops << "\n"
+              << "  monitor events analyzed   : "
+              << report.eventsAnalyzed << "\n"
+              << "  policy rules fired        : " << report.rulesFired
+              << "\n";
+
+    std::cout << "\nFigure 3 check (BB attribution across shared "
+                 "objects):\n"
+              << report.transcript << "\n";
+
+    // The execve warning must NOT carry frequency 5 (the loop BB);
+    // the triggering BB runs once.
+    bool attributed = report.flagged() &&
+                      report.transcript.find("rarely") ==
+                          std::string::npos;
+    std::cout << (attributed
+                      ? "execve attributed to its own (hot-path) "
+                        "application BB: no rare-code escalation.\n"
+                      : "ATTRIBUTION UNEXPECTED — check the "
+                        "transcript above.\n");
+    return attributed ? 0 : 1;
+}

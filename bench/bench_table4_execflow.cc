@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Regenerates Table 4: HTH micro benchmarks — execution flow.
+ */
+
+#include "bench/BenchUtil.hh"
+#include "workloads/Micro.hh"
+
+int
+main()
+{
+    return hth::bench::runScenarioTable(
+        "Table 4: Micro benchmarks - Execution Flow",
+        hth::workloads::executionFlowScenarios());
+}

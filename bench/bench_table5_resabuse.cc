@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Regenerates Table 5: HTH micro benchmarks — resource abuse.
+ */
+
+#include "bench/BenchUtil.hh"
+#include "workloads/Micro.hh"
+
+int
+main()
+{
+    return hth::bench::runScenarioTable(
+        "Table 5: Micro benchmarks - Resource Abuse",
+        hth::workloads::resourceAbuseScenarios());
+}

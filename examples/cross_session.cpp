@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Cross-session hunting (paper §10, extensions 5 and 6).
+ *
+ * The paper proposes monitoring a program "across different
+ * sessions": when data is downloaded to a file, later executions
+ * that *use* that file should be judged in that light. This example
+ * runs two separate monitored executions under one HTH session:
+ *
+ *   run 1 — a downloader fetches bytes from the network into a
+ *           user-named file (benign-looking in isolation);
+ *   run 2 — another program executes that file.
+ *
+ * Secpert's cross-session memory connects the two and raises HIGH.
+ */
+
+#include <iostream>
+
+#include "core/Hth.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+int
+main()
+{
+    Hth hth;
+    os::Kernel &k = hth.kernel();
+
+    k.net().addHost("mirror.example.com");
+    os::RemotePeer mirror;
+    mirror.name = "mirror.example.com:80";
+    mirror.onConnect = [](os::RemoteConn &c) {
+        c.send("ELF-bytes-of-a-handy-tool");
+    };
+    k.net().addRemoteServer("mirror.example.com:80", mirror);
+
+    //
+    // Run 1: the downloader. The landing file name comes from the
+    // user, so in isolation this looks like an ordinary download —
+    // only a LOW (the mirror's address is hard-coded) is raised,
+    // nothing that would block execution.
+    //
+    Gasm d("/demo/fetch.exe");
+    d.dataString("site", "mirror.example.com:80");
+    d.dataSpace("argv_slot", 4);
+    d.dataSpace("buf", 64);
+    d.label("main");
+    d.entry("main");
+    d.leaSym(Reg::Edi, "argv_slot");
+    d.store(Reg::Edi, 0, Reg::Ebx);
+    d.sockCreate();
+    d.mov(Reg::Ebp, Reg::Eax);
+    d.leaSym(Reg::Edx, "site");
+    d.sockConnect(Reg::Ebp, Reg::Edx);
+    d.leaSym(Reg::Edx, "buf");
+    d.sockRecv(Reg::Ebp, Reg::Edx, 63);
+    d.mov(Reg::Edi, Reg::Eax);
+    d.leaSym(Reg::Edi, "argv_slot");
+    d.load(Reg::Ebx, Reg::Edi, 0);
+    d.loadArgv(1);
+    d.creatReg(Reg::Eax);
+    d.mov(Reg::Esi, Reg::Eax);
+    d.mov(Reg::Ebx, Reg::Esi);
+    d.leaSym(Reg::Ecx, "buf");
+    d.movi(Reg::Edx, 25);
+    d.sysc(os::NR_write);
+    d.exit(0);
+    auto fetch = d.build();
+    k.vfs().addBinary(fetch->path, fetch);
+
+    Report first = hth.monitor(fetch->path,
+                               {fetch->path, "tool.exe"});
+    std::cout << "run 1 (download): "
+              << (first.flagged() ? "flagged" : "clean") << "\n";
+
+    //
+    // Run 2: something executes the downloaded file.
+    //
+    Gasm r("/demo/run_tool.exe");
+    r.dataSpace("argv_slot", 4);
+    r.label("main");
+    r.entry("main");
+    r.loadArgv(1);
+    r.execveReg(Reg::Eax);
+    r.exit(0);
+    auto runner = r.build();
+    k.vfs().addBinary(runner->path, runner);
+
+    Report second = hth.monitor(runner->path,
+                                {runner->path, "tool.exe"});
+    std::cout << "run 2 (execute):  "
+              << (second.flagged(secpert::Severity::High)
+                      ? "HIGH — executing a downloaded file"
+                      : "clean")
+              << "\n\n"
+              << second.transcript;
+
+    //
+    // User feedback (§10 extension 8): the operator reviews the
+    // warning, decides tool.exe is a sanctioned download, and
+    // acknowledges it; a rerun stays quiet.
+    //
+    hth.secpert().suppress("exec_downloaded", "tool.exe");
+    Report third = hth.monitor(runner->path,
+                               {runner->path, "tool.exe"});
+    std::cout << "\nrun 3 (after acknowledgement): "
+              << third.countByRule("exec_downloaded")
+              << " exec_downloaded warnings, "
+              << hth.secpert().stats().warningsSuppressed
+              << " suppressed\n";
+
+    return second.flagged(secpert::Severity::High) &&
+                   third.countByRule("exec_downloaded") ==
+                       second.countByRule("exec_downloaded")
+               ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Writing your own Secpert policy rules.
+ *
+ * The HTH policy is an ordinary CLIPS rule base, so a deployment
+ * can extend it without touching C++: this example adds a rule
+ * that escalates any write to an SSH-related path to HIGH, and a
+ * rule that flags programs reading processor identification
+ * (HARDWARE data) at all. It also shows the embedded CLIPS
+ * environment used directly as an expert-system library.
+ */
+
+#include <iostream>
+
+#include "core/Hth.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+int
+main()
+{
+    //
+    // A guest that appends a key to authorized_keys and stores the
+    // CPU identification in a report file. Both target files are
+    // named by the *user* here, so the stock §4.3 policy stays
+    // quiet — the custom rules below catch it anyway.
+    //
+    Gasm a("/demo/keydropper.exe");
+    a.dataString("pubkey", "ssh-rsa AAAAB3NzaC attacker@evil\n");
+    a.dataSpace("hwbuf", 16);
+    a.dataSpace("argv_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+    a.loadArgv(1);                          // ~/.ssh/authorized_keys
+    a.openReg(Reg::Eax, GO_CREAT | GO_WRONLY);
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.writeFd(Reg::Ebp, "pubkey", 33);
+    a.closeFd(Reg::Ebp);
+    a.cpuid();
+    a.leaSym(Reg::Esi, "hwbuf");
+    a.store(Reg::Esi, 0, Reg::Eax);
+    a.store(Reg::Esi, 4, Reg::Edx);
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.load(Reg::Ebx, Reg::Edi, 0);
+    a.loadArgv(2);                          // hw_report.txt
+    a.creatReg(Reg::Eax);
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.writeFd(Reg::Ebp, "hwbuf", 8);
+    a.closeFd(Reg::Ebp);
+    a.exit(0);
+    auto guest = a.build();
+
+    Hth hth;
+    hth.kernel().vfs().addBinary(guest->path, guest);
+
+    //
+    // Install the deployment-specific rules (plain CLIPS text).
+    //
+    hth.secpert().loadRules(R"CLP(
+(defrule site_ssh_write "site policy: no writes near .ssh"
+  (system_call_io (pid ?pid) (direction WRITE)
+                  (target_name ?tname) (target_type FILE)
+                  (time ?t) (frequency ?f) (address ?addr))
+  (test (neq (str-index ".ssh" ?tname) FALSE))
+  =>
+  (print-warning 3)
+  (printout t "Site policy: write into an SSH configuration path: "
+            ?tname crlf)
+  (hth-warn 3 "site_ssh_write" ?pid
+    (str-cat "write into SSH path " ?tname)))
+
+(defrule site_hw_probe "site policy: hardware identification leak"
+  (system_call_io (pid ?pid) (direction WRITE)
+                  (source_type HARDWARE) (target_name ?tname))
+  =>
+  (print-warning 2)
+  (printout t "Site policy: processor identification written to "
+            ?tname crlf)
+  (hth-warn 2 "site_hw_probe" ?pid
+    (str-cat "hardware id written to " ?tname)))
+)CLP");
+
+    Report report = hth.monitor(
+        guest->path,
+        {guest->path, "/home/user/.ssh/authorized_keys",
+         "hw_report.txt"});
+
+    std::cout << report.transcript << "\n";
+    for (const auto &w : report.warnings)
+        std::cout << "[" << secpert::severityName(w.severity) << "] "
+                  << w.rule << ": " << w.message << "\n";
+
+    //
+    // Bonus: the CLIPS engine as a standalone library.
+    //
+    clips::Environment env;
+    env.loadString(
+        "(deftemplate alert (slot severity) (slot count))"
+        "(defrule escalate"
+        "  ?a <- (alert (severity ?s) (count ?c))"
+        "  (test (> ?c 3))"
+        "  => (retract ?a)"
+        "     (assert (page-the-oncall ?s)))");
+    env.assertString("(alert (severity HIGH) (count 5))");
+    env.run();
+    std::cout << "\nstandalone CLIPS: page-the-oncall asserted: "
+              << (env.factsByTemplate("page-the-oncall").size() == 1
+                      ? "yes" : "no")
+              << "\n";
+
+    return report.flagged(secpert::Severity::High) ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * HTH quickstart: build a tiny trojan, run it under the monitor,
+ * read the verdict.
+ *
+ * The guest below is a minimal Trojan Horse in the paper's sense:
+ * it copies a hard-coded payload into a hard-coded file and then
+ * executes a hard-coded program. HTH flags both steps.
+ */
+
+#include <iostream>
+
+#include "core/Hth.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+int
+main()
+{
+    //
+    // 1. Write the guest program with the assembler API.
+    //
+    Gasm a("/demo/trojan.exe");
+    a.dataString("payload", "offensive-payload-bytes");
+    a.dataString("dropname", "/tmp/.hidden");
+    a.dataString("prog", "/bin/ls");
+    a.label("main");
+    a.entry("main");
+    a.creatSym("dropname");             // create the hard-coded file
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.writeFd(Reg::Ebp, "payload", 23); // hard-coded data into it
+    a.closeFd(Reg::Ebp);
+    a.execveSym("prog");                // exec a hard-coded program
+    a.exit(1);
+    auto trojan = a.build();
+
+    //
+    // 2. Set up the monitored world and run.
+    //
+    Hth hth;
+    hth.kernel().vfs().addBinary(trojan->path, trojan);
+    hth.kernel().vfs().addBinary("/bin/ls", makeLsBinary());
+    hth.kernel().vfs().addFile(".", "demo.txt\n");
+
+    Report report = hth.monitor(trojan->path, {trojan->path});
+
+    //
+    // 3. Read the verdict.
+    //
+    std::cout << "=== Secpert transcript ===\n"
+              << report.transcript << "\n"
+              << "=== Verdict ===\n"
+              << "warnings : " << report.warnings.size() << "\n"
+              << "severity : "
+              << secpert::severityName(report.maxSeverity()) << "\n";
+    for (const auto &w : report.warnings)
+        std::cout << "  [" << secpert::severityName(w.severity)
+                  << "] rule " << w.rule << ": " << w.message << "\n";
+
+    std::cout << "\n=== Fired CLIPS rules ===\n";
+    for (const auto &fire : hth.secpert().env().fireTrace())
+        std::cout << "  " << fire.rule << "\n";
+
+    return report.flagged() ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Secure Binary verification (paper Appendix B): statically audit
+ * program images for hard-coded resource names before running them.
+ *
+ * Two images are checked: a trojan embedding a drop-server address
+ * and a landing file path, and a "secure binary" that takes every
+ * resource name from its inputs.
+ */
+
+#include <iostream>
+
+#include "core/SecureBinary.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+const char *
+kindName(SecureBinaryFinding::Kind kind)
+{
+    switch (kind) {
+      case SecureBinaryFinding::Kind::FilePath:
+        return "file path";
+      case SecureBinaryFinding::Kind::SocketAddress:
+        return "socket address";
+      case SecureBinaryFinding::Kind::RawString:
+        return "raw string";
+    }
+    return "?";
+}
+
+void
+audit(const char *label, const vm::Image &image)
+{
+    SecureBinaryReport report = verifySecureBinary(image);
+    std::cout << label << " (" << image.path << ")\n"
+              << "  strictly secure : "
+              << (report.strictlySecure() ? "yes" : "no") << "\n"
+              << "  secure (relaxed): "
+              << (report.secure() ? "yes" : "no") << "\n";
+    for (const auto &f : report.findings)
+        std::cout << "    [" << kindName(f.kind) << "] \"" << f.value
+                  << "\"\n";
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    // A trojan: hard-coded landing path and drop address.
+    Gasm bad("/audit/trojan.exe");
+    bad.dataString("drop", "./payload.bin");
+    bad.dataString("c2", "evil.example.com:6667");
+    bad.label("main");
+    bad.entry("main");
+    bad.exit(0);
+    auto trojan = bad.build();
+
+    // A secure binary: resource names come only from argv; the one
+    // embedded string is not a resource name.
+    Gasm good("/audit/clean.exe");
+    good.dataString("banner", "hello world");
+    good.dataSpace("buf", 64);
+    good.label("main");
+    good.entry("main");
+    good.loadArgv(1);
+    good.openReg(Reg::Eax, GO_RDONLY);
+    good.exit(0);
+    auto clean = good.build();
+
+    audit("TROJAN CANDIDATE", *trojan);
+    audit("SECURE CANDIDATE", *clean);
+
+    bool verdicts_ok = !verifySecureBinary(*trojan).secure() &&
+                       verifySecureBinary(*clean).secure();
+    std::cout << (verdicts_ok ? "verdicts as expected\n"
+                              : "UNEXPECTED verdicts\n");
+    return verdicts_ok ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Writing guests as assembly source: the text assembler front end.
+ *
+ * The same TCP-Wrappers-style backdoor as a reviewable assembly
+ * listing, plus the Appendix-B static audit of the assembled image
+ * before it ever runs — two lines of defence over one program.
+ */
+
+#include <iostream>
+
+#include "core/Hth.hh"
+#include "core/SecureBinary.hh"
+#include "vm/TextAsm.hh"
+
+using namespace hth;
+
+namespace
+{
+
+const char *BACKDOOR_SRC = R"(
+; A wrapper daemon with a present for connections on port 421.
+.data  bindaddr  "LocalHost:421"
+.data  shell     "/bin/sh421"
+.space cmdbuf    64
+.entry main
+
+main:
+    ; socket()
+    lea   esi, __sockargs
+    movi  edi, 2
+    store [esi+0], edi
+    movi  edi, 1
+    store [esi+4], edi
+    mov   ecx, esi
+    movi  ebx, 1            ; SOCKOP_socket
+    movi  eax, 102          ; SYS_socketcall
+    int80
+    mov   ebp, eax
+
+    ; bind(fd, "LocalHost:421")
+    lea   esi, __sockargs
+    store [esi+0], ebp
+    lea   edi, bindaddr
+    store [esi+4], edi
+    mov   ecx, esi
+    movi  ebx, 2            ; SOCKOP_bind
+    movi  eax, 102
+    int80
+
+    ; listen(fd)
+    lea   esi, __sockargs
+    store [esi+0], ebp
+    mov   ecx, esi
+    movi  ebx, 4            ; SOCKOP_listen
+    movi  eax, 102
+    int80
+
+    ; accept(fd)
+    lea   esi, __sockargs
+    store [esi+0], ebp
+    mov   ecx, esi
+    movi  ebx, 5            ; SOCKOP_accept
+    movi  eax, 102
+    int80
+
+    ; the intruder gets a root shell
+    lea   ebx, shell
+    movi  ecx, 0
+    movi  edx, 0
+    movi  eax, 11           ; SYS_execve
+    int80
+    movi  ebx, 1
+    movi  eax, 1            ; SYS_exit
+    int80
+
+.space __sockargs 16
+)";
+
+} // namespace
+
+int
+main()
+{
+    auto image = vm::assemble("/demo/wrapd", BACKDOOR_SRC);
+
+    //
+    // Line of defence 1: static Secure Binary audit (Appendix B).
+    //
+    SecureBinaryReport audit = verifySecureBinary(*image);
+    std::cout << "=== Static audit ===\n"
+              << "secure binary: " << (audit.secure() ? "yes" : "NO")
+              << "\n";
+    for (const auto &f : audit.findings)
+        std::cout << "  hard-coded: \"" << f.value << "\"\n";
+
+    //
+    // Line of defence 2: run it under the monitor with an attacker
+    // scripted against the backdoor port.
+    //
+    Hth hth;
+    hth.kernel().vfs().addBinary(image->path, image);
+    hth.kernel().net().addHost("intruder.example.net");
+    os::RemotePeer intruder;
+    intruder.name = "intruder.example.net:421";
+    hth.kernel().net().addRemoteClient("LocalHost:421", intruder);
+
+    Report report = hth.monitor(image->path, {image->path});
+    std::cout << "\n=== Runtime monitor ===\n" << report.transcript
+              << "\nverdict: "
+              << secpert::severityName(report.maxSeverity()) << "\n";
+
+    return (!audit.secure() && report.flagged()) ? 0 : 1;
+}

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Builtin CLIPS functions: arithmetic, comparison, string and
+ * multifield operations, type predicates.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "clips/Environment.hh"
+#include "support/Logging.hh"
+
+namespace hth::clips
+{
+
+namespace
+{
+
+using Args = std::vector<Value>;
+
+void
+needArgs(const std::string &fn, const Args &args, size_t n)
+{
+    fatalIf(args.size() != n, fn, ": expected ", n, " args, got ",
+            args.size());
+}
+
+void
+needAtLeast(const std::string &fn, const Args &args, size_t n)
+{
+    fatalIf(args.size() < n, fn, ": expected at least ", n,
+            " args, got ", args.size());
+}
+
+bool
+allIntegers(const Args &args)
+{
+    return std::all_of(args.begin(), args.end(),
+                       [](const Value &v) { return v.isInteger(); });
+}
+
+/** Chainable numeric comparison: (< a b c) means a<b and b<c. */
+template <typename Cmp>
+Value
+numericChain(const std::string &fn, Args &args, Cmp cmp)
+{
+    needAtLeast(fn, args, 2);
+    for (size_t i = 0; i + 1 < args.size(); ++i) {
+        fatalIf(!args[i].isNumber() || !args[i + 1].isNumber(),
+                fn, ": non-numeric argument");
+        if (!cmp(args[i].asDouble(), args[i + 1].asDouble()))
+            return Value::boolean(false);
+    }
+    return Value::boolean(true);
+}
+
+} // namespace
+
+void
+Environment::installBuiltins()
+{
+    //
+    // Arithmetic
+    //
+    registerFunction("+", [](Environment &, Args &args) {
+        needAtLeast("+", args, 1);
+        if (allIntegers(args)) {
+            int64_t sum = 0;
+            for (const auto &v : args)
+                sum += v.intValue();
+            return Value::integer(sum);
+        }
+        double sum = 0;
+        for (const auto &v : args)
+            sum += v.asDouble();
+        return Value::real(sum);
+    });
+    registerFunction("-", [](Environment &, Args &args) {
+        needAtLeast("-", args, 1);
+        if (allIntegers(args)) {
+            int64_t acc = args[0].intValue();
+            if (args.size() == 1)
+                return Value::integer(-acc);
+            for (size_t i = 1; i < args.size(); ++i)
+                acc -= args[i].intValue();
+            return Value::integer(acc);
+        }
+        double acc = args[0].asDouble();
+        if (args.size() == 1)
+            return Value::real(-acc);
+        for (size_t i = 1; i < args.size(); ++i)
+            acc -= args[i].asDouble();
+        return Value::real(acc);
+    });
+    registerFunction("*", [](Environment &, Args &args) {
+        needAtLeast("*", args, 1);
+        if (allIntegers(args)) {
+            int64_t acc = 1;
+            for (const auto &v : args)
+                acc *= v.intValue();
+            return Value::integer(acc);
+        }
+        double acc = 1;
+        for (const auto &v : args)
+            acc *= v.asDouble();
+        return Value::real(acc);
+    });
+    registerFunction("/", [](Environment &, Args &args) {
+        needAtLeast("/", args, 2);
+        double acc = args[0].asDouble();
+        for (size_t i = 1; i < args.size(); ++i) {
+            double d = args[i].asDouble();
+            fatalIf(d == 0.0, "/: division by zero");
+            acc /= d;
+        }
+        return Value::real(acc);
+    });
+    registerFunction("div", [](Environment &, Args &args) {
+        needAtLeast("div", args, 2);
+        int64_t acc = args[0].intValue();
+        for (size_t i = 1; i < args.size(); ++i) {
+            fatalIf(args[i].intValue() == 0, "div: division by zero");
+            acc /= args[i].intValue();
+        }
+        return Value::integer(acc);
+    });
+    registerFunction("mod", [](Environment &, Args &args) {
+        needArgs("mod", args, 2);
+        fatalIf(args[1].intValue() == 0, "mod: division by zero");
+        return Value::integer(args[0].intValue() % args[1].intValue());
+    });
+    registerFunction("abs", [](Environment &, Args &args) {
+        needArgs("abs", args, 1);
+        if (args[0].isInteger())
+            return Value::integer(std::abs(args[0].intValue()));
+        return Value::real(std::fabs(args[0].asDouble()));
+    });
+    registerFunction("min", [](Environment &, Args &args) {
+        needAtLeast("min", args, 1);
+        Value best = args[0];
+        for (const auto &v : args)
+            if (v.asDouble() < best.asDouble())
+                best = v;
+        return best;
+    });
+    registerFunction("max", [](Environment &, Args &args) {
+        needAtLeast("max", args, 1);
+        Value best = args[0];
+        for (const auto &v : args)
+            if (v.asDouble() > best.asDouble())
+                best = v;
+        return best;
+    });
+
+    //
+    // Comparison
+    //
+    registerFunction("<", [](Environment &, Args &args) {
+        return numericChain("<", args, std::less<>());
+    });
+    registerFunction("<=", [](Environment &, Args &args) {
+        return numericChain("<=", args, std::less_equal<>());
+    });
+    registerFunction(">", [](Environment &, Args &args) {
+        return numericChain(">", args, std::greater<>());
+    });
+    registerFunction(">=", [](Environment &, Args &args) {
+        return numericChain(">=", args, std::greater_equal<>());
+    });
+    registerFunction("=", [](Environment &, Args &args) {
+        return numericChain("=", args, std::equal_to<>());
+    });
+    registerFunction("<>", [](Environment &, Args &args) {
+        return numericChain("<>", args, std::not_equal_to<>());
+    });
+    registerFunction("eq", [](Environment &, Args &args) {
+        needAtLeast("eq", args, 2);
+        for (size_t i = 1; i < args.size(); ++i)
+            if (!(args[i] == args[0]))
+                return Value::boolean(false);
+        return Value::boolean(true);
+    });
+    registerFunction("neq", [](Environment &, Args &args) {
+        needAtLeast("neq", args, 2);
+        for (size_t i = 1; i < args.size(); ++i)
+            if (args[i] == args[0])
+                return Value::boolean(false);
+        return Value::boolean(true);
+    });
+    registerFunction("not", [](Environment &, Args &args) {
+        needArgs("not", args, 1);
+        return Value::boolean(!args[0].truthy());
+    });
+
+    //
+    // Strings
+    //
+    registerFunction("str-cat", [](Environment &, Args &args) {
+        std::string out;
+        for (const auto &v : args)
+            out += v.display();
+        return Value::str(out);
+    });
+    registerFunction("sym-cat", [](Environment &, Args &args) {
+        std::string out;
+        for (const auto &v : args)
+            out += v.display();
+        return Value::sym(out);
+    });
+    registerFunction("str-length", [](Environment &, Args &args) {
+        needArgs("str-length", args, 1);
+        return Value::integer((int64_t)args[0].text().size());
+    });
+    registerFunction("upcase", [](Environment &, Args &args) {
+        needArgs("upcase", args, 1);
+        std::string s = args[0].text();
+        std::transform(s.begin(), s.end(), s.begin(), ::toupper);
+        return args[0].isString() ? Value::str(s) : Value::sym(s);
+    });
+    registerFunction("lowcase", [](Environment &, Args &args) {
+        needArgs("lowcase", args, 1);
+        std::string s = args[0].text();
+        std::transform(s.begin(), s.end(), s.begin(), ::tolower);
+        return args[0].isString() ? Value::str(s) : Value::sym(s);
+    });
+    registerFunction("str-index", [](Environment &, Args &args) {
+        needArgs("str-index", args, 2);
+        size_t pos = args[1].text().find(args[0].text());
+        if (pos == std::string::npos)
+            return Value::boolean(false);
+        return Value::integer((int64_t)pos + 1);
+    });
+    registerFunction("sub-string", [](Environment &, Args &args) {
+        needArgs("sub-string", args, 3);
+        int64_t begin = args[0].intValue();
+        int64_t end = args[1].intValue();
+        const std::string &s = args[2].text();
+        if (begin < 1 || end < begin || (size_t)begin > s.size())
+            return Value::str("");
+        end = std::min<int64_t>(end, (int64_t)s.size());
+        return Value::str(s.substr(begin - 1, end - begin + 1));
+    });
+    registerFunction("str-compare", [](Environment &, Args &args) {
+        needArgs("str-compare", args, 2);
+        return Value::integer(
+            (int64_t)args[0].text().compare(args[1].text()));
+    });
+
+    //
+    // Multifields
+    //
+    registerFunction("create$", [](Environment &, Args &args) {
+        return Value::multi(args);
+    });
+    registerFunction("length$", [](Environment &, Args &args) {
+        needArgs("length$", args, 1);
+        fatalIf(!args[0].isMulti(), "length$: expected multifield");
+        return Value::integer((int64_t)args[0].items().size());
+    });
+    registerFunction("nth$", [](Environment &, Args &args) {
+        needArgs("nth$", args, 2);
+        fatalIf(!args[1].isMulti(), "nth$: expected multifield");
+        int64_t n = args[0].intValue();
+        const auto &items = args[1].items();
+        if (n < 1 || (size_t)n > items.size())
+            return Value::sym("nil");
+        return items[n - 1];
+    });
+    registerFunction("member$", [](Environment &, Args &args) {
+        needArgs("member$", args, 2);
+        fatalIf(!args[1].isMulti(), "member$: expected multifield");
+        const auto &items = args[1].items();
+        for (size_t i = 0; i < items.size(); ++i)
+            if (items[i] == args[0])
+                return Value::integer((int64_t)i + 1);
+        return Value::boolean(false);
+    });
+    registerFunction("first$", [](Environment &, Args &args) {
+        needArgs("first$", args, 1);
+        fatalIf(!args[0].isMulti(), "first$: expected multifield");
+        const auto &items = args[0].items();
+        if (items.empty())
+            return Value::multi({});
+        return Value::multi({items[0]});
+    });
+    registerFunction("rest$", [](Environment &, Args &args) {
+        needArgs("rest$", args, 1);
+        fatalIf(!args[0].isMulti(), "rest$: expected multifield");
+        const auto &items = args[0].items();
+        if (items.empty())
+            return Value::multi({});
+        return Value::multi(
+            std::vector<Value>(items.begin() + 1, items.end()));
+    });
+    registerFunction("subseq$", [](Environment &, Args &args) {
+        needArgs("subseq$", args, 3);
+        fatalIf(!args[0].isMulti(), "subseq$: expected multifield");
+        const auto &items = args[0].items();
+        int64_t begin = args[1].intValue();
+        int64_t end = args[2].intValue();
+        if (begin < 1 || end < begin || (size_t)begin > items.size())
+            return Value::multi({});
+        end = std::min<int64_t>(end, (int64_t)items.size());
+        return Value::multi(std::vector<Value>(
+            items.begin() + begin - 1, items.begin() + end));
+    });
+    registerFunction("implode$", [](Environment &, Args &args) {
+        needArgs("implode$", args, 1);
+        fatalIf(!args[0].isMulti(), "implode$: expected multifield");
+        std::string out;
+        for (size_t i = 0; i < args[0].items().size(); ++i) {
+            if (i)
+                out += " ";
+            out += args[0].items()[i].display();
+        }
+        return Value::str(out);
+    });
+    // `empty-list` is the helper the HTH policy uses to test whether a
+    // filter returned any suspicious resources (see paper App. A.2).
+    registerFunction("empty-list", [](Environment &, Args &args) {
+        needArgs("empty-list", args, 1);
+        if (!args[0].isMulti())
+            return Value::boolean(false);
+        return Value::boolean(args[0].items().empty());
+    });
+
+    //
+    // Type predicates
+    //
+    registerFunction("numberp", [](Environment &, Args &args) {
+        needArgs("numberp", args, 1);
+        return Value::boolean(args[0].isNumber());
+    });
+    registerFunction("integerp", [](Environment &, Args &args) {
+        needArgs("integerp", args, 1);
+        return Value::boolean(args[0].isInteger());
+    });
+    registerFunction("floatp", [](Environment &, Args &args) {
+        needArgs("floatp", args, 1);
+        return Value::boolean(args[0].isFloat());
+    });
+    registerFunction("stringp", [](Environment &, Args &args) {
+        needArgs("stringp", args, 1);
+        return Value::boolean(args[0].isString());
+    });
+    registerFunction("symbolp", [](Environment &, Args &args) {
+        needArgs("symbolp", args, 1);
+        return Value::boolean(args[0].isSymbol());
+    });
+    registerFunction("lexemep", [](Environment &, Args &args) {
+        needArgs("lexemep", args, 1);
+        return Value::boolean(args[0].isSymbol() || args[0].isString());
+    });
+    registerFunction("multifieldp", [](Environment &, Args &args) {
+        needArgs("multifieldp", args, 1);
+        return Value::boolean(args[0].isMulti());
+    });
+    registerFunction("evenp", [](Environment &, Args &args) {
+        needArgs("evenp", args, 1);
+        return Value::boolean(args[0].intValue() % 2 == 0);
+    });
+    registerFunction("oddp", [](Environment &, Args &args) {
+        needArgs("oddp", args, 1);
+        return Value::boolean(args[0].intValue() % 2 != 0);
+    });
+
+    //
+    // Misc
+    //
+    registerFunction("gensym", [](Environment &env, Args &args) {
+        needArgs("gensym", args, 0);
+        return Value::sym("gen" + std::to_string(++env.gensymCounter_));
+    });
+}
+
+} // namespace hth::clips

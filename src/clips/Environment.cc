@@ -1,0 +1,1092 @@
+#include "clips/Environment.hh"
+
+#include <algorithm>
+#include <iostream>
+
+#include "support/Logging.hh"
+
+namespace hth::clips
+{
+
+Environment::Environment()
+{
+    installBuiltins();
+}
+
+Environment::~Environment() = default;
+
+std::ostream &
+Environment::output()
+{
+    return out_ ? *out_ : std::cout;
+}
+
+//
+// Construct loading
+//
+
+void
+Environment::loadString(const std::string &source)
+{
+    for (const auto &form : parseSexprs(source))
+        execTopLevel(form);
+}
+
+Value
+Environment::evalString(const std::string &source)
+{
+    Bindings binds;
+    return eval(parseOneSexpr(source), binds);
+}
+
+void
+Environment::execTopLevel(const Sexpr &form)
+{
+    const std::string head = form.head();
+    if (head == "deftemplate") {
+        compileTemplate(form);
+    } else if (head == "defrule") {
+        compileRule(form);
+    } else if (head == "defglobal") {
+        compileGlobal(form);
+    } else if (head == "deffunction") {
+        compileFunction(form);
+    } else {
+        Bindings binds;
+        eval(form, binds);
+    }
+}
+
+void
+Environment::compileTemplate(const Sexpr &form)
+{
+    fatalIf(form.items.size() < 2 || !form.items[1].isSymbol(),
+            "deftemplate: missing name");
+    auto tmpl = std::make_unique<Template>();
+    tmpl->name = form.items[1].text;
+
+    size_t idx = 2;
+    if (idx < form.items.size() &&
+        form.items[idx].kind == Sexpr::Kind::String)
+        ++idx; // skip comment
+
+    for (; idx < form.items.size(); ++idx) {
+        const Sexpr &slot_form = form.items[idx];
+        const std::string kind = slot_form.head();
+        fatalIf(kind != "slot" && kind != "multislot",
+                "deftemplate ", tmpl->name, ": expected slot/multislot");
+        fatalIf(slot_form.items.size() < 2 ||
+                !slot_form.items[1].isSymbol(),
+                "deftemplate ", tmpl->name, ": slot needs a name");
+        SlotDef def;
+        def.name = slot_form.items[1].text;
+        def.multislot = (kind == "multislot");
+        for (size_t j = 2; j < slot_form.items.size(); ++j) {
+            const Sexpr &attr = slot_form.items[j];
+            if (attr.head() == "default") {
+                Bindings binds;
+                std::vector<Value> vals;
+                for (size_t k = 1; k < attr.items.size(); ++k)
+                    vals.push_back(eval(attr.items[k], binds));
+                def.hasDefault = true;
+                if (def.multislot)
+                    def.defaultValue = Value::multi(std::move(vals));
+                else if (vals.size() == 1)
+                    def.defaultValue = vals[0];
+                else
+                    fatal("deftemplate ", tmpl->name,
+                          ": single slot default must be one value");
+            }
+            // Other slot attributes (type, allowed-symbols, ...) are
+            // accepted and ignored, as HTH does not constrain them.
+        }
+        tmpl->slots.push_back(std::move(def));
+    }
+
+    fatalIf(templates_.count(tmpl->name),
+            "deftemplate ", tmpl->name, ": redefinition");
+    templates_[tmpl->name] = std::move(tmpl);
+}
+
+const Template *
+Environment::findTemplate(const std::string &name) const
+{
+    auto it = templates_.find(name);
+    return it == templates_.end() ? nullptr : it->second.get();
+}
+
+const Template *
+Environment::defineTemplate(const std::string &name,
+                            const std::vector<SlotDef> &slots)
+{
+    fatalIf(templates_.count(name), "template ", name, ": redefinition");
+    auto tmpl = std::make_unique<Template>();
+    tmpl->name = name;
+    tmpl->slots = slots;
+    const Template *raw = tmpl.get();
+    templates_[name] = std::move(tmpl);
+    return raw;
+}
+
+const Template *
+Environment::impliedTemplate(const std::string &name, size_t min_fields)
+{
+    (void)min_fields;
+    auto it = templates_.find(name);
+    if (it != templates_.end())
+        return it->second.get();
+    auto tmpl = std::make_unique<Template>();
+    tmpl->name = name;
+    tmpl->implied = true;
+    SlotDef def;
+    def.name = "__implied";
+    def.multislot = true;
+    tmpl->slots.push_back(def);
+    const Template *raw = tmpl.get();
+    templates_[name] = std::move(tmpl);
+    return raw;
+}
+
+void
+Environment::compileGlobal(const Sexpr &form)
+{
+    size_t idx = 1;
+    while (idx < form.items.size()) {
+        // Optional module name symbol before the assignments.
+        if (form.items[idx].isSymbol() && idx == 1 &&
+            idx + 1 < form.items.size() &&
+            form.items[idx + 1].kind == Sexpr::Kind::GlobalVar) {
+            ++idx;
+            continue;
+        }
+        fatalIf(form.items[idx].kind != Sexpr::Kind::GlobalVar,
+                "defglobal: expected ?*name*");
+        fatalIf(idx + 2 >= form.items.size() ||
+                !form.items[idx + 1].isSymbol("="),
+                "defglobal: expected ?*name* = value");
+        Bindings binds;
+        globals_[form.items[idx].text] = eval(form.items[idx + 2], binds);
+        idx += 3;
+    }
+}
+
+void
+Environment::compileFunction(const Sexpr &form)
+{
+    fatalIf(form.items.size() < 3 || !form.items[1].isSymbol() ||
+            !form.items[2].isList(),
+            "deffunction: expected (deffunction name (params) body...)");
+    DefFunction fn;
+    fn.name = form.items[1].text;
+    for (const auto &p : form.items[2].items) {
+        if (p.kind == Sexpr::Kind::Variable) {
+            fatalIf(!fn.restParam.empty(),
+                    "deffunction ", fn.name,
+                    ": wildcard param must be last");
+            fn.params.push_back(p.text);
+        } else if (p.kind == Sexpr::Kind::MultiVar) {
+            fn.restParam = p.text;
+        } else {
+            fatal("deffunction ", fn.name, ": bad parameter");
+        }
+    }
+    size_t idx = 3;
+    if (idx < form.items.size() &&
+        form.items[idx].kind == Sexpr::Kind::String &&
+        form.items.size() > idx + 1)
+        ++idx; // comment
+    for (; idx < form.items.size(); ++idx)
+        fn.body.push_back(form.items[idx]);
+    functions_[fn.name] = std::move(fn);
+}
+
+std::vector<CondElement>
+Environment::compileCe(const Sexpr &item, const std::string &rule_name)
+{
+    fatalIf(!item.isList(), "defrule ", rule_name,
+            ": unexpected LHS token ", item.toString());
+    const std::string head = item.head();
+    std::vector<CondElement> out;
+    if (head == "test") {
+        fatalIf(item.items.size() != 2, "defrule ", rule_name,
+                ": test takes one expression");
+        CondElement ce;
+        ce.kind = CondElement::Kind::Test;
+        ce.testExpr = item.items[1];
+        out.push_back(std::move(ce));
+    } else if (head == "not") {
+        fatalIf(item.items.size() != 2 || !item.items[1].isList(),
+                "defrule ", rule_name, ": not takes one pattern");
+        CondElement ce;
+        ce.kind = CondElement::Kind::Not;
+        ce.pattern = compilePattern(item.items[1]);
+        out.push_back(std::move(ce));
+    } else if (head == "exists") {
+        fatalIf(item.items.size() != 2 || !item.items[1].isList(),
+                "defrule ", rule_name,
+                ": exists takes one pattern");
+        CondElement ce;
+        ce.kind = CondElement::Kind::Exists;
+        ce.pattern = compilePattern(item.items[1]);
+        out.push_back(std::move(ce));
+    } else if (head == "and") {
+        for (size_t i = 1; i < item.items.size(); ++i) {
+            auto sub = compileCe(item.items[i], rule_name);
+            out.insert(out.end(), sub.begin(), sub.end());
+        }
+    } else {
+        CondElement ce;
+        ce.kind = CondElement::Kind::Pattern;
+        ce.pattern = compilePattern(item);
+        out.push_back(std::move(ce));
+    }
+    return out;
+}
+
+void
+Environment::compileRule(const Sexpr &form)
+{
+    fatalIf(form.items.size() < 2 || !form.items[1].isSymbol(),
+            "defrule: missing name");
+    const std::string name = form.items[1].text;
+    int salience = 0;
+    std::string comment;
+
+    size_t idx = 2;
+    if (idx < form.items.size() &&
+        form.items[idx].kind == Sexpr::Kind::String) {
+        comment = form.items[idx].text;
+        ++idx;
+    }
+
+    // Left-hand side, up to `=>`. An `or` CE splits the rule into
+    // disjuncts, each compiled as its own Rule under the same name
+    // (the way CLIPS expands or-CEs).
+    std::vector<std::vector<CondElement>> alternatives(1);
+    bool seen_arrow = false;
+    while (idx < form.items.size()) {
+        const Sexpr &item = form.items[idx];
+        if (item.isSymbol("=>")) {
+            seen_arrow = true;
+            ++idx;
+            break;
+        }
+        if (item.kind == Sexpr::Kind::Variable) {
+            // ?f <- (pattern)
+            fatalIf(idx + 2 >= form.items.size() ||
+                    !form.items[idx + 1].isSymbol("<-") ||
+                    !form.items[idx + 2].isList(),
+                    "defrule ", name, ": malformed ?f <- pattern");
+            CondElement ce;
+            ce.kind = CondElement::Kind::Pattern;
+            ce.pattern = compilePattern(form.items[idx + 2]);
+            ce.pattern.factVar = item.text;
+            for (auto &alt : alternatives)
+                alt.push_back(ce);
+            idx += 3;
+            continue;
+        }
+        fatalIf(!item.isList(), "defrule ", name,
+                ": unexpected LHS token ", item.toString());
+        const std::string head = item.head();
+        if (head == "declare") {
+            for (size_t j = 1; j < item.items.size(); ++j) {
+                if (item.items[j].head() == "salience") {
+                    Bindings binds;
+                    salience = (int)
+                        eval(item.items[j].items[1], binds).intValue();
+                }
+            }
+        } else if (head == "or") {
+            fatalIf(item.items.size() < 2, "defrule ", name,
+                    ": or takes at least one CE");
+            std::vector<std::vector<CondElement>> expanded;
+            for (size_t j = 1; j < item.items.size(); ++j) {
+                auto branch = compileCe(item.items[j], name);
+                for (const auto &alt : alternatives) {
+                    auto combined = alt;
+                    combined.insert(combined.end(), branch.begin(),
+                                    branch.end());
+                    expanded.push_back(std::move(combined));
+                }
+            }
+            alternatives = std::move(expanded);
+        } else {
+            auto ces = compileCe(item, name);
+            for (auto &alt : alternatives)
+                alt.insert(alt.end(), ces.begin(), ces.end());
+        }
+        ++idx;
+    }
+    fatalIf(!seen_arrow, "defrule ", name, ": missing =>");
+
+    std::vector<Sexpr> rhs;
+    for (; idx < form.items.size(); ++idx)
+        rhs.push_back(form.items[idx]);
+
+    for (auto &alt : alternatives) {
+        auto rule = std::make_unique<Rule>();
+        rule->name = name;
+        rule->comment = comment;
+        rule->salience = salience;
+        rule->lhs = std::move(alt);
+        rule->rhs = rhs;
+        rules_.push_back(std::move(rule));
+    }
+}
+
+namespace
+{
+
+/** Compile one pattern term (literal, variable or wildcard). */
+PatTerm
+compileTerm(const Sexpr &t)
+{
+    PatTerm term;
+    switch (t.kind) {
+      case Sexpr::Kind::Variable:
+        term.kind = PatTerm::Kind::SingleVar;
+        term.var = t.text;
+        return term;
+      case Sexpr::Kind::MultiVar:
+        term.kind = PatTerm::Kind::MultiVar;
+        term.var = t.text;
+        return term;
+      case Sexpr::Kind::Symbol:
+        if (t.text == "?") {
+            term.kind = PatTerm::Kind::Wildcard;
+        } else if (t.text == "$?") {
+            term.kind = PatTerm::Kind::MultiWild;
+        } else {
+            term.kind = PatTerm::Kind::Literal;
+            term.literal = Value::sym(t.text);
+        }
+        return term;
+      case Sexpr::Kind::String:
+        term.kind = PatTerm::Kind::Literal;
+        term.literal = Value::str(t.text);
+        return term;
+      case Sexpr::Kind::Integer:
+        term.kind = PatTerm::Kind::Literal;
+        term.literal = Value::integer(t.intValue);
+        return term;
+      case Sexpr::Kind::Float:
+        term.kind = PatTerm::Kind::Literal;
+        term.literal = Value::real(t.floatValue);
+        return term;
+      default:
+        fatal("pattern: unsupported term ", t.toString());
+    }
+}
+
+} // namespace
+
+PatternCE
+Environment::compilePattern(const Sexpr &form)
+{
+    fatalIf(form.items.empty() || !form.items[0].isSymbol(),
+            "pattern: expected (template ...)");
+    const std::string name = form.items[0].text;
+
+    PatternCE pat;
+    const Template *tmpl = findTemplate(name);
+
+    if (tmpl && !tmpl->implied) {
+        pat.tmpl = tmpl;
+        for (size_t i = 1; i < form.items.size(); ++i) {
+            const Sexpr &slot_form = form.items[i];
+            fatalIf(!slot_form.isList() || slot_form.items.empty() ||
+                    !slot_form.items[0].isSymbol(),
+                    "pattern ", name, ": expected (slot terms...)");
+            SlotPattern sp;
+            sp.slotIndex = tmpl->slotIndex(slot_form.items[0].text);
+            fatalIf(sp.slotIndex < 0, "pattern ", name,
+                    ": unknown slot ", slot_form.items[0].text);
+            for (size_t j = 1; j < slot_form.items.size(); ++j)
+                sp.terms.push_back(compileTerm(slot_form.items[j]));
+            const SlotDef &def = tmpl->slots[sp.slotIndex];
+            if (!def.multislot) {
+                fatalIf(sp.terms.size() != 1, "pattern ", name,
+                        ": single slot ", def.name, " needs one term");
+                fatalIf(sp.terms[0].kind == PatTerm::Kind::MultiVar ||
+                        sp.terms[0].kind == PatTerm::Kind::MultiWild,
+                        "pattern ", name, ": multifield term in single "
+                        "slot ", def.name);
+            }
+            pat.slotPatterns.push_back(std::move(sp));
+        }
+        return pat;
+    }
+
+    // Ordered (implied) pattern: positional terms over __implied.
+    pat.tmpl = impliedTemplate(name, form.items.size() - 1);
+    fatalIf(!pat.tmpl->implied, "pattern ", name,
+            ": ordered pattern on deftemplate fact");
+    SlotPattern sp;
+    sp.slotIndex = 0;
+    for (size_t i = 1; i < form.items.size(); ++i)
+        sp.terms.push_back(compileTerm(form.items[i]));
+    pat.slotPatterns.push_back(std::move(sp));
+    return pat;
+}
+
+//
+// Facts
+//
+
+FactId
+Environment::assertString(const std::string &text)
+{
+    Bindings binds;
+    Value v = doAssert(parseOneSexpr(text), binds);
+    return (FactId)v.intValue();
+}
+
+FactId
+Environment::assertFact(
+    const std::string &tmpl_name,
+    const std::vector<std::pair<std::string, Value>> &slots)
+{
+    const Template *tmpl = findTemplate(tmpl_name);
+    fatalIf(!tmpl, "assertFact: unknown template ", tmpl_name);
+
+    auto f = std::make_unique<Fact>();
+    f->id = nextFactId_++;
+    f->tmpl = tmpl;
+    f->slots.resize(tmpl->slots.size());
+    for (size_t i = 0; i < tmpl->slots.size(); ++i) {
+        const SlotDef &def = tmpl->slots[i];
+        if (def.hasDefault)
+            f->slots[i] = def.defaultValue;
+        else if (def.multislot)
+            f->slots[i] = Value::multi({});
+        else
+            f->slots[i] = Value::sym("nil");
+    }
+    for (const auto &[slot_name, value] : slots) {
+        int idx = tmpl->slotIndex(slot_name);
+        fatalIf(idx < 0, "assertFact ", tmpl_name, ": no slot ",
+                slot_name);
+        const SlotDef &def = tmpl->slots[idx];
+        if (def.multislot && !value.isMulti())
+            f->slots[idx] = Value::multi({value});
+        else
+            f->slots[idx] = value;
+    }
+
+    Fact *raw = f.get();
+    factStore_.push_back(std::move(f));
+    factsByTmpl_[tmpl->name].push_back(raw);
+    ++stats_.asserts;
+    return raw->id;
+}
+
+bool
+Environment::retract(FactId id)
+{
+    for (auto &f : factStore_) {
+        if (f->id == id) {
+            if (f->retracted)
+                return false;
+            f->retracted = true;
+            auto &vec = factsByTmpl_[f->tmpl->name];
+            vec.erase(std::remove(vec.begin(), vec.end(), f.get()),
+                      vec.end());
+            ++stats_.retracts;
+            return true;
+        }
+    }
+    return false;
+}
+
+const Fact *
+Environment::fact(FactId id) const
+{
+    for (const auto &f : factStore_)
+        if (f->id == id && !f->retracted)
+            return f.get();
+    return nullptr;
+}
+
+std::vector<const Fact *>
+Environment::facts() const
+{
+    std::vector<const Fact *> out;
+    for (const auto &f : factStore_)
+        if (!f->retracted)
+            out.push_back(f.get());
+    return out;
+}
+
+std::vector<const Fact *>
+Environment::factsByTemplate(const std::string &name) const
+{
+    std::vector<const Fact *> out;
+    auto it = factsByTmpl_.find(name);
+    if (it != factsByTmpl_.end())
+        for (Fact *f : it->second)
+            out.push_back(f);
+    return out;
+}
+
+void
+Environment::clearFacts()
+{
+    factStore_.clear();
+    factsByTmpl_.clear();
+    fired_.clear();
+}
+
+size_t
+Environment::liveFactCount() const
+{
+    size_t n = 0;
+    for (const auto &f : factStore_)
+        if (!f->retracted)
+            ++n;
+    return n;
+}
+
+//
+// Matching
+//
+
+bool
+Environment::unifyTermSingle(const PatTerm &term, const Value &v,
+                             Bindings &binds)
+{
+    switch (term.kind) {
+      case PatTerm::Kind::Literal:
+        return term.literal == v;
+      case PatTerm::Kind::Wildcard:
+        return true;
+      case PatTerm::Kind::SingleVar: {
+        auto it = binds.vars.find(term.var);
+        if (it != binds.vars.end())
+            return it->second == v;
+        binds.vars[term.var] = v;
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+bool
+Environment::unifySequence(const std::vector<PatTerm> &terms,
+                           size_t term_idx,
+                           const std::vector<Value> &fields,
+                           size_t field_idx, Bindings &binds)
+{
+    if (term_idx == terms.size())
+        return field_idx == fields.size();
+
+    const PatTerm &term = terms[term_idx];
+    switch (term.kind) {
+      case PatTerm::Kind::Literal:
+      case PatTerm::Kind::Wildcard:
+      case PatTerm::Kind::SingleVar: {
+        if (field_idx >= fields.size())
+            return false;
+        // Save/restore binding for backtracking.
+        auto it = binds.vars.find(term.var);
+        bool had = it != binds.vars.end();
+        Value old = had ? it->second : Value();
+        if (!unifyTermSingle(term, fields[field_idx], binds))
+            return false;
+        if (unifySequence(terms, term_idx + 1, fields, field_idx + 1,
+                          binds))
+            return true;
+        if (term.kind == PatTerm::Kind::SingleVar) {
+            if (had)
+                binds.vars[term.var] = old;
+            else
+                binds.vars.erase(term.var);
+        }
+        return false;
+      }
+      case PatTerm::Kind::MultiVar: {
+        auto it = binds.vars.find(term.var);
+        if (it != binds.vars.end()) {
+            const Value &bound = it->second;
+            if (!bound.isMulti())
+                return false;
+            const auto &want = bound.items();
+            if (field_idx + want.size() > fields.size())
+                return false;
+            for (size_t k = 0; k < want.size(); ++k)
+                if (!(fields[field_idx + k] == want[k]))
+                    return false;
+            return unifySequence(terms, term_idx + 1, fields,
+                                 field_idx + want.size(), binds);
+        }
+        for (size_t len = 0; field_idx + len <= fields.size(); ++len) {
+            std::vector<Value> seg(fields.begin() + field_idx,
+                                   fields.begin() + field_idx + len);
+            binds.vars[term.var] = Value::multi(std::move(seg));
+            if (unifySequence(terms, term_idx + 1, fields,
+                              field_idx + len, binds))
+                return true;
+        }
+        binds.vars.erase(term.var);
+        return false;
+      }
+      case PatTerm::Kind::MultiWild: {
+        for (size_t len = 0; field_idx + len <= fields.size(); ++len)
+            if (unifySequence(terms, term_idx + 1, fields,
+                              field_idx + len, binds))
+                return true;
+        return false;
+      }
+    }
+    return false;
+}
+
+bool
+Environment::unifyPattern(const PatternCE &pat, const Fact &f,
+                          Bindings &binds) const
+{
+    if (f.tmpl != pat.tmpl)
+        return false;
+    for (const auto &sp : pat.slotPatterns) {
+        const SlotDef &def = pat.tmpl->slots[sp.slotIndex];
+        const Value &v = f.slots[sp.slotIndex];
+        if (def.multislot) {
+            if (!v.isMulti())
+                return false;
+            if (!unifySequence(sp.terms, 0, v.items(), 0, binds))
+                return false;
+        } else {
+            if (!unifyTermSingle(sp.terms[0], v, binds))
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
+                       std::vector<FactId> &used,
+                       std::vector<Activation> &out)
+{
+    if (ce_idx == rule.lhs.size()) {
+        std::vector<FactId> key = used;
+        std::sort(key.begin(), key.end());
+        if (fired_.count({rule.name, key}))
+            return;
+        Activation act;
+        act.rule = &rule;
+        act.facts = used;
+        act.binds = binds;
+        act.recency = used.empty()
+            ? 0 : *std::max_element(used.begin(), used.end());
+        out.push_back(std::move(act));
+        return;
+    }
+
+    const CondElement &ce = rule.lhs[ce_idx];
+    switch (ce.kind) {
+      case CondElement::Kind::Pattern: {
+        auto it = factsByTmpl_.find(ce.pattern.tmpl->name);
+        if (it == factsByTmpl_.end())
+            return;
+        // Copy: RHS execution never runs during matching, but keep
+        // iteration robust against template vector reallocation.
+        std::vector<Fact *> candidates = it->second;
+        for (Fact *f : candidates) {
+            if (f->retracted)
+                continue;
+            Bindings saved = binds;
+            if (unifyPattern(ce.pattern, *f, binds)) {
+                if (!ce.pattern.factVar.empty())
+                    binds.factVars[ce.pattern.factVar] = f->id;
+                used.push_back(f->id);
+                matchFrom(rule, ce_idx + 1, binds, used, out);
+                used.pop_back();
+            }
+            binds = std::move(saved);
+        }
+        return;
+      }
+      case CondElement::Kind::Test: {
+        Bindings copy = binds;
+        if (eval(ce.testExpr, copy).truthy())
+            matchFrom(rule, ce_idx + 1, binds, used, out);
+        return;
+      }
+      case CondElement::Kind::Not: {
+        auto it = factsByTmpl_.find(ce.pattern.tmpl->name);
+        if (it != factsByTmpl_.end()) {
+            for (Fact *f : it->second) {
+                if (f->retracted)
+                    continue;
+                Bindings probe = binds;
+                if (unifyPattern(ce.pattern, *f, probe))
+                    return; // a match exists: the NOT fails
+            }
+        }
+        matchFrom(rule, ce_idx + 1, binds, used, out);
+        return;
+      }
+      case CondElement::Kind::Exists: {
+        auto it = factsByTmpl_.find(ce.pattern.tmpl->name);
+        if (it == factsByTmpl_.end())
+            return;
+        for (Fact *f : it->second) {
+            if (f->retracted)
+                continue;
+            Bindings probe = binds;
+            if (unifyPattern(ce.pattern, *f, probe)) {
+                // One witness is enough; bindings do not escape.
+                matchFrom(rule, ce_idx + 1, binds, used, out);
+                return;
+            }
+        }
+        return;
+      }
+    }
+}
+
+void
+Environment::computeActivations(std::vector<Activation> &out)
+{
+    ++stats_.matchPasses;
+    for (const auto &rule : rules_) {
+        Bindings binds;
+        std::vector<FactId> used;
+        matchFrom(*rule, 0, binds, used, out);
+    }
+}
+
+int
+Environment::run(int max_fires)
+{
+    int fired = 0;
+    while (max_fires < 0 || fired < max_fires) {
+        std::vector<Activation> agenda;
+        computeActivations(agenda);
+        if (agenda.empty())
+            break;
+        std::sort(agenda.begin(), agenda.end(),
+                  [](const Activation &a, const Activation &b) {
+                      if (a.rule->salience != b.rule->salience)
+                          return a.rule->salience > b.rule->salience;
+                      if (a.recency != b.recency)
+                          return a.recency > b.recency;
+                      return a.rule->name < b.rule->name;
+                  });
+        Activation &top = agenda.front();
+
+        std::vector<FactId> key = top.facts;
+        std::sort(key.begin(), key.end());
+        fired_.insert({top.rule->name, key});
+        fireTrace_.push_back({top.rule->name, top.facts});
+        ++stats_.fires;
+        ++fired;
+
+        Bindings binds = top.binds;
+        for (const auto &action : top.rule->rhs)
+            eval(action, binds);
+    }
+    return fired;
+}
+
+//
+// Evaluation
+//
+
+Value
+Environment::eval(const Sexpr &expr, Bindings &binds)
+{
+    switch (expr.kind) {
+      case Sexpr::Kind::Symbol:
+        return Value::sym(expr.text);
+      case Sexpr::Kind::String:
+        return Value::str(expr.text);
+      case Sexpr::Kind::Integer:
+        return Value::integer(expr.intValue);
+      case Sexpr::Kind::Float:
+        return Value::real(expr.floatValue);
+      case Sexpr::Kind::Variable:
+      case Sexpr::Kind::MultiVar: {
+        auto it = binds.vars.find(expr.text);
+        if (it != binds.vars.end())
+            return it->second;
+        auto fit = binds.factVars.find(expr.text);
+        if (fit != binds.factVars.end())
+            return Value::integer((int64_t)fit->second);
+        fatal("unbound variable ?", expr.text);
+      }
+      case Sexpr::Kind::GlobalVar: {
+        auto it = globals_.find(expr.text);
+        fatalIf(it == globals_.end(), "unknown global ?*", expr.text,
+                "*");
+        return it->second;
+      }
+      case Sexpr::Kind::List:
+        return evalCall(expr, binds);
+    }
+    return Value();
+}
+
+Value
+Environment::doAssert(const Sexpr &form, Bindings &binds)
+{
+    fatalIf(!form.isList() || form.items.empty() ||
+            !form.items[0].isSymbol(),
+            "assert: expected (template ...)");
+    const std::string name = form.items[0].text;
+    const Template *tmpl = findTemplate(name);
+
+    if (tmpl && !tmpl->implied) {
+        std::vector<std::pair<std::string, Value>> slots;
+        for (size_t i = 1; i < form.items.size(); ++i) {
+            const Sexpr &slot_form = form.items[i];
+            fatalIf(!slot_form.isList() || slot_form.items.empty() ||
+                    !slot_form.items[0].isSymbol(),
+                    "assert ", name, ": expected (slot value...)");
+            const std::string slot_name = slot_form.items[0].text;
+            int idx = tmpl->slotIndex(slot_name);
+            fatalIf(idx < 0, "assert ", name, ": unknown slot ",
+                    slot_name);
+            std::vector<Value> vals;
+            for (size_t j = 1; j < slot_form.items.size(); ++j)
+                vals.push_back(eval(slot_form.items[j], binds));
+            if (tmpl->slots[idx].multislot) {
+                slots.emplace_back(slot_name,
+                                   Value::multi(std::move(vals)));
+            } else {
+                fatalIf(vals.size() != 1, "assert ", name, ": slot ",
+                        slot_name, " takes one value");
+                slots.emplace_back(slot_name, vals[0]);
+            }
+        }
+        return Value::integer((int64_t)assertFact(name, slots));
+    }
+
+    // Ordered fact.
+    impliedTemplate(name, form.items.size() - 1);
+    std::vector<Value> vals;
+    for (size_t i = 1; i < form.items.size(); ++i)
+        vals.push_back(eval(form.items[i], binds));
+    FactId id = assertFact(name, {{"__implied",
+                                   Value::multi(std::move(vals))}});
+    return Value::integer((int64_t)id);
+}
+
+Value
+Environment::callDefFunction(const DefFunction &fn,
+                             std::vector<Value> &args)
+{
+    fatalIf(args.size() < fn.params.size(),
+            "function ", fn.name, ": expected at least ",
+            fn.params.size(), " args, got ", args.size());
+    fatalIf(fn.restParam.empty() && args.size() != fn.params.size(),
+            "function ", fn.name, ": expected ", fn.params.size(),
+            " args, got ", args.size());
+    Bindings binds;
+    for (size_t i = 0; i < fn.params.size(); ++i)
+        binds.vars[fn.params[i]] = args[i];
+    if (!fn.restParam.empty()) {
+        std::vector<Value> rest(args.begin() + fn.params.size(),
+                                args.end());
+        binds.vars[fn.restParam] = Value::multi(std::move(rest));
+    }
+    Value result;
+    for (const auto &expr : fn.body)
+        result = eval(expr, binds);
+    return result;
+}
+
+Value
+Environment::evalCall(const Sexpr &expr, Bindings &binds)
+{
+    fatalIf(expr.items.empty() || !expr.items[0].isSymbol(),
+            "cannot evaluate ", expr.toString());
+    const std::string &fn = expr.items[0].text;
+    const auto &args = expr.items;
+
+    //
+    // Special forms (lazy argument evaluation).
+    //
+    if (fn == "if") {
+        // (if expr then a... [else b...])
+        fatalIf(args.size() < 3 || !args[2].isSymbol("then"),
+                "if: expected (if expr then ... [else ...])");
+        size_t else_idx = args.size();
+        for (size_t i = 3; i < args.size(); ++i) {
+            if (args[i].isSymbol("else")) {
+                else_idx = i;
+                break;
+            }
+        }
+        Value result;
+        if (eval(args[1], binds).truthy()) {
+            for (size_t i = 3; i < else_idx; ++i)
+                result = eval(args[i], binds);
+        } else {
+            for (size_t i = else_idx + 1; i < args.size(); ++i)
+                result = eval(args[i], binds);
+        }
+        return result;
+    }
+    if (fn == "while") {
+        // (while expr [do] actions...)
+        fatalIf(args.size() < 2, "while: missing condition");
+        size_t body_start = 2;
+        if (body_start < args.size() && args[body_start].isSymbol("do"))
+            ++body_start;
+        int guard = 0;
+        while (eval(args[1], binds).truthy()) {
+            for (size_t i = body_start; i < args.size(); ++i)
+                eval(args[i], binds);
+            fatalIf(++guard > 1000000, "while: runaway loop");
+        }
+        return Value::boolean(false);
+    }
+    if (fn == "bind") {
+        fatalIf(args.size() < 3 ||
+                (args[1].kind != Sexpr::Kind::Variable &&
+                 args[1].kind != Sexpr::Kind::MultiVar &&
+                 args[1].kind != Sexpr::Kind::GlobalVar),
+                "bind: expected (bind ?var value...)");
+        std::vector<Value> vals;
+        for (size_t i = 2; i < args.size(); ++i)
+            vals.push_back(eval(args[i], binds));
+        Value v = vals.size() == 1 ? vals[0]
+                                   : Value::multi(std::move(vals));
+        if (args[1].kind == Sexpr::Kind::GlobalVar)
+            globals_[args[1].text] = v;
+        else
+            binds.vars[args[1].text] = v;
+        return v;
+    }
+    if (fn == "assert") {
+        Value last;
+        for (size_t i = 1; i < args.size(); ++i)
+            last = doAssert(args[i], binds);
+        return last;
+    }
+    if (fn == "modify") {
+        // (modify ?f (slot value...) ...): retract + re-assert with
+        // the given slots replaced; returns the new fact address.
+        fatalIf(args.size() < 2 ||
+                args[1].kind != Sexpr::Kind::Variable,
+                "modify: expected (modify ?fact (slot value)...)");
+        auto fit = binds.factVars.find(args[1].text);
+        fatalIf(fit == binds.factVars.end(),
+                "modify: ?", args[1].text, " is not a fact address");
+        const Fact *old = fact(fit->second);
+        fatalIf(!old, "modify: fact already retracted");
+        const Template *tmpl = old->tmpl;
+
+        std::vector<std::pair<std::string, Value>> slots;
+        for (size_t i = 0; i < tmpl->slots.size(); ++i)
+            slots.emplace_back(tmpl->slots[i].name, old->slots[i]);
+        for (size_t i = 2; i < args.size(); ++i) {
+            const Sexpr &slot_form = args[i];
+            fatalIf(!slot_form.isList() || slot_form.items.empty() ||
+                    !slot_form.items[0].isSymbol(),
+                    "modify: expected (slot value...)");
+            const std::string &slot_name = slot_form.items[0].text;
+            int idx = tmpl->slotIndex(slot_name);
+            fatalIf(idx < 0, "modify: unknown slot ", slot_name);
+            std::vector<Value> vals;
+            for (size_t j = 1; j < slot_form.items.size(); ++j)
+                vals.push_back(eval(slot_form.items[j], binds));
+            if (tmpl->slots[idx].multislot) {
+                slots[idx].second = Value::multi(std::move(vals));
+            } else {
+                fatalIf(vals.size() != 1, "modify: slot ", slot_name,
+                        " takes one value");
+                slots[idx].second = vals[0];
+            }
+        }
+        retract(fit->second);
+        return Value::integer(
+            (int64_t)assertFact(tmpl->name, slots));
+    }
+    if (fn == "retract") {
+        for (size_t i = 1; i < args.size(); ++i) {
+            Value v = eval(args[i], binds);
+            fatalIf(!v.isInteger(), "retract: expected fact address");
+            retract((FactId)v.intValue());
+        }
+        return Value::boolean(true);
+    }
+    if (fn == "and") {
+        Value v = Value::boolean(true);
+        for (size_t i = 1; i < args.size(); ++i) {
+            v = eval(args[i], binds);
+            if (!v.truthy())
+                return Value::boolean(false);
+        }
+        return v;
+    }
+    if (fn == "or") {
+        for (size_t i = 1; i < args.size(); ++i) {
+            Value v = eval(args[i], binds);
+            if (v.truthy())
+                return v;
+        }
+        return Value::boolean(false);
+    }
+    if (fn == "printout") {
+        fatalIf(args.size() < 2, "printout: missing router");
+        std::ostream &os = output();
+        for (size_t i = 2; i < args.size(); ++i) {
+            if (args[i].isSymbol("crlf")) {
+                os << "\n";
+            } else {
+                os << eval(args[i], binds).display();
+            }
+        }
+        return Value::boolean(true);
+    }
+    if (fn == "progn") {
+        Value v;
+        for (size_t i = 1; i < args.size(); ++i)
+            v = eval(args[i], binds);
+        return v;
+    }
+
+    //
+    // Regular calls: evaluate arguments eagerly.
+    //
+    std::vector<Value> vals;
+    vals.reserve(args.size() - 1);
+    for (size_t i = 1; i < args.size(); ++i)
+        vals.push_back(eval(args[i], binds));
+
+    auto dit = functions_.find(fn);
+    if (dit != functions_.end())
+        return callDefFunction(dit->second, vals);
+
+    auto nit = natives_.find(fn);
+    if (nit != natives_.end())
+        return nit->second(*this, vals);
+
+    fatal("unknown function ", fn);
+}
+
+void
+Environment::registerFunction(const std::string &name, NativeFn fn)
+{
+    natives_[name] = std::move(fn);
+}
+
+Value
+Environment::getGlobal(const std::string &name) const
+{
+    auto it = globals_.find(name);
+    fatalIf(it == globals_.end(), "unknown global ?*", name, "*");
+    return it->second;
+}
+
+void
+Environment::setGlobal(const std::string &name, Value v)
+{
+    globals_[name] = std::move(v);
+}
+
+} // namespace hth::clips

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The CLIPS environment: constructs, working memory, inference engine.
+ *
+ * This is a from-scratch forward-chaining production system
+ * implementing the CLIPS subset the HTH policy uses (plus enough
+ * extra to be generally useful):
+ *
+ *  - deftemplate (slot / multislot, defaults), implied ordered facts
+ *  - defrule with pattern CEs (fact-address binding `?f <-`),
+ *    `test` CEs and `not` CEs, `declare (salience ...)`
+ *  - defglobal / deffunction
+ *  - assert / retract / bind / if / while / printout and a library of
+ *    builtin functions (arithmetic, comparison, string and multifield
+ *    operations)
+ *  - agenda ordered by salience then recency, with refraction
+ *
+ * The matcher is a direct join over working memory rather than a Rete
+ * network; facts are indexed by template, which is ample for the
+ * event-at-a-time workload Secpert generates (each Harrier event is
+ * asserted, resolved and retracted).
+ */
+
+#ifndef HTH_CLIPS_ENVIRONMENT_HH
+#define HTH_CLIPS_ENVIRONMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clips/Fact.hh"
+#include "clips/Rule.hh"
+#include "clips/Sexpr.hh"
+#include "clips/Value.hh"
+
+namespace hth::clips
+{
+
+/** Variable bindings active during matching / RHS execution. */
+struct Bindings
+{
+    std::map<std::string, Value> vars;
+    std::map<std::string, FactId> factVars;
+};
+
+/** Engine statistics, used by the performance evaluation. */
+struct EngineStats
+{
+    uint64_t fires = 0;
+    uint64_t asserts = 0;
+    uint64_t retracts = 0;
+    uint64_t matchPasses = 0;
+};
+
+/** A record of one rule firing, for tests and diagnostics. */
+struct FireRecord
+{
+    std::string rule;
+    std::vector<FactId> facts;
+};
+
+/** The expert-system environment. */
+class Environment
+{
+  public:
+    /** Function taking already evaluated arguments. */
+    using NativeFn =
+        std::function<Value(Environment &, std::vector<Value> &)>;
+
+    Environment();
+    ~Environment();
+
+    Environment(const Environment &) = delete;
+    Environment &operator=(const Environment &) = delete;
+
+    /** @name Construct loading @{ */
+
+    /** Parse and execute every top-level construct in @p source. */
+    void loadString(const std::string &source);
+
+    /** Evaluate a single expression and return its value. */
+    Value evalString(const std::string &source);
+
+    /** @} */
+    /** @name Templates @{ */
+
+    const Template *findTemplate(const std::string &name) const;
+
+    /** Define a template programmatically (from C++ embedders). */
+    const Template *defineTemplate(const std::string &name,
+                                   const std::vector<SlotDef> &slots);
+
+    /** @} */
+    /** @name Facts @{ */
+
+    /** Assert a fact given in CLIPS syntax, e.g. "(foo (bar 1))". */
+    FactId assertString(const std::string &text);
+
+    /** Assert a fact built programmatically; slots by name. */
+    FactId assertFact(
+        const std::string &tmpl,
+        const std::vector<std::pair<std::string, Value>> &slots);
+
+    /** Retract a fact by id. @return false if already gone. */
+    bool retract(FactId id);
+
+    /** Live fact by id, or nullptr. */
+    const Fact *fact(FactId id) const;
+
+    /** All live facts, in assertion order. */
+    std::vector<const Fact *> facts() const;
+
+    /** Live facts of one template. */
+    std::vector<const Fact *>
+    factsByTemplate(const std::string &name) const;
+
+    /** Retract every fact (constructs are preserved). */
+    void clearFacts();
+
+    /** @} */
+    /** @name Inference @{ */
+
+    /**
+     * Run the match-resolve-act cycle.
+     *
+     * @param max_fires stop after this many rule firings (-1: no cap).
+     * @return the number of rules fired.
+     */
+    int run(int max_fires = -1);
+
+    /** Rules fired since construction, in order. */
+    const std::vector<FireRecord> &fireTrace() const
+    {
+        return fireTrace_;
+    }
+
+    const EngineStats &stats() const { return stats_; }
+
+    size_t ruleCount() const { return rules_.size(); }
+    size_t liveFactCount() const;
+
+    /** @} */
+    /** @name Embedding hooks @{ */
+
+    /** Register a C++ function callable from rules. */
+    void registerFunction(const std::string &name, NativeFn fn);
+
+    /** Redirect printout's `t` router (default: std::cout). */
+    void setOutput(std::ostream *os) { out_ = os; }
+    std::ostream &output();
+
+    Value getGlobal(const std::string &name) const;
+    void setGlobal(const std::string &name, Value v);
+
+    /** Evaluate an expression under @p binds (builtins use this). */
+    Value eval(const Sexpr &expr, Bindings &binds);
+
+    /** @} */
+
+  private:
+    struct DefFunction
+    {
+        std::string name;
+        std::vector<std::string> params;
+        std::string restParam;      //!< "" when absent
+        std::vector<Sexpr> body;
+    };
+
+    struct Activation
+    {
+        const Rule *rule = nullptr;
+        std::vector<FactId> facts;
+        Bindings binds;
+        uint64_t recency = 0;
+    };
+
+    /** @name Construct compilation @{ */
+    void execTopLevel(const Sexpr &form);
+    void compileTemplate(const Sexpr &form);
+    void compileRule(const Sexpr &form);
+    std::vector<CondElement> compileCe(const Sexpr &item,
+                                       const std::string &rule_name);
+    void compileGlobal(const Sexpr &form);
+    void compileFunction(const Sexpr &form);
+    PatternCE compilePattern(const Sexpr &form);
+    const Template *impliedTemplate(const std::string &name,
+                                    size_t min_fields);
+    /** @} */
+
+    /** @name Matching @{ */
+    void computeActivations(std::vector<Activation> &out);
+    void matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
+                   std::vector<FactId> &used,
+                   std::vector<Activation> &out);
+    bool unifyPattern(const PatternCE &pat, const Fact &f,
+                      Bindings &binds) const;
+    static bool unifySequence(const std::vector<PatTerm> &terms,
+                              size_t term_idx,
+                              const std::vector<Value> &fields,
+                              size_t field_idx, Bindings &binds);
+    static bool unifyTermSingle(const PatTerm &term, const Value &v,
+                                Bindings &binds);
+    /** @} */
+
+    /** @name Evaluation @{ */
+    Value evalCall(const Sexpr &expr, Bindings &binds);
+    Value callDefFunction(const DefFunction &fn,
+                          std::vector<Value> &args);
+    Value doAssert(const Sexpr &form, Bindings &binds);
+    void installBuiltins();
+    /** @} */
+
+    std::map<std::string, std::unique_ptr<Template>> templates_;
+    std::vector<std::unique_ptr<Rule>> rules_;
+    std::map<std::string, Value> globals_;
+    std::map<std::string, DefFunction> functions_;
+    std::map<std::string, NativeFn> natives_;
+
+    std::vector<std::unique_ptr<Fact>> factStore_;
+    std::map<std::string, std::vector<Fact *>> factsByTmpl_;
+    FactId nextFactId_ = 1;
+
+    std::set<std::pair<std::string, std::vector<FactId>>> fired_;
+    std::vector<FireRecord> fireTrace_;
+    EngineStats stats_;
+
+    std::ostream *out_ = nullptr;
+    uint64_t gensymCounter_ = 0;
+
+    friend struct BuiltinInstaller;
+};
+
+} // namespace hth::clips
+
+#endif // HTH_CLIPS_ENVIRONMENT_HH

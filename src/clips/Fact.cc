@@ -1,0 +1,39 @@
+#include "clips/Fact.hh"
+
+#include "support/Logging.hh"
+
+namespace hth::clips
+{
+
+const Value &
+Fact::slot(const std::string &name) const
+{
+    int idx = tmpl->slotIndex(name);
+    panicIf(idx < 0, "fact ", tmpl->name, " has no slot ", name);
+    return slots[idx];
+}
+
+std::string
+Fact::toString() const
+{
+    if (tmpl->implied) {
+        std::string out = "(" + tmpl->name;
+        for (const auto &v : slots[0].items())
+            out += " " + v.toString();
+        return out + ")";
+    }
+    std::string out = "(" + tmpl->name;
+    for (size_t i = 0; i < slots.size(); ++i) {
+        out += " (" + tmpl->slots[i].name;
+        if (slots[i].isMulti()) {
+            for (const auto &v : slots[i].items())
+                out += " " + v.toString();
+        } else {
+            out += " " + slots[i].toString();
+        }
+        out += ")";
+    }
+    return out + ")";
+}
+
+} // namespace hth::clips

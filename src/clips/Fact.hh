@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deftemplates and facts for the CLIPS working memory.
+ */
+
+#ifndef HTH_CLIPS_FACT_HH
+#define HTH_CLIPS_FACT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clips/Value.hh"
+
+namespace hth::clips
+{
+
+using FactId = uint64_t;
+
+/** One slot of a deftemplate. */
+struct SlotDef
+{
+    std::string name;
+    bool multislot = false;
+    bool hasDefault = false;
+    Value defaultValue;
+};
+
+/**
+ * A deftemplate: named, ordered slots.
+ *
+ * Ordered facts (e.g. `(colour red)`) are represented with an implied
+ * template holding one multislot named `__implied`, mirroring how
+ * CLIPS itself models them.
+ */
+struct Template
+{
+    std::string name;
+    std::vector<SlotDef> slots;
+    bool implied = false;
+
+    /** Index of @p slot_name, or -1 when absent. */
+    int
+    slotIndex(const std::string &slot_name) const
+    {
+        for (size_t i = 0; i < slots.size(); ++i)
+            if (slots[i].name == slot_name)
+                return (int)i;
+        return -1;
+    }
+};
+
+/** A fact in working memory. */
+struct Fact
+{
+    FactId id = 0;
+    const Template *tmpl = nullptr;
+    std::vector<Value> slots;   //!< parallel to tmpl->slots
+    bool retracted = false;
+
+    /** Value of the named slot; panics if the slot does not exist. */
+    const Value &slot(const std::string &name) const;
+
+    /** Render as `(template (slot value)...)`. */
+    std::string toString() const;
+};
+
+} // namespace hth::clips
+
+#endif // HTH_CLIPS_FACT_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Compiled defrule representation.
+ *
+ * A rule's left-hand side is a sequence of conditional elements (CEs):
+ * pattern CEs (optionally bound to a fact variable with `?f <-`),
+ * `test` CEs and `not` CEs. The right-hand side is a sequence of
+ * action expressions evaluated with the match bindings.
+ */
+
+#ifndef HTH_CLIPS_RULE_HH
+#define HTH_CLIPS_RULE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clips/Fact.hh"
+#include "clips/Sexpr.hh"
+#include "clips/Value.hh"
+
+namespace hth::clips
+{
+
+/** One term of a slot pattern. */
+struct PatTerm
+{
+    enum class Kind {
+        Literal,    //!< constant value that must match exactly
+        SingleVar,  //!< ?x — binds / tests one field
+        MultiVar,   //!< $?x — binds / tests a run of fields
+        Wildcard,   //!< ? — matches one field, binds nothing
+        MultiWild,  //!< $? — matches any run, binds nothing
+    };
+
+    Kind kind = Kind::Wildcard;
+    std::string var;    //!< variable name for *Var kinds
+    Value literal;      //!< constant for Literal
+};
+
+/** Pattern over one slot. */
+struct SlotPattern
+{
+    int slotIndex = -1;
+    std::vector<PatTerm> terms;
+};
+
+/** A pattern conditional element. */
+struct PatternCE
+{
+    std::string factVar;        //!< "" when the fact is not bound
+    const Template *tmpl = nullptr;
+    std::vector<SlotPattern> slotPatterns;
+};
+
+/** A conditional element of any kind. */
+struct CondElement
+{
+    enum class Kind
+    {
+        Pattern,    //!< binds facts and variables
+        Test,       //!< boolean expression over bound variables
+        Not,        //!< no fact may match
+        Exists,     //!< some fact matches; binds nothing
+    };
+
+    Kind kind = Kind::Pattern;
+    PatternCE pattern;          //!< for Pattern, Not and Exists
+    Sexpr testExpr;             //!< for Test
+};
+
+/** A compiled rule. */
+struct Rule
+{
+    std::string name;
+    std::string comment;
+    int salience = 0;
+    std::vector<CondElement> lhs;
+    std::vector<Sexpr> rhs;
+};
+
+} // namespace hth::clips
+
+#endif // HTH_CLIPS_RULE_HH

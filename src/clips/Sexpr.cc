@@ -1,0 +1,232 @@
+#include "clips/Sexpr.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/Logging.hh"
+
+namespace hth::clips
+{
+
+std::string
+Sexpr::head() const
+{
+    if (kind == Kind::List && !items.empty() && items[0].isSymbol())
+        return items[0].text;
+    return "";
+}
+
+std::string
+Sexpr::toString() const
+{
+    switch (kind) {
+      case Kind::List: {
+        std::string out = "(";
+        for (size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                out += " ";
+            out += items[i].toString();
+        }
+        return out + ")";
+      }
+      case Kind::Symbol:
+        return text;
+      case Kind::String:
+        return "\"" + text + "\"";
+      case Kind::Integer:
+        return std::to_string(intValue);
+      case Kind::Float:
+        return std::to_string(floatValue);
+      case Kind::Variable:
+        return "?" + text;
+      case Kind::MultiVar:
+        return "$?" + text;
+      case Kind::GlobalVar:
+        return "?*" + text + "*";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Character classes that end a bare token. */
+bool
+isDelim(char c)
+{
+    return c == '(' || c == ')' || c == '"' || c == ';' ||
+           std::isspace((unsigned char)c);
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : src_(src) {}
+
+    std::vector<Sexpr>
+    parseAll()
+    {
+        std::vector<Sexpr> out;
+        skipWs();
+        while (pos_ < src_.size()) {
+            out.push_back(parseExpr());
+            skipWs();
+        }
+        return out;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < src_.size()) {
+            char c = src_[pos_];
+            if (c == ';') {
+                while (pos_ < src_.size() && src_[pos_] != '\n')
+                    ++pos_;
+            } else if (std::isspace((unsigned char)c)) {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < src_.size() ? src_[pos_] : '\0';
+    }
+
+    Sexpr
+    parseExpr()
+    {
+        skipWs();
+        fatalIf(pos_ >= src_.size(), "clips reader: unexpected end");
+        char c = src_[pos_];
+        if (c == '(')
+            return parseList();
+        if (c == ')')
+            fatal("clips reader: unexpected ')' at offset ", pos_);
+        if (c == '"')
+            return parseString();
+        return parseAtom();
+    }
+
+    Sexpr
+    parseList()
+    {
+        ++pos_; // consume '('
+        Sexpr list;
+        list.kind = Sexpr::Kind::List;
+        while (true) {
+            skipWs();
+            fatalIf(pos_ >= src_.size(), "clips reader: unbalanced '('");
+            if (src_[pos_] == ')') {
+                ++pos_;
+                return list;
+            }
+            list.items.push_back(parseExpr());
+        }
+    }
+
+    Sexpr
+    parseString()
+    {
+        ++pos_; // consume opening quote
+        Sexpr node;
+        node.kind = Sexpr::Kind::String;
+        while (true) {
+            fatalIf(pos_ >= src_.size(), "clips reader: unclosed string");
+            char c = src_[pos_++];
+            if (c == '"')
+                return node;
+            if (c == '\\') {
+                fatalIf(pos_ >= src_.size(),
+                        "clips reader: dangling escape");
+                char esc = src_[pos_++];
+                switch (esc) {
+                  case 'n': node.text.push_back('\n'); break;
+                  case 't': node.text.push_back('\t'); break;
+                  default: node.text.push_back(esc); break;
+                }
+            } else {
+                node.text.push_back(c);
+            }
+        }
+    }
+
+    Sexpr
+    parseAtom()
+    {
+        size_t start = pos_;
+        while (pos_ < src_.size() && !isDelim(src_[pos_]))
+            ++pos_;
+        std::string tok = src_.substr(start, pos_ - start);
+        fatalIf(tok.empty(), "clips reader: empty token");
+
+        Sexpr node;
+        // Variables: $?x, ?*x*, ?x.
+        if (tok.size() > 2 && tok[0] == '$' && tok[1] == '?') {
+            node.kind = Sexpr::Kind::MultiVar;
+            node.text = tok.substr(2);
+            return node;
+        }
+        if (tok.size() > 3 && tok[0] == '?' && tok[1] == '*' &&
+            tok.back() == '*') {
+            node.kind = Sexpr::Kind::GlobalVar;
+            node.text = tok.substr(2, tok.size() - 3);
+            return node;
+        }
+        if (tok.size() > 1 && tok[0] == '?') {
+            node.kind = Sexpr::Kind::Variable;
+            node.text = tok.substr(1);
+            return node;
+        }
+
+        // Numbers: optional sign, digits, optional fraction/exponent.
+        char *end = nullptr;
+        if (std::isdigit((unsigned char)tok[0]) ||
+            ((tok[0] == '-' || tok[0] == '+') && tok.size() > 1 &&
+             std::isdigit((unsigned char)tok[1]))) {
+            long long iv = std::strtoll(tok.c_str(), &end, 10);
+            if (end && *end == '\0') {
+                node.kind = Sexpr::Kind::Integer;
+                node.intValue = iv;
+                return node;
+            }
+            double fv = std::strtod(tok.c_str(), &end);
+            if (end && *end == '\0') {
+                node.kind = Sexpr::Kind::Float;
+                node.floatValue = fv;
+                return node;
+            }
+        }
+
+        node.kind = Sexpr::Kind::Symbol;
+        node.text = tok;
+        return node;
+    }
+
+    const std::string &src_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<Sexpr>
+parseSexprs(const std::string &source)
+{
+    return Parser(source).parseAll();
+}
+
+Sexpr
+parseOneSexpr(const std::string &source)
+{
+    auto all = parseSexprs(source);
+    fatalIf(all.size() != 1, "expected exactly one expression, got ",
+            all.size());
+    return all[0];
+}
+
+} // namespace hth::clips

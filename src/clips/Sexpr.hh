@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The CLIPS reader: tokenizer and s-expression parser.
+ *
+ * The reader understands the lexical syntax used by CLIPS constructs:
+ * `;` comments, double-quoted strings with backslash escapes,
+ * integers, floats, symbols (including `=>`, `<-` and `crlf`), single
+ * variables `?x`, multifield variables `$?x` and global variables
+ * `?*x*`.
+ */
+
+#ifndef HTH_CLIPS_SEXPR_HH
+#define HTH_CLIPS_SEXPR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hth::clips
+{
+
+/** A parsed s-expression node. */
+struct Sexpr
+{
+    enum class Kind {
+        List,       //!< (item ...)
+        Symbol,     //!< bare word
+        String,     //!< "text"
+        Integer,    //!< 42
+        Float,      //!< 4.2
+        Variable,   //!< ?x
+        MultiVar,   //!< $?x
+        GlobalVar,  //!< ?*x*
+    };
+
+    Kind kind = Kind::List;
+    std::string text;           //!< payload for all non-numeric kinds
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    std::vector<Sexpr> items;   //!< children for List
+
+    bool isList() const { return kind == Kind::List; }
+    bool isSymbol() const { return kind == Kind::Symbol; }
+    bool isSymbol(const std::string &s) const
+    {
+        return kind == Kind::Symbol && text == s;
+    }
+
+    /** Head symbol of a list, or "" when not a symbol-headed list. */
+    std::string head() const;
+
+    /** Render back to source-ish text (for diagnostics). */
+    std::string toString() const;
+};
+
+/**
+ * Parse all top-level s-expressions in @p source.
+ *
+ * @throws hth::FatalError on malformed input.
+ */
+std::vector<Sexpr> parseSexprs(const std::string &source);
+
+/** Parse exactly one s-expression; fatal if none or trailing junk. */
+Sexpr parseOneSexpr(const std::string &source);
+
+} // namespace hth::clips
+
+#endif // HTH_CLIPS_SEXPR_HH

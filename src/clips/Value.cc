@@ -1,0 +1,160 @@
+#include "clips/Value.hh"
+
+#include <sstream>
+
+#include "support/Logging.hh"
+
+namespace hth::clips
+{
+
+Value
+Value::sym(std::string s)
+{
+    Value v;
+    v.type_ = Type::Symbol;
+    v.text_ = std::move(s);
+    return v;
+}
+
+Value
+Value::str(std::string s)
+{
+    Value v;
+    v.type_ = Type::String;
+    v.text_ = std::move(s);
+    return v;
+}
+
+Value
+Value::integer(int64_t i)
+{
+    Value v;
+    v.type_ = Type::Integer;
+    v.text_.clear();
+    v.int_ = i;
+    return v;
+}
+
+Value
+Value::real(double f)
+{
+    Value v;
+    v.type_ = Type::Float;
+    v.text_.clear();
+    v.float_ = f;
+    return v;
+}
+
+Value
+Value::multi(std::vector<Value> items)
+{
+    // Multifields are flat in CLIPS; splice any nested multifields.
+    std::vector<Value> flat;
+    flat.reserve(items.size());
+    for (auto &item : items) {
+        if (item.isMulti()) {
+            for (auto &sub : item.items())
+                flat.push_back(std::move(sub));
+        } else {
+            flat.push_back(std::move(item));
+        }
+    }
+    Value v;
+    v.type_ = Type::Multi;
+    v.text_.clear();
+    v.items_ = std::move(flat);
+    return v;
+}
+
+Value
+Value::boolean(bool b)
+{
+    return sym(b ? "TRUE" : "FALSE");
+}
+
+double
+Value::asDouble() const
+{
+    if (isInteger())
+        return (double)int_;
+    if (isFloat())
+        return float_;
+    panic("non-numeric value in arithmetic: ", toString());
+}
+
+bool
+Value::truthy() const
+{
+    return !(isSymbol() && text_ == "FALSE");
+}
+
+bool
+Value::operator==(const Value &other) const
+{
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::Symbol:
+      case Type::String:
+        return text_ == other.text_;
+      case Type::Integer:
+        return int_ == other.int_;
+      case Type::Float:
+        return float_ == other.float_;
+      case Type::Multi:
+        return items_ == other.items_;
+    }
+    return false;
+}
+
+std::string
+Value::toString() const
+{
+    switch (type_) {
+      case Type::Symbol:
+        return text_;
+      case Type::String:
+        return "\"" + text_ + "\"";
+      case Type::Integer:
+        return std::to_string(int_);
+      case Type::Float: {
+        std::ostringstream oss;
+        oss << float_;
+        return oss.str();
+      }
+      case Type::Multi: {
+        std::string out = "(";
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += " ";
+            out += items_[i].toString();
+        }
+        out += ")";
+        return out;
+      }
+    }
+    return "?";
+}
+
+std::string
+Value::display() const
+{
+    switch (type_) {
+      case Type::Symbol:
+      case Type::String:
+        return text_;
+      case Type::Multi: {
+        std::string out;
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += " ";
+            out += items_[i].display();
+        }
+        return out;
+      }
+      default:
+        return toString();
+    }
+}
+
+} // namespace hth::clips

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The CLIPS value model.
+ *
+ * CLIPS primitive types reproduced here: SYMBOL, STRING, INTEGER,
+ * FLOAT and MULTIFIELD (a flat sequence of the scalar types).
+ * Booleans follow CLIPS convention: the symbols TRUE and FALSE, with
+ * every value other than FALSE considered true in a condition.
+ */
+
+#ifndef HTH_CLIPS_VALUE_HH
+#define HTH_CLIPS_VALUE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hth::clips
+{
+
+/** A dynamically typed CLIPS value. */
+class Value
+{
+  public:
+    enum class Type { Symbol, String, Integer, Float, Multi };
+
+    /** Default construction yields the symbol nil. */
+    Value() : type_(Type::Symbol), text_("nil") {}
+
+    /** @name Factory constructors @{ */
+    static Value sym(std::string s);
+    static Value str(std::string s);
+    static Value integer(int64_t i);
+    static Value real(double f);
+    static Value multi(std::vector<Value> items);
+    static Value boolean(bool b);
+    /** @} */
+
+    Type type() const { return type_; }
+    bool isSymbol() const { return type_ == Type::Symbol; }
+    bool isString() const { return type_ == Type::String; }
+    bool isInteger() const { return type_ == Type::Integer; }
+    bool isFloat() const { return type_ == Type::Float; }
+    bool isMulti() const { return type_ == Type::Multi; }
+    bool isNumber() const { return isInteger() || isFloat(); }
+
+    /** Text payload; valid for Symbol and String values. */
+    const std::string &text() const { return text_; }
+    int64_t intValue() const { return int_; }
+    double floatValue() const { return float_; }
+
+    /** Numeric value widened to double; panics on non-numbers. */
+    double asDouble() const;
+
+    /** Multifield elements; valid for Multi values. */
+    const std::vector<Value> &items() const { return items_; }
+    std::vector<Value> &items() { return items_; }
+
+    /** CLIPS truthiness: everything except the symbol FALSE. */
+    bool truthy() const;
+
+    /** Structural equality, CLIPS `eq` semantics (type sensitive). */
+    bool operator==(const Value &other) const;
+    bool operator!=(const Value &other) const { return !(*this == other); }
+
+    /** Render in CLIPS display syntax (strings quoted). */
+    std::string toString() const;
+
+    /**
+     * Render without string quoting, the way printout displays
+     * values.
+     */
+    std::string display() const;
+
+  private:
+    Type type_;
+    std::string text_;
+    int64_t int_ = 0;
+    double float_ = 0.0;
+    std::vector<Value> items_;
+};
+
+} // namespace hth::clips
+
+#endif // HTH_CLIPS_VALUE_HH

@@ -1,0 +1,53 @@
+#include "core/Hth.hh"
+
+namespace hth
+{
+
+size_t
+Report::countByRule(const std::string &rule) const
+{
+    size_t n = 0;
+    for (const auto &w : warnings)
+        if (w.rule == rule)
+            ++n;
+    return n;
+}
+
+Hth::Hth(HthOptions options) : options_(std::move(options))
+{
+    kernel_ = std::make_unique<os::Kernel>();
+    kernel_->setTaintTracking(options_.taintTracking);
+    kernel_->setProcessLimit(options_.processLimit);
+    libc_ = os::installLibc(*kernel_);
+
+    secpert_ = std::make_unique<secpert::Secpert>(options_.policy);
+    harrier_ =
+        std::make_unique<harrier::Harrier>(*secpert_, options_.harrier);
+    harrier_->attach(*kernel_);
+}
+
+Hth::~Hth() = default;
+
+Report
+Hth::monitor(const std::string &path,
+             const std::vector<std::string> &argv,
+             const std::vector<std::string> &env,
+             const std::string &stdin_data)
+{
+    os::Process &proc = kernel_->spawn(path, argv, env);
+    proc.stdinData = stdin_data;
+
+    Report report;
+    report.status = kernel_->run(options_.maxTicks);
+    report.warnings = secpert_->warnings();
+    report.transcript = secpert_->transcript();
+    report.stdoutData = proc.stdoutData;
+    report.exitCode = proc.exitCode;
+    report.instructions = kernel_->now();
+    report.syscalls = kernel_->stats().syscalls;
+    report.eventsAnalyzed = secpert_->stats().eventsAnalyzed;
+    report.rulesFired = secpert_->stats().rulesFired;
+    return report;
+}
+
+} // namespace hth

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The HTH public API.
+ *
+ * hth::Hth wires the whole framework together: a simulated kernel
+ * with the trusted libc, the Harrier monitor and the Secpert expert
+ * system. Users configure the guest world (binaries, files, network
+ * peers), then run a program under full monitoring and receive a
+ * Report of everything the policy flagged.
+ *
+ * Typical use:
+ * @code
+ *   hth::Hth hth;
+ *   hth.kernel().vfs().addBinary("/bin/evil", image);
+ *   hth::Report report = hth.monitor("/bin/evil", {"/bin/evil"});
+ *   if (report.flagged())
+ *       ... inspect report.warnings ...
+ * @endcode
+ */
+
+#ifndef HTH_CORE_HTH_HH
+#define HTH_CORE_HTH_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harrier/Harrier.hh"
+#include "os/Kernel.hh"
+#include "os/Libc.hh"
+#include "secpert/Secpert.hh"
+
+namespace hth
+{
+
+/** Framework-wide options. */
+struct HthOptions
+{
+    /** Instruction-level data-flow tracking (§7.3). */
+    bool taintTracking = true;
+
+    harrier::HarrierConfig harrier;
+    secpert::PolicyConfig policy;
+
+    /** Virtual-tick budget per monitored run. */
+    uint64_t maxTicks = 20000000;
+
+    /** Live-process cap (fork-bomb containment). */
+    size_t processLimit = 200;
+};
+
+/** Everything HTH observed and concluded about one run. */
+struct Report
+{
+    os::RunStatus status = os::RunStatus::Done;
+    std::vector<secpert::Warning> warnings;
+    std::string transcript;        //!< paper-style rule output
+    std::string stdoutData;        //!< the monitored program's stdout
+    int exitCode = 0;
+
+    /** Execution statistics for the performance evaluation. */
+    uint64_t instructions = 0;
+    uint64_t syscalls = 0;
+    uint64_t eventsAnalyzed = 0;
+    uint64_t rulesFired = 0;
+
+    /** True when any warning was raised. */
+    bool flagged() const { return !warnings.empty(); }
+
+    /** True when a warning of at least @p floor was raised. */
+    bool
+    flagged(secpert::Severity floor) const
+    {
+        for (const auto &w : warnings)
+            if ((int)w.severity >= (int)floor)
+                return true;
+        return false;
+    }
+
+    secpert::Severity
+    maxSeverity() const
+    {
+        return secpert::maxSeverity(warnings);
+    }
+
+    /** Number of warnings raised by @p rule. */
+    size_t countByRule(const std::string &rule) const;
+};
+
+/** The Hunting-Trojan-Horses framework. */
+class Hth
+{
+  public:
+    explicit Hth(HthOptions options = {});
+    ~Hth();
+
+    Hth(const Hth &) = delete;
+    Hth &operator=(const Hth &) = delete;
+
+    /** The guest world: register binaries, files, remotes here. */
+    os::Kernel &kernel() { return *kernel_; }
+
+    harrier::Harrier &harrier() { return *harrier_; }
+    secpert::Secpert &secpert() { return *secpert_; }
+    const HthOptions &options() const { return options_; }
+
+    /**
+     * Run @p path under full monitoring until the guest world goes
+     * idle, and report what the policy concluded.
+     */
+    Report monitor(const std::string &path,
+                   const std::vector<std::string> &argv,
+                   const std::vector<std::string> &env = {},
+                   const std::string &stdin_data = "");
+
+  private:
+    HthOptions options_;
+    std::unique_ptr<os::Kernel> kernel_;
+    std::unique_ptr<secpert::Secpert> secpert_;
+    std::unique_ptr<harrier::Harrier> harrier_;
+    os::LibcHandles libc_;
+};
+
+} // namespace hth
+
+#endif // HTH_CORE_HTH_HH

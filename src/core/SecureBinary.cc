@@ -1,0 +1,74 @@
+#include "core/SecureBinary.hh"
+
+#include <cctype>
+
+#include "support/StrUtil.hh"
+
+namespace hth
+{
+
+namespace
+{
+
+/** Heuristic: "/usr/bin/x", "./relative", "file.ext" shapes. */
+bool
+looksLikePath(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    if (s[0] == '/' || startsWith(s, "./") || startsWith(s, "../"))
+        return true;
+    // name.ext with a short alphabetic extension
+    size_t dot = s.rfind('.');
+    if (dot != std::string::npos && dot > 0 && dot + 1 < s.size() &&
+        s.size() - dot - 1 <= 4) {
+        bool alpha = true;
+        for (size_t i = dot + 1; i < s.size(); ++i)
+            alpha = alpha && std::isalpha((unsigned char)s[i]);
+        if (alpha)
+            return true;
+    }
+    return false;
+}
+
+/** Heuristic: "host:port" with a numeric port. */
+bool
+looksLikeSocketAddress(const std::string &s)
+{
+    size_t colon = s.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= s.size())
+        return false;
+    for (size_t i = colon + 1; i < s.size(); ++i)
+        if (!std::isdigit((unsigned char)s[i]))
+            return false;
+    // Host part: letters, digits, dots, dashes.
+    for (size_t i = 0; i < colon; ++i) {
+        char c = s[i];
+        if (!std::isalnum((unsigned char)c) && c != '.' && c != '-')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+SecureBinaryReport
+verifySecureBinary(const vm::Image &image)
+{
+    SecureBinaryReport report;
+    for (const std::string &s : extractStrings(image.data)) {
+        SecureBinaryFinding finding;
+        finding.value = s;
+        if (looksLikeSocketAddress(s))
+            finding.kind = SecureBinaryFinding::Kind::SocketAddress;
+        else if (looksLikePath(s))
+            finding.kind = SecureBinaryFinding::Kind::FilePath;
+        else
+            finding.kind = SecureBinaryFinding::Kind::RawString;
+        report.findings.push_back(std::move(finding));
+    }
+    return report;
+}
+
+} // namespace hth

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Secure Binary verification (paper Appendix B).
+ *
+ * A Secure Binary is a binary that can be statically verified to
+ * contain no hard-coded data usable as a resource name or resource
+ * content. The paper's relaxed rule: no file name or socket name may
+ * be hard-coded, and data written to such resources must never be
+ * hard-coded. This pass makes the concept executable: it scans an
+ * image's data section for resource-name-like strings and flags
+ * every hard-coded candidate.
+ */
+
+#ifndef HTH_CORE_SECUREBINARY_HH
+#define HTH_CORE_SECUREBINARY_HH
+
+#include <string>
+#include <vector>
+
+#include "vm/Image.hh"
+
+namespace hth
+{
+
+/** One hard-coded candidate resource name found in a binary. */
+struct SecureBinaryFinding
+{
+    enum class Kind
+    {
+        FilePath,       //!< looks like a file-system path
+        SocketAddress,  //!< looks like host:port
+        RawString,      //!< other embedded string (relaxed-rule info)
+    };
+
+    Kind kind = Kind::RawString;
+    std::string value;
+};
+
+/** Verification result. */
+struct SecureBinaryReport
+{
+    std::vector<SecureBinaryFinding> findings;
+
+    /** Strict rule (App. B rule 1): no hard-coded data at all. */
+    bool strictlySecure() const { return findings.empty(); }
+
+    /**
+     * Relaxed rule (App. B rule 1'): no hard-coded resource names.
+     */
+    bool
+    secure() const
+    {
+        for (const auto &f : findings)
+            if (f.kind != SecureBinaryFinding::Kind::RawString)
+                return false;
+        return true;
+    }
+};
+
+/** Statically verify @p image against the Secure Binary rules. */
+SecureBinaryReport verifySecureBinary(const vm::Image &image);
+
+} // namespace hth
+
+#endif // HTH_CORE_SECUREBINARY_HH

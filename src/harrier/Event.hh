@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Events Harrier sends to Secpert (paper §6.1.2).
+ *
+ * Two event types: *resource access* (a system call naming a
+ * resource: execve, open, connect, bind, ...) and *resource IO*
+ * (write to / read from a resource). Each carries the resource name,
+ * its type, and the provenance of the name itself — the resource ID
+ * (origin) data sources of Table 2 — plus the time, code frequency
+ * and code address attribution of §6.1.2.
+ */
+
+#ifndef HTH_HARRIER_EVENT_HH
+#define HTH_HARRIER_EVENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "taint/DataSource.hh"
+
+namespace hth::harrier
+{
+
+/** One provenance entry: a data source type plus its resource name. */
+struct OriginRef
+{
+    taint::SourceType type = taint::SourceType::Unknown;
+    std::string name;
+
+    bool operator==(const OriginRef &) const = default;
+};
+
+/** Attribution common to both event types. */
+struct EventContext
+{
+    int pid = 0;
+    std::string binaryPath;     //!< program being monitored
+    uint64_t time = 0;          //!< since process start, scaled
+    uint64_t absTime = 0;       //!< global kernel time, scaled
+    uint64_t frequency = 0;     //!< executions of the triggering BB
+    uint32_t address = 0;       //!< the triggering application BB
+};
+
+/** A system call accessing a resource (§6.1.2 type 1). */
+struct ResourceAccessEvent
+{
+    EventContext ctx;
+    std::string syscall;                //!< "SYS_execve", ...
+    std::string resName;
+    taint::SourceType resType = taint::SourceType::Unknown;
+    std::vector<OriginRef> origins;     //!< provenance of resName
+    bool isProcessCreate = false;       //!< fork / clone
+
+    /** For SYS_brk: bytes of heap growth. */
+    uint64_t amount = 0;
+};
+
+/** A write to / read from a resource (§6.1.2 type 2). */
+struct ResourceIoEvent
+{
+    EventContext ctx;
+    std::string syscall;
+    bool isWrite = false;
+
+    /** One data source of the transferred bytes (one event each). */
+    OriginRef source;
+    std::vector<OriginRef> sourceOrigins;   //!< provenance of its name
+
+    std::string targetName;
+    taint::SourceType targetType = taint::SourceType::Unknown;
+    std::vector<OriginRef> targetOrigins;
+
+    /** Socket-server context (pma-style warnings). */
+    bool viaServer = false;
+    std::string serverName;
+    std::vector<OriginRef> serverOrigins;
+
+    uint32_t length = 0;
+};
+
+/** Receiver of Harrier events (implemented by Secpert). */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+    virtual void onResourceAccess(const ResourceAccessEvent &ev) = 0;
+    virtual void onResourceIo(const ResourceIoEvent &ev) = 0;
+};
+
+} // namespace hth::harrier
+
+#endif // HTH_HARRIER_EVENT_HH

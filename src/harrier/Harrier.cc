@@ -1,0 +1,258 @@
+#include "harrier/Harrier.hh"
+
+#include "os/Libc.hh"
+#include "support/Logging.hh"
+
+namespace hth::harrier
+{
+
+using taint::SourceType;
+using taint::TagSetId;
+using taint::TagStore;
+
+Harrier::Harrier(EventSink &sink, HarrierConfig config)
+    : sink_(sink), config_(config)
+{
+}
+
+void
+Harrier::attach(os::Kernel &kernel)
+{
+    kernel_ = &kernel;
+    kernel.setMonitor(this);
+    kernel.setInstrumentor(this);
+}
+
+Harrier::ProcMon &
+Harrier::monOf(const os::Process &p)
+{
+    return procs_[p.pid];
+}
+
+//
+// Basic-block frequency with application-image attribution (§7.4)
+//
+
+void
+Harrier::basicBlock(vm::Machine &m, uint32_t pc)
+{
+    ++stats_.bbCallbacks;
+    auto it = machinePids_.find(&m);
+    if (it == machinePids_.end())
+        return;
+    const vm::LoadedImage *app = m.appImage();
+    if (!app || !app->containsText(pc))
+        return; // shared-object code: keep the last application BB
+    ProcMon &mon = procs_[it->second];
+    ++mon.bbCount[pc];
+    mon.lastAppBb = pc;
+}
+
+uint64_t
+Harrier::bbCount(int pid, uint32_t addr) const
+{
+    auto it = procs_.find(pid);
+    if (it == procs_.end())
+        return 0;
+    auto bit = it->second.bbCount.find(addr);
+    return bit == it->second.bbCount.end() ? 0 : bit->second;
+}
+
+//
+// Process lifecycle
+//
+
+void
+Harrier::processStarted(os::Kernel &k, os::Process &p)
+{
+    (void)k;
+    // A fresh image (spawn or execve) restarts frequency counting.
+    procs_[p.pid] = ProcMon{};
+    machinePids_[&p.machine] = p.pid;
+}
+
+void
+Harrier::processExited(os::Kernel &k, os::Process &p, int code)
+{
+    (void)k;
+    (void)code;
+    machinePids_.erase(&p.machine);
+}
+
+//
+// Event formatting
+//
+
+EventContext
+Harrier::makeContext(os::Kernel &k, os::Process &p)
+{
+    ProcMon &mon = monOf(p);
+    EventContext ctx;
+    ctx.pid = p.pid;
+    ctx.binaryPath = p.binaryPath;
+    const uint64_t scale = config_.timeScale ? config_.timeScale : 1;
+    ctx.time = (k.now() - p.startTime) / scale;
+    ctx.absTime = k.now() / scale;
+    ctx.address = mon.lastAppBb;
+    auto it = mon.bbCount.find(mon.lastAppBb);
+    ctx.frequency = it == mon.bbCount.end() ? 0 : it->second;
+    return ctx;
+}
+
+std::vector<OriginRef>
+Harrier::originsOf(os::Kernel &k, TagSetId tags) const
+{
+    std::vector<OriginRef> out;
+    for (const taint::Tag &tag : k.tagStore().tags(tags)) {
+        OriginRef ref;
+        ref.type = tag.type;
+        if (tag.type == SourceType::Hardware) {
+            ref.name = "CPU";
+        } else if (tag.res == taint::NO_RESOURCE) {
+            ref.name = sourceTypeName(tag.type);
+        } else {
+            ref.name = k.resource(tag.res).name;
+        }
+        out.push_back(std::move(ref));
+    }
+    return out;
+}
+
+void
+Harrier::syscallEvent(os::Kernel &k, os::Process &p,
+                      const os::SyscallView &view)
+{
+    if (view.isWrite) {
+        ResourceIoEvent ev;
+        ev.ctx = makeContext(k, p);
+        ev.syscall = view.name;
+        ev.isWrite = true;
+        ev.length = view.len;
+        ev.targetName = view.resName;
+        ev.targetType = view.resType;
+        ev.targetOrigins = originsOf(k, view.resNameTags);
+        if (view.viaServer) {
+            // Writing to an accepted connection: the policy reasons
+            // about the *server* socket's address provenance (§8.3.6).
+            const taint::Resource &srv =
+                k.resource(view.serverResource);
+            ev.viaServer = true;
+            ev.serverName = srv.name;
+            ev.serverOrigins = originsOf(k, srv.nameOrigin);
+            ev.targetOrigins = ev.serverOrigins;
+        }
+
+        const auto &tags = k.tagStore().tags(view.dataTags);
+        if (tags.empty()) {
+            // Untainted data: still report the write, sourceless.
+            ++stats_.ioEvents;
+            sink_.onResourceIo(ev);
+            return;
+        }
+        // One event per data source so the policy can reason about
+        // each flow separately (the paper prints one warning per
+        // source, e.g. libcrypto and libreadline for pwsafe).
+        for (const taint::Tag &tag : tags) {
+            ResourceIoEvent per = ev;
+            per.source.type = tag.type;
+            if (tag.type == SourceType::Hardware) {
+                per.source.name = "CPU";
+            } else if (tag.res == taint::NO_RESOURCE) {
+                per.source.name = sourceTypeName(tag.type);
+            } else {
+                const taint::Resource &res = k.resource(tag.res);
+                per.source.name = res.name;
+                per.sourceOrigins = originsOf(k, res.nameOrigin);
+                if (res.server != taint::NO_RESOURCE) {
+                    // Data read from an accepted connection: attach
+                    // the server context and reason with the server
+                    // address's provenance.
+                    const taint::Resource &srv =
+                        k.resource(res.server);
+                    per.viaServer = true;
+                    per.serverName = srv.name;
+                    per.serverOrigins = originsOf(k, srv.nameOrigin);
+                    per.sourceOrigins = per.serverOrigins;
+                }
+            }
+            ++stats_.ioEvents;
+            sink_.onResourceIo(per);
+        }
+        return;
+    }
+
+    if (view.isRead) {
+        if (!config_.forwardReads)
+            return;
+        ResourceIoEvent ev;
+        ev.ctx = makeContext(k, p);
+        ev.syscall = view.name;
+        ev.isWrite = false;
+        ev.length = view.len;
+        ev.source.type = view.resType;
+        ev.source.name = view.resName;
+        ev.sourceOrigins = originsOf(k, view.resNameTags);
+        ev.targetName = "memory";
+        ev.targetType = SourceType::Unknown;
+        if (view.viaServer) {
+            const taint::Resource &srv =
+                k.resource(view.serverResource);
+            ev.viaServer = true;
+            ev.serverName = srv.name;
+            ev.serverOrigins = originsOf(k, srv.nameOrigin);
+        }
+        ++stats_.ioEvents;
+        sink_.onResourceIo(ev);
+        return;
+    }
+
+    ResourceAccessEvent ev;
+    ev.ctx = makeContext(k, p);
+    ev.syscall = view.name;
+    ev.resName = view.resName;
+    ev.resType = view.resType;
+    ev.origins = originsOf(k, view.resNameTags);
+    ev.isProcessCreate = view.isProcessCreate;
+    ev.amount = view.amount;
+    ++stats_.accessEvents;
+    sink_.onResourceAccess(ev);
+}
+
+//
+// Library-call short-circuit (§7.2)
+//
+
+void
+Harrier::nativePre(os::Kernel &k, os::Process &p,
+                   const std::string &name)
+{
+    (void)k;
+    if (name != "gethostbyname")
+        return;
+    uint32_t name_ptr = os::nativeArg(p, 0);
+    monOf(p).pendingNameTags = p.machine.taintTracking()
+                                   ? p.machine.stringTags(name_ptr)
+                                   : TagStore::EMPTY;
+}
+
+void
+Harrier::nativePost(os::Kernel &k, os::Process &p,
+                    const std::string &name)
+{
+    (void)k;
+    if (name != "gethostbyname" ||
+        !config_.shortCircuitHostResolution ||
+        !p.machine.taintTracking())
+        return;
+    uint32_t buf = p.machine.reg(vm::Reg::Eax);
+    if (!buf)
+        return;
+    // Treat the resolution as atomic: the resolved address inherits
+    // the provenance of the host-name argument.
+    size_t len = p.machine.mem().readCString(buf).size();
+    p.machine.shadow().setRange(buf, (uint32_t)len + 1,
+                                monOf(p).pendingNameTags);
+    ++stats_.shortCircuits;
+}
+
+} // namespace hth::harrier

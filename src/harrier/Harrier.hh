@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Harrier: the HTH run-time monitor (paper §7).
+ *
+ * Harrier attaches to the VM as a PIN-style instrumentor and to the
+ * kernel as its syscall monitor. It maintains per-process basic-block
+ * frequency counters restricted to the application image with
+ * "last application BB" attribution across shared-object calls
+ * (§7.4, Fig. 3), implements the gethostbyname short-circuit
+ * (§7.2), and converts decoded system calls into the resource-access
+ * and resource-IO events Secpert consumes (§6.1).
+ */
+
+#ifndef HTH_HARRIER_HARRIER_HH
+#define HTH_HARRIER_HARRIER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harrier/Event.hh"
+#include "os/Kernel.hh"
+#include "os/Monitor.hh"
+#include "vm/Machine.hh"
+
+namespace hth::harrier
+{
+
+/** Harrier configuration. */
+struct HarrierConfig
+{
+    /**
+     * Treat host-resolution routines as atomic and copy the input
+     * name's provenance onto the resolved address (§7.2). Disabling
+     * this reproduces the failure mode the paper motivates the
+     * mechanism with: the resolved address carries the resolver
+     * database's provenance instead.
+     */
+    bool shortCircuitHostResolution = true;
+
+    /** Kernel ticks per reported event time unit. */
+    uint64_t timeScale = 100;
+
+    /** Forward read events (writes always forwarded). */
+    bool forwardReads = true;
+};
+
+/** Monitor statistics (performance evaluation §9). */
+struct HarrierStats
+{
+    uint64_t bbCallbacks = 0;
+    uint64_t accessEvents = 0;
+    uint64_t ioEvents = 0;
+    uint64_t shortCircuits = 0;
+};
+
+/** The run-time monitor. */
+class Harrier : public vm::Instrumentor, public os::Monitor
+{
+  public:
+    Harrier(EventSink &sink, HarrierConfig config = {});
+
+    /** Attach to a kernel (installs both hook surfaces). */
+    void attach(os::Kernel &kernel);
+
+    /** @name vm::Instrumentor @{ */
+    void basicBlock(vm::Machine &m, uint32_t pc) override;
+    /** @} */
+
+    /** @name os::Monitor @{ */
+    void processStarted(os::Kernel &k, os::Process &p) override;
+    void processExited(os::Kernel &k, os::Process &p,
+                       int code) override;
+    void syscallEvent(os::Kernel &k, os::Process &p,
+                      const os::SyscallView &view) override;
+    void nativePre(os::Kernel &k, os::Process &p,
+                   const std::string &name) override;
+    void nativePost(os::Kernel &k, os::Process &p,
+                    const std::string &name) override;
+    /** @} */
+
+    const HarrierStats &stats() const { return stats_; }
+    const HarrierConfig &config() const { return config_; }
+
+    /** BB execution count observed at @p addr for @p pid. */
+    uint64_t bbCount(int pid, uint32_t addr) const;
+
+  private:
+    struct ProcMon
+    {
+        std::unordered_map<uint32_t, uint64_t> bbCount;
+        uint32_t lastAppBb = 0;
+        taint::TagSetId pendingNameTags = taint::TagStore::EMPTY;
+    };
+
+    ProcMon &monOf(const os::Process &p);
+    EventContext makeContext(os::Kernel &k, os::Process &p);
+    std::vector<OriginRef> originsOf(os::Kernel &k,
+                                     taint::TagSetId tags) const;
+
+    EventSink &sink_;
+    HarrierConfig config_;
+    os::Kernel *kernel_ = nullptr;
+    std::map<int, ProcMon> procs_;
+    std::unordered_map<const vm::Machine *, int> machinePids_;
+    HarrierStats stats_;
+};
+
+} // namespace hth::harrier
+
+#endif // HTH_HARRIER_HARRIER_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The simulated operating system kernel.
+ *
+ * Implements the i386 Linux system-call subset HTH monitors
+ * (§7.1), a process table with a round-robin scheduler, blocking
+ * IO over files / FIFOs / sockets, and the resource table that
+ * gives every file, socket and binary an identity plus the
+ * provenance of its *name* (the resource ID (origin) data source
+ * of Table 2).
+ *
+ * The kernel is taint-aware: read() tags the destination buffer
+ * with the source resource, loaded binaries are tagged BINARY by
+ * the VM loader, the initial stack is tagged USER_INPUT (§7.3.3).
+ */
+
+#ifndef HTH_OS_KERNEL_HH
+#define HTH_OS_KERNEL_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/Monitor.hh"
+#include "os/Net.hh"
+#include "os/Process.hh"
+#include "os/Syscalls.hh"
+#include "os/Vfs.hh"
+#include "taint/DataSource.hh"
+#include "taint/TagSet.hh"
+
+namespace hth::os
+{
+
+/** Why Kernel::run returned. */
+enum class RunStatus
+{
+    Done,       //!< every process exited
+    Stalled,    //!< deadlock: blocked processes, nothing can progress
+    TickLimit,  //!< tick budget exhausted
+};
+
+/** Kernel-wide statistics. */
+struct KernelStats
+{
+    uint64_t processesCreated = 0;
+    uint64_t syscalls = 0;
+    uint64_t contextSwitches = 0;
+    uint64_t stdinBytesRead = 0;
+    uint64_t socketBytesRead = 0;
+};
+
+/** The simulated OS. */
+class Kernel
+{
+  public:
+    /** Handler body of a native (C++-implemented) library routine. */
+    using NativeHandler = std::function<void(Kernel &, Process &)>;
+
+    /** Instructions per scheduling quantum. */
+    static constexpr uint64_t QUANTUM = 64;
+
+    Kernel();
+
+    /** @name Subsystems @{ */
+    Vfs &vfs() { return vfs_; }
+    Network &net() { return net_; }
+    taint::TagStore &tagStore() { return tags_; }
+    taint::ResourceTable &resources() { return resources_; }
+    const taint::ResourceTable &resources() const { return resources_; }
+    /** @} */
+
+    /** @name Configuration @{ */
+
+    void setMonitor(Monitor *monitor) { monitor_ = monitor; }
+    Monitor *monitor() const { return monitor_; }
+
+    /** Enable instruction-level taint tracking in new processes. */
+    void setTaintTracking(bool on) { trackTaint_ = on; }
+    bool taintTracking() const { return trackTaint_; }
+
+    /** PIN-style instrumentor installed into every new machine. */
+    void setInstrumentor(vm::Instrumentor *ins) { instrumentor_ = ins; }
+
+    /** Shared object mapped into every process (load order). */
+    void addSharedObject(std::shared_ptr<const vm::Image> image);
+
+    /** Register the C++ body of a native library routine. */
+    void registerNative(const std::string &name, NativeHandler handler);
+
+    /** Cap on concurrently live processes (fork-bomb safety). */
+    void setProcessLimit(size_t limit) { processLimit_ = limit; }
+
+    /** @} */
+    /** @name Process management @{ */
+
+    /**
+     * Create a process running the binary registered at @p path with
+     * the given command line and environment.
+     */
+    Process &spawn(const std::string &path,
+                   const std::vector<std::string> &argv,
+                   const std::vector<std::string> &env = {});
+
+    Process *process(int pid);
+    const std::vector<std::unique_ptr<Process>> &
+    processes() const
+    {
+        return processes_;
+    }
+
+    /** Processes not yet exited. */
+    size_t liveProcessCount() const;
+
+    /** @} */
+    /** @name Execution @{ */
+
+    /** Run until every process exits, deadlock, or the tick cap. */
+    RunStatus run(uint64_t max_ticks = 50000000);
+
+    /** Global virtual time (instructions executed). */
+    uint64_t now() const { return time_; }
+
+    const KernelStats &stats() const { return stats_; }
+
+    /** @} */
+    /** @name Queries and services for the monitor / natives @{ */
+
+    /** Resource bound to an fd, or NO_RESOURCE. */
+    taint::ResourceId fdResource(const Process &p, int fd) const;
+
+    /** Name of a resource ("<unknown>" for NO_RESOURCE). */
+    const taint::Resource &resource(taint::ResourceId id) const;
+
+    /** Raise a synthetic monitored event (used by system()). */
+    void emitSyscallEvent(Process &p, const SyscallView &view);
+
+    /** The USER_INPUT tag set (stdin / command line / environment). */
+    taint::TagSetId userInputTags() const { return userInputTag_; }
+
+    /**
+     * Run a shell command on behalf of @p p — the simulated libc
+     * system(3). Parses redirections (`<file`, `>file`, trailing
+     * `&`), FIFO creation via mknod, and spawns registered binaries.
+     * @return 0 on success, -1 when the program is missing.
+     */
+    int runShellCommand(Process &p, const std::string &command,
+                        taint::TagSetId cmd_tags);
+
+    /** Block @p p until @p cond returns true (restart the syscall). */
+    void blockProcess(Process &p, std::function<bool()> cond);
+
+    /** @} */
+
+  private:
+    void runQuantum(Process &p);
+    void handleSyscall(Process &p);
+    void handleNative(Process &p, const std::string &name);
+    void exitProcess(Process &p, int code);
+
+    /** Re-execute the int80 after unblocking. */
+    void restartSyscall(Process &p);
+
+    void setupStdio(Process &p);
+    void loadProcessImages(Process &p, const std::string &path,
+                           std::shared_ptr<const vm::Image> binary);
+    void buildInitialStack(Process &p,
+                           const std::vector<std::string> &argv,
+                           const std::vector<std::string> &env);
+
+    /** @name Syscall implementations @{ */
+    void sysFork(Process &p, bool is_clone);
+    void sysRead(Process &p);
+    void sysWrite(Process &p);
+    void sysOpen(Process &p, bool creat_mode);
+    void sysClose(Process &p);
+    void sysWaitpid(Process &p);
+    void sysUnlink(Process &p);
+    void sysExecve(Process &p);
+    void sysMknod(Process &p);
+    void sysChmod(Process &p);
+    void sysKill(Process &p);
+    void sysDup(Process &p);
+    void sysDup2(Process &p);
+    void sysPipe(Process &p);
+    void sysBrk(Process &p);
+    void sysSocketcall(Process &p);
+    void sysNanosleep(Process &p);
+    /** @} */
+
+    void doWrite(Process &p, OpenFile &f, uint32_t buf, uint32_t len);
+    int doRead(Process &p, OpenFile &f, uint32_t buf, uint32_t len);
+
+    SyscallView fdView(Process &p, int number, int fd) const;
+
+    taint::TagStore tags_;
+    taint::ResourceTable resources_;
+    Vfs vfs_;
+    Network net_;
+
+    std::vector<std::unique_ptr<Process>> processes_;
+    int nextPid_ = 1;
+    uint64_t time_ = 0;
+    size_t processLimit_ = 4096;
+
+    std::vector<std::shared_ptr<const vm::Image>> sharedObjects_;
+    std::map<std::string, NativeHandler> natives_;
+
+    Monitor *monitor_ = nullptr;
+    vm::Instrumentor *instrumentor_ = nullptr;
+    bool trackTaint_ = false;
+
+    taint::ResourceId stdinRes_ = 0;
+    taint::ResourceId stdoutRes_ = 0;
+    taint::ResourceId cmdlineRes_ = 0;
+    taint::TagSetId userInputTag_ = 0;
+
+    KernelStats stats_;
+};
+
+} // namespace hth::os
+
+#endif // HTH_OS_KERNEL_HH

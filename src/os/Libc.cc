@@ -1,0 +1,189 @@
+#include "os/Libc.hh"
+
+#include "support/Logging.hh"
+#include "vm/Asm.hh"
+
+namespace hth::os
+{
+
+using taint::SourceType;
+using taint::TagSetId;
+using taint::TagStore;
+using vm::Reg;
+
+uint32_t
+nativeArg(Process &p, int i)
+{
+    // At native entry the return address sits at [esp]; cdecl
+    // arguments follow.
+    uint32_t esp = p.machine.reg(Reg::Esp);
+    return p.machine.mem().read32(esp + 4 + 4 * (uint32_t)i);
+}
+
+taint::TagSetId
+nativeArgTags(Process &p, int i)
+{
+    uint32_t esp = p.machine.reg(Reg::Esp);
+    return p.machine.rangeTags(esp + 4 + 4 * (uint32_t)i, 4);
+}
+
+namespace
+{
+
+/** Copy a NUL-terminated string plus its shadow tags. */
+uint32_t
+copyStringTagged(Process &p, uint32_t dst, uint32_t src)
+{
+    vm::Machine &m = p.machine;
+    uint32_t i = 0;
+    while (true) {
+        uint8_t b = m.mem().read8(src + i);
+        m.mem().write8(dst + i, b);
+        if (m.taintTracking())
+            m.shadow().set(dst + i, m.shadow().get(src + i));
+        if (b == 0)
+            break;
+        ++i;
+    }
+    return i;
+}
+
+uint32_t
+guestStrlen(Process &p, uint32_t s)
+{
+    uint32_t i = 0;
+    while (p.machine.mem().read8(s + i) != 0)
+        ++i;
+    return i;
+}
+
+} // namespace
+
+LibcHandles
+installLibc(Kernel &kernel)
+{
+    //
+    // Build libc.so: every routine is a native trampoline.
+    //
+    vm::Asm a("/lib/tls/libc.so.6", true);
+    a.dataSpace("__hostbuf", 64);
+    a.dataString("__sh_path", "/bin/sh");
+    a.native("system");
+    a.native("gethostbyname");
+    a.native("sleep");
+    a.native("strcpy");
+    a.native("strcat");
+    a.native("strlen");
+    a.native("memcpy");
+    a.native("itoa");
+    auto libc = a.build();
+
+    vm::Asm b("/lib/ld-linux.so.2", true);
+    b.dataString("__ld_ident", "ld-linux");
+    auto ldso = b.build();
+
+    kernel.addSharedObject(libc);
+    kernel.addSharedObject(ldso);
+
+    // The host-resolution database: conceptually /etc/hosts or a DNS
+    // reply. gethostbyname results carry this provenance unless
+    // Harrier short-circuits them (§7.2).
+    taint::ResourceId hosts_res = kernel.resources().add(
+        SourceType::File, "/etc/hosts", TagStore::EMPTY);
+
+    kernel.registerNative(
+        "system", [](Kernel &k, Process &p) {
+            uint32_t cmd_ptr = nativeArg(p, 0);
+            std::string cmd = p.machine.mem().readCString(cmd_ptr);
+            TagSetId cmd_tags = p.machine.taintTracking()
+                                    ? p.machine.stringTags(cmd_ptr)
+                                    : TagStore::EMPTY;
+            int status = k.runShellCommand(p, cmd, cmd_tags);
+            p.machine.setReg(Reg::Eax, (uint32_t)status);
+            p.machine.setRegTag(Reg::Eax, TagStore::EMPTY);
+        });
+
+    kernel.registerNative(
+        "gethostbyname", [hosts_res](Kernel &k, Process &p) {
+            uint32_t name_ptr = nativeArg(p, 0);
+            std::string name = p.machine.mem().readCString(name_ptr);
+            std::string addr = k.net().resolve(name);
+            if (addr.empty()) {
+                p.machine.setReg(Reg::Eax, 0);
+                p.machine.setRegTag(Reg::Eax, TagStore::EMPTY);
+                return;
+            }
+            uint32_t buf = p.machine.resolveSymbol("__hostbuf");
+            TagSetId db_tags = p.machine.tagStore().single(
+                {SourceType::File, hosts_res});
+            p.machine.writeTagged(buf, addr.c_str(), addr.size() + 1,
+                                  db_tags);
+            p.machine.setReg(Reg::Eax, buf);
+            p.machine.setRegTag(Reg::Eax, db_tags);
+        });
+
+    kernel.registerNative(
+        "sleep", [](Kernel &k, Process &p) {
+            uint64_t ticks = nativeArg(p, 0);
+            p.machine.setReg(Reg::Eax, 0);
+            p.sleeping = true;
+            p.sleepUntil = k.now() + ticks;
+            p.state = ProcState::Blocked;
+        });
+
+    kernel.registerNative(
+        "strcpy", [](Kernel &, Process &p) {
+            uint32_t dst = nativeArg(p, 0);
+            uint32_t src = nativeArg(p, 1);
+            copyStringTagged(p, dst, src);
+            p.machine.setReg(Reg::Eax, dst);
+            p.machine.setRegTag(Reg::Eax, nativeArgTags(p, 0));
+        });
+
+    kernel.registerNative(
+        "strcat", [](Kernel &, Process &p) {
+            uint32_t dst = nativeArg(p, 0);
+            uint32_t src = nativeArg(p, 1);
+            copyStringTagged(p, dst + guestStrlen(p, dst), src);
+            p.machine.setReg(Reg::Eax, dst);
+            p.machine.setRegTag(Reg::Eax, nativeArgTags(p, 0));
+        });
+
+    kernel.registerNative(
+        "strlen", [](Kernel &, Process &p) {
+            p.machine.setReg(Reg::Eax,
+                             guestStrlen(p, nativeArg(p, 0)));
+            p.machine.setRegTag(Reg::Eax, TagStore::EMPTY);
+        });
+
+    kernel.registerNative(
+        "memcpy", [](Kernel &, Process &p) {
+            uint32_t dst = nativeArg(p, 0);
+            uint32_t src = nativeArg(p, 1);
+            uint32_t n = nativeArg(p, 2);
+            vm::Machine &m = p.machine;
+            for (uint32_t i = 0; i < n; ++i) {
+                m.mem().write8(dst + i, m.mem().read8(src + i));
+                if (m.taintTracking())
+                    m.shadow().set(dst + i, m.shadow().get(src + i));
+            }
+            m.setReg(Reg::Eax, dst);
+            m.setRegTag(Reg::Eax, nativeArgTags(p, 0));
+        });
+
+    kernel.registerNative(
+        "itoa", [](Kernel &, Process &p) {
+            uint32_t value = nativeArg(p, 0);
+            uint32_t dst = nativeArg(p, 1);
+            TagSetId tags = nativeArgTags(p, 0);
+            std::string digits = std::to_string(value);
+            p.machine.writeTagged(dst, digits.c_str(),
+                                  digits.size() + 1, tags);
+            p.machine.setReg(Reg::Eax, dst);
+            p.machine.setRegTag(Reg::Eax, TagStore::EMPTY);
+        });
+
+    return {libc, ldso};
+}
+
+} // namespace hth::os

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The simulated C library.
+ *
+ * Builds the trusted shared objects the paper's prototype relies on
+ * (libc.so and ld-linux.so) and registers the native C++ bodies of
+ * their routines with the kernel. Routines that copy memory copy
+ * shadow taint byte-for-byte; gethostbyname writes its result with
+ * the resolver database's provenance so that Harrier's short-circuit
+ * (§7.2) is observable.
+ *
+ * Guest-callable routines (cdecl: arguments pushed right-to-left):
+ *   system(cmd)          — run a shell command (fires SYS_execve of
+ *                          /bin/sh whose name originates in libc)
+ *   gethostbyname(name)  — resolve a host name; returns a pointer to
+ *                          a static buffer holding the address
+ *   sleep(ticks)         — block for virtual ticks
+ *   strcpy(dst, src), strcat(dst, src), strlen(s)
+ *   memcpy(dst, src, n)
+ *   itoa(value, dst)     — decimal rendering, taint follows value
+ */
+
+#ifndef HTH_OS_LIBC_HH
+#define HTH_OS_LIBC_HH
+
+#include <memory>
+
+#include "os/Kernel.hh"
+#include "vm/Image.hh"
+
+namespace hth::os
+{
+
+/** Handles to the installed C library images. */
+struct LibcHandles
+{
+    std::shared_ptr<const vm::Image> libc;
+    std::shared_ptr<const vm::Image> ldso;
+};
+
+/**
+ * Build libc.so + ld-linux.so, register them as shared objects of
+ * every future process, and install their native handlers.
+ */
+LibcHandles installLibc(Kernel &kernel);
+
+/** Read the i-th cdecl argument of the executing native routine. */
+uint32_t nativeArg(Process &p, int i);
+
+/** Taint tags of the i-th cdecl argument word. */
+taint::TagSetId nativeArgTags(Process &p, int i);
+
+} // namespace hth::os
+
+#endif // HTH_OS_LIBC_HH

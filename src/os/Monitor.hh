@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The kernel's monitoring interface — the seam where Harrier attaches.
+ *
+ * The kernel decodes each interesting system call into a SyscallView
+ * *before* executing it (paper §7.1: "Whenever such a system call is
+ * issued, and just before it is executed, an event is generated") and
+ * hands it to the monitor. The monitor also observes native library
+ * routine entry/exit, which Harrier uses for the gethostbyname
+ * short-circuit (§7.2).
+ */
+
+#ifndef HTH_OS_MONITOR_HH
+#define HTH_OS_MONITOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "taint/DataSource.hh"
+#include "taint/TagSet.hh"
+
+namespace hth::os
+{
+
+class Kernel;
+struct Process;
+
+/** A decoded system call, ready for policy analysis. */
+struct SyscallView
+{
+    int number = 0;
+    std::string name;                   //!< "SYS_execve", ...
+
+    /** @name Resource-access events (§6.1.2 type 1) @{ */
+    std::string resName;                //!< "/bin/ls", "duero:40400"
+    taint::SourceType resType = taint::SourceType::Unknown;
+    taint::TagSetId resNameTags = 0;    //!< provenance of the name
+    taint::ResourceId resource = taint::NO_RESOURCE;
+    /** @} */
+
+    /** @name IO events (§6.1.2 type 2) @{ */
+    bool isRead = false;
+    bool isWrite = false;
+    uint32_t buf = 0;
+    uint32_t len = 0;
+    taint::TagSetId dataTags = 0;       //!< union over written bytes
+    /** @} */
+
+    /** @name Socket server context (pma-style warnings) @{ */
+    bool viaServer = false;
+    taint::ResourceId serverResource = taint::NO_RESOURCE;
+    /** @} */
+
+    bool isProcessCreate = false;       //!< fork / clone
+
+    /** For SYS_brk: bytes of heap growth (§10 extension 4). */
+    uint64_t amount = 0;
+};
+
+/** Callbacks the kernel raises toward the monitor (Harrier). */
+class Monitor
+{
+  public:
+    virtual ~Monitor() = default;
+
+    /** A process came to life (after its image + stack are set up). */
+    virtual void processStarted(Kernel &k, Process &p)
+    {
+        (void)k; (void)p;
+    }
+
+    /** A process exited with @p code. */
+    virtual void processExited(Kernel &k, Process &p, int code)
+    {
+        (void)k; (void)p; (void)code;
+    }
+
+    /** An interesting system call is about to execute. */
+    virtual void syscallEvent(Kernel &k, Process &p,
+                              const SyscallView &view)
+    {
+        (void)k; (void)p; (void)view;
+    }
+
+    /** A native library routine named @p name is about to run. */
+    virtual void nativePre(Kernel &k, Process &p,
+                           const std::string &name)
+    {
+        (void)k; (void)p; (void)name;
+    }
+
+    /** The native library routine named @p name just returned. */
+    virtual void nativePost(Kernel &k, Process &p,
+                            const std::string &name)
+    {
+        (void)k; (void)p; (void)name;
+    }
+};
+
+} // namespace hth::os
+
+#endif // HTH_OS_MONITOR_HH

@@ -1,0 +1,171 @@
+#include "os/Net.hh"
+
+#include "support/Logging.hh"
+#include "support/StrUtil.hh"
+
+namespace hth::os
+{
+
+void
+RemoteConn::send(const std::string &data)
+{
+    for (char c : data)
+        guest_->inbox.push_back((uint8_t)c);
+}
+
+void
+RemoteConn::close()
+{
+    guest_->peerClosed = true;
+}
+
+const std::string &
+RemoteConn::received() const
+{
+    return guest_->remoteReceived;
+}
+
+std::string
+Network::addHost(const std::string &name)
+{
+    auto it = dns_.find(name);
+    if (it != dns_.end())
+        return it->second;
+    std::string addr = "10.0.0." + std::to_string(nextHostNum_++);
+    dns_[name] = addr;
+    reverse_[addr] = name;
+    return addr;
+}
+
+std::string
+Network::resolve(const std::string &name) const
+{
+    auto it = dns_.find(name);
+    return it == dns_.end() ? "" : it->second;
+}
+
+std::string
+Network::hostOf(const std::string &addr) const
+{
+    auto it = reverse_.find(addr);
+    return it == reverse_.end() ? "" : it->second;
+}
+
+std::string
+Network::canonical(const std::string &host_port) const
+{
+    size_t colon = host_port.rfind(':');
+    if (colon == std::string::npos) {
+        // Bare address: substitute the host name when known.
+        std::string name = hostOf(host_port);
+        return name.empty() ? host_port : name;
+    }
+    std::string host = host_port.substr(0, colon);
+    std::string port = host_port.substr(colon + 1);
+    std::string name = hostOf(host);
+    if (!name.empty())
+        return name + ":" + port;
+    return host_port;
+}
+
+void
+Network::addRemoteServer(const std::string &host_port, RemotePeer peer)
+{
+    auto shared = std::make_shared<RemotePeer>(std::move(peer));
+    remoteServers_[canonical(host_port)] = shared;
+}
+
+void
+Network::addRemoteClient(const std::string &target_addr, RemotePeer peer)
+{
+    remoteClients_.emplace(canonical(target_addr),
+                           std::make_shared<RemotePeer>(std::move(peer)));
+}
+
+void
+Network::registerListener(const std::string &addr,
+                          std::shared_ptr<Socket> listener)
+{
+    const std::string canon = canonical(addr);
+    listeners_[canon] = listener;
+
+    // Wire every remote client waiting for this server.
+    auto range = remoteClients_.equal_range(canon);
+    for (auto it = range.first; it != range.second; ++it) {
+        auto conn = std::make_shared<Socket>();
+        conn->connected = true;
+        conn->peerAddr = it->second->name;
+        conn->remote = it->second;
+        listener->pendingAccept.push_back(conn);
+        if (it->second->onConnect) {
+            RemoteConn rc(conn.get());
+            it->second->onConnect(rc);
+        }
+    }
+    remoteClients_.erase(range.first, range.second);
+}
+
+bool
+Network::connect(std::shared_ptr<Socket> sock, const std::string &addr)
+{
+    const std::string canon = canonical(addr);
+
+    // A guest server?
+    auto lit = listeners_.find(canon);
+    if (lit != listeners_.end()) {
+        if (auto listener = lit->second.lock()) {
+            auto server_side = std::make_shared<Socket>();
+            server_side->connected = true;
+            server_side->peerAddr = "LocalHost:client";
+            server_side->peer = sock;
+            sock->connected = true;
+            sock->peerAddr = canon;
+            sock->peer = server_side;
+            listener->pendingAccept.push_back(server_side);
+            return true;
+        }
+        listeners_.erase(lit);
+    }
+
+    // A scripted remote server?
+    auto rit = remoteServers_.find(canon);
+    if (rit != remoteServers_.end()) {
+        sock->connected = true;
+        sock->peerAddr = rit->second->name;
+        sock->remote = rit->second;
+        if (rit->second->onConnect) {
+            RemoteConn rc(sock.get());
+            rit->second->onConnect(rc);
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+Network::deliver(Socket &from, const uint8_t *data, size_t len)
+{
+    from.remoteReceived.append((const char *)data, len);
+    if (from.remote) {
+        if (from.remote->onData) {
+            RemoteConn rc(&from);
+            from.remote->onData(rc,
+                                std::string((const char *)data, len));
+        }
+        return;
+    }
+    if (auto peer = from.peer.lock()) {
+        for (size_t i = 0; i < len; ++i)
+            peer->inbox.push_back(data[i]);
+    }
+}
+
+void
+Network::close(Socket &sock)
+{
+    if (auto peer = sock.peer.lock())
+        peer->peerClosed = true;
+    sock.connected = false;
+}
+
+} // namespace hth::os

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The simulated network.
+ *
+ * Provides what the HTH evaluation needs from "the internet":
+ *  - a DNS table for gethostbyname (the §7.2 short-circuit
+ *    experiment),
+ *  - scriptable remote peers the guest can connect *to* (the
+ *    attacker's drop servers, e.g. duero:40400 in the pwsafe
+ *    exfiltration test),
+ *  - remote peers that connect *in* to guest servers (the pma
+ *    attacker issuing shell commands), and
+ *  - guest-to-guest loopback connections.
+ *
+ * Addresses are "host:port" strings throughout.
+ */
+
+#ifndef HTH_OS_NET_HH
+#define HTH_OS_NET_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hth::os
+{
+
+struct Socket;
+
+/** Handle a scripted remote peer uses to talk to its guest socket. */
+class RemoteConn
+{
+  public:
+    explicit RemoteConn(Socket *guest_side) : guest_(guest_side) {}
+
+    /** Queue bytes for the guest to read. */
+    void send(const std::string &data);
+
+    /** Close the remote end (guest reads return EOF afterwards). */
+    void close();
+
+    /** Everything the guest wrote to this connection so far. */
+    const std::string &received() const;
+
+  private:
+    Socket *guest_;
+};
+
+/** A scripted remote endpoint ("the attacker" / "a web server"). */
+struct RemotePeer
+{
+    std::string name;   //!< pretty address, e.g. "duero:40400"
+
+    /** Invoked when a connection to/from this peer is established. */
+    std::function<void(RemoteConn &)> onConnect;
+
+    /** Invoked when the guest sends data. */
+    std::function<void(RemoteConn &, const std::string &)> onData;
+};
+
+/** One endpoint of a (possibly half-open) stream connection. */
+struct Socket
+{
+    bool listening = false;
+    std::string localAddr;          //!< set by bind
+    bool bound = false;
+
+    bool connected = false;
+    std::string peerAddr;
+    bool peerClosed = false;
+
+    std::deque<uint8_t> inbox;      //!< bytes available to read
+
+    /** Guest-to-guest peer (loopback), if any. */
+    std::weak_ptr<Socket> peer;
+
+    /** Scripted remote driving the other end, if any. */
+    std::shared_ptr<RemotePeer> remote;
+
+    /** Everything the guest wrote (remote side's view). */
+    std::string remoteReceived;
+
+    /** Connections queued on a listener awaiting accept(). */
+    std::deque<std::shared_ptr<Socket>> pendingAccept;
+};
+
+/** The network fabric. */
+class Network
+{
+  public:
+    /** @name DNS @{ */
+
+    /** Register a host name; a deterministic address is assigned. */
+    std::string addHost(const std::string &name);
+
+    /** Resolve a name to its network address ("" when unknown). */
+    std::string resolve(const std::string &name) const;
+
+    /** Reverse lookup for pretty-printing ("" when unknown). */
+    std::string hostOf(const std::string &addr) const;
+
+    /**
+     * Canonical "host:port" for an address that may use either the
+     * host name or the numeric address.
+     */
+    std::string canonical(const std::string &host_port) const;
+
+    /** @} */
+    /** @name Remote peers @{ */
+
+    /** Register a remote server the guest may connect to. */
+    void addRemoteServer(const std::string &host_port, RemotePeer peer);
+
+    /**
+     * Schedule a remote client that will connect to the guest server
+     * at @p target_addr as soon as the guest listens on it.
+     */
+    void addRemoteClient(const std::string &target_addr,
+                         RemotePeer peer);
+
+    /** @} */
+    /** @name Guest socket plumbing (used by the kernel) @{ */
+
+    /** Register a listening guest socket; wires pending remotes. */
+    void registerListener(const std::string &addr,
+                          std::shared_ptr<Socket> listener);
+
+    /**
+     * Connect a guest socket to @p addr. Returns false when nothing
+     * listens there (guest or remote).
+     */
+    bool connect(std::shared_ptr<Socket> sock, const std::string &addr);
+
+    /** Deliver guest-written bytes to the socket's peer. */
+    void deliver(Socket &from, const uint8_t *data, size_t len);
+
+    /** Close a guest socket (notifies the peer). */
+    void close(Socket &sock);
+
+    /** @} */
+
+  private:
+    std::map<std::string, std::string> dns_;        // name -> addr
+    std::map<std::string, std::string> reverse_;    // addr -> name
+    std::map<std::string, std::shared_ptr<RemotePeer>> remoteServers_;
+    std::multimap<std::string, std::shared_ptr<RemotePeer>>
+        remoteClients_;
+    std::map<std::string, std::weak_ptr<Socket>> listeners_;
+    int nextHostNum_ = 1;
+};
+
+} // namespace hth::os
+
+#endif // HTH_OS_NET_HH

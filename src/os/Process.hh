@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Processes: a VM machine context plus kernel bookkeeping.
+ */
+
+#ifndef HTH_OS_PROCESS_HH
+#define HTH_OS_PROCESS_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "os/Net.hh"
+#include "os/Vfs.hh"
+#include "taint/DataSource.hh"
+#include "vm/Machine.hh"
+
+namespace hth::os
+{
+
+/** An open file description. */
+struct OpenFile
+{
+    enum class Kind { File, Fifo, Socket, Stdin, Stdout };
+
+    Kind kind = Kind::File;
+    std::shared_ptr<VfsNode> node;      //!< File / Fifo
+    size_t offset = 0;                  //!< File read/write position
+    std::shared_ptr<Socket> sock;       //!< Socket
+    bool readable = true;
+    bool writable = true;
+
+    /** Resource registered for this description (event reporting). */
+    taint::ResourceId resource = taint::NO_RESOURCE;
+
+    /** For sockets accepted from a listener: the server's resource. */
+    taint::ResourceId serverResource = taint::NO_RESOURCE;
+};
+
+/** Scheduling state. */
+enum class ProcState
+{
+    Runnable,
+    Blocked,
+    Zombie,     //!< exited, not yet reaped
+};
+
+/** One process. */
+struct Process
+{
+    Process(int pid_, taint::TagStore &tags)
+        : pid(pid_), machine(tags)
+    {
+    }
+
+    int pid = 0;
+    int ppid = 0;
+    ProcState state = ProcState::Runnable;
+    int exitCode = 0;
+
+    vm::Machine machine;
+    std::string binaryPath;
+    uint64_t startTime = 0;
+
+    std::map<int, std::shared_ptr<OpenFile>> fds;
+    int nextFd = 3;
+
+    /** Captured stdout, for scenarios and tests. */
+    std::string stdoutData;
+
+    /** Scripted stdin contents ("the user typed this"). */
+    std::string stdinData;
+    size_t stdinPos = 0;
+
+    /** Blocked processes wake when this returns true. */
+    std::function<bool()> wakeCondition;
+
+    /** Set while blocked on nanosleep: absolute wake tick. */
+    uint64_t sleepUntil = 0;
+    bool sleeping = false;
+
+    uint32_t brk = vm::Machine::HEAP_BASE;
+
+    int
+    allocFd()
+    {
+        return nextFd++;
+    }
+};
+
+} // namespace hth::os
+
+#endif // HTH_OS_PROCESS_HH

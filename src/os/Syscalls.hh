@@ -1,0 +1,74 @@
+/**
+ * @file
+ * System call numbers (the i386 Linux subset HTH monitors) and the
+ * socketcall sub-operation codes.
+ */
+
+#ifndef HTH_OS_SYSCALLS_HH
+#define HTH_OS_SYSCALLS_HH
+
+namespace hth::os
+{
+
+/** i386 Linux system call numbers. */
+enum Syscall : int
+{
+    NR_exit = 1,
+    NR_fork = 2,
+    NR_read = 3,
+    NR_write = 4,
+    NR_open = 5,
+    NR_close = 6,
+    NR_waitpid = 7,
+    NR_creat = 8,
+    NR_unlink = 10,
+    NR_execve = 11,
+    NR_chdir = 12,
+    NR_time = 13,
+    NR_mknod = 14,
+    NR_chmod = 15,
+    NR_getpid = 20,
+    NR_kill = 37,
+    NR_dup = 41,
+    NR_pipe = 42,
+    NR_brk = 45,
+    NR_ioctl = 54,
+    NR_dup2 = 63,
+    NR_getppid = 64,
+    NR_socketcall = 102,
+    NR_clone = 120,
+    NR_nanosleep = 162,
+};
+
+/** socketcall(2) sub-operations. */
+enum SocketCall : int
+{
+    SOCKOP_socket = 1,
+    SOCKOP_bind = 2,
+    SOCKOP_connect = 3,
+    SOCKOP_listen = 4,
+    SOCKOP_accept = 5,
+    SOCKOP_send = 9,
+    SOCKOP_recv = 10,
+};
+
+/** Symbolic name, e.g. "SYS_execve"; "SYS_<n>" when unknown. */
+const char *syscallName(int number);
+
+/** Common errno-style results (returned negated, Linux style). */
+enum Errno : int
+{
+    ERR_PERM = 1,
+    ERR_NOENT = 2,
+    ERR_BADF = 9,
+    ERR_CHILD = 10,
+    ERR_ACCES = 13,
+    ERR_EXIST = 17,
+    ERR_INVAL = 22,
+    ERR_NOEXEC = 8,
+    ERR_CONNREFUSED = 111,
+};
+
+} // namespace hth::os
+
+#endif // HTH_OS_SYSCALLS_HH

@@ -1,0 +1,67 @@
+#include "os/Vfs.hh"
+
+namespace hth::os
+{
+
+std::shared_ptr<VfsNode>
+Vfs::lookup(const std::string &path) const
+{
+    auto it = nodes_.find(path);
+    return it == nodes_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<VfsNode>
+Vfs::createFile(const std::string &path)
+{
+    auto node = std::make_shared<VfsNode>();
+    node->kind = VfsNode::Kind::File;
+    node->path = path;
+    nodes_[path] = node;
+    return node;
+}
+
+std::shared_ptr<VfsNode>
+Vfs::createFifo(const std::string &path)
+{
+    auto node = std::make_shared<VfsNode>();
+    node->kind = VfsNode::Kind::Fifo;
+    node->path = path;
+    nodes_[path] = node;
+    return node;
+}
+
+std::shared_ptr<VfsNode>
+Vfs::addFile(const std::string &path, const std::string &content)
+{
+    auto node = createFile(path);
+    node->content.assign(content.begin(), content.end());
+    return node;
+}
+
+std::shared_ptr<VfsNode>
+Vfs::addBinary(const std::string &path,
+               std::shared_ptr<const vm::Image> image)
+{
+    auto node = createFile(path);
+    node->executable = true;
+    node->binary = std::move(image);
+    return node;
+}
+
+bool
+Vfs::remove(const std::string &path)
+{
+    return nodes_.erase(path) != 0;
+}
+
+std::vector<std::string>
+Vfs::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(nodes_.size());
+    for (const auto &[path, node] : nodes_)
+        out.push_back(path);
+    return out;
+}
+
+} // namespace hth::os

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * In-memory virtual file system.
+ *
+ * Holds regular files (byte contents), FIFOs (named pipes, used by
+ * the pma exploit reproduction) and registered program binaries
+ * (VM images execve can load).
+ */
+
+#ifndef HTH_OS_VFS_HH
+#define HTH_OS_VFS_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/Image.hh"
+
+namespace hth::os
+{
+
+/** One file-system object. */
+struct VfsNode
+{
+    enum class Kind { File, Fifo };
+
+    Kind kind = Kind::File;
+    std::string path;
+    std::vector<uint8_t> content;       //!< regular file bytes
+    std::deque<uint8_t> fifo;           //!< FIFO buffered bytes
+    bool executable = false;
+
+    /** Set when this path is a runnable program image. */
+    std::shared_ptr<const vm::Image> binary;
+
+    /** Writers currently holding the FIFO open (EOF bookkeeping). */
+    int fifoWriters = 0;
+};
+
+/** Path-keyed file-system namespace. */
+class Vfs
+{
+  public:
+    /** Look up a node; nullptr when absent. */
+    std::shared_ptr<VfsNode> lookup(const std::string &path) const;
+
+    bool exists(const std::string &path) const
+    {
+        return nodes_.count(path) != 0;
+    }
+
+    /** Create (or truncate) a regular file. */
+    std::shared_ptr<VfsNode> createFile(const std::string &path);
+
+    /** Create a FIFO. */
+    std::shared_ptr<VfsNode> createFifo(const std::string &path);
+
+    /** Add a regular file with initial contents. */
+    std::shared_ptr<VfsNode> addFile(const std::string &path,
+                                     const std::string &content);
+
+    /** Register a runnable binary image at @p path. */
+    std::shared_ptr<VfsNode>
+    addBinary(const std::string &path,
+              std::shared_ptr<const vm::Image> image);
+
+    /** Remove a node; returns false when absent. */
+    bool remove(const std::string &path);
+
+    /** Every path currently present (sorted). */
+    std::vector<std::string> paths() const;
+
+  private:
+    std::map<std::string, std::shared_ptr<VfsNode>> nodes_;
+};
+
+} // namespace hth::os
+
+#endif // HTH_OS_VFS_HH

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * The HTH policy rule base.
+ *
+ * check_execve follows the paper's Appendix A.2 almost verbatim
+ * (including the resolution-fact protocol); the resource-abuse
+ * counters implement §4.2; the information-flow family implements
+ * the §4.3 rule matrix, generated from a severity table so every
+ * (source type → target type) pair shares one audited body.
+ */
+
+#include "secpert/Policy.hh"
+
+#include <sstream>
+#include <vector>
+
+namespace hth::secpert
+{
+
+const std::string &
+policyDeclarations()
+{
+    static const std::string decls = R"CLP(
+;;; ---- HTH event templates (paper section 6.1.2) -------------------
+(deftemplate system_call_access
+  (slot pid)
+  (slot system_call_name)
+  (multislot resource_name)
+  (multislot resource_type)
+  (multislot resource_origin_name)
+  (multislot resource_origin_type)
+  (slot time)
+  (slot abs_time (default 0))
+  (slot frequency)
+  (slot address)
+  (slot process_create (default FALSE))
+  (slot amount (default 0)))
+
+(deftemplate system_call_io
+  (slot pid)
+  (slot system_call_name)
+  (slot direction)
+  (slot source_name (default ""))
+  (slot source_type (default NONE))
+  (multislot source_origin_name)
+  (multislot source_origin_type)
+  (slot target_name (default ""))
+  (slot target_type (default NONE))
+  (multislot target_origin_name)
+  (multislot target_origin_type)
+  (slot via_server (default FALSE))
+  (slot server_name (default ""))
+  (multislot server_origin_name)
+  (multislot server_origin_type)
+  (slot time)
+  (slot abs_time (default 0))
+  (slot frequency)
+  (slot address))
+
+(deftemplate resolution (slot status))
+(deftemplate system_call_name (slot name))
+(deftemplate clone_stats
+  (slot count)
+  (slot window_start)
+  (slot window_count))
+(deftemplate mem_stats (slot growth))
+
+;;; Cross-session memory (paper section 10, extensions 5 and 6):
+;;; files observed being written with network data. These facts
+;;; persist across monitored executions within one Secpert session.
+(deftemplate downloaded_file (slot name))
+
+;;; Thresholds; Secpert overrides these from PolicyConfig.
+(defglobal ?*RARE_FREQUENCY* = 3
+           ?*LONG_TIME* = 200
+           ?*MAX_PROCESSES* = 10
+           ?*RATE_WINDOW* = 400
+           ?*RATE_MAX* = 6
+           ?*MAX_HEAP_GROWTH* = 8388608
+           ?*TAB* = "    ")
+
+(assert (system_call_name (name SYS_execve)))
+(assert (clone_stats (count 0) (window_start 0) (window_count 0)))
+(assert (mem_stats (growth 0)))
+)CLP";
+    return decls;
+}
+
+namespace
+{
+
+/** Severity escalation snippet of one information-flow family. */
+struct IoFamily
+{
+    const char *src;    //!< source_type symbol
+    const char *tgt;    //!< target_type symbol
+    const char *severityExprs;
+};
+
+/**
+ * The §4.3 information-flow severity matrix.
+ *
+ * Booleans available to the expressions: ?src-hard ?src-user
+ * ?src-remote ?tgt-hard ?tgt-user ?tgt-remote ?srv-hard.
+ * Later binds override earlier ones, so order low → high.
+ */
+const std::vector<IoFamily> IO_FAMILIES = {
+    {"BINARY", "FILE",
+     "  (if ?tgt-hard then (bind ?warning 3))\n"
+     "  (if ?tgt-remote then (bind ?warning 3))\n"},
+    {"BINARY", "SOCKET",
+     "  (if ?tgt-hard then (bind ?warning 1))\n"
+     "  (if ?srv-hard then (bind ?warning 3))\n"
+     "  (if ?tgt-remote then (bind ?warning 3))\n"},
+    {"FILE", "FILE",
+     "  (if (and ?src-user ?tgt-hard) then (bind ?warning 1))\n"
+     "  (if (and ?src-hard ?tgt-user) then (bind ?warning 1))\n"
+     "  (if (and ?src-hard ?tgt-hard) then (bind ?warning 3))\n"
+     "  (if ?src-remote then (bind ?warning 3))\n"
+     "  (if ?tgt-remote then (bind ?warning 3))\n"},
+    {"FILE", "SOCKET",
+     "  (if (and ?src-user ?tgt-hard) then (bind ?warning 1))\n"
+     "  (if (and ?src-hard ?tgt-user) then (bind ?warning 1))\n"
+     "  (if (and ?src-hard ?tgt-hard) then (bind ?warning 3))\n"
+     "  (if ?src-remote then (bind ?warning 3))\n"
+     "  (if ?srv-hard then (bind ?warning 3))\n"
+     "  (if ?tgt-remote then (bind ?warning 3))\n"},
+    {"SOCKET", "FILE",
+     "  (if (and ?src-user ?tgt-hard) then (bind ?warning 1))\n"
+     "  (if (and ?src-hard ?tgt-user) then (bind ?warning 1))\n"
+     "  (if (and ?src-hard ?tgt-hard) then (bind ?warning 3))\n"
+     "  (if ?srv-hard then (bind ?warning 3))\n"
+     "  (if ?tgt-remote then (bind ?warning 3))\n"},
+    {"SOCKET", "SOCKET",
+     "  (if (and ?src-hard ?tgt-hard) then (bind ?warning 3))\n"
+     "  (if ?srv-hard then (bind ?warning 3))\n"
+     "  (if ?tgt-remote then (bind ?warning 3))\n"},
+    {"HARDWARE", "FILE",
+     "  (if ?tgt-hard then (bind ?warning 3))\n"
+     "  (if ?tgt-remote then (bind ?warning 3))\n"},
+    {"HARDWARE", "SOCKET",
+     "  (if ?tgt-hard then (bind ?warning 3))\n"
+     "  (if ?tgt-remote then (bind ?warning 3))\n"},
+    {"USER_INPUT", "FILE",
+     "  (if ?tgt-hard then (bind ?warning 3))\n"
+     "  (if ?tgt-remote then (bind ?warning 3))\n"},
+    {"USER_INPUT", "SOCKET",
+     "  (if ?tgt-hard then (bind ?warning 3))\n"
+     "  (if ?tgt-remote then (bind ?warning 3))\n"},
+};
+
+std::string
+makeIoRule(const IoFamily &family)
+{
+    std::ostringstream os;
+    std::string rule_name = std::string("io_") + family.src + "_to_" +
+                            family.tgt;
+    os << "(defrule " << rule_name << " \"information flow "
+       << family.src << " -> " << family.tgt << " (section 4.3)\"\n"
+       << "  (system_call_io (pid ?pid) (direction WRITE)\n"
+       << "    (system_call_name ?sys)\n"
+       << "    (source_type " << family.src << ") (source_name ?sname)\n"
+       << "    (source_origin_name $?son) (source_origin_type $?sot)\n"
+       << "    (target_type " << family.tgt << ") (target_name ?tname)\n"
+       << "    (target_origin_name $?ton) (target_origin_type $?tot)\n"
+       << "    (via_server ?vs) (server_name ?srvname)\n"
+       << "    (server_origin_name $?srvon)"
+       << " (server_origin_type $?srvot)\n"
+       << "    (time ?time) (frequency ?freq) (address ?addr))\n"
+       << "  =>\n"
+       << "  (bind ?src-hard-l (filter_binary $?sot $?son))\n"
+       << "  (bind ?src-remote-l (filter_socket $?sot $?son))\n"
+       << "  (bind ?tgt-hard-l (filter_binary $?tot $?ton))\n"
+       << "  (bind ?tgt-remote-l (filter_socket $?tot $?ton))\n"
+       << "  (bind ?srv-hard-l (filter_binary $?srvot $?srvon))\n"
+       << "  (bind ?src-hard (not (empty-list ?src-hard-l)))\n"
+       << "  (bind ?src-remote (not (empty-list ?src-remote-l)))\n"
+       << "  (bind ?src-user (neq (member$ USER_INPUT $?sot) FALSE))\n"
+       << "  (bind ?tgt-hard (not (empty-list ?tgt-hard-l)))\n"
+       << "  (bind ?tgt-user (neq (member$ USER_INPUT $?tot) FALSE))\n"
+       << "  (bind ?tgt-remote (not (empty-list ?tgt-remote-l)))\n"
+       << "  (bind ?srv-hard (and (eq ?vs TRUE)\n"
+       << "                       (not (empty-list ?srv-hard-l))))\n"
+       << "  (bind ?warning 0)\n"
+       << family.severityExprs
+       << "  (if (> ?warning 0) then\n"
+       << "    (print-warning ?warning)\n"
+       << "    (printout t \"Found Write call Data Flowing From: \"\n"
+       << "              ?sname \" To: \" ?tname crlf)\n"
+       << "    (if ?src-hard then\n"
+       << "      (printout t ?*TAB* \"source name was hardcoded in: (\"\n"
+       << "                (implode$ ?src-hard-l) \")\" crlf))\n"
+       << "    (if ?src-remote then\n"
+       << "      (printout t ?*TAB*\n"
+       << "                \"source name originated from a socket: (\"\n"
+       << "                (implode$ ?src-remote-l) \")\" crlf))\n"
+       << "    (if ?tgt-hard then\n"
+       << "      (printout t ?*TAB* \"target name was hardcoded in: (\"\n"
+       << "                (implode$ ?tgt-hard-l) \")\" crlf))\n"
+       << "    (if ?tgt-remote then\n"
+       << "      (printout t ?*TAB*\n"
+       << "                \"target name originated from a socket: (\"\n"
+       << "                (implode$ ?tgt-remote-l) \")\" crlf))\n"
+       << "    (if ?srv-hard then\n"
+       << "      (printout t ?*TAB*\n"
+       << "        \"This program has opened a socket for remote \"\n"
+       << "        \"connections. i.e. it is a server with the \"\n"
+       << "        \"address: \" ?srvname crlf ?*TAB*\n"
+       << "        \"the server address was hardcoded in: (\"\n"
+       << "        (implode$ ?srv-hard-l) \")\" crlf))\n"
+       << "    (if (and (< ?freq ?*RARE_FREQUENCY*)\n"
+       << "             (> ?time ?*LONG_TIME*)) then\n"
+       << "      (printout t ?*TAB* \"This code is rarely executed...\"\n"
+       << "                crlf))\n"
+       << "    (hth-warn ?warning \"" << rule_name << "\" ?pid\n"
+       << "      (str-cat \"Found Write call Data Flowing From: \"\n"
+       << "               ?sname \" To: \" ?tname))))\n";
+    return os.str();
+}
+
+} // namespace
+
+const std::string &
+policyRules()
+{
+    static const std::string rules = [] {
+        std::ostringstream os;
+
+        //
+        // Execution flow (§4.1 / Appendix A.2).
+        //
+        os << R"CLP(
+(defrule check_execve "check execve (paper App. A.2)"
+  ?execve <- (system_call_access
+               (pid ?pid)
+               (system_call_name ?sys_name)
+               (resource_name $?name)
+               (resource_type $?type)
+               (resource_origin_name $?origin_name)
+               (resource_origin_type $?origin_type)
+               (time ?time)
+               (frequency ?freq)
+               (address ?addr))
+  ?resolution <- (resolution (status RESOLVE))
+  (system_call_name (name ?sys_name))
+  (test (eq ?sys_name SYS_execve))
+  (test (or (not (empty-list
+                   (filter_binary $?origin_type $?origin_name)))
+            (not (empty-list
+                   (filter_socket $?origin_type $?origin_name)))))
+  =>
+  (bind ?suspicous_binaries
+        (filter_binary $?origin_type $?origin_name))
+  (bind ?suspicous_sockets
+        (filter_socket $?origin_type $?origin_name))
+  (bind ?warning 1)
+  (if (and (< ?freq ?*RARE_FREQUENCY*) (> ?time ?*LONG_TIME*)) then
+    (bind ?warning 2))
+  (if (not (empty-list ?suspicous_sockets)) then
+    (bind ?warning 3))
+  (print-warning ?warning)
+  (printout t "Found " ?sys_name " call (\"" (implode$ ?name) "\")"
+            crlf)
+  (if (not (empty-list ?suspicous_binaries)) then
+    (printout t ?*TAB* "(\"" (implode$ ?name)
+              "\") originated from (\""
+              (implode$ ?suspicous_binaries) "\")" crlf)
+   else
+    (printout t ?*TAB* "(\"" (implode$ ?name)
+              "\") originated from (\""
+              (implode$ ?suspicous_sockets) "\")" crlf))
+  (if (and (< ?freq ?*RARE_FREQUENCY*) (> ?time ?*LONG_TIME*)) then
+    (printout t ?*TAB* "This code is rarely executed..." crlf))
+  (hth-warn ?warning "check_execve" ?pid
+    (str-cat "Found SYS_execve call (" (implode$ ?name)
+             ") originated from ("
+             (implode$ ?suspicous_binaries)
+             (implode$ ?suspicous_sockets) ")"))
+  (retract ?execve ?resolution)
+  (assert (resolution (status STOP))))
+
+;;; ---- Resource abuse (section 4.2) ---------------------------------
+(defrule count_clone "process creation accounting"
+  (declare (salience 10))
+  ?e <- (system_call_access (pid ?pid) (system_call_name ?sys)
+                            (process_create TRUE) (abs_time ?t))
+  ?s <- (clone_stats (count ?c) (window_start ?ws) (window_count ?wc))
+  =>
+  (bind ?nc (+ ?c 1))
+  (bind ?nws ?ws)
+  (bind ?nwc (+ ?wc 1))
+  (if (> (- ?t ?ws) ?*RATE_WINDOW*) then
+    (bind ?nws ?t)
+    (bind ?nwc 1))
+  (retract ?e ?s)
+  (assert (clone_stats (count ?nc) (window_start ?nws)
+                       (window_count ?nwc)))
+  (if (> ?nwc ?*RATE_MAX*) then
+    (print-warning 2)
+    (printout t "Found several " ?sys " calls" crlf ?*TAB*
+              "This call was very frequent in a short period of time"
+              crlf)
+    (hth-warn 2 "resource_abuse_rate" ?pid
+      (str-cat "Found several " ?sys
+               " calls; very frequent in a short period of time"))
+   else
+    (if (> ?nc ?*MAX_PROCESSES*) then
+      (print-warning 1)
+      (printout t "Found several " ?sys " calls" crlf ?*TAB*
+                "This call was frequent" crlf)
+      (hth-warn 1 "resource_abuse_count" ?pid
+        (str-cat "Found several " ?sys
+                 " calls; this call was frequent")))))
+
+;;; ---- Memory abuse (section 10 extension 4) -------------------------
+(defrule count_memory "heap allocation accounting"
+  (declare (salience 10))
+  ?e <- (system_call_access (pid ?pid) (system_call_name SYS_brk)
+                            (amount ?a))
+  ?s <- (mem_stats (growth ?g))
+  =>
+  (bind ?ng (+ ?g ?a))
+  (retract ?e ?s)
+  (assert (mem_stats (growth ?ng)))
+  (if (and (> ?ng ?*MAX_HEAP_GROWTH*) (<= ?g ?*MAX_HEAP_GROWTH*)) then
+    (print-warning 1)
+    (printout t "Allocating a large amount of memory ("
+              ?ng " bytes)" crlf)
+    (hth-warn 1 "resource_abuse_memory" ?pid
+      (str-cat "allocated " ?ng " bytes of heap"))))
+
+;;; ---- Cross-session downloaded files (section 10, 5 and 6) ----------
+(defrule note_download "remember files written with network data"
+  (declare (salience 15))
+  (system_call_io (direction WRITE) (source_type SOCKET)
+                  (target_type FILE) (target_name ?f))
+  (not (downloaded_file (name ?f)))
+  =>
+  (assert (downloaded_file (name ?f))))
+
+(defrule exec_downloaded "executing a previously downloaded file"
+  (declare (salience 20))
+  (system_call_access (pid ?pid) (system_call_name SYS_execve)
+                      (resource_name $?name))
+  (downloaded_file (name ?f))
+  (test (neq (member$ ?f $?name) FALSE))
+  =>
+  (print-warning 3)
+  (printout t "Found SYS_execve of a file previously downloaded "
+            "from the network: " ?f crlf)
+  (hth-warn 3 "exec_downloaded" ?pid
+    (str-cat "executing downloaded file " ?f)))
+
+;;; ---- Information flow (section 4.3) --------------------------------
+)CLP";
+
+        for (const IoFamily &family : IO_FAMILIES)
+            os << makeIoRule(family) << "\n";
+        return os.str();
+    }();
+    return rules;
+}
+
+} // namespace hth::secpert

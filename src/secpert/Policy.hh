@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The HTH security policy (paper §4): configuration knobs and the
+ * CLIPS rule base.
+ */
+
+#ifndef HTH_SECPERT_POLICY_HH
+#define HTH_SECPERT_POLICY_HH
+
+#include <string>
+#include <vector>
+
+namespace hth::secpert
+{
+
+/**
+ * Policy thresholds. The paper does not publish exact values for
+ * "rare", "a while ago", "high number" or "high rate"; these
+ * defaults reproduce the classifications its evaluation reports and
+ * are adjustable per deployment.
+ */
+struct PolicyConfig
+{
+    /** BB executions below this count as "rarely executed" (§4.1). */
+    int rareFrequency = 3;
+
+    /**
+     * Process-relative event time (in Harrier time units) beyond
+     * which the program "started a while ago" (§4.1).
+     */
+    int longTime = 200;
+
+    /** Process creations beyond this raise the Low warning (§4.2). */
+    int maxProcesses = 10;
+
+    /** Window (absolute time units) for the creation-rate rule. */
+    int rateWindow = 400;
+
+    /** Creations within one window beyond this raise Medium (§4.2). */
+    int rateMax = 6;
+
+    /**
+     * Total heap growth (bytes) beyond which the memory-abuse rule
+     * (the §10 extension the paper defers) raises Low.
+     */
+    int64_t maxHeapGrowth = 8 * 1024 * 1024;
+
+    /**
+     * Substrings of trusted binary names; hard-coded strings living
+     * in these images are not suspicious (the paper trusts libc and
+     * ld-linux, §A.2).
+     */
+    std::vector<std::string> trustedBinaries = {"libc.so", "ld-linux"};
+
+    /** Trusted socket name substrings (the paper trusts none). */
+    std::vector<std::string> trustedSockets = {};
+};
+
+/**
+ * The policy rule base in the CLIPS dialect: deftemplates for
+ * Harrier's two event types, the execution-flow rule (App. A.2),
+ * the resource-abuse counters (§4.2) and the information-flow rule
+ * family (§4.3).
+ */
+const std::string &policyRules();
+
+/** Deftemplates and static facts the rules depend on. */
+const std::string &policyDeclarations();
+
+} // namespace hth::secpert
+
+#endif // HTH_SECPERT_POLICY_HH

@@ -1,0 +1,294 @@
+#include "secpert/Secpert.hh"
+
+#include "support/Logging.hh"
+
+namespace hth::secpert
+{
+
+using clips::Value;
+using harrier::OriginRef;
+using taint::SourceType;
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Low: return "LOW";
+      case Severity::Medium: return "MEDIUM";
+      case Severity::High: return "HIGH";
+    }
+    return "?";
+}
+
+Severity
+maxSeverity(const std::vector<Warning> &warnings)
+{
+    Severity max = Severity::Low;
+    for (const Warning &w : warnings)
+        if ((int)w.severity > (int)max)
+            max = w.severity;
+    return max;
+}
+
+Secpert::Secpert(PolicyConfig config) : config_(std::move(config))
+{
+    env_.setOutput(&out_);
+    installNatives();
+    env_.loadString(policyDeclarations());
+    env_.loadString(policyRules());
+    applyThresholds();
+}
+
+void
+Secpert::applyThresholds()
+{
+    env_.setGlobal("RARE_FREQUENCY",
+                   Value::integer(config_.rareFrequency));
+    env_.setGlobal("LONG_TIME", Value::integer(config_.longTime));
+    env_.setGlobal("MAX_PROCESSES",
+                   Value::integer(config_.maxProcesses));
+    env_.setGlobal("RATE_WINDOW", Value::integer(config_.rateWindow));
+    env_.setGlobal("RATE_MAX", Value::integer(config_.rateMax));
+    env_.setGlobal("MAX_HEAP_GROWTH",
+                   Value::integer(config_.maxHeapGrowth));
+}
+
+bool
+Secpert::trustedBinary(const std::string &name) const
+{
+    for (const std::string &pattern : config_.trustedBinaries)
+        if (name.find(pattern) != std::string::npos)
+            return true;
+    return false;
+}
+
+bool
+Secpert::trustedSocket(const std::string &name) const
+{
+    for (const std::string &pattern : config_.trustedSockets)
+        if (name.find(pattern) != std::string::npos)
+            return true;
+    return false;
+}
+
+void
+Secpert::installNatives()
+{
+    // (filter_binary $?types $?names) -> untrusted BINARY names.
+    env_.registerFunction(
+        "filter_binary",
+        [this](clips::Environment &, std::vector<Value> &args) {
+            fatalIf(args.size() != 2, "filter_binary: expected 2 args");
+            std::vector<Value> suspicious;
+            const auto &types = args[0].items();
+            const auto &names = args[1].items();
+            for (size_t i = 0; i < types.size() && i < names.size();
+                 ++i) {
+                if (types[i] == Value::sym("BINARY") &&
+                    !trustedBinary(names[i].text()))
+                    suspicious.push_back(names[i]);
+            }
+            return Value::multi(std::move(suspicious));
+        });
+
+    // (filter_socket $?types $?names) -> untrusted SOCKET names.
+    env_.registerFunction(
+        "filter_socket",
+        [this](clips::Environment &, std::vector<Value> &args) {
+            fatalIf(args.size() != 2, "filter_socket: expected 2 args");
+            std::vector<Value> suspicious;
+            const auto &types = args[0].items();
+            const auto &names = args[1].items();
+            for (size_t i = 0; i < types.size() && i < names.size();
+                 ++i) {
+                if (types[i] == Value::sym("SOCKET") &&
+                    !trustedSocket(names[i].text()))
+                    suspicious.push_back(names[i]);
+            }
+            return Value::multi(std::move(suspicious));
+        });
+
+    // (print-warning <level>) -> "Warning [LOW] " prefix.
+    env_.registerFunction(
+        "print-warning",
+        [this](clips::Environment &, std::vector<Value> &args) {
+            fatalIf(args.size() != 1, "print-warning: expected 1 arg");
+            out_ << "Warning ["
+                 << severityName((Severity)args[0].intValue()) << "] ";
+            return Value::boolean(true);
+        });
+
+    // (hth-warn <level> <rule> <pid> <message>) -> record Warning.
+    env_.registerFunction(
+        "hth-warn",
+        [this](clips::Environment &, std::vector<Value> &args) {
+            fatalIf(args.size() != 4, "hth-warn: expected 4 args");
+            Warning w;
+            w.severity = (Severity)args[0].intValue();
+            w.rule = args[1].text();
+            w.pid = (int)args[2].intValue();
+            w.message = args[3].text();
+            // User feedback (§10 extension 8): warnings the user has
+            // acknowledged as expected behaviour are suppressed.
+            for (const auto &[rule, message] : suppressions_) {
+                if (w.rule.find(rule) != std::string::npos &&
+                    w.message.find(message) != std::string::npos) {
+                    ++stats_.warningsSuppressed;
+                    return Value::boolean(false);
+                }
+            }
+            warnings_.push_back(std::move(w));
+            return Value::boolean(true);
+        });
+}
+
+Value
+Secpert::originNames(const std::vector<OriginRef> &origins)
+{
+    std::vector<Value> out;
+    out.reserve(origins.size());
+    for (const OriginRef &ref : origins)
+        out.push_back(Value::str(ref.name));
+    return Value::multi(std::move(out));
+}
+
+Value
+Secpert::originTypes(const std::vector<OriginRef> &origins)
+{
+    std::vector<Value> out;
+    out.reserve(origins.size());
+    for (const OriginRef &ref : origins)
+        out.push_back(Value::sym(sourceTypeName(ref.type)));
+    return Value::multi(std::move(out));
+}
+
+void
+Secpert::runEngine()
+{
+    ++stats_.eventsAnalyzed;
+    stats_.rulesFired += (uint64_t)env_.run();
+    // Events are one-shot: drop whatever the rules did not consume.
+    for (const char *tmpl :
+         {"system_call_access", "system_call_io", "resolution"}) {
+        for (const clips::Fact *f : env_.factsByTemplate(tmpl))
+            env_.retract(f->id);
+    }
+}
+
+void
+Secpert::onResourceAccess(const harrier::ResourceAccessEvent &ev)
+{
+    env_.assertFact(
+        "system_call_access",
+        {
+            {"pid", Value::integer(ev.ctx.pid)},
+            {"system_call_name", Value::sym(ev.syscall)},
+            {"resource_name", Value::str(ev.resName)},
+            {"resource_type",
+             Value::sym(sourceTypeName(ev.resType))},
+            {"resource_origin_name", originNames(ev.origins)},
+            {"resource_origin_type", originTypes(ev.origins)},
+            {"time", Value::integer((int64_t)ev.ctx.time)},
+            {"abs_time", Value::integer((int64_t)ev.ctx.absTime)},
+            {"frequency", Value::integer((int64_t)ev.ctx.frequency)},
+            {"address", Value::str(std::to_string(ev.ctx.address))},
+            {"process_create", Value::boolean(ev.isProcessCreate)},
+            {"amount", Value::integer((int64_t)ev.amount)},
+        });
+    env_.assertFact("resolution", {{"status", Value::sym("RESOLVE")}});
+    runEngine();
+}
+
+void
+Secpert::onResourceIo(const harrier::ResourceIoEvent &ev)
+{
+    env_.assertFact(
+        "system_call_io",
+        {
+            {"pid", Value::integer(ev.ctx.pid)},
+            {"system_call_name", Value::sym(ev.syscall)},
+            {"direction", Value::sym(ev.isWrite ? "WRITE" : "READ")},
+            {"source_name", Value::str(ev.source.name)},
+            {"source_type",
+             Value::sym(sourceTypeName(ev.source.type))},
+            {"source_origin_name", originNames(ev.sourceOrigins)},
+            {"source_origin_type", originTypes(ev.sourceOrigins)},
+            {"target_name", Value::str(ev.targetName)},
+            {"target_type",
+             Value::sym(sourceTypeName(ev.targetType))},
+            {"target_origin_name", originNames(ev.targetOrigins)},
+            {"target_origin_type", originTypes(ev.targetOrigins)},
+            {"via_server", Value::boolean(ev.viaServer)},
+            {"server_name", Value::str(ev.serverName)},
+            {"server_origin_name", originNames(ev.serverOrigins)},
+            {"server_origin_type", originTypes(ev.serverOrigins)},
+            {"time", Value::integer((int64_t)ev.ctx.time)},
+            {"abs_time", Value::integer((int64_t)ev.ctx.absTime)},
+            {"frequency", Value::integer((int64_t)ev.ctx.frequency)},
+            {"address", Value::str(std::to_string(ev.ctx.address))},
+        });
+    env_.assertFact("resolution", {{"status", Value::sym("RESOLVE")}});
+    runEngine();
+}
+
+void
+Secpert::loadRules(const std::string &clips_source)
+{
+    env_.loadString(clips_source);
+}
+
+void
+Secpert::suppress(const std::string &rule_substring,
+                  const std::string &message_substring)
+{
+    suppressions_.emplace_back(rule_substring, message_substring);
+}
+
+std::string
+Secpert::exportMemory() const
+{
+    std::string out;
+    for (const char *tmpl : {"downloaded_file", "clone_stats",
+                             "mem_stats"}) {
+        for (const clips::Fact *f : env_.factsByTemplate(tmpl)) {
+            out += f->toString();
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+void
+Secpert::importMemory(const std::string &fact_text)
+{
+    // Replace the counter facts the declarations asserted so the
+    // imported ones are authoritative.
+    for (const char *tmpl : {"clone_stats", "mem_stats"}) {
+        auto existing = env_.factsByTemplate(tmpl);
+        bool imported =
+            fact_text.find(std::string("(") + tmpl) !=
+            std::string::npos;
+        if (imported)
+            for (const clips::Fact *f : existing)
+                env_.retract(f->id);
+    }
+    for (const clips::Sexpr &form : clips::parseSexprs(fact_text)) {
+        clips::Bindings binds;
+        (void)binds;
+        env_.assertString(form.toString());
+    }
+}
+
+void
+Secpert::reset()
+{
+    warnings_.clear();
+    out_.str("");
+    env_.clearFacts();
+    env_.assertString("(system_call_name (name SYS_execve))");
+    env_.assertString(
+        "(clone_stats (count 0) (window_start 0) (window_count 0))");
+    env_.assertString("(mem_stats (growth 0))");
+}
+
+} // namespace hth::secpert

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Secpert: the security expert system (paper §6).
+ *
+ * Embeds the CLIPS engine, loads the HTH policy, converts Harrier's
+ * events into facts, runs the inference engine on each event and
+ * collects the warnings the rules raise. Mirrors the paper's
+ * embedding: events are asserted one at a time together with a
+ * `(resolution (status RESOLVE))` fact; rules consume them and may
+ * assert a STOP resolution.
+ */
+
+#ifndef HTH_SECPERT_SECPERT_HH
+#define HTH_SECPERT_SECPERT_HH
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clips/Environment.hh"
+#include "harrier/Event.hh"
+#include "secpert/Policy.hh"
+#include "secpert/Warning.hh"
+
+namespace hth::secpert
+{
+
+/** Expert-system statistics (performance evaluation §9). */
+struct SecpertStats
+{
+    uint64_t eventsAnalyzed = 0;
+    uint64_t rulesFired = 0;
+    uint64_t warningsSuppressed = 0;
+};
+
+/** The security expert. */
+class Secpert : public harrier::EventSink
+{
+  public:
+    explicit Secpert(PolicyConfig config = {});
+
+    /** @name harrier::EventSink @{ */
+    void onResourceAccess(const harrier::ResourceAccessEvent &ev)
+        override;
+    void onResourceIo(const harrier::ResourceIoEvent &ev) override;
+    /** @} */
+
+    /** Warnings raised so far, in order. */
+    const std::vector<Warning> &warnings() const { return warnings_; }
+
+    /** The paper-style textual output of the fired rules. */
+    std::string transcript() const { return out_.str(); }
+
+    /** The embedded CLIPS environment (rules, globals, facts). */
+    clips::Environment &env() { return env_; }
+
+    const PolicyConfig &config() const { return config_; }
+    const SecpertStats &stats() const { return stats_; }
+
+    /** Load additional user rules into the policy. */
+    void loadRules(const std::string &clips_source);
+
+    /**
+     * User feedback (§10 extension 8): acknowledge a class of
+     * warnings as expected behaviour. Future warnings whose rule
+     * name contains @p rule_substring *and* whose message contains
+     * @p message_substring are suppressed (counted in stats).
+     */
+    void suppress(const std::string &rule_substring,
+                  const std::string &message_substring = "");
+
+    /**
+     * Serialise the cross-session memory (§10 extension 6: "We will
+     * need to save all the information between two consecutive
+     * executions"): the downloaded-file facts and the abuse
+     * counters, as CLIPS fact text loadable by importMemory().
+     */
+    std::string exportMemory() const;
+
+    /** Restore memory previously produced by exportMemory(). */
+    void importMemory(const std::string &fact_text);
+
+    /** Drop warnings and per-run facts; keep the rule base. */
+    void reset();
+
+  private:
+    void installNatives();
+    void applyThresholds();
+    void runEngine();
+
+    /** Multifield of origin names / types (parallel lists). */
+    static clips::Value originNames(
+        const std::vector<harrier::OriginRef> &origins);
+    static clips::Value originTypes(
+        const std::vector<harrier::OriginRef> &origins);
+
+    bool trustedBinary(const std::string &name) const;
+    bool trustedSocket(const std::string &name) const;
+
+    PolicyConfig config_;
+    clips::Environment env_;
+    std::ostringstream out_;
+    std::vector<Warning> warnings_;
+    std::vector<std::pair<std::string, std::string>> suppressions_;
+    SecpertStats stats_;
+};
+
+} // namespace hth::secpert
+
+#endif // HTH_SECPERT_SECPERT_HH

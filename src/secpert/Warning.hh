@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Warnings Secpert raises toward the user.
+ */
+
+#ifndef HTH_SECPERT_WARNING_HH
+#define HTH_SECPERT_WARNING_HH
+
+#include <string>
+#include <vector>
+
+namespace hth::secpert
+{
+
+/** Confidence that the flagged behaviour is actually malicious (§4). */
+enum class Severity : int
+{
+    Low = 1,
+    Medium = 2,
+    High = 3,
+};
+
+/** Display label: "LOW" / "MEDIUM" / "HIGH". */
+const char *severityName(Severity severity);
+
+/** One policy warning. */
+struct Warning
+{
+    Severity severity = Severity::Low;
+    std::string rule;       //!< policy rule that fired
+    std::string message;    //!< human-readable explanation
+    int pid = 0;
+};
+
+/** Highest severity in a warning list (Low when empty). */
+Severity maxSeverity(const std::vector<Warning> &warnings);
+
+} // namespace hth::secpert
+
+#endif // HTH_SECPERT_WARNING_HH

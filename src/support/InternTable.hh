@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A string intern table mapping strings to dense 32-bit ids.
+ *
+ * Both the CLIPS symbol table and the taint resource table need fast
+ * string identity; interning gives O(1) comparisons and compact ids
+ * suitable for indexing side tables.
+ */
+
+#ifndef HTH_SUPPORT_INTERNTABLE_HH
+#define HTH_SUPPORT_INTERNTABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/Logging.hh"
+
+namespace hth
+{
+
+/** Interns strings; ids are dense and stable for the table lifetime. */
+class InternTable
+{
+  public:
+    using Id = uint32_t;
+
+    /** Intern @p text, returning its id (allocating one if new). */
+    Id
+    intern(std::string_view text)
+    {
+        auto it = ids_.find(std::string(text));
+        if (it != ids_.end())
+            return it->second;
+        Id id = (Id)strings_.size();
+        strings_.emplace_back(text);
+        ids_.emplace(strings_.back(), id);
+        return id;
+    }
+
+    /** Look up an already interned string; panics on unknown id. */
+    const std::string &
+    lookup(Id id) const
+    {
+        panicIf(id >= strings_.size(), "bad intern id ", id);
+        return strings_[id];
+    }
+
+    /** Number of distinct strings interned so far. */
+    size_t size() const { return strings_.size(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::unordered_map<std::string, Id> ids_;
+};
+
+} // namespace hth
+
+#endif // HTH_SUPPORT_INTERNTABLE_HH

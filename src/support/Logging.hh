@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Status reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in HTH itself).
+ * fatal()  — the caller supplied input HTH cannot continue with.
+ * warn()   — something is suspicious but execution can proceed.
+ * inform() — purely informative status output.
+ */
+
+#ifndef HTH_SUPPORT_LOGGING_HH
+#define HTH_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hth
+{
+
+/** Error raised by panic(); indicates a bug inside HTH. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Error raised by fatal(); indicates unusable user input. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Concatenate a heterogeneous argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Abort with an internal-invariant failure. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat("panic: ",
+                                    std::forward<Args>(args)...));
+}
+
+/** Abort with a user-facing configuration failure. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat("fatal: ",
+                                    std::forward<Args>(args)...));
+}
+
+/** Panic unless the given condition holds. */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        panic(std::forward<Args>(args)...);
+}
+
+/** Fatal unless the given condition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        fatal(std::forward<Args>(args)...);
+}
+
+} // namespace hth
+
+#endif // HTH_SUPPORT_LOGGING_HH

@@ -1,0 +1,131 @@
+#include "support/StrUtil.hh"
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+
+namespace hth
+{
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            return out;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string>
+splitWs(std::string_view text)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() && std::isspace((unsigned char)text[i]))
+            ++i;
+        size_t start = i;
+        while (i < text.size() && !std::isspace((unsigned char)text[i]))
+            ++i;
+        if (i > start)
+            out.emplace_back(text.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace((unsigned char)text[begin]))
+        ++begin;
+    while (end > begin && std::isspace((unsigned char)text[end - 1]))
+        --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        c = (char)std::tolower((unsigned char)c);
+    return out;
+}
+
+std::string
+escapeBytes(std::string_view bytes)
+{
+    std::ostringstream oss;
+    for (char c : bytes) {
+        if (c == '\n') {
+            oss << "\\n";
+        } else if (c == '\t') {
+            oss << "\\t";
+        } else if (c == '\\') {
+            oss << "\\\\";
+        } else if (std::isprint((unsigned char)c)) {
+            oss << c;
+        } else {
+            static const char hex[] = "0123456789abcdef";
+            oss << "\\x" << hex[((unsigned char)c) >> 4]
+                << hex[((unsigned char)c) & 0xf];
+        }
+    }
+    return oss.str();
+}
+
+std::vector<std::string>
+extractStrings(const std::vector<uint8_t> &bytes, size_t min_len)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (uint8_t b : bytes) {
+        if (b != 0 && std::isprint(b)) {
+            current.push_back((char)b);
+        } else {
+            if (current.size() >= min_len)
+                out.push_back(current);
+            current.clear();
+        }
+    }
+    if (current.size() >= min_len)
+        out.push_back(current);
+    return out;
+}
+
+} // namespace hth

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small string helpers shared across HTH modules.
+ */
+
+#ifndef HTH_SUPPORT_STRUTIL_HH
+#define HTH_SUPPORT_STRUTIL_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hth
+{
+
+/** Split @p text on @p sep; empty pieces are preserved. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Split @p text on runs of whitespace; empty pieces are dropped. */
+std::vector<std::string> splitWs(std::string_view text);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** True when @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** True when @p text ends with @p suffix. */
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(std::string_view text);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view text);
+
+/** Render a byte buffer, escaping non-printable characters. */
+std::string escapeBytes(std::string_view bytes);
+
+/**
+ * Extract NUL-terminated printable strings of at least @p min_len
+ * characters from a raw byte buffer, the way the `strings` utility
+ * does. Used by the Secure Binary static verifier.
+ */
+std::vector<std::string> extractStrings(const std::vector<uint8_t> &bytes,
+                                        size_t min_len = 4);
+
+} // namespace hth
+
+#endif // HTH_SUPPORT_STRUTIL_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The HTH data-source model (paper §5.1).
+ *
+ * Every byte of guest state carries a *set* of tags; each tag names a
+ * data source: one of the five source types together with the concrete
+ * resource (file, socket, binary image, ...) the data came from. HTH
+ * deliberately keeps more than a single taint bit so the policy can
+ * distinguish "came from a hard-coded string in the binary" from
+ * "typed by the user" from "arrived over a socket".
+ */
+
+#ifndef HTH_TAINT_DATASOURCE_HH
+#define HTH_TAINT_DATASOURCE_HH
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/Logging.hh"
+
+namespace hth::taint
+{
+
+/** The five data-source types of §5.1 (plus UNKNOWN, footnote 4). */
+enum class SourceType : uint8_t
+{
+    UserInput,
+    File,
+    Socket,
+    Binary,
+    Hardware,
+    Unknown,
+};
+
+/** Policy-facing name, e.g. "USER_INPUT". */
+const char *sourceTypeName(SourceType type);
+
+/** Identifies a concrete resource in the ResourceTable. */
+using ResourceId = uint32_t;
+
+/** No-resource marker for sources without an ID (user input, hw). */
+constexpr ResourceId NO_RESOURCE = 0xffffffff;
+
+/** One taint tag: a source type plus the concrete resource. */
+struct Tag
+{
+    SourceType type = SourceType::Unknown;
+    ResourceId res = NO_RESOURCE;
+
+    auto operator<=>(const Tag &) const = default;
+};
+
+/**
+ * A concrete resource: its type, its name (the resource ID in the
+ * paper's terminology) and the data source of the *name itself* (the
+ * resource ID (origin) data source of Table 2 — did the name come
+ * from the binary, the user, a file or a socket?).
+ */
+struct Resource
+{
+    SourceType type = SourceType::Unknown;
+    std::string name;
+    uint32_t nameOrigin = 0;    //!< TagSetId of the name's provenance
+
+    /**
+     * For sockets accepted from a listener: the listening (server)
+     * socket's resource. Policy reasoning about accepted
+     * connections uses the server's address provenance (the pma
+     * warnings of §8.3.6).
+     */
+    ResourceId server = 0xffffffff;
+};
+
+/** Registry of every resource the monitored program touched. */
+class ResourceTable
+{
+  public:
+    ResourceTable()
+    {
+        // Reserve id 0 as an explicit unknown resource.
+        resources_.push_back({SourceType::Unknown, "<unknown>", 0});
+    }
+
+    ResourceId
+    add(SourceType type, std::string name, uint32_t name_origin,
+        ResourceId server = NO_RESOURCE)
+    {
+        resources_.push_back(
+            {type, std::move(name), name_origin, server});
+        return (ResourceId)(resources_.size() - 1);
+    }
+
+    const Resource &
+    get(ResourceId id) const
+    {
+        panicIf(id >= resources_.size(), "bad resource id ", id);
+        return resources_[id];
+    }
+
+    size_t size() const { return resources_.size(); }
+
+  private:
+    std::vector<Resource> resources_;
+};
+
+} // namespace hth::taint
+
+#endif // HTH_TAINT_DATASOURCE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shadow state: a TagSetId per guest register and per memory byte.
+ *
+ * Shadow memory is paged and sparse; pages whose bytes are all
+ * untainted are never allocated. fork() clones the whole shadow via
+ * the copy constructor (only touched pages are copied).
+ */
+
+#ifndef HTH_TAINT_SHADOW_HH
+#define HTH_TAINT_SHADOW_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "taint/TagSet.hh"
+
+namespace hth::taint
+{
+
+/** Per-byte shadow memory, sparsely paged. */
+class ShadowMemory
+{
+  public:
+    static constexpr uint32_t PAGE_BITS = 12;
+    static constexpr uint32_t PAGE_SIZE = 1u << PAGE_BITS;
+
+    /** Tag set of the byte at @p addr (EMPTY when untouched). */
+    TagSetId
+    get(uint32_t addr) const
+    {
+        auto it = pages_.find(addr >> PAGE_BITS);
+        if (it == pages_.end())
+            return TagStore::EMPTY;
+        return (*it->second)[addr & (PAGE_SIZE - 1)];
+    }
+
+    /** Set the tag set of one byte. */
+    void
+    set(uint32_t addr, TagSetId id)
+    {
+        if (id == TagStore::EMPTY &&
+            pages_.find(addr >> PAGE_BITS) == pages_.end())
+            return; // avoid allocating a page just to store "empty"
+        page(addr >> PAGE_BITS)[addr & (PAGE_SIZE - 1)] = id;
+    }
+
+    /** Set the tag set of a byte range. */
+    void
+    setRange(uint32_t addr, uint32_t len, TagSetId id)
+    {
+        for (uint32_t i = 0; i < len; ++i)
+            set(addr + i, id);
+    }
+
+    /** Union of the tag sets of a byte range. */
+    TagSetId
+    rangeUnion(TagStore &store, uint32_t addr, uint32_t len) const
+    {
+        TagSetId acc = TagStore::EMPTY;
+        for (uint32_t i = 0; i < len; ++i)
+            acc = store.unite(acc, get(addr + i));
+        return acc;
+    }
+
+    /** Deep copy for fork(). */
+    ShadowMemory
+    clone() const
+    {
+        ShadowMemory out;
+        for (const auto &[pno, page] : pages_)
+            out.pages_.emplace(pno, std::make_unique<Page>(*page));
+        return out;
+    }
+
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<TagSetId, PAGE_SIZE>;
+
+    Page &
+    page(uint32_t pno)
+    {
+        auto it = pages_.find(pno);
+        if (it == pages_.end()) {
+            it = pages_.emplace(pno, std::make_unique<Page>()).first;
+            it->second->fill(TagStore::EMPTY);
+        }
+        return *it->second;
+    }
+
+    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace hth::taint
+
+#endif // HTH_TAINT_SHADOW_HH

@@ -1,0 +1,100 @@
+#include "taint/TagSet.hh"
+
+#include <algorithm>
+
+namespace hth::taint
+{
+
+TagStore::TagStore()
+{
+    sets_.emplace_back(); // id 0: empty set
+    ids_.emplace(std::vector<Tag>{}, EMPTY);
+}
+
+TagSetId
+TagStore::single(Tag tag)
+{
+    return intern({tag});
+}
+
+TagSetId
+TagStore::intern(std::vector<Tag> tags)
+{
+    std::sort(tags.begin(), tags.end());
+    tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+    auto it = ids_.find(tags);
+    if (it != ids_.end())
+        return it->second;
+    TagSetId id = (TagSetId)sets_.size();
+    sets_.push_back(tags);
+    ids_.emplace(std::move(tags), id);
+    ++stats_.setsInterned;
+    return id;
+}
+
+TagSetId
+TagStore::unite(TagSetId a, TagSetId b)
+{
+    if (a == b || b == EMPTY)
+        return a;
+    if (a == EMPTY)
+        return b;
+    ++stats_.unionCalls;
+    // Order the pair so (a,b) and (b,a) share a cache slot.
+    if (a > b)
+        std::swap(a, b);
+    uint64_t key = ((uint64_t)a << 32) | b;
+    auto it = unionCache_.find(key);
+    if (it != unionCache_.end()) {
+        ++stats_.unionCacheHits;
+        return it->second;
+    }
+    std::vector<Tag> merged;
+    const auto &sa = sets_[a];
+    const auto &sb = sets_[b];
+    merged.reserve(sa.size() + sb.size());
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::back_inserter(merged));
+    TagSetId id = intern(std::move(merged));
+    unionCache_.emplace(key, id);
+    return id;
+}
+
+const std::vector<Tag> &
+TagStore::tags(TagSetId id) const
+{
+    panicIf(id >= sets_.size(), "bad tag set id ", id);
+    return sets_[id];
+}
+
+bool
+TagStore::containsType(TagSetId id, SourceType type) const
+{
+    for (const Tag &t : tags(id))
+        if (t.type == type)
+            return true;
+    return false;
+}
+
+bool
+TagStore::contains(TagSetId id, Tag tag) const
+{
+    const auto &set = tags(id);
+    return std::binary_search(set.begin(), set.end(), tag);
+}
+
+const char *
+sourceTypeName(SourceType type)
+{
+    switch (type) {
+      case SourceType::UserInput: return "USER_INPUT";
+      case SourceType::File: return "FILE";
+      case SourceType::Socket: return "SOCKET";
+      case SourceType::Binary: return "BINARY";
+      case SourceType::Hardware: return "HARDWARE";
+      case SourceType::Unknown: return "UNKNOWN";
+    }
+    return "?";
+}
+
+} // namespace hth::taint

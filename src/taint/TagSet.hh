@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Interned taint tag sets with memoised unions.
+ *
+ * A TagSetId names an immutable, canonical (sorted, deduplicated) set
+ * of tags. Id 0 is the empty set. Because instruction-level data-flow
+ * tracking unions the same handful of sets millions of times,
+ * pairwise unions are memoised; the memo table hit rate is one of the
+ * statistics the performance evaluation (§9) reports.
+ */
+
+#ifndef HTH_TAINT_TAGSET_HH
+#define HTH_TAINT_TAGSET_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "taint/DataSource.hh"
+
+namespace hth::taint
+{
+
+/** Canonical identifier of an interned tag set; 0 is empty. */
+using TagSetId = uint32_t;
+
+/** Statistics about tag-set interning, for the §9 evaluation. */
+struct TagStoreStats
+{
+    uint64_t unionCalls = 0;
+    uint64_t unionCacheHits = 0;
+    uint64_t setsInterned = 0;
+};
+
+/** Interns tag sets and computes memoised unions. */
+class TagStore
+{
+  public:
+    TagStore();
+
+    /** The empty set. */
+    static constexpr TagSetId EMPTY = 0;
+
+    /** Intern the singleton set {tag}. */
+    TagSetId single(Tag tag);
+
+    /** Intern an arbitrary set (copied, canonicalised). */
+    TagSetId intern(std::vector<Tag> tags);
+
+    /** Union of two interned sets (memoised). */
+    TagSetId unite(TagSetId a, TagSetId b);
+
+    /** The tags in a set, sorted. */
+    const std::vector<Tag> &tags(TagSetId id) const;
+
+    /** True when @p id contains a tag of the given type. */
+    bool containsType(TagSetId id, SourceType type) const;
+
+    /** True when @p id contains exactly @p tag. */
+    bool contains(TagSetId id, Tag tag) const;
+
+    bool empty(TagSetId id) const { return id == EMPTY; }
+
+    size_t size() const { return sets_.size(); }
+    const TagStoreStats &stats() const { return stats_; }
+
+  private:
+    std::vector<std::vector<Tag>> sets_;
+    std::map<std::vector<Tag>, TagSetId> ids_;
+    std::unordered_map<uint64_t, TagSetId> unionCache_;
+    TagStoreStats stats_;
+};
+
+} // namespace hth::taint
+
+#endif // HTH_TAINT_TAGSET_HH

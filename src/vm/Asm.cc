@@ -1,0 +1,145 @@
+#include "vm/Asm.hh"
+
+#include <algorithm>
+
+#include "support/Logging.hh"
+
+namespace hth::vm
+{
+
+Asm::Asm(std::string path, bool shared_object)
+    : path_(std::move(path)), sharedObject_(shared_object)
+{
+}
+
+std::string
+Asm::dataBytes(const std::string &name, std::vector<uint8_t> bytes)
+{
+    fatalIf(dataSyms_.count(name) || codeLabels_.count(name) ||
+            bssSyms_.count(name),
+            "asm ", path_, ": duplicate symbol ", name);
+    dataSyms_[name] = (uint32_t)data_.size();
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+    return name;
+}
+
+std::string
+Asm::dataString(const std::string &name, const std::string &value)
+{
+    std::vector<uint8_t> bytes(value.begin(), value.end());
+    bytes.push_back(0);
+    return dataBytes(name, std::move(bytes));
+}
+
+std::string
+Asm::dataSpace(const std::string &name, uint32_t len)
+{
+    fatalIf(dataSyms_.count(name) || codeLabels_.count(name) ||
+            bssSyms_.count(name),
+            "asm ", path_, ": duplicate symbol ", name);
+    bssSyms_[name] = bssSize_;
+    bssSize_ += len;
+    return name;
+}
+
+void
+Asm::label(const std::string &name)
+{
+    fatalIf(dataSyms_.count(name) || codeLabels_.count(name),
+            "asm ", path_, ": duplicate label ", name);
+    codeLabels_[name] = (uint32_t)text_.size();
+}
+
+void
+Asm::entry(const std::string &label_name)
+{
+    entryLabel_ = label_name;
+}
+
+void
+Asm::emit(Opcode op, Reg r1, Reg r2, int32_t imm)
+{
+    fatalIf(built_, "asm ", path_, ": image already built");
+    text_.push_back({op, r1, r2, imm});
+}
+
+void
+Asm::emitReloc(Opcode op, Reg r1, Reg r2, const std::string &sym)
+{
+    relocs_.push_back({(uint32_t)text_.size(), sym});
+    emit(op, r1, r2, 0);
+}
+
+void
+Asm::callImport(const std::string &sym)
+{
+    auto it = std::find(imports_.begin(), imports_.end(), sym);
+    size_t idx;
+    if (it == imports_.end()) {
+        idx = imports_.size();
+        imports_.push_back(sym);
+    } else {
+        idx = (size_t)(it - imports_.begin());
+    }
+    emit(Opcode::CallSym, {}, {}, (int32_t)idx);
+}
+
+void
+Asm::native(const std::string &name)
+{
+    label(name);
+    natives_.push_back(name);
+    emit(Opcode::Native, {}, {}, (int32_t)(natives_.size() - 1));
+    ret();
+}
+
+std::shared_ptr<const Image>
+Asm::build()
+{
+    fatalIf(built_, "asm ", path_, ": image already built");
+    built_ = true;
+
+    auto image = std::make_shared<Image>();
+    image->path = path_;
+    image->sharedObject = sharedObject_;
+    image->text = std::move(text_);
+    image->data = std::move(data_);
+    image->imports = std::move(imports_);
+    image->natives = std::move(natives_);
+
+    image->bssSize = bssSize_;
+
+    // Resolve symbols to image-relative addresses.
+    const uint32_t data_off = image->dataOffset();
+    const uint32_t bss_off = image->bssOffset();
+    for (const auto &[name, insn_idx] : codeLabels_)
+        image->symbols[name] = insn_idx * INSN_SIZE;
+    for (const auto &[name, off] : dataSyms_)
+        image->symbols[name] = data_off + off;
+    for (const auto &[name, off] : bssSyms_)
+        image->symbols[name] = bss_off + off;
+
+    // Verify every relocation target exists.
+    for (const auto &reloc : relocs_)
+        fatalIf(!image->symbols.count(reloc.symbol),
+                "asm ", path_, ": undefined symbol ", reloc.symbol);
+    image->relocs = std::move(relocs_);
+
+    if (!entryLabel_.empty()) {
+        fatalIf(!image->symbols.count(entryLabel_),
+                "asm ", path_, ": undefined entry ", entryLabel_);
+        image->entry = image->symbols[entryLabel_];
+    }
+    return image;
+}
+
+uint32_t
+Image::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    fatalIf(it == symbols.end(), "image ", path,
+            ": undefined symbol ", name);
+    return it->second;
+}
+
+} // namespace hth::vm

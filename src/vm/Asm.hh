@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The HVM assembler: a fluent builder producing Image objects.
+ *
+ * Guest programs — the workload corpus standing in for the paper's
+ * benchmark binaries and exploits — are written against this API.
+ * Labels and data symbols may be referenced before definition; all
+ * references are recorded as relocations and resolved when the image
+ * is loaded (images are position-dependent only after loading, like
+ * pre-ASLR Linux executables).
+ */
+
+#ifndef HTH_VM_ASM_HH
+#define HTH_VM_ASM_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/Image.hh"
+#include "vm/Isa.hh"
+
+namespace hth::vm
+{
+
+/** Assembler / image builder. */
+class Asm
+{
+  public:
+    explicit Asm(std::string path, bool shared_object = false);
+
+    /** @name Data section @{ */
+
+    /** Define named raw bytes; returns the symbol name for chaining. */
+    std::string dataBytes(const std::string &name,
+                          std::vector<uint8_t> bytes);
+
+    /** Define a NUL-terminated string constant. */
+    std::string dataString(const std::string &name,
+                           const std::string &value);
+
+    /** Reserve a zero-filled buffer. */
+    std::string dataSpace(const std::string &name, uint32_t len);
+
+    /** @} */
+    /** @name Labels and symbols @{ */
+
+    /** Define a code label (exported as a symbol) here. */
+    void label(const std::string &name);
+
+    /** Set the entry point to a label (default: offset 0). */
+    void entry(const std::string &label_name);
+
+    /** @} */
+    /** @name Instructions @{ */
+
+    void halt() { emit(Opcode::Halt); }
+    void nop() { emit(Opcode::Nop); }
+
+    void mov(Reg dst, Reg src) { emit(Opcode::MovRR, dst, src); }
+    void movi(Reg dst, int32_t imm) { emit(Opcode::MovRI, dst, {}, imm); }
+    /** Load the address of a symbol (an immediate: BINARY source). */
+    void leaSym(Reg dst, const std::string &sym)
+    {
+        emitReloc(Opcode::MovRI, dst, {}, sym);
+    }
+    void lea(Reg dst, Reg base, int32_t off)
+    {
+        emit(Opcode::Lea, dst, base, off);
+    }
+    void load(Reg dst, Reg base, int32_t off = 0)
+    {
+        emit(Opcode::Load, dst, base, off);
+    }
+    void store(Reg base, int32_t off, Reg src)
+    {
+        emit(Opcode::Store, src, base, off);
+    }
+    void loadb(Reg dst, Reg base, int32_t off = 0)
+    {
+        emit(Opcode::LoadB, dst, base, off);
+    }
+    void storeb(Reg base, int32_t off, Reg src)
+    {
+        emit(Opcode::StoreB, src, base, off);
+    }
+
+    void push(Reg r) { emit(Opcode::Push, r); }
+    void pushi(int32_t imm) { emit(Opcode::PushI, {}, {}, imm); }
+    void pushSym(const std::string &sym)
+    {
+        emitReloc(Opcode::PushI, {}, {}, sym);
+    }
+    void pop(Reg r) { emit(Opcode::Pop, r); }
+
+    void add(Reg dst, Reg src) { emit(Opcode::Add, dst, src); }
+    void addi(Reg dst, int32_t imm) { emit(Opcode::AddI, dst, {}, imm); }
+    void sub(Reg dst, Reg src) { emit(Opcode::Sub, dst, src); }
+    void and_(Reg dst, Reg src) { emit(Opcode::And, dst, src); }
+    void or_(Reg dst, Reg src) { emit(Opcode::Or, dst, src); }
+    void xor_(Reg dst, Reg src) { emit(Opcode::Xor, dst, src); }
+    void mul(Reg dst, Reg src) { emit(Opcode::Mul, dst, src); }
+    void shl(Reg dst, int32_t imm) { emit(Opcode::Shl, dst, {}, imm); }
+    void shr(Reg dst, int32_t imm) { emit(Opcode::Shr, dst, {}, imm); }
+
+    void cmp(Reg a, Reg b) { emit(Opcode::Cmp, a, b); }
+    void cmpi(Reg a, int32_t imm) { emit(Opcode::CmpI, a, {}, imm); }
+
+    void jmp(const std::string &l) { emitReloc(Opcode::Jmp, {}, {}, l); }
+    void jz(const std::string &l) { emitReloc(Opcode::Jz, {}, {}, l); }
+    void jnz(const std::string &l) { emitReloc(Opcode::Jnz, {}, {}, l); }
+    void jl(const std::string &l) { emitReloc(Opcode::Jl, {}, {}, l); }
+    void jge(const std::string &l) { emitReloc(Opcode::Jge, {}, {}, l); }
+
+    void call(const std::string &l)
+    {
+        emitReloc(Opcode::Call, {}, {}, l);
+    }
+    /** Call a routine exported by another image (e.g. libc). */
+    void callImport(const std::string &sym);
+    void callr(Reg r) { emit(Opcode::CallR, r); }
+    void ret() { emit(Opcode::Ret); }
+
+    void int80() { emit(Opcode::Int80); }
+    void cpuid() { emit(Opcode::CpuId); }
+
+    /**
+     * Emit a native routine body: a Native instruction dispatching to
+     * the registered C++ handler named @p name, followed by ret.
+     */
+    void native(const std::string &name);
+
+    /** @} */
+
+    /** Current code position (instruction index). */
+    uint32_t here() const { return (uint32_t)text_.size(); }
+
+    /**
+     * Finalise the image. All referenced labels must be defined.
+     * The relocation list rides along in Image::relocs for the
+     * loader.
+     */
+    std::shared_ptr<const Image> build();
+
+  private:
+    void emit(Opcode op, Reg r1 = Reg::Eax, Reg r2 = Reg::Eax,
+              int32_t imm = 0);
+    void emitReloc(Opcode op, Reg r1, Reg r2, const std::string &sym);
+
+    std::string path_;
+    bool sharedObject_;
+    std::vector<Instruction> text_;
+    std::vector<uint8_t> data_;
+    std::map<std::string, uint32_t> codeLabels_;  //!< insn index
+    std::map<std::string, uint32_t> dataSyms_;    //!< data offset
+    std::map<std::string, uint32_t> bssSyms_;     //!< bss offset
+    uint32_t bssSize_ = 0;
+    std::vector<Relocation> relocs_;
+    std::vector<std::string> imports_;
+    std::vector<std::string> natives_;
+    std::string entryLabel_;
+    bool built_ = false;
+};
+
+} // namespace hth::vm
+
+#endif // HTH_VM_ASM_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Program images: the HVM analogue of an ELF executable or shared
+ * object.
+ *
+ * An image has a text section (decoded instructions), a data section
+ * (raw bytes: the hard-coded strings and constants the HTH policy
+ * hunts for), a symbol table, an import table for calls into other
+ * images, and a native-routine table for library functions whose
+ * bodies are implemented in C++ (the simulated glibc).
+ */
+
+#ifndef HTH_VM_IMAGE_HH
+#define HTH_VM_IMAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "taint/DataSource.hh"
+#include "vm/Isa.hh"
+
+namespace hth::vm
+{
+
+/** A symbol reference patched into an instruction's imm at load. */
+struct Relocation
+{
+    uint32_t textIndex;     //!< instruction whose imm gets patched
+    std::string symbol;     //!< local symbol (label or data)
+};
+
+/**
+ * An unloaded program image.
+ *
+ * Image-relative addresses: text occupies [0, text.size()*INSN_SIZE);
+ * data follows immediately at dataOffset().
+ */
+struct Image
+{
+    std::string path;                   //!< e.g. "/bin/ls"
+    bool sharedObject = false;
+
+    std::vector<Instruction> text;
+    std::vector<uint8_t> data;
+    uint32_t entry = 0;                 //!< image-relative entry point
+
+    /** Symbol name -> image-relative address (text or data). */
+    std::map<std::string, uint32_t> symbols;
+
+    /** Imported symbol names, indexed by CallSym's imm operand. */
+    std::vector<std::string> imports;
+
+    /** Native routine names, indexed by Native's imm operand. */
+    std::vector<std::string> natives;
+
+    /** Symbol references to patch when the image is mapped. */
+    std::vector<Relocation> relocs;
+
+    uint32_t
+    dataOffset() const
+    {
+        return (uint32_t)text.size() * INSN_SIZE;
+    }
+
+    /** Zero-initialised (.bss) bytes following the data section.
+     * Unlike data, bss is not backed by file bytes, so the loader
+     * does not tag it BINARY. */
+    uint32_t bssSize = 0;
+
+    uint32_t
+    bssOffset() const
+    {
+        return dataOffset() + (uint32_t)data.size();
+    }
+
+    uint32_t
+    sizeBytes() const
+    {
+        return bssOffset() + bssSize;
+    }
+
+    /** Image-relative address of @p name; fatal when missing. */
+    uint32_t symbol(const std::string &name) const;
+};
+
+/** An image mapped into a process address space. */
+struct LoadedImage
+{
+    std::shared_ptr<const Image> image;
+    uint32_t base = 0;                  //!< text base address
+    taint::ResourceId resource = taint::NO_RESOURCE;
+
+    /** Text with relocations applied for this mapping. */
+    std::vector<Instruction> text;
+
+    /** Absolute addresses the image's imports resolved to. */
+    std::vector<uint32_t> importAddrs;
+
+    uint32_t textEnd() const
+    {
+        return base + (uint32_t)image->text.size() * INSN_SIZE;
+    }
+
+    uint32_t dataBase() const { return base + image->dataOffset(); }
+    uint32_t end() const { return base + image->sizeBytes(); }
+
+    bool
+    containsText(uint32_t addr) const
+    {
+        return addr >= base && addr < textEnd();
+    }
+
+    /** Absolute address of a symbol. */
+    uint32_t
+    symbolAddr(const std::string &name) const
+    {
+        return base + image->symbol(name);
+    }
+};
+
+} // namespace hth::vm
+
+#endif // HTH_VM_IMAGE_HH

@@ -1,0 +1,97 @@
+#include "vm/Isa.hh"
+
+#include <sstream>
+
+namespace hth::vm
+{
+
+const char *
+regName(Reg r)
+{
+    switch (r) {
+      case Reg::Eax: return "eax";
+      case Reg::Ebx: return "ebx";
+      case Reg::Ecx: return "ecx";
+      case Reg::Edx: return "edx";
+      case Reg::Esi: return "esi";
+      case Reg::Edi: return "edi";
+      case Reg::Ebp: return "ebp";
+      case Reg::Esp: return "esp";
+      default: return "?";
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Halt: return "halt";
+      case Opcode::Nop: return "nop";
+      case Opcode::MovRR: return "mov";
+      case Opcode::MovRI: return "movi";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::LoadB: return "loadb";
+      case Opcode::StoreB: return "storeb";
+      case Opcode::Lea: return "lea";
+      case Opcode::Push: return "push";
+      case Opcode::PushI: return "pushi";
+      case Opcode::Pop: return "pop";
+      case Opcode::Add: return "add";
+      case Opcode::AddI: return "addi";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Mul: return "mul";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Cmp: return "cmp";
+      case Opcode::CmpI: return "cmpi";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Jz: return "jz";
+      case Opcode::Jnz: return "jnz";
+      case Opcode::Jl: return "jl";
+      case Opcode::Jge: return "jge";
+      case Opcode::Call: return "call";
+      case Opcode::CallSym: return "callsym";
+      case Opcode::CallR: return "callr";
+      case Opcode::Ret: return "ret";
+      case Opcode::Int80: return "int80";
+      case Opcode::CpuId: return "cpuid";
+      case Opcode::Native: return "native";
+      default: return "?";
+    }
+}
+
+bool
+isControlTransfer(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jmp:
+      case Opcode::Jz:
+      case Opcode::Jnz:
+      case Opcode::Jl:
+      case Opcode::Jge:
+      case Opcode::Call:
+      case Opcode::CallSym:
+      case Opcode::CallR:
+      case Opcode::Ret:
+      case Opcode::Int80:
+      case Opcode::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    oss << opcodeName(op) << " " << regName(r1) << "," << regName(r2)
+        << "," << imm;
+    return oss.str();
+}
+
+} // namespace hth::vm

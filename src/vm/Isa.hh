@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The HVM instruction set: a small x86-flavoured register ISA.
+ *
+ * The VM exists to give Harrier the same instrumentation surface PIN
+ * gives the paper's prototype: instructions that move and compute
+ * data between registers and memory, control transfers delimiting
+ * basic blocks, an `int 0x80` system-call gate with the i386 Linux
+ * register convention (number in EAX, arguments in EBX..EDI), and a
+ * CPUID instruction sourcing data from "hardware".
+ *
+ * Every instruction occupies four bytes of guest address space.
+ */
+
+#ifndef HTH_VM_ISA_HH
+#define HTH_VM_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hth::vm
+{
+
+/** General-purpose registers (i386 names). */
+enum class Reg : uint8_t
+{
+    Eax,
+    Ebx,
+    Ecx,
+    Edx,
+    Esi,
+    Edi,
+    Ebp,
+    Esp,
+    NUM_REGS,
+};
+
+constexpr size_t NUM_REGS = (size_t)Reg::NUM_REGS;
+
+/** Register name, e.g. "eax". */
+const char *regName(Reg r);
+
+/** Operation codes. */
+enum class Opcode : uint8_t
+{
+    Halt,       //!< stop the machine (guests normally exit via SYS_exit)
+    Nop,
+
+    // Data movement
+    MovRR,      //!< r1 <- r2
+    MovRI,      //!< r1 <- imm (immediate: BINARY data source)
+    Load,       //!< r1 <- mem32[r2 + imm]
+    Store,      //!< mem32[r2 + imm] <- r1
+    LoadB,      //!< r1 <- zext mem8[r2 + imm]
+    StoreB,     //!< mem8[r2 + imm] <- low8(r1)
+    Lea,        //!< r1 <- r2 + imm
+    Push,       //!< push r1
+    PushI,      //!< push imm
+    Pop,        //!< pop r1
+
+    // ALU
+    Add,        //!< r1 <- r1 + r2
+    AddI,       //!< r1 <- r1 + imm
+    Sub,        //!< r1 <- r1 - r2
+    And,        //!< r1 <- r1 & r2
+    Or,         //!< r1 <- r1 | r2
+    Xor,        //!< r1 <- r1 ^ r2 (xor r,r clears taint: zero idiom)
+    Mul,        //!< r1 <- r1 * r2
+    Shl,        //!< r1 <- r1 << imm
+    Shr,        //!< r1 <- r1 >> imm
+
+    // Flags and control transfer
+    Cmp,        //!< set flags from r1 - r2
+    CmpI,       //!< set flags from r1 - imm
+    Jmp,        //!< eip <- imm (absolute)
+    Jz,         //!< if ZF: eip <- imm
+    Jnz,        //!< if !ZF: eip <- imm
+    Jl,         //!< if SF: eip <- imm
+    Jge,        //!< if !SF: eip <- imm
+    Call,       //!< push return address; eip <- imm
+    CallSym,    //!< call through the image import table (index imm)
+    CallR,      //!< push return address; eip <- r1
+    Ret,        //!< pop eip
+
+    // System interaction
+    Int80,      //!< system call gate
+    CpuId,      //!< eax..edx <- processor id (HARDWARE data source)
+    Native,     //!< invoke native routine (library implementation)
+
+    NUM_OPCODES,
+};
+
+/** Mnemonic for diagnostics, e.g. "mov". */
+const char *opcodeName(Opcode op);
+
+/** True for opcodes that end a basic block. */
+bool isControlTransfer(Opcode op);
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Reg r1 = Reg::Eax;
+    Reg r2 = Reg::Eax;
+    int32_t imm = 0;
+
+    std::string toString() const;
+};
+
+/** Each instruction occupies this many bytes of address space. */
+constexpr uint32_t INSN_SIZE = 4;
+
+} // namespace hth::vm
+
+#endif // HTH_VM_ISA_HH

@@ -1,0 +1,543 @@
+#include "vm/Machine.hh"
+
+#include <algorithm>
+
+#include "support/Logging.hh"
+
+namespace hth::vm
+{
+
+using taint::TagSetId;
+using taint::TagStore;
+
+Machine::Machine(taint::TagStore &tags) : tags_(&tags)
+{
+    regTags_.fill(TagStore::EMPTY);
+    setReg(Reg::Esp, STACK_TOP);
+}
+
+//
+// Image loading
+//
+
+const LoadedImage &
+Machine::loadImage(std::shared_ptr<const Image> image,
+                   taint::ResourceId resource, uint32_t base)
+{
+    if (base == 0) {
+        if (image->sharedObject) {
+            base = nextSoBase_;
+            nextSoBase_ += SO_STRIDE;
+        } else {
+            base = APP_BASE;
+        }
+    }
+
+    LoadedImage loaded;
+    loaded.image = image;
+    loaded.base = base;
+    loaded.resource = resource;
+    loaded.text = image->text;
+
+    // Apply relocations: patch absolute addresses of local symbols.
+    for (const auto &reloc : image->relocs) {
+        panicIf(reloc.textIndex >= loaded.text.size(),
+                "reloc beyond text in ", image->path);
+        loaded.text[reloc.textIndex].imm =
+            (int32_t)(base + image->symbol(reloc.symbol));
+    }
+
+    // Resolve imports against the images loaded so far.
+    for (const auto &sym : image->imports) {
+        uint32_t addr = 0;
+        for (const auto &other : images_) {
+            auto it = other.image->symbols.find(sym);
+            if (it != other.image->symbols.end()) {
+                addr = other.base + it->second;
+                break;
+            }
+        }
+        fatalIf(addr == 0, "image ", image->path,
+                ": unresolved import ", sym);
+        loaded.importAddrs.push_back(addr);
+    }
+
+    // Map the data section and tag it as BINARY data (§7.3.2).
+    const uint32_t data_base = base + image->dataOffset();
+    if (!image->data.empty()) {
+        mem_.writeBytes(data_base, image->data.data(),
+                        image->data.size());
+        if (trackTaint_) {
+            TagSetId tag = tags_->single(
+                {taint::SourceType::Binary, resource});
+            shadow_.setRange(data_base, (uint32_t)image->data.size(),
+                             tag);
+        }
+    }
+
+    images_.push_back(std::move(loaded));
+    const LoadedImage &ref = images_.back();
+    if (instrumentor_)
+        instrumentor_->imageLoaded(*this, ref);
+    return ref;
+}
+
+const LoadedImage *
+Machine::findImage(uint32_t addr) const
+{
+    for (const auto &img : images_)
+        if (img.containsText(addr))
+            return &img;
+    return nullptr;
+}
+
+const LoadedImage *
+Machine::appImage() const
+{
+    for (const auto &img : images_)
+        if (!img.image->sharedObject)
+            return &img;
+    return nullptr;
+}
+
+uint32_t
+Machine::resolveSymbol(const std::string &name) const
+{
+    for (const auto &img : images_) {
+        auto it = img.image->symbols.find(name);
+        if (it != img.image->symbols.end())
+            return img.base + it->second;
+    }
+    fatal("unresolved symbol ", name);
+}
+
+void
+Machine::resetForExec()
+{
+    images_.clear();
+    nextSoBase_ = SO_BASE;
+    regs_.fill(0);
+    regTags_.fill(TagStore::EMPTY);
+    setReg(Reg::Esp, STACK_TOP);
+    mem_ = GuestMemory();
+    shadow_ = taint::ShadowMemory();
+    eip_ = 0;
+    zf_ = sf_ = false;
+    halted_ = false;
+    bbStart_ = true;
+}
+
+//
+// Guest helpers
+//
+
+void
+Machine::push32(uint32_t value, TagSetId tag)
+{
+    uint32_t esp = reg(Reg::Esp) - 4;
+    setReg(Reg::Esp, esp);
+    mem_.write32(esp, value);
+    if (trackTaint_)
+        shadow_.setRange(esp, 4, tag);
+}
+
+uint32_t
+Machine::pop32(TagSetId *tag_out)
+{
+    uint32_t esp = reg(Reg::Esp);
+    uint32_t value = mem_.read32(esp);
+    if (tag_out)
+        *tag_out = shadow_.rangeUnion(*tags_, esp, 4);
+    setReg(Reg::Esp, esp + 4);
+    return value;
+}
+
+TagSetId
+Machine::stringTags(uint32_t addr) const
+{
+    TagSetId acc = TagStore::EMPTY;
+    for (uint32_t i = 0; i < 4096; ++i) {
+        if (mem_.read8(addr + i) == 0)
+            break;
+        acc = tags_->unite(acc, shadow_.get(addr + i));
+    }
+    return acc;
+}
+
+TagSetId
+Machine::rangeTags(uint32_t addr, uint32_t len) const
+{
+    return shadow_.rangeUnion(*tags_, addr, len);
+}
+
+void
+Machine::writeTagged(uint32_t addr, const void *src, size_t len,
+                     TagSetId tag)
+{
+    mem_.writeBytes(addr, src, len);
+    if (trackTaint_)
+        shadow_.setRange(addr, (uint32_t)len, tag);
+}
+
+//
+// Execution
+//
+
+Instruction
+Machine::fetch(uint32_t pc, const LoadedImage **img_out, bool *ok)
+{
+    const LoadedImage *img = findImage(pc);
+    if (!img || (pc - img->base) % INSN_SIZE != 0) {
+        *ok = false;
+        return {};
+    }
+    *img_out = img;
+    *ok = true;
+    return img->text[(pc - img->base) / INSN_SIZE];
+}
+
+TagSetId
+Machine::binaryTag(const LoadedImage &img)
+{
+    return tags_->single({taint::SourceType::Binary, img.resource});
+}
+
+void
+Machine::propagate(const Instruction &insn, uint32_t pc,
+                   const LoadedImage &img)
+{
+    (void)pc;
+    ++stats_.taintOps;
+    switch (insn.op) {
+      case Opcode::MovRR:
+        setRegTag(insn.r1, regTag(insn.r2));
+        break;
+      case Opcode::MovRI:
+      case Opcode::Lea:
+        // Immediates come from the binary image (§7.3.1 example 2);
+        // lea propagates the base register's provenance.
+        if (insn.op == Opcode::MovRI)
+            setRegTag(insn.r1, binaryTag(img));
+        else
+            setRegTag(insn.r1, regTag(insn.r2));
+        break;
+      case Opcode::Load: {
+        uint32_t ea = reg(insn.r2) + (uint32_t)insn.imm;
+        setRegTag(insn.r1, shadow_.rangeUnion(*tags_, ea, 4));
+        break;
+      }
+      case Opcode::LoadB: {
+        uint32_t ea = reg(insn.r2) + (uint32_t)insn.imm;
+        setRegTag(insn.r1, shadow_.get(ea));
+        break;
+      }
+      case Opcode::Store: {
+        uint32_t ea = reg(insn.r2) + (uint32_t)insn.imm;
+        shadow_.setRange(ea, 4, regTag(insn.r1));
+        break;
+      }
+      case Opcode::StoreB: {
+        uint32_t ea = reg(insn.r2) + (uint32_t)insn.imm;
+        shadow_.set(ea, regTag(insn.r1));
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Mul:
+        // Result carries the union of both operands' sources
+        // (§7.3.1 example 3).
+        setRegTag(insn.r1,
+                  tags_->unite(regTag(insn.r1), regTag(insn.r2)));
+        break;
+      case Opcode::Xor:
+        // xor r,r is the x86 zeroing idiom: the result is a constant
+        // independent of the operand, so taint is cleared.
+        if (insn.r1 == insn.r2)
+            setRegTag(insn.r1, TagStore::EMPTY);
+        else
+            setRegTag(insn.r1,
+                      tags_->unite(regTag(insn.r1), regTag(insn.r2)));
+        break;
+      case Opcode::AddI:
+      case Opcode::Shl:
+      case Opcode::Shr:
+        // Constant-offset arithmetic keeps the operand's provenance;
+        // uniting in BINARY here would drown every loop counter in
+        // binary taint without adding policy signal.
+        break;
+      case Opcode::CpuId: {
+        // Processor identification: HARDWARE source (§7.3.1 ex. 4).
+        TagSetId hw = tags_->single(
+            {taint::SourceType::Hardware, taint::NO_RESOURCE});
+        setRegTag(Reg::Eax, hw);
+        setRegTag(Reg::Ebx, hw);
+        setRegTag(Reg::Ecx, hw);
+        setRegTag(Reg::Edx, hw);
+        break;
+      }
+      case Opcode::PushI:
+        // Handled in the executor (tag passed to push32).
+        break;
+      default:
+        break;
+    }
+}
+
+StepResult
+Machine::step()
+{
+    if (halted_)
+        return {StepKind::Halted, "", nullptr, ""};
+
+    const uint32_t pc = eip_;
+    const LoadedImage *img = nullptr;
+    bool ok = false;
+    const Instruction insn = fetch(pc, &img, &ok);
+    if (!ok) {
+        halted_ = true;
+        return {StepKind::Fault, "", nullptr,
+                "bad fetch at " + std::to_string(pc)};
+    }
+
+    if (bbStart_) {
+        ++stats_.basicBlocks;
+        if (instrumentor_)
+            instrumentor_->basicBlock(*this, pc);
+        bbStart_ = false;
+    }
+
+    if (instrumentor_)
+        instrumentor_->instruction(*this, insn, pc);
+    if (traceDepth_) {
+        if (trace_.size() >= traceDepth_)
+            trace_.pop_front();
+        trace_.push_back({pc, insn});
+    }
+    if (trackTaint_)
+        propagate(insn, pc, *img);
+
+    ++stats_.instructions;
+    uint32_t next = pc + INSN_SIZE;
+    StepResult result;
+
+    switch (insn.op) {
+      case Opcode::Halt:
+        halted_ = true;
+        eip_ = next;
+        return {StepKind::Halted, "", nullptr, ""};
+      case Opcode::Nop:
+        break;
+
+      case Opcode::MovRR:
+        setReg(insn.r1, reg(insn.r2));
+        break;
+      case Opcode::MovRI:
+        setReg(insn.r1, (uint32_t)insn.imm);
+        break;
+      case Opcode::Lea:
+        setReg(insn.r1, reg(insn.r2) + (uint32_t)insn.imm);
+        break;
+      case Opcode::Load:
+        setReg(insn.r1, mem_.read32(reg(insn.r2) + (uint32_t)insn.imm));
+        break;
+      case Opcode::Store:
+        mem_.write32(reg(insn.r2) + (uint32_t)insn.imm, reg(insn.r1));
+        break;
+      case Opcode::LoadB:
+        setReg(insn.r1, mem_.read8(reg(insn.r2) + (uint32_t)insn.imm));
+        break;
+      case Opcode::StoreB:
+        mem_.write8(reg(insn.r2) + (uint32_t)insn.imm,
+                    (uint8_t)reg(insn.r1));
+        break;
+
+      case Opcode::Push:
+        push32(reg(insn.r1), trackTaint_ ? regTag(insn.r1)
+                                         : TagStore::EMPTY);
+        break;
+      case Opcode::PushI:
+        push32((uint32_t)insn.imm,
+               trackTaint_ ? binaryTag(*img) : TagStore::EMPTY);
+        break;
+      case Opcode::Pop: {
+        TagSetId tag = TagStore::EMPTY;
+        uint32_t v = pop32(trackTaint_ ? &tag : nullptr);
+        setReg(insn.r1, v);
+        if (trackTaint_)
+            setRegTag(insn.r1, tag);
+        break;
+      }
+
+      case Opcode::Add:
+        setReg(insn.r1, reg(insn.r1) + reg(insn.r2));
+        break;
+      case Opcode::AddI:
+        setReg(insn.r1, reg(insn.r1) + (uint32_t)insn.imm);
+        break;
+      case Opcode::Sub:
+        setReg(insn.r1, reg(insn.r1) - reg(insn.r2));
+        break;
+      case Opcode::And:
+        setReg(insn.r1, reg(insn.r1) & reg(insn.r2));
+        break;
+      case Opcode::Or:
+        setReg(insn.r1, reg(insn.r1) | reg(insn.r2));
+        break;
+      case Opcode::Xor:
+        setReg(insn.r1, reg(insn.r1) ^ reg(insn.r2));
+        break;
+      case Opcode::Mul:
+        setReg(insn.r1, reg(insn.r1) * reg(insn.r2));
+        break;
+      case Opcode::Shl:
+        setReg(insn.r1, reg(insn.r1) << (insn.imm & 31));
+        break;
+      case Opcode::Shr:
+        setReg(insn.r1, reg(insn.r1) >> (insn.imm & 31));
+        break;
+
+      case Opcode::Cmp: {
+        uint32_t a = reg(insn.r1), b = reg(insn.r2);
+        zf_ = (a == b);
+        sf_ = ((int32_t)(a - b) < 0);
+        break;
+      }
+      case Opcode::CmpI: {
+        uint32_t a = reg(insn.r1), b = (uint32_t)insn.imm;
+        zf_ = (a == b);
+        sf_ = ((int32_t)(a - b) < 0);
+        break;
+      }
+
+      case Opcode::Jmp:
+        next = (uint32_t)insn.imm;
+        break;
+      case Opcode::Jz:
+        if (zf_)
+            next = (uint32_t)insn.imm;
+        break;
+      case Opcode::Jnz:
+        if (!zf_)
+            next = (uint32_t)insn.imm;
+        break;
+      case Opcode::Jl:
+        if (sf_)
+            next = (uint32_t)insn.imm;
+        break;
+      case Opcode::Jge:
+        if (!sf_)
+            next = (uint32_t)insn.imm;
+        break;
+
+      case Opcode::Call:
+        push32(next, TagStore::EMPTY);
+        next = (uint32_t)insn.imm;
+        if (instrumentor_)
+            instrumentor_->routineEnter(*this, next);
+        break;
+      case Opcode::CallSym: {
+        const auto &addrs = img->importAddrs;
+        if ((size_t)insn.imm >= addrs.size()) {
+            halted_ = true;
+            return {StepKind::Fault, "", img, "bad import index"};
+        }
+        push32(next, TagStore::EMPTY);
+        next = addrs[insn.imm];
+        if (instrumentor_)
+            instrumentor_->routineEnter(*this, next);
+        break;
+      }
+      case Opcode::CallR:
+        push32(next, TagStore::EMPTY);
+        next = reg(insn.r1);
+        if (instrumentor_)
+            instrumentor_->routineEnter(*this, next);
+        break;
+      case Opcode::Ret:
+        next = pop32();
+        break;
+
+      case Opcode::Int80:
+        eip_ = next;
+        bbStart_ = true;
+        return {StepKind::Syscall, "", img, ""};
+      case Opcode::CpuId:
+        // Deterministic pseudo processor identification words.
+        setReg(Reg::Eax, 0x48544856); // "HTHV"
+        setReg(Reg::Ebx, 0x756e6548);
+        setReg(Reg::Ecx, 0x6c65746e);
+        setReg(Reg::Edx, 0x49656e69);
+        break;
+      case Opcode::Native: {
+        const auto &names = img->image->natives;
+        if ((size_t)insn.imm >= names.size()) {
+            halted_ = true;
+            return {StepKind::Fault, "", img, "bad native index"};
+        }
+        eip_ = next;
+        return {StepKind::Native, names[insn.imm], img, ""};
+      }
+      default:
+        halted_ = true;
+        return {StepKind::Fault, "", img, "bad opcode"};
+    }
+
+    if (isControlTransfer(insn.op))
+        bbStart_ = true;
+    eip_ = next;
+    return result;
+}
+
+void
+Machine::setTraceDepth(size_t depth)
+{
+    traceDepth_ = depth;
+    while (trace_.size() > traceDepth_)
+        trace_.pop_front();
+}
+
+std::string
+Machine::traceToString() const
+{
+    std::string out;
+    for (const TraceEntry &entry : trace_) {
+        const LoadedImage *img = findImage(entry.pc);
+        out += "  ";
+        if (img) {
+            out += img->image->path;
+            out += "+";
+            out += std::to_string(entry.pc - img->base);
+        } else {
+            out += std::to_string(entry.pc);
+        }
+        out += ": ";
+        out += entry.insn.toString();
+        out += "\n";
+    }
+    return out;
+}
+
+Machine
+Machine::cloneForFork() const
+{
+    Machine out(*tags_);
+    out.regs_ = regs_;
+    out.regTags_ = regTags_;
+    out.eip_ = eip_;
+    out.zf_ = zf_;
+    out.sf_ = sf_;
+    out.halted_ = halted_;
+    out.bbStart_ = bbStart_;
+    out.trackTaint_ = trackTaint_;
+    out.mem_ = mem_.clone();
+    out.shadow_ = shadow_.clone();
+    out.images_ = images_;
+    out.nextSoBase_ = nextSoBase_;
+    out.instrumentor_ = instrumentor_;
+    out.stats_ = MachineStats{};
+    return out;
+}
+
+} // namespace hth::vm

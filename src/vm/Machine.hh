@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The HVM machine: one guest hardware context (registers, memory,
+ * shadow taint state, loaded images) and its interpreter.
+ *
+ * The machine plays PIN's role in the paper: it exposes
+ * instrumentation callbacks at instruction and basic-block
+ * granularity (Table 3), performs instruction-level data-flow
+ * propagation when taint tracking is enabled (§7.3.1), tags loaded
+ * binaries (§7.3.2), and yields to the kernel on `int 0x80` and
+ * native library routines.
+ */
+
+#ifndef HTH_VM_MACHINE_HH
+#define HTH_VM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "taint/Shadow.hh"
+#include "taint/TagSet.hh"
+#include "vm/Image.hh"
+#include "vm/Isa.hh"
+#include "vm/Memory.hh"
+
+namespace hth::vm
+{
+
+class Machine;
+
+/** Instrumentation callbacks, PIN-style. */
+class Instrumentor
+{
+  public:
+    virtual ~Instrumentor() = default;
+
+    /** An image was mapped into the address space. */
+    virtual void imageLoaded(Machine &m, const LoadedImage &img)
+    {
+        (void)m; (void)img;
+    }
+
+    /** Execution entered a new basic block at @p pc. */
+    virtual void basicBlock(Machine &m, uint32_t pc)
+    {
+        (void)m; (void)pc;
+    }
+
+    /** About to execute @p insn at @p pc (pre-execution). */
+    virtual void instruction(Machine &m, const Instruction &insn,
+                             uint32_t pc)
+    {
+        (void)m; (void)insn; (void)pc;
+    }
+
+    /** A call instruction is transferring to @p target. */
+    virtual void routineEnter(Machine &m, uint32_t target)
+    {
+        (void)m; (void)target;
+    }
+};
+
+/** Why step() returned. */
+enum class StepKind
+{
+    Ok,         //!< one instruction executed
+    Syscall,    //!< int 0x80: kernel must handle, then continue
+    Native,     //!< native library routine: kernel must dispatch
+    Halted,     //!< Halt executed
+    Fault,      //!< bad fetch / invalid operation
+};
+
+/** step() outcome. */
+struct StepResult
+{
+    StepKind kind = StepKind::Ok;
+    std::string nativeName;             //!< for Native
+    const LoadedImage *faultImage = nullptr;
+    std::string faultReason;
+};
+
+/** Machine execution statistics (performance evaluation §9). */
+struct MachineStats
+{
+    uint64_t instructions = 0;
+    uint64_t basicBlocks = 0;
+    uint64_t taintOps = 0;
+};
+
+/** One guest hardware context. */
+class Machine
+{
+  public:
+    /** Conventional layout constants (pre-ASLR Linux flavoured). */
+    static constexpr uint32_t APP_BASE = 0x08048000;
+    static constexpr uint32_t SO_BASE = 0x40000000;
+    static constexpr uint32_t SO_STRIDE = 0x00100000;
+    static constexpr uint32_t STACK_TOP = 0xbffff000;
+    static constexpr uint32_t HEAP_BASE = 0x10000000;
+
+    explicit Machine(taint::TagStore &tags);
+
+    Machine(Machine &&) = default;
+    Machine &operator=(Machine &&) = default;
+
+    /** @name Register file @{ */
+    uint32_t reg(Reg r) const { return regs_[(size_t)r]; }
+    void setReg(Reg r, uint32_t v) { regs_[(size_t)r] = v; }
+    taint::TagSetId regTag(Reg r) const
+    {
+        return regTags_[(size_t)r];
+    }
+    void setRegTag(Reg r, taint::TagSetId t)
+    {
+        regTags_[(size_t)r] = t;
+    }
+    uint32_t eip() const { return eip_; }
+    void setEip(uint32_t pc) { eip_ = pc; bbStart_ = true; }
+    /** @} */
+
+    GuestMemory &mem() { return mem_; }
+    const GuestMemory &mem() const { return mem_; }
+    taint::ShadowMemory &shadow() { return shadow_; }
+    taint::TagStore &tagStore() { return *tags_; }
+
+    /** @name Image loading @{ */
+
+    /**
+     * Map an image at @p base (or the conventional base when 0),
+     * apply relocations, resolve imports against previously loaded
+     * images, write the data section into memory and tag it BINARY.
+     *
+     * @param resource the BINARY resource id assigned by the OS.
+     */
+    const LoadedImage &loadImage(std::shared_ptr<const Image> image,
+                                 taint::ResourceId resource,
+                                 uint32_t base = 0);
+
+    /** The loaded image whose text contains @p addr, or nullptr. */
+    const LoadedImage *findImage(uint32_t addr) const;
+
+    /** The main executable (first non-shared image), or nullptr. */
+    const LoadedImage *appImage() const;
+
+    const std::vector<LoadedImage> &images() const { return images_; }
+
+    /** Absolute address of an exported symbol across all images. */
+    uint32_t resolveSymbol(const std::string &name) const;
+
+    /** Drop all images and (re)initialise for a fresh executable. */
+    void resetForExec();
+
+    /** @} */
+    /** @name Execution @{ */
+
+    void setInstrumentor(Instrumentor *ins) { instrumentor_ = ins; }
+    void setTaintTracking(bool on) { trackTaint_ = on; }
+    bool taintTracking() const { return trackTaint_; }
+
+    /** Execute one instruction (or yield at a kernel boundary). */
+    StepResult step();
+
+    bool halted() const { return halted_; }
+    void setHalted() { halted_ = true; }
+
+    const MachineStats &stats() const { return stats_; }
+
+    /** @name Execution tracing (diagnostics) @{ */
+
+    /** One retired instruction in the trace ring. */
+    struct TraceEntry
+    {
+        uint32_t pc = 0;
+        Instruction insn;
+    };
+
+    /** Keep the last @p depth retired instructions (0: off). */
+    void setTraceDepth(size_t depth);
+
+    /** The retained trace, oldest first. */
+    const std::deque<TraceEntry> &trace() const { return trace_; }
+
+    /** Render the trace with image-relative locations. */
+    std::string traceToString() const;
+
+    /** @} */
+
+    /** @} */
+    /** @name Guest helpers @{ */
+
+    void push32(uint32_t value, taint::TagSetId tag);
+    uint32_t pop32(taint::TagSetId *tag_out = nullptr);
+
+    /** Union of the shadow tags over a NUL-terminated string. */
+    taint::TagSetId stringTags(uint32_t addr) const;
+
+    /** Union of the shadow tags over @p len bytes. */
+    taint::TagSetId rangeTags(uint32_t addr, uint32_t len) const;
+
+    /** Write bytes and set every byte's tag to @p tag. */
+    void writeTagged(uint32_t addr, const void *src, size_t len,
+                     taint::TagSetId tag);
+
+    /** @} */
+
+    /** Deep copy (fork support): same TagStore, copied state. */
+    Machine cloneForFork() const;
+
+  private:
+    Instruction fetch(uint32_t pc, const LoadedImage **img_out,
+                      bool *ok);
+    void propagate(const Instruction &insn, uint32_t pc,
+                   const LoadedImage &img);
+    taint::TagSetId binaryTag(const LoadedImage &img);
+
+    taint::TagStore *tags_;
+    std::array<uint32_t, NUM_REGS> regs_{};
+    std::array<taint::TagSetId, NUM_REGS> regTags_{};
+    uint32_t eip_ = 0;
+    bool zf_ = false;
+    bool sf_ = false;
+    bool halted_ = false;
+    bool bbStart_ = true;
+    bool trackTaint_ = false;
+
+    GuestMemory mem_;
+    taint::ShadowMemory shadow_;
+    std::vector<LoadedImage> images_;
+    uint32_t nextSoBase_ = SO_BASE;
+
+    Instrumentor *instrumentor_ = nullptr;
+    MachineStats stats_;
+
+    size_t traceDepth_ = 0;
+    std::deque<TraceEntry> trace_;
+};
+
+} // namespace hth::vm
+
+#endif // HTH_VM_MACHINE_HH

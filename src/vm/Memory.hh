@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Sparse paged guest memory (32-bit flat address space).
+ */
+
+#ifndef HTH_VM_MEMORY_HH
+#define HTH_VM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace hth::vm
+{
+
+/** Byte-addressable sparse memory; unmapped reads return zero. */
+class GuestMemory
+{
+  public:
+    static constexpr uint32_t PAGE_BITS = 12;
+    static constexpr uint32_t PAGE_SIZE = 1u << PAGE_BITS;
+
+    uint8_t
+    read8(uint32_t addr) const
+    {
+        auto it = pages_.find(addr >> PAGE_BITS);
+        if (it == pages_.end())
+            return 0;
+        return (*it->second)[addr & (PAGE_SIZE - 1)];
+    }
+
+    void
+    write8(uint32_t addr, uint8_t value)
+    {
+        page(addr >> PAGE_BITS)[addr & (PAGE_SIZE - 1)] = value;
+    }
+
+    uint32_t
+    read32(uint32_t addr) const
+    {
+        return (uint32_t)read8(addr) | ((uint32_t)read8(addr + 1) << 8) |
+               ((uint32_t)read8(addr + 2) << 16) |
+               ((uint32_t)read8(addr + 3) << 24);
+    }
+
+    void
+    write32(uint32_t addr, uint32_t value)
+    {
+        write8(addr, (uint8_t)value);
+        write8(addr + 1, (uint8_t)(value >> 8));
+        write8(addr + 2, (uint8_t)(value >> 16));
+        write8(addr + 3, (uint8_t)(value >> 24));
+    }
+
+    void
+    writeBytes(uint32_t addr, const void *src, size_t len)
+    {
+        const uint8_t *p = (const uint8_t *)src;
+        for (size_t i = 0; i < len; ++i)
+            write8(addr + (uint32_t)i, p[i]);
+    }
+
+    void
+    readBytes(uint32_t addr, void *dst, size_t len) const
+    {
+        uint8_t *p = (uint8_t *)dst;
+        for (size_t i = 0; i < len; ++i)
+            p[i] = read8(addr + (uint32_t)i);
+    }
+
+    /** Read a NUL-terminated string (bounded by @p max_len). */
+    std::string
+    readCString(uint32_t addr, size_t max_len = 4096) const
+    {
+        std::string out;
+        for (size_t i = 0; i < max_len; ++i) {
+            uint8_t b = read8(addr + (uint32_t)i);
+            if (b == 0)
+                break;
+            out.push_back((char)b);
+        }
+        return out;
+    }
+
+    /** Write a string including the terminating NUL. */
+    void
+    writeCString(uint32_t addr, const std::string &s)
+    {
+        writeBytes(addr, s.data(), s.size());
+        write8(addr + (uint32_t)s.size(), 0);
+    }
+
+    /** Deep copy for fork(). */
+    GuestMemory
+    clone() const
+    {
+        GuestMemory out;
+        for (const auto &[pno, pg] : pages_)
+            out.pages_.emplace(pno, std::make_unique<Page>(*pg));
+        return out;
+    }
+
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<uint8_t, PAGE_SIZE>;
+
+    Page &
+    page(uint32_t pno)
+    {
+        auto it = pages_.find(pno);
+        if (it == pages_.end()) {
+            it = pages_.emplace(pno, std::make_unique<Page>()).first;
+            it->second->fill(0);
+        }
+        return *it->second;
+    }
+
+    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace hth::vm
+
+#endif // HTH_VM_MEMORY_HH

@@ -1,0 +1,369 @@
+#include "vm/TextAsm.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "support/Logging.hh"
+#include "support/StrUtil.hh"
+#include "vm/Asm.hh"
+
+namespace hth::vm
+{
+
+namespace
+{
+
+/** Parser state for one source file. */
+class TextAssembler
+{
+  public:
+    TextAssembler(const std::string &path, const std::string &source,
+                  bool shared_object)
+        : asm_(path, shared_object), source_(source)
+    {
+    }
+
+    std::shared_ptr<const Image>
+    run()
+    {
+        int line_no = 0;
+        for (const std::string &raw : split(source_, '\n')) {
+            ++line_no;
+            line_ = line_no;
+            std::string line = stripComment(raw);
+            parseLine(trim(line));
+        }
+        return asm_.build();
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        fatal("textasm line ", line_, ": ", msg);
+    }
+
+    static std::string
+    stripComment(const std::string &line)
+    {
+        // A ';' outside of a string literal starts a comment.
+        bool in_string = false;
+        for (size_t i = 0; i < line.size(); ++i) {
+            char c = line[i];
+            if (c == '"' && (i == 0 || line[i - 1] != '\\'))
+                in_string = !in_string;
+            else if (c == ';' && !in_string)
+                return line.substr(0, i);
+        }
+        return line;
+    }
+
+    /** Decode "\n"-style escapes in a string literal body. */
+    std::string
+    unescape(const std::string &body)
+    {
+        std::string out;
+        for (size_t i = 0; i < body.size(); ++i) {
+            if (body[i] != '\\' || i + 1 >= body.size()) {
+                out.push_back(body[i]);
+                continue;
+            }
+            switch (body[++i]) {
+              case 'n': out.push_back('\n'); break;
+              case 't': out.push_back('\t'); break;
+              case '0': out.push_back('\0'); break;
+              case '\\': out.push_back('\\'); break;
+              case '"': out.push_back('"'); break;
+              default: fail("bad escape in string literal");
+            }
+        }
+        return out;
+    }
+
+    Reg
+    parseReg(const std::string &token)
+    {
+        static const std::map<std::string, Reg> regs = {
+            {"eax", Reg::Eax}, {"ebx", Reg::Ebx}, {"ecx", Reg::Ecx},
+            {"edx", Reg::Edx}, {"esi", Reg::Esi}, {"edi", Reg::Edi},
+            {"ebp", Reg::Ebp}, {"esp", Reg::Esp},
+        };
+        auto it = regs.find(toLower(token));
+        if (it == regs.end())
+            fail("expected register, got '" + token + "'");
+        return it->second;
+    }
+
+    bool
+    isRegister(const std::string &token)
+    {
+        static const char *names[] = {"eax", "ebx", "ecx", "edx",
+                                      "esi", "edi", "ebp", "esp"};
+        std::string low = toLower(token);
+        for (const char *n : names)
+            if (low == n)
+                return true;
+        return false;
+    }
+
+    int32_t
+    parseImm(const std::string &token)
+    {
+        if (token.size() >= 3 && token.front() == '\'' &&
+            token.back() == '\'') {
+            std::string body =
+                unescape(token.substr(1, token.size() - 2));
+            if (body.size() != 1)
+                fail("character literal must be one byte");
+            return (int32_t)(uint8_t)body[0];
+        }
+        char *end = nullptr;
+        long long v = std::strtoll(token.c_str(), &end, 0);
+        if (!end || *end != '\0')
+            fail("expected immediate, got '" + token + "'");
+        return (int32_t)v;
+    }
+
+    bool
+    looksLikeImm(const std::string &token)
+    {
+        if (token.empty())
+            return false;
+        if (token.front() == '\'')
+            return true;
+        char c = token[0];
+        return std::isdigit((unsigned char)c) ||
+               ((c == '-' || c == '+') && token.size() > 1);
+    }
+
+    /** Parse "[reg+off]" / "[reg-off]" / "[reg]". */
+    void
+    parseMem(const std::string &token, Reg *base, int32_t *off)
+    {
+        if (token.size() < 3 || token.front() != '[' ||
+            token.back() != ']')
+            fail("expected memory operand, got '" + token + "'");
+        std::string body = token.substr(1, token.size() - 2);
+        size_t pos = body.find_first_of("+-");
+        if (pos == std::string::npos) {
+            *base = parseReg(trim(body));
+            *off = 0;
+            return;
+        }
+        *base = parseReg(trim(body.substr(0, pos)));
+        std::string rest = trim(body.substr(pos));
+        *off = parseImm(rest);
+    }
+
+    /** Split an operand list on commas (no strings appear here). */
+    std::vector<std::string>
+    operands(const std::string &text)
+    {
+        std::vector<std::string> out;
+        if (trim(text).empty())
+            return out;
+        for (const std::string &piece : split(text, ','))
+            out.push_back(trim(piece));
+        return out;
+    }
+
+    void
+    parseDirective(const std::string &line)
+    {
+        std::vector<std::string> words = splitWs(line);
+        const std::string &dir = words[0];
+        if (dir == ".entry") {
+            if (words.size() != 2)
+                fail(".entry takes one label");
+            asm_.entry(words[1]);
+            return;
+        }
+        if (dir == ".space") {
+            if (words.size() != 3)
+                fail(".space takes a name and a size");
+            asm_.dataSpace(words[1], (uint32_t)parseImm(words[2]));
+            return;
+        }
+        if (dir == ".bytes") {
+            if (words.size() < 3)
+                fail(".bytes takes a name and at least one byte");
+            std::vector<uint8_t> bytes;
+            for (size_t i = 2; i < words.size(); ++i)
+                bytes.push_back((uint8_t)parseImm(words[i]));
+            asm_.dataBytes(words[1], std::move(bytes));
+            return;
+        }
+        if (dir == ".data") {
+            // .data name "string"
+            size_t q1 = line.find('"');
+            size_t q2 = line.rfind('"');
+            if (words.size() < 3 || q1 == std::string::npos ||
+                q2 <= q1)
+                fail(".data takes a name and a string literal");
+            asm_.dataString(words[1],
+                            unescape(line.substr(q1 + 1,
+                                                 q2 - q1 - 1)));
+            return;
+        }
+        fail("unknown directive " + dir);
+    }
+
+    void
+    parseLine(const std::string &line)
+    {
+        if (line.empty())
+            return;
+        if (line[0] == '.') {
+            parseDirective(line);
+            return;
+        }
+        if (line.back() == ':') {
+            std::string name = trim(line.substr(0, line.size() - 1));
+            if (name.empty())
+                fail("empty label");
+            asm_.label(name);
+            return;
+        }
+
+        size_t sp = line.find_first_of(" \t");
+        std::string mn = toLower(
+            sp == std::string::npos ? line : line.substr(0, sp));
+        std::vector<std::string> ops = operands(
+            sp == std::string::npos ? "" : line.substr(sp));
+
+        auto need = [&](size_t n) {
+            if (ops.size() != n)
+                fail(mn + " takes " + std::to_string(n) +
+                     " operand(s)");
+        };
+
+        if (mn == "halt") { need(0); asm_.halt(); return; }
+        if (mn == "nop") { need(0); asm_.nop(); return; }
+        if (mn == "int80") { need(0); asm_.int80(); return; }
+        if (mn == "cpuid") { need(0); asm_.cpuid(); return; }
+        if (mn == "ret") { need(0); asm_.ret(); return; }
+
+        if (mn == "mov") {
+            need(2);
+            asm_.mov(parseReg(ops[0]), parseReg(ops[1]));
+            return;
+        }
+        if (mn == "movi") {
+            need(2);
+            asm_.movi(parseReg(ops[0]), parseImm(ops[1]));
+            return;
+        }
+        if (mn == "lea") {
+            need(2);
+            Reg dst = parseReg(ops[0]);
+            if (!ops[1].empty() && ops[1].front() == '[') {
+                Reg base;
+                int32_t off;
+                parseMem(ops[1], &base, &off);
+                asm_.lea(dst, base, off);
+            } else if (looksLikeImm(ops[1]) || isRegister(ops[1])) {
+                fail("lea takes a symbol or memory operand");
+            } else {
+                asm_.leaSym(dst, ops[1]);
+            }
+            return;
+        }
+        if (mn == "load" || mn == "loadb") {
+            need(2);
+            Reg dst = parseReg(ops[0]);
+            Reg base;
+            int32_t off;
+            parseMem(ops[1], &base, &off);
+            if (mn == "load")
+                asm_.load(dst, base, off);
+            else
+                asm_.loadb(dst, base, off);
+            return;
+        }
+        if (mn == "store" || mn == "storeb") {
+            need(2);
+            Reg base;
+            int32_t off;
+            parseMem(ops[0], &base, &off);
+            Reg src = parseReg(ops[1]);
+            if (mn == "store")
+                asm_.store(base, off, src);
+            else
+                asm_.storeb(base, off, src);
+            return;
+        }
+
+        if (mn == "push") { need(1); asm_.push(parseReg(ops[0]));
+            return; }
+        if (mn == "pushi") { need(1); asm_.pushi(parseImm(ops[0]));
+            return; }
+        if (mn == "pushs") { need(1); asm_.pushSym(ops[0]); return; }
+        if (mn == "pop") { need(1); asm_.pop(parseReg(ops[0]));
+            return; }
+
+        if (mn == "add" || mn == "sub" || mn == "and" || mn == "or" ||
+            mn == "xor" || mn == "mul") {
+            need(2);
+            Reg a = parseReg(ops[0]);
+            Reg b = parseReg(ops[1]);
+            if (mn == "add") asm_.add(a, b);
+            else if (mn == "sub") asm_.sub(a, b);
+            else if (mn == "and") asm_.and_(a, b);
+            else if (mn == "or") asm_.or_(a, b);
+            else if (mn == "xor") asm_.xor_(a, b);
+            else asm_.mul(a, b);
+            return;
+        }
+        if (mn == "addi" || mn == "shl" || mn == "shr" ||
+            mn == "cmpi") {
+            need(2);
+            Reg r = parseReg(ops[0]);
+            int32_t imm = parseImm(ops[1]);
+            if (mn == "addi") asm_.addi(r, imm);
+            else if (mn == "shl") asm_.shl(r, imm);
+            else if (mn == "shr") asm_.shr(r, imm);
+            else asm_.cmpi(r, imm);
+            return;
+        }
+        if (mn == "cmp") {
+            need(2);
+            asm_.cmp(parseReg(ops[0]), parseReg(ops[1]));
+            return;
+        }
+
+        if (mn == "jmp" || mn == "jz" || mn == "jnz" || mn == "jl" ||
+            mn == "jge" || mn == "call") {
+            need(1);
+            if (mn == "jmp") asm_.jmp(ops[0]);
+            else if (mn == "jz") asm_.jz(ops[0]);
+            else if (mn == "jnz") asm_.jnz(ops[0]);
+            else if (mn == "jl") asm_.jl(ops[0]);
+            else if (mn == "jge") asm_.jge(ops[0]);
+            else asm_.call(ops[0]);
+            return;
+        }
+        if (mn == "callr") { need(1); asm_.callr(parseReg(ops[0]));
+            return; }
+        if (mn == "callimport") { need(1); asm_.callImport(ops[0]);
+            return; }
+        if (mn == "native") { need(1); asm_.native(ops[0]); return; }
+
+        fail("unknown mnemonic '" + mn + "'");
+    }
+
+    Asm asm_;
+    const std::string &source_;
+    int line_ = 0;
+};
+
+} // namespace
+
+std::shared_ptr<const Image>
+assemble(const std::string &path, const std::string &source,
+         bool shared_object)
+{
+    return TextAssembler(path, source, shared_object).run();
+}
+
+} // namespace hth::vm

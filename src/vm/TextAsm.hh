@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The HVM text assembler: parse assembly source into an Image.
+ *
+ * Complements the fluent builder API (Asm) with a conventional
+ * textual front end, so guests can be written, stored and reviewed
+ * as source. Syntax:
+ *
+ * @code
+ *   ; comments run to end of line
+ *   .data   msg   "hello\n"       ; NUL-terminated string constant
+ *   .bytes  tbl   1 2 0xff        ; raw bytes
+ *   .space  buf   64              ; zero-filled bss buffer
+ *   .entry  main
+ *
+ *   main:
+ *       movi  eax, 42             ; register, immediate
+ *       lea   ebx, msg            ; address of a symbol
+ *       load  ecx, [ebx+4]        ; memory operand
+ *       store [ebx+0], ecx
+ *       loadb edx, [ebx]
+ *       storeb [ebx], edx
+ *       add   eax, ebx
+ *       addi  eax, -1
+ *       cmp   eax, ecx
+ *       cmpi  eax, 'x'            ; character immediates
+ *       jnz   main
+ *       push  eax
+ *       pushi 7
+ *       pushs msg                 ; push a symbol's address
+ *       pop   ebx
+ *       call  fn
+ *       callr eax
+ *       callimport strcpy         ; cross-image call
+ *       int80
+ *       cpuid
+ *       nop
+ *       halt
+ *   fn:
+ *       ret
+ * @endcode
+ */
+
+#ifndef HTH_VM_TEXTASM_HH
+#define HTH_VM_TEXTASM_HH
+
+#include <memory>
+#include <string>
+
+#include "vm/Image.hh"
+
+namespace hth::vm
+{
+
+/**
+ * Assemble @p source into an image named @p path.
+ *
+ * @throws hth::FatalError with a line number on any syntax error.
+ */
+std::shared_ptr<const Image> assemble(const std::string &path,
+                                      const std::string &source,
+                                      bool shared_object = false);
+
+} // namespace hth::vm
+
+#endif // HTH_VM_TEXTASM_HH

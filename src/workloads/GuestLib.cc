@@ -1,0 +1,417 @@
+#include "workloads/GuestLib.hh"
+
+namespace hth::workloads
+{
+
+using namespace os;
+
+Gasm::Gasm(std::string path, bool shared_object)
+    : vm::Asm(std::move(path), shared_object)
+{
+    scratch_ = dataSpace("__sockargs", 16);
+}
+
+std::string
+Gasm::freshLabel(const std::string &stem)
+{
+    return "__" + stem + "_" + std::to_string(++labelCounter_);
+}
+
+void
+Gasm::sysc(int num)
+{
+    movi(Reg::Eax, num);
+    int80();
+}
+
+void
+Gasm::exit(int code)
+{
+    movi(Reg::Ebx, code);
+    sysc(NR_exit);
+}
+
+void
+Gasm::openSym(const std::string &path_sym, int flags)
+{
+    leaSym(Reg::Ebx, path_sym);
+    movi(Reg::Ecx, flags);
+    sysc(NR_open);
+}
+
+void
+Gasm::openReg(Reg path_reg, int flags)
+{
+    if (path_reg != Reg::Ebx)
+        mov(Reg::Ebx, path_reg);
+    movi(Reg::Ecx, flags);
+    sysc(NR_open);
+}
+
+void
+Gasm::creatSym(const std::string &path_sym)
+{
+    leaSym(Reg::Ebx, path_sym);
+    movi(Reg::Ecx, 0644);
+    sysc(NR_creat);
+}
+
+void
+Gasm::creatReg(Reg path_reg)
+{
+    if (path_reg != Reg::Ebx)
+        mov(Reg::Ebx, path_reg);
+    movi(Reg::Ecx, 0644);
+    sysc(NR_creat);
+}
+
+void
+Gasm::readSym(int fd, const std::string &buf_sym, int len)
+{
+    movi(Reg::Ebx, fd);
+    leaSym(Reg::Ecx, buf_sym);
+    movi(Reg::Edx, len);
+    sysc(NR_read);
+}
+
+void
+Gasm::readFd(Reg fd_reg, const std::string &buf_sym, int len)
+{
+    if (fd_reg != Reg::Ebx)
+        mov(Reg::Ebx, fd_reg);
+    leaSym(Reg::Ecx, buf_sym);
+    movi(Reg::Edx, len);
+    sysc(NR_read);
+}
+
+void
+Gasm::writeSym(int fd, const std::string &data_sym, int len)
+{
+    movi(Reg::Ebx, fd);
+    leaSym(Reg::Ecx, data_sym);
+    movi(Reg::Edx, len);
+    sysc(NR_write);
+}
+
+void
+Gasm::writeFd(Reg fd_reg, const std::string &buf_sym, int len)
+{
+    if (fd_reg != Reg::Ebx)
+        mov(Reg::Ebx, fd_reg);
+    leaSym(Reg::Ecx, buf_sym);
+    movi(Reg::Edx, len);
+    sysc(NR_write);
+}
+
+void
+Gasm::writeRegs(Reg fd_reg, Reg buf_reg, Reg len_reg)
+{
+    if (len_reg != Reg::Edx)
+        mov(Reg::Edx, len_reg);
+    if (buf_reg != Reg::Ecx)
+        mov(Reg::Ecx, buf_reg);
+    if (fd_reg != Reg::Ebx)
+        mov(Reg::Ebx, fd_reg);
+    sysc(NR_write);
+}
+
+void
+Gasm::closeFd(Reg fd_reg)
+{
+    if (fd_reg != Reg::Ebx)
+        mov(Reg::Ebx, fd_reg);
+    sysc(NR_close);
+}
+
+void
+Gasm::execveSym(const std::string &path_sym)
+{
+    leaSym(Reg::Ebx, path_sym);
+    movi(Reg::Ecx, 0);
+    movi(Reg::Edx, 0);
+    sysc(NR_execve);
+}
+
+void
+Gasm::execveReg(Reg path_reg)
+{
+    if (path_reg != Reg::Ebx)
+        mov(Reg::Ebx, path_reg);
+    movi(Reg::Ecx, 0);
+    movi(Reg::Edx, 0);
+    sysc(NR_execve);
+}
+
+void
+Gasm::fork()
+{
+    sysc(NR_fork);
+}
+
+void
+Gasm::sleepTicks(int ticks)
+{
+    movi(Reg::Ebx, ticks);
+    sysc(NR_nanosleep);
+}
+
+void
+Gasm::chmodSym(const std::string &path_sym)
+{
+    leaSym(Reg::Ebx, path_sym);
+    movi(Reg::Ecx, 0755);
+    sysc(NR_chmod);
+}
+
+void
+Gasm::getpid()
+{
+    sysc(NR_getpid);
+}
+
+//
+// Socket helpers: the kernel reads the argument block at ECX.
+//
+
+void
+Gasm::sockCreate()
+{
+    leaSym(Reg::Esi, scratch_);
+    movi(Reg::Edi, 2); // AF_INET
+    store(Reg::Esi, 0, Reg::Edi);
+    movi(Reg::Edi, 1); // SOCK_STREAM
+    store(Reg::Esi, 4, Reg::Edi);
+    movi(Reg::Edi, 0);
+    store(Reg::Esi, 8, Reg::Edi);
+    mov(Reg::Ecx, Reg::Esi);
+    movi(Reg::Ebx, SOCKOP_socket);
+    sysc(NR_socketcall);
+}
+
+void
+Gasm::sockConnect(Reg fd, Reg addr_ptr)
+{
+    leaSym(Reg::Esi, scratch_);
+    store(Reg::Esi, 0, fd);
+    store(Reg::Esi, 4, addr_ptr);
+    mov(Reg::Ecx, Reg::Esi);
+    movi(Reg::Ebx, SOCKOP_connect);
+    sysc(NR_socketcall);
+}
+
+void
+Gasm::sockBind(Reg fd, Reg addr_ptr)
+{
+    leaSym(Reg::Esi, scratch_);
+    store(Reg::Esi, 0, fd);
+    store(Reg::Esi, 4, addr_ptr);
+    mov(Reg::Ecx, Reg::Esi);
+    movi(Reg::Ebx, SOCKOP_bind);
+    sysc(NR_socketcall);
+}
+
+void
+Gasm::sockListen(Reg fd)
+{
+    leaSym(Reg::Esi, scratch_);
+    store(Reg::Esi, 0, fd);
+    movi(Reg::Edi, 8);
+    store(Reg::Esi, 4, Reg::Edi);
+    mov(Reg::Ecx, Reg::Esi);
+    movi(Reg::Ebx, SOCKOP_listen);
+    sysc(NR_socketcall);
+}
+
+void
+Gasm::sockAccept(Reg fd)
+{
+    leaSym(Reg::Esi, scratch_);
+    store(Reg::Esi, 0, fd);
+    mov(Reg::Ecx, Reg::Esi);
+    movi(Reg::Ebx, SOCKOP_accept);
+    sysc(NR_socketcall);
+}
+
+void
+Gasm::sockSend(Reg fd, Reg buf, Reg len)
+{
+    leaSym(Reg::Esi, scratch_);
+    store(Reg::Esi, 0, fd);
+    store(Reg::Esi, 4, buf);
+    store(Reg::Esi, 8, len);
+    mov(Reg::Ecx, Reg::Esi);
+    movi(Reg::Ebx, SOCKOP_send);
+    sysc(NR_socketcall);
+}
+
+void
+Gasm::sockRecv(Reg fd, Reg buf, int len)
+{
+    leaSym(Reg::Esi, scratch_);
+    store(Reg::Esi, 0, fd);
+    store(Reg::Esi, 4, buf);
+    movi(Reg::Edi, len);
+    store(Reg::Esi, 8, Reg::Edi);
+    mov(Reg::Ecx, Reg::Esi);
+    movi(Reg::Ebx, SOCKOP_recv);
+    sysc(NR_socketcall);
+}
+
+//
+// libc cdecl wrappers
+//
+
+void
+Gasm::libc1(const std::string &fn, const std::string &arg_sym)
+{
+    pushSym(arg_sym);
+    callImport(fn);
+    addi(Reg::Esp, 4);
+}
+
+void
+Gasm::libc1r(const std::string &fn, Reg arg)
+{
+    push(arg);
+    callImport(fn);
+    addi(Reg::Esp, 4);
+}
+
+void
+Gasm::libc2(const std::string &fn, const std::string &a_sym,
+            const std::string &b_sym)
+{
+    pushSym(b_sym);
+    pushSym(a_sym);
+    callImport(fn);
+    addi(Reg::Esp, 8);
+}
+
+void
+Gasm::libc2r(const std::string &fn, Reg a, Reg b)
+{
+    push(b);
+    push(a);
+    callImport(fn);
+    addi(Reg::Esp, 8);
+}
+
+void
+Gasm::inlineStrcpy(Reg dst_reg, Reg src_reg)
+{
+    std::string loop = freshLabel("strcpy_loop");
+    std::string done = freshLabel("strcpy_done");
+    mov(Reg::Esi, src_reg);
+    mov(Reg::Edi, dst_reg);
+    label(loop);
+    loadb(Reg::Eax, Reg::Esi, 0);
+    storeb(Reg::Edi, 0, Reg::Eax);
+    cmpi(Reg::Eax, 0);
+    jz(done);
+    addi(Reg::Esi, 1);
+    addi(Reg::Edi, 1);
+    jmp(loop);
+    label(done);
+}
+
+void
+Gasm::loadArgv(int i)
+{
+    load(Reg::Eax, Reg::Ebx, 4 * i);
+}
+
+//
+// Shared guests
+//
+
+std::shared_ptr<const vm::Image>
+makeNoopBinary(const std::string &path)
+{
+    Gasm a(path);
+    a.label("main");
+    a.entry("main");
+    a.exit(0);
+    return a.build();
+}
+
+std::shared_ptr<const vm::Image>
+makeLsBinary()
+{
+    // Opens the hard-coded "." directory listing and prints it —
+    // reproducing what the paper observes for ls: "." is opened and
+    // the origin is binary (hardcoded), but no warning is issued.
+    Gasm a("/bin/ls");
+    a.dataString("dot", ".");
+    a.dataSpace("buf", 256);
+    a.label("main");
+    a.entry("main");
+    a.openSym("dot", GO_RDONLY);
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.readFd(Reg::Ebp, "buf", 256);
+    a.mov(Reg::Edx, Reg::Eax);         // length read
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "buf");
+    a.sysc(os::NR_write);
+    a.closeFd(Reg::Ebp);
+    a.exit(0);
+    return a.build();
+}
+
+std::shared_ptr<const vm::Image>
+makeCshBinary()
+{
+    // A miniature interactive shell: reads one command per read()
+    // from stdin, answers on stdout. Understands "echo <text>" and
+    // "ls"; exits at EOF. The pma daemon redirects its stdin/stdout
+    // to the FIFOs it created.
+    Gasm a("/bin/csh");
+    a.dataSpace("cmd", 128);
+    a.dataString("listing", "pmad\ncore\nnotes.txt\n");
+    a.dataSpace("zero", 4);
+
+    a.label("main");
+    a.entry("main");
+
+    a.label("loop");
+    // Clear the first byte so stale commands do not replay.
+    a.movi(Reg::Eax, 0);
+    a.leaSym(Reg::Edi, "cmd");
+    a.storeb(Reg::Edi, 0, Reg::Eax);
+    a.readSym(0, "cmd", 127);
+    a.cmpi(Reg::Eax, 0);
+    a.jz("done");                       // EOF
+
+    // "echo ..." -> print the rest of the line.
+    a.leaSym(Reg::Esi, "cmd");
+    a.loadb(Reg::Eax, Reg::Esi, 0);
+    a.cmpi(Reg::Eax, 'e');
+    a.jnz("try_ls");
+    // print cmd+5 until NUL / newline boundary: find length first.
+    a.lea(Reg::Edi, Reg::Esi, 5);       // skip "echo "
+    a.movi(Reg::Edx, 0);
+    a.label("len_loop");
+    a.mov(Reg::Ecx, Reg::Edi);
+    a.add(Reg::Ecx, Reg::Edx);
+    a.loadb(Reg::Eax, Reg::Ecx, 0);
+    a.cmpi(Reg::Eax, 0);
+    a.jz("len_done");
+    a.addi(Reg::Edx, 1);
+    a.jmp("len_loop");
+    a.label("len_done");
+    a.movi(Reg::Ebx, 1);
+    a.mov(Reg::Ecx, Reg::Edi);
+    a.sysc(os::NR_write);
+    a.jmp("loop");
+
+    a.label("try_ls");
+    a.cmpi(Reg::Eax, 'l');
+    a.jnz("loop");
+    a.writeSym(1, "listing", 20);
+    a.jmp("loop");
+
+    a.label("done");
+    a.exit(0);
+    return a.build();
+}
+
+} // namespace hth::workloads

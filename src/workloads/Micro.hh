@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Micro-benchmark scenarios (paper §8.1, Tables 4-6).
+ */
+
+#ifndef HTH_WORKLOADS_MICRO_HH
+#define HTH_WORKLOADS_MICRO_HH
+
+#include <vector>
+
+#include "workloads/Scenario.hh"
+
+namespace hth::workloads
+{
+
+/** Provenance of a resource name in an information-flow probe. */
+enum class NameOrigin { User, Hard, Remote };
+
+/** Data source side of an information-flow probe. */
+enum class FlowSrc { Binary, File, Socket, Hardware, UserInput };
+
+/** Data target side of an information-flow probe. */
+enum class FlowTgt { File, Socket };
+
+/** Socket role when a probe endpoint is a socket. */
+enum class SockRole { Client, Server };
+
+/** Table 4: execution-flow micro benchmarks (execve ×4). */
+std::vector<Scenario> executionFlowScenarios();
+
+/** Table 5: resource-abuse micro benchmarks (loop / tree forker). */
+std::vector<Scenario> resourceAbuseScenarios();
+
+/** Table 6: the information-flow micro-benchmark matrix. */
+std::vector<Scenario> infoFlowScenarios();
+
+/** Build one information-flow probe scenario. */
+Scenario makeInfoFlowScenario(FlowSrc src, NameOrigin src_name,
+                              FlowTgt tgt, NameOrigin tgt_name,
+                              SockRole role = SockRole::Client);
+
+} // namespace hth::workloads
+
+#endif // HTH_WORKLOADS_MICRO_HH

@@ -1,0 +1,67 @@
+#include "workloads/Scenario.hh"
+
+namespace hth::workloads
+{
+
+ScenarioResult
+runScenario(const Scenario &scenario, const HthOptions &options)
+{
+    HthOptions effective = options;
+    if (scenario.disableTaint)
+        effective.taintTracking = false;
+    Hth hth(effective);
+    if (scenario.setup)
+        scenario.setup(hth.kernel());
+
+    std::vector<std::string> argv = scenario.argv;
+    if (argv.empty())
+        argv.push_back(scenario.path);
+
+    ScenarioResult result;
+    result.report = hth.monitor(scenario.path, argv, scenario.env,
+                                scenario.stdinData);
+
+    result.flagged = result.report.flagged();
+    result.correct = (result.flagged == scenario.expectMalicious) &&
+                     (!scenario.expectMalicious ||
+                      result.report.flagged(scenario.expectSeverity));
+
+    // Table 1 characterisation signals.
+    const os::KernelStats &ks = hth.kernel().stats();
+    result.usedStdin = ks.stdinBytesRead > 0;
+    result.remotelyDirected = ks.socketBytesRead > 0;
+    result.degradedPerformance =
+        result.report.countByRule("resource_abuse_count") > 0 ||
+        result.report.countByRule("resource_abuse_rate") > 0 ||
+        result.report.countByRule("resource_abuse_memory") > 0;
+    for (const auto &p : hth.kernel().processes())
+        result.heapGrowth =
+            std::max<uint64_t>(result.heapGrowth,
+                               p->brk - vm::Machine::HEAP_BASE);
+
+    // A hard-coded resource: any resource whose name's provenance
+    // includes an untrusted BINARY source.
+    const taint::ResourceTable &resources = hth.kernel().resources();
+    taint::TagStore &tags = hth.kernel().tagStore();
+    for (taint::ResourceId id = 0; id < resources.size(); ++id) {
+        const taint::Resource &res = resources.get(id);
+        for (const taint::Tag &tag : tags.tags(res.nameOrigin)) {
+            if (tag.type != taint::SourceType::Binary)
+                continue;
+            const std::string &image =
+                tag.res == taint::NO_RESOURCE
+                    ? res.name
+                    : resources.get(tag.res).name;
+            bool trusted = false;
+            for (const auto &pattern :
+                 options.policy.trustedBinaries)
+                trusted = trusted ||
+                          image.find(pattern) != std::string::npos;
+            if (!trusted)
+                result.hardcodedResources = true;
+        }
+    }
+    return result;
+}
+
+} // namespace hth::workloads

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Scenarios: self-contained monitored-run descriptions.
+ *
+ * A scenario bundles a guest world setup (binaries, files, remote
+ * peers), the program to monitor with its command line and stdin,
+ * and the classification the paper's evaluation expects. The
+ * evaluation benches and the integration tests both run scenarios
+ * through runScenario().
+ */
+
+#ifndef HTH_WORKLOADS_SCENARIO_HH
+#define HTH_WORKLOADS_SCENARIO_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/Hth.hh"
+
+namespace hth::workloads
+{
+
+/** One monitored run. */
+struct Scenario
+{
+    std::string id;             //!< short name, e.g. "execve_remote"
+    std::string description;
+
+    /** Populate VFS / network / extra shared objects. */
+    std::function<void(os::Kernel &)> setup;
+
+    std::string path;                   //!< binary to monitor
+    std::vector<std::string> argv;
+    std::vector<std::string> env;
+    std::string stdinData;
+
+    /**
+     * Run without instruction-level data-flow tracking — the paper
+     * does this for the perl-interpreted mw2.2.1 benchmark (§8.4.2)
+     * to avoid interpreter-attributed false positives.
+     */
+    bool disableTaint = false;
+
+    /** Does the paper classify this behaviour as malicious? */
+    bool expectMalicious = false;
+
+    /** Minimum severity expected when malicious. */
+    secpert::Severity expectSeverity = secpert::Severity::Low;
+};
+
+/** Outcome of a scenario run. */
+struct ScenarioResult
+{
+    Report report;
+    bool flagged = false;
+    bool correct = false;       //!< classification matches the paper
+
+    /** Signals the Table 1 characterisation derives. */
+    bool usedStdin = false;
+    bool remotelyDirected = false;
+    bool hardcodedResources = false;
+    bool degradedPerformance = false;
+    uint64_t heapGrowth = 0;    //!< max brk growth over processes
+};
+
+/** Run @p scenario under a fresh HTH instance. */
+ScenarioResult runScenario(const Scenario &scenario,
+                           const HthOptions &options = {});
+
+} // namespace hth::workloads
+
+#endif // HTH_WORKLOADS_SCENARIO_HH

@@ -1,0 +1,617 @@
+#include "workloads/Trusted.hh"
+
+#include "workloads/GuestLib.hh"
+
+namespace hth::workloads
+{
+
+using namespace os;
+using secpert::Severity;
+
+namespace
+{
+
+/** column: concatenate the files named on the command line. */
+std::shared_ptr<const vm::Image>
+makeColumn()
+{
+    Gasm a("/usr/bin/column");
+    a.dataSpace("buf", 128);
+    a.dataSpace("argv_slot", 4);
+    a.dataSpace("idx", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+    a.movi(Reg::Ebp, 1);                    // argv index
+    a.label("next");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.load(Reg::Ebx, Reg::Edi, 0);
+    a.mov(Reg::Eax, Reg::Ebp);
+    a.shl(Reg::Eax, 2);
+    a.add(Reg::Ebx, Reg::Eax);
+    a.load(Reg::Eax, Reg::Ebx, 0);          // argv[i]
+    a.cmpi(Reg::Eax, 0);
+    a.jz("done");
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.cmpi(Reg::Eax, 0);
+    a.jl("skip");
+    a.mov(Reg::Esi, Reg::Eax);              // fd
+    a.readFd(Reg::Esi, "buf", 128);
+    a.mov(Reg::Edx, Reg::Eax);              // bytes read
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "buf");
+    a.sysc(NR_write);
+    a.closeFd(Reg::Esi);
+    a.label("skip");
+    a.addi(Reg::Ebp, 1);
+    a.jmp("next");
+    a.label("done");
+    a.exit(0);
+    return a.build();
+}
+
+/** make: modes "", "clean" (execs /bin/sh) and "build" (execs g++
+ * found via the PATH environment variable). */
+std::shared_ptr<const vm::Image>
+makeMake()
+{
+    Gasm a("/usr/bin/make");
+    a.dataString("makefile", "makefile");
+    a.dataString("shell", "/bin/sh");
+    a.dataString("gxx_suffix", "/g++");
+    a.dataString("clean_word", "clean");
+    a.dataString("build_word", "build");
+    a.dataSpace("buf", 128);
+    a.dataSpace("pathbuf", 64);
+    a.dataSpace("argv_slot", 4);
+    a.dataSpace("env_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+    a.leaSym(Reg::Edi, "env_slot");
+    a.store(Reg::Edi, 0, Reg::Ecx);
+
+    // Every mode parses the hard-coded "makefile".
+    a.openSym("makefile", GO_RDONLY);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.readFd(Reg::Esi, "buf", 128);
+    a.closeFd(Reg::Esi);
+
+    // Dispatch on argv[1]: absent -> nothing to do.
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.load(Reg::Ebx, Reg::Edi, 0);
+    a.loadArgv(1);
+    a.cmpi(Reg::Eax, 0);
+    a.jz("uptodate");
+    a.mov(Reg::Esi, Reg::Eax);
+    a.loadb(Reg::Eax, Reg::Esi, 0);
+    a.cmpi(Reg::Eax, 'c');
+    a.jz("clean");
+
+    // mode "build": find g++ through $PATH (user input) and exec it.
+    a.leaSym(Reg::Edi, "env_slot");
+    a.load(Reg::Ecx, Reg::Edi, 0);
+    a.load(Reg::Eax, Reg::Ecx, 0);          // env[0] = "PATH=..."
+    a.lea(Reg::Eax, Reg::Eax, 5);           // skip "PATH="
+    a.leaSym(Reg::Edx, "pathbuf");
+    a.inlineStrcpy(Reg::Edx, Reg::Eax);
+    a.libc2("strcat", "pathbuf", "gxx_suffix");
+    a.leaSym(Reg::Ebx, "pathbuf");
+    a.execveReg(Reg::Ebx);
+    a.exit(1);
+
+    a.label("clean");
+    a.execveSym("shell");                   // /bin/sh -c "rm -f ..."
+    a.exit(1);
+
+    a.label("uptodate");
+    a.exit(0);
+    return a.build();
+}
+
+/** g++: forks cc1plus and collect2 (hard-coded helper names), then
+ * links the user sources into the hard-coded a.out. */
+std::shared_ptr<const vm::Image>
+makeGxx()
+{
+    Gasm a("/usr/bin/g++");
+    a.dataString("cc1plus", "/usr/libexec/cc1plus");
+    a.dataString("collect2", "/usr/libexec/collect2");
+    a.dataString("aout", "a.out");
+    a.dataSpace("buf", 128);
+    a.dataSpace("argv_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+
+    a.fork();
+    a.cmpi(Reg::Eax, 0);
+    a.jnz("after_cc1");
+    a.execveSym("cc1plus");
+    a.exit(1);
+    a.label("after_cc1");
+    a.mov(Reg::Ebx, Reg::Eax);
+    a.sysc(NR_waitpid);
+
+    a.fork();
+    a.cmpi(Reg::Eax, 0);
+    a.jnz("after_collect2");
+    a.execveSym("collect2");
+    a.exit(1);
+    a.label("after_collect2");
+    a.mov(Reg::Ebx, Reg::Eax);
+    a.sysc(NR_waitpid);
+
+    // "Link": read the user sources, write a.out.
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.load(Reg::Ebx, Reg::Edi, 0);
+    a.loadArgv(1);
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.readFd(Reg::Esi, "buf", 64);
+    a.closeFd(Reg::Esi);
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.load(Reg::Ebx, Reg::Edi, 0);
+    a.loadArgv(2);
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.readFd(Reg::Esi, "buf", 64);
+    a.closeFd(Reg::Esi);
+    a.creatSym("aout");
+    a.mov(Reg::Esi, Reg::Eax);
+    a.writeFd(Reg::Esi, "buf", 64);
+    a.closeFd(Reg::Esi);
+    a.exit(0);
+    return a.build();
+}
+
+/** awk-style filter: read argv[2], print part of it. */
+std::shared_ptr<const vm::Image>
+makeAwk()
+{
+    Gasm a("/usr/bin/awk");
+    a.dataSpace("buf", 256);
+    a.dataSpace("argv_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+    a.loadArgv(2);
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.readFd(Reg::Esi, "buf", 256);
+    a.closeFd(Reg::Esi);
+    // "Match" the pattern: print the first 32 bytes.
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "buf");
+    a.movi(Reg::Edx, 32);
+    a.sysc(NR_write);
+    a.exit(0);
+    return a.build();
+}
+
+/** pico: read user text from stdin, save to the user-named file. */
+std::shared_ptr<const vm::Image>
+makePico()
+{
+    Gasm a("/usr/bin/pico");
+    a.dataSpace("buf", 256);
+    a.dataSpace("argv_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+    a.readSym(0, "buf", 256);
+    a.mov(Reg::Ebp, Reg::Eax);              // bytes typed
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.load(Reg::Ebx, Reg::Edi, 0);
+    a.loadArgv(1);
+    a.creatReg(Reg::Eax);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.mov(Reg::Ebx, Reg::Esi);
+    a.leaSym(Reg::Ecx, "buf");
+    a.mov(Reg::Edx, Reg::Ebp);
+    a.sysc(NR_write);
+    a.closeFd(Reg::Esi);
+    a.exit(0);
+    return a.build();
+}
+
+/** tail: print the last 64 bytes of the user-named file. */
+std::shared_ptr<const vm::Image>
+makeTail()
+{
+    Gasm a("/usr/bin/tail");
+    a.dataSpace("buf", 512);
+    a.dataSpace("argv_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+    a.loadArgv(1);
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.readFd(Reg::Esi, "buf", 512);
+    a.mov(Reg::Ebp, Reg::Eax);              // length
+    a.closeFd(Reg::Esi);
+    // start = max(0, len - 64); print buf+start .. len
+    a.mov(Reg::Ecx, Reg::Ebp);
+    a.cmpi(Reg::Ecx, 64);
+    a.jl("short_file");
+    a.addi(Reg::Ecx, -64);
+    a.jmp("print");
+    a.label("short_file");
+    a.movi(Reg::Ecx, 0);
+    a.label("print");
+    a.mov(Reg::Edx, Reg::Ebp);
+    a.sub(Reg::Edx, Reg::Ecx);              // count
+    a.leaSym(Reg::Eax, "buf");
+    a.add(Reg::Ecx, Reg::Eax);              // buf + start
+    a.movi(Reg::Ebx, 1);
+    a.sysc(NR_write);
+    a.exit(0);
+    return a.build();
+}
+
+/** diff: read both user files, print both (a "diff" of sorts). */
+std::shared_ptr<const vm::Image>
+makeDiff()
+{
+    Gasm a("/usr/bin/diff");
+    a.dataSpace("buf1", 128);
+    a.dataSpace("buf2", 128);
+    a.dataSpace("argv_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+    a.loadArgv(1);
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.readFd(Reg::Esi, "buf1", 128);
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.closeFd(Reg::Esi);
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.load(Reg::Ebx, Reg::Edi, 0);
+    a.loadArgv(2);
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.readFd(Reg::Esi, "buf2", 128);
+    a.mov(Reg::Edi, Reg::Eax);
+    a.closeFd(Reg::Esi);
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "buf1");
+    a.mov(Reg::Edx, Reg::Ebp);
+    a.sysc(NR_write);
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "buf2");
+    a.mov(Reg::Edx, Reg::Edi);
+    a.sysc(NR_write);
+    a.exit(0);
+    return a.build();
+}
+
+/** wc: count the bytes of the user file, print the count digits. */
+std::shared_ptr<const vm::Image>
+makeWc()
+{
+    Gasm a("/usr/bin/wc");
+    a.dataSpace("buf", 512);
+    a.dataSpace("digits", 16);
+    a.dataSpace("argv_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+    a.loadArgv(1);
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.readFd(Reg::Esi, "buf", 512);
+    a.mov(Reg::Ebp, Reg::Eax);              // byte count
+    a.closeFd(Reg::Esi);
+    a.pushSym("digits");
+    a.push(Reg::Ebp);
+    a.callImport("itoa");
+    a.addi(Reg::Esp, 8);
+    a.libc1("strlen", "digits");
+    a.mov(Reg::Edx, Reg::Eax);
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "digits");
+    a.sysc(NR_write);
+    a.exit(0);
+    return a.build();
+}
+
+/** bc: echo the typed expression plus a computed result. */
+std::shared_ptr<const vm::Image>
+makeBc()
+{
+    Gasm a("/usr/bin/bc");
+    a.dataSpace("expr", 64);
+    a.dataSpace("digits", 16);
+    a.label("main");
+    a.entry("main");
+    a.readSym(0, "expr", 63);
+    a.mov(Reg::Ebp, Reg::Eax);
+    // Echo the expression (bc echoes its input).
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "expr");
+    a.mov(Reg::Edx, Reg::Ebp);
+    a.sysc(NR_write);
+    // "Evaluate": 2+3 via registers, print digits.
+    a.movi(Reg::Eax, 2);
+    a.movi(Reg::Ecx, 3);
+    a.add(Reg::Eax, Reg::Ecx);
+    a.pushSym("digits");
+    a.push(Reg::Eax);
+    a.callImport("itoa");
+    a.addi(Reg::Esp, 8);
+    a.libc1("strlen", "digits");
+    a.mov(Reg::Edx, Reg::Eax);
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "digits");
+    a.sysc(NR_write);
+    a.exit(0);
+    return a.build();
+}
+
+/** xeyes: talks the X protocol to the local display. */
+std::shared_ptr<const vm::Image>
+makeXeyes()
+{
+    Gasm a("/usr/bin/xeyes");
+    a.dataString("display", "localhost:6000");
+    a.label("main");
+    a.entry("main");
+    a.sockCreate();
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.leaSym(Reg::Edx, "display");
+    a.sockConnect(Reg::Ebp, Reg::Edx);
+    // libX11 hands back its protocol buffer; xeyes sends it.
+    a.callImport("XFlush");
+    a.mov(Reg::Ecx, Reg::Eax);
+    a.movi(Reg::Edx, 16);
+    a.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+    a.exit(0);
+    return a.build();
+}
+
+/** libX11.so: an untrusted shared object with a protocol buffer. */
+std::shared_ptr<const vm::Image>
+makeLibX11()
+{
+    vm::Asm a("/usr/lib/libX11.so", true);
+    a.dataString("x11_proto", "X11-SETUP-REQUEST");
+    a.native("XFlush");
+    return a.build();
+}
+
+} // namespace
+
+std::vector<Scenario>
+trustedProgramScenarios()
+{
+    std::vector<Scenario> out;
+
+    {
+        Scenario s;
+        s.id = "ls";
+        s.description = "list the current directory";
+        s.path = "/bin/ls";
+        s.setup = [](Kernel &k) {
+            k.vfs().addBinary("/bin/ls", makeLsBinary());
+            k.vfs().addFile(".", "Makefile\nsrc\nREADME\n");
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeColumn();
+        Scenario s;
+        s.id = "column";
+        s.description = "column a b c";
+        s.path = image->path;
+        s.argv = {image->path, "a", "b", "c"};
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("a", "alpha\n");
+            k.vfs().addFile("b", "beta\n");
+            k.vfs().addFile("c", "gamma\n");
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeMake();
+        Scenario s;
+        s.id = "make (up to date)";
+        s.description = "make with nothing to do";
+        s.path = image->path;
+        s.env = {"PATH=/usr/bin"};
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("makefile", "all:\n\tg++ -o harrier\n");
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeMake();
+        Scenario s;
+        s.id = "make clean";
+        s.description = "make clean (execs the hard-coded /bin/sh)";
+        s.path = image->path;
+        s.argv = {image->path, "clean"};
+        s.env = {"PATH=/usr/bin"};
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("makefile", "clean:\n\trm -f *.o\n");
+            k.vfs().addBinary("/bin/sh", makeNoopBinary("/bin/sh"));
+        };
+        s.expectMalicious = true;       // the documented Low warning
+        s.expectSeverity = Severity::Low;
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeMake();
+        Scenario s;
+        s.id = "make (build)";
+        s.description = "make finding g++ through $PATH";
+        s.path = image->path;
+        s.argv = {image->path, "build"};
+        s.env = {"PATH=/usr/bin"};
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("makefile", "all:\n\tg++ harrier.C\n");
+            k.vfs().addBinary("/usr/bin/g++",
+                              makeNoopBinary("/usr/bin/g++"));
+        };
+        s.expectMalicious = true;       // Low: "g++" is hard-coded
+        s.expectSeverity = Severity::Low;
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeGxx();
+        Scenario s;
+        s.id = "g++";
+        s.description = "g++ test.cpp DataFlow.C";
+        s.path = image->path;
+        s.argv = {image->path, "test.cpp", "DataFlow.C"};
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("test.cpp", "int main() { return 0; }\n");
+            k.vfs().addFile("DataFlow.C", "void track() {}\n");
+            k.vfs().addBinary(
+                "/usr/libexec/cc1plus",
+                makeNoopBinary("/usr/libexec/cc1plus"));
+            k.vfs().addBinary(
+                "/usr/libexec/collect2",
+                makeNoopBinary("/usr/libexec/collect2"));
+        };
+        s.expectMalicious = true;       // Low: cc1plus / collect2
+        s.expectSeverity = Severity::Low;
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeAwk();
+        Scenario s;
+        s.id = "awk";
+        s.description = "awk '/ifdef/' syscall_names.C";
+        s.path = image->path;
+        s.argv = {image->path, "/ifdef/", "syscall_names.C"};
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("syscall_names.C",
+                            "#ifdef SYS_execve\n#endif\n plus more "
+                            "lines of source text here\n");
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makePico();
+        Scenario s;
+        s.id = "pico";
+        s.description = "type text, save to a.txt";
+        s.path = image->path;
+        s.argv = {image->path, "a.txt"};
+        s.stdinData = "hello from the user\n";
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeTail();
+        Scenario s;
+        s.id = "tail";
+        s.description = "tail PinInstrumenter.C";
+        s.path = image->path;
+        s.argv = {image->path, "PinInstrumenter.C"};
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("PinInstrumenter.C",
+                            std::string(100, 'x') +
+                                "\n// the interesting tail\n");
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeDiff();
+        Scenario s;
+        s.id = "diff";
+        s.description = "diff old.txt new.txt";
+        s.path = image->path;
+        s.argv = {image->path, "old.txt", "new.txt"};
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("old.txt", "line one\nline two\n");
+            k.vfs().addFile("new.txt", "line one\nline 2\n");
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeWc();
+        Scenario s;
+        s.id = "wc";
+        s.description = "wc input.txt";
+        s.path = image->path;
+        s.argv = {image->path, "input.txt"};
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("input.txt", "some words to count\n");
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeBc();
+        Scenario s;
+        s.id = "bc";
+        s.description = "bc adding two numbers";
+        s.path = image->path;
+        s.stdinData = "2+3\n";
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeXeyes();
+        auto libx = makeLibX11();
+        Scenario s;
+        s.id = "xeyes";
+        s.description = "xeyes talking to the local X server";
+        s.path = image->path;
+        s.setup = [image, libx](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.addSharedObject(libx);
+            k.registerNative(
+                "XFlush", [](Kernel &, os::Process &p) {
+                    p.machine.setReg(
+                        Reg::Eax,
+                        p.machine.resolveSymbol("x11_proto"));
+                });
+            RemotePeer xserver;
+            xserver.name = "localhost:6000";
+            k.net().addRemoteServer("localhost:6000", xserver);
+        };
+        s.expectMalicious = true;       // the documented Low warnings
+        s.expectSeverity = Severity::Low;
+        out.push_back(std::move(s));
+    }
+
+    return out;
+}
+
+} // namespace hth::workloads

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Trusted-program scenarios (paper §8.2, Table 7): the
+ * false-positive evaluation over everyday utilities.
+ */
+
+#ifndef HTH_WORKLOADS_TRUSTED_HH
+#define HTH_WORKLOADS_TRUSTED_HH
+
+#include <vector>
+
+#include "workloads/Scenario.hh"
+
+namespace hth::workloads
+{
+
+/**
+ * Table 7 scenarios: ls, column, make (three modes), g++, awk,
+ * pico, tail, diff, wc, bc, xeyes.
+ *
+ * expectMalicious reflects the *intended* classification (clean
+ * unless the paper documents an expected warning, e.g. make clean
+ * and g++ raise Low because they exec hard-coded helper programs).
+ */
+std::vector<Scenario> trustedProgramScenarios();
+
+} // namespace hth::workloads
+
+#endif // HTH_WORKLOADS_TRUSTED_HH

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Edge-case tests for the CLIPS engine: construct error paths,
+ * agenda ordering details, multifield matching corner cases,
+ * deffunction scoping and the while/progn special forms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "clips/Environment.hh"
+#include "support/Logging.hh"
+
+using namespace hth;
+using namespace hth::clips;
+
+//
+// Construct error paths
+//
+
+TEST(ClipsErrors, MalformedConstructsAreFatal)
+{
+    Environment env;
+    EXPECT_THROW(env.loadString("(deftemplate)"), FatalError);
+    EXPECT_THROW(env.loadString("(deftemplate t (badkind x))"),
+                 FatalError);
+    EXPECT_THROW(env.loadString("(defrule r (foo))"), FatalError);
+    EXPECT_THROW(env.loadString("(defglobal ?*x*)"), FatalError);
+    EXPECT_THROW(env.loadString("(deffunction f)"), FatalError);
+}
+
+TEST(ClipsErrors, TemplateRedefinitionFatal)
+{
+    Environment env;
+    env.loadString("(deftemplate t (slot a))");
+    EXPECT_THROW(env.loadString("(deftemplate t (slot b))"),
+                 FatalError);
+}
+
+TEST(ClipsErrors, UnknownSlotInPatternFatal)
+{
+    Environment env;
+    env.loadString("(deftemplate t (slot a))");
+    EXPECT_THROW(
+        env.loadString("(defrule r (t (nope ?x)) => (bind ?y 1))"),
+        FatalError);
+}
+
+TEST(ClipsErrors, MultifieldTermInSingleSlotFatal)
+{
+    Environment env;
+    env.loadString("(deftemplate t (slot a))");
+    EXPECT_THROW(
+        env.loadString("(defrule r (t (a $?x)) => (bind ?y 1))"),
+        FatalError);
+}
+
+TEST(ClipsErrors, UnboundVariableInRhsFatal)
+{
+    Environment env;
+    env.loadString("(defrule r (go) => (bind ?x ?never-bound))");
+    env.assertString("(go)");
+    EXPECT_THROW(env.run(), FatalError);
+}
+
+TEST(ClipsErrors, SingleSlotMultipleValuesFatal)
+{
+    Environment env;
+    env.loadString("(deftemplate t (slot a))");
+    EXPECT_THROW(env.assertString("(t (a 1 2))"), FatalError);
+}
+
+//
+// Agenda ordering
+//
+
+TEST(ClipsAgenda, RecencyBreaksTies)
+{
+    // Two activations of the same salience: the one involving the
+    // newer fact fires first.
+    Environment env;
+    std::ostringstream out;
+    env.setOutput(&out);
+    env.loadString(
+        "(deftemplate job (slot id))"
+        "(defrule handle (job (id ?i)) => (printout t ?i \" \"))");
+    env.assertString("(job (id old))");
+    env.assertString("(job (id new))");
+    env.run();
+    EXPECT_EQ(out.str(), "new old ");
+}
+
+TEST(ClipsAgenda, SalienceBeatsRecency)
+{
+    Environment env;
+    std::ostringstream out;
+    env.setOutput(&out);
+    env.loadString(
+        "(deftemplate a (slot x))"
+        "(deftemplate b (slot x))"
+        "(defrule low (declare (salience -5)) (a (x ?)) =>"
+        "  (printout t \"low \"))"
+        "(defrule high (declare (salience 5)) (b (x ?)) =>"
+        "  (printout t \"high \"))");
+    env.assertString("(b (x 1))");  // older fact, higher salience
+    env.assertString("(a (x 1))");
+    env.run();
+    EXPECT_EQ(out.str(), "high low ");
+}
+
+TEST(ClipsAgenda, RetractedFactCancelsActivation)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate t (slot x))"
+        "(defrule killer (declare (salience 10))"
+        "  ?f <- (t (x kill-me))"
+        "  => (retract ?f))"
+        "(defrule would-fire (t (x kill-me)) =>"
+        "  (assert (fired)))");
+    env.assertString("(t (x kill-me))");
+    env.run();
+    // The higher-salience rule retracted the fact first.
+    EXPECT_TRUE(env.factsByTemplate("fired").empty());
+}
+
+//
+// Multifield matching corner cases
+//
+
+TEST(ClipsMultifield, EmptyMultifieldMatchesEmptyPattern)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate bag (multislot items))"
+        "(defrule empty-bag (bag (items)) => (assert (was-empty)))");
+    env.assertString("(bag (items))");
+    env.assertString("(bag (items a))");
+    env.run();
+    EXPECT_EQ(env.factsByTemplate("was-empty").size(), 1u);
+}
+
+TEST(ClipsMultifield, TwoMultiVarsSplitAllWays)
+{
+    // ($?a $?b) over (1 2): rule fires once per join (refraction is
+    // per fact set, so only one activation exists) but the binding
+    // must be a valid split.
+    Environment env;
+    env.loadString(
+        "(deftemplate bag (multislot items))"
+        "(defrule split (bag (items $?a $?b)) =>"
+        "  (assert (sizes (length$ ?a) (length$ ?b))))");
+    env.assertString("(bag (items 1 2))");
+    env.run();
+    auto sizes = env.factsByTemplate("sizes");
+    ASSERT_EQ(sizes.size(), 1u);
+    const auto &items = sizes[0]->slots[0].items();
+    EXPECT_EQ(items[0].intValue() + items[1].intValue(), 2);
+}
+
+TEST(ClipsMultifield, LiteralSandwich)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate seq (multislot items))"
+        "(defrule pick (seq (items $? sep ?x $?)) =>"
+        "  (assert (after ?x)))");
+    env.assertString("(seq (items a b sep c d))");
+    env.run();
+    auto after = env.factsByTemplate("after");
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0]->slots[0].items()[0], Value::sym("c"));
+}
+
+TEST(ClipsMultifield, BoundMultiVarMustMatchExactRun)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate p (multislot a) (multislot b))"
+        "(defrule same-prefix (p (a $?x $?) (b $?x $?)) =>"
+        "  (assert (shared)))");
+    // Shared prefix exists (possibly empty: $?x = ()).
+    env.assertString("(p (a 1 2 3) (b 9 9))");
+    env.run();
+    // The empty prefix always matches, so the rule fires.
+    EXPECT_EQ(env.factsByTemplate("shared").size(), 1u);
+}
+
+//
+// Not-CE subtleties
+//
+
+TEST(ClipsNot, BindingsDoNotEscapeNot)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate a (slot x))"
+        "(deftemplate b (slot x))"
+        "(defrule r (a (x ?v)) (not (b (x ?v))) =>"
+        "  (assert (lonely ?v)))");
+    env.assertString("(a (x 1))");
+    env.assertString("(a (x 2))");
+    env.assertString("(b (x 1))");
+    env.run();
+    auto lonely = env.factsByTemplate("lonely");
+    ASSERT_EQ(lonely.size(), 1u);
+    EXPECT_EQ(lonely[0]->slots[0].items()[0], Value::integer(2));
+}
+
+TEST(ClipsNot, NotBecomesTrueAfterRetraction)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate blocker (slot x))"
+        "(deftemplate go (slot x))"
+        "(defrule clear (declare (salience 10))"
+        "  ?b <- (blocker (x ?)) => (retract ?b))"
+        "(defrule fire (go (x ?)) (not (blocker (x ?))) =>"
+        "  (assert (done)))");
+    env.assertString("(go (x 1))");
+    env.assertString("(blocker (x 1))");
+    env.run();
+    EXPECT_EQ(env.factsByTemplate("done").size(), 1u);
+}
+
+//
+// Functions and special forms
+//
+
+TEST(ClipsFunctions, DeffunctionSeesOnlyItsParams)
+{
+    Environment env;
+    env.loadString("(deffunction f (?x) (+ ?x 1))");
+    // ?y from the caller must not leak into f.
+    EXPECT_THROW(env.loadString("(deffunction g (?y) (f ?y) (+ ?q 1))"
+                                "(bind ?out (g 1))"),
+                 FatalError);
+    EXPECT_EQ(env.evalString("(f 41)"), Value::integer(42));
+}
+
+TEST(ClipsFunctions, DeffunctionArityChecked)
+{
+    Environment env;
+    env.loadString("(deffunction f (?x ?y) (+ ?x ?y))");
+    EXPECT_THROW(env.evalString("(f 1)"), FatalError);
+    EXPECT_THROW(env.evalString("(f 1 2 3)"), FatalError);
+}
+
+TEST(ClipsFunctions, WhileWithDoKeyword)
+{
+    Environment env;
+    env.loadString(
+        "(deffunction count-to (?n)"
+        "  (bind ?i 0)"
+        "  (bind ?sum 0)"
+        "  (while (< ?i ?n) do"
+        "    (bind ?i (+ ?i 1))"
+        "    (bind ?sum (+ ?sum ?i)))"
+        "  ?sum)");
+    EXPECT_EQ(env.evalString("(count-to 4)"), Value::integer(10));
+}
+
+TEST(ClipsFunctions, PrognSequences)
+{
+    Environment env;
+    EXPECT_EQ(env.evalString("(progn 1 2 3)"), Value::integer(3));
+}
+
+TEST(ClipsFunctions, NestedIf)
+{
+    Environment env;
+    env.loadString(
+        "(deffunction classify (?n)"
+        "  (if (< ?n 0) then negative"
+        "   else (if (= ?n 0) then zero else positive)))");
+    EXPECT_EQ(env.evalString("(classify -5)"), Value::sym("negative"));
+    EXPECT_EQ(env.evalString("(classify 0)"), Value::sym("zero"));
+    EXPECT_EQ(env.evalString("(classify 3)"), Value::sym("positive"));
+}
+
+TEST(ClipsFunctions, ArithmeticErrorPaths)
+{
+    Environment env;
+    EXPECT_THROW(env.evalString("(/ 1 0)"), FatalError);
+    EXPECT_THROW(env.evalString("(div 1 0)"), FatalError);
+    EXPECT_THROW(env.evalString("(mod 1 0)"), FatalError);
+    EXPECT_THROW(env.evalString("(+ 1 abc)"), hth::PanicError);
+}
+
+//
+// or / and / exists conditional elements
+//
+
+TEST(ClipsOrCe, EitherBranchFires)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate alpha (slot x))"
+        "(deftemplate beta (slot x))"
+        "(defrule either"
+        "  (or (alpha (x ?v)) (beta (x ?v)))"
+        "  => (assert (seen ?v)))");
+    env.assertString("(alpha (x 1))");
+    env.assertString("(beta (x 2))");
+    env.run();
+    EXPECT_EQ(env.factsByTemplate("seen").size(), 2u);
+}
+
+TEST(ClipsOrCe, SharedContextAppliesToAllBranches)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate gate (slot open))"
+        "(deftemplate a (slot x))"
+        "(deftemplate b (slot x))"
+        "(defrule guarded"
+        "  (gate (open yes))"
+        "  (or (a (x ?v)) (b (x ?v)))"
+        "  => (assert (passed ?v)))");
+    env.assertString("(a (x 1))");
+    env.run();
+    EXPECT_TRUE(env.factsByTemplate("passed").empty());
+    env.assertString("(gate (open yes))");
+    env.run();
+    EXPECT_EQ(env.factsByTemplate("passed").size(), 1u);
+}
+
+TEST(ClipsOrCe, AndGroupInsideOr)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate a (slot x))"
+        "(deftemplate b (slot x))"
+        "(deftemplate c (slot x))"
+        "(defrule combo"
+        "  (or (and (a (x ?v)) (b (x ?v)))"
+        "      (c (x ?v)))"
+        "  => (assert (hit ?v)))");
+    env.assertString("(a (x 1))");      // a alone: no
+    env.run();
+    EXPECT_TRUE(env.factsByTemplate("hit").empty());
+    env.assertString("(b (x 1))");      // a+b: yes
+    env.assertString("(c (x 9))");      // c alone: yes
+    env.run();
+    EXPECT_EQ(env.factsByTemplate("hit").size(), 2u);
+}
+
+TEST(ClipsExists, FiresOnceRegardlessOfWitnessCount)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate task (slot id))"
+        "(deftemplate trigger (slot x))"
+        "(defrule any-tasks"
+        "  (trigger (x ?t))"
+        "  (exists (task (id ?)))"
+        "  => (assert (busy ?t)))");
+    env.assertString("(task (id 1))");
+    env.assertString("(task (id 2))");
+    env.assertString("(task (id 3))");
+    env.assertString("(trigger (x go))");
+    env.run();
+    // Without exists this would fire three times (one per task).
+    EXPECT_EQ(env.factsByTemplate("busy").size(), 1u);
+}
+
+TEST(ClipsExists, FailsWithNoWitness)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate task (slot id))"
+        "(defrule any (exists (task (id ?))) => (assert (yes)))");
+    env.run();
+    EXPECT_TRUE(env.factsByTemplate("yes").empty());
+    env.assertString("(task (id 1))");
+    env.run();
+    EXPECT_EQ(env.factsByTemplate("yes").size(), 1u);
+}
+
+//
+// modify
+//
+
+TEST(ClipsModify, UpdatesSlotsInPlace)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate counter (slot n) (slot label))"
+        "(defrule bump"
+        "  ?c <- (counter (n ?n) (label ?l))"
+        "  (test (< ?n 3))"
+        "  => (modify ?c (n (+ ?n 1))))");
+    env.assertString("(counter (n 0) (label steps))");
+    EXPECT_EQ(env.run(), 3);
+    auto counters = env.factsByTemplate("counter");
+    ASSERT_EQ(counters.size(), 1u);
+    EXPECT_EQ(counters[0]->slot("n"), Value::integer(3));
+    // Untouched slots survive the modify.
+    EXPECT_EQ(counters[0]->slot("label"), Value::sym("steps"));
+}
+
+TEST(ClipsModify, MultislotReplacement)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate bag (multislot items))"
+        "(defrule fill"
+        "  ?b <- (bag (items))"
+        "  => (modify ?b (items a b c)))");
+    env.assertString("(bag (items))");
+    env.run();
+    auto bags = env.factsByTemplate("bag");
+    ASSERT_EQ(bags.size(), 1u);
+    EXPECT_EQ(bags[0]->slot("items").items().size(), 3u);
+}
+
+TEST(ClipsModify, ErrorsOnBadTargets)
+{
+    Environment env;
+    env.loadString("(deftemplate t (slot a))");
+    EXPECT_THROW(env.evalString("(modify 5 (a 1))"), FatalError);
+    env.loadString(
+        "(defrule bad ?f <- (t (a ?)) =>"
+        "  (modify ?f (nope 1)))");
+    env.assertString("(t (a 1))");
+    EXPECT_THROW(env.run(), FatalError);
+}
+
+//
+// Engine statistics
+//
+
+TEST(ClipsStats, CountersTrack)
+{
+    Environment env;
+    env.loadString("(defrule r (tick ?) => (bind ?x 0))");
+    env.assertString("(tick 1)");
+    env.assertString("(tick 2)");
+    env.run();
+    EXPECT_EQ(env.stats().fires, 2u);
+    EXPECT_EQ(env.stats().asserts, 2u);
+    EXPECT_EQ(env.ruleCount(), 1u);
+    EXPECT_EQ(env.liveFactCount(), 2u);
+    env.retract(env.facts()[0]->id);
+    EXPECT_EQ(env.stats().retracts, 1u);
+    EXPECT_EQ(env.liveFactCount(), 1u);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

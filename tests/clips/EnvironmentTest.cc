@@ -1,0 +1,735 @@
+/**
+ * @file
+ * Unit tests for the CLIPS engine: reader, values, facts, matching,
+ * agenda behaviour, builtins and the embedding API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "clips/Environment.hh"
+#include "clips/Sexpr.hh"
+#include "support/Logging.hh"
+
+using namespace hth;
+using namespace hth::clips;
+
+//
+// Reader
+//
+
+TEST(SexprReader, ParsesAtoms)
+{
+    auto forms = parseSexprs("foo \"bar\" 42 -7 3.5 ?x $?y ?*g*");
+    ASSERT_EQ(forms.size(), 8u);
+    EXPECT_EQ(forms[0].kind, Sexpr::Kind::Symbol);
+    EXPECT_EQ(forms[0].text, "foo");
+    EXPECT_EQ(forms[1].kind, Sexpr::Kind::String);
+    EXPECT_EQ(forms[1].text, "bar");
+    EXPECT_EQ(forms[2].kind, Sexpr::Kind::Integer);
+    EXPECT_EQ(forms[2].intValue, 42);
+    EXPECT_EQ(forms[3].intValue, -7);
+    EXPECT_EQ(forms[4].kind, Sexpr::Kind::Float);
+    EXPECT_DOUBLE_EQ(forms[4].floatValue, 3.5);
+    EXPECT_EQ(forms[5].kind, Sexpr::Kind::Variable);
+    EXPECT_EQ(forms[5].text, "x");
+    EXPECT_EQ(forms[6].kind, Sexpr::Kind::MultiVar);
+    EXPECT_EQ(forms[6].text, "y");
+    EXPECT_EQ(forms[7].kind, Sexpr::Kind::GlobalVar);
+    EXPECT_EQ(forms[7].text, "g");
+}
+
+TEST(SexprReader, ParsesNestedLists)
+{
+    Sexpr e = parseOneSexpr("(a (b c) (d (e 1)))");
+    ASSERT_TRUE(e.isList());
+    ASSERT_EQ(e.items.size(), 3u);
+    EXPECT_EQ(e.head(), "a");
+    EXPECT_EQ(e.items[1].head(), "b");
+    EXPECT_EQ(e.items[2].items[1].items[1].intValue, 1);
+}
+
+TEST(SexprReader, SkipsComments)
+{
+    auto forms = parseSexprs("; leading comment\n(a b) ; trailing\n");
+    ASSERT_EQ(forms.size(), 1u);
+    EXPECT_EQ(forms[0].head(), "a");
+}
+
+TEST(SexprReader, StringEscapes)
+{
+    Sexpr e = parseOneSexpr("\"a\\\"b\\nc\"");
+    EXPECT_EQ(e.text, "a\"b\nc");
+}
+
+TEST(SexprReader, RejectsUnbalanced)
+{
+    EXPECT_THROW(parseSexprs("(a (b)"), FatalError);
+    EXPECT_THROW(parseSexprs(")"), FatalError);
+    EXPECT_THROW(parseSexprs("\"unclosed"), FatalError);
+}
+
+//
+// Values
+//
+
+TEST(Value, EqualityIsTypeSensitive)
+{
+    EXPECT_EQ(Value::sym("a"), Value::sym("a"));
+    EXPECT_NE(Value::sym("a"), Value::str("a"));
+    EXPECT_NE(Value::integer(1), Value::real(1.0));
+    EXPECT_EQ(Value::multi({Value::integer(1)}),
+              Value::multi({Value::integer(1)}));
+}
+
+TEST(Value, MultifieldsFlatten)
+{
+    Value nested = Value::multi(
+        {Value::integer(1),
+         Value::multi({Value::integer(2), Value::integer(3)})});
+    ASSERT_EQ(nested.items().size(), 3u);
+    EXPECT_EQ(nested.items()[2], Value::integer(3));
+}
+
+TEST(Value, Truthiness)
+{
+    EXPECT_FALSE(Value::boolean(false).truthy());
+    EXPECT_TRUE(Value::boolean(true).truthy());
+    EXPECT_TRUE(Value::integer(0).truthy());
+    EXPECT_TRUE(Value::sym("anything").truthy());
+}
+
+//
+// Expression evaluation
+//
+
+class EvalTest : public ::testing::Test
+{
+  protected:
+    Environment env;
+
+    Value e(const std::string &src) { return env.evalString(src); }
+};
+
+TEST_F(EvalTest, Arithmetic)
+{
+    EXPECT_EQ(e("(+ 1 2 3)"), Value::integer(6));
+    EXPECT_EQ(e("(- 10 4 1)"), Value::integer(5));
+    EXPECT_EQ(e("(* 2 3 4)"), Value::integer(24));
+    EXPECT_EQ(e("(/ 9 2)"), Value::real(4.5));
+    EXPECT_EQ(e("(div 9 2)"), Value::integer(4));
+    EXPECT_EQ(e("(mod 9 2)"), Value::integer(1));
+    EXPECT_EQ(e("(+ 1 2.5)"), Value::real(3.5));
+    EXPECT_EQ(e("(abs -4)"), Value::integer(4));
+    EXPECT_EQ(e("(min 3 1 2)"), Value::integer(1));
+    EXPECT_EQ(e("(max 3 1 2)"), Value::integer(3));
+}
+
+TEST_F(EvalTest, Comparison)
+{
+    EXPECT_TRUE(e("(< 1 2 3)").truthy());
+    EXPECT_FALSE(e("(< 1 3 2)").truthy());
+    EXPECT_TRUE(e("(>= 3 3 2)").truthy());
+    EXPECT_TRUE(e("(= 2 2)").truthy());
+    EXPECT_TRUE(e("(= 2 2.0)").truthy());
+    EXPECT_TRUE(e("(<> 2 3)").truthy());
+}
+
+TEST_F(EvalTest, EqIsIdentity)
+{
+    EXPECT_TRUE(e("(eq FILE FILE)").truthy());
+    EXPECT_FALSE(e("(eq FILE \"FILE\")").truthy());
+    EXPECT_TRUE(e("(neq FILE SOCKET)").truthy());
+    // eq compares first arg against all the rest.
+    EXPECT_TRUE(e("(eq a a a)").truthy());
+    EXPECT_FALSE(e("(eq a a b)").truthy());
+}
+
+TEST_F(EvalTest, BooleanConnectives)
+{
+    EXPECT_TRUE(e("(and TRUE TRUE)").truthy());
+    EXPECT_FALSE(e("(and TRUE FALSE)").truthy());
+    EXPECT_TRUE(e("(or FALSE TRUE)").truthy());
+    EXPECT_FALSE(e("(or FALSE FALSE)").truthy());
+    EXPECT_TRUE(e("(not FALSE)").truthy());
+    EXPECT_FALSE(e("(not 17)").truthy());
+}
+
+TEST_F(EvalTest, ShortCircuit)
+{
+    // The unbound-variable error in the second operand must never be
+    // reached.
+    EXPECT_FALSE(e("(and FALSE (undefined-fn))").truthy());
+    EXPECT_TRUE(e("(or TRUE (undefined-fn))").truthy());
+}
+
+TEST_F(EvalTest, StringOps)
+{
+    EXPECT_EQ(e("(str-cat \"a\" \"b\" 1)"), Value::str("ab1"));
+    EXPECT_EQ(e("(sym-cat a b)"), Value::sym("ab"));
+    EXPECT_EQ(e("(str-length \"abc\")"), Value::integer(3));
+    EXPECT_EQ(e("(upcase \"abc\")"), Value::str("ABC"));
+    EXPECT_EQ(e("(lowcase ABC)"), Value::sym("abc"));
+    EXPECT_EQ(e("(str-index \"lo\" \"hello\")"), Value::integer(4));
+    EXPECT_FALSE(e("(str-index \"xyz\" \"hello\")").truthy());
+    EXPECT_EQ(e("(sub-string 2 4 \"hello\")"), Value::str("ell"));
+}
+
+TEST_F(EvalTest, MultifieldOps)
+{
+    EXPECT_EQ(e("(length$ (create$ a b c))"), Value::integer(3));
+    EXPECT_EQ(e("(nth$ 2 (create$ a b c))"), Value::sym("b"));
+    EXPECT_EQ(e("(member$ c (create$ a b c))"), Value::integer(3));
+    EXPECT_FALSE(e("(member$ z (create$ a b c))").truthy());
+    EXPECT_EQ(e("(first$ (create$ a b c))"),
+              Value::multi({Value::sym("a")}));
+    EXPECT_EQ(e("(rest$ (create$ a b c))"),
+              Value::multi({Value::sym("b"), Value::sym("c")}));
+    EXPECT_EQ(e("(subseq$ (create$ a b c d) 2 3)"),
+              Value::multi({Value::sym("b"), Value::sym("c")}));
+    EXPECT_TRUE(e("(empty-list (create$))").truthy());
+    EXPECT_FALSE(e("(empty-list (create$ a))").truthy());
+}
+
+TEST_F(EvalTest, TypePredicates)
+{
+    EXPECT_TRUE(e("(numberp 1)").truthy());
+    EXPECT_TRUE(e("(integerp 1)").truthy());
+    EXPECT_FALSE(e("(integerp 1.5)").truthy());
+    EXPECT_TRUE(e("(floatp 1.5)").truthy());
+    EXPECT_TRUE(e("(stringp \"s\")").truthy());
+    EXPECT_TRUE(e("(symbolp s)").truthy());
+    EXPECT_TRUE(e("(multifieldp (create$))").truthy());
+    EXPECT_TRUE(e("(evenp 4)").truthy());
+    EXPECT_TRUE(e("(oddp 3)").truthy());
+}
+
+TEST_F(EvalTest, IfThenElse)
+{
+    EXPECT_EQ(e("(if (> 2 1) then 10 else 20)"), Value::integer(10));
+    EXPECT_EQ(e("(if (> 1 2) then 10 else 20)"), Value::integer(20));
+    // No else branch: false condition yields default value.
+    EXPECT_EQ(e("(if (> 1 2) then 10)"), Value());
+}
+
+TEST_F(EvalTest, Gensym)
+{
+    Value a = e("(gensym)");
+    Value b = e("(gensym)");
+    EXPECT_NE(a, b);
+}
+
+TEST_F(EvalTest, UnknownFunctionIsFatal)
+{
+    EXPECT_THROW(e("(no-such-function 1)"), FatalError);
+}
+
+TEST_F(EvalTest, Globals)
+{
+    env.loadString("(defglobal ?*x* = 5 ?*name* = \"hth\")");
+    EXPECT_EQ(e("?*x*"), Value::integer(5));
+    EXPECT_EQ(e("(+ ?*x* 1)"), Value::integer(6));
+    EXPECT_EQ(env.getGlobal("name"), Value::str("hth"));
+    env.setGlobal("x", Value::integer(9));
+    EXPECT_EQ(e("?*x*"), Value::integer(9));
+}
+
+TEST_F(EvalTest, BindGlobal)
+{
+    env.loadString("(defglobal ?*x* = 1)");
+    e("(bind ?*x* 42)");
+    EXPECT_EQ(env.getGlobal("x"), Value::integer(42));
+}
+
+TEST_F(EvalTest, Deffunction)
+{
+    env.loadString(
+        "(deffunction double-it (?x) (* ?x 2))"
+        "(deffunction sum-all ($?xs)"
+        "  (bind ?acc 0)"
+        "  (bind ?i 1)"
+        "  (while (<= ?i (length$ ?xs)) do"
+        "    (bind ?acc (+ ?acc (nth$ ?i ?xs)))"
+        "    (bind ?i (+ ?i 1)))"
+        "  ?acc)");
+    EXPECT_EQ(e("(double-it 21)"), Value::integer(42));
+    EXPECT_EQ(e("(sum-all 1 2 3 4)"), Value::integer(10));
+    EXPECT_EQ(e("(sum-all)"), Value::integer(0));
+}
+
+TEST_F(EvalTest, NativeFunctionRegistration)
+{
+    env.registerFunction("twice",
+                         [](Environment &, std::vector<Value> &args) {
+                             return Value::integer(
+                                 args.at(0).intValue() * 2);
+                         });
+    EXPECT_EQ(e("(twice 8)"), Value::integer(16));
+}
+
+//
+// Facts
+//
+
+class FactTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        env.loadString(
+            "(deftemplate person"
+            "  (slot name)"
+            "  (slot age (default 0))"
+            "  (multislot hobbies))");
+    }
+
+    Environment env;
+};
+
+TEST_F(FactTest, AssertAndQuery)
+{
+    FactId id = env.assertString(
+        "(person (name \"ada\") (age 36) (hobbies math code))");
+    const Fact *f = env.fact(id);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->slot("name"), Value::str("ada"));
+    EXPECT_EQ(f->slot("age"), Value::integer(36));
+    EXPECT_EQ(f->slot("hobbies").items().size(), 2u);
+}
+
+TEST_F(FactTest, DefaultsApply)
+{
+    FactId id = env.assertString("(person (name \"bob\"))");
+    const Fact *f = env.fact(id);
+    EXPECT_EQ(f->slot("age"), Value::integer(0));
+    EXPECT_TRUE(f->slot("hobbies").items().empty());
+}
+
+TEST_F(FactTest, Retract)
+{
+    FactId id = env.assertString("(person (name \"eve\"))");
+    EXPECT_TRUE(env.retract(id));
+    EXPECT_EQ(env.fact(id), nullptr);
+    EXPECT_FALSE(env.retract(id));
+    EXPECT_EQ(env.liveFactCount(), 0u);
+}
+
+TEST_F(FactTest, OrderedFacts)
+{
+    env.assertString("(colour red)");
+    env.assertString("(colour green)");
+    EXPECT_EQ(env.factsByTemplate("colour").size(), 2u);
+}
+
+TEST_F(FactTest, ProgrammaticAssert)
+{
+    FactId id = env.assertFact(
+        "person", {{"name", Value::str("carol")},
+                   {"hobbies", Value::multi({Value::sym("chess")})}});
+    const Fact *f = env.fact(id);
+    EXPECT_EQ(f->slot("name"), Value::str("carol"));
+    EXPECT_EQ(f->slot("hobbies").items().size(), 1u);
+}
+
+TEST_F(FactTest, ScalarIntoMultislotIsWrapped)
+{
+    FactId id = env.assertFact("person",
+                               {{"hobbies", Value::sym("go")}});
+    EXPECT_EQ(env.fact(id)->slot("hobbies"),
+              Value::multi({Value::sym("go")}));
+}
+
+TEST_F(FactTest, ClearFacts)
+{
+    env.assertString("(person (name \"a\"))");
+    env.assertString("(person (name \"b\"))");
+    env.clearFacts();
+    EXPECT_EQ(env.liveFactCount(), 0u);
+    EXPECT_NE(env.findTemplate("person"), nullptr);
+}
+
+TEST_F(FactTest, UnknownSlotIsFatal)
+{
+    EXPECT_THROW(env.assertString("(person (height 180))"),
+                 FatalError);
+}
+
+//
+// Rules and inference
+//
+
+TEST(RuleTest, SimpleFire)
+{
+    Environment env;
+    std::ostringstream out;
+    env.setOutput(&out);
+    env.loadString(
+        "(deftemplate ping (slot n))"
+        "(defrule on-ping"
+        "  (ping (n ?n))"
+        "  =>"
+        "  (printout t \"got \" ?n crlf))");
+    env.assertString("(ping (n 7))");
+    EXPECT_EQ(env.run(), 1);
+    EXPECT_EQ(out.str(), "got 7\n");
+}
+
+TEST(RuleTest, RefractionPreventsRefire)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate ping (slot n))"
+        "(defrule on-ping (ping (n ?n)) => (bind ?x 1))");
+    env.assertString("(ping (n 1))");
+    EXPECT_EQ(env.run(), 1);
+    EXPECT_EQ(env.run(), 0); // same fact: refraction blocks refiring
+    env.assertString("(ping (n 1))"); // new fact id → fires again
+    EXPECT_EQ(env.run(), 1);
+}
+
+TEST(RuleTest, JoinAcrossPatterns)
+{
+    Environment env;
+    std::ostringstream out;
+    env.setOutput(&out);
+    env.loadString(
+        "(deftemplate parent (slot of) (slot is))"
+        "(defrule grandparent"
+        "  (parent (of ?kid) (is ?p))"
+        "  (parent (of ?p) (is ?gp))"
+        "  =>"
+        "  (printout t ?gp \" is grandparent of \" ?kid crlf))");
+    env.assertString("(parent (of alice) (is bob))");
+    env.assertString("(parent (of bob) (is carol))");
+    EXPECT_EQ(env.run(), 1);
+    EXPECT_EQ(out.str(), "carol is grandparent of alice\n");
+}
+
+TEST(RuleTest, TestCE)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate item (slot weight))"
+        "(defrule heavy (item (weight ?w)) (test (> ?w 10)) =>"
+        "  (assert (flagged heavy)))");
+    env.assertString("(item (weight 5))");
+    env.run();
+    EXPECT_TRUE(env.factsByTemplate("flagged").empty());
+    env.assertString("(item (weight 15))");
+    env.run();
+    EXPECT_EQ(env.factsByTemplate("flagged").size(), 1u);
+}
+
+TEST(RuleTest, NotCE)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate task (slot id))"
+        "(deftemplate done (slot id))"
+        "(defrule pending"
+        "  (task (id ?i))"
+        "  (not (done (id ?i)))"
+        "  =>"
+        "  (assert (report ?i)))");
+    env.assertString("(task (id 1))");
+    env.assertString("(task (id 2))");
+    env.assertString("(done (id 1))");
+    env.run();
+    auto reports = env.factsByTemplate("report");
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0]->slots[0].items()[0], Value::integer(2));
+}
+
+TEST(RuleTest, SalienceOrdersFiring)
+{
+    Environment env;
+    std::ostringstream out;
+    env.setOutput(&out);
+    env.loadString(
+        "(deftemplate go (slot x))"
+        "(defrule low (declare (salience -10)) (go (x ?))"
+        "  => (printout t \"low \"))"
+        "(defrule high (declare (salience 10)) (go (x ?))"
+        "  => (printout t \"high \"))"
+        "(defrule mid (go (x ?)) => (printout t \"mid \"))");
+    env.assertString("(go (x 1))");
+    EXPECT_EQ(env.run(), 3);
+    EXPECT_EQ(out.str(), "high mid low ");
+}
+
+TEST(RuleTest, FactAddressRetract)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate evt (slot kind))"
+        "(defrule consume"
+        "  ?e <- (evt (kind ?k))"
+        "  =>"
+        "  (retract ?e)"
+        "  (assert (seen ?k)))");
+    env.assertString("(evt (kind open))");
+    env.assertString("(evt (kind close))");
+    EXPECT_EQ(env.run(), 2);
+    EXPECT_EQ(env.factsByTemplate("evt").size(), 0u);
+    EXPECT_EQ(env.factsByTemplate("seen").size(), 2u);
+}
+
+TEST(RuleTest, MultifieldPatternBinding)
+{
+    Environment env;
+    std::ostringstream out;
+    env.setOutput(&out);
+    env.loadString(
+        "(deftemplate bag (multislot items))"
+        "(defrule has-middle"
+        "  (bag (items $?before x $?after))"
+        "  =>"
+        "  (printout t (length$ ?before) \":\" (length$ ?after)))");
+    env.assertString("(bag (items a b x c))");
+    EXPECT_EQ(env.run(), 1);
+    EXPECT_EQ(out.str(), "2:1");
+}
+
+TEST(RuleTest, MultifieldVarSharedAcrossSlots)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate pairx (multislot lhs) (multislot rhs))"
+        "(defrule same (pairx (lhs $?x) (rhs $?x)) =>"
+        "  (assert (matched)))");
+    env.assertString("(pairx (lhs a b) (rhs a b))");
+    env.assertString("(pairx (lhs a b) (rhs a c))");
+    env.run();
+    EXPECT_EQ(env.factsByTemplate("matched").size(), 1u);
+}
+
+TEST(RuleTest, OrderedFactPatterns)
+{
+    Environment env;
+    env.loadString(
+        "(defrule pick (colour ?c) => (assert (picked ?c)))");
+    env.assertString("(colour red)");
+    env.run();
+    auto picked = env.factsByTemplate("picked");
+    ASSERT_EQ(picked.size(), 1u);
+    EXPECT_EQ(picked[0]->slots[0].items()[0], Value::sym("red"));
+}
+
+TEST(RuleTest, ChainedInference)
+{
+    // Transitive closure via rules: the engine loops to fixpoint.
+    Environment env;
+    env.loadString(
+        "(deftemplate edge (slot from) (slot to))"
+        "(deftemplate path (slot from) (slot to))"
+        "(defrule base (edge (from ?a) (to ?b)) =>"
+        "  (assert (path (from ?a) (to ?b))))"
+        "(defrule trans (path (from ?a) (to ?b)) (edge (from ?b) (to ?c))"
+        "  => (assert (path (from ?a) (to ?c))))");
+    env.assertString("(edge (from 1) (to 2))");
+    env.assertString("(edge (from 2) (to 3))");
+    env.assertString("(edge (from 3) (to 4))");
+    env.run();
+    // paths: 1-2 2-3 3-4 1-3 2-4 1-4 (duplicates asserted as separate
+    // facts are possible; count unique pairs)
+    std::set<std::pair<int, int>> uniq;
+    for (const Fact *f : env.factsByTemplate("path"))
+        uniq.insert({(int)f->slot("from").intValue(),
+                     (int)f->slot("to").intValue()});
+    EXPECT_EQ(uniq.size(), 6u);
+}
+
+TEST(RuleTest, MaxFiresBound)
+{
+    Environment env;
+    env.loadString(
+        "(defrule spin (tick ?n) => (assert (tick (+ ?n 1))))");
+    env.assertString("(tick 0)");
+    EXPECT_EQ(env.run(5), 5);
+}
+
+TEST(RuleTest, FireTraceRecordsRuleNames)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate a (slot x))"
+        "(defrule ra (a (x ?)) => (bind ?y 0))");
+    env.assertString("(a (x 1))");
+    env.run();
+    ASSERT_EQ(env.fireTrace().size(), 1u);
+    EXPECT_EQ(env.fireTrace()[0].rule, "ra");
+}
+
+//
+// The paper's Appendix A execve rule, nearly verbatim.
+//
+
+class PaperRuleTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        env.setOutput(&out);
+        // Trusted-library filters as native functions, mirroring the
+        // Secpert embedding (App. A.2).
+        env.registerFunction(
+            "filter_binary",
+            [](Environment &, std::vector<Value> &args) {
+                std::vector<Value> suspicious;
+                const auto &types = args.at(0).items();
+                const auto &names = args.at(1).items();
+                for (size_t i = 0; i < types.size(); ++i) {
+                    if (types[i] == Value::sym("BINARY") &&
+                        names[i].text().find("libc.so") ==
+                            std::string::npos)
+                        suspicious.push_back(names[i]);
+                }
+                return Value::multi(std::move(suspicious));
+            });
+        env.registerFunction(
+            "filter_socket",
+            [](Environment &, std::vector<Value> &args) {
+                std::vector<Value> suspicious;
+                const auto &types = args.at(0).items();
+                const auto &names = args.at(1).items();
+                for (size_t i = 0; i < types.size(); ++i)
+                    if (types[i] == Value::sym("SOCKET"))
+                        suspicious.push_back(names[i]);
+                return Value::multi(std::move(suspicious));
+            });
+        env.registerFunction(
+            "print-warning",
+            [this](Environment &, std::vector<Value> &args) {
+                lastWarning = (int)args.at(0).intValue();
+                return Value::boolean(true);
+            });
+        env.loadString(R"CLP(
+(defglobal ?*RARE_FREQUENCY* = 3 ?*LONG_TIME* = 100 ?*TAB* = "    ")
+
+(deftemplate system_call_access
+  (slot system_call_name)
+  (multislot resource_name)
+  (multislot resource_type)
+  (multislot resource_origin_name)
+  (multislot resource_origin_type)
+  (slot time)
+  (slot frequency)
+  (slot address))
+
+(deftemplate resolution (slot status))
+(deftemplate system_call_name (slot name))
+
+(defrule check_execve "check execve"
+  ?execve <- (system_call_access
+               (system_call_name ?sys_name)
+               (resource_name $?name)
+               (resource_type $?type)
+               (resource_origin_name $?origin_name)
+               (resource_origin_type $?origin_type)
+               (time ?time)
+               (frequency ?freq)
+               (address ?addr))
+  ?resolution <- (resolution (status RESOLVE))
+  (system_call_name (name ?sys_name))
+  (test (eq ?sys_name SYS_execve))
+  (test (or (not (empty-list
+                   (filter_binary $?origin_type $?origin_name)))
+            (not (empty-list
+                   (filter_socket $?origin_type $?origin_name)))))
+  =>
+  (bind ?suspicous_binaries
+        (filter_binary $?origin_type $?origin_name))
+  (bind ?suspicous_sockets
+        (filter_socket $?origin_type $?origin_name))
+  (bind ?warning 1)
+  (if (and (< ?freq ?*RARE_FREQUENCY*) (> ?time ?*LONG_TIME*)) then
+    (bind ?warning 2))
+  (if (not (empty-list ?suspicous_sockets)) then
+    (bind ?warning 3))
+  (print-warning ?warning)
+  (printout t "Found " ?sys_name " call " ?name crlf)
+  (if (not (empty-list ?suspicous_binaries)) then
+    (printout t ?*TAB* ?name " originated from "
+              ?suspicous_binaries crlf)
+   else
+    (printout t ?*TAB* ?name " originated from "
+              ?suspicous_sockets crlf))
+  (retract ?execve ?resolution)
+  (assert (resolution (status STOP))))
+)CLP");
+        env.assertString("(system_call_name (name SYS_execve))");
+    }
+
+    void
+    assertExecve(const std::string &origin_type,
+                 const std::string &origin_name, int time, int freq)
+    {
+        env.assertString("(resolution (status RESOLVE))");
+        env.assertString(
+            "(system_call_access (system_call_name SYS_execve)"
+            " (resource_name \"/bin/ls\") (resource_type FILE)"
+            " (resource_origin_name \"" + origin_name + "\")"
+            " (resource_origin_type " + origin_type + ")"
+            " (time " + std::to_string(time) + ")"
+            " (frequency " + std::to_string(freq) + ")"
+            " (address \"8048403\"))");
+    }
+
+    Environment env;
+    std::ostringstream out;
+    int lastWarning = 0;
+};
+
+TEST_F(PaperRuleTest, HardcodedBinaryIsLowWarning)
+{
+    assertExecve("BINARY", "/tmp/execve.exe", 33, 5);
+    EXPECT_EQ(env.run(), 1);
+    EXPECT_EQ(lastWarning, 1); // Low
+    EXPECT_NE(out.str().find("Found SYS_execve call /bin/ls"),
+              std::string::npos);
+    // Event and resolution consumed, STOP asserted.
+    EXPECT_TRUE(env.factsByTemplate("system_call_access").empty());
+    auto res = env.factsByTemplate("resolution");
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_EQ(res[0]->slot("status"), Value::sym("STOP"));
+}
+
+TEST_F(PaperRuleTest, InfrequentHardcodedIsMediumWarning)
+{
+    assertExecve("BINARY", "/tmp/execve.exe", 500, 1);
+    EXPECT_EQ(env.run(), 1);
+    EXPECT_EQ(lastWarning, 2); // Medium: rare code, long-running
+}
+
+TEST_F(PaperRuleTest, SocketOriginIsHighWarning)
+{
+    assertExecve("SOCKET", "attacker:6667", 33, 5);
+    EXPECT_EQ(env.run(), 1);
+    EXPECT_EQ(lastWarning, 3); // High
+}
+
+TEST_F(PaperRuleTest, TrustedLibcIsFilteredOut)
+{
+    // The ElmExploit case from §8.3.1: /bin/sh string lives in
+    // trusted libc.so, so the rule must not fire at all.
+    assertExecve("BINARY", "/lib/tls/libc.so.6", 108, 1);
+    EXPECT_EQ(env.run(), 0);
+    EXPECT_EQ(lastWarning, 0);
+}
+
+TEST_F(PaperRuleTest, UserInputDoesNotFire)
+{
+    assertExecve("USER_INPUT", "", 33, 5);
+    EXPECT_EQ(env.run(), 0);
+    EXPECT_EQ(lastWarning, 0);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the public API: the Hth facade, Report helpers,
+ * option plumbing and the Secure Binary verifier (Appendix B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/Hth.hh"
+#include "core/SecureBinary.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+std::shared_ptr<const vm::Image>
+makeDropper()
+{
+    Gasm a("/t/dropper");
+    a.dataString("path", "/tmp/.loot");
+    a.dataString("payload", "bad-bytes");
+    a.label("main");
+    a.entry("main");
+    a.creatSym("path");
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.writeFd(Reg::Ebp, "payload", 9);
+    a.exit(0);
+    return a.build();
+}
+
+} // namespace
+
+TEST(Hth, MonitorProducesReport)
+{
+    Hth hth;
+    auto image = makeDropper();
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report report = hth.monitor(image->path, {image->path});
+
+    EXPECT_EQ(report.status, os::RunStatus::Done);
+    EXPECT_TRUE(report.flagged());
+    EXPECT_TRUE(report.flagged(secpert::Severity::High));
+    EXPECT_EQ(report.maxSeverity(), secpert::Severity::High);
+    EXPECT_GT(report.instructions, 0u);
+    EXPECT_GT(report.syscalls, 0u);
+    EXPECT_GT(report.eventsAnalyzed, 0u);
+    EXPECT_GT(report.rulesFired, 0u);
+    EXPECT_EQ(report.countByRule("io_BINARY_to_FILE"), 1u);
+    EXPECT_EQ(report.countByRule("no_such_rule"), 0u);
+    EXPECT_FALSE(report.transcript.empty());
+}
+
+TEST(Hth, TaintTrackingOptionPlumbs)
+{
+    HthOptions options;
+    options.taintTracking = false;
+    Hth hth(options);
+    auto image = makeDropper();
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report report = hth.monitor(image->path, {image->path});
+    // Without data-flow tracking the write rules have no sources.
+    EXPECT_FALSE(report.flagged());
+}
+
+TEST(Hth, TickBudgetHonoured)
+{
+    HthOptions options;
+    options.maxTicks = 500;
+    Hth hth(options);
+
+    Gasm a("/t/spin");
+    a.label("main");
+    a.entry("main");
+    a.label("loop");
+    a.jmp("loop");
+    auto image = a.build();
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report report = hth.monitor(image->path, {image->path});
+    EXPECT_EQ(report.status, os::RunStatus::TickLimit);
+}
+
+TEST(Hth, StdoutCaptured)
+{
+    Hth hth;
+    Gasm a("/t/say");
+    a.dataString("msg", "output!");
+    a.label("main");
+    a.entry("main");
+    a.writeSym(1, "msg", 7);
+    a.exit(3);
+    auto image = a.build();
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report report = hth.monitor(image->path, {image->path});
+    EXPECT_EQ(report.stdoutData, "output!");
+    EXPECT_EQ(report.exitCode, 3);
+    EXPECT_FALSE(report.flagged());
+}
+
+TEST(Hth, MultipleRunsAccumulateIndependently)
+{
+    Hth hth;
+    auto image = makeDropper();
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report first = hth.monitor(image->path, {image->path});
+    size_t first_count = first.warnings.size();
+    Report second = hth.monitor(image->path, {image->path});
+    // The same Hth keeps accumulating (one session per instance).
+    EXPECT_GE(second.warnings.size(), first_count);
+}
+
+//
+// Secure Binary (Appendix B)
+//
+
+TEST(SecureBinary, FlagsPathsAndAddresses)
+{
+    Gasm a("/t/audit1");
+    a.dataString("p1", "/etc/shadow");
+    a.dataString("p2", "./rel/file");
+    a.dataString("p3", "notes.txt");
+    a.dataString("s1", "evil.example.com:6667");
+    a.dataString("plain", "just a banner");
+    a.label("main");
+    a.entry("main");
+    a.exit(0);
+    auto report = verifySecureBinary(*a.build());
+
+    EXPECT_FALSE(report.secure());
+    EXPECT_FALSE(report.strictlySecure());
+    int paths = 0, socks = 0, raw = 0;
+    for (const auto &f : report.findings) {
+        switch (f.kind) {
+          case SecureBinaryFinding::Kind::FilePath: ++paths; break;
+          case SecureBinaryFinding::Kind::SocketAddress:
+            ++socks;
+            break;
+          case SecureBinaryFinding::Kind::RawString: ++raw; break;
+        }
+    }
+    EXPECT_EQ(paths, 3);
+    EXPECT_EQ(socks, 1);
+    EXPECT_GE(raw, 1);
+}
+
+TEST(SecureBinary, EmptyDataIsStrictlySecure)
+{
+    Gasm a("/t/audit2");
+    a.label("main");
+    a.entry("main");
+    a.exit(0);
+    auto report = verifySecureBinary(*a.build());
+    EXPECT_TRUE(report.strictlySecure());
+    EXPECT_TRUE(report.secure());
+}
+
+TEST(SecureBinary, RawStringsAllowedByRelaxedRule)
+{
+    Gasm a("/t/audit3");
+    a.dataString("banner", "hello world this is fine");
+    a.label("main");
+    a.entry("main");
+    a.exit(0);
+    auto report = verifySecureBinary(*a.build());
+    EXPECT_FALSE(report.strictlySecure());
+    EXPECT_TRUE(report.secure());
+}
+
+TEST(SecureBinary, ShortStringsIgnored)
+{
+    Gasm a("/t/audit4");
+    a.dataString("tiny", "ab");
+    a.label("main");
+    a.entry("main");
+    a.exit(0);
+    auto report = verifySecureBinary(*a.build());
+    EXPECT_TRUE(report.strictlySecure());
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

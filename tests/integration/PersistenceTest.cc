@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for execution tracing and Secpert session persistence
+ * (§10 extension 6: memory saved between consecutive executions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/Hth.hh"
+#include "secpert/Secpert.hh"
+#include "taint/TagSet.hh"
+#include "vm/Machine.hh"
+#include "vm/TextAsm.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+using secpert::Severity;
+
+TEST(Trace, RingBufferKeepsLastInstructions)
+{
+    taint::TagStore tags;
+    vm::Machine m(tags);
+    m.setTraceDepth(4);
+    auto image = vm::assemble("/t/trace.exe", R"(
+        .entry main
+        main:
+            movi eax, 1
+            movi ebx, 2
+            movi ecx, 3
+            movi edx, 4
+            movi esi, 5
+            halt
+    )");
+    const vm::LoadedImage &li = m.loadImage(image, 1);
+    m.setEip(li.base + image->entry);
+    while (!m.halted())
+        m.step();
+    // Depth 4: the movi eax dropped out; halt is the newest entry.
+    ASSERT_EQ(m.trace().size(), 4u);
+    EXPECT_EQ(m.trace().back().insn.op, vm::Opcode::Halt);
+    EXPECT_EQ(m.trace().front().insn.imm, 3);
+    std::string text = m.traceToString();
+    EXPECT_NE(text.find("/t/trace.exe+"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+
+    // Shrinking the depth trims the oldest entries.
+    m.setTraceDepth(2);
+    EXPECT_EQ(m.trace().size(), 2u);
+    m.setTraceDepth(0);
+    EXPECT_TRUE(m.trace().empty());
+}
+
+TEST(Persistence, MemorySurvivesExportImport)
+{
+    secpert::Secpert first;
+
+    harrier::ResourceIoEvent dl;
+    dl.ctx.pid = 1;
+    dl.syscall = "SYS_write";
+    dl.isWrite = true;
+    dl.source.type = taint::SourceType::Socket;
+    dl.targetName = "payload.bin";
+    dl.targetType = taint::SourceType::File;
+    first.onResourceIo(dl);
+    ASSERT_EQ(first.env().factsByTemplate("downloaded_file").size(),
+              1u);
+
+    // Account some clones too.
+    harrier::ResourceAccessEvent clone;
+    clone.ctx.pid = 1;
+    clone.syscall = "SYS_clone";
+    clone.isProcessCreate = true;
+    for (int i = 0; i < 5; ++i) {
+        clone.ctx.absTime = (uint64_t)i * 1000;
+        first.onResourceAccess(clone);
+    }
+
+    std::string memory = first.exportMemory();
+    EXPECT_NE(memory.find("downloaded_file"), std::string::npos);
+    EXPECT_NE(memory.find("clone_stats"), std::string::npos);
+
+    // A fresh Secpert session (e.g. after a monitor restart)
+    // restores the memory and immediately flags the execution of
+    // the remembered download.
+    secpert::Secpert second;
+    second.importMemory(memory);
+    harrier::ResourceAccessEvent ex;
+    ex.ctx.pid = 2;
+    ex.syscall = "SYS_execve";
+    ex.resName = "payload.bin";
+    ex.resType = taint::SourceType::File;
+    ex.origins = {{taint::SourceType::UserInput, "COMMAND_LINE"}};
+    second.onResourceAccess(ex);
+    ASSERT_EQ(second.warnings().size(), 1u);
+    EXPECT_EQ(second.warnings()[0].rule, "exec_downloaded");
+
+    // The imported clone counter continues where it left off: 6
+    // more clones cross the threshold of 10.
+    for (int i = 0; i < 6; ++i) {
+        clone.ctx.absTime = 100000 + (uint64_t)i * 100000;
+        second.onResourceAccess(clone);
+    }
+    EXPECT_GE(second.warnings().size(), 2u);
+    bool count_warned = false;
+    for (const auto &w : second.warnings())
+        count_warned = count_warned ||
+                       w.rule == "resource_abuse_count";
+    EXPECT_TRUE(count_warned);
+}
+
+TEST(Persistence, ImportReplacesCounterFacts)
+{
+    secpert::Secpert s;
+    s.importMemory("(clone_stats (count 42) (window_start 0) "
+                   "(window_count 0))");
+    auto stats = s.env().factsByTemplate("clone_stats");
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0]->slot("count"),
+              hth::clips::Value::integer(42));
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Simultaneous-session monitoring (paper §10 extension 7): several
+ * programs run under one HTH session at once; warnings are
+ * attributed per process, and interactions between programs are
+ * observable (one guest's hard-coded server, another guest as its
+ * client).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/Hth.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+using secpert::Severity;
+
+TEST(Simultaneous, WarningsAttributedPerProcess)
+{
+    Hth hth;
+    os::Kernel &k = hth.kernel();
+
+    // Guest A: drops a hard-coded file (HIGH).
+    Gasm a("/sim/dropper");
+    a.dataString("path", "/tmp/a-loot");
+    a.dataString("data", "stolen");
+    a.label("main");
+    a.entry("main");
+    a.creatSym("path");
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.writeFd(Reg::Ebp, "data", 6);
+    a.exit(0);
+    auto dropper = a.build();
+    k.vfs().addBinary(dropper->path, dropper);
+
+    // Guest B: executes a hard-coded program (LOW).
+    Gasm b("/sim/execer");
+    b.dataString("prog", "/bin/true");
+    b.label("main");
+    b.entry("main");
+    b.execveSym("prog");
+    b.exit(0);
+    auto execer = b.build();
+    k.vfs().addBinary(execer->path, execer);
+    k.vfs().addBinary("/bin/true", makeNoopBinary("/bin/true"));
+
+    os::Process &pa = k.spawn(dropper->path, {dropper->path});
+    os::Process &pb = k.spawn(execer->path, {execer->path});
+    EXPECT_EQ(k.run(), os::RunStatus::Done);
+
+    std::set<int> high_pids, low_pids;
+    for (const auto &w : hth.secpert().warnings()) {
+        if (w.severity == Severity::High)
+            high_pids.insert(w.pid);
+        if (w.severity == Severity::Low)
+            low_pids.insert(w.pid);
+    }
+    EXPECT_TRUE(high_pids.count(pa.pid));
+    EXPECT_FALSE(high_pids.count(pb.pid));
+    EXPECT_TRUE(low_pids.count(pb.pid));
+}
+
+TEST(Simultaneous, GuestServerAndGuestClientBothMonitored)
+{
+    Hth hth;
+    os::Kernel &k = hth.kernel();
+
+    // A guest "drop server" that stores whatever arrives into a
+    // hard-coded file.
+    Gasm srv("/sim/collector");
+    srv.dataString("addr", "LocalHost:5151");
+    srv.dataString("logname", "collected.log");
+    srv.dataSpace("buf", 64);
+    srv.label("main");
+    srv.entry("main");
+    srv.sockCreate();
+    srv.mov(Reg::Ebp, Reg::Eax);
+    srv.leaSym(Reg::Edx, "addr");
+    srv.sockBind(Reg::Ebp, Reg::Edx);
+    srv.sockListen(Reg::Ebp);
+    srv.sockAccept(Reg::Ebp);
+    srv.mov(Reg::Ebp, Reg::Eax);
+    srv.leaSym(Reg::Edx, "buf");
+    srv.sockRecv(Reg::Ebp, Reg::Edx, 63);
+    srv.mov(Reg::Edi, Reg::Eax);
+    srv.creatSym("logname");
+    srv.mov(Reg::Esi, Reg::Eax);
+    srv.mov(Reg::Ebx, Reg::Esi);
+    srv.leaSym(Reg::Ecx, "buf");
+    srv.mov(Reg::Edx, Reg::Edi);
+    srv.sysc(os::NR_write);
+    srv.exit(0);
+    auto collector = srv.build();
+    k.vfs().addBinary(collector->path, collector);
+
+    // A guest exfiltrator reading a secret file into that server.
+    Gasm cli("/sim/exfil");
+    cli.dataString("addr", "LocalHost:5151");
+    cli.dataString("secret", "/etc/passwd");
+    cli.dataSpace("buf", 64);
+    cli.label("main");
+    cli.entry("main");
+    cli.sleepTicks(500);
+    cli.openSym("secret", GO_RDONLY);
+    cli.mov(Reg::Ebp, Reg::Eax);
+    cli.readFd(Reg::Ebp, "buf", 32);
+    cli.push(Reg::Eax);             // byte count (socket helpers
+                                    // clobber ESI/EDI)
+    cli.sockCreate();
+    cli.mov(Reg::Ebp, Reg::Eax);
+    cli.leaSym(Reg::Edx, "addr");
+    cli.sockConnect(Reg::Ebp, Reg::Edx);
+    cli.pop(Reg::Edx);              // restore the length
+    cli.leaSym(Reg::Ecx, "buf");
+    cli.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+    cli.exit(0);
+    auto exfil = cli.build();
+    k.vfs().addBinary(exfil->path, exfil);
+    k.vfs().addFile("/etc/passwd", "root:x:0:0:/root:/bin/sh\n");
+
+    os::Process &ps = k.spawn(collector->path, {collector->path});
+    os::Process &pc = k.spawn(exfil->path, {exfil->path});
+    EXPECT_EQ(k.run(), os::RunStatus::Done);
+
+    // The exfiltrator is flagged: hard-coded secret file flowing to
+    // a hard-coded socket address (HIGH).
+    bool client_high = false;
+    bool server_flagged = false;
+    for (const auto &w : hth.secpert().warnings()) {
+        if (w.pid == pc.pid && w.severity == Severity::High)
+            client_high = true;
+        if (w.pid == ps.pid)
+            server_flagged = true;
+    }
+    EXPECT_TRUE(client_high);
+    // The collector writes network data into its hard-coded log —
+    // also suspicious, attributed to its own pid.
+    EXPECT_TRUE(server_flagged);
+    // The data really arrived.
+    auto log = k.vfs().lookup("collected.log");
+    ASSERT_NE(log, nullptr);
+    EXPECT_FALSE(log->content.empty());
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+#include <iostream>
+#include "workloads/Micro.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+void runAll(const std::vector<Scenario>& list)
+{
+    for (const Scenario &s : list) {
+        ScenarioResult r = runScenario(s);
+        std::cout << "=== " << s.id << " flagged=" << r.flagged
+                  << " expect=" << s.expectMalicious
+                  << " status=" << (int)r.report.status
+                  << " maxsev=" << (int)r.report.maxSeverity()
+                  << " expsev=" << (int)s.expectSeverity << "\n";
+        if (r.flagged != s.expectMalicious)
+            std::cout << r.report.transcript << "\n";
+        EXPECT_TRUE(r.correct) << s.id << "\n" << r.report.transcript;
+    }
+}
+
+TEST(Smoke, ExecutionFlow) { runAll(executionFlowScenarios()); }
+TEST(Smoke, ResourceAbuse) { runAll(resourceAbuseScenarios()); }
+TEST(Smoke, InfoFlow) { runAll(infoFlowScenarios()); }
+
+int main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
+
+#include "workloads/Trusted.hh"
+TEST(Smoke, Trusted) { runAll(trustedProgramScenarios()); }
+
+#include "workloads/Exploits.hh"
+TEST(Smoke, Exploits) { runAll(exploitScenarios()); }
+
+#include "workloads/Macro.hh"
+TEST(Smoke, Macro) { runAll(macroScenarios()); }
+
+#include "workloads/Characterize.hh"
+TEST(Smoke, Characterize)
+{
+    for (const CharacterizedExploit &ce : characterizationModels()) {
+        ScenarioResult r = runScenario(ce.scenario);
+        PatternRow row = derivePatterns(ce.scenario, r);
+        std::cout << "=== " << ce.scenario.id
+                  << " nui=" << row.noUserIntervention
+                  << " rd=" << row.remotelyDirected
+                  << " hard=" << row.hardcodedResources
+                  << " deg=" << row.degradingPerformance
+                  << " flagged=" << r.flagged << "\n";
+        EXPECT_EQ(row.noUserIntervention, ce.expected.noUserIntervention) << ce.scenario.id;
+        EXPECT_EQ(row.remotelyDirected, ce.expected.remotelyDirected) << ce.scenario.id << "\n" << r.report.transcript;
+        EXPECT_EQ(row.hardcodedResources, ce.expected.hardcodedResources) << ce.scenario.id;
+        EXPECT_EQ(row.degradingPerformance, ce.expected.degradingPerformance) << ce.scenario.id;
+    }
+}

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Blocking-syscall restart paths: a SOCKOP_recv that blocks must be
+ * re-entered as a *socketcall* (the delegate rewinds the int80 and
+ * the argument registers must be restored), accept() must block
+ * until a connection arrives, and Harrier must not double-count
+ * events for restarted syscalls.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harrier/Harrier.hh"
+#include "os/Kernel.hh"
+#include "os/Libc.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::os;
+using namespace hth::workloads;
+
+namespace
+{
+
+struct CountingSink : harrier::EventSink
+{
+    int reads = 0;
+    int accesses = 0;
+
+    void
+    onResourceAccess(const harrier::ResourceAccessEvent &) override
+    {
+        ++accesses;
+    }
+    void
+    onResourceIo(const harrier::ResourceIoEvent &ev) override
+    {
+        if (!ev.isWrite)
+            ++reads;
+    }
+};
+
+} // namespace
+
+TEST(Blocking, RecvBlocksAndRestartsAsSocketcall)
+{
+    Kernel kernel;
+    kernel.setTaintTracking(true);
+    installLibc(kernel);
+    CountingSink sink;
+    harrier::Harrier harrier(sink);
+    harrier.attach(kernel);
+
+    // Server: accept, recv (blocks: the client sends only after a
+    // long sleep), echo what arrived to stdout.
+    Gasm srv("/t/slowsrv");
+    srv.dataString("addr", "LocalHost:4444");
+    srv.dataSpace("buf", 32);
+    srv.label("main");
+    srv.entry("main");
+    srv.sockCreate();
+    srv.mov(Reg::Ebp, Reg::Eax);
+    srv.leaSym(Reg::Edx, "addr");
+    srv.sockBind(Reg::Ebp, Reg::Edx);
+    srv.sockListen(Reg::Ebp);
+    srv.sockAccept(Reg::Ebp);
+    srv.mov(Reg::Ebp, Reg::Eax);
+    srv.leaSym(Reg::Edx, "buf");
+    srv.sockRecv(Reg::Ebp, Reg::Edx, 31);   // blocks here
+    srv.mov(Reg::Edx, Reg::Eax);
+    srv.movi(Reg::Ebx, 1);
+    srv.leaSym(Reg::Ecx, "buf");
+    srv.sysc(NR_write);
+    srv.exit(0);
+    auto server = srv.build();
+    kernel.vfs().addBinary(server->path, server);
+
+    Gasm cli("/t/slowcli");
+    cli.dataString("addr", "LocalHost:4444");
+    cli.dataString("msg", "belated");
+    cli.label("main");
+    cli.entry("main");
+    cli.sleepTicks(300);
+    cli.sockCreate();
+    cli.mov(Reg::Ebp, Reg::Eax);
+    cli.leaSym(Reg::Edx, "addr");
+    cli.sockConnect(Reg::Ebp, Reg::Edx);
+    cli.sleepTicks(5000);                   // let the server block
+    cli.leaSym(Reg::Ecx, "msg");
+    cli.movi(Reg::Edx, 7);
+    cli.sockSend(Reg::Ebp, Reg::Ecx, Reg::Edx);
+    cli.exit(0);
+    auto client = cli.build();
+    kernel.vfs().addBinary(client->path, client);
+
+    Process &sp = kernel.spawn(server->path, {server->path});
+    kernel.spawn(client->path, {client->path});
+    EXPECT_EQ(kernel.run(), RunStatus::Done);
+    EXPECT_EQ(sp.stdoutData, "belated");
+    // Exactly one read event despite the blocked first attempt.
+    EXPECT_EQ(sink.reads, 1);
+}
+
+TEST(Blocking, AcceptBlocksUntilConnection)
+{
+    Kernel kernel;
+    installLibc(kernel);
+
+    Gasm srv("/t/waitsrv");
+    srv.dataString("addr", "LocalHost:4545");
+    srv.label("main");
+    srv.entry("main");
+    srv.sockCreate();
+    srv.mov(Reg::Ebp, Reg::Eax);
+    srv.leaSym(Reg::Edx, "addr");
+    srv.sockBind(Reg::Ebp, Reg::Edx);
+    srv.sockListen(Reg::Ebp);
+    srv.sockAccept(Reg::Ebp);               // blocks a long while
+    srv.movi(Reg::Ebx, 7);
+    srv.sysc(NR_exit);
+    auto server = srv.build();
+    kernel.vfs().addBinary(server->path, server);
+
+    Gasm cli("/t/latecli");
+    cli.dataString("addr", "LocalHost:4545");
+    cli.label("main");
+    cli.entry("main");
+    cli.sleepTicks(20000);
+    cli.sockCreate();
+    cli.mov(Reg::Ebp, Reg::Eax);
+    cli.leaSym(Reg::Edx, "addr");
+    cli.sockConnect(Reg::Ebp, Reg::Edx);
+    cli.exit(0);
+    auto client = cli.build();
+    kernel.vfs().addBinary(client->path, client);
+
+    Process &sp = kernel.spawn(server->path, {server->path});
+    kernel.spawn(client->path, {client->path});
+    EXPECT_EQ(kernel.run(), RunStatus::Done);
+    EXPECT_EQ(sp.exitCode, 7);
+}
+
+TEST(Blocking, RecvEofWhenPeerCloses)
+{
+    Kernel kernel;
+    installLibc(kernel);
+
+    Gasm srv("/t/eofsrv");
+    srv.dataString("addr", "LocalHost:4646");
+    srv.dataSpace("buf", 8);
+    srv.label("main");
+    srv.entry("main");
+    srv.sockCreate();
+    srv.mov(Reg::Ebp, Reg::Eax);
+    srv.leaSym(Reg::Edx, "addr");
+    srv.sockBind(Reg::Ebp, Reg::Edx);
+    srv.sockListen(Reg::Ebp);
+    srv.sockAccept(Reg::Ebp);
+    srv.mov(Reg::Ebp, Reg::Eax);
+    srv.leaSym(Reg::Edx, "buf");
+    srv.sockRecv(Reg::Ebp, Reg::Edx, 8);    // peer sends nothing
+    srv.mov(Reg::Ebx, Reg::Eax);            // exit code = recv result
+    srv.sysc(NR_exit);
+    auto server = srv.build();
+    kernel.vfs().addBinary(server->path, server);
+
+    Gasm cli("/t/quietcli");
+    cli.dataString("addr", "LocalHost:4646");
+    cli.label("main");
+    cli.entry("main");
+    cli.sleepTicks(300);
+    cli.sockCreate();
+    cli.mov(Reg::Ebp, Reg::Eax);
+    cli.leaSym(Reg::Edx, "addr");
+    cli.sockConnect(Reg::Ebp, Reg::Edx);
+    cli.sleepTicks(2000);
+    cli.closeFd(Reg::Ebp);                  // hang up silently
+    cli.exit(0);
+    auto client = cli.build();
+    kernel.vfs().addBinary(client->path, client);
+
+    Process &sp = kernel.spawn(server->path, {server->path});
+    kernel.spawn(client->path, {client->path});
+    EXPECT_EQ(kernel.run(), RunStatus::Done);
+    EXPECT_EQ(sp.exitCode, 0);              // EOF, not a hang
+}
+
+//
+// Harrier configuration knobs
+//
+
+TEST(HarrierConfig, ReadForwardingCanBeDisabled)
+{
+    Kernel kernel;
+    kernel.setTaintTracking(true);
+    installLibc(kernel);
+    CountingSink sink;
+    harrier::HarrierConfig config;
+    config.forwardReads = false;
+    harrier::Harrier harrier(sink, config);
+    harrier.attach(kernel);
+
+    Gasm a("/t/reader");
+    a.dataString("path", "/f");
+    a.dataSpace("buf", 8);
+    a.label("main");
+    a.entry("main");
+    a.openSym("path", GO_RDONLY);
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.readFd(Reg::Ebp, "buf", 8);
+    a.exit(0);
+    auto image = a.build();
+    kernel.vfs().addBinary(image->path, image);
+    kernel.vfs().addFile("/f", "data");
+    kernel.spawn(image->path, {image->path});
+    kernel.run();
+    EXPECT_EQ(sink.reads, 0);
+    EXPECT_GT(sink.accesses, 0);    // open/close still reported
+}
+
+TEST(HarrierConfig, TimeScaleAppliesToEventTimes)
+{
+    Kernel kernel;
+    installLibc(kernel);
+
+    struct TimeSink : harrier::EventSink
+    {
+        uint64_t lastTime = 0;
+        void
+        onResourceAccess(
+            const harrier::ResourceAccessEvent &ev) override
+        {
+            lastTime = ev.ctx.time;
+        }
+        void
+        onResourceIo(const harrier::ResourceIoEvent &) override
+        {
+        }
+    } sink;
+
+    harrier::HarrierConfig config;
+    config.timeScale = 1;       // raw ticks
+    harrier::Harrier harrier(sink, config);
+    harrier.attach(kernel);
+
+    Gasm a("/t/timer");
+    a.dataString("path", "/out");
+    a.label("main");
+    a.entry("main");
+    a.sleepTicks(5000);
+    a.creatSym("path");
+    a.exit(0);
+    auto image = a.build();
+    kernel.vfs().addBinary(image->path, image);
+    kernel.spawn(image->path, {image->path});
+    kernel.run();
+    EXPECT_GE(sink.lastTime, 5000u);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

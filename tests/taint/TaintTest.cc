@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit and property tests for the taint engine: tag-set interning,
+ * memoised unions (algebraic properties), shadow memory, resource
+ * table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "taint/DataSource.hh"
+#include "taint/Shadow.hh"
+#include "taint/TagSet.hh"
+
+using namespace hth::taint;
+
+TEST(TagStore, EmptyIsZero)
+{
+    TagStore store;
+    EXPECT_EQ(TagStore::EMPTY, 0u);
+    EXPECT_TRUE(store.empty(TagStore::EMPTY));
+    EXPECT_TRUE(store.tags(TagStore::EMPTY).empty());
+}
+
+TEST(TagStore, SingletonInterning)
+{
+    TagStore store;
+    Tag tag{SourceType::File, 3};
+    TagSetId a = store.single(tag);
+    TagSetId b = store.single(tag);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, TagStore::EMPTY);
+    ASSERT_EQ(store.tags(a).size(), 1u);
+    EXPECT_EQ(store.tags(a)[0], tag);
+}
+
+TEST(TagStore, InternCanonicalises)
+{
+    TagStore store;
+    Tag t1{SourceType::File, 1};
+    Tag t2{SourceType::Socket, 2};
+    TagSetId a = store.intern({t1, t2});
+    TagSetId b = store.intern({t2, t1});          // order
+    TagSetId c = store.intern({t1, t2, t1, t2});  // duplicates
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+    EXPECT_EQ(store.tags(a).size(), 2u);
+}
+
+TEST(TagStore, UniteBasics)
+{
+    TagStore store;
+    TagSetId a = store.single({SourceType::File, 1});
+    TagSetId b = store.single({SourceType::Socket, 2});
+    TagSetId ab = store.unite(a, b);
+    EXPECT_EQ(store.tags(ab).size(), 2u);
+    EXPECT_TRUE(store.contains(ab, {SourceType::File, 1}));
+    EXPECT_TRUE(store.contains(ab, {SourceType::Socket, 2}));
+    EXPECT_FALSE(store.contains(ab, {SourceType::File, 2}));
+}
+
+TEST(TagStore, UniteWithEmptyIsIdentity)
+{
+    TagStore store;
+    TagSetId a = store.single({SourceType::Binary, 7});
+    EXPECT_EQ(store.unite(a, TagStore::EMPTY), a);
+    EXPECT_EQ(store.unite(TagStore::EMPTY, a), a);
+    EXPECT_EQ(store.unite(TagStore::EMPTY, TagStore::EMPTY),
+              TagStore::EMPTY);
+}
+
+TEST(TagStore, UnionCacheHits)
+{
+    TagStore store;
+    TagSetId a = store.single({SourceType::File, 1});
+    TagSetId b = store.single({SourceType::Socket, 2});
+    store.unite(a, b);
+    uint64_t hits_before = store.stats().unionCacheHits;
+    store.unite(a, b);
+    store.unite(b, a);  // symmetric pair shares the cache slot
+    EXPECT_EQ(store.stats().unionCacheHits, hits_before + 2);
+}
+
+TEST(TagStore, ContainsType)
+{
+    TagStore store;
+    TagSetId a = store.intern({{SourceType::File, 1},
+                               {SourceType::Hardware, NO_RESOURCE}});
+    EXPECT_TRUE(store.containsType(a, SourceType::File));
+    EXPECT_TRUE(store.containsType(a, SourceType::Hardware));
+    EXPECT_FALSE(store.containsType(a, SourceType::Socket));
+    EXPECT_FALSE(store.containsType(TagStore::EMPTY,
+                                    SourceType::File));
+}
+
+//
+// Algebraic properties of unite, swept over generated sets.
+//
+
+class UnionPropertyTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // A family of overlapping sets built from a seed.
+        int seed = GetParam();
+        for (int i = 0; i < 5; ++i) {
+            std::vector<Tag> tags;
+            for (int j = 0; j < 4; ++j) {
+                int v = (seed * 31 + i * 7 + j * 3) % 6;
+                tags.push_back({(SourceType)(v % 5),
+                                (ResourceId)(v * 11)});
+            }
+            sets.push_back(store.intern(tags));
+        }
+    }
+
+    TagStore store;
+    std::vector<TagSetId> sets;
+};
+
+TEST_P(UnionPropertyTest, Idempotent)
+{
+    for (TagSetId s : sets)
+        EXPECT_EQ(store.unite(s, s), s);
+}
+
+TEST_P(UnionPropertyTest, Commutative)
+{
+    for (TagSetId a : sets)
+        for (TagSetId b : sets)
+            EXPECT_EQ(store.unite(a, b), store.unite(b, a));
+}
+
+TEST_P(UnionPropertyTest, Associative)
+{
+    for (TagSetId a : sets)
+        for (TagSetId b : sets)
+            for (TagSetId c : sets)
+                EXPECT_EQ(store.unite(store.unite(a, b), c),
+                          store.unite(a, store.unite(b, c)));
+}
+
+TEST_P(UnionPropertyTest, Monotone)
+{
+    // Every member of a and of b is in a∪b and nothing else is.
+    for (TagSetId a : sets) {
+        for (TagSetId b : sets) {
+            TagSetId u = store.unite(a, b);
+            for (const Tag &t : store.tags(a))
+                EXPECT_TRUE(store.contains(u, t));
+            for (const Tag &t : store.tags(b))
+                EXPECT_TRUE(store.contains(u, t));
+            for (const Tag &t : store.tags(u))
+                EXPECT_TRUE(store.contains(a, t) ||
+                            store.contains(b, t));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionPropertyTest,
+                         ::testing::Range(0, 8));
+
+//
+// Shadow memory
+//
+
+TEST(ShadowMemory, DefaultsToEmpty)
+{
+    ShadowMemory shadow;
+    EXPECT_EQ(shadow.get(0), TagStore::EMPTY);
+    EXPECT_EQ(shadow.get(0xdeadbeef), TagStore::EMPTY);
+    EXPECT_EQ(shadow.pageCount(), 0u);
+}
+
+TEST(ShadowMemory, SetAndGet)
+{
+    TagStore store;
+    ShadowMemory shadow;
+    TagSetId tag = store.single({SourceType::File, 1});
+    shadow.set(0x1000, tag);
+    EXPECT_EQ(shadow.get(0x1000), tag);
+    EXPECT_EQ(shadow.get(0x1001), TagStore::EMPTY);
+}
+
+TEST(ShadowMemory, SettingEmptyAllocatesNoPage)
+{
+    ShadowMemory shadow;
+    shadow.set(0x5000, TagStore::EMPTY);
+    EXPECT_EQ(shadow.pageCount(), 0u);
+}
+
+TEST(ShadowMemory, SetRangeAcrossPageBoundary)
+{
+    TagStore store;
+    ShadowMemory shadow;
+    TagSetId tag = store.single({SourceType::Socket, 2});
+    uint32_t base = ShadowMemory::PAGE_SIZE - 8;
+    shadow.setRange(base, 16, tag);
+    for (uint32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(shadow.get(base + i), tag);
+    EXPECT_EQ(shadow.get(base - 1), TagStore::EMPTY);
+    EXPECT_EQ(shadow.get(base + 16), TagStore::EMPTY);
+    EXPECT_EQ(shadow.pageCount(), 2u);
+}
+
+TEST(ShadowMemory, RangeUnion)
+{
+    TagStore store;
+    ShadowMemory shadow;
+    TagSetId a = store.single({SourceType::File, 1});
+    TagSetId b = store.single({SourceType::Socket, 2});
+    shadow.set(0x100, a);
+    shadow.set(0x102, b);
+    TagSetId u = shadow.rangeUnion(store, 0x100, 4);
+    EXPECT_EQ(store.tags(u).size(), 2u);
+    EXPECT_EQ(shadow.rangeUnion(store, 0x200, 4), TagStore::EMPTY);
+}
+
+TEST(ShadowMemory, CloneIsIndependent)
+{
+    TagStore store;
+    ShadowMemory shadow;
+    TagSetId a = store.single({SourceType::File, 1});
+    TagSetId b = store.single({SourceType::Socket, 2});
+    shadow.set(0x100, a);
+    ShadowMemory copy = shadow.clone();
+    EXPECT_EQ(copy.get(0x100), a);
+    copy.set(0x100, b);
+    EXPECT_EQ(shadow.get(0x100), a);
+    EXPECT_EQ(copy.get(0x100), b);
+}
+
+//
+// Resource table
+//
+
+TEST(ResourceTable, ReservesUnknownAtZero)
+{
+    ResourceTable table;
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_EQ(table.get(0).type, SourceType::Unknown);
+}
+
+TEST(ResourceTable, AddAndGet)
+{
+    ResourceTable table;
+    ResourceId id = table.add(SourceType::File, "/etc/passwd", 5);
+    const Resource &res = table.get(id);
+    EXPECT_EQ(res.type, SourceType::File);
+    EXPECT_EQ(res.name, "/etc/passwd");
+    EXPECT_EQ(res.nameOrigin, 5u);
+    EXPECT_EQ(res.server, NO_RESOURCE);
+}
+
+TEST(ResourceTable, ServerLink)
+{
+    ResourceTable table;
+    ResourceId listener =
+        table.add(SourceType::Socket, "LocalHost:80", 0);
+    ResourceId conn =
+        table.add(SourceType::Socket, "peer:1234", 0, listener);
+    EXPECT_EQ(table.get(conn).server, listener);
+}
+
+TEST(ResourceTable, BadIdPanics)
+{
+    ResourceTable table;
+    EXPECT_THROW(table.get(999), hth::PanicError);
+}
+
+TEST(SourceTypeName, AllNamed)
+{
+    EXPECT_STREQ(sourceTypeName(SourceType::UserInput), "USER_INPUT");
+    EXPECT_STREQ(sourceTypeName(SourceType::File), "FILE");
+    EXPECT_STREQ(sourceTypeName(SourceType::Socket), "SOCKET");
+    EXPECT_STREQ(sourceTypeName(SourceType::Binary), "BINARY");
+    EXPECT_STREQ(sourceTypeName(SourceType::Hardware), "HARDWARE");
+    EXPECT_STREQ(sourceTypeName(SourceType::Unknown), "UNKNOWN");
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

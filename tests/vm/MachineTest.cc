@@ -1,0 +1,703 @@
+/**
+ * @file
+ * Unit tests for the HVM: assembler, image loading, instruction
+ * semantics (parameterised ALU sweep), control flow, stack, taint
+ * propagation and instrumentation callbacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/Logging.hh"
+#include "taint/TagSet.hh"
+#include "vm/Asm.hh"
+#include "vm/Machine.hh"
+
+using namespace hth;
+using namespace hth::vm;
+using taint::SourceType;
+using taint::TagStore;
+
+namespace
+{
+
+/** Run a freshly loaded machine until halt/fault; count steps. */
+int
+runToHalt(Machine &m, int max_steps = 100000)
+{
+    for (int i = 0; i < max_steps; ++i) {
+        StepResult r = m.step();
+        if (r.kind == StepKind::Halted || r.kind == StepKind::Fault)
+            return i;
+        EXPECT_NE(r.kind, StepKind::Native) << "unexpected native";
+    }
+    ADD_FAILURE() << "guest did not halt";
+    return max_steps;
+}
+
+/** Load @p image into a fresh machine positioned at its entry. */
+void
+loadAt(Machine &m, std::shared_ptr<const Image> image,
+       taint::ResourceId res = 1)
+{
+    const LoadedImage &li = m.loadImage(std::move(image), res);
+    m.setEip(li.base + li.image->entry);
+}
+
+} // namespace
+
+//
+// Assembler
+//
+
+TEST(Asm, BuildsSymbolsAndSections)
+{
+    Asm a("/t/prog");
+    a.dataString("msg", "hi");
+    a.dataSpace("buf", 16);
+    a.label("start");
+    a.entry("start");
+    a.nop();
+    a.halt();
+    auto img = a.build();
+
+    EXPECT_EQ(img->path, "/t/prog");
+    EXPECT_EQ(img->text.size(), 2u);
+    EXPECT_EQ(img->data.size(), 3u); // "hi\0"
+    EXPECT_EQ(img->bssSize, 16u);
+    EXPECT_EQ(img->symbol("start"), 0u);
+    EXPECT_EQ(img->symbol("msg"), img->dataOffset());
+    EXPECT_EQ(img->symbol("buf"), img->bssOffset());
+    EXPECT_EQ(img->entry, 0u);
+    EXPECT_THROW(img->symbol("missing"), FatalError);
+}
+
+TEST(Asm, ForwardReferencesResolve)
+{
+    Asm a("/t/fwd");
+    a.jmp("end");       // forward reference
+    a.nop();
+    a.label("end");
+    a.halt();
+    auto img = a.build();
+    EXPECT_EQ(img->relocs.size(), 1u);
+    EXPECT_EQ(img->symbol("end"), 2 * INSN_SIZE);
+}
+
+TEST(Asm, UndefinedLabelFailsAtBuild)
+{
+    Asm a("/t/bad");
+    a.jmp("nowhere");
+    EXPECT_THROW(a.build(), FatalError);
+}
+
+TEST(Asm, DuplicateSymbolsRejected)
+{
+    Asm a("/t/dup");
+    a.dataString("x", "1");
+    EXPECT_THROW(a.dataString("x", "2"), FatalError);
+    EXPECT_THROW(a.label("x"), FatalError);
+    EXPECT_THROW(a.dataSpace("x", 4), FatalError);
+    a.label("y");
+    EXPECT_THROW(a.dataSpace("y", 4), FatalError);
+}
+
+TEST(Asm, ImportsDeduplicated)
+{
+    Asm a("/t/imp");
+    a.callImport("strcpy");
+    a.callImport("strlen");
+    a.callImport("strcpy");
+    a.halt();
+    auto img = a.build();
+    ASSERT_EQ(img->imports.size(), 2u);
+    EXPECT_EQ(img->text[0].imm, 0);
+    EXPECT_EQ(img->text[1].imm, 1);
+    EXPECT_EQ(img->text[2].imm, 0);
+}
+
+TEST(Asm, BuildTwiceRejected)
+{
+    Asm a("/t/twice");
+    a.halt();
+    a.build();
+    EXPECT_THROW(a.build(), FatalError);
+}
+
+//
+// Machine: loading
+//
+
+TEST(Machine, LoadsAtConventionalBases)
+{
+    TagStore tags;
+    Machine m(tags);
+
+    Asm so("/lib/fake.so", true);
+    so.dataString("d", "x");
+    so.label("fn");
+    so.ret();
+    auto so_img = so.build();
+
+    Asm app("/t/app");
+    app.halt();
+    auto app_img = app.build();
+
+    const LoadedImage &lso = m.loadImage(so_img, 1);
+    const LoadedImage &lapp = m.loadImage(app_img, 2);
+    EXPECT_EQ(lso.base, Machine::SO_BASE);
+    EXPECT_EQ(lapp.base, Machine::APP_BASE);
+    EXPECT_EQ(m.appImage(), &m.images()[1]);
+    EXPECT_EQ(m.findImage(lapp.base), &m.images()[1]);
+    EXPECT_EQ(m.findImage(0xdead0000), nullptr);
+    EXPECT_EQ(m.resolveSymbol("fn"), lso.base + so_img->symbol("fn"));
+}
+
+TEST(Machine, DataMappedAndTaggedBinary)
+{
+    TagStore tags;
+    Machine m(tags);
+    m.setTaintTracking(true);
+
+    Asm a("/t/data");
+    a.dataString("msg", "AB");
+    a.dataSpace("buf", 8);
+    a.halt();
+    const LoadedImage &li = m.loadImage(a.build(), 7);
+
+    uint32_t msg = li.base + li.image->symbol("msg");
+    EXPECT_EQ(m.mem().read8(msg), 'A');
+    EXPECT_EQ(m.mem().read8(msg + 1), 'B');
+    // Data is BINARY-tagged; bss is not.
+    EXPECT_TRUE(tags.contains(m.shadow().get(msg),
+                              {SourceType::Binary, 7}));
+    uint32_t buf = li.base + li.image->symbol("buf");
+    EXPECT_EQ(m.shadow().get(buf), TagStore::EMPTY);
+}
+
+TEST(Machine, UnresolvedImportIsFatal)
+{
+    TagStore tags;
+    Machine m(tags);
+    Asm a("/t/imp2");
+    a.callImport("no_such_symbol");
+    a.halt();
+    EXPECT_THROW(m.loadImage(a.build(), 1), FatalError);
+}
+
+TEST(Machine, FetchFaultOnUnmappedPc)
+{
+    TagStore tags;
+    Machine m(tags);
+    m.setEip(0x12345678);
+    StepResult r = m.step();
+    EXPECT_EQ(r.kind, StepKind::Fault);
+    EXPECT_TRUE(m.halted());
+}
+
+//
+// Machine: instruction semantics
+//
+
+class ExecTest : public ::testing::Test
+{
+  protected:
+    TagStore tags;
+};
+
+TEST_F(ExecTest, MovAndLea)
+{
+    Machine m(tags);
+    Asm a("/t/mov");
+    a.movi(Reg::Eax, 42);
+    a.mov(Reg::Ebx, Reg::Eax);
+    a.lea(Reg::Ecx, Reg::Ebx, 8);
+    a.halt();
+    loadAt(m, a.build());
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Eax), 42u);
+    EXPECT_EQ(m.reg(Reg::Ebx), 42u);
+    EXPECT_EQ(m.reg(Reg::Ecx), 50u);
+}
+
+TEST_F(ExecTest, LoadStoreWord)
+{
+    Machine m(tags);
+    Asm a("/t/ls");
+    a.dataSpace("slot", 4);
+    a.movi(Reg::Eax, 0x11223344);
+    a.leaSym(Reg::Ebx, "slot");
+    a.store(Reg::Ebx, 0, Reg::Eax);
+    a.load(Reg::Ecx, Reg::Ebx, 0);
+    a.halt();
+    loadAt(m, a.build());
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Ecx), 0x11223344u);
+}
+
+TEST_F(ExecTest, LoadStoreByte)
+{
+    Machine m(tags);
+    Asm a("/t/lsb");
+    a.dataSpace("slot", 4);
+    a.movi(Reg::Eax, 0x1234);
+    a.leaSym(Reg::Ebx, "slot");
+    a.storeb(Reg::Ebx, 0, Reg::Eax);    // low byte only
+    a.loadb(Reg::Ecx, Reg::Ebx, 0);
+    a.halt();
+    loadAt(m, a.build());
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Ecx), 0x34u);
+}
+
+TEST_F(ExecTest, PushPop)
+{
+    Machine m(tags);
+    Asm a("/t/stack");
+    a.movi(Reg::Eax, 7);
+    a.push(Reg::Eax);
+    a.pushi(9);
+    a.pop(Reg::Ebx);
+    a.pop(Reg::Ecx);
+    a.halt();
+    loadAt(m, a.build());
+    uint32_t esp0 = m.reg(Reg::Esp);
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Ebx), 9u);
+    EXPECT_EQ(m.reg(Reg::Ecx), 7u);
+    EXPECT_EQ(m.reg(Reg::Esp), esp0);
+}
+
+/** ALU operation sweep: (op, lhs, rhs, expected). */
+struct AluCase
+{
+    Opcode op;
+    uint32_t lhs, rhs, expected;
+};
+
+class AluTest : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(AluTest, ComputesExpectedResult)
+{
+    const AluCase &c = GetParam();
+    TagStore tags;
+    Machine m(tags);
+    Asm a("/t/alu");
+    a.movi(Reg::Eax, (int32_t)c.lhs);
+    a.movi(Reg::Ebx, (int32_t)c.rhs);
+    switch (c.op) {
+      case Opcode::Add: a.add(Reg::Eax, Reg::Ebx); break;
+      case Opcode::Sub: a.sub(Reg::Eax, Reg::Ebx); break;
+      case Opcode::And: a.and_(Reg::Eax, Reg::Ebx); break;
+      case Opcode::Or: a.or_(Reg::Eax, Reg::Ebx); break;
+      case Opcode::Xor: a.xor_(Reg::Eax, Reg::Ebx); break;
+      case Opcode::Mul: a.mul(Reg::Eax, Reg::Ebx); break;
+      case Opcode::Shl: a.shl(Reg::Eax, (int32_t)c.rhs); break;
+      case Opcode::Shr: a.shr(Reg::Eax, (int32_t)c.rhs); break;
+      case Opcode::AddI: a.addi(Reg::Eax, (int32_t)c.rhs); break;
+      default: FAIL() << "unhandled op";
+    }
+    a.halt();
+    loadAt(m, a.build());
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Eax), c.expected)
+        << opcodeName(c.op) << " " << c.lhs << "," << c.rhs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, AluTest,
+    ::testing::Values(
+        AluCase{Opcode::Add, 2, 3, 5},
+        AluCase{Opcode::Add, 0xffffffff, 1, 0},         // wraps
+        AluCase{Opcode::Sub, 10, 4, 6},
+        AluCase{Opcode::Sub, 0, 1, 0xffffffff},
+        AluCase{Opcode::And, 0xf0f0, 0xff00, 0xf000},
+        AluCase{Opcode::Or, 0xf0f0, 0x0f0f, 0xffff},
+        AluCase{Opcode::Xor, 0xff, 0x0f, 0xf0},
+        AluCase{Opcode::Mul, 6, 7, 42},
+        AluCase{Opcode::Mul, 0x10000, 0x10000, 0},      // wraps
+        AluCase{Opcode::Shl, 1, 4, 16},
+        AluCase{Opcode::Shr, 0x100, 4, 0x10},
+        AluCase{Opcode::AddI, 40, 2, 42}));
+
+TEST_F(ExecTest, ConditionalJumps)
+{
+    // Compute max(3, 9) with cmp/jl.
+    Machine m(tags);
+    Asm a("/t/jcc");
+    a.movi(Reg::Eax, 3);
+    a.movi(Reg::Ebx, 9);
+    a.cmp(Reg::Eax, Reg::Ebx);
+    a.jl("take_b");
+    a.mov(Reg::Ecx, Reg::Eax);
+    a.jmp("done");
+    a.label("take_b");
+    a.mov(Reg::Ecx, Reg::Ebx);
+    a.label("done");
+    a.halt();
+    loadAt(m, a.build());
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Ecx), 9u);
+}
+
+TEST_F(ExecTest, JzJnzAndJge)
+{
+    Machine m(tags);
+    Asm a("/t/jz");
+    a.movi(Reg::Ecx, 0);
+    a.movi(Reg::Eax, 5);
+    a.cmpi(Reg::Eax, 5);
+    a.jz("was_equal");
+    a.movi(Reg::Ecx, 111);
+    a.halt();
+    a.label("was_equal");
+    a.cmpi(Reg::Eax, 9);
+    a.jnz("not_nine");
+    a.movi(Reg::Ecx, 222);
+    a.halt();
+    a.label("not_nine");
+    a.cmpi(Reg::Eax, 3);
+    a.jge("ge_three");
+    a.movi(Reg::Ecx, 333);
+    a.halt();
+    a.label("ge_three");
+    a.movi(Reg::Ecx, 42);
+    a.halt();
+    loadAt(m, a.build());
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Ecx), 42u);
+}
+
+TEST_F(ExecTest, CallAndRet)
+{
+    Machine m(tags);
+    Asm a("/t/call");
+    a.movi(Reg::Eax, 1);
+    a.call("addfive");
+    a.call("addfive");
+    a.halt();
+    a.label("addfive");
+    a.addi(Reg::Eax, 5);
+    a.ret();
+    loadAt(m, a.build());
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Eax), 11u);
+}
+
+TEST_F(ExecTest, IndirectCall)
+{
+    Machine m(tags);
+    Asm a("/t/callr");
+    a.leaSym(Reg::Ebx, "target");
+    a.callr(Reg::Ebx);
+    a.halt();
+    a.label("target");
+    a.movi(Reg::Eax, 99);
+    a.ret();
+    loadAt(m, a.build());
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Eax), 99u);
+}
+
+TEST_F(ExecTest, CallSymAcrossImages)
+{
+    TagStore store;
+    Machine m(store);
+    Asm so("/lib/l.so", true);
+    so.label("seven");
+    so.movi(Reg::Eax, 7);
+    so.ret();
+    m.loadImage(so.build(), 1);
+
+    Asm app("/t/callsym");
+    app.callImport("seven");
+    app.halt();
+    loadAt(m, app.build(), 2);
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Eax), 7u);
+}
+
+TEST_F(ExecTest, SyscallYieldsToKernel)
+{
+    Machine m(tags);
+    Asm a("/t/sys");
+    a.movi(Reg::Eax, 20);
+    a.int80();
+    a.halt();
+    loadAt(m, a.build());
+    m.step(); // movi
+    StepResult r = m.step();
+    EXPECT_EQ(r.kind, StepKind::Syscall);
+    EXPECT_FALSE(m.halted());
+    // Execution resumes after the int80.
+    r = m.step();
+    EXPECT_EQ(r.kind, StepKind::Halted);
+}
+
+TEST_F(ExecTest, NativeYieldsName)
+{
+    Machine m(tags);
+    Asm so("/lib/n.so", true);
+    so.native("frobnicate");
+    m.loadImage(so.build(), 1);
+
+    Asm app("/t/native");
+    app.callImport("frobnicate");
+    app.halt();
+    loadAt(m, app.build(), 2);
+    m.step(); // callsym
+    StepResult r = m.step();
+    EXPECT_EQ(r.kind, StepKind::Native);
+    EXPECT_EQ(r.nativeName, "frobnicate");
+    // Next instruction is the routine's ret back to the app.
+    EXPECT_EQ(m.step().kind, StepKind::Ok);
+    EXPECT_EQ(m.step().kind, StepKind::Halted);
+}
+
+TEST_F(ExecTest, CpuidSetsRegisters)
+{
+    Machine m(tags);
+    Asm a("/t/cpuid");
+    a.cpuid();
+    a.halt();
+    loadAt(m, a.build());
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Eax), 0x48544856u);
+    EXPECT_NE(m.reg(Reg::Ebx), 0u);
+}
+
+//
+// Taint propagation semantics (§7.3.1)
+//
+
+class TaintPropTest : public ::testing::Test
+{
+  protected:
+    TagStore tags;
+};
+
+TEST_F(TaintPropTest, ImmediateIsBinarySource)
+{
+    Machine m(tags);
+    m.setTaintTracking(true);
+    Asm a("/t/imm");
+    a.movi(Reg::Eax, 4);
+    a.halt();
+    loadAt(m, a.build(), 9);
+    runToHalt(m);
+    EXPECT_TRUE(tags.contains(m.regTag(Reg::Eax),
+                              {SourceType::Binary, 9}));
+}
+
+TEST_F(TaintPropTest, MovCopiesTags)
+{
+    Machine m(tags);
+    m.setTaintTracking(true);
+    Asm a("/t/movtag");
+    a.movi(Reg::Eax, 1);
+    a.mov(Reg::Ebx, Reg::Eax);
+    a.halt();
+    loadAt(m, a.build(), 9);
+    runToHalt(m);
+    EXPECT_EQ(m.regTag(Reg::Ebx), m.regTag(Reg::Eax));
+    EXPECT_NE(m.regTag(Reg::Ebx), TagStore::EMPTY);
+}
+
+TEST_F(TaintPropTest, AluUnionsOperands)
+{
+    // add %ebx,%eax: result sources = union (§7.3.1 example 3).
+    Machine m(tags);
+    m.setTaintTracking(true);
+    Asm a("/t/alutag");
+    a.dataSpace("slot", 4);
+    a.movi(Reg::Eax, 1);
+    a.leaSym(Reg::Esi, "slot");
+    a.load(Reg::Ebx, Reg::Esi, 0);
+    a.add(Reg::Eax, Reg::Ebx);
+    a.halt();
+    auto img = a.build();
+    const LoadedImage &li = m.loadImage(img, 9);
+    // Pre-tag the memory slot as FILE data.
+    uint32_t slot = li.base + img->symbol("slot");
+    m.shadow().setRange(slot, 4, tags.single({SourceType::File, 3}));
+    m.setEip(li.base);
+    runToHalt(m);
+    EXPECT_TRUE(tags.contains(m.regTag(Reg::Eax),
+                              {SourceType::Binary, 9}));
+    EXPECT_TRUE(tags.contains(m.regTag(Reg::Eax),
+                              {SourceType::File, 3}));
+}
+
+TEST_F(TaintPropTest, XorZeroIdiomClearsTags)
+{
+    Machine m(tags);
+    m.setTaintTracking(true);
+    Asm a("/t/xorz");
+    a.movi(Reg::Eax, 55);            // BINARY-tagged
+    a.xor_(Reg::Eax, Reg::Eax);      // zeroing idiom
+    a.halt();
+    loadAt(m, a.build(), 9);
+    runToHalt(m);
+    EXPECT_EQ(m.regTag(Reg::Eax), TagStore::EMPTY);
+}
+
+TEST_F(TaintPropTest, StoreLoadRoundTripsTags)
+{
+    Machine m(tags);
+    m.setTaintTracking(true);
+    Asm a("/t/sl");
+    a.dataSpace("slot", 4);
+    a.movi(Reg::Eax, 0xAB);
+    a.leaSym(Reg::Esi, "slot");
+    a.store(Reg::Esi, 0, Reg::Eax);
+    a.movi(Reg::Ebx, 0);             // unrelated
+    a.load(Reg::Ecx, Reg::Esi, 0);
+    a.halt();
+    loadAt(m, a.build(), 9);
+    runToHalt(m);
+    EXPECT_TRUE(tags.contains(m.regTag(Reg::Ecx),
+                              {SourceType::Binary, 9}));
+}
+
+TEST_F(TaintPropTest, CpuidTagsHardware)
+{
+    Machine m(tags);
+    m.setTaintTracking(true);
+    Asm a("/t/cpuidtag");
+    a.cpuid();
+    a.halt();
+    loadAt(m, a.build(), 9);
+    runToHalt(m);
+    for (Reg r : {Reg::Eax, Reg::Ebx, Reg::Ecx, Reg::Edx})
+        EXPECT_TRUE(tags.containsType(m.regTag(r),
+                                      SourceType::Hardware));
+}
+
+TEST_F(TaintPropTest, PushPopCarriesTags)
+{
+    Machine m(tags);
+    m.setTaintTracking(true);
+    Asm a("/t/pushtag");
+    a.movi(Reg::Eax, 3);
+    a.push(Reg::Eax);
+    a.xor_(Reg::Eax, Reg::Eax);
+    a.pop(Reg::Ebx);
+    a.halt();
+    loadAt(m, a.build(), 9);
+    runToHalt(m);
+    EXPECT_TRUE(tags.contains(m.regTag(Reg::Ebx),
+                              {SourceType::Binary, 9}));
+}
+
+TEST_F(TaintPropTest, TrackingOffLeavesShadowEmpty)
+{
+    Machine m(tags);
+    m.setTaintTracking(false);
+    Asm a("/t/notrack");
+    a.movi(Reg::Eax, 3);
+    a.halt();
+    loadAt(m, a.build(), 9);
+    runToHalt(m);
+    EXPECT_EQ(m.regTag(Reg::Eax), TagStore::EMPTY);
+}
+
+//
+// Fork cloning and instrumentation
+//
+
+TEST(MachineClone, ForkIsDeep)
+{
+    TagStore tags;
+    Machine m(tags);
+    m.setTaintTracking(true);
+    Asm a("/t/clone");
+    a.dataSpace("slot", 4);
+    a.movi(Reg::Eax, 1);
+    a.halt();
+    auto img = a.build();
+    const LoadedImage &li = m.loadImage(img, 1);
+    uint32_t slot = li.base + img->symbol("slot");
+    m.mem().write32(slot, 0x1111);
+
+    Machine child = m.cloneForFork();
+    child.mem().write32(slot, 0x2222);
+    child.setReg(Reg::Ebx, 5);
+    EXPECT_EQ(m.mem().read32(slot), 0x1111u);
+    EXPECT_EQ(child.mem().read32(slot), 0x2222u);
+    EXPECT_EQ(m.reg(Reg::Ebx), 0u);
+    EXPECT_EQ(child.findImage(li.base), &child.images()[0]);
+}
+
+namespace
+{
+
+struct CountingInstrumentor : Instrumentor
+{
+    int bbs = 0;
+    int insns = 0;
+    int images = 0;
+    int routines = 0;
+    std::vector<uint32_t> bbPcs;
+
+    void
+    imageLoaded(Machine &, const LoadedImage &) override
+    {
+        ++images;
+    }
+    void
+    basicBlock(Machine &, uint32_t pc) override
+    {
+        ++bbs;
+        bbPcs.push_back(pc);
+    }
+    void
+    instruction(Machine &, const Instruction &, uint32_t) override
+    {
+        ++insns;
+    }
+    void
+    routineEnter(Machine &, uint32_t) override
+    {
+        ++routines;
+    }
+};
+
+} // namespace
+
+TEST(Instrumentation, CallbacksFire)
+{
+    TagStore tags;
+    Machine m(tags);
+    CountingInstrumentor ins;
+    m.setInstrumentor(&ins);
+
+    Asm a("/t/instr");
+    a.movi(Reg::Ecx, 0);        // BB 1
+    a.label("loop");            // BB 2 (jump target)
+    a.addi(Reg::Ecx, 1);
+    a.cmpi(Reg::Ecx, 3);
+    a.jnz("loop");
+    a.call("fn");               // BB 3
+    a.halt();
+    a.label("fn");              // BB 4
+    a.ret();
+    loadAt(m, a.build());
+    runToHalt(m);
+
+    EXPECT_EQ(ins.images, 1);
+    EXPECT_EQ(ins.routines, 1);
+    // BBs: the entry block runs through the first jnz (a label is
+    // not a block boundary on fall-through), then each loop
+    // back-edge starts a block (×2), then the call block, the
+    // routine body, and the post-call halt block.
+    EXPECT_EQ(ins.bbs, 6);
+    EXPECT_EQ((uint64_t)ins.insns, m.stats().instructions);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

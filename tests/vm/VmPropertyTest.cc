@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Property tests for the VM.
+ *
+ * The central invariant: *instruction-level taint tracking must not
+ * perturb architectural execution*. For a family of generated
+ * programs, the final register file and touched memory must be
+ * identical with tracking on and off, and identical across repeated
+ * runs (determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include "taint/TagSet.hh"
+#include "vm/Asm.hh"
+#include "vm/Machine.hh"
+
+using namespace hth;
+using namespace hth::vm;
+using taint::TagStore;
+
+namespace
+{
+
+/** Deterministic xorshift generator (no global RNG state). */
+struct Prng
+{
+    uint32_t state;
+
+    explicit Prng(uint32_t seed) : state(seed * 2654435761u + 1) {}
+
+    uint32_t
+    next()
+    {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        return state;
+    }
+
+    uint32_t
+    below(uint32_t n)
+    {
+        return next() % n;
+    }
+};
+
+/** Registers safe for generated arithmetic (esp stays sane). */
+const Reg GP[] = {Reg::Eax, Reg::Ebx, Reg::Ecx, Reg::Edx, Reg::Esi,
+                  Reg::Edi};
+
+/**
+ * Generate a program: a data blob, a bounded loop whose body is a
+ * random mix of ALU ops, loads/stores within the blob, pushes/pops
+ * (balanced) and byte accesses.
+ */
+std::shared_ptr<const Image>
+generateProgram(uint32_t seed)
+{
+    Prng rng(seed);
+    Asm a("/prop/gen" + std::to_string(seed));
+    std::vector<uint8_t> blob(64);
+    for (auto &b : blob)
+        b = (uint8_t)rng.next();
+    a.dataBytes("blob", blob);
+    a.dataSpace("scratch", 64);
+
+    a.label("main");
+    a.entry("main");
+    for (Reg r : GP)
+        a.movi(r, (int32_t)rng.next());
+
+    a.movi(Reg::Ebp, 0);
+    a.label("loop");
+    int body = 4 + (int)rng.below(12);
+    for (int i = 0; i < body; ++i) {
+        Reg r1 = GP[rng.below(6)];
+        Reg r2 = GP[rng.below(6)];
+        switch (rng.below(10)) {
+          case 0: a.add(r1, r2); break;
+          case 1: a.sub(r1, r2); break;
+          case 2: a.xor_(r1, r2); break;
+          case 3: a.and_(r1, r2); break;
+          case 4: a.or_(r1, r2); break;
+          case 5: a.mul(r1, r2); break;
+          case 6: a.addi(r1, (int32_t)rng.below(100)); break;
+          case 7: {
+            // Bounded load from the blob.
+            a.movi(r1, (int32_t)(rng.below(15) * 4));
+            a.leaSym(r2, "blob");
+            a.add(r2, r1);
+            a.load(r1, r2, 0);
+            break;
+          }
+          case 8: {
+            // Bounded store to scratch.
+            a.movi(r1, (int32_t)(rng.below(15) * 4));
+            a.leaSym(r2, "scratch");
+            a.add(r2, r1);
+            Reg src = GP[rng.below(6)];
+            if (src != r2)
+                a.store(r2, 0, src);
+            break;
+          }
+          case 9:
+            a.push(r1);
+            a.pop(r2);
+            break;
+        }
+    }
+    a.addi(Reg::Ebp, 1);
+    a.cmpi(Reg::Ebp, 8);
+    a.jl("loop");
+    a.halt();
+    return a.build();
+}
+
+struct FinalState
+{
+    std::array<uint32_t, NUM_REGS> regs;
+    std::vector<uint8_t> scratch;
+    uint64_t instructions;
+
+    bool operator==(const FinalState &) const = default;
+};
+
+FinalState
+execute(std::shared_ptr<const Image> image, bool taint)
+{
+    TagStore tags;
+    Machine m(tags);
+    m.setTaintTracking(taint);
+    const LoadedImage &li = m.loadImage(image, 1);
+    m.setEip(li.base + image->entry);
+    for (int i = 0; i < 200000; ++i) {
+        StepResult r = m.step();
+        if (r.kind == StepKind::Halted)
+            break;
+        EXPECT_EQ(r.kind, StepKind::Ok);
+    }
+    EXPECT_TRUE(m.halted());
+
+    FinalState out;
+    for (size_t i = 0; i < NUM_REGS; ++i)
+        out.regs[i] = m.reg((Reg)i);
+    uint32_t scratch = li.base + image->symbol("scratch");
+    out.scratch.resize(64);
+    m.mem().readBytes(scratch, out.scratch.data(), 64);
+    out.instructions = m.stats().instructions;
+    return out;
+}
+
+} // namespace
+
+class VmPropertyTest : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(VmPropertyTest, TaintDoesNotPerturbExecution)
+{
+    auto image = generateProgram(GetParam());
+    FinalState plain = execute(image, false);
+    FinalState tracked = execute(image, true);
+    EXPECT_EQ(plain, tracked);
+}
+
+TEST_P(VmPropertyTest, ExecutionIsDeterministic)
+{
+    auto image = generateProgram(GetParam());
+    FinalState first = execute(image, true);
+    FinalState second = execute(image, true);
+    EXPECT_EQ(first, second);
+}
+
+TEST_P(VmPropertyTest, EspBalancedAtHalt)
+{
+    auto image = generateProgram(GetParam());
+    TagStore tags;
+    Machine m(tags);
+    const LoadedImage &li = m.loadImage(image, 1);
+    uint32_t esp0 = m.reg(Reg::Esp);
+    m.setEip(li.base + image->entry);
+    while (!m.halted())
+        m.step();
+    EXPECT_EQ(m.reg(Reg::Esp), esp0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmPropertyTest,
+                         ::testing::Range(1u, 25u));
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the workload layer: the shared guest programs
+ * (ls, csh, noop), the Gasm helpers, and the scenario registry
+ * integrity (unique ids, well-formed expectations).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "os/Kernel.hh"
+#include "os/Libc.hh"
+#include "workloads/Characterize.hh"
+#include "workloads/Exploits.hh"
+#include "workloads/GuestLib.hh"
+#include "workloads/Macro.hh"
+#include "workloads/Micro.hh"
+#include "workloads/Trusted.hh"
+
+using namespace hth;
+using namespace hth::os;
+using namespace hth::workloads;
+
+namespace
+{
+
+/** Spawn a registered binary and run the kernel to completion. */
+Process &
+runBinary(Kernel &kernel, std::shared_ptr<const vm::Image> image,
+          std::vector<std::string> argv = {},
+          const std::string &stdin_data = "")
+{
+    kernel.vfs().addBinary(image->path, image);
+    if (argv.empty())
+        argv = {image->path};
+    Process &p = kernel.spawn(image->path, argv);
+    p.stdinData = stdin_data;
+    EXPECT_EQ(kernel.run(), RunStatus::Done);
+    return p;
+}
+
+} // namespace
+
+TEST(SharedGuests, NoopExitsZero)
+{
+    Kernel kernel;
+    installLibc(kernel);
+    Process &p = runBinary(kernel, makeNoopBinary("/bin/true"));
+    EXPECT_EQ(p.exitCode, 0);
+    EXPECT_TRUE(p.stdoutData.empty());
+}
+
+TEST(SharedGuests, LsListsDotFile)
+{
+    Kernel kernel;
+    installLibc(kernel);
+    kernel.vfs().addFile(".", "one\ntwo\n");
+    Process &p = runBinary(kernel, makeLsBinary());
+    EXPECT_EQ(p.stdoutData, "one\ntwo\n");
+}
+
+TEST(SharedGuests, CshEchoAndLs)
+{
+    Kernel kernel;
+    installLibc(kernel);
+    Process &p = runBinary(kernel, makeCshBinary(), {},
+                           "echo hi\n");
+    EXPECT_EQ(p.stdoutData, "hi\n");
+
+    Kernel kernel2;
+    installLibc(kernel2);
+    Process &p2 = runBinary(kernel2, makeCshBinary(), {}, "ls\n");
+    EXPECT_NE(p2.stdoutData.find("pmad"), std::string::npos);
+}
+
+TEST(SharedGuests, CshExitsOnEof)
+{
+    Kernel kernel;
+    installLibc(kernel);
+    Process &p = runBinary(kernel, makeCshBinary(), {}, "");
+    EXPECT_EQ(p.exitCode, 0);
+}
+
+//
+// Gasm helper semantics
+//
+
+TEST(Gasm, InlineStrcpyPreservesPointers)
+{
+    Kernel kernel;
+    kernel.setTaintTracking(true);
+    installLibc(kernel);
+
+    Gasm a("/t/strcpytest");
+    a.dataString("src", "copied");
+    a.dataSpace("dst", 16);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Eax, "src");
+    a.leaSym(Reg::Edx, "dst");
+    a.inlineStrcpy(Reg::Edx, Reg::Eax);
+    // dst pointer must survive the copy loop.
+    a.mov(Reg::Ecx, Reg::Edx);
+    a.movi(Reg::Ebx, 1);
+    a.movi(Reg::Edx, 6);
+    a.sysc(NR_write);
+    a.exit(0);
+    Process &p = runBinary(kernel, a.build());
+    EXPECT_EQ(p.stdoutData, "copied");
+}
+
+TEST(Gasm, LoadArgvFetchesPointers)
+{
+    Kernel kernel;
+    installLibc(kernel);
+    Gasm a("/t/argvtest");
+    a.label("main");
+    a.entry("main");
+    a.loadArgv(2);
+    a.mov(Reg::Ecx, Reg::Eax);
+    a.movi(Reg::Ebx, 1);
+    a.movi(Reg::Edx, 5);
+    a.sysc(NR_write);
+    a.exit(0);
+    Process &p =
+        runBinary(kernel, a.build(), {"/t/argvtest", "one", "two22"});
+    EXPECT_EQ(p.stdoutData, "two22");
+}
+
+//
+// Scenario registry integrity
+//
+
+TEST(ScenarioRegistry, IdsAreUniqueAndComplete)
+{
+    std::vector<Scenario> all;
+    for (auto &s : executionFlowScenarios())
+        all.push_back(std::move(s));
+    for (auto &s : resourceAbuseScenarios())
+        all.push_back(std::move(s));
+    for (auto &s : infoFlowScenarios())
+        all.push_back(std::move(s));
+    for (auto &s : trustedProgramScenarios())
+        all.push_back(std::move(s));
+    for (auto &s : exploitScenarios())
+        all.push_back(std::move(s));
+    for (auto &s : macroScenarios())
+        all.push_back(std::move(s));
+
+    std::set<std::string> ids;
+    for (const Scenario &s : all) {
+        EXPECT_FALSE(s.id.empty());
+        EXPECT_FALSE(s.description.empty()) << s.id;
+        EXPECT_FALSE(s.path.empty()) << s.id;
+        EXPECT_TRUE(s.setup) << s.id;
+        EXPECT_TRUE(ids.insert(s.id).second)
+            << "duplicate scenario id " << s.id;
+    }
+    // Paper coverage: 4 execve + 2 forkers + 29 info-flow probes +
+    // 13 trusted + 7 exploits + 6 macro.
+    EXPECT_EQ(all.size(), 4u + 2u + 29u + 13u + 7u + 6u);
+}
+
+TEST(ScenarioRegistry, CharacterizationCoversAllNine)
+{
+    auto models = characterizationModels();
+    ASSERT_EQ(models.size(), 9u);
+    std::set<std::string> ids;
+    for (const auto &ce : models) {
+        EXPECT_TRUE(ce.scenario.expectMalicious) << ce.scenario.id;
+        EXPECT_TRUE(ids.insert(ce.scenario.id).second);
+        EXPECT_TRUE(ce.expected.hardcodedResources) << ce.scenario.id;
+    }
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
