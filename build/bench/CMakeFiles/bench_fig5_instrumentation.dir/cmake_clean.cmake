@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_instrumentation.dir/bench_fig5_instrumentation.cc.o"
+  "CMakeFiles/bench_fig5_instrumentation.dir/bench_fig5_instrumentation.cc.o.d"
+  "bench_fig5_instrumentation"
+  "bench_fig5_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_macro.cc" "bench/CMakeFiles/bench_macro.dir/bench_macro.cc.o" "gcc" "bench/CMakeFiles/bench_macro.dir/bench_macro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/hth_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/secpert/CMakeFiles/hth_secpert.dir/DependInfo.cmake"
+  "/root/repo/build/src/harrier/CMakeFiles/hth_harrier.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hth_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hth_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/clips/CMakeFiles/hth_clips.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/hth_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hth_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_execflow.dir/bench_table4_execflow.cc.o"
+  "CMakeFiles/bench_table4_execflow.dir/bench_table4_execflow.cc.o.d"
+  "bench_table4_execflow"
+  "bench_table4_execflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_execflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_resabuse.dir/bench_table5_resabuse.cc.o"
+  "CMakeFiles/bench_table5_resabuse.dir/bench_table5_resabuse.cc.o.d"
+  "bench_table5_resabuse"
+  "bench_table5_resabuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_resabuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_infoflow.dir/bench_table6_infoflow.cc.o"
+  "CMakeFiles/bench_table6_infoflow.dir/bench_table6_infoflow.cc.o.d"
+  "bench_table6_infoflow"
+  "bench_table6_infoflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_infoflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

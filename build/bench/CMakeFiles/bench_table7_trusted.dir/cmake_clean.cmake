@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_trusted.dir/bench_table7_trusted.cc.o"
+  "CMakeFiles/bench_table7_trusted.dir/bench_table7_trusted.cc.o.d"
+  "bench_table7_trusted"
+  "bench_table7_trusted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_trusted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backdoor_hunt.dir/backdoor_hunt.cpp.o"
+  "CMakeFiles/backdoor_hunt.dir/backdoor_hunt.cpp.o.d"
+  "backdoor_hunt"
+  "backdoor_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backdoor_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

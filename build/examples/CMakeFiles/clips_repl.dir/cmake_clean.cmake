@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clips_repl.dir/clips_repl.cpp.o"
+  "CMakeFiles/clips_repl.dir/clips_repl.cpp.o.d"
+  "clips_repl"
+  "clips_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clips_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

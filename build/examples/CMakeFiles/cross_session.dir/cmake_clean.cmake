@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_session.dir/cross_session.cpp.o"
+  "CMakeFiles/cross_session.dir/cross_session.cpp.o.d"
+  "cross_session"
+  "cross_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

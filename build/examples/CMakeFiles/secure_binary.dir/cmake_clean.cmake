@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_binary.dir/secure_binary.cpp.o"
+  "CMakeFiles/secure_binary.dir/secure_binary.cpp.o.d"
+  "secure_binary"
+  "secure_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textasm_demo.dir/textasm_demo.cpp.o"
+  "CMakeFiles/textasm_demo.dir/textasm_demo.cpp.o.d"
+  "textasm_demo"
+  "textasm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textasm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;hth_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_backdoor_hunt "/root/repo/build/examples/backdoor_hunt")
+set_tests_properties(example_backdoor_hunt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;hth_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_policy "/root/repo/build/examples/custom_policy")
+set_tests_properties(example_custom_policy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;hth_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_secure_binary "/root/repo/build/examples/secure_binary")
+set_tests_properties(example_secure_binary PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;hth_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cross_session "/root/repo/build/examples/cross_session")
+set_tests_properties(example_cross_session PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;hth_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_textasm_demo "/root/repo/build/examples/textasm_demo")
+set_tests_properties(example_textasm_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;hth_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_clips_repl "sh" "-c" "printf '(+ 20 22)\\n:quit\\n' | /root/repo/build/examples/clips_repl | grep -q '=> 42'")
+set_tests_properties(example_clips_repl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

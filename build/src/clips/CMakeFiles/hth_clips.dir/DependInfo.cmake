@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clips/Builtins.cc" "src/clips/CMakeFiles/hth_clips.dir/Builtins.cc.o" "gcc" "src/clips/CMakeFiles/hth_clips.dir/Builtins.cc.o.d"
+  "/root/repo/src/clips/Environment.cc" "src/clips/CMakeFiles/hth_clips.dir/Environment.cc.o" "gcc" "src/clips/CMakeFiles/hth_clips.dir/Environment.cc.o.d"
+  "/root/repo/src/clips/Fact.cc" "src/clips/CMakeFiles/hth_clips.dir/Fact.cc.o" "gcc" "src/clips/CMakeFiles/hth_clips.dir/Fact.cc.o.d"
+  "/root/repo/src/clips/Sexpr.cc" "src/clips/CMakeFiles/hth_clips.dir/Sexpr.cc.o" "gcc" "src/clips/CMakeFiles/hth_clips.dir/Sexpr.cc.o.d"
+  "/root/repo/src/clips/Value.cc" "src/clips/CMakeFiles/hth_clips.dir/Value.cc.o" "gcc" "src/clips/CMakeFiles/hth_clips.dir/Value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hth_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hth_clips.dir/Builtins.cc.o"
+  "CMakeFiles/hth_clips.dir/Builtins.cc.o.d"
+  "CMakeFiles/hth_clips.dir/Environment.cc.o"
+  "CMakeFiles/hth_clips.dir/Environment.cc.o.d"
+  "CMakeFiles/hth_clips.dir/Fact.cc.o"
+  "CMakeFiles/hth_clips.dir/Fact.cc.o.d"
+  "CMakeFiles/hth_clips.dir/Sexpr.cc.o"
+  "CMakeFiles/hth_clips.dir/Sexpr.cc.o.d"
+  "CMakeFiles/hth_clips.dir/Value.cc.o"
+  "CMakeFiles/hth_clips.dir/Value.cc.o.d"
+  "libhth_clips.a"
+  "libhth_clips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hth_clips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

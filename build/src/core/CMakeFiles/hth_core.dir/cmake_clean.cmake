@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hth_core.dir/Hth.cc.o"
+  "CMakeFiles/hth_core.dir/Hth.cc.o.d"
+  "CMakeFiles/hth_core.dir/SecureBinary.cc.o"
+  "CMakeFiles/hth_core.dir/SecureBinary.cc.o.d"
+  "libhth_core.a"
+  "libhth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hth_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hth_harrier.dir/Harrier.cc.o"
+  "CMakeFiles/hth_harrier.dir/Harrier.cc.o.d"
+  "libhth_harrier.a"
+  "libhth_harrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hth_harrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hth_os.dir/Kernel.cc.o"
+  "CMakeFiles/hth_os.dir/Kernel.cc.o.d"
+  "CMakeFiles/hth_os.dir/Libc.cc.o"
+  "CMakeFiles/hth_os.dir/Libc.cc.o.d"
+  "CMakeFiles/hth_os.dir/Net.cc.o"
+  "CMakeFiles/hth_os.dir/Net.cc.o.d"
+  "CMakeFiles/hth_os.dir/Vfs.cc.o"
+  "CMakeFiles/hth_os.dir/Vfs.cc.o.d"
+  "libhth_os.a"
+  "libhth_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hth_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hth_os.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hth_secpert.dir/Policy.cc.o"
+  "CMakeFiles/hth_secpert.dir/Policy.cc.o.d"
+  "CMakeFiles/hth_secpert.dir/Secpert.cc.o"
+  "CMakeFiles/hth_secpert.dir/Secpert.cc.o.d"
+  "libhth_secpert.a"
+  "libhth_secpert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hth_secpert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hth_support.dir/StrUtil.cc.o"
+  "CMakeFiles/hth_support.dir/StrUtil.cc.o.d"
+  "libhth_support.a"
+  "libhth_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hth_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hth_taint.dir/TagSet.cc.o"
+  "CMakeFiles/hth_taint.dir/TagSet.cc.o.d"
+  "libhth_taint.a"
+  "libhth_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hth_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

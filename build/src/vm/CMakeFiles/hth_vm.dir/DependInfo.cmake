@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Asm.cc" "src/vm/CMakeFiles/hth_vm.dir/Asm.cc.o" "gcc" "src/vm/CMakeFiles/hth_vm.dir/Asm.cc.o.d"
+  "/root/repo/src/vm/Isa.cc" "src/vm/CMakeFiles/hth_vm.dir/Isa.cc.o" "gcc" "src/vm/CMakeFiles/hth_vm.dir/Isa.cc.o.d"
+  "/root/repo/src/vm/Machine.cc" "src/vm/CMakeFiles/hth_vm.dir/Machine.cc.o" "gcc" "src/vm/CMakeFiles/hth_vm.dir/Machine.cc.o.d"
+  "/root/repo/src/vm/TextAsm.cc" "src/vm/CMakeFiles/hth_vm.dir/TextAsm.cc.o" "gcc" "src/vm/CMakeFiles/hth_vm.dir/TextAsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/taint/CMakeFiles/hth_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hth_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

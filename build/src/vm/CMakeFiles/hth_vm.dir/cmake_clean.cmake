@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hth_vm.dir/Asm.cc.o"
+  "CMakeFiles/hth_vm.dir/Asm.cc.o.d"
+  "CMakeFiles/hth_vm.dir/Isa.cc.o"
+  "CMakeFiles/hth_vm.dir/Isa.cc.o.d"
+  "CMakeFiles/hth_vm.dir/Machine.cc.o"
+  "CMakeFiles/hth_vm.dir/Machine.cc.o.d"
+  "CMakeFiles/hth_vm.dir/TextAsm.cc.o"
+  "CMakeFiles/hth_vm.dir/TextAsm.cc.o.d"
+  "libhth_vm.a"
+  "libhth_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hth_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

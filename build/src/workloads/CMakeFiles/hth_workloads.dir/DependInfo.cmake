@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Characterize.cc" "src/workloads/CMakeFiles/hth_workloads.dir/Characterize.cc.o" "gcc" "src/workloads/CMakeFiles/hth_workloads.dir/Characterize.cc.o.d"
+  "/root/repo/src/workloads/Exploits.cc" "src/workloads/CMakeFiles/hth_workloads.dir/Exploits.cc.o" "gcc" "src/workloads/CMakeFiles/hth_workloads.dir/Exploits.cc.o.d"
+  "/root/repo/src/workloads/GuestLib.cc" "src/workloads/CMakeFiles/hth_workloads.dir/GuestLib.cc.o" "gcc" "src/workloads/CMakeFiles/hth_workloads.dir/GuestLib.cc.o.d"
+  "/root/repo/src/workloads/Macro.cc" "src/workloads/CMakeFiles/hth_workloads.dir/Macro.cc.o" "gcc" "src/workloads/CMakeFiles/hth_workloads.dir/Macro.cc.o.d"
+  "/root/repo/src/workloads/Micro.cc" "src/workloads/CMakeFiles/hth_workloads.dir/Micro.cc.o" "gcc" "src/workloads/CMakeFiles/hth_workloads.dir/Micro.cc.o.d"
+  "/root/repo/src/workloads/Scenario.cc" "src/workloads/CMakeFiles/hth_workloads.dir/Scenario.cc.o" "gcc" "src/workloads/CMakeFiles/hth_workloads.dir/Scenario.cc.o.d"
+  "/root/repo/src/workloads/Trusted.cc" "src/workloads/CMakeFiles/hth_workloads.dir/Trusted.cc.o" "gcc" "src/workloads/CMakeFiles/hth_workloads.dir/Trusted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/secpert/CMakeFiles/hth_secpert.dir/DependInfo.cmake"
+  "/root/repo/build/src/harrier/CMakeFiles/hth_harrier.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hth_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hth_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/clips/CMakeFiles/hth_clips.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/hth_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hth_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hth_workloads.dir/Characterize.cc.o"
+  "CMakeFiles/hth_workloads.dir/Characterize.cc.o.d"
+  "CMakeFiles/hth_workloads.dir/Exploits.cc.o"
+  "CMakeFiles/hth_workloads.dir/Exploits.cc.o.d"
+  "CMakeFiles/hth_workloads.dir/GuestLib.cc.o"
+  "CMakeFiles/hth_workloads.dir/GuestLib.cc.o.d"
+  "CMakeFiles/hth_workloads.dir/Macro.cc.o"
+  "CMakeFiles/hth_workloads.dir/Macro.cc.o.d"
+  "CMakeFiles/hth_workloads.dir/Micro.cc.o"
+  "CMakeFiles/hth_workloads.dir/Micro.cc.o.d"
+  "CMakeFiles/hth_workloads.dir/Scenario.cc.o"
+  "CMakeFiles/hth_workloads.dir/Scenario.cc.o.d"
+  "CMakeFiles/hth_workloads.dir/Trusted.cc.o"
+  "CMakeFiles/hth_workloads.dir/Trusted.cc.o.d"
+  "libhth_workloads.a"
+  "libhth_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hth_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhth_workloads.a"
+)

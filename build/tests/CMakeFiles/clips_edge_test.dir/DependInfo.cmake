@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/clips/ClipsEdgeTest.cc" "tests/CMakeFiles/clips_edge_test.dir/clips/ClipsEdgeTest.cc.o" "gcc" "tests/CMakeFiles/clips_edge_test.dir/clips/ClipsEdgeTest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clips/CMakeFiles/hth_clips.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hth_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clips_edge_test.dir/clips/ClipsEdgeTest.cc.o"
+  "CMakeFiles/clips_edge_test.dir/clips/ClipsEdgeTest.cc.o.d"
+  "clips_edge_test"
+  "clips_edge_test.pdb"
+  "clips_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clips_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

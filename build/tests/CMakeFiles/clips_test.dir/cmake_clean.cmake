@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clips_test.dir/clips/EnvironmentTest.cc.o"
+  "CMakeFiles/clips_test.dir/clips/EnvironmentTest.cc.o.d"
+  "clips_test"
+  "clips_test.pdb"
+  "clips_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clips_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harrier_test.dir/harrier/HarrierTest.cc.o"
+  "CMakeFiles/harrier_test.dir/harrier/HarrierTest.cc.o.d"
+  "harrier_test"
+  "harrier_test.pdb"
+  "harrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

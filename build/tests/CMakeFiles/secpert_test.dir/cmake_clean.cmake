@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpert_test.dir/secpert/SecpertTest.cc.o"
+  "CMakeFiles/secpert_test.dir/secpert/SecpertTest.cc.o.d"
+  "secpert_test"
+  "secpert_test.pdb"
+  "secpert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

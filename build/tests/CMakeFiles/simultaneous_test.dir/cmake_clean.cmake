@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simultaneous_test.dir/integration/SimultaneousTest.cc.o"
+  "CMakeFiles/simultaneous_test.dir/integration/SimultaneousTest.cc.o.d"
+  "simultaneous_test"
+  "simultaneous_test.pdb"
+  "simultaneous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simultaneous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textasm_test.dir/vm/TextAsmTest.cc.o"
+  "CMakeFiles/textasm_test.dir/vm/TextAsmTest.cc.o.d"
+  "textasm_test"
+  "textasm_test.pdb"
+  "textasm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

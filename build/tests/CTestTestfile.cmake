@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/clips_test[1]_include.cmake")
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/taint_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/harrier_test[1]_include.cmake")
+include("/root/repo/build/tests/secpert_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_property_test[1]_include.cmake")
+include("/root/repo/build/tests/fidelity_test[1]_include.cmake")
+include("/root/repo/build/tests/clips_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/textasm_test[1]_include.cmake")
+include("/root/repo/build/tests/simultaneous_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/blocking_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
