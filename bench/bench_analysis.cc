@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Static pre-screening cost as google-benchmark cases.
+ *
+ * The analyzer runs once per image at load time, so its cost sits on
+ * the spawn path rather than the per-instruction path the paper's §9
+ * numbers cover. The cases below report basic blocks per second —
+ * the analyzer's natural unit of work — across image sizes:
+ *
+ *   BM_BuildCfg      — decode + block split + reachability only
+ *   BM_AnalyzeImage  — the full pass (CFG, dataflow fixpoint,
+ *                      guard/dormant-code detection), swept over
+ *                      synthetic branchy guests of growing size
+ *   BM_AnalyzeCsh    — a realistic workload binary (the canned csh)
+ *   BM_LintPolicy    — the rule linter over the shipped policy
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/Analyzer.hh"
+#include "analysis/Cfg.hh"
+#include "analysis/Lint.hh"
+#include "secpert/Policy.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+/**
+ * A guest of @p units diamond-shaped branch regions: each unit
+ * contributes three basic blocks and a join, so block count scales
+ * linearly and the fixpoint has real joins to stabilise.
+ */
+std::shared_ptr<const vm::Image>
+makeBranchyGuest(int units)
+{
+    Gasm a("/bench/branchy.exe");
+    a.dataString("path", "/tmp/report");
+    a.dataSpace("buf", 64);
+    a.label("main");
+    a.entry("main");
+    a.movi(Reg::Ebx, 0);
+    a.movi(Reg::Ecx, 0);
+    for (int i = 0; i < units; ++i) {
+        std::string taken = "taken_" + std::to_string(i);
+        std::string join = "join_" + std::to_string(i);
+        a.movi(Reg::Eax, i);
+        a.cmpi(Reg::Eax, i / 2);
+        a.jz(taken);
+        a.addi(Reg::Ebx, 1);
+        a.jmp(join);
+        a.label(taken);
+        a.addi(Reg::Ecx, 1);
+        a.label(join);
+    }
+    a.exit(0);
+    return a.build();
+}
+
+void
+BM_BuildCfg(benchmark::State &state)
+{
+    auto image = makeBranchyGuest((int)state.range(0));
+    uint64_t blocks = 0;
+    for (auto _ : state) {
+        analysis::Cfg cfg = analysis::buildCfg(*image);
+        blocks += cfg.blocks.size();
+        benchmark::DoNotOptimize(cfg);
+    }
+    state.counters["blocks/s"] = benchmark::Counter(
+        (double)blocks, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BuildCfg)->Arg(64)->Arg(256);
+
+void
+BM_AnalyzeImage(benchmark::State &state)
+{
+    auto image = makeBranchyGuest((int)state.range(0));
+    uint64_t blocks = 0;
+    uint64_t insns = 0;
+    for (auto _ : state) {
+        analysis::StaticReport r = analysis::analyzeImage(*image);
+        blocks += r.blockCount;
+        insns += r.instructionCount;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["blocks/s"] = benchmark::Counter(
+        (double)blocks, benchmark::Counter::kIsRate);
+    state.counters["insns/s"] = benchmark::Counter(
+        (double)insns, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyzeImage)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_AnalyzeCsh(benchmark::State &state)
+{
+    auto image = makeCshBinary();
+    uint64_t blocks = 0;
+    for (auto _ : state) {
+        analysis::StaticReport r = analysis::analyzeImage(*image);
+        blocks += r.blockCount;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["blocks/s"] = benchmark::Counter(
+        (double)blocks, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyzeCsh);
+
+void
+BM_LintPolicy(benchmark::State &state)
+{
+    const std::string source =
+        secpert::policyDeclarations() + secpert::policyRules();
+    for (auto _ : state) {
+        auto issues = analysis::lintPolicy(source);
+        benchmark::DoNotOptimize(issues);
+    }
+    state.counters["bytes/s"] = benchmark::Counter(
+        (double)source.size(),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_LintPolicy);
+
+} // namespace
+
+BENCHMARK_MAIN();

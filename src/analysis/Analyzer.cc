@@ -1,0 +1,843 @@
+#include "analysis/Analyzer.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "os/Syscalls.hh"
+
+namespace hth::analysis
+{
+
+using vm::Instruction;
+using vm::INSN_SIZE;
+using vm::Opcode;
+using vm::Reg;
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Info: return "INFO";
+      case Level::Low: return "LOW";
+      case Level::Medium: return "MEDIUM";
+      case Level::High: return "HIGH";
+    }
+    return "?";
+}
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::MagicGuard: return "MAGIC_GUARD";
+      case Kind::DormantSyscall: return "DORMANT_SYSCALL";
+      case Kind::StaticSyscall: return "STATIC_SYSCALL";
+      case Kind::JumpOutOfText: return "JUMP_OUT_OF_TEXT";
+      case Kind::StackImbalance: return "STACK_IMBALANCE";
+      case Kind::UnreachableCode: return "UNREACHABLE_CODE";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Abstract value of a register or tracked memory word. */
+struct AbsVal
+{
+    enum K
+    {
+        Unknown,    //!< anything
+        Const,      //!< a plain program constant
+        DataAddr,   //!< an image-relative address (from a relocation)
+        MemLoad,    //!< the content of image-relative address v
+    };
+    K k = Unknown;
+    uint32_t v = 0;
+
+    bool operator==(const AbsVal &) const = default;
+    bool isAddr() const { return k == Const || k == DataAddr; }
+};
+
+AbsVal
+unknown()
+{
+    return {};
+}
+
+/** The operands of the last Cmp/CmpI. */
+struct Flags
+{
+    bool valid = false;
+    AbsVal lhs, rhs;
+
+    bool operator==(const Flags &) const = default;
+};
+
+/** Abstract push/pop depth (words), for imbalance detection. */
+struct Depth
+{
+    bool known = false;
+    int32_t d = 0;
+
+    bool operator==(const Depth &) const = default;
+};
+
+/** Dataflow state at a program point. */
+struct State
+{
+    std::array<AbsVal, vm::NUM_REGS> regs{};
+    std::map<uint32_t, AbsVal> mem; //!< constant-addressed stores
+    Flags flags;
+    Depth depth;
+};
+
+AbsVal
+joinVal(const AbsVal &a, const AbsVal &b)
+{
+    return a == b ? a : unknown();
+}
+
+State
+joinState(const State &a, const State &b)
+{
+    State out;
+    for (size_t i = 0; i < vm::NUM_REGS; ++i)
+        out.regs[i] = joinVal(a.regs[i], b.regs[i]);
+    for (const auto &[addr, val] : a.mem) {
+        auto it = b.mem.find(addr);
+        if (it != b.mem.end() && it->second == val)
+            out.mem.emplace(addr, val);
+    }
+    if (a.flags == b.flags)
+        out.flags = a.flags;
+    if (a.depth == b.depth)
+        out.depth = a.depth;
+    return out;
+}
+
+bool
+sameState(const State &a, const State &b)
+{
+    return a.regs == b.regs && a.mem == b.mem && a.flags == b.flags &&
+           a.depth == b.depth;
+}
+
+/** A conditional branch whose flags the dataflow pass resolved. */
+struct GuardCandidate
+{
+    uint32_t site = 0;
+    Flags flags;
+    uint32_t succTrue = 0;      //!< branch-taken block start
+    uint32_t succFalse = 0;     //!< fallthrough block start
+};
+
+/** A `[start, end)` byte range a recv syscall writes into. */
+struct RecvRange
+{
+    uint32_t start = 0;
+    uint32_t end = 0;
+};
+
+/** The per-image analysis driver. */
+class Analysis
+{
+  public:
+    explicit Analysis(const vm::Image &image)
+        : image_(image), cfg_(buildCfg(image))
+    {
+    }
+
+    StaticReport run();
+
+  private:
+    AbsVal regVal(const State &s, Reg r) const
+    {
+        return s.regs[(size_t)r];
+    }
+    void setReg(State &s, Reg r, AbsVal v) const
+    {
+        s.regs[(size_t)r] = v;
+    }
+
+    void applyInsn(State &s, const Instruction &insn, uint32_t addr,
+                   bool collect);
+    void runFixpoint();
+    void collect();
+    void visitSyscall(const State &s, uint32_t addr);
+    void scanUnreachable();
+    void findGuards();
+    std::string dataString(const AbsVal &v) const;
+    bool inRecvRange(uint32_t addr) const;
+    static bool dangerousSyscall(const std::string &name);
+    void addFinding(Kind kind, Level level, uint32_t addr,
+                    std::string syscall, std::string resource,
+                    std::string detail);
+
+    const vm::Image &image_;
+    Cfg cfg_;
+    std::map<uint32_t, State> inState_;
+    std::vector<GuardCandidate> guards_;
+    std::vector<RecvRange> recvRanges_;
+    StaticReport report_;
+};
+
+std::string
+Analysis::dataString(const AbsVal &v) const
+{
+    if (v.k != AbsVal::DataAddr && v.k != AbsVal::Const)
+        return "";
+    uint32_t off = v.v;
+    uint32_t data_base = image_.dataOffset();
+    if (off < data_base || off >= data_base + image_.data.size())
+        return "";
+    std::string out;
+    for (uint32_t i = off - data_base;
+         i < image_.data.size() && out.size() < 64; ++i) {
+        char c = (char)image_.data[i];
+        if (c == '\0')
+            break;
+        out += (c >= 0x20 && c < 0x7f) ? c : '.';
+    }
+    return out;
+}
+
+bool
+Analysis::inRecvRange(uint32_t addr) const
+{
+    for (const RecvRange &r : recvRanges_)
+        if (addr >= r.start && addr < r.end)
+            return true;
+    return false;
+}
+
+bool
+Analysis::dangerousSyscall(const std::string &name)
+{
+    return name == "SYS_execve" || name == "SYS_connect" ||
+           name == "SYS_send" || name == "SYS_write" ||
+           name == "SYS_creat" || name == "SYS_unlink" ||
+           name == "SYS_chmod";
+}
+
+void
+Analysis::addFinding(Kind kind, Level level, uint32_t addr,
+                     std::string syscall, std::string resource,
+                     std::string detail)
+{
+    Finding f;
+    f.kind = kind;
+    f.level = level;
+    f.address = addr;
+    f.syscall = std::move(syscall);
+    f.resource = std::move(resource);
+    f.detail = std::move(detail);
+    report_.findings.push_back(std::move(f));
+}
+
+void
+Analysis::visitSyscall(const State &s, uint32_t addr)
+{
+    AbsVal nr = regVal(s, Reg::Eax);
+    if (nr.k != AbsVal::Const) {
+        report_.syscalls.push_back({addr, "SYS_?", true, false, ""});
+        return;
+    }
+
+    SyscallSite site;
+    site.address = addr;
+    site.reachable = true;
+
+    AbsVal ebx = regVal(s, Reg::Ebx);
+    AbsVal ecx = regVal(s, Reg::Ecx);
+
+    auto nameArg = [&](const char *name, const AbsVal &arg) {
+        site.name = name;
+        site.resource = dataString(arg);
+        site.resourceInData = !site.resource.empty();
+    };
+
+    switch (nr.v) {
+      case os::NR_execve:
+        nameArg("SYS_execve", ebx);
+        break;
+      case os::NR_open:
+        nameArg("SYS_open", ebx);
+        break;
+      case os::NR_creat:
+        nameArg("SYS_creat", ebx);
+        break;
+      case os::NR_unlink:
+        nameArg("SYS_unlink", ebx);
+        break;
+      case os::NR_chmod:
+        nameArg("SYS_chmod", ebx);
+        break;
+      case os::NR_write:
+        site.name = "SYS_write";
+        break;
+      case os::NR_exit:
+        site.name = "SYS_exit";
+        break;
+      case os::NR_socketcall: {
+        uint32_t op = ebx.k == AbsVal::Const ? ebx.v : 0;
+        // The i386 convention: ECX points at the argument block.
+        auto argWord = [&](uint32_t idx) -> AbsVal {
+            if (!ecx.isAddr())
+                return unknown();
+            auto it = s.mem.find(ecx.v + idx * 4);
+            return it == s.mem.end() ? unknown() : it->second;
+        };
+        switch (op) {
+          case os::SOCKOP_connect:
+            nameArg("SYS_connect", argWord(1));
+            break;
+          case os::SOCKOP_bind:
+            nameArg("SYS_bind", argWord(1));
+            break;
+          case os::SOCKOP_send:
+            site.name = "SYS_send";
+            break;
+          case os::SOCKOP_recv: {
+            site.name = "SYS_recv";
+            AbsVal buf = argWord(1);
+            AbsVal len = argWord(2);
+            if (buf.isAddr()) {
+                uint32_t n =
+                    len.k == AbsVal::Const ? len.v : 4096;
+                recvRanges_.push_back({buf.v, buf.v + n});
+            }
+            break;
+          }
+          default:
+            site.name = "SYS_socketcall";
+            break;
+        }
+        break;
+      }
+      default:
+        site.name = "SYS_" + std::to_string(nr.v);
+        break;
+    }
+    report_.syscalls.push_back(std::move(site));
+}
+
+void
+Analysis::applyInsn(State &s, const Instruction &insn, uint32_t addr,
+                    bool collect)
+{
+    uint32_t idx = addr / INSN_SIZE;
+    bool relocated = cfg_.relocatedIndices.count(idx) != 0;
+    AbsVal a = regVal(s, insn.r1);
+    AbsVal b = regVal(s, insn.r2);
+
+    auto foldBin = [&](auto op) -> AbsVal {
+        if (a.k == AbsVal::Const && b.k == AbsVal::Const)
+            return {AbsVal::Const, op(a.v, b.v)};
+        return unknown();
+    };
+    auto addImm = [&](const AbsVal &base, int32_t imm) -> AbsVal {
+        if (base.k == AbsVal::Const || base.k == AbsVal::DataAddr)
+            return {base.k, base.v + (uint32_t)imm};
+        return unknown();
+    };
+    auto clobberCallerSaved = [&] {
+        setReg(s, Reg::Eax, unknown());
+        setReg(s, Reg::Ecx, unknown());
+        setReg(s, Reg::Edx, unknown());
+        s.mem.clear();
+        s.flags = Flags{};
+    };
+
+    switch (insn.op) {
+      case Opcode::MovRR:
+        setReg(s, insn.r1, b);
+        break;
+      case Opcode::MovRI:
+        setReg(s, insn.r1,
+               {relocated ? AbsVal::DataAddr : AbsVal::Const,
+                (uint32_t)insn.imm});
+        break;
+      case Opcode::Lea:
+        setReg(s, insn.r1, addImm(b, insn.imm));
+        break;
+      case Opcode::Load:
+      case Opcode::LoadB:
+        if (b.isAddr()) {
+            uint32_t at = b.v + (uint32_t)insn.imm;
+            auto it = s.mem.find(at);
+            setReg(s, insn.r1,
+                   it != s.mem.end() ? it->second
+                                     : AbsVal{AbsVal::MemLoad, at});
+        } else {
+            setReg(s, insn.r1, unknown());
+        }
+        break;
+      case Opcode::Store:
+      case Opcode::StoreB:
+        if (b.isAddr())
+            s.mem[b.v + (uint32_t)insn.imm] = a;
+        else
+            s.mem.clear();
+        break;
+      case Opcode::Push:
+      case Opcode::PushI:
+        if (s.depth.known)
+            ++s.depth.d;
+        break;
+      case Opcode::Pop:
+        setReg(s, insn.r1, unknown());
+        if (s.depth.known)
+            --s.depth.d;
+        break;
+      case Opcode::Add:
+        if (a.k == AbsVal::DataAddr && b.k == AbsVal::Const)
+            setReg(s, insn.r1, {AbsVal::DataAddr, a.v + b.v});
+        else if (a.k == AbsVal::Const && b.k == AbsVal::DataAddr)
+            setReg(s, insn.r1, {AbsVal::DataAddr, a.v + b.v});
+        else
+            setReg(s, insn.r1,
+                   foldBin([](uint32_t x, uint32_t y) {
+                       return x + y;
+                   }));
+        break;
+      case Opcode::AddI:
+        if (insn.r1 == Reg::Esp) {
+            if (s.depth.known)
+                s.depth.d -= insn.imm / (int32_t)INSN_SIZE;
+        } else {
+            setReg(s, insn.r1, addImm(a, insn.imm));
+        }
+        break;
+      case Opcode::Sub:
+        if (insn.r1 == Reg::Esp)
+            s.depth.known = false;
+        setReg(s, insn.r1, foldBin([](uint32_t x, uint32_t y) {
+                   return x - y;
+               }));
+        break;
+      case Opcode::And:
+        setReg(s, insn.r1, foldBin([](uint32_t x, uint32_t y) {
+                   return x & y;
+               }));
+        break;
+      case Opcode::Or:
+        setReg(s, insn.r1, foldBin([](uint32_t x, uint32_t y) {
+                   return x | y;
+               }));
+        break;
+      case Opcode::Xor:
+        if (insn.r1 == insn.r2)
+            setReg(s, insn.r1, {AbsVal::Const, 0});
+        else
+            setReg(s, insn.r1, foldBin([](uint32_t x, uint32_t y) {
+                       return x ^ y;
+                   }));
+        break;
+      case Opcode::Mul:
+        setReg(s, insn.r1, foldBin([](uint32_t x, uint32_t y) {
+                   return x * y;
+               }));
+        break;
+      case Opcode::Shl:
+        setReg(s, insn.r1,
+               a.k == AbsVal::Const
+                   ? AbsVal{AbsVal::Const, a.v << (insn.imm & 31)}
+                   : unknown());
+        break;
+      case Opcode::Shr:
+        setReg(s, insn.r1,
+               a.k == AbsVal::Const
+                   ? AbsVal{AbsVal::Const, a.v >> (insn.imm & 31)}
+                   : unknown());
+        break;
+      case Opcode::Cmp:
+        s.flags = {true, a, b};
+        break;
+      case Opcode::CmpI:
+        s.flags = {true, a, {AbsVal::Const, (uint32_t)insn.imm}};
+        break;
+      case Opcode::Int80:
+        if (collect)
+            visitSyscall(s, addr);
+        setReg(s, Reg::Eax, unknown());
+        break;
+      case Opcode::CpuId:
+        setReg(s, Reg::Eax, unknown());
+        setReg(s, Reg::Ebx, unknown());
+        setReg(s, Reg::Ecx, unknown());
+        setReg(s, Reg::Edx, unknown());
+        break;
+      case Opcode::Native:
+        // A native library routine: assume the i386 cdecl contract
+        // (EAX/ECX/EDX caller-saved) and drop tracked memory, since
+        // routines like strcpy write guest memory.
+        clobberCallerSaved();
+        break;
+      case Opcode::Halt:
+      case Opcode::Nop:
+      case Opcode::Jmp:
+      case Opcode::Jz:
+      case Opcode::Jnz:
+      case Opcode::Jl:
+      case Opcode::Jge:
+      case Opcode::Ret:
+        break;
+      case Opcode::Call:
+      case Opcode::CallSym:
+      case Opcode::CallR:
+        // Handled per-edge by the propagation loop.
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Analysis::runFixpoint()
+{
+    const BasicBlock *entryBlock = cfg_.blockAt(image_.entry);
+    if (!entryBlock)
+        return;
+
+    State entry;
+    entry.depth = {true, 0};
+    inState_[entryBlock->start] = entry;
+
+    // Direct-call targets start a fresh frame: depth 1 (the pushed
+    // return address), whatever the call site's depth was.
+    std::set<uint32_t> callTargets;
+    for (const CallEdge &c : cfg_.calls) {
+        const BasicBlock *bb = cfg_.blockAt(c.target);
+        if (bb)
+            callTargets.insert(bb->start);
+    }
+
+    std::deque<uint32_t> work{entryBlock->start};
+    size_t budget = cfg_.blocks.size() * 256 + 1024;
+
+    while (!work.empty() && budget-- > 0) {
+        uint32_t start = work.front();
+        work.pop_front();
+        auto bit = cfg_.blocks.find(start);
+        if (bit == cfg_.blocks.end())
+            continue;
+        const BasicBlock &bb = bit->second;
+
+        State s = inState_[start];
+        for (uint32_t addr = bb.start; addr < bb.end;
+             addr += INSN_SIZE)
+            applyInsn(s, cfg_.insnAt(addr), addr, false);
+
+        const Instruction &last = cfg_.insnAt(bb.end - INSN_SIZE);
+        for (uint32_t succ : bb.succs) {
+            State out = s;
+            if (last.op == Opcode::Call) {
+                if (succ == (uint32_t)last.imm &&
+                    callTargets.count(
+                        cfg_.blockAt(succ)
+                            ? cfg_.blockAt(succ)->start
+                            : succ)) {
+                    out.depth = {true, 1};
+                } else {
+                    // Resuming after the call: the callee may have
+                    // changed anything.
+                    out.regs.fill(unknown());
+                    out.mem.clear();
+                    out.flags = Flags{};
+                }
+            } else if (last.op == Opcode::CallSym ||
+                       last.op == Opcode::CallR) {
+                setReg(out, Reg::Eax, unknown());
+                setReg(out, Reg::Ecx, unknown());
+                setReg(out, Reg::Edx, unknown());
+                out.mem.clear();
+                out.flags = Flags{};
+            }
+            if (callTargets.count(succ) && last.op != Opcode::Call)
+                out.depth = {true, 1};
+
+            auto it = inState_.find(succ);
+            if (it == inState_.end()) {
+                inState_[succ] = out;
+                work.push_back(succ);
+            } else {
+                State joined = joinState(it->second, out);
+                if (!sameState(joined, it->second)) {
+                    it->second = joined;
+                    work.push_back(succ);
+                }
+            }
+        }
+    }
+}
+
+void
+Analysis::collect()
+{
+    for (const auto &[start, in] : inState_) {
+        auto bit = cfg_.blocks.find(start);
+        if (bit == cfg_.blocks.end())
+            continue;
+        const BasicBlock &bb = bit->second;
+        State s = in;
+        for (uint32_t addr = bb.start; addr < bb.end;
+             addr += INSN_SIZE)
+            applyInsn(s, cfg_.insnAt(addr), addr, true);
+
+        const Instruction &last = cfg_.insnAt(bb.end - INSN_SIZE);
+        switch (last.op) {
+          case Opcode::Jz:
+          case Opcode::Jnz:
+          case Opcode::Jl:
+          case Opcode::Jge:
+            if (s.flags.valid)
+                guards_.push_back({bb.end - INSN_SIZE, s.flags,
+                                   (uint32_t)last.imm, bb.end});
+            break;
+          case Opcode::Ret:
+            if (s.depth.known && s.depth.d != 1)
+                addFinding(
+                    Kind::StackImbalance, Level::Low,
+                    bb.end - INSN_SIZE, "", "",
+                    "ret with " + std::to_string(s.depth.d - 1) +
+                        " unbalanced stack word(s)");
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+void
+Analysis::scanUnreachable()
+{
+    size_t unreachable = 0;
+    uint32_t first = 0;
+    for (const auto &[start, bb] : cfg_.blocks) {
+        if (bb.reachable)
+            continue;
+        if (unreachable++ == 0)
+            first = start;
+        // Local constant propagation inside the dormant block: a
+        // trigger-gated payload typically sets up its syscall in one
+        // straight line.
+        State s;
+        for (uint32_t addr = bb.start; addr < bb.end;
+             addr += INSN_SIZE) {
+            const Instruction &insn = cfg_.insnAt(addr);
+            if (insn.op == Opcode::Int80) {
+                AbsVal nr = regVal(s, Reg::Eax);
+                bool exec = nr.k == AbsVal::Const &&
+                            nr.v == os::NR_execve;
+                bool conn =
+                    nr.k == AbsVal::Const &&
+                    nr.v == os::NR_socketcall &&
+                    regVal(s, Reg::Ebx).k == AbsVal::Const &&
+                    regVal(s, Reg::Ebx).v == os::SOCKOP_connect;
+                if (exec || conn) {
+                    std::string name =
+                        exec ? "SYS_execve" : "SYS_connect";
+                    std::string res =
+                        exec ? dataString(regVal(s, Reg::Ebx)) : "";
+                    report_.syscalls.push_back(
+                        {addr, name, false, !res.empty(), res});
+                    addFinding(Kind::DormantSyscall, Level::Medium,
+                               addr, name, res,
+                               name + " on statically unreachable "
+                                      "code (dormant payload)");
+                }
+            }
+            applyInsn(s, insn, addr, false);
+        }
+    }
+    if (unreachable > 0)
+        addFinding(Kind::UnreachableCode, Level::Info, first, "", "",
+                   std::to_string(unreachable) +
+                       " basic block(s) unreachable from entry");
+}
+
+void
+Analysis::findGuards()
+{
+    auto isRecvLoad = [&](const AbsVal &v) {
+        return v.k == AbsVal::MemLoad && inRecvRange(v.v);
+    };
+    auto isProgramConst = [&](const AbsVal &v) {
+        if (v.k == AbsVal::Const)
+            return true;
+        // A byte loaded from the image's own data section (a stored
+        // password) also counts, as long as it is not itself a recv
+        // target.
+        if (v.k == AbsVal::MemLoad && !inRecvRange(v.v))
+            return v.v >= image_.dataOffset() &&
+                   v.v < image_.bssOffset();
+        return false;
+    };
+
+    for (const GuardCandidate &g : guards_) {
+        const AbsVal &l = g.flags.lhs;
+        const AbsVal &r = g.flags.rhs;
+        AbsVal cmpConst;
+        if (isRecvLoad(l) && isProgramConst(r))
+            cmpConst = r;
+        else if (isRecvLoad(r) && isProgramConst(l))
+            cmpConst = l;
+        else
+            continue;
+
+        // The guarded payload: code exclusively reachable through
+        // one arm of the branch.
+        std::set<uint32_t> reachT = cfg_.reachableFrom(g.succTrue);
+        std::set<uint32_t> reachF = cfg_.reachableFrom(g.succFalse);
+        auto exclusive = [](const std::set<uint32_t> &a,
+                            const std::set<uint32_t> &b) {
+            std::set<uint32_t> out;
+            for (uint32_t x : a)
+                if (!b.count(x))
+                    out.insert(x);
+            return out;
+        };
+        std::set<uint32_t> exclT = exclusive(reachT, reachF);
+        std::set<uint32_t> exclF = exclusive(reachF, reachT);
+
+        auto blockOf = [&](uint32_t addr) -> uint32_t {
+            const BasicBlock *bb = cfg_.blockAt(addr);
+            return bb ? bb->start : 0xffffffffu;
+        };
+
+        std::vector<std::string> payload;
+        for (const SyscallSite &site : report_.syscalls) {
+            if (!dangerousSyscall(site.name))
+                continue;
+            uint32_t b = blockOf(site.address);
+            if (exclT.count(b) || exclF.count(b))
+                payload.push_back(site.name);
+        }
+        for (const ExternCall &ext : cfg_.externCalls) {
+            if (ext.name != "system" && ext.name != "popen")
+                continue;
+            uint32_t b = blockOf(ext.site);
+            if (exclT.count(b) || exclF.count(b))
+                payload.push_back(ext.name + "()");
+        }
+        if (payload.empty())
+            continue;
+
+        std::sort(payload.begin(), payload.end());
+        payload.erase(std::unique(payload.begin(), payload.end()),
+                      payload.end());
+        std::string what;
+        for (const std::string &p : payload) {
+            if (!what.empty())
+                what += ", ";
+            what += p;
+        }
+
+        std::string magic;
+        if (cmpConst.k == AbsVal::Const) {
+            char c = (char)cmpConst.v;
+            magic = (c >= 0x20 && c < 0x7f)
+                        ? std::string("'") + c + "'"
+                        : std::to_string(cmpConst.v);
+        } else {
+            magic = "data[" + std::to_string(cmpConst.v) + "]";
+        }
+
+        addFinding(Kind::MagicGuard, Level::Medium, g.site, "", "",
+                   "received bytes compared against constant " +
+                       magic + " guard a payload running: " + what);
+    }
+}
+
+StaticReport
+Analysis::run()
+{
+    report_.imagePath = image_.path;
+    report_.blockCount = cfg_.blocks.size();
+    report_.reachableBlocks = cfg_.reachableBlocks();
+    report_.instructionCount = cfg_.text.size();
+
+    runFixpoint();
+    collect();
+    scanUnreachable();
+    findGuards();
+
+    for (uint32_t site : cfg_.jumpsOutOfText)
+        addFinding(Kind::JumpOutOfText, Level::Medium, site, "", "",
+                   "direct branch target outside .text");
+
+    // Reachable syscall sites with hard-coded arguments: the static
+    // shadow of the paper's "hard-coded resource" pattern.
+    for (const SyscallSite &site : report_.syscalls) {
+        if (!site.reachable || !site.resourceInData)
+            continue;
+        if (site.name == "SYS_execve" || site.name == "SYS_connect")
+            addFinding(Kind::StaticSyscall, Level::Low, site.address,
+                       site.name, site.resource,
+                       site.name + " with .data-resident argument \"" +
+                           site.resource + "\"");
+        else if (site.name == "SYS_creat" ||
+                 site.name == "SYS_open" ||
+                 site.name == "SYS_bind" ||
+                 site.name == "SYS_unlink" ||
+                 site.name == "SYS_chmod")
+            addFinding(Kind::StaticSyscall, Level::Info, site.address,
+                       site.name, site.resource,
+                       site.name + " with .data-resident argument \"" +
+                           site.resource + "\"");
+    }
+
+    // Reachable system()/popen() imports: statically visible shell
+    // execution.
+    for (const ExternCall &ext : cfg_.externCalls) {
+        if (ext.name != "system" && ext.name != "popen")
+            continue;
+        const BasicBlock *bb = cfg_.blockAt(ext.site);
+        if (bb && bb->reachable)
+            addFinding(Kind::StaticSyscall, Level::Low, ext.site,
+                       ext.name, "",
+                       "call to " + ext.name + "()");
+    }
+
+    std::sort(report_.findings.begin(), report_.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.level != b.level)
+                      return (int)a.level > (int)b.level;
+                  return a.address < b.address;
+              });
+    return std::move(report_);
+}
+
+} // namespace
+
+StaticReport
+analyzeImage(const vm::Image &image)
+{
+    return Analysis(image).run();
+}
+
+std::string
+reportToString(const StaticReport &report)
+{
+    std::ostringstream os;
+    os << report.imagePath << ": " << report.instructionCount
+       << " instructions, " << report.blockCount << " blocks ("
+       << report.reachableBlocks << " reachable), "
+       << report.findings.size() << " finding(s)\n";
+    for (const Finding &f : report.findings) {
+        os << "  [" << levelName(f.level) << "] " << kindName(f.kind)
+           << " @" << f.address;
+        if (!f.syscall.empty())
+            os << " " << f.syscall;
+        if (!f.detail.empty())
+            os << ": " << f.detail;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace hth::analysis

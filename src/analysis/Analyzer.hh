@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Static pre-screening of guest images (the load-time complement of
+ * Harrier's run-time monitoring).
+ *
+ * The analyzer runs a constant-propagation dataflow pass over the
+ * static CFG to recover `int 0x80` syscall numbers and argument
+ * provenance, then hunts suspicious shapes the paper's dynamic
+ * monitor cannot see until they execute:
+ *
+ *  - a compare of received network bytes against a program constant
+ *    guarding an exec/connect/write region (the classic
+ *    magic-password backdoor the paper motivates with);
+ *  - dangerous syscalls (execve / connect) on statically unreachable
+ *    code (dormant payloads);
+ *  - direct jumps whose target lies outside `.text`;
+ *  - stack imbalance at a `ret`;
+ *  - statically reachable exec/connect sites whose argument is a
+ *    `.data`-resident (hard-coded) string.
+ *
+ * Findings flow to Secpert as persistent `static_finding` facts, so
+ * hybrid policies can combine them with dynamic events.
+ */
+
+#ifndef HTH_ANALYSIS_ANALYZER_HH
+#define HTH_ANALYSIS_ANALYZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/Cfg.hh"
+#include "vm/Image.hh"
+
+namespace hth::analysis
+{
+
+/** How suspicious a finding is on its own. */
+enum class Level : int
+{
+    Info = 0,
+    Low = 1,
+    Medium = 2,
+    High = 3,
+};
+
+const char *levelName(Level level);
+
+/** What shape was found. */
+enum class Kind
+{
+    MagicGuard,     //!< received byte vs constant guards a payload
+    DormantSyscall, //!< exec/connect on unreachable code
+    StaticSyscall,  //!< reachable syscall with hard-coded argument
+    JumpOutOfText,  //!< direct branch target outside .text
+    StackImbalance, //!< non-empty abstract stack at ret
+    UnreachableCode,//!< blocks no path from entry reaches
+};
+
+/** Fact symbol, e.g. "MAGIC_GUARD". */
+const char *kindName(Kind kind);
+
+/** One static finding. */
+struct Finding
+{
+    Kind kind = Kind::UnreachableCode;
+    Level level = Level::Info;
+    uint32_t address = 0;       //!< image-relative site
+    std::string syscall;        //!< "SYS_execve", ... (may be empty)
+    std::string resource;       //!< recovered argument string
+    std::string detail;         //!< human-readable explanation
+};
+
+/** A syscall site the dataflow pass resolved. */
+struct SyscallSite
+{
+    uint32_t address = 0;
+    std::string name;           //!< "SYS_execve", "SYS_connect", ...
+    bool reachable = false;
+    bool resourceInData = false;//!< argument is a .data address
+    std::string resource;
+};
+
+/** Everything the analyzer concluded about one image. */
+struct StaticReport
+{
+    std::string imagePath;
+    size_t blockCount = 0;
+    size_t reachableBlocks = 0;
+    size_t instructionCount = 0;
+    std::vector<SyscallSite> syscalls;
+    std::vector<Finding> findings;
+
+    bool
+    flagged(Level floor) const
+    {
+        for (const Finding &f : findings)
+            if ((int)f.level >= (int)floor)
+                return true;
+        return false;
+    }
+};
+
+/** Analyze @p image; never throws on well-formed images. */
+StaticReport analyzeImage(const vm::Image &image);
+
+/** Render a report for diagnostics / the hth-lint CLI. */
+std::string reportToString(const StaticReport &report);
+
+} // namespace hth::analysis
+
+#endif // HTH_ANALYSIS_ANALYZER_HH

@@ -1,0 +1,234 @@
+#include "analysis/Cfg.hh"
+
+#include <algorithm>
+
+#include "support/Logging.hh"
+
+namespace hth::analysis
+{
+
+using vm::Instruction;
+using vm::INSN_SIZE;
+using vm::Opcode;
+
+const BasicBlock *
+Cfg::blockAt(uint32_t addr) const
+{
+    auto it = blocks.upper_bound(addr);
+    if (it == blocks.begin())
+        return nullptr;
+    --it;
+    const BasicBlock &bb = it->second;
+    return (addr >= bb.start && addr < bb.end) ? &bb : nullptr;
+}
+
+size_t
+Cfg::reachableBlocks() const
+{
+    size_t n = 0;
+    for (const auto &[start, bb] : blocks)
+        if (bb.reachable)
+            ++n;
+    return n;
+}
+
+std::set<uint32_t>
+Cfg::reachableFrom(uint32_t addr) const
+{
+    std::set<uint32_t> seen;
+    const BasicBlock *first = blockAt(addr);
+    if (!first)
+        return seen;
+    std::vector<uint32_t> work{first->start};
+    while (!work.empty()) {
+        uint32_t cur = work.back();
+        work.pop_back();
+        if (!seen.insert(cur).second)
+            continue;
+        auto it = blocks.find(cur);
+        if (it == blocks.end())
+            continue;
+        for (uint32_t s : it->second.succs)
+            if (!seen.count(s))
+                work.push_back(s);
+    }
+    return seen;
+}
+
+namespace
+{
+
+bool
+isDirectBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jmp:
+      case Opcode::Jz:
+      case Opcode::Jnz:
+      case Opcode::Jl:
+      case Opcode::Jge:
+      case Opcode::Call:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isConditional(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jz:
+      case Opcode::Jnz:
+      case Opcode::Jl:
+      case Opcode::Jge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+Cfg
+buildCfg(const vm::Image &image)
+{
+    Cfg cfg;
+    cfg.image = &image;
+    cfg.text = image.text;
+
+    // Resolve relocations at base 0: immediates become image-relative
+    // symbol addresses, exactly as the loader does with base added.
+    for (const vm::Relocation &reloc : image.relocs) {
+        fatalIf(reloc.textIndex >= cfg.text.size(),
+                "buildCfg: relocation outside text");
+        cfg.text[reloc.textIndex].imm =
+            (int32_t)image.symbol(reloc.symbol);
+        cfg.relocatedIndices.insert(reloc.textIndex);
+    }
+
+    const uint32_t text_size = cfg.textSize();
+
+    // Leaders: entry, first instruction, direct-branch targets, and
+    // the instruction after every control transfer.
+    std::set<uint32_t> leaders;
+    if (!cfg.text.empty())
+        leaders.insert(0);
+    if (image.entry < text_size)
+        leaders.insert(image.entry);
+    for (uint32_t i = 0; i < cfg.text.size(); ++i) {
+        const Instruction &insn = cfg.text[i];
+        uint32_t addr = i * INSN_SIZE;
+        if (isDirectBranch(insn.op)) {
+            uint32_t target = (uint32_t)insn.imm;
+            if (target < text_size)
+                leaders.insert(target);
+            else
+                cfg.jumpsOutOfText.push_back(addr);
+        }
+        if (vm::isControlTransfer(insn.op) &&
+            addr + INSN_SIZE < text_size)
+            leaders.insert(addr + INSN_SIZE);
+    }
+
+    // Carve blocks between consecutive leaders.
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        BasicBlock bb;
+        bb.start = *it;
+        auto next = std::next(it);
+        uint32_t limit = next == leaders.end() ? text_size : *next;
+        bb.end = bb.start;
+        while (bb.end < limit) {
+            Opcode op = cfg.insnAt(bb.end).op;
+            bb.end += INSN_SIZE;
+            if (vm::isControlTransfer(op))
+                break;
+        }
+        cfg.blocks[bb.start] = bb;
+    }
+
+    // Successor edges.
+    for (auto &[start, bb] : cfg.blocks) {
+        uint32_t last = bb.end - INSN_SIZE;
+        const Instruction &insn = cfg.insnAt(last);
+        uint32_t target = (uint32_t)insn.imm;
+        auto addSucc = [&](uint32_t s) {
+            if (s < text_size &&
+                std::find(bb.succs.begin(), bb.succs.end(), s) ==
+                    bb.succs.end())
+                bb.succs.push_back(s);
+        };
+        switch (insn.op) {
+          case Opcode::Jmp:
+            addSucc(target);
+            break;
+          case Opcode::Jz:
+          case Opcode::Jnz:
+          case Opcode::Jl:
+          case Opcode::Jge:
+            addSucc(target);
+            addSucc(bb.end);
+            break;
+          case Opcode::Call:
+            // The callee is a successor (reachability follows calls)
+            // and control also resumes after the call site.
+            addSucc(target);
+            addSucc(bb.end);
+            cfg.calls.push_back({last, target});
+            break;
+          case Opcode::CallSym: {
+            uint32_t idx = (uint32_t)insn.imm;
+            std::string name = idx < image.imports.size()
+                                   ? image.imports[idx]
+                                   : "?";
+            cfg.externCalls.push_back({last, name, false});
+            addSucc(bb.end);
+            break;
+          }
+          case Opcode::CallR:
+            // Indirect: assume it returns, no static target.
+            addSucc(bb.end);
+            break;
+          case Opcode::Ret:
+          case Opcode::Halt:
+            break;
+          case Opcode::Int80:
+            // A system call resumes at the next instruction (SYS_exit
+            // never returns, but that needs dataflow to know).
+            addSucc(bb.end);
+            break;
+          default:
+            // Block was cut short by a leader: plain fallthrough.
+            addSucc(bb.end);
+            break;
+        }
+    }
+
+    // Native call sites (Native is not a control transfer; scan all).
+    for (uint32_t i = 0; i < cfg.text.size(); ++i) {
+        const Instruction &insn = cfg.text[i];
+        if (insn.op != Opcode::Native)
+            continue;
+        uint32_t idx = (uint32_t)insn.imm;
+        std::string name =
+            idx < image.natives.size() ? image.natives[idx] : "?";
+        cfg.externCalls.push_back({i * INSN_SIZE, name, true});
+    }
+
+    // Predecessors.
+    for (auto &[start, bb] : cfg.blocks)
+        for (uint32_t s : bb.succs) {
+            auto it = cfg.blocks.find(s);
+            if (it != cfg.blocks.end())
+                it->second.preds.push_back(start);
+        }
+
+    // Reachability from the entry point.
+    if (!cfg.text.empty())
+        for (uint32_t s : cfg.reachableFrom(image.entry))
+            cfg.blocks[s].reachable = true;
+
+    return cfg;
+}
+
+} // namespace hth::analysis

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Static control-flow graph over an unloaded vm::Image.
+ *
+ * The run-time monitor only sees code the guest executes; the static
+ * pre-screening pass decodes the whole `.text` section up front. The
+ * CFG builder resolves the image's relocations at base 0 (so every
+ * branch immediate is an image-relative address), splits the text
+ * into basic blocks, wires successor/predecessor edges for direct
+ * transfers, records the call graph (direct calls, `CallSym` imports
+ * and `Native` routines) and marks which blocks are reachable from
+ * the entry point.
+ */
+
+#ifndef HTH_ANALYSIS_CFG_HH
+#define HTH_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "vm/Image.hh"
+
+namespace hth::analysis
+{
+
+/** A maximal straight-line run of instructions. */
+struct BasicBlock
+{
+    uint32_t start = 0;     //!< image-relative address of first insn
+    uint32_t end = 0;       //!< exclusive image-relative end address
+
+    /** Image-relative start addresses of successor blocks. Direct
+     * call targets are included so reachability follows calls. */
+    std::vector<uint32_t> succs;
+    std::vector<uint32_t> preds;
+
+    bool reachable = false;
+
+    size_t
+    instructionCount() const
+    {
+        return (end - start) / vm::INSN_SIZE;
+    }
+};
+
+/** A direct call site (`Call`) inside the image. */
+struct CallEdge
+{
+    uint32_t site = 0;      //!< address of the Call instruction
+    uint32_t target = 0;    //!< image-relative callee address
+};
+
+/** A `CallSym` (import) or `Native` (library) call site. */
+struct ExternCall
+{
+    uint32_t site = 0;
+    std::string name;       //!< imported symbol / native routine
+    bool native = false;
+};
+
+/** The static CFG of one image. */
+struct Cfg
+{
+    const vm::Image *image = nullptr;
+
+    /** Text with relocations resolved at base 0: every relocated
+     * immediate is the image-relative address of its symbol. */
+    std::vector<vm::Instruction> text;
+
+    /** Indices into text whose imm came from a relocation (i.e. is a
+     * symbol address rather than a plain constant). */
+    std::set<uint32_t> relocatedIndices;
+
+    /** Blocks keyed by start address. */
+    std::map<uint32_t, BasicBlock> blocks;
+
+    std::vector<CallEdge> calls;
+    std::vector<ExternCall> externCalls;
+
+    /** Sites of direct branches whose target lies outside .text. */
+    std::vector<uint32_t> jumpsOutOfText;
+
+    uint32_t
+    textSize() const
+    {
+        return (uint32_t)text.size() * vm::INSN_SIZE;
+    }
+
+    /** The block containing @p addr, or nullptr. */
+    const BasicBlock *blockAt(uint32_t addr) const;
+
+    /** The instruction at image-relative @p addr. */
+    const vm::Instruction &
+    insnAt(uint32_t addr) const
+    {
+        return text[addr / vm::INSN_SIZE];
+    }
+
+    size_t reachableBlocks() const;
+
+    /** Block starts reachable from the block containing @p addr,
+     * following successor (and therefore direct-call) edges. */
+    std::set<uint32_t> reachableFrom(uint32_t addr) const;
+};
+
+/** Decode @p image into its static CFG. */
+Cfg buildCfg(const vm::Image &image);
+
+} // namespace hth::analysis
+
+#endif // HTH_ANALYSIS_CFG_HH

@@ -1,0 +1,386 @@
+#include "analysis/Lint.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "clips/Sexpr.hh"
+#include "support/Logging.hh"
+
+namespace hth::analysis
+{
+
+using clips::Sexpr;
+
+namespace
+{
+
+/** One LHS pattern: template name + slot constraints. */
+struct Pattern
+{
+    std::string tmpl;
+    // Slot name -> constraint value list (usually one element).
+    std::map<std::string, std::vector<const Sexpr *>> slots;
+};
+
+struct RuleInfo
+{
+    std::string name;
+    std::vector<Pattern> patterns;
+    bool hasTestOrNot = false;
+    std::set<std::string> bound;        //!< LHS-bound variables
+    std::vector<const Sexpr *> rhs;
+};
+
+class Linter
+{
+  public:
+    std::vector<LintIssue> lint(const std::string &source);
+
+  private:
+    void error(const std::string &construct, std::string msg)
+    {
+        issues_.push_back(
+            {LintIssue::Severity::Error, construct, std::move(msg)});
+    }
+    void warn(const std::string &construct, std::string msg)
+    {
+        issues_.push_back({LintIssue::Severity::Warning, construct,
+                           std::move(msg)});
+    }
+
+    void collectTemplate(const Sexpr &form);
+    void collectRule(const Sexpr &form);
+    void collectPattern(const Sexpr &form, RuleInfo &rule,
+                        bool positive);
+    void checkSlots(const Sexpr &pattern,
+                    const std::string &construct);
+    void checkRuleRhs(const RuleInfo &rule);
+    void checkShadowing();
+
+    static bool valueEqual(const Sexpr &a, const Sexpr &b);
+    static bool isVariable(const Sexpr &s)
+    {
+        return s.kind == Sexpr::Kind::Variable ||
+               s.kind == Sexpr::Kind::MultiVar;
+    }
+
+    /** Does @p general match every fact @p specific matches? */
+    static bool subsumes(const Pattern &general,
+                         const Pattern &specific);
+
+    std::map<std::string, std::set<std::string>> templates_;
+    std::vector<RuleInfo> rules_;
+    std::vector<LintIssue> issues_;
+};
+
+bool
+Linter::valueEqual(const Sexpr &a, const Sexpr &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case Sexpr::Kind::Integer:
+        return a.intValue == b.intValue;
+      case Sexpr::Kind::Float:
+        return a.floatValue == b.floatValue;
+      case Sexpr::Kind::List:
+        if (a.items.size() != b.items.size())
+            return false;
+        for (size_t i = 0; i < a.items.size(); ++i)
+            if (!valueEqual(a.items[i], b.items[i]))
+                return false;
+        return true;
+      default:
+        return a.text == b.text;
+    }
+}
+
+void
+Linter::collectTemplate(const Sexpr &form)
+{
+    if (form.items.size() < 2 || !form.items[1].isSymbol())
+        return;
+    std::set<std::string> &slots = templates_[form.items[1].text];
+    for (size_t i = 2; i < form.items.size(); ++i) {
+        const Sexpr &item = form.items[i];
+        if (item.isList() &&
+            (item.head() == "slot" || item.head() == "multislot") &&
+            item.items.size() >= 2 && item.items[1].isSymbol())
+            slots.insert(item.items[1].text);
+    }
+}
+
+void
+Linter::checkSlots(const Sexpr &pattern,
+                   const std::string &construct)
+{
+    std::string tmpl = pattern.head();
+    auto it = templates_.find(tmpl);
+    if (it == templates_.end())
+        return; // template not declared here: nothing to check
+    for (size_t i = 1; i < pattern.items.size(); ++i) {
+        const Sexpr &slot = pattern.items[i];
+        if (!slot.isList() || slot.head().empty())
+            continue;
+        if (!it->second.count(slot.head()))
+            error(construct, "slot '" + slot.head() +
+                                 "' is not declared by template '" +
+                                 tmpl + "'");
+    }
+}
+
+void
+Linter::collectPattern(const Sexpr &form, RuleInfo &rule,
+                       bool positive)
+{
+    std::string head = form.head();
+    if (head == "declare")
+        return;
+    if (head == "test") {
+        rule.hasTestOrNot = true;
+        return;
+    }
+    if (head == "not" || head == "and" || head == "or" ||
+        head == "exists" || head == "logical") {
+        if (head == "not")
+            rule.hasTestOrNot = true;
+        // Recurse. Patterns under `not` are not positive matches
+        // (they must NOT appear), so they are excluded from the
+        // subsumption set; their variables still count as bound
+        // (lenient: avoids false unbound-variable errors).
+        bool inner = positive && head != "not";
+        for (size_t i = 1; i < form.items.size(); ++i)
+            if (form.items[i].isList())
+                collectPattern(form.items[i], rule, inner);
+        return;
+    }
+
+    // A plain template pattern.
+    checkSlots(form, rule.name);
+    Pattern pat;
+    pat.tmpl = head;
+    for (size_t i = 1; i < form.items.size(); ++i) {
+        const Sexpr &item = form.items[i];
+        if (item.isList() && !item.head().empty()) {
+            auto &values = pat.slots[item.head()];
+            for (size_t j = 1; j < item.items.size(); ++j) {
+                values.push_back(&item.items[j]);
+                if (isVariable(item.items[j]))
+                    rule.bound.insert(item.items[j].text);
+            }
+        } else if (isVariable(item)) {
+            rule.bound.insert(item.text);
+        }
+    }
+    if (positive)
+        rule.patterns.push_back(std::move(pat));
+}
+
+void
+Linter::collectRule(const Sexpr &form)
+{
+    RuleInfo rule;
+    if (form.items.size() < 2 || !form.items[1].isSymbol()) {
+        error("defrule", "defrule without a name");
+        return;
+    }
+    rule.name = form.items[1].text;
+
+    size_t i = 2;
+    if (i < form.items.size() &&
+        form.items[i].kind == Sexpr::Kind::String)
+        ++i; // doc string
+
+    // LHS until "=>".
+    bool sawArrow = false;
+    while (i < form.items.size()) {
+        const Sexpr &item = form.items[i];
+        if (item.isSymbol("=>")) {
+            sawArrow = true;
+            ++i;
+            break;
+        }
+        if (item.kind == Sexpr::Kind::Variable &&
+            i + 2 < form.items.size() &&
+            form.items[i + 1].isSymbol("<-") &&
+            form.items[i + 2].isList()) {
+            rule.bound.insert(item.text);
+            collectPattern(form.items[i + 2], rule, true);
+            i += 3;
+            continue;
+        }
+        if (item.isList())
+            collectPattern(item, rule, true);
+        ++i;
+    }
+    if (!sawArrow) {
+        error(rule.name, "defrule has no '=>'");
+        return;
+    }
+    for (; i < form.items.size(); ++i)
+        rule.rhs.push_back(&form.items[i]);
+    rules_.push_back(std::move(rule));
+}
+
+void
+Linter::checkRuleRhs(const RuleInfo &rule)
+{
+    std::set<std::string> bound = rule.bound;
+
+    // First sweep: every (bind ?x ...) anywhere on the RHS.
+    std::vector<const Sexpr *> work(rule.rhs);
+    while (!work.empty()) {
+        const Sexpr *form = work.back();
+        work.pop_back();
+        if (!form->isList())
+            continue;
+        if (form->head() == "bind" && form->items.size() >= 2 &&
+            isVariable(form->items[1]))
+            bound.insert(form->items[1].text);
+        for (const Sexpr &item : form->items)
+            if (item.isList())
+                work.push_back(&item);
+    }
+
+    // Second sweep: uses; also slot-check (assert ...) forms.
+    work = rule.rhs;
+    while (!work.empty()) {
+        const Sexpr *form = work.back();
+        work.pop_back();
+        if (isVariable(*form)) {
+            if (!bound.count(form->text))
+                error(rule.name,
+                      "variable ?" + form->text +
+                          " is used on the RHS but never bound");
+            continue;
+        }
+        if (!form->isList())
+            continue;
+        if (form->head() == "assert")
+            for (size_t i = 1; i < form->items.size(); ++i)
+                if (form->items[i].isList())
+                    checkSlots(form->items[i], rule.name);
+        for (const Sexpr &item : form->items)
+            work.push_back(&item);
+    }
+}
+
+bool
+Linter::subsumes(const Pattern &general, const Pattern &specific)
+{
+    if (general.tmpl != specific.tmpl)
+        return false;
+    for (const auto &[slot, values] : general.slots) {
+        bool allVars = true;
+        for (const Sexpr *v : values)
+            if (!isVariable(*v))
+                allVars = false;
+        if (allVars)
+            continue; // a pure-variable constraint matches anything
+        auto it = specific.slots.find(slot);
+        if (it == specific.slots.end())
+            return false; // general constrains, specific does not
+        if (it->second.size() != values.size())
+            return false;
+        for (size_t i = 0; i < values.size(); ++i)
+            if (!valueEqual(*values[i], *it->second[i]))
+                return false;
+    }
+    return true;
+}
+
+void
+Linter::checkShadowing()
+{
+    // ruleCovers(B, A): every pattern of B subsumes some pattern of
+    // A, i.e. whenever A's LHS matches, so does B's.
+    auto ruleCovers = [](const RuleInfo &b, const RuleInfo &a) {
+        if (b.patterns.empty())
+            return false;
+        for (const Pattern &pb : b.patterns) {
+            bool found = false;
+            for (const Pattern &pa : a.patterns)
+                if (subsumes(pb, pa)) {
+                    found = true;
+                    break;
+                }
+            if (!found)
+                return false;
+        }
+        return true;
+    };
+
+    for (const RuleInfo &a : rules_) {
+        for (const RuleInfo &b : rules_) {
+            if (&a == &b || b.hasTestOrNot)
+                continue;
+            // Strictly more general: B covers A but not vice versa.
+            if (ruleCovers(b, a) && !ruleCovers(a, b))
+                warn(a.name, "rule is shadowed by strictly more "
+                             "general rule '" +
+                                 b.name + "'");
+        }
+    }
+}
+
+std::vector<LintIssue>
+Linter::lint(const std::string &source)
+{
+    std::vector<Sexpr> forms;
+    try {
+        forms = clips::parseSexprs(source);
+    } catch (const std::exception &e) {
+        error("<input>", std::string("parse error: ") + e.what());
+        return std::move(issues_);
+    }
+
+    // Pass 1: declarations.
+    for (const Sexpr &form : forms)
+        if (form.head() == "deftemplate")
+            collectTemplate(form);
+
+    // Pass 2: rules and top-level asserts.
+    for (const Sexpr &form : forms) {
+        if (form.head() == "defrule")
+            collectRule(form);
+        else if (form.head() == "assert")
+            for (size_t i = 1; i < form.items.size(); ++i)
+                if (form.items[i].isList())
+                    checkSlots(form.items[i], "assert");
+    }
+
+    for (const RuleInfo &rule : rules_)
+        checkRuleRhs(rule);
+    checkShadowing();
+    return std::move(issues_);
+}
+
+} // namespace
+
+std::vector<LintIssue>
+lintPolicy(const std::string &source)
+{
+    return Linter().lint(source);
+}
+
+bool
+hasLintErrors(const std::vector<LintIssue> &issues)
+{
+    for (const LintIssue &issue : issues)
+        if (issue.isError())
+            return true;
+    return false;
+}
+
+std::string
+lintToString(const std::vector<LintIssue> &issues)
+{
+    std::ostringstream os;
+    for (const LintIssue &issue : issues)
+        os << (issue.isError() ? "error" : "warning") << " ["
+           << issue.construct << "]: " << issue.message << "\n";
+    return os.str();
+}
+
+} // namespace hth::analysis

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Policy-rule linter for Secpert CLIPS rules.
+ *
+ * Built on the clips::Sexpr reader; checks rule files before they
+ * are loaded into the engine:
+ *
+ *  - error: a variable used on a rule's RHS that is bound neither by
+ *    an LHS pattern, a fact-address (`?f <-`), a deffunction
+ *    parameter, nor any `(bind ...)` on the RHS;
+ *  - error: a pattern or RHS `(assert ...)` naming a slot that the
+ *    referenced deftemplate does not declare;
+ *  - warning: a rule shadowed by a strictly-more-general rule (every
+ *    pattern of the general rule subsumes one of the shadowed
+ *    rule's, and the general rule adds no test/not conditions).
+ *
+ * Templates not declared in the linted source are skipped by the
+ * slot check, so rule fragments can be linted standalone.
+ */
+
+#ifndef HTH_ANALYSIS_LINT_HH
+#define HTH_ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace hth::analysis
+{
+
+/** One linter diagnostic. */
+struct LintIssue
+{
+    enum class Severity
+    {
+        Warning,
+        Error,
+    };
+
+    Severity severity = Severity::Error;
+    std::string construct;  //!< rule / template the issue is in
+    std::string message;
+
+    bool isError() const { return severity == Severity::Error; }
+};
+
+/** Lint @p source (any mix of CLIPS constructs). */
+std::vector<LintIssue> lintPolicy(const std::string &source);
+
+/** True when any issue is an error. */
+bool hasLintErrors(const std::vector<LintIssue> &issues);
+
+/** Render issues for terminal output. */
+std::string lintToString(const std::vector<LintIssue> &issues);
+
+} // namespace hth::analysis
+
+#endif // HTH_ANALYSIS_LINT_HH

@@ -40,6 +40,7 @@ Hth::monitor(const std::string &path,
     Report report;
     report.status = kernel_->run(options_.maxTicks);
     report.warnings = secpert_->warnings();
+    report.staticFindings = secpert_->staticFindings();
     report.transcript = secpert_->transcript();
     report.stdoutData = proc.stdoutData;
     report.exitCode = proc.exitCode;

@@ -54,6 +54,12 @@ struct Report
 {
     os::RunStatus status = os::RunStatus::Done;
     std::vector<secpert::Warning> warnings;
+
+    /** Load-time static pre-screening results (untrusted images).
+     * Findings are facts, not warnings: they only raise warnings
+     * when a hybrid rule combines them with dynamic evidence. */
+    std::vector<secpert::StaticFinding> staticFindings;
+
     std::string transcript;        //!< paper-style rule output
     std::string stdoutData;        //!< the monitored program's stdout
     int exitCode = 0;

@@ -79,6 +79,24 @@ struct ResourceIoEvent
     uint32_t length = 0;
 };
 
+/**
+ * A static-analysis finding reported at image-load time.
+ *
+ * Carries plain strings so the sink does not depend on the analysis
+ * subsystem; `kind` and `level` use the analysis fact symbols
+ * ("MAGIC_GUARD", ... / 0=info .. 3=high).
+ */
+struct StaticFindingEvent
+{
+    std::string imagePath;      //!< image the finding is about
+    std::string kind;           //!< "MAGIC_GUARD", "DORMANT_SYSCALL", ...
+    int level = 0;              //!< 0 info, 1 low, 2 medium, 3 high
+    uint32_t address = 0;       //!< image-relative site
+    std::string syscall;        //!< "SYS_execve", ... (may be empty)
+    std::string resource;       //!< recovered argument string
+    std::string detail;
+};
+
 /** Receiver of Harrier events (implemented by Secpert). */
 class EventSink
 {
@@ -86,6 +104,12 @@ class EventSink
     virtual ~EventSink() = default;
     virtual void onResourceAccess(const ResourceAccessEvent &ev) = 0;
     virtual void onResourceIo(const ResourceIoEvent &ev) = 0;
+
+    /** Load-time static pre-screening result (default: ignore). */
+    virtual void onStaticFinding(const StaticFindingEvent &ev)
+    {
+        (void)ev;
+    }
 };
 
 } // namespace hth::harrier

@@ -1,5 +1,6 @@
 #include "harrier/Harrier.hh"
 
+#include "analysis/Analyzer.hh"
 #include "os/Libc.hh"
 #include "support/Logging.hh"
 
@@ -27,6 +28,36 @@ Harrier::ProcMon &
 Harrier::monOf(const os::Process &p)
 {
     return procs_[p.pid];
+}
+
+//
+// Load-time static pre-screening
+//
+
+void
+Harrier::imageLoaded(vm::Machine &m, const vm::LoadedImage &img)
+{
+    (void)m;
+    if (!config_.staticAnalysis || !img.image)
+        return;
+    const vm::Image *key = img.image.get();
+    if (!analyzedImages_.insert(key).second)
+        return; // each distinct image is screened once
+    ++stats_.imagesAnalyzed;
+
+    analysis::StaticReport report = analysis::analyzeImage(*key);
+    stats_.staticFindings += report.findings.size();
+    for (const analysis::Finding &f : report.findings) {
+        StaticFindingEvent ev;
+        ev.imagePath = report.imagePath;
+        ev.kind = analysis::kindName(f.kind);
+        ev.level = (int)f.level;
+        ev.address = f.address;
+        ev.syscall = f.syscall;
+        ev.resource = f.resource;
+        ev.detail = f.detail;
+        sink_.onStaticFinding(ev);
+    }
 }
 
 //

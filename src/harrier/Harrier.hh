@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,10 @@ struct HarrierConfig
 
     /** Forward read events (writes always forwarded). */
     bool forwardReads = true;
+
+    /** Run the static pre-screening analyzer on each image the
+     * first time it is mapped, and forward its findings. */
+    bool staticAnalysis = true;
 };
 
 /** Monitor statistics (performance evaluation §9). */
@@ -54,6 +59,8 @@ struct HarrierStats
     uint64_t accessEvents = 0;
     uint64_t ioEvents = 0;
     uint64_t shortCircuits = 0;
+    uint64_t imagesAnalyzed = 0;
+    uint64_t staticFindings = 0;
 };
 
 /** The run-time monitor. */
@@ -66,6 +73,8 @@ class Harrier : public vm::Instrumentor, public os::Monitor
     void attach(os::Kernel &kernel);
 
     /** @name vm::Instrumentor @{ */
+    void imageLoaded(vm::Machine &m,
+                     const vm::LoadedImage &img) override;
     void basicBlock(vm::Machine &m, uint32_t pc) override;
     /** @} */
 
@@ -105,6 +114,9 @@ class Harrier : public vm::Instrumentor, public os::Monitor
     os::Kernel *kernel_ = nullptr;
     std::map<int, ProcMon> procs_;
     std::unordered_map<const vm::Machine *, int> machinePids_;
+
+    /** Images already pre-screened (one analysis per Image). */
+    std::set<const vm::Image *> analyzedImages_;
     HarrierStats stats_;
 };
 

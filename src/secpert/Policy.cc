@@ -24,6 +24,7 @@ policyDeclarations()
 ;;; ---- HTH event templates (paper section 6.1.2) -------------------
 (deftemplate system_call_access
   (slot pid)
+  (slot binary (default ""))
   (slot system_call_name)
   (multislot resource_name)
   (multislot resource_type)
@@ -38,6 +39,7 @@ policyDeclarations()
 
 (deftemplate system_call_io
   (slot pid)
+  (slot binary (default ""))
   (slot system_call_name)
   (slot direction)
   (slot source_name (default ""))
@@ -69,6 +71,24 @@ policyDeclarations()
 ;;; files observed being written with network data. These facts
 ;;; persist across monitored executions within one Secpert session.
 (deftemplate downloaded_file (slot name))
+
+;;; Static pre-screening findings: asserted by Secpert at image-load
+;;; time and, unlike the one-shot event facts, never retracted by the
+;;; engine sweep, so hybrid rules can join them with later dynamic
+;;; events. level: 0 info, 1 low, 2 medium, 3 high.
+(deftemplate static_finding
+  (slot image)
+  (slot kind)
+  (slot level (default 0))
+  (slot address (default 0))
+  (slot syscall (default NONE))
+  (slot resource (default ""))
+  (slot detail (default "")))
+
+;;; Marker so a hybrid static+dynamic rule warns once per image.
+(deftemplate static_warned
+  (slot image)
+  (slot kind))
 
 ;;; Thresholds; Secpert overrides these from PolicyConfig.
 (defglobal ?*RARE_FREQUENCY* = 3
@@ -350,6 +370,30 @@ policyRules()
             "from the network: " ?f crlf)
   (hth-warn 3 "exec_downloaded" ?pid
     (str-cat "executing downloaded file " ?f)))
+
+;;; ---- Hybrid static + dynamic (static pre-screening pass) -----------
+;;; A magic-byte guard found statically is only suspicious once the
+;;; program actually starts reading from the network: the dormant
+;;; backdoor is now one received byte away from its trigger. Neither
+;;; half warns on its own.
+(defrule static_backdoor_guard
+  "statically flagged magic-byte guard + live network read"
+  (declare (salience 5))
+  (static_finding (image ?img) (kind MAGIC_GUARD) (level ?lvl)
+                  (address ?addr) (detail ?detail))
+  (system_call_io (pid ?pid) (binary ?img) (direction READ)
+                  (source_type SOCKET))
+  (not (static_warned (image ?img) (kind MAGIC_GUARD)))
+  (test (>= ?lvl 2))
+  =>
+  (assert (static_warned (image ?img) (kind MAGIC_GUARD)))
+  (print-warning 2)
+  (printout t "Statically flagged magic-byte guard in " ?img
+            " is now reading from the network" crlf
+            ?*TAB* ?detail crlf)
+  (hth-warn 2 "static_backdoor_guard" ?pid
+    (str-cat "statically flagged guard at " ?addr " in " ?img
+             " combined with a live network read")))
 
 ;;; ---- Information flow (section 4.3) --------------------------------
 )CLP";

@@ -176,12 +176,55 @@ Secpert::runEngine()
 }
 
 void
+Secpert::onStaticFinding(const harrier::StaticFindingEvent &ev)
+{
+    // The static pass screens everything the loader maps, including
+    // the simulated libc; findings about trusted binaries are noise.
+    if (trustedBinary(ev.imagePath))
+        return;
+    std::string key = ev.imagePath + "\x1f" + ev.kind + "\x1f" +
+                      std::to_string(ev.address);
+    if (!staticFindingKeys_.insert(key).second)
+        return;
+    ++stats_.staticFindings;
+
+    StaticFinding f;
+    f.image = ev.imagePath;
+    f.kind = ev.kind;
+    f.level = ev.level;
+    f.address = ev.address;
+    f.syscall = ev.syscall;
+    f.resource = ev.resource;
+    f.detail = ev.detail;
+    staticFindings_.push_back(f);
+
+    // Assert a persistent fact; unlike dynamic events it survives
+    // runEngine()'s retraction sweep, so rules can later combine it
+    // with run-time evidence. No resolution fact is asserted and the
+    // engine is not run: a static finding alone never warns.
+    env_.assertFact(
+        "static_finding",
+        {
+            {"image", Value::str(f.image)},
+            {"kind", Value::sym(f.kind)},
+            {"level", Value::integer(f.level)},
+            {"address", Value::integer((int64_t)f.address)},
+            {"syscall",
+             f.syscall.empty() ? Value::sym("NONE")
+                               : Value::sym(f.syscall)},
+            {"resource", Value::str(f.resource)},
+            {"detail", Value::str(f.detail)},
+        });
+}
+
+void
 Secpert::onResourceAccess(const harrier::ResourceAccessEvent &ev)
 {
     env_.assertFact(
         "system_call_access",
         {
             {"pid", Value::integer(ev.ctx.pid)},
+            {"binary", Value::str(ev.ctx.binaryPath)},
             {"system_call_name", Value::sym(ev.syscall)},
             {"resource_name", Value::str(ev.resName)},
             {"resource_type",
@@ -206,6 +249,7 @@ Secpert::onResourceIo(const harrier::ResourceIoEvent &ev)
         "system_call_io",
         {
             {"pid", Value::integer(ev.ctx.pid)},
+            {"binary", Value::str(ev.ctx.binaryPath)},
             {"system_call_name", Value::sym(ev.syscall)},
             {"direction", Value::sym(ev.isWrite ? "WRITE" : "READ")},
             {"source_name", Value::str(ev.source.name)},
@@ -283,6 +327,8 @@ void
 Secpert::reset()
 {
     warnings_.clear();
+    staticFindings_.clear();
+    staticFindingKeys_.clear();
     out_.str("");
     env_.clearFacts();
     env_.assertString("(system_call_name (name SYS_execve))");

@@ -13,6 +13,7 @@
 #ifndef HTH_SECPERT_SECPERT_HH
 #define HTH_SECPERT_SECPERT_HH
 
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,6 +32,24 @@ struct SecpertStats
     uint64_t eventsAnalyzed = 0;
     uint64_t rulesFired = 0;
     uint64_t warningsSuppressed = 0;
+    uint64_t staticFindings = 0;
+};
+
+/**
+ * One static pre-screening finding Secpert accepted (untrusted
+ * image, not a duplicate). Also asserted as a persistent
+ * `static_finding` fact so hybrid rules can join it with dynamic
+ * events.
+ */
+struct StaticFinding
+{
+    std::string image;      //!< image path
+    std::string kind;       //!< "MAGIC_GUARD", ...
+    int level = 0;          //!< 0 info, 1 low, 2 medium, 3 high
+    uint32_t address = 0;   //!< image-relative site
+    std::string syscall;
+    std::string resource;
+    std::string detail;
 };
 
 /** The security expert. */
@@ -43,10 +62,19 @@ class Secpert : public harrier::EventSink
     void onResourceAccess(const harrier::ResourceAccessEvent &ev)
         override;
     void onResourceIo(const harrier::ResourceIoEvent &ev) override;
+    void onStaticFinding(const harrier::StaticFindingEvent &ev)
+        override;
     /** @} */
 
     /** Warnings raised so far, in order. */
     const std::vector<Warning> &warnings() const { return warnings_; }
+
+    /** Accepted static pre-screening findings (untrusted images). */
+    const std::vector<StaticFinding> &
+    staticFindings() const
+    {
+        return staticFindings_;
+    }
 
     /** The paper-style textual output of the fired rules. */
     std::string transcript() const { return out_.str(); }
@@ -101,6 +129,8 @@ class Secpert : public harrier::EventSink
     clips::Environment env_;
     std::ostringstream out_;
     std::vector<Warning> warnings_;
+    std::vector<StaticFinding> staticFindings_;
+    std::set<std::string> staticFindingKeys_;   //!< dedup
     std::vector<std::pair<std::string, std::string>> suppressions_;
     SecpertStats stats_;
 };

@@ -136,6 +136,10 @@ class Machine
      *
      * @param resource the BINARY resource id assigned by the OS.
      */
+    /**
+     * The returned reference stays valid across later loadImage
+     * calls (images live in a deque).
+     */
     const LoadedImage &loadImage(std::shared_ptr<const Image> image,
                                  taint::ResourceId resource,
                                  uint32_t base = 0);
@@ -146,7 +150,7 @@ class Machine
     /** The main executable (first non-shared image), or nullptr. */
     const LoadedImage *appImage() const;
 
-    const std::vector<LoadedImage> &images() const { return images_; }
+    const std::deque<LoadedImage> &images() const { return images_; }
 
     /** Absolute address of an exported symbol across all images. */
     uint32_t resolveSymbol(const std::string &name) const;
@@ -229,7 +233,9 @@ class Machine
 
     GuestMemory mem_;
     taint::ShadowMemory shadow_;
-    std::vector<LoadedImage> images_;
+    /** Deque: loadImage hands out references that must survive
+     * later loads appending to this container. */
+    std::deque<LoadedImage> images_;
     uint32_t nextSoBase_ = SO_BASE;
 
     Instrumentor *instrumentor_ = nullptr;

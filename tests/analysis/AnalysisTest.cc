@@ -1,0 +1,561 @@
+/**
+ * @file
+ * Tests for the static pre-screening subsystem: the CFG builder, the
+ * dataflow analyzer, the policy linter and the hybrid
+ * static+dynamic rules wired through Secpert.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "analysis/Analyzer.hh"
+#include "analysis/Cfg.hh"
+#include "analysis/Lint.hh"
+#include "os/Syscalls.hh"
+#include "secpert/Policy.hh"
+#include "secpert/Secpert.hh"
+#include "vm/TextAsm.hh"
+#include "workloads/Exploits.hh"
+#include "workloads/GuestLib.hh"
+#include "workloads/Macro.hh"
+#include "workloads/Micro.hh"
+#include "workloads/Trusted.hh"
+
+namespace hth
+{
+namespace
+{
+
+using analysis::Cfg;
+using analysis::Finding;
+using analysis::Kind;
+using analysis::Level;
+using analysis::LintIssue;
+using analysis::StaticReport;
+using vm::Reg;
+using workloads::Gasm;
+using workloads::Scenario;
+
+Cfg
+cfgOf(const std::string &src)
+{
+    return analysis::buildCfg(*vm::assemble("/test/prog", src));
+}
+
+StaticReport
+analyze(const std::string &src)
+{
+    return analysis::analyzeImage(*vm::assemble("/test/prog", src));
+}
+
+const Finding *
+findingOf(const StaticReport &r, Kind kind)
+{
+    for (const Finding &f : r.findings)
+        if (f.kind == kind)
+            return &f;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------
+// CFG construction
+// ---------------------------------------------------------------
+
+TEST(Cfg, ConditionalSplitsBlocksAndFallsThrough)
+{
+    Cfg cfg = cfgOf(R"(
+        .entry main
+        main:
+            movi eax, 1
+            cmpi eax, 0
+            jz   done
+            addi eax, 1
+        done:
+            halt
+    )");
+    // Three blocks: [main..jz], the fallthrough addi, and done.
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    const analysis::BasicBlock &head = cfg.blocks.at(0);
+    EXPECT_EQ(head.end, 12u);
+    ASSERT_EQ(head.succs.size(), 2u);
+    // Branch target (done @16) and fallthrough (addi @12).
+    EXPECT_NE(std::find(head.succs.begin(), head.succs.end(), 16u),
+              head.succs.end());
+    EXPECT_NE(std::find(head.succs.begin(), head.succs.end(), 12u),
+              head.succs.end());
+
+    const analysis::BasicBlock &done = cfg.blocks.at(16);
+    EXPECT_EQ(done.preds.size(), 2u);
+    for (const auto &[start, bb] : cfg.blocks)
+        EXPECT_TRUE(bb.reachable) << "block @" << start;
+}
+
+TEST(Cfg, LoopBackEdgePointsAtOwnBlock)
+{
+    Cfg cfg = cfgOf(R"(
+        .entry main
+        main:
+            movi ecx, 3
+        loop:
+            addi ecx, -1
+            cmpi ecx, 0
+            jnz  loop
+            halt
+    )");
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    const analysis::BasicBlock &loop = cfg.blocks.at(4);
+    EXPECT_NE(std::find(loop.succs.begin(), loop.succs.end(), 4u),
+              loop.succs.end());
+    EXPECT_NE(std::find(loop.preds.begin(), loop.preds.end(), 4u),
+              loop.preds.end());
+}
+
+TEST(Cfg, UnreachableBlockIsMarked)
+{
+    Cfg cfg = cfgOf(R"(
+        .entry main
+        main:
+            movi eax, 1
+            jmp  done
+        dead:
+            movi eax, 2
+        done:
+            halt
+    )");
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    EXPECT_TRUE(cfg.blocks.at(0).reachable);
+    EXPECT_FALSE(cfg.blocks.at(8).reachable);
+    EXPECT_TRUE(cfg.blocks.at(12).reachable);
+    EXPECT_EQ(cfg.reachableBlocks(), 2u);
+}
+
+TEST(Cfg, ImportCallRecordedWithFallthrough)
+{
+    Cfg cfg = cfgOf(R"(
+        .entry main
+        main:
+            callimport getenv
+            halt
+    )");
+    ASSERT_EQ(cfg.externCalls.size(), 1u);
+    EXPECT_EQ(cfg.externCalls[0].name, "getenv");
+    EXPECT_FALSE(cfg.externCalls[0].native);
+    EXPECT_EQ(cfg.externCalls[0].site, 0u);
+    // The CallSym ends its block; execution resumes at halt.
+    const analysis::BasicBlock &head = cfg.blocks.at(0);
+    ASSERT_EQ(head.succs.size(), 1u);
+    EXPECT_EQ(head.succs[0], 4u);
+}
+
+TEST(Cfg, DirectCallBuildsCallGraphEdge)
+{
+    Cfg cfg = cfgOf(R"(
+        .entry main
+        main:
+            call fn
+            halt
+        fn:
+            ret
+    )");
+    ASSERT_EQ(cfg.calls.size(), 1u);
+    EXPECT_EQ(cfg.calls[0].site, 0u);
+    EXPECT_EQ(cfg.calls[0].target, 8u);
+    // Reachability follows the call edge.
+    EXPECT_TRUE(cfg.blocks.at(8).reachable);
+}
+
+// ---------------------------------------------------------------
+// Dataflow analyzer
+// ---------------------------------------------------------------
+
+TEST(Analyzer, MagicGuardBackdoorFlaggedAtMedium)
+{
+    Gasm a("/test/backdoor");
+    a.dataString("prog", "/bin/sh");
+    a.dataSpace("buf", 32);
+    a.label("main");
+    a.entry("main");
+    a.sockCreate();
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.leaSym(Reg::Edx, "buf");
+    a.sockRecv(Reg::Ebp, Reg::Edx, 32);
+    a.leaSym(Reg::Esi, "buf");
+    a.loadb(Reg::Eax, Reg::Esi, 0);
+    a.cmpi(Reg::Eax, 'k');
+    a.jnz("refuse");
+    a.execveSym("prog");
+    a.label("refuse");
+    a.exit(0);
+
+    StaticReport r = analysis::analyzeImage(*a.build());
+    const Finding *f = findingOf(r, Kind::MagicGuard);
+    ASSERT_NE(f, nullptr) << analysis::reportToString(r);
+    EXPECT_EQ(f->level, Level::Medium);
+    EXPECT_NE(f->detail.find("'k'"), std::string::npos) << f->detail;
+    EXPECT_NE(f->detail.find("SYS_execve"), std::string::npos)
+        << f->detail;
+
+    // The hard-coded execve argument is also recovered.
+    const Finding *s = findingOf(r, Kind::StaticSyscall);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->resource, "/bin/sh");
+}
+
+TEST(Analyzer, CompareOfNonNetworkInputIsNotAMagicGuard)
+{
+    // Same shape, but the compared byte comes from a read(2) of
+    // stdin, not a socket recv — e.g. make checking its input.
+    Gasm a("/test/clean");
+    a.dataString("prog", "/bin/true");
+    a.dataSpace("buf", 16);
+    a.label("main");
+    a.entry("main");
+    a.movi(Reg::Ebx, 0);
+    a.leaSym(Reg::Ecx, "buf");
+    a.movi(Reg::Edx, 16);
+    a.sysc(os::NR_read);
+    a.leaSym(Reg::Esi, "buf");
+    a.loadb(Reg::Eax, Reg::Esi, 0);
+    a.cmpi(Reg::Eax, 'c');
+    a.jz("skip");
+    a.execveSym("prog");
+    a.label("skip");
+    a.exit(0);
+
+    StaticReport r = analysis::analyzeImage(*a.build());
+    EXPECT_EQ(findingOf(r, Kind::MagicGuard), nullptr)
+        << analysis::reportToString(r);
+    EXPECT_FALSE(r.flagged(Level::Medium))
+        << analysis::reportToString(r);
+}
+
+TEST(Analyzer, DormantExecveInUnreachableCode)
+{
+    StaticReport r = analyze(R"(
+        .data prog "/bin/sh"
+        .entry main
+        main:
+            movi eax, 99
+            halt
+        dead:
+            movi eax, 11
+            lea  ebx, prog
+            movi ecx, 0
+            int80
+    )");
+    const Finding *f = findingOf(r, Kind::DormantSyscall);
+    ASSERT_NE(f, nullptr) << analysis::reportToString(r);
+    EXPECT_EQ(f->level, Level::Medium);
+    EXPECT_EQ(f->syscall, "SYS_execve");
+    EXPECT_EQ(f->resource, "/bin/sh");
+    EXPECT_NE(findingOf(r, Kind::UnreachableCode), nullptr);
+}
+
+TEST(Analyzer, StackImbalanceAtRet)
+{
+    StaticReport r = analyze(R"(
+        .entry main
+        main:
+            call fn
+            halt
+        fn:
+            push eax
+            ret
+    )");
+    const Finding *f = findingOf(r, Kind::StackImbalance);
+    ASSERT_NE(f, nullptr) << analysis::reportToString(r);
+    EXPECT_EQ(f->level, Level::Low);
+}
+
+TEST(Analyzer, BalancedFunctionIsClean)
+{
+    StaticReport r = analyze(R"(
+        .entry main
+        main:
+            call fn
+            halt
+        fn:
+            push eax
+            pop  eax
+            ret
+    )");
+    EXPECT_EQ(findingOf(r, Kind::StackImbalance), nullptr)
+        << analysis::reportToString(r);
+}
+
+TEST(Analyzer, JumpIntoDataSectionFlagged)
+{
+    StaticReport r = analyze(R"(
+        .data payload "xyz"
+        .entry main
+        main:
+            jmp payload
+    )");
+    const Finding *f = findingOf(r, Kind::JumpOutOfText);
+    ASSERT_NE(f, nullptr) << analysis::reportToString(r);
+    EXPECT_EQ(f->level, Level::Medium);
+}
+
+TEST(Analyzer, RecoversSyscallNumbersAcrossBlocks)
+{
+    // The exit(0) syscall number is set before a branch; the int80
+    // sits in a later block — constants must survive the join.
+    StaticReport r = analyze(R"(
+        .entry main
+        main:
+            movi eax, 1
+            movi ebx, 0
+            cmpi ebx, 0
+            jz   leave
+            nop
+        leave:
+            int80
+    )");
+    ASSERT_EQ(r.syscalls.size(), 1u);
+    EXPECT_EQ(r.syscalls[0].name, "SYS_exit");
+}
+
+// ---------------------------------------------------------------
+// Policy linter
+// ---------------------------------------------------------------
+
+TEST(Lint, UnboundRhsVariableIsError)
+{
+    auto issues = analysis::lintPolicy(
+        "(defrule broken (dummy) => (printout t ?oops crlf))");
+    ASSERT_TRUE(analysis::hasLintErrors(issues))
+        << analysis::lintToString(issues);
+    bool mentioned = false;
+    for (const LintIssue &i : issues)
+        if (i.isError() &&
+            i.message.find("?oops") != std::string::npos)
+            mentioned = true;
+    EXPECT_TRUE(mentioned) << analysis::lintToString(issues);
+}
+
+TEST(Lint, BindOnRhsSatisfiesLaterUses)
+{
+    auto issues = analysis::lintPolicy(
+        "(defrule ok (dummy)\n"
+        " => (bind ?n 1) (printout t ?n crlf))");
+    EXPECT_FALSE(analysis::hasLintErrors(issues))
+        << analysis::lintToString(issues);
+}
+
+TEST(Lint, UnknownSlotIsError)
+{
+    auto issues = analysis::lintPolicy(
+        "(deftemplate foo (slot x))\n"
+        "(defrule r (foo (y 1)) => (printout t \"hi\" crlf))");
+    EXPECT_TRUE(analysis::hasLintErrors(issues))
+        << analysis::lintToString(issues);
+}
+
+TEST(Lint, UndeclaredTemplateSkipsSlotCheck)
+{
+    // Rule fragments reference engine-declared templates; without
+    // the declarations the slot names must not be flagged.
+    auto issues = analysis::lintPolicy(
+        "(defrule r (some_template (whatever 1))\n"
+        " => (printout t \"hi\" crlf))");
+    EXPECT_FALSE(analysis::hasLintErrors(issues))
+        << analysis::lintToString(issues);
+}
+
+TEST(Lint, ShadowedRuleWarned)
+{
+    auto issues = analysis::lintPolicy(
+        "(deftemplate foo (slot x))\n"
+        "(defrule specific (foo (x 1))\n"
+        " => (printout t \"a\" crlf))\n"
+        "(defrule general (foo (x ?v))\n"
+        " => (printout t \"b\" crlf))");
+    EXPECT_FALSE(analysis::hasLintErrors(issues))
+        << analysis::lintToString(issues);
+    bool warned = false;
+    for (const LintIssue &i : issues)
+        if (!i.isError() && i.construct == "specific" &&
+            i.message.find("general") != std::string::npos)
+            warned = true;
+    EXPECT_TRUE(warned) << analysis::lintToString(issues);
+}
+
+TEST(Lint, GuardedGeneralRuleDoesNotShadow)
+{
+    // The general rule adds a test CE, so it is not strictly more
+    // general — no warning.
+    auto issues = analysis::lintPolicy(
+        "(deftemplate foo (slot x))\n"
+        "(defrule specific (foo (x 1))\n"
+        " => (printout t \"a\" crlf))\n"
+        "(defrule general (foo (x ?v)) (test (> ?v 5))\n"
+        " => (printout t \"b\" crlf))");
+    for (const LintIssue &i : issues)
+        EXPECT_TRUE(i.isError() ||
+                    i.message.find("shadow") == std::string::npos)
+            << analysis::lintToString(issues);
+}
+
+TEST(Lint, ShippedPolicyIsClean)
+{
+    auto issues = analysis::lintPolicy(secpert::policyDeclarations() +
+                                       secpert::policyRules());
+    EXPECT_FALSE(analysis::hasLintErrors(issues))
+        << analysis::lintToString(issues);
+    EXPECT_TRUE(issues.empty()) << analysis::lintToString(issues);
+}
+
+// ---------------------------------------------------------------
+// Hybrid static+dynamic rules through Secpert
+// ---------------------------------------------------------------
+
+harrier::StaticFindingEvent
+magicGuardFinding(const std::string &image)
+{
+    harrier::StaticFindingEvent ev;
+    ev.imagePath = image;
+    ev.kind = "MAGIC_GUARD";
+    ev.level = 2;
+    ev.address = 64;
+    ev.detail = "received bytes compared against constant 'p'";
+    return ev;
+}
+
+harrier::ResourceIoEvent
+socketRead(const std::string &binary)
+{
+    harrier::ResourceIoEvent ev;
+    ev.ctx.pid = 7;
+    ev.ctx.binaryPath = binary;
+    ev.syscall = "SYS_recv";
+    ev.isWrite = false;
+    ev.source = {taint::SourceType::Socket, "remote:6667"};
+    ev.targetName = binary;
+    ev.targetType = taint::SourceType::Binary;
+    return ev;
+}
+
+TEST(Hybrid, StaticFindingAloneNeverWarns)
+{
+    secpert::Secpert sec;
+    sec.onStaticFinding(magicGuardFinding("/apps/bd"));
+    EXPECT_TRUE(sec.warnings().empty());
+    ASSERT_EQ(sec.staticFindings().size(), 1u);
+    EXPECT_EQ(sec.staticFindings()[0].kind, "MAGIC_GUARD");
+}
+
+TEST(Hybrid, DynamicEventAloneDoesNotFireBackdoorRule)
+{
+    secpert::Secpert sec;
+    sec.onResourceIo(socketRead("/apps/bd"));
+    for (const secpert::Warning &w : sec.warnings())
+        EXPECT_NE(w.rule, "static_backdoor_guard");
+}
+
+TEST(Hybrid, CombinationFiresBackdoorRuleOnce)
+{
+    secpert::Secpert sec;
+    sec.onStaticFinding(magicGuardFinding("/apps/bd"));
+    sec.onResourceIo(socketRead("/apps/bd"));
+    // Repeated reads must not duplicate the warning.
+    sec.onResourceIo(socketRead("/apps/bd"));
+
+    size_t fired = 0;
+    for (const secpert::Warning &w : sec.warnings())
+        if (w.rule == "static_backdoor_guard") {
+            ++fired;
+            EXPECT_EQ(w.severity, secpert::Severity::Medium);
+            EXPECT_NE(w.message.find("/apps/bd"),
+                      std::string::npos);
+        }
+    EXPECT_EQ(fired, 1u);
+}
+
+TEST(Hybrid, MismatchedBinaryDoesNotJoin)
+{
+    secpert::Secpert sec;
+    sec.onStaticFinding(magicGuardFinding("/apps/bd"));
+    sec.onResourceIo(socketRead("/apps/other"));
+    for (const secpert::Warning &w : sec.warnings())
+        EXPECT_NE(w.rule, "static_backdoor_guard");
+}
+
+TEST(Hybrid, TrustedImageFindingsAreDropped)
+{
+    secpert::Secpert sec;
+    sec.onStaticFinding(magicGuardFinding("/lib/tls/libc.so.6"));
+    EXPECT_TRUE(sec.staticFindings().empty());
+    sec.onResourceIo(socketRead("/lib/tls/libc.so.6"));
+    for (const secpert::Warning &w : sec.warnings())
+        EXPECT_NE(w.rule, "static_backdoor_guard");
+}
+
+TEST(Hybrid, DuplicateFindingsDeduplicated)
+{
+    secpert::Secpert sec;
+    sec.onStaticFinding(magicGuardFinding("/apps/bd"));
+    sec.onStaticFinding(magicGuardFinding("/apps/bd"));
+    EXPECT_EQ(sec.staticFindings().size(), 1u);
+}
+
+// ---------------------------------------------------------------
+// End-to-end: scenarios
+// ---------------------------------------------------------------
+
+TEST(EndToEnd, PmaBackdoorFlaggedAtLoadTimeAndHybridRuleFires)
+{
+    for (const Scenario &s : workloads::exploitScenarios()) {
+        if (s.id != "pma")
+            continue;
+        workloads::ScenarioResult r = workloads::runScenario(s);
+
+        // The magic-password guard is visible before execution.
+        bool flagged = false;
+        for (const secpert::StaticFinding &f : r.report.staticFindings)
+            if (f.kind == "MAGIC_GUARD" && f.level >= 2)
+                flagged = true;
+        EXPECT_TRUE(flagged) << "pma magic guard not found statically";
+
+        // ... and combines with the live socket read at run time.
+        EXPECT_GE(r.report.countByRule("static_backdoor_guard"), 1u);
+
+        // The paper's dynamic verdict is unchanged.
+        EXPECT_TRUE(r.correct);
+        return;
+    }
+    FAIL() << "pma scenario missing";
+}
+
+TEST(EndToEnd, CleanWorkloadsHaveNoMediumStaticFindings)
+{
+    std::vector<Scenario> all;
+    for (auto &list : {workloads::executionFlowScenarios(),
+                       workloads::resourceAbuseScenarios(),
+                       workloads::infoFlowScenarios(),
+                       workloads::macroScenarios(),
+                       workloads::trustedProgramScenarios()})
+        for (const Scenario &s : list)
+            if (!s.expectMalicious)
+                all.push_back(s);
+    ASSERT_FALSE(all.empty());
+
+    for (const Scenario &s : all) {
+        workloads::ScenarioResult r = workloads::runScenario(s);
+        for (const secpert::StaticFinding &f :
+             r.report.staticFindings)
+            EXPECT_LT(f.level, 2)
+                << s.id << ": " << f.kind << " @" << f.address
+                << " in " << f.image << " (" << f.detail << ")";
+    }
+}
+
+} // namespace
+} // namespace hth
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
