@@ -41,6 +41,8 @@ struct RecordingInstrumentor : Instrumentor
         pendingBb = true;
     }
 
+    bool wantsInstructions() const override { return true; }
+
     void
     instruction(Machine &, const Instruction &insn, uint32_t) override
     {

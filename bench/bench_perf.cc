@@ -67,8 +67,16 @@ makeComputeGuest(int iterations)
 
 constexpr int GUEST_ITERS = 5000;
 
-/** Run the guest; returns executed guest instructions. */
-uint64_t
+/** Aggregated VM statistics from one guest execution. */
+struct GuestRun
+{
+    uint64_t instructions = 0;
+    uint64_t blockCacheHits = 0;
+    uint64_t blockCacheMisses = 0;
+};
+
+/** Run the guest; returns executed instructions + cache behaviour. */
+GuestRun
 runGuest(bool monitored, bool taint)
 {
     HthOptions options;
@@ -82,42 +90,55 @@ runGuest(bool monitored, bool taint)
     auto image = makeComputeGuest(GUEST_ITERS);
     hth.kernel().vfs().addBinary(image->path, image);
     hth.monitor(image->path, {image->path});
-    uint64_t instructions = 0;
-    for (const auto &p : hth.kernel().processes())
-        instructions += p->machine.stats().instructions;
-    return instructions;
+    GuestRun run;
+    for (const auto &p : hth.kernel().processes()) {
+        const vm::MachineStats &st = p->machine.stats();
+        run.instructions += st.instructions;
+        run.blockCacheHits += st.blockCacheHits;
+        run.blockCacheMisses += st.blockCacheMisses;
+    }
+    return run;
+}
+
+/** Shared body of the three VM benches. */
+void
+runVmBench(benchmark::State &state, bool monitored, bool taint)
+{
+    GuestRun total;
+    for (auto _ : state) {
+        GuestRun run = runGuest(monitored, taint);
+        total.instructions += run.instructions;
+        total.blockCacheHits += run.blockCacheHits;
+        total.blockCacheMisses += run.blockCacheMisses;
+    }
+    state.counters["guest_insns/s"] = benchmark::Counter(
+        (double)total.instructions, benchmark::Counter::kIsRate);
+    // Decoded-block cache efficiency: hits / (hits + misses). The
+    // cached-vs-uncached dispatch ratio of the PIN-style code cache.
+    state.counters["bb_cache_hit%"] =
+        100.0 * (double)total.blockCacheHits /
+        (double)std::max<uint64_t>(
+            1, total.blockCacheHits + total.blockCacheMisses);
 }
 
 void
 BM_VmBare(benchmark::State &state)
 {
-    uint64_t instructions = 0;
-    for (auto _ : state)
-        instructions += runGuest(false, false);
-    state.counters["guest_insns/s"] = benchmark::Counter(
-        (double)instructions, benchmark::Counter::kIsRate);
+    runVmBench(state, false, false);
 }
 BENCHMARK(BM_VmBare);
 
 void
 BM_VmMonitored(benchmark::State &state)
 {
-    uint64_t instructions = 0;
-    for (auto _ : state)
-        instructions += runGuest(true, false);
-    state.counters["guest_insns/s"] = benchmark::Counter(
-        (double)instructions, benchmark::Counter::kIsRate);
+    runVmBench(state, true, false);
 }
 BENCHMARK(BM_VmMonitored);
 
 void
 BM_VmTaint(benchmark::State &state)
 {
-    uint64_t instructions = 0;
-    for (auto _ : state)
-        instructions += runGuest(true, true);
-    state.counters["guest_insns/s"] = benchmark::Counter(
-        (double)instructions, benchmark::Counter::kIsRate);
+    runVmBench(state, true, true);
 }
 BENCHMARK(BM_VmTaint);
 
@@ -158,10 +179,14 @@ BM_ShadowMemory(benchmark::State &state)
 }
 BENCHMARK(BM_ShadowMemory);
 
+/** Shared body of the two Secpert benches: the matcher strategy is
+ * the only difference, so their ratio is the incremental speedup. */
 void
-BM_ClipsEvent(benchmark::State &state)
+runClipsBench(benchmark::State &state, bool naive)
 {
-    secpert::Secpert secpert;
+    secpert::PolicyConfig config;
+    config.naiveMatcher = naive;
+    secpert::Secpert secpert(config);
     harrier::ResourceAccessEvent ev;
     ev.ctx.pid = 1;
     ev.ctx.time = 10;
@@ -172,10 +197,32 @@ BM_ClipsEvent(benchmark::State &state)
     ev.origins = {{taint::SourceType::Binary, "/tmp/a.out"}};
     for (auto _ : state)
         secpert.onResourceAccess(ev);
+    const clips::EngineStats &es = secpert.env().stats();
     state.counters["events"] =
         (double)secpert.stats().eventsAnalyzed;
+    // Rule-level match recomputations per event: all rules per pass
+    // under Naive, only the dirtied rules under Incremental.
+    state.counters["rule_matches/event"] =
+        (double)es.ruleMatches /
+        (double)std::max<uint64_t>(1, secpert.stats().eventsAnalyzed);
+}
+
+void
+BM_ClipsEvent(benchmark::State &state)
+{
+    runClipsBench(state, false);
 }
 BENCHMARK(BM_ClipsEvent);
+
+/** The naive full-recomputation matcher, kept as the reference
+ * oracle: BM_ClipsEvent / BM_ClipsEventNaive is the win from
+ * incremental matching alone. */
+void
+BM_ClipsEventNaive(benchmark::State &state)
+{
+    runClipsBench(state, true);
+}
+BENCHMARK(BM_ClipsEventNaive);
 
 } // namespace
 

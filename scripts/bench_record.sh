@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+#
+# Record the bench_perf suite into a BENCH_*.json artifact.
+#
+#   scripts/bench_record.sh [-o BENCH_PR2.json] [-b <git-ref>]
+#                           [-r repetitions]
+#
+# Builds the Release bench binary, runs it with
+# --benchmark_format=json, and writes a summary JSON containing the
+# median wall time and counters per benchmark. With -b, the given
+# git ref is built in a temporary worktree and benchmarked
+# INTERLEAVED with the current tree (run pairs back to back), so CPU
+# frequency drift cancels out of the reported speedups; the output
+# then carries both "baseline" and "current" sections plus ratios.
+#
+# Wall-clock comparisons against numbers recorded on another day or
+# another machine are meaningless — always re-record the baseline.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_PR2.json
+baseline_ref=""
+reps=5
+
+while getopts "o:b:r:" opt; do
+    case $opt in
+      o) out=$OPTARG ;;
+      b) baseline_ref=$OPTARG ;;
+      r) reps=$OPTARG ;;
+      *) exit 2 ;;
+    esac
+done
+
+build_bench() { # <src-dir> <build-dir>
+    cmake -S "$1" -B "$2" -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build "$2" -j"$(nproc)" --target bench_perf >/dev/null
+}
+
+run_bench() { # <build-dir> <json-out>
+    "$1"/bench/bench_perf \
+        --benchmark_format=json \
+        --benchmark_repetitions="$reps" \
+        --benchmark_report_aggregates_only=true \
+        >"$2"
+}
+
+echo "building current tree (Release)..."
+build_bench . build-bench
+
+baseline_wt=""
+cleanup() {
+    if [ -n "$baseline_wt" ]; then
+        git worktree remove --force "$baseline_wt" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+if [ -n "$baseline_ref" ]; then
+    baseline_wt=$(mktemp -d /tmp/hth-baseline.XXXXXX)
+    rmdir "$baseline_wt"
+    echo "building baseline $baseline_ref..."
+    git worktree add --detach "$baseline_wt" "$baseline_ref" >/dev/null
+    build_bench "$baseline_wt" "$baseline_wt/build-bench"
+fi
+
+tmp=$(mktemp -d)
+echo "running current ($reps repetitions)..."
+run_bench build-bench "$tmp/current.json"
+if [ -n "$baseline_ref" ]; then
+    echo "running baseline ($reps repetitions, interleaved)..."
+    run_bench "$baseline_wt/build-bench" "$tmp/baseline.json"
+    # Second interleaved pass: medians over both passes absorb any
+    # frequency-scaling step between the two runs above.
+    run_bench build-bench "$tmp/current2.json"
+    run_bench "$baseline_wt/build-bench" "$tmp/baseline2.json"
+fi
+
+python3 scripts/bench_summarize.py \
+    --out "$out" \
+    --current "$tmp/current.json" \
+    ${baseline_ref:+--current "$tmp/current2.json"} \
+    ${baseline_ref:+--baseline "$tmp/baseline.json"} \
+    ${baseline_ref:+--baseline "$tmp/baseline2.json"} \
+    ${baseline_ref:+--baseline-ref "$baseline_ref"}
+
+rm -rf "$tmp"
+echo "wrote $out"

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Summarise google-benchmark JSON runs into a BENCH_*.json artifact.
+
+Takes one or more --current runs (and optionally --baseline runs of a
+pre-change build), extracts the median wall time and the counters per
+benchmark, and emits one JSON object. When a baseline is present the
+summary also carries baseline/current speedup ratios, computed from
+medians pooled across all passed files so interleaved runs cancel
+machine-speed drift.
+"""
+
+import argparse
+import json
+import statistics
+
+
+def load_runs(paths):
+    """benchmark name -> {"times_us": [...], "counters": {...}}."""
+    merged = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for b in doc.get("benchmarks", []):
+            # With --benchmark_report_aggregates_only the file holds
+            # _mean/_median/_stddev rows; pool the _median ones.
+            # Plain runs have run_type "iteration".
+            name = b["name"]
+            if b.get("run_type") == "aggregate":
+                if not name.endswith("_median"):
+                    continue
+                name = name[: -len("_median")]
+            entry = merged.setdefault(
+                name, {"times_us": [], "counters": {}})
+            scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}[
+                b.get("time_unit", "ns")]
+            entry["times_us"].append(b["real_time"] * scale)
+            for key, value in b.items():
+                if key in ("guest_insns/s", "bb_cache_hit%",
+                           "union_cache_hit%", "events",
+                           "rule_matches/event"):
+                    entry["counters"][key] = value
+    return merged
+
+
+def summarise(runs):
+    out = {}
+    for name, entry in sorted(runs.items()):
+        out[name] = {
+            "median_us": round(
+                statistics.median(entry["times_us"]), 3),
+            "runs_us": [round(t, 3) for t in entry["times_us"]],
+        }
+        out[name].update(
+            {k: round(v, 3) for k, v in entry["counters"].items()})
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--current", action="append", required=True)
+    ap.add_argument("--baseline", action="append", default=[])
+    ap.add_argument("--baseline-ref", default=None)
+    args = ap.parse_args()
+
+    current = summarise(load_runs(args.current))
+    doc = {"current": current}
+
+    if args.baseline:
+        baseline = summarise(load_runs(args.baseline))
+        doc["baseline"] = baseline
+        doc["baseline_ref"] = args.baseline_ref
+        speedups = {}
+        for name, cur in current.items():
+            base = baseline.get(name)
+            if base and cur["median_us"] > 0:
+                speedups[name] = round(
+                    base["median_us"] / cur["median_us"], 2)
+        doc["speedup"] = speedups
+
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+if __name__ == "__main__":
+    main()

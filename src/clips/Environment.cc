@@ -168,6 +168,7 @@ Environment::compileGlobal(const Sexpr &form)
         globals_[form.items[idx].text] = eval(form.items[idx + 2], binds);
         idx += 3;
     }
+    markAllTestRulesDirty();
 }
 
 void
@@ -197,7 +198,26 @@ Environment::compileFunction(const Sexpr &form)
         ++idx; // comment
     for (; idx < form.items.size(); ++idx)
         fn.body.push_back(form.items[idx]);
+    // (Re)definition can flip test CEs that call the function.
+    markAllTestRulesDirty();
     functions_[fn.name] = std::move(fn);
+}
+
+/** Whether the expression contains a (bind ...) anywhere. Only
+ * `bind` writes through the Bindings eval() is handed (deffunctions
+ * get a fresh frame, natives receive evaluated arguments), so a
+ * bind-free test CE can be evaluated without a protective copy. */
+static bool
+sexprContainsBind(const Sexpr &e)
+{
+    if (!e.isList())
+        return false;
+    if (!e.items.empty() && e.items[0].isSymbol("bind"))
+        return true;
+    for (const Sexpr &sub : e.items)
+        if (sexprContainsBind(sub))
+            return true;
+    return false;
 }
 
 std::vector<CondElement>
@@ -213,6 +233,7 @@ Environment::compileCe(const Sexpr &item, const std::string &rule_name)
         CondElement ce;
         ce.kind = CondElement::Kind::Test;
         ce.testExpr = item.items[1];
+        ce.testMutates = sexprContainsBind(ce.testExpr);
         out.push_back(std::move(ce));
     } else if (head == "not") {
         fatalIf(item.items.size() != 2 || !item.items[1].isList(),
@@ -331,6 +352,29 @@ Environment::compileRule(const Sexpr &form)
         rule->salience = salience;
         rule->lhs = std::move(alt);
         rule->rhs = rhs;
+
+        // Index the rule for incremental matching: which templates
+        // feed it (the alpha index) and whether test CEs make it
+        // sensitive to global/function changes. A new rule starts
+        // dirty so it matches pre-existing facts.
+        rule->defIndex = rules_.size();
+        for (const CondElement &ce : rule->lhs) {
+            if (ce.kind == CondElement::Kind::Test) {
+                rule->hasTest = true;
+                continue;
+            }
+            const Template *t = ce.pattern.tmpl;
+            if (std::find(rule->refTemplates.begin(),
+                          rule->refTemplates.end(),
+                          t) == rule->refTemplates.end())
+                rule->refTemplates.push_back(t);
+        }
+        for (const Template *t : rule->refTemplates)
+            rulesByTmpl_[t].push_back(rules_.size());
+        if (rule->hasTest)
+            testRules_.push_back(rules_.size());
+        ruleDirty_.push_back(1);
+        anyDirty_ = true;
         rules_.push_back(std::move(rule));
     }
 }
@@ -477,6 +521,8 @@ Environment::assertFact(
     Fact *raw = f.get();
     factStore_.push_back(std::move(f));
     factsByTmpl_[tmpl->name].push_back(raw);
+    factIndex_[raw->id] = raw;
+    noteTemplateChanged(tmpl);
     ++stats_.asserts;
     return raw->id;
 }
@@ -484,28 +530,33 @@ Environment::assertFact(
 bool
 Environment::retract(FactId id)
 {
-    for (auto &f : factStore_) {
-        if (f->id == id) {
-            if (f->retracted)
-                return false;
-            f->retracted = true;
-            auto &vec = factsByTmpl_[f->tmpl->name];
-            vec.erase(std::remove(vec.begin(), vec.end(), f.get()),
-                      vec.end());
-            ++stats_.retracts;
-            return true;
-        }
-    }
-    return false;
+    auto it = factIndex_.find(id);
+    if (it == factIndex_.end() || it->second->retracted)
+        return false;
+    Fact *f = it->second;
+    f->retracted = true;
+    auto &vec = factsByTmpl_[f->tmpl->name];
+    vec.erase(std::remove(vec.begin(), vec.end(), f), vec.end());
+    // Nothing reads a retracted fact's fields (fact() hides it, the
+    // matcher only sees live facts), so release the slot storage —
+    // the store itself is append-only.
+    f->slots.clear();
+    f->slots.shrink_to_fit();
+    noteTemplateChanged(f->tmpl);
+    removeActivationsUsing(id);
+    ++stats_.retracts;
+    if (++retractsSinceSweep_ >= 64 + fired_.size() / 2)
+        sweepFired();
+    return true;
 }
 
 const Fact *
 Environment::fact(FactId id) const
 {
-    for (const auto &f : factStore_)
-        if (f->id == id && !f->retracted)
-            return f.get();
-    return nullptr;
+    auto it = factIndex_.find(id);
+    if (it == factIndex_.end() || it->second->retracted)
+        return nullptr;
+    return it->second;
 }
 
 std::vector<const Fact *>
@@ -534,7 +585,11 @@ Environment::clearFacts()
 {
     factStore_.clear();
     factsByTmpl_.clear();
+    factIndex_.clear();
     fired_.clear();
+    retractsSinceSweep_ = 0;
+    agenda_.clear();
+    markAllRulesDirty();
 }
 
 size_t
@@ -588,21 +643,16 @@ Environment::unifySequence(const std::vector<PatTerm> &terms,
       case PatTerm::Kind::SingleVar: {
         if (field_idx >= fields.size())
             return false;
-        // Save/restore binding for backtracking.
-        auto it = binds.vars.find(term.var);
-        bool had = it != binds.vars.end();
-        Value old = had ? it->second : Value();
+        // unifyTermSingle only compares against an existing binding
+        // (it never overwrites), so backtracking just drops the
+        // fresh bind it may have appended.
+        size_t mark = binds.vars.size();
         if (!unifyTermSingle(term, fields[field_idx], binds))
             return false;
         if (unifySequence(terms, term_idx + 1, fields, field_idx + 1,
                           binds))
             return true;
-        if (term.kind == PatTerm::Kind::SingleVar) {
-            if (had)
-                binds.vars[term.var] = old;
-            else
-                binds.vars.erase(term.var);
-        }
+        binds.vars.truncate(mark);
         return false;
       }
       case PatTerm::Kind::MultiVar: {
@@ -620,6 +670,14 @@ Environment::unifySequence(const std::vector<PatTerm> &terms,
             return unifySequence(terms, term_idx + 1, fields,
                                  field_idx + want.size(), binds);
         }
+        // A trailing $?var can only match the whole remainder: bind
+        // it directly instead of enumerating segment lengths.
+        if (term_idx + 1 == terms.size()) {
+            std::vector<Value> seg(fields.begin() + field_idx,
+                                   fields.end());
+            binds.vars[term.var] = Value::multi(std::move(seg));
+            return true;
+        }
         for (size_t len = 0; field_idx + len <= fields.size(); ++len) {
             std::vector<Value> seg(fields.begin() + field_idx,
                                    fields.begin() + field_idx + len);
@@ -632,6 +690,8 @@ Environment::unifySequence(const std::vector<PatTerm> &terms,
         return false;
       }
       case PatTerm::Kind::MultiWild: {
+        if (term_idx + 1 == terms.size())
+            return true; // a trailing $? matches any remainder
         for (size_t len = 0; field_idx + len <= fields.size(); ++len)
             if (unifySequence(terms, term_idx + 1, fields,
                               field_idx + len, binds))
@@ -690,13 +750,19 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
         auto it = factsByTmpl_.find(ce.pattern.tmpl->name);
         if (it == factsByTmpl_.end())
             return;
-        // Copy: RHS execution never runs during matching, but keep
-        // iteration robust against template vector reallocation.
-        std::vector<Fact *> candidates = it->second;
-        for (Fact *f : candidates) {
+        // By index, size re-read each pass: robust against the
+        // template vector changing underneath (RHS execution never
+        // runs during matching, but test CEs evaluate arbitrary
+        // expressions). Failed candidates are undone by truncating
+        // the bindings to the mark — the unifier's only net effect
+        // is appending fresh keys — instead of copying both maps
+        // for every fact tried.
+        for (size_t ci = 0; ci < it->second.size(); ++ci) {
+            Fact *f = it->second[ci];
             if (f->retracted)
                 continue;
-            Bindings saved = binds;
+            size_t vmark = binds.vars.size();
+            size_t fmark = binds.factVars.size();
             if (unifyPattern(ce.pattern, *f, binds)) {
                 if (!ce.pattern.factVar.empty())
                     binds.factVars[ce.pattern.factVar] = f->id;
@@ -704,13 +770,22 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
                 matchFrom(rule, ce_idx + 1, binds, used, out);
                 used.pop_back();
             }
-            binds = std::move(saved);
+            binds.vars.truncate(vmark);
+            binds.factVars.truncate(fmark);
         }
         return;
       }
       case CondElement::Kind::Test: {
-        Bindings copy = binds;
-        if (eval(ce.testExpr, copy).truthy())
+        bool pass;
+        if (ce.testMutates) {
+            // A (bind ...) inside the test may clobber pattern
+            // bindings: give it a throwaway copy.
+            Bindings copy = binds;
+            pass = eval(ce.testExpr, copy).truthy();
+        } else {
+            pass = eval(ce.testExpr, binds).truthy();
+        }
+        if (pass)
             matchFrom(rule, ce_idx + 1, binds, used, out);
         return;
       }
@@ -720,8 +795,12 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
             for (Fact *f : it->second) {
                 if (f->retracted)
                     continue;
-                Bindings probe = binds;
-                if (unifyPattern(ce.pattern, *f, probe))
+                // Probe in place and truncate: the unifier only
+                // appends fresh keys, so this never escapes.
+                size_t vmark = binds.vars.size();
+                bool hit = unifyPattern(ce.pattern, *f, binds);
+                binds.vars.truncate(vmark);
+                if (hit)
                     return; // a match exists: the NOT fails
             }
         }
@@ -735,8 +814,10 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
         for (Fact *f : it->second) {
             if (f->retracted)
                 continue;
-            Bindings probe = binds;
-            if (unifyPattern(ce.pattern, *f, probe)) {
+            size_t vmark = binds.vars.size();
+            bool hit = unifyPattern(ce.pattern, *f, binds);
+            binds.vars.truncate(vmark);
+            if (hit) {
                 // One witness is enough; bindings do not escape.
                 matchFrom(rule, ce_idx + 1, binds, used, out);
                 return;
@@ -752,10 +833,122 @@ Environment::computeActivations(std::vector<Activation> &out)
 {
     ++stats_.matchPasses;
     for (const auto &rule : rules_) {
+        ++stats_.ruleMatches;
         Bindings binds;
         std::vector<FactId> used;
         matchFrom(*rule, 0, binds, used, out);
     }
+}
+
+bool
+Environment::beats(const Activation &a, const Activation &b)
+{
+    if (a.rule->salience != b.rule->salience)
+        return a.rule->salience > b.rule->salience;
+    if (a.recency != b.recency)
+        return a.recency > b.recency;
+    if (a.rule->name != b.rule->name)
+        return a.rule->name < b.rule->name;
+    if (a.rule->defIndex != b.rule->defIndex)
+        return a.rule->defIndex < b.rule->defIndex;
+    return a.facts < b.facts;
+}
+
+void
+Environment::noteTemplateChanged(const Template *tmpl)
+{
+    auto it = rulesByTmpl_.find(tmpl);
+    if (it == rulesByTmpl_.end())
+        return;
+    for (size_t idx : it->second)
+        ruleDirty_[idx] = 1;
+    anyDirty_ = true;
+}
+
+void
+Environment::markAllTestRulesDirty()
+{
+    for (size_t idx : testRules_)
+        ruleDirty_[idx] = 1;
+    if (!testRules_.empty())
+        anyDirty_ = true;
+}
+
+void
+Environment::markAllRulesDirty()
+{
+    std::fill(ruleDirty_.begin(), ruleDirty_.end(), 1);
+    anyDirty_ = !ruleDirty_.empty();
+}
+
+void
+Environment::removeActivationsOf(const Rule *rule)
+{
+    std::erase_if(agenda_, [rule](const Activation &a) {
+        return a.rule == rule;
+    });
+}
+
+void
+Environment::removeActivationsUsing(FactId id)
+{
+    std::erase_if(agenda_, [id](const Activation &a) {
+        return std::find(a.facts.begin(), a.facts.end(), id) !=
+               a.facts.end();
+    });
+}
+
+void
+Environment::sweepFired()
+{
+    // A refraction record with a retracted (or cleared) fact can
+    // never be produced by the matcher again — fact ids are not
+    // reused — so it is garbage; without this sweep fired_ grows
+    // with every transient event Secpert pushes through.
+    retractsSinceSweep_ = 0;
+    for (auto it = fired_.begin(); it != fired_.end();) {
+        bool dead = false;
+        for (FactId id : it->second) {
+            auto fit = factIndex_.find(id);
+            if (fit == factIndex_.end() || fit->second->retracted) {
+                dead = true;
+                break;
+            }
+        }
+        it = dead ? fired_.erase(it) : std::next(it);
+    }
+}
+
+void
+Environment::refreshAgenda()
+{
+    if (!anyDirty_)
+        return;
+    ++stats_.matchPasses;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+        if (!ruleDirty_[i])
+            continue;
+        ruleDirty_[i] = 0;
+        removeActivationsOf(rules_[i].get());
+        ++stats_.ruleMatches;
+        Bindings binds;
+        std::vector<FactId> used;
+        matchFrom(*rules_[i], 0, binds, used, agenda_);
+    }
+    anyDirty_ = false;
+}
+
+void
+Environment::setMatchStrategy(MatchStrategy s)
+{
+    if (strategy_ == s)
+        return;
+    strategy_ = s;
+    // Hand the new matcher a clean slate; the next run() rebuilds
+    // the agenda from working memory, so the switch point cannot
+    // change what fires.
+    agenda_.clear();
+    markAllRulesDirty();
 }
 
 int
@@ -763,32 +956,60 @@ Environment::run(int max_fires)
 {
     int fired = 0;
     while (max_fires < 0 || fired < max_fires) {
-        std::vector<Activation> agenda;
-        computeActivations(agenda);
-        if (agenda.empty())
+        if (strategy_ == MatchStrategy::Naive) {
+            agenda_.clear();
+            computeActivations(agenda_);
+        } else {
+            refreshAgenda();
+        }
+        if (agenda_.empty())
             break;
-        std::sort(agenda.begin(), agenda.end(),
-                  [](const Activation &a, const Activation &b) {
-                      if (a.rule->salience != b.rule->salience)
-                          return a.rule->salience > b.rule->salience;
-                      if (a.recency != b.recency)
-                          return a.recency > b.recency;
-                      return a.rule->name < b.rule->name;
-                  });
-        Activation &top = agenda.front();
+        stats_.agendaPeak = std::max(stats_.agendaPeak,
+                                     (uint64_t)agenda_.size());
+        auto best =
+            std::min_element(agenda_.begin(), agenda_.end(), beats);
+        Activation top = std::move(*best);
+        agenda_.erase(best);
 
         std::vector<FactId> key = top.facts;
         std::sort(key.begin(), key.end());
         fired_.insert({top.rule->name, key});
+        // Refraction burned this key for every rule of this name:
+        // drop sibling activations (same facts, different bindings)
+        // the maintained agenda may still hold.
+        std::erase_if(agenda_, [&](const Activation &a) {
+            if (a.rule->name != top.rule->name)
+                return false;
+            std::vector<FactId> k = a.facts;
+            std::sort(k.begin(), k.end());
+            return k == key;
+        });
         fireTrace_.push_back({top.rule->name, top.facts});
         ++stats_.fires;
         ++fired;
 
-        Bindings binds = top.binds;
+        Bindings binds = std::move(top.binds);
         for (const auto &action : top.rule->rhs)
             eval(action, binds);
     }
     return fired;
+}
+
+std::string
+Environment::fireTraceToString() const
+{
+    std::string out;
+    for (const FireRecord &fr : fireTrace_) {
+        out += fr.rule;
+        char sep = ' ';
+        for (FactId id : fr.facts) {
+            out += sep;
+            out += std::to_string(id);
+            sep = ',';
+        }
+        out += '\n';
+    }
+    return out;
 }
 
 //
@@ -901,10 +1122,24 @@ Environment::callDefFunction(const DefFunction &fn,
 Value
 Environment::evalCall(const Sexpr &expr, Bindings &binds)
 {
-    fatalIf(expr.items.empty() || !expr.items[0].isSymbol(),
-            "cannot evaluate ", expr.toString());
+    // Not fatalIf: its arguments are evaluated unconditionally, and
+    // stringifying every expression dominated the event path.
+    if (expr.items.empty() || !expr.items[0].isSymbol()) [[unlikely]]
+        fatal("cannot evaluate ", expr.toString());
     const std::string &fn = expr.items[0].text;
     const auto &args = expr.items;
+
+    // Every special form below starts with one of these letters;
+    // builtin operators (<, eq, str-cat, ...) skip the whole
+    // comparison chain. Jumps only over the nested if-scopes, never
+    // over an initialization in this scope.
+    switch (fn[0]) {
+      case 'a': case 'b': case 'i': case 'm':
+      case 'o': case 'p': case 'r': case 'w':
+        break;
+      default:
+        goto regular_call;
+    }
 
     //
     // Special forms (lazy argument evaluation).
@@ -955,10 +1190,12 @@ Environment::evalCall(const Sexpr &expr, Bindings &binds)
             vals.push_back(eval(args[i], binds));
         Value v = vals.size() == 1 ? vals[0]
                                    : Value::multi(std::move(vals));
-        if (args[1].kind == Sexpr::Kind::GlobalVar)
+        if (args[1].kind == Sexpr::Kind::GlobalVar) {
             globals_[args[1].text] = v;
-        else
+            markAllTestRulesDirty();
+        } else {
             binds.vars[args[1].text] = v;
+        }
         return v;
     }
     if (fn == "assert") {
@@ -1051,28 +1288,40 @@ Environment::evalCall(const Sexpr &expr, Bindings &binds)
     }
 
     //
-    // Regular calls: evaluate arguments eagerly.
+    // Regular calls: evaluate arguments eagerly. The argument
+    // vector is recycled through a pool so the steady state makes
+    // no allocation per call.
     //
+  regular_call:
     std::vector<Value> vals;
+    if (!valsPool_.empty()) {
+        vals = std::move(valsPool_.back());
+        valsPool_.pop_back();
+    }
     vals.reserve(args.size() - 1);
     for (size_t i = 1; i < args.size(); ++i)
         vals.push_back(eval(args[i], binds));
 
+    Value result;
     auto dit = functions_.find(fn);
-    if (dit != functions_.end())
-        return callDefFunction(dit->second, vals);
-
-    auto nit = natives_.find(fn);
-    if (nit != natives_.end())
-        return nit->second(*this, vals);
-
-    fatal("unknown function ", fn);
+    if (dit != functions_.end()) {
+        result = callDefFunction(dit->second, vals);
+    } else {
+        auto nit = natives_.find(fn);
+        if (nit == natives_.end()) [[unlikely]]
+            fatal("unknown function ", fn);
+        result = nit->second(*this, vals);
+    }
+    vals.clear();
+    valsPool_.push_back(std::move(vals));
+    return result;
 }
 
 void
 Environment::registerFunction(const std::string &name, NativeFn fn)
 {
     natives_[name] = std::move(fn);
+    markAllTestRulesDirty();
 }
 
 Value
@@ -1087,6 +1336,9 @@ void
 Environment::setGlobal(const std::string &name, Value v)
 {
     globals_[name] = std::move(v);
+    // Test CEs read globals during matching: their rules must
+    // re-match even though no fact changed.
+    markAllTestRulesDirty();
 }
 
 } // namespace hth::clips

@@ -31,6 +31,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "clips/Fact.hh"
@@ -41,11 +42,78 @@
 namespace hth::clips
 {
 
+/**
+ * An association list: a flat vector with linear search. Binding
+ * sets are a handful of entries, where a node-based map pays an
+ * allocation per insert and a deep copy per matcher backtrack.
+ * Insertion order is preserved, which lets the matcher undo a failed
+ * candidate by truncating to a saved mark (everything the unifier
+ * net-adds is an append of a fresh key).
+ */
+template <typename V>
+struct BindMap
+{
+    using Entry = std::pair<std::string, V>;
+    std::vector<Entry> entries;
+
+    typename std::vector<Entry>::iterator
+    find(const std::string &key)
+    {
+        auto it = entries.begin();
+        for (; it != entries.end(); ++it)
+            if (it->first == key)
+                break;
+        return it;
+    }
+
+    typename std::vector<Entry>::const_iterator
+    find(const std::string &key) const
+    {
+        auto it = entries.begin();
+        for (; it != entries.end(); ++it)
+            if (it->first == key)
+                break;
+        return it;
+    }
+
+    auto begin() { return entries.begin(); }
+    auto end() { return entries.end(); }
+    auto begin() const { return entries.begin(); }
+    auto end() const { return entries.end(); }
+
+    V &
+    operator[](const std::string &key)
+    {
+        auto it = find(key);
+        if (it != entries.end())
+            return it->second;
+        // First insert pays for a typical rule's worth of bindings
+        // up front; the append path is realloc-free after that.
+        if (entries.capacity() == 0)
+            entries.reserve(8);
+        entries.emplace_back(key, V());
+        return entries.back().second;
+    }
+
+    void
+    erase(const std::string &key)
+    {
+        auto it = find(key);
+        if (it != entries.end())
+            entries.erase(it);
+    }
+
+    size_t size() const { return entries.size(); }
+
+    /** Drop every entry appended after size() was @p mark. */
+    void truncate(size_t mark) { entries.resize(mark); }
+};
+
 /** Variable bindings active during matching / RHS execution. */
 struct Bindings
 {
-    std::map<std::string, Value> vars;
-    std::map<std::string, FactId> factVars;
+    BindMap<Value> vars;
+    BindMap<FactId> factVars;
 };
 
 /** Engine statistics, used by the performance evaluation. */
@@ -55,6 +123,28 @@ struct EngineStats
     uint64_t asserts = 0;
     uint64_t retracts = 0;
     uint64_t matchPasses = 0;
+    /** Rule-level match recomputations: under the naive strategy
+     * every rule per pass, under the incremental strategy only the
+     * rules dirtied by a fact/global change. */
+    uint64_t ruleMatches = 0;
+    /** Largest agenda observed when selecting an activation. */
+    uint64_t agendaPeak = 0;
+};
+
+/**
+ * How run() keeps the agenda consistent with working memory.
+ *
+ * Incremental is the Rete-flavoured default: facts are indexed by
+ * template (alpha memories), a fact change dirties only the rules
+ * whose left-hand side references that template, and the agenda is
+ * maintained across fires instead of rebuilt. Naive recomputes the
+ * whole agenda (all rules x all facts) after every fire; it is kept
+ * as the reference oracle for differential testing.
+ */
+enum class MatchStrategy
+{
+    Naive,
+    Incremental,
 };
 
 /** A record of one rule firing, for tests and diagnostics. */
@@ -139,7 +229,16 @@ class Environment
         return fireTrace_;
     }
 
+    /** The fire trace as one line per firing: "rule f1,f2". The
+     * canonical form differential tests compare byte-for-byte. */
+    std::string fireTraceToString() const;
+
     const EngineStats &stats() const { return stats_; }
+
+    /** Switch matchers; pending agenda state is rebuilt so traces
+     * are unaffected by when the switch happens. */
+    void setMatchStrategy(MatchStrategy s);
+    MatchStrategy matchStrategy() const { return strategy_; }
 
     size_t ruleCount() const { return rules_.size(); }
     size_t liveFactCount() const;
@@ -197,6 +296,25 @@ class Environment
     void matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
                    std::vector<FactId> &used,
                    std::vector<Activation> &out);
+
+    /** Total order over activations (higher priority first): salience
+     * desc, recency desc, name asc, definition index asc, then the
+     * supporting facts — shared by both strategies so they select
+     * identically. */
+    static bool beats(const Activation &a, const Activation &b);
+
+    /** Recompute the activations of every dirty rule (incremental). */
+    void refreshAgenda();
+    /** A fact of @p tmpl changed: dirty the rules that reference it. */
+    void noteTemplateChanged(const Template *tmpl);
+    /** A global or deffunction changed: test CEs may flip. */
+    void markAllTestRulesDirty();
+    void markAllRulesDirty();
+    void removeActivationsOf(const Rule *rule);
+    /** Drop agenda entries supported by a retracted fact. */
+    void removeActivationsUsing(FactId id);
+    /** Drop refraction records that reference dead facts. */
+    void sweepFired();
     bool unifyPattern(const PatternCE &pat, const Fact &f,
                       Bindings &binds) const;
     static bool unifySequence(const std::vector<PatTerm> &terms,
@@ -217,20 +335,38 @@ class Environment
 
     std::map<std::string, std::unique_ptr<Template>> templates_;
     std::vector<std::unique_ptr<Rule>> rules_;
-    std::map<std::string, Value> globals_;
-    std::map<std::string, DefFunction> functions_;
-    std::map<std::string, NativeFn> natives_;
+    // Hashed: looked up per ?*global*, per call and per pattern CE
+    // respectively; nothing iterates them in key order.
+    std::unordered_map<std::string, Value> globals_;
+    std::unordered_map<std::string, DefFunction> functions_;
+    std::unordered_map<std::string, NativeFn> natives_;
 
     std::vector<std::unique_ptr<Fact>> factStore_;
-    std::map<std::string, std::vector<Fact *>> factsByTmpl_;
+    std::unordered_map<std::string, std::vector<Fact *>> factsByTmpl_;
+    /** O(1) id lookup; entries persist after retraction (the Fact
+     * carries the retracted flag) until clearFacts(). */
+    std::unordered_map<FactId, Fact *> factIndex_;
     FactId nextFactId_ = 1;
 
     std::set<std::pair<std::string, std::vector<FactId>>> fired_;
+    uint64_t retractsSinceSweep_ = 0;
     std::vector<FireRecord> fireTrace_;
     EngineStats stats_;
 
+    /** @name Incremental matcher state @{ */
+    MatchStrategy strategy_ = MatchStrategy::Incremental;
+    std::vector<Activation> agenda_;    //!< maintained across fires
+    std::vector<char> ruleDirty_;       //!< parallel to rules_
+    bool anyDirty_ = false;
+    /** Alpha index: template -> indices of rules referencing it. */
+    std::map<const Template *, std::vector<size_t>> rulesByTmpl_;
+    std::vector<size_t> testRules_;     //!< rules with test CEs
+    /** @} */
+
     std::ostream *out_ = nullptr;
     uint64_t gensymCounter_ = 0;
+    /** Recycled call-argument vectors (evalCall). */
+    std::vector<std::vector<Value>> valsPool_;
 
     friend struct BuiltinInstaller;
 };

@@ -67,6 +67,10 @@ struct CondElement
     Kind kind = Kind::Pattern;
     PatternCE pattern;          //!< for Pattern, Not and Exists
     Sexpr testExpr;             //!< for Test
+
+    /** Whether testExpr contains a (bind ...) anywhere: only such
+     * tests need a private copy of the bindings while matching. */
+    bool testMutates = false;
 };
 
 /** A compiled rule. */
@@ -77,6 +81,18 @@ struct Rule
     int salience = 0;
     std::vector<CondElement> lhs;
     std::vector<Sexpr> rhs;
+
+    /** Definition order; the final agenda tie-breaker, so naive and
+     * incremental matching select identically. */
+    size_t defIndex = 0;
+
+    /** Templates referenced by any pattern, not or exists CE: a fact
+     * change outside this set cannot affect the rule's matches. */
+    std::vector<const Template *> refTemplates;
+
+    /** Whether any CE is a test: such rules must also re-match when
+     * a global or deffunction changes. */
+    bool hasTest = false;
 };
 
 } // namespace hth::clips

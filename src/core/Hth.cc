@@ -42,6 +42,7 @@ Hth::monitor(const std::string &path,
     report.warnings = secpert_->warnings();
     report.staticFindings = secpert_->staticFindings();
     report.transcript = secpert_->transcript();
+    report.fireTrace = secpert_->env().fireTraceToString();
     report.stdoutData = proc.stdoutData;
     report.exitCode = proc.exitCode;
     report.instructions = kernel_->now();

@@ -61,6 +61,9 @@ struct Report
     std::vector<secpert::StaticFinding> staticFindings;
 
     std::string transcript;        //!< paper-style rule output
+    /** Canonical CLIPS firing sequence ("rule f1,f2" per line) —
+     * what the naive-vs-incremental differential tests compare. */
+    std::string fireTrace;
     std::string stdoutData;        //!< the monitored program's stdout
     int exitCode = 0;
 

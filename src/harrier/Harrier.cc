@@ -68,13 +68,14 @@ void
 Harrier::basicBlock(vm::Machine &m, uint32_t pc)
 {
     ++stats_.bbCallbacks;
-    auto it = machinePids_.find(&m);
-    if (it == machinePids_.end())
+    auto it = machineMons_.find(&m);
+    if (it == machineMons_.end())
         return;
-    const vm::LoadedImage *app = m.appImage();
-    if (!app || !app->containsText(pc))
+    ProcMon &mon = *it->second;
+    if (!mon.appImg)
+        mon.appImg = m.appImage();
+    if (!mon.appImg || !mon.appImg->containsText(pc))
         return; // shared-object code: keep the last application BB
-    ProcMon &mon = procs_[it->second];
     ++mon.bbCount[pc];
     mon.lastAppBb = pc;
 }
@@ -97,9 +98,12 @@ void
 Harrier::processStarted(os::Kernel &k, os::Process &p)
 {
     (void)k;
-    // A fresh image (spawn or execve) restarts frequency counting.
-    procs_[p.pid] = ProcMon{};
-    machinePids_[&p.machine] = p.pid;
+    // A fresh image (spawn or execve) restarts frequency counting
+    // and invalidates the cached application image (execve replaces
+    // the machine's image set, dangling the old pointer).
+    ProcMon &mon = procs_[p.pid];
+    mon = ProcMon{};
+    machineMons_[&p.machine] = &mon;
 }
 
 void
@@ -107,7 +111,7 @@ Harrier::processExited(os::Kernel &k, os::Process &p, int code)
 {
     (void)k;
     (void)code;
-    machinePids_.erase(&p.machine);
+    machineMons_.erase(&p.machine);
 }
 
 //

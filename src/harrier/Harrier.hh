@@ -102,6 +102,9 @@ class Harrier : public vm::Instrumentor, public os::Monitor
         std::unordered_map<uint32_t, uint64_t> bbCount;
         uint32_t lastAppBb = 0;
         taint::TagSetId pendingNameTags = taint::TagStore::EMPTY;
+        /** Application image, resolved lazily on the first BB after
+         * (re)start so the callback avoids the per-BB image scan. */
+        const vm::LoadedImage *appImg = nullptr;
     };
 
     ProcMon &monOf(const os::Process &p);
@@ -113,7 +116,9 @@ class Harrier : public vm::Instrumentor, public os::Monitor
     HarrierConfig config_;
     os::Kernel *kernel_ = nullptr;
     std::map<int, ProcMon> procs_;
-    std::unordered_map<const vm::Machine *, int> machinePids_;
+    /** One hash lookup per BB callback: machine straight to its
+     * monitor record (ProcMon nodes are stable inside procs_). */
+    std::unordered_map<const vm::Machine *, ProcMon *> machineMons_;
 
     /** Images already pre-screened (one analysis per Image). */
     std::set<const vm::Image *> analyzedImages_;

@@ -292,11 +292,16 @@ Kernel::run(uint64_t max_ticks)
 void
 Kernel::runQuantum(Process &p)
 {
-    for (uint64_t i = 0; i < QUANTUM; ++i) {
-        if (p.state != ProcState::Runnable)
-            return;
-        vm::StepResult res = p.machine.step();
-        ++time_;
+    // Let the machine burn through whole decoded blocks and only
+    // come back when the kernel must act; ticks advance in bulk by
+    // the retired-instruction count (one tick per instruction, as
+    // before).
+    uint64_t budget = QUANTUM;
+    while (budget && p.state == ProcState::Runnable) {
+        uint64_t executed = 0;
+        vm::StepResult res = p.machine.run(budget, executed);
+        time_ += executed;
+        budget -= executed;
         switch (res.kind) {
           case vm::StepKind::Ok:
             break;
@@ -304,7 +309,7 @@ Kernel::runQuantum(Process &p)
             handleSyscall(p);
             break;
           case vm::StepKind::Native:
-            handleNative(p, res.nativeName);
+            handleNative(p, std::string(res.nativeName));
             break;
           case vm::StepKind::Halted:
             exitProcess(p, 0);

@@ -54,6 +54,13 @@ struct PolicyConfig
 
     /** Trusted socket name substrings (the paper trusts none). */
     std::vector<std::string> trustedSockets = {};
+
+    /**
+     * Use the naive full-recomputation matcher instead of the
+     * incremental one. Slower; kept as the reference oracle for
+     * differential testing.
+     */
+    bool naiveMatcher = false;
 };
 
 /**

@@ -32,6 +32,8 @@ maxSeverity(const std::vector<Warning> &warnings)
 
 Secpert::Secpert(PolicyConfig config) : config_(std::move(config))
 {
+    if (config_.naiveMatcher)
+        env_.setMatchStrategy(clips::MatchStrategy::Naive);
     env_.setOutput(&out_);
     installNatives();
     env_.loadString(policyDeclarations());

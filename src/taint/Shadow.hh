@@ -4,12 +4,24 @@
  *
  * Shadow memory is paged and sparse; pages whose bytes are all
  * untainted are never allocated. fork() clones the whole shadow via
- * the copy constructor (only touched pages are copied).
+ * clone() (only touched pages are copied).
+ *
+ * Hot-path layout (§9: data-flow tracking dominates Harrier's cost):
+ *  - range operations are page-chunked — one page-table lookup per
+ *    touched page, not per byte;
+ *  - rangeUnion skips runs of identical tags so the memoised
+ *    TagStore union is consulted once per distinct run;
+ *  - a one-entry page cache (a micro-TLB) makes repeated accesses
+ *    to the same page, the common case inside a guest loop, a
+ *    compare instead of a hash lookup. Pages are never deallocated,
+ *    so the cached pointer stays valid until the whole shadow is
+ *    destroyed or replaced.
  */
 
 #ifndef HTH_TAINT_SHADOW_HH
 #define HTH_TAINT_SHADOW_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -31,37 +43,73 @@ class ShadowMemory
     TagSetId
     get(uint32_t addr) const
     {
-        auto it = pages_.find(addr >> PAGE_BITS);
-        if (it == pages_.end())
+        const Page *p = lookup(addr >> PAGE_BITS);
+        if (!p)
             return TagStore::EMPTY;
-        return (*it->second)[addr & (PAGE_SIZE - 1)];
+        return (*p)[addr & (PAGE_SIZE - 1)];
     }
 
     /** Set the tag set of one byte. */
     void
     set(uint32_t addr, TagSetId id)
     {
-        if (id == TagStore::EMPTY &&
-            pages_.find(addr >> PAGE_BITS) == pages_.end())
-            return; // avoid allocating a page just to store "empty"
-        page(addr >> PAGE_BITS)[addr & (PAGE_SIZE - 1)] = id;
+        const uint32_t pno = addr >> PAGE_BITS;
+        Page *p = lookup(pno);
+        if (!p) {
+            if (id == TagStore::EMPTY)
+                return; // never allocate a page to store "empty"
+            p = &ensure(pno);
+        }
+        (*p)[addr & (PAGE_SIZE - 1)] = id;
     }
 
-    /** Set the tag set of a byte range. */
+    /** Set the tag set of a byte range (page-chunked). */
     void
     setRange(uint32_t addr, uint32_t len, TagSetId id)
     {
-        for (uint32_t i = 0; i < len; ++i)
-            set(addr + i, id);
+        while (len) {
+            const uint32_t off = addr & (PAGE_SIZE - 1);
+            const uint32_t chunk =
+                std::min(len, PAGE_SIZE - off);
+            const uint32_t pno = addr >> PAGE_BITS;
+            Page *p = lookup(pno);
+            if (!p && id != TagStore::EMPTY)
+                p = &ensure(pno);
+            if (p)
+                std::fill(p->begin() + off,
+                          p->begin() + off + chunk, id);
+            addr += chunk;
+            len -= chunk;
+        }
     }
 
-    /** Union of the tag sets of a byte range. */
+    /**
+     * Union of the tag sets of a byte range. Unallocated pages are
+     * skipped whole (they are all-EMPTY); within a page, runs of
+     * identical tags hit the TagStore once.
+     */
     TagSetId
     rangeUnion(TagStore &store, uint32_t addr, uint32_t len) const
     {
         TagSetId acc = TagStore::EMPTY;
-        for (uint32_t i = 0; i < len; ++i)
-            acc = store.unite(acc, get(addr + i));
+        TagSetId last = TagStore::EMPTY;
+        while (len) {
+            const uint32_t off = addr & (PAGE_SIZE - 1);
+            const uint32_t chunk =
+                std::min(len, PAGE_SIZE - off);
+            const Page *p = lookup(addr >> PAGE_BITS);
+            if (p) {
+                for (uint32_t i = 0; i < chunk; ++i) {
+                    const TagSetId v = (*p)[off + i];
+                    if (v == TagStore::EMPTY || v == last)
+                        continue;
+                    acc = store.unite(acc, v);
+                    last = v;
+                }
+            }
+            addr += chunk;
+            len -= chunk;
+        }
         return acc;
     }
 
@@ -80,18 +128,41 @@ class ShadowMemory
   private:
     using Page = std::array<TagSetId, PAGE_SIZE>;
 
-    Page &
-    page(uint32_t pno)
+    static constexpr uint32_t NO_PAGE = 0xffffffffu;
+
+    /** Existing page or nullptr; refreshes the micro-TLB. */
+    Page *
+    lookup(uint32_t pno) const
     {
+        if (pno == tlbPno_)
+            return tlbPage_;
         auto it = pages_.find(pno);
-        if (it == pages_.end()) {
-            it = pages_.emplace(pno, std::make_unique<Page>()).first;
+        if (it == pages_.end())
+            return nullptr;
+        tlbPno_ = pno;
+        tlbPage_ = it->second.get();
+        return tlbPage_;
+    }
+
+    Page &
+    ensure(uint32_t pno)
+    {
+        auto [it, inserted] = pages_.try_emplace(pno);
+        if (inserted) {
+            it->second = std::make_unique<Page>();
             it->second->fill(TagStore::EMPTY);
         }
-        return *it->second;
+        tlbPno_ = pno;
+        tlbPage_ = it->second.get();
+        return *tlbPage_;
     }
 
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+
+    /** One-entry page cache. Pages live until the map dies, so the
+     * raw pointer cannot dangle while this object is usable. */
+    mutable uint32_t tlbPno_ = NO_PAGE;
+    mutable Page *tlbPage_ = nullptr;
 };
 
 } // namespace hth::taint

@@ -64,27 +64,6 @@ opcodeName(Opcode op)
     }
 }
 
-bool
-isControlTransfer(Opcode op)
-{
-    switch (op) {
-      case Opcode::Jmp:
-      case Opcode::Jz:
-      case Opcode::Jnz:
-      case Opcode::Jl:
-      case Opcode::Jge:
-      case Opcode::Call:
-      case Opcode::CallSym:
-      case Opcode::CallR:
-      case Opcode::Ret:
-      case Opcode::Int80:
-      case Opcode::Halt:
-        return true;
-      default:
-        return false;
-    }
-}
-
 std::string
 Instruction::toString() const
 {

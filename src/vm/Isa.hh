@@ -93,8 +93,28 @@ enum class Opcode : uint8_t
 /** Mnemonic for diagnostics, e.g. "mov". */
 const char *opcodeName(Opcode op);
 
-/** True for opcodes that end a basic block. */
-bool isControlTransfer(Opcode op);
+/** True for opcodes that end a basic block. Inline: the dispatch
+ * loop consults it once per executed instruction. */
+constexpr bool
+isControlTransfer(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jmp:
+      case Opcode::Jz:
+      case Opcode::Jnz:
+      case Opcode::Jl:
+      case Opcode::Jge:
+      case Opcode::Call:
+      case Opcode::CallSym:
+      case Opcode::CallR:
+      case Opcode::Ret:
+      case Opcode::Int80:
+      case Opcode::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** One decoded instruction. */
 struct Instruction

@@ -76,6 +76,9 @@ Machine::loadImage(std::shared_ptr<const Image> image,
     }
 
     images_.push_back(std::move(loaded));
+    // The image set changed: cached blocks hold image pointers and
+    // may shadow addresses the new mapping now owns.
+    invalidateBlockCache();
     const LoadedImage &ref = images_.back();
     if (instrumentor_)
         instrumentor_->imageLoaded(*this, ref);
@@ -115,6 +118,7 @@ void
 Machine::resetForExec()
 {
     images_.clear();
+    invalidateBlockCache();
     nextSoBase_ = SO_BASE;
     regs_.fill(0);
     regTags_.fill(TagStore::EMPTY);
@@ -155,13 +159,10 @@ Machine::pop32(TagSetId *tag_out)
 TagSetId
 Machine::stringTags(uint32_t addr) const
 {
-    TagSetId acc = TagStore::EMPTY;
-    for (uint32_t i = 0; i < 4096; ++i) {
-        if (mem_.read8(addr + i) == 0)
-            break;
-        acc = tags_->unite(acc, shadow_.get(addr + i));
-    }
-    return acc;
+    // Find the string length page-chunked, then union the shadow
+    // tags with one page lookup per page instead of one per byte.
+    const uint32_t len = (uint32_t)mem_.cstrlen(addr, 4096);
+    return shadow_.rangeUnion(*tags_, addr, len);
 }
 
 TagSetId
@@ -183,23 +184,63 @@ Machine::writeTagged(uint32_t addr, const void *src, size_t len,
 // Execution
 //
 
-Instruction
-Machine::fetch(uint32_t pc, const LoadedImage **img_out, bool *ok)
+Machine::CachedBlock *
+Machine::enterBlock(uint32_t pc)
 {
-    const LoadedImage *img = findImage(pc);
-    if (!img || (pc - img->base) % INSN_SIZE != 0) {
-        *ok = false;
-        return {};
+    auto it = blockCache_.find(pc);
+    if (it != blockCache_.end()) {
+        ++stats_.blockCacheHits;
+        return &it->second;
     }
-    *img_out = img;
-    *ok = true;
-    return img->text[(pc - img->base) / INSN_SIZE];
+
+    // Miss: resolve the image once and decode to the block-ending
+    // control transfer. Every instruction the block executes after
+    // this lookup costs neither findImage nor a division.
+    const LoadedImage *img = findImage(pc);
+    if (!img || (pc - img->base) % INSN_SIZE != 0)
+        return nullptr;
+    const uint32_t start = (pc - img->base) / INSN_SIZE;
+    const uint32_t limit = (uint32_t)img->text.size();
+    uint32_t n = 0;
+    while (start + n < limit) {
+        const Opcode op = img->text[start + n].op;
+        ++n;
+        if (isControlTransfer(op))
+            break;
+    }
+    if (n == 0)
+        return nullptr; // pc at the exact end of text
+
+    ++stats_.blockCacheMisses;
+    CachedBlock blk;
+    blk.img = img;
+    blk.insns = img->text.data() + start;
+    blk.startPc = pc;
+    blk.count = n;
+    return &blockCache_.emplace(pc, blk).first->second;
+}
+
+void
+Machine::invalidateBlockCache()
+{
+    ++stats_.blockCacheInvalidations;
+    blockCache_.clear();
+    curBlock_ = nullptr;
+    curOff_ = 0;
 }
 
 TagSetId
-Machine::binaryTag(const LoadedImage &img)
+Machine::binaryTagSlow(const LoadedImage &img)
 {
-    return tags_->single({taint::SourceType::Binary, img.resource});
+    // First immediate executed from this block since it was cached:
+    // intern the tag and memoise it for the rest of the block's
+    // lifetime. An instrumentor callback may have invalidated the
+    // cache mid-step; intern without memoising then.
+    taint::TagSetId tag =
+        tags_->single({taint::SourceType::Binary, img.resource});
+    if (curBlock_ && curBlock_->img == &img)
+        curBlock_->binTag = tag;
+    return tag;
 }
 
 void
@@ -288,206 +329,224 @@ Machine::propagate(const Instruction &insn, uint32_t pc,
 StepResult
 Machine::step()
 {
+    uint64_t executed = 0;
+    return run(1, executed);
+}
+
+StepResult
+Machine::run(uint64_t budget, uint64_t &executed)
+{
+    executed = 0;
     if (halted_)
-        return {StepKind::Halted, "", nullptr, ""};
+        return {StepKind::Halted, {}, nullptr, {}};
 
-    const uint32_t pc = eip_;
-    const LoadedImage *img = nullptr;
-    bool ok = false;
-    const Instruction insn = fetch(pc, &img, &ok);
-    if (!ok) {
-        halted_ = true;
-        return {StepKind::Fault, "", nullptr,
-                "bad fetch at " + std::to_string(pc)};
-    }
+    while (executed < budget) {
+        const uint32_t pc = eip_;
+        // Cursor fast path: the next instruction of the current cached
+        // block is exactly pc. Anything else (block entry, redirected
+        // eip, invalidation) re-enters through the block cache.
+        if (!curBlock_ || curOff_ >= curBlock_->count ||
+            pc != curBlock_->startPc + curOff_ * INSN_SIZE) {
+            curBlock_ = enterBlock(pc);
+            curOff_ = 0;
+            if (!curBlock_) {
+                halted_ = true;
+                faultMsg_ = "bad fetch at " + std::to_string(pc);
+                return {StepKind::Fault, {}, nullptr, faultMsg_};
+            }
+        }
+        const LoadedImage *img = curBlock_->img;
+        const Instruction &insn = curBlock_->insns[curOff_];
+        ++curOff_;
 
-    if (bbStart_) {
-        ++stats_.basicBlocks;
-        if (instrumentor_)
-            instrumentor_->basicBlock(*this, pc);
-        bbStart_ = false;
-    }
+        if (bbStart_) {
+            ++stats_.basicBlocks;
+            if (instrumentor_)
+                instrumentor_->basicBlock(*this, pc);
+            bbStart_ = false;
+        }
 
-    if (instrumentor_)
-        instrumentor_->instruction(*this, insn, pc);
-    if (traceDepth_) {
-        if (trace_.size() >= traceDepth_)
-            trace_.pop_front();
-        trace_.push_back({pc, insn});
-    }
-    if (trackTaint_)
-        propagate(insn, pc, *img);
-
-    ++stats_.instructions;
-    uint32_t next = pc + INSN_SIZE;
-    StepResult result;
-
-    switch (insn.op) {
-      case Opcode::Halt:
-        halted_ = true;
-        eip_ = next;
-        return {StepKind::Halted, "", nullptr, ""};
-      case Opcode::Nop:
-        break;
-
-      case Opcode::MovRR:
-        setReg(insn.r1, reg(insn.r2));
-        break;
-      case Opcode::MovRI:
-        setReg(insn.r1, (uint32_t)insn.imm);
-        break;
-      case Opcode::Lea:
-        setReg(insn.r1, reg(insn.r2) + (uint32_t)insn.imm);
-        break;
-      case Opcode::Load:
-        setReg(insn.r1, mem_.read32(reg(insn.r2) + (uint32_t)insn.imm));
-        break;
-      case Opcode::Store:
-        mem_.write32(reg(insn.r2) + (uint32_t)insn.imm, reg(insn.r1));
-        break;
-      case Opcode::LoadB:
-        setReg(insn.r1, mem_.read8(reg(insn.r2) + (uint32_t)insn.imm));
-        break;
-      case Opcode::StoreB:
-        mem_.write8(reg(insn.r2) + (uint32_t)insn.imm,
-                    (uint8_t)reg(insn.r1));
-        break;
-
-      case Opcode::Push:
-        push32(reg(insn.r1), trackTaint_ ? regTag(insn.r1)
-                                         : TagStore::EMPTY);
-        break;
-      case Opcode::PushI:
-        push32((uint32_t)insn.imm,
-               trackTaint_ ? binaryTag(*img) : TagStore::EMPTY);
-        break;
-      case Opcode::Pop: {
-        TagSetId tag = TagStore::EMPTY;
-        uint32_t v = pop32(trackTaint_ ? &tag : nullptr);
-        setReg(insn.r1, v);
+        if (insnHook_)
+            instrumentor_->instruction(*this, insn, pc);
+        if (traceDepth_) {
+            if (trace_.size() >= traceDepth_)
+                trace_.pop_front();
+            trace_.push_back({pc, insn});
+        }
         if (trackTaint_)
-            setRegTag(insn.r1, tag);
-        break;
-      }
+            propagate(insn, pc, *img);
 
-      case Opcode::Add:
-        setReg(insn.r1, reg(insn.r1) + reg(insn.r2));
-        break;
-      case Opcode::AddI:
-        setReg(insn.r1, reg(insn.r1) + (uint32_t)insn.imm);
-        break;
-      case Opcode::Sub:
-        setReg(insn.r1, reg(insn.r1) - reg(insn.r2));
-        break;
-      case Opcode::And:
-        setReg(insn.r1, reg(insn.r1) & reg(insn.r2));
-        break;
-      case Opcode::Or:
-        setReg(insn.r1, reg(insn.r1) | reg(insn.r2));
-        break;
-      case Opcode::Xor:
-        setReg(insn.r1, reg(insn.r1) ^ reg(insn.r2));
-        break;
-      case Opcode::Mul:
-        setReg(insn.r1, reg(insn.r1) * reg(insn.r2));
-        break;
-      case Opcode::Shl:
-        setReg(insn.r1, reg(insn.r1) << (insn.imm & 31));
-        break;
-      case Opcode::Shr:
-        setReg(insn.r1, reg(insn.r1) >> (insn.imm & 31));
-        break;
+        ++stats_.instructions;
+        ++executed;
+        uint32_t next = pc + INSN_SIZE;
 
-      case Opcode::Cmp: {
-        uint32_t a = reg(insn.r1), b = reg(insn.r2);
-        zf_ = (a == b);
-        sf_ = ((int32_t)(a - b) < 0);
-        break;
-      }
-      case Opcode::CmpI: {
-        uint32_t a = reg(insn.r1), b = (uint32_t)insn.imm;
-        zf_ = (a == b);
-        sf_ = ((int32_t)(a - b) < 0);
-        break;
-      }
-
-      case Opcode::Jmp:
-        next = (uint32_t)insn.imm;
-        break;
-      case Opcode::Jz:
-        if (zf_)
-            next = (uint32_t)insn.imm;
-        break;
-      case Opcode::Jnz:
-        if (!zf_)
-            next = (uint32_t)insn.imm;
-        break;
-      case Opcode::Jl:
-        if (sf_)
-            next = (uint32_t)insn.imm;
-        break;
-      case Opcode::Jge:
-        if (!sf_)
-            next = (uint32_t)insn.imm;
-        break;
-
-      case Opcode::Call:
-        push32(next, TagStore::EMPTY);
-        next = (uint32_t)insn.imm;
-        if (instrumentor_)
-            instrumentor_->routineEnter(*this, next);
-        break;
-      case Opcode::CallSym: {
-        const auto &addrs = img->importAddrs;
-        if ((size_t)insn.imm >= addrs.size()) {
+        switch (insn.op) {
+          case Opcode::Halt:
             halted_ = true;
-            return {StepKind::Fault, "", img, "bad import index"};
-        }
-        push32(next, TagStore::EMPTY);
-        next = addrs[insn.imm];
-        if (instrumentor_)
-            instrumentor_->routineEnter(*this, next);
-        break;
-      }
-      case Opcode::CallR:
-        push32(next, TagStore::EMPTY);
-        next = reg(insn.r1);
-        if (instrumentor_)
-            instrumentor_->routineEnter(*this, next);
-        break;
-      case Opcode::Ret:
-        next = pop32();
-        break;
+            eip_ = next;
+            return {StepKind::Halted, {}, nullptr, {}};
+          case Opcode::Nop:
+            break;
 
-      case Opcode::Int80:
-        eip_ = next;
-        bbStart_ = true;
-        return {StepKind::Syscall, "", img, ""};
-      case Opcode::CpuId:
-        // Deterministic pseudo processor identification words.
-        setReg(Reg::Eax, 0x48544856); // "HTHV"
-        setReg(Reg::Ebx, 0x756e6548);
-        setReg(Reg::Ecx, 0x6c65746e);
-        setReg(Reg::Edx, 0x49656e69);
-        break;
-      case Opcode::Native: {
-        const auto &names = img->image->natives;
-        if ((size_t)insn.imm >= names.size()) {
+          case Opcode::MovRR:
+            setReg(insn.r1, reg(insn.r2));
+            break;
+          case Opcode::MovRI:
+            setReg(insn.r1, (uint32_t)insn.imm);
+            break;
+          case Opcode::Lea:
+            setReg(insn.r1, reg(insn.r2) + (uint32_t)insn.imm);
+            break;
+          case Opcode::Load:
+            setReg(insn.r1, mem_.read32(reg(insn.r2) + (uint32_t)insn.imm));
+            break;
+          case Opcode::Store:
+            mem_.write32(reg(insn.r2) + (uint32_t)insn.imm, reg(insn.r1));
+            break;
+          case Opcode::LoadB:
+            setReg(insn.r1, mem_.read8(reg(insn.r2) + (uint32_t)insn.imm));
+            break;
+          case Opcode::StoreB:
+            mem_.write8(reg(insn.r2) + (uint32_t)insn.imm,
+                        (uint8_t)reg(insn.r1));
+            break;
+
+          case Opcode::Push:
+            push32(reg(insn.r1), trackTaint_ ? regTag(insn.r1)
+                                             : TagStore::EMPTY);
+            break;
+          case Opcode::PushI:
+            push32((uint32_t)insn.imm,
+                   trackTaint_ ? binaryTag(*img) : TagStore::EMPTY);
+            break;
+          case Opcode::Pop: {
+            TagSetId tag = TagStore::EMPTY;
+            uint32_t v = pop32(trackTaint_ ? &tag : nullptr);
+            setReg(insn.r1, v);
+            if (trackTaint_)
+                setRegTag(insn.r1, tag);
+            break;
+          }
+
+          case Opcode::Add:
+            setReg(insn.r1, reg(insn.r1) + reg(insn.r2));
+            break;
+          case Opcode::AddI:
+            setReg(insn.r1, reg(insn.r1) + (uint32_t)insn.imm);
+            break;
+          case Opcode::Sub:
+            setReg(insn.r1, reg(insn.r1) - reg(insn.r2));
+            break;
+          case Opcode::And:
+            setReg(insn.r1, reg(insn.r1) & reg(insn.r2));
+            break;
+          case Opcode::Or:
+            setReg(insn.r1, reg(insn.r1) | reg(insn.r2));
+            break;
+          case Opcode::Xor:
+            setReg(insn.r1, reg(insn.r1) ^ reg(insn.r2));
+            break;
+          case Opcode::Mul:
+            setReg(insn.r1, reg(insn.r1) * reg(insn.r2));
+            break;
+          case Opcode::Shl:
+            setReg(insn.r1, reg(insn.r1) << (insn.imm & 31));
+            break;
+          case Opcode::Shr:
+            setReg(insn.r1, reg(insn.r1) >> (insn.imm & 31));
+            break;
+
+          case Opcode::Cmp: {
+            uint32_t a = reg(insn.r1), b = reg(insn.r2);
+            zf_ = (a == b);
+            sf_ = ((int32_t)(a - b) < 0);
+            break;
+          }
+          case Opcode::CmpI: {
+            uint32_t a = reg(insn.r1), b = (uint32_t)insn.imm;
+            zf_ = (a == b);
+            sf_ = ((int32_t)(a - b) < 0);
+            break;
+          }
+
+          case Opcode::Jmp:
+            next = (uint32_t)insn.imm;
+            break;
+          case Opcode::Jz:
+            if (zf_)
+                next = (uint32_t)insn.imm;
+            break;
+          case Opcode::Jnz:
+            if (!zf_)
+                next = (uint32_t)insn.imm;
+            break;
+          case Opcode::Jl:
+            if (sf_)
+                next = (uint32_t)insn.imm;
+            break;
+          case Opcode::Jge:
+            if (!sf_)
+                next = (uint32_t)insn.imm;
+            break;
+
+          case Opcode::Call:
+            push32(next, TagStore::EMPTY);
+            next = (uint32_t)insn.imm;
+            if (instrumentor_)
+                instrumentor_->routineEnter(*this, next);
+            break;
+          case Opcode::CallSym: {
+            const auto &addrs = img->importAddrs;
+            if ((size_t)insn.imm >= addrs.size()) {
+                halted_ = true;
+                return {StepKind::Fault, {}, img, "bad import index"};
+            }
+            push32(next, TagStore::EMPTY);
+            next = addrs[insn.imm];
+            if (instrumentor_)
+                instrumentor_->routineEnter(*this, next);
+            break;
+          }
+          case Opcode::CallR:
+            push32(next, TagStore::EMPTY);
+            next = reg(insn.r1);
+            if (instrumentor_)
+                instrumentor_->routineEnter(*this, next);
+            break;
+          case Opcode::Ret:
+            next = pop32();
+            break;
+
+          case Opcode::Int80:
+            eip_ = next;
+            bbStart_ = true;
+            return {StepKind::Syscall, {}, img, {}};
+          case Opcode::CpuId:
+            // Deterministic pseudo processor identification words.
+            setReg(Reg::Eax, 0x48544856); // "HTHV"
+            setReg(Reg::Ebx, 0x756e6548);
+            setReg(Reg::Ecx, 0x6c65746e);
+            setReg(Reg::Edx, 0x49656e69);
+            break;
+          case Opcode::Native: {
+            const auto &names = img->image->natives;
+            if ((size_t)insn.imm >= names.size()) {
+                halted_ = true;
+                return {StepKind::Fault, {}, img, "bad native index"};
+            }
+            eip_ = next;
+            return {StepKind::Native, names[insn.imm], img, {}};
+          }
+          default:
             halted_ = true;
-            return {StepKind::Fault, "", img, "bad native index"};
+            return {StepKind::Fault, {}, img, "bad opcode"};
         }
+
+        if (isControlTransfer(insn.op))
+            bbStart_ = true;
         eip_ = next;
-        return {StepKind::Native, names[insn.imm], img, ""};
-      }
-      default:
-        halted_ = true;
-        return {StepKind::Fault, "", img, "bad opcode"};
     }
-
-    if (isControlTransfer(insn.op))
-        bbStart_ = true;
-    eip_ = next;
-    return result;
+    return {};
 }
 
 void
@@ -534,8 +593,11 @@ Machine::cloneForFork() const
     out.mem_ = mem_.clone();
     out.shadow_ = shadow_.clone();
     out.images_ = images_;
+    // Block cache entries point into *this* machine's images_; the
+    // clone starts with a cold cache and rebuilds as it runs.
     out.nextSoBase_ = nextSoBase_;
     out.instrumentor_ = instrumentor_;
+    out.insnHook_ = insnHook_;
     out.stats_ = MachineStats{};
     return out;
 }

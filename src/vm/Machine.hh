@@ -19,6 +19,8 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "taint/Shadow.hh"
@@ -50,12 +52,21 @@ class Instrumentor
         (void)m; (void)pc;
     }
 
-    /** About to execute @p insn at @p pc (pre-execution). */
+    /**
+     * About to execute @p insn at @p pc (pre-execution). Only
+     * delivered when wantsInstructions() returns true: the machine
+     * caches that flag at setInstrumentor() time and skips the
+     * virtual dispatch entirely otherwise, so block execution pays
+     * nothing for the hook it does not use.
+     */
     virtual void instruction(Machine &m, const Instruction &insn,
                              uint32_t pc)
     {
         (void)m; (void)insn; (void)pc;
     }
+
+    /** Override to true to receive instruction() callbacks. */
+    virtual bool wantsInstructions() const { return false; }
 
     /** A call instruction is transferring to @p target. */
     virtual void routineEnter(Machine &m, uint32_t target)
@@ -74,13 +85,18 @@ enum class StepKind
     Fault,      //!< bad fetch / invalid operation
 };
 
-/** step() outcome. */
+/**
+ * step()/run() outcome. Trivially copyable so the interpreter's
+ * fast path never constructs or destroys a std::string: the views
+ * alias storage that outlives the result (image native tables, a
+ * machine-owned fault message, or string literals).
+ */
 struct StepResult
 {
     StepKind kind = StepKind::Ok;
-    std::string nativeName;             //!< for Native
+    std::string_view nativeName;        //!< for Native
     const LoadedImage *faultImage = nullptr;
-    std::string faultReason;
+    std::string_view faultReason;
 };
 
 /** Machine execution statistics (performance evaluation §9). */
@@ -89,6 +105,11 @@ struct MachineStats
     uint64_t instructions = 0;
     uint64_t basicBlocks = 0;
     uint64_t taintOps = 0;
+
+    /** Decoded-block cache behaviour (the DBI code cache). */
+    uint64_t blockCacheHits = 0;
+    uint64_t blockCacheMisses = 0;
+    uint64_t blockCacheInvalidations = 0;
 };
 
 /** One guest hardware context. */
@@ -161,12 +182,26 @@ class Machine
     /** @} */
     /** @name Execution @{ */
 
-    void setInstrumentor(Instrumentor *ins) { instrumentor_ = ins; }
+    void
+    setInstrumentor(Instrumentor *ins)
+    {
+        instrumentor_ = ins;
+        insnHook_ = ins && ins->wantsInstructions();
+    }
     void setTaintTracking(bool on) { trackTaint_ = on; }
     bool taintTracking() const { return trackTaint_; }
 
     /** Execute one instruction (or yield at a kernel boundary). */
     StepResult step();
+
+    /**
+     * Execute up to @p budget instructions through the decoded
+     * block cache, returning early when the kernel must act
+     * (syscall, native call, halt, fault). @p executed receives the
+     * number of retired instructions, including the one that caused
+     * the early return.
+     */
+    StepResult run(uint64_t budget, uint64_t &executed);
 
     bool halted() const { return halted_; }
     void setHalted() { halted_ = true; }
@@ -215,11 +250,48 @@ class Machine
     Machine cloneForFork() const;
 
   private:
-    Instruction fetch(uint32_t pc, const LoadedImage **img_out,
-                      bool *ok);
+    /**
+     * One entry of the decoded basic-block cache (the DBI code-cache
+     * idea Harrier inherits from PIN): the image is resolved once on
+     * first entry, instructions are taken by pointer from the
+     * relocated text, and the image's BINARY tag is interned once
+     * (lazily, so blocks built with taint tracking off pay nothing).
+     */
+    struct CachedBlock
+    {
+        const LoadedImage *img = nullptr;
+        const Instruction *insns = nullptr; //!< into img->text
+        uint32_t startPc = 0;
+        uint32_t count = 0;
+        taint::TagSetId binTag = NO_TAG;    //!< lazily resolved
+    };
+
+    /** Sentinel for "BINARY tag not resolved yet". */
+    static constexpr taint::TagSetId NO_TAG = 0xffffffffu;
+
+    /** Cached block entered at @p pc, building it on a cache miss;
+     * nullptr when @p pc is not decodable text. */
+    CachedBlock *enterBlock(uint32_t pc);
+
+    /** Drop every cached block (image set changed). */
+    void invalidateBlockCache();
+
+    /** BINARY source tag of @p img, memoised in the current block.
+     * Inline fast path: immediates in hot loops hit the memo every
+     * time; the slow path interns through the tag store. */
+    taint::TagSetId
+    binaryTag(const LoadedImage &img)
+    {
+        if (curBlock_ && curBlock_->img == &img &&
+            curBlock_->binTag != NO_TAG)
+            return curBlock_->binTag;
+        return binaryTagSlow(img);
+    }
+
+    taint::TagSetId binaryTagSlow(const LoadedImage &img);
+
     void propagate(const Instruction &insn, uint32_t pc,
                    const LoadedImage &img);
-    taint::TagSetId binaryTag(const LoadedImage &img);
 
     taint::TagStore *tags_;
     std::array<uint32_t, NUM_REGS> regs_{};
@@ -238,8 +310,21 @@ class Machine
     std::deque<LoadedImage> images_;
     uint32_t nextSoBase_ = SO_BASE;
 
+    /** Decoded-block cache, keyed by entry pc. Entries point into
+     * images_ and must be invalidated whenever the image set
+     * changes (loadImage, resetForExec). node-based map: entry
+     * addresses are stable across inserts, so curBlock_ may point
+     * into it. */
+    std::unordered_map<uint32_t, CachedBlock> blockCache_;
+    CachedBlock *curBlock_ = nullptr;
+    uint32_t curOff_ = 0;   //!< index of the next insn in curBlock_
+
     Instrumentor *instrumentor_ = nullptr;
+    bool insnHook_ = false; //!< instrumentor_->wantsInstructions()
     MachineStats stats_;
+
+    /** Owns the text a Fault result's faultReason view aliases. */
+    std::string faultMsg_;
 
     size_t traceDepth_ = 0;
     std::deque<TraceEntry> trace_;

@@ -1,11 +1,18 @@
 /**
  * @file
  * Sparse paged guest memory (32-bit flat address space).
+ *
+ * Accessors are page-chunked: multi-byte operations touch the page
+ * table once per page instead of once per byte, and a one-entry
+ * page cache (micro-TLB) turns the common same-page access into a
+ * compare. Pages are never deallocated, so cached page pointers
+ * stay valid for the lifetime of the object.
  */
 
 #ifndef HTH_VM_MEMORY_HH
 #define HTH_VM_MEMORY_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
@@ -26,21 +33,30 @@ class GuestMemory
     uint8_t
     read8(uint32_t addr) const
     {
-        auto it = pages_.find(addr >> PAGE_BITS);
-        if (it == pages_.end())
+        const Page *p = lookup(addr >> PAGE_BITS);
+        if (!p)
             return 0;
-        return (*it->second)[addr & (PAGE_SIZE - 1)];
+        return (*p)[addr & (PAGE_SIZE - 1)];
     }
 
     void
     write8(uint32_t addr, uint8_t value)
     {
-        page(addr >> PAGE_BITS)[addr & (PAGE_SIZE - 1)] = value;
+        ensure(addr >> PAGE_BITS)[addr & (PAGE_SIZE - 1)] = value;
     }
 
     uint32_t
     read32(uint32_t addr) const
     {
+        const uint32_t off = addr & (PAGE_SIZE - 1);
+        if (off <= PAGE_SIZE - 4) {
+            const Page *p = lookup(addr >> PAGE_BITS);
+            if (!p)
+                return 0;
+            const uint8_t *b = p->data() + off;
+            return (uint32_t)b[0] | ((uint32_t)b[1] << 8) |
+                   ((uint32_t)b[2] << 16) | ((uint32_t)b[3] << 24);
+        }
         return (uint32_t)read8(addr) | ((uint32_t)read8(addr + 1) << 8) |
                ((uint32_t)read8(addr + 2) << 16) |
                ((uint32_t)read8(addr + 3) << 24);
@@ -49,6 +65,15 @@ class GuestMemory
     void
     write32(uint32_t addr, uint32_t value)
     {
+        const uint32_t off = addr & (PAGE_SIZE - 1);
+        if (off <= PAGE_SIZE - 4) {
+            uint8_t *b = ensure(addr >> PAGE_BITS).data() + off;
+            b[0] = (uint8_t)value;
+            b[1] = (uint8_t)(value >> 8);
+            b[2] = (uint8_t)(value >> 16);
+            b[3] = (uint8_t)(value >> 24);
+            return;
+        }
         write8(addr, (uint8_t)value);
         write8(addr + 1, (uint8_t)(value >> 8));
         write8(addr + 2, (uint8_t)(value >> 16));
@@ -59,29 +84,72 @@ class GuestMemory
     writeBytes(uint32_t addr, const void *src, size_t len)
     {
         const uint8_t *p = (const uint8_t *)src;
-        for (size_t i = 0; i < len; ++i)
-            write8(addr + (uint32_t)i, p[i]);
+        while (len) {
+            const uint32_t off = addr & (PAGE_SIZE - 1);
+            const size_t chunk =
+                std::min(len, (size_t)(PAGE_SIZE - off));
+            std::memcpy(ensure(addr >> PAGE_BITS).data() + off, p,
+                        chunk);
+            addr += (uint32_t)chunk;
+            p += chunk;
+            len -= chunk;
+        }
     }
 
     void
     readBytes(uint32_t addr, void *dst, size_t len) const
     {
         uint8_t *p = (uint8_t *)dst;
-        for (size_t i = 0; i < len; ++i)
-            p[i] = read8(addr + (uint32_t)i);
+        while (len) {
+            const uint32_t off = addr & (PAGE_SIZE - 1);
+            const size_t chunk =
+                std::min(len, (size_t)(PAGE_SIZE - off));
+            const Page *pg = lookup(addr >> PAGE_BITS);
+            if (pg)
+                std::memcpy(p, pg->data() + off, chunk);
+            else
+                std::memset(p, 0, chunk);
+            addr += (uint32_t)chunk;
+            p += chunk;
+            len -= chunk;
+        }
+    }
+
+    /**
+     * Length of the NUL-terminated string at @p addr, page-chunked
+     * (memchr per page, not a lookup per byte). Returns @p max_len
+     * when no NUL is found within the bound; an unmapped page reads
+     * as zeroes, i.e. terminates the string.
+     */
+    size_t
+    cstrlen(uint32_t addr, size_t max_len = 4096) const
+    {
+        size_t n = 0;
+        while (n < max_len) {
+            const uint32_t off = (addr + (uint32_t)n) &
+                                 (PAGE_SIZE - 1);
+            const size_t chunk =
+                std::min(max_len - n, (size_t)(PAGE_SIZE - off));
+            const Page *pg =
+                lookup((addr + (uint32_t)n) >> PAGE_BITS);
+            if (!pg)
+                return n; // unmapped reads as zero: terminator
+            const void *nul =
+                std::memchr(pg->data() + off, 0, chunk);
+            if (nul)
+                return n + ((const uint8_t *)nul -
+                            (pg->data() + off));
+            n += chunk;
+        }
+        return max_len;
     }
 
     /** Read a NUL-terminated string (bounded by @p max_len). */
     std::string
     readCString(uint32_t addr, size_t max_len = 4096) const
     {
-        std::string out;
-        for (size_t i = 0; i < max_len; ++i) {
-            uint8_t b = read8(addr + (uint32_t)i);
-            if (b == 0)
-                break;
-            out.push_back((char)b);
-        }
+        std::string out(cstrlen(addr, max_len), '\0');
+        readBytes(addr, out.data(), out.size());
         return out;
     }
 
@@ -108,18 +176,41 @@ class GuestMemory
   private:
     using Page = std::array<uint8_t, PAGE_SIZE>;
 
-    Page &
-    page(uint32_t pno)
+    static constexpr uint32_t NO_PAGE = 0xffffffffu;
+
+    /** Existing page or nullptr; refreshes the micro-TLB. */
+    Page *
+    lookup(uint32_t pno) const
     {
+        if (pno == tlbPno_)
+            return tlbPage_;
         auto it = pages_.find(pno);
-        if (it == pages_.end()) {
-            it = pages_.emplace(pno, std::make_unique<Page>()).first;
+        if (it == pages_.end())
+            return nullptr;
+        tlbPno_ = pno;
+        tlbPage_ = it->second.get();
+        return tlbPage_;
+    }
+
+    Page &
+    ensure(uint32_t pno)
+    {
+        if (pno == tlbPno_ && tlbPage_)
+            return *tlbPage_;
+        auto [it, inserted] = pages_.try_emplace(pno);
+        if (inserted) {
+            it->second = std::make_unique<Page>();
             it->second->fill(0);
         }
+        tlbPno_ = pno;
+        tlbPage_ = it->second.get();
         return *it->second;
     }
 
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+
+    mutable uint32_t tlbPno_ = NO_PAGE;
+    mutable Page *tlbPage_ = nullptr;
 };
 
 } // namespace hth::vm

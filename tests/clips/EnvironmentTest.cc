@@ -727,6 +727,117 @@ TEST_F(PaperRuleTest, UserInputDoesNotFire)
     EXPECT_EQ(lastWarning, 0);
 }
 
+//
+// Match strategy (incremental vs naive)
+//
+
+namespace
+{
+
+/** A two-rule program whose fire order exercises joins, salience
+ * and retraction; output is the observable fire trace. */
+const char *STRATEGY_PROGRAM =
+    "(deftemplate item (slot name) (slot qty))"
+    "(deftemplate order (slot name))"
+    "(defrule ship"
+    "  (declare (salience 10))"
+    "  ?o <- (order (name ?n))"
+    "  (item (name ?n) (qty ?q))"
+    "  =>"
+    "  (printout t \"ship \" ?n \" \" ?q crlf)"
+    "  (retract ?o))"
+    "(defrule restock"
+    "  (item (name ?n) (qty 0))"
+    "  =>"
+    "  (printout t \"restock \" ?n crlf))";
+
+/** Run the same assert sequence under @p s; return the fire trace. */
+std::string
+strategyTrace(MatchStrategy s)
+{
+    Environment env;
+    std::ostringstream out;
+    env.setOutput(&out);
+    env.setMatchStrategy(s);
+    env.loadString(STRATEGY_PROGRAM);
+    env.assertString("(item (name disk) (qty 3))");
+    env.assertString("(item (name tape) (qty 0))");
+    env.assertString("(order (name disk))");
+    env.run();
+    env.assertString("(order (name tape))");
+    env.run();
+    return out.str();
+}
+
+} // namespace
+
+TEST(MatchStrategyTest, NaiveAndIncrementalTracesAgree)
+{
+    std::string inc = strategyTrace(MatchStrategy::Incremental);
+    std::string naive = strategyTrace(MatchStrategy::Naive);
+    EXPECT_EQ(inc, naive);
+    EXPECT_EQ(inc, "ship disk 3\nrestock tape\nship tape 0\n");
+}
+
+TEST(MatchStrategyTest, SwitchMidStreamPreservesBehaviour)
+{
+    Environment env;
+    std::ostringstream out;
+    env.setOutput(&out);
+    env.loadString(STRATEGY_PROGRAM);
+    env.assertString("(item (name disk) (qty 3))");
+    env.assertString("(order (name disk))");
+    EXPECT_EQ(env.run(), 1);
+
+    // Flip to naive mid-stream: pending state must carry over.
+    env.setMatchStrategy(MatchStrategy::Naive);
+    env.assertString("(order (name disk))");
+    EXPECT_EQ(env.run(), 1);
+
+    // And back: the rebuilt agenda must not re-fire old matches.
+    env.setMatchStrategy(MatchStrategy::Incremental);
+    EXPECT_EQ(env.run(), 0);
+    env.assertString("(item (name tape) (qty 0))");
+    EXPECT_EQ(env.run(), 1); // restock
+    EXPECT_EQ(out.str(),
+              "ship disk 3\nship disk 3\nrestock tape\n");
+}
+
+TEST(MatchStrategyTest, RetractBeforeRunRemovesActivation)
+{
+    Environment env;
+    env.loadString(
+        "(deftemplate ping (slot n))"
+        "(defrule on-ping (ping (n ?n)) => (bind ?x 1))");
+    FactId id = env.assertString("(ping (n 1))");
+    // The activation enters the maintained agenda at assert time;
+    // retracting its support must pull it back out.
+    EXPECT_TRUE(env.retract(id));
+    EXPECT_EQ(env.run(), 0);
+}
+
+TEST(MatchStrategyTest, IncrementalDoesLessMatchWork)
+{
+    // Same workload under both strategies: the incremental matcher
+    // must recompute strictly fewer rule matches (only dirty rules)
+    // while firing identically.
+    auto matches = [](MatchStrategy s) {
+        Environment env;
+        std::ostringstream out;
+        env.setOutput(&out);
+        env.setMatchStrategy(s);
+        env.loadString(STRATEGY_PROGRAM);
+        for (int i = 0; i < 10; ++i) {
+            env.assertString("(item (name disk) (qty 3))");
+            env.assertString("(order (name disk))");
+            env.run();
+        }
+        return env.stats().ruleMatches;
+    };
+    EXPECT_LT(matches(MatchStrategy::Incremental),
+              matches(MatchStrategy::Naive));
+}
+
 int
 main(int argc, char **argv)
 {

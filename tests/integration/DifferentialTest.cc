@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Naive-vs-incremental matcher differential tests.
+ *
+ * The incremental matcher (alpha memories, dirty-rule marking,
+ * maintained agenda) must be observationally identical to the naive
+ * full-recomputation oracle. Every scenario in the workloads corpus
+ * runs under both strategies; the CLIPS fire trace (rule + supporting
+ * fact ids, in firing order), the warning list and the transcript
+ * must match byte for byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/Exploits.hh"
+#include "workloads/Macro.hh"
+#include "workloads/Micro.hh"
+#include "workloads/Trusted.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+/** Run @p s with the naive oracle on or off. */
+Report
+runWith(const Scenario &s, bool naive)
+{
+    HthOptions options;
+    options.policy.naiveMatcher = naive;
+    return runScenario(s, options).report;
+}
+
+/** Warnings rendered one per line for whole-list comparison. */
+std::string
+warningsToString(const Report &r)
+{
+    std::string out;
+    for (const auto &w : r.warnings) {
+        out += std::to_string((int)w.severity);
+        out += ' ';
+        out += w.rule;
+        out += " pid=";
+        out += std::to_string(w.pid);
+        out += ' ';
+        out += w.message;
+        out += '\n';
+    }
+    return out;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<Scenario>
+{
+};
+
+} // namespace
+
+TEST_P(DifferentialTest, StrategiesAgree)
+{
+    const Scenario &s = GetParam();
+    Report inc = runWith(s, false);
+    Report naive = runWith(s, true);
+
+    // The observable behaviour of the expert system must not depend
+    // on the matching strategy: same rules, same supporting facts,
+    // same order, same conclusions.
+    EXPECT_EQ(inc.fireTrace, naive.fireTrace);
+    EXPECT_EQ(warningsToString(inc), warningsToString(naive));
+    EXPECT_EQ(inc.maxSeverity(), naive.maxSeverity());
+    EXPECT_EQ(inc.transcript, naive.transcript);
+    EXPECT_EQ(inc.eventsAnalyzed, naive.eventsAnalyzed);
+    EXPECT_EQ(inc.rulesFired, naive.rulesFired);
+
+    // Sanity: the interesting scenarios actually exercise the
+    // matcher (an empty trace would make the comparison vacuous).
+    if (s.expectMalicious) {
+        EXPECT_FALSE(inc.fireTrace.empty()) << s.id;
+    }
+}
+
+namespace
+{
+
+std::vector<Scenario>
+allScenarios()
+{
+    std::vector<Scenario> all;
+    for (auto &&list :
+         {executionFlowScenarios(), resourceAbuseScenarios(),
+          infoFlowScenarios(), macroScenarios(),
+          trustedProgramScenarios(), exploitScenarios()})
+        for (auto &s : list)
+            all.push_back(std::move(s));
+    return all;
+}
+
+std::string
+scenarioName(const ::testing::TestParamInfo<Scenario> &info)
+{
+    // gtest parameter names must be alphanumeric.
+    std::string name;
+    for (char c : info.param.id)
+        if (std::isalnum((unsigned char)c))
+            name += c;
+    return name;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Corpus, DifferentialTest,
+                         ::testing::ValuesIn(allScenarios()),
+                         scenarioName);
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -204,6 +204,52 @@ TEST(ShadowMemory, SetRangeAcrossPageBoundary)
     EXPECT_EQ(shadow.pageCount(), 2u);
 }
 
+TEST(ShadowMemory, SetRangeEmptyAllocatesNoPage)
+{
+    TagStore store;
+    ShadowMemory shadow;
+    // Clearing a range that touches only unallocated pages must not
+    // materialise them (the whole-page-EMPTY fast path).
+    shadow.setRange(ShadowMemory::PAGE_SIZE - 8, 16, TagStore::EMPTY);
+    EXPECT_EQ(shadow.pageCount(), 0u);
+
+    // But it must still clear tags on pages that do exist.
+    TagSetId tag = store.single({SourceType::File, 3});
+    shadow.set(0x40, tag);
+    shadow.setRange(0, ShadowMemory::PAGE_SIZE, TagStore::EMPTY);
+    EXPECT_EQ(shadow.get(0x40), TagStore::EMPTY);
+}
+
+TEST(ShadowMemory, RangeUnionAcrossPageBoundary)
+{
+    TagStore store;
+    ShadowMemory shadow;
+    TagSetId a = store.single({SourceType::File, 1});
+    TagSetId b = store.single({SourceType::Socket, 2});
+    // One tag on each side of a page boundary; the union over a
+    // window spanning it must see both.
+    uint32_t boundary = ShadowMemory::PAGE_SIZE;
+    shadow.set(boundary - 1, a);
+    shadow.set(boundary, b);
+    TagSetId u = shadow.rangeUnion(store, boundary - 4, 8);
+    EXPECT_EQ(u, store.unite(a, b));
+}
+
+TEST(ShadowMemory, RangeUnionSkipsUnallocatedPages)
+{
+    TagStore store;
+    ShadowMemory shadow;
+    TagSetId a = store.single({SourceType::File, 1});
+    // Tags only on the first and third page; the (never-touched)
+    // middle page contributes nothing and stays unallocated.
+    shadow.set(0x10, a);
+    shadow.set(2 * ShadowMemory::PAGE_SIZE + 0x10, a);
+    TagSetId u =
+        shadow.rangeUnion(store, 0, 3 * ShadowMemory::PAGE_SIZE);
+    EXPECT_EQ(u, a);
+    EXPECT_EQ(shadow.pageCount(), 2u);
+}
+
 TEST(ShadowMemory, RangeUnion)
 {
     TagStore store;

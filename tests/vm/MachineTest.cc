@@ -15,6 +15,7 @@
 using namespace hth;
 using namespace hth::vm;
 using taint::SourceType;
+using taint::TagSetId;
 using taint::TagStore;
 
 namespace
@@ -629,6 +630,125 @@ TEST(MachineClone, ForkIsDeep)
     EXPECT_EQ(child.findImage(li.base), &child.images()[0]);
 }
 
+TEST(MachineClone, ForkShadowIsIndependent)
+{
+    TagStore tags;
+    Machine m(tags);
+    m.setTaintTracking(true);
+    TagSetId a = tags.single({SourceType::File, 1});
+    TagSetId b = tags.single({SourceType::Socket, 2});
+    m.shadow().set(0x100, a);
+
+    Machine child = m.cloneForFork();
+    EXPECT_EQ(child.shadow().get(0x100), a);
+    child.shadow().set(0x100, b);
+    child.shadow().set(0x104, b);
+    EXPECT_EQ(m.shadow().get(0x100), a);
+    EXPECT_EQ(m.shadow().get(0x104), TagStore::EMPTY);
+    EXPECT_EQ(child.shadow().get(0x100), b);
+}
+
+//
+// Decoded basic-block cache
+//
+
+namespace
+{
+
+/** A guest that loops @p n times: re-enters its loop block n-1
+ * times, so a working block cache shows hits ≈ iterations. */
+std::shared_ptr<const Image>
+makeLoopImage(int n)
+{
+    Asm a("/t/loop");
+    a.movi(Reg::Ecx, 0);
+    a.label("loop");
+    a.addi(Reg::Ecx, 1);
+    a.cmpi(Reg::Ecx, n);
+    a.jl("loop");
+    a.halt();
+    return a.build();
+}
+
+} // namespace
+
+TEST(BlockCache, ReenteredBlocksHit)
+{
+    TagStore tags;
+    Machine m(tags);
+    loadAt(m, makeLoopImage(100));
+    runToHalt(m);
+    const MachineStats &st = m.stats();
+    // Each back-edge re-entry is a cache hit; only the distinct
+    // blocks (entry through first jl, loop body, halt) miss.
+    EXPECT_GE(st.blockCacheHits, 98u);
+    EXPECT_LE(st.blockCacheMisses, 3u);
+}
+
+TEST(BlockCache, RunBudgetMatchesStep)
+{
+    TagStore tags;
+    Machine m(tags);
+    loadAt(m, makeLoopImage(50));
+    uint64_t executed = 0;
+    // Drive through run() in small budgets: the cursor fast path
+    // must resume mid-block without re-fetching or skipping.
+    while (!m.halted()) {
+        uint64_t n = 0;
+        StepResult r = m.run(7, n);
+        executed += n;
+        ASSERT_NE(r.kind, StepKind::Fault) << r.faultReason;
+    }
+    EXPECT_EQ(executed, m.stats().instructions);
+    EXPECT_EQ(m.reg(Reg::Ecx), 50u);
+}
+
+TEST(BlockCache, LoadImageInvalidates)
+{
+    TagStore tags;
+    Machine m(tags);
+    loadAt(m, makeLoopImage(40));
+
+    // Run partway into the loop so blocks are cached and hot.
+    uint64_t n = 0;
+    StepResult r = m.run(30, n);
+    ASSERT_EQ(r.kind, StepKind::Ok);
+    uint64_t invs = m.stats().blockCacheInvalidations;
+
+    // Mapping a new image mid-run changes the address space: every
+    // cached block (holding image pointers) must be dropped.
+    Asm so("/t/lib.so", /*shared_object=*/true);
+    so.label("fn");
+    so.ret();
+    m.loadImage(so.build(), 2);
+    EXPECT_EQ(m.stats().blockCacheInvalidations, invs + 1);
+
+    // Execution resumes correctly on re-decoded blocks.
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Ecx), 40u);
+}
+
+TEST(BlockCache, ResetForExecInvalidates)
+{
+    TagStore tags;
+    Machine m(tags);
+    loadAt(m, makeLoopImage(10));
+    runToHalt(m);
+    EXPECT_GT(m.stats().blockCacheHits, 0u);
+    uint64_t invs = m.stats().blockCacheInvalidations;
+
+    // execve: images are gone, so cached blocks must be too —
+    // stale ones would point into freed text and the old mapping.
+    m.resetForExec();
+    EXPECT_EQ(m.stats().blockCacheInvalidations, invs + 1);
+    EXPECT_TRUE(m.images().empty());
+
+    // The machine re-runs a fresh executable correctly afterwards.
+    loadAt(m, makeLoopImage(20));
+    runToHalt(m);
+    EXPECT_EQ(m.reg(Reg::Ecx), 20u);
+}
+
 namespace
 {
 
@@ -651,6 +771,7 @@ struct CountingInstrumentor : Instrumentor
         ++bbs;
         bbPcs.push_back(pc);
     }
+    bool wantsInstructions() const override { return true; }
     void
     instruction(Machine &, const Instruction &, uint32_t) override
     {
