@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Fleet and trace-layer throughput.
+ *
+ * BM_FleetSessions: sessions/sec over the mixed workload corpus
+ * (all 61 scenarios) at 1/2/4/8 worker threads. Sessions are fully
+ * independent, so on an N-core machine throughput should scale to
+ * ~min(workers, N) — on a single-core container the expected curve
+ * is flat (the recorded numbers say which machine produced them).
+ *
+ * BM_TraceWrite / BM_TraceReplay: serialization throughput (MB/s)
+ * of the binary event-trace layer over the event stream the whole
+ * corpus produces.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <thread>
+#include <variant>
+
+#include "fleet/FleetService.hh"
+#include "trace/TraceReader.hh"
+#include "trace/TraceWriter.hh"
+#include "workloads/Exploits.hh"
+#include "workloads/Macro.hh"
+#include "workloads/Micro.hh"
+#include "workloads/Trusted.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+std::vector<Scenario>
+corpus()
+{
+    std::vector<Scenario> all;
+    for (auto &&list :
+         {executionFlowScenarios(), resourceAbuseScenarios(),
+          infoFlowScenarios(), macroScenarios(),
+          trustedProgramScenarios(), exploitScenarios()})
+        for (auto &s : list)
+            all.push_back(std::move(s));
+    return all;
+}
+
+std::vector<fleet::FleetJob>
+corpusJobs()
+{
+    std::vector<fleet::FleetJob> jobs;
+    for (const Scenario &s : corpus())
+        jobs.push_back(toFleetJob(s));
+    return jobs;
+}
+
+using AnyEvent = std::variant<harrier::ResourceAccessEvent,
+                              harrier::ResourceIoEvent,
+                              harrier::StaticFindingEvent>;
+
+/** Captures the corpus event stream once for the trace benches. */
+struct CaptureSink : harrier::EventSink
+{
+    std::vector<AnyEvent> events;
+    void
+    onResourceAccess(const harrier::ResourceAccessEvent &ev) override
+    {
+        events.push_back(ev);
+    }
+    void
+    onResourceIo(const harrier::ResourceIoEvent &ev) override
+    {
+        events.push_back(ev);
+    }
+    void
+    onStaticFinding(const harrier::StaticFindingEvent &ev) override
+    {
+        events.push_back(ev);
+    }
+};
+
+const std::vector<AnyEvent> &
+corpusEvents()
+{
+    static const std::vector<AnyEvent> events = [] {
+        CaptureSink sink;
+        for (const Scenario &s : corpus()) {
+            HthOptions options;
+            options.eventTap = &sink;
+            runScenario(s, options);
+        }
+        return std::move(sink.events);
+    }();
+    return events;
+}
+
+void
+writeAll(trace::TraceWriter &writer, const std::vector<AnyEvent> &events)
+{
+    for (const AnyEvent &ev : events)
+        std::visit([&](const auto &e) {
+            using T = std::decay_t<decltype(e)>;
+            if constexpr (std::is_same_v<T,
+                              harrier::ResourceAccessEvent>)
+                writer.onResourceAccess(e);
+            else if constexpr (std::is_same_v<T,
+                                   harrier::ResourceIoEvent>)
+                writer.onResourceIo(e);
+            else
+                writer.onStaticFinding(e);
+        }, ev);
+}
+
+struct NullSink : harrier::EventSink
+{
+    void onResourceAccess(const harrier::ResourceAccessEvent &) override {}
+    void onResourceIo(const harrier::ResourceIoEvent &) override {}
+    void onStaticFinding(const harrier::StaticFindingEvent &) override {}
+};
+
+void
+BM_FleetSessions(benchmark::State &state)
+{
+    const std::vector<fleet::FleetJob> jobs = corpusJobs();
+    fleet::FleetConfig config;
+    config.workers = (size_t)state.range(0);
+
+    uint64_t sessions = 0;
+    for (auto _ : state) {
+        fleet::FleetReport report =
+            fleet::FleetService::run(jobs, config);
+        if (report.completed != jobs.size()) {
+            state.SkipWithError("fleet session failed");
+            break;
+        }
+        sessions += report.sessions;
+        benchmark::DoNotOptimize(report.warnings);
+    }
+    state.counters["sessions_per_sec"] = benchmark::Counter(
+        (double)sessions, benchmark::Counter::kIsRate);
+    state.counters["hw_cores"] =
+        (double)std::thread::hardware_concurrency();
+}
+BENCHMARK(BM_FleetSessions)
+    ->ArgName("workers")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceWrite(benchmark::State &state)
+{
+    const std::vector<AnyEvent> &events = corpusEvents();
+    uint64_t bytes = 0;
+    for (auto _ : state) {
+        std::ostringstream out;
+        trace::TraceWriter writer(out);
+        writeAll(writer, events);
+        writer.finish();
+        bytes += writer.stats().bytes;
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed((int64_t)bytes);
+    state.counters["events"] = (double)events.size();
+}
+BENCHMARK(BM_TraceWrite)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    std::ostringstream out;
+    trace::TraceWriter writer(out);
+    writeAll(writer, corpusEvents());
+    writer.finish();
+    const std::string bytes = out.str();
+
+    uint64_t processed = 0;
+    for (auto _ : state) {
+        std::istringstream in(bytes);
+        trace::TraceReader reader(in);
+        NullSink sink;
+        benchmark::DoNotOptimize(reader.replay(sink));
+        processed += bytes.size();
+    }
+    state.SetBytesProcessed((int64_t)processed);
+    state.counters["trace_bytes"] = (double)bytes.size();
+}
+BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
+
+/**
+ * Replay straight into a live expert system — the offline-analysis
+ * hot path a centralized Secpert farm would run.
+ */
+void
+BM_TraceReplayIntoSecpert(benchmark::State &state)
+{
+    std::ostringstream out;
+    trace::TraceWriter writer(out);
+    writeAll(writer, corpusEvents());
+    writer.finish();
+    const std::string bytes = out.str();
+
+    uint64_t processed = 0;
+    for (auto _ : state) {
+        std::istringstream in(bytes);
+        trace::TraceReader reader(in);
+        secpert::Secpert secpert;
+        benchmark::DoNotOptimize(reader.replay(secpert));
+        processed += bytes.size();
+    }
+    state.SetBytesProcessed((int64_t)processed);
+}
+BENCHMARK(BM_TraceReplayIntoSecpert)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * hthd — the HTH fleet daemon front end.
+ *
+ * Batch-monitors a manifest of guest binaries (workload-corpus
+ * scenario ids) across a worker pool, optionally recording one
+ * binary event trace per session, and prints the aggregated fleet
+ * report. Recorded traces can be re-analyzed later — against the
+ * same or a newer policy — with --replay.
+ *
+ *   hthd --list
+ *   hthd --workers 4 manifest.txt
+ *   hthd --workers 4 --trace-dir traces
+ *   hthd --replay traces/grabem.hthtrc
+ *
+ * A manifest names one scenario id per line (`#` starts a comment);
+ * the line `all` expands to the whole corpus. Without a manifest
+ * the whole corpus is run.
+ *
+ * As an example self-check, hthd exits nonzero when any session
+ * fails or any completed session's verdict diverges from the
+ * paper's classification.
+ */
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fleet/FleetService.hh"
+#include "secpert/Secpert.hh"
+#include "support/Logging.hh"
+#include "trace/TraceReader.hh"
+#include "workloads/Exploits.hh"
+#include "workloads/Macro.hh"
+#include "workloads/Micro.hh"
+#include "workloads/Trusted.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+std::vector<Scenario>
+corpus()
+{
+    std::vector<Scenario> all;
+    for (auto &&list :
+         {executionFlowScenarios(), resourceAbuseScenarios(),
+          infoFlowScenarios(), macroScenarios(),
+          trustedProgramScenarios(), exploitScenarios()})
+        for (auto &s : list)
+            all.push_back(std::move(s));
+    return all;
+}
+
+/** "vixie crontab" -> "vixie_crontab" (safe as a file name). */
+std::string
+sanitize(const std::string &id)
+{
+    std::string out;
+    for (char c : id)
+        out += std::isalnum((unsigned char)c) ? c : '_';
+    return out;
+}
+
+int
+replayTrace(const std::string &path)
+{
+    trace::TraceReader reader(path);
+    secpert::Secpert secpert;
+    uint64_t events = reader.replay(secpert);
+
+    std::cout << "replayed " << events << " events from " << path
+              << "\n";
+    if (!secpert.transcript().empty())
+        std::cout << secpert.transcript();
+    std::cout << secpert.warnings().size() << " warnings";
+    if (!secpert.warnings().empty())
+        std::cout << ", max severity "
+                  << secpert::severityName(
+                         secpert::maxSeverity(secpert.warnings()));
+    std::cout << "\n";
+    return 0;
+}
+
+std::vector<std::string>
+readManifest(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "hthd: cannot read manifest ", path);
+    std::vector<std::string> ids;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        while (!line.empty() && std::isspace((unsigned char)line.back()))
+            line.pop_back();
+        size_t start = 0;
+        while (start < line.size() &&
+               std::isspace((unsigned char)line[start]))
+            ++start;
+        line.erase(0, start);
+        if (!line.empty())
+            ids.push_back(line);
+    }
+    return ids;
+}
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: hthd [options] [manifest-file]\n"
+        "  --list             print every scenario id and exit\n"
+        "  --workers N        worker threads (default: hardware)\n"
+        "  --queue N          job-queue capacity (backpressure)\n"
+        "  --tick-budget N    cap every session at N virtual ticks\n"
+        "  --trace-dir DIR    record one event trace per session\n"
+        "  --replay FILE      re-analyze a recorded trace and exit\n"
+        "  --summary-only     suppress per-session result lines\n";
+    return 2;
+}
+
+int
+run(int argc, char **argv)
+{
+    fleet::FleetConfig config;
+    std::string trace_dir;
+    std::string manifest_path;
+    bool summary_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            fatalIf(i + 1 >= argc, "hthd: ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const Scenario &s : corpus())
+                std::cout << s.id << "\n";
+            return 0;
+        } else if (arg == "--workers") {
+            config.workers = (size_t)std::stoul(value());
+        } else if (arg == "--queue") {
+            config.queueCapacity = (size_t)std::stoul(value());
+        } else if (arg == "--tick-budget") {
+            config.tickBudget = (uint64_t)std::stoull(value());
+        } else if (arg == "--trace-dir") {
+            trace_dir = value();
+        } else if (arg == "--replay") {
+            return replayTrace(value());
+        } else if (arg == "--summary-only") {
+            summary_only = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            manifest_path = arg;
+        }
+    }
+
+    std::vector<Scenario> all = corpus();
+    std::map<std::string, const Scenario *> by_id;
+    for (const Scenario &s : all)
+        by_id[s.id] = &s;
+
+    std::vector<const Scenario *> selected;
+    if (manifest_path.empty()) {
+        for (const Scenario &s : all)
+            selected.push_back(&s);
+    } else {
+        for (const std::string &id : readManifest(manifest_path)) {
+            if (id == "all") {
+                for (const Scenario &s : all)
+                    selected.push_back(&s);
+                continue;
+            }
+            auto it = by_id.find(id);
+            if (it == by_id.end()) {
+                std::cerr << "hthd: unknown scenario '" << id
+                          << "' (try --list)\n";
+                return 2;
+            }
+            selected.push_back(it->second);
+        }
+    }
+
+    if (!trace_dir.empty())
+        std::filesystem::create_directories(trace_dir);
+
+    fleet::FleetService service(config);
+    std::cout << "hthd: " << selected.size() << " sessions on "
+              << service.workers() << " workers\n";
+    for (const Scenario *s : selected) {
+        std::string trace_path;
+        if (!trace_dir.empty())
+            trace_path =
+                trace_dir + "/" + sanitize(s->id) + ".hthtrc";
+        service.submit(toFleetJob(*s, {}, trace_path));
+    }
+    fleet::FleetReport report = service.finish();
+
+    int divergent = 0;
+    for (const fleet::FleetResult &r : report.results) {
+        const Scenario &s = *selected[r.index];
+        std::string verdict;
+        if (r.cancelled) {
+            verdict = "cancelled";
+        } else if (!r.completed) {
+            verdict = "FAILED: " + r.error;
+        } else {
+            verdict = r.report.flagged()
+                          ? std::string("flagged ") +
+                                secpert::severityName(
+                                    r.report.maxSeverity())
+                          : "clean";
+            if (r.report.flagged() != s.expectMalicious) {
+                verdict += " (DIVERGES from paper)";
+                ++divergent;
+            }
+        }
+        if (!summary_only)
+            std::cout << "  [" << r.index << "] " << r.id << ": "
+                      << verdict << "\n";
+    }
+
+    std::cout << report.summary(true);
+    if (!trace_dir.empty())
+        std::cout << "traces recorded in " << trace_dir << "/\n";
+
+    if (report.failed > 0 || divergent > 0) {
+        std::cerr << "hthd: " << report.failed << " failed, "
+                  << divergent << " divergent\n";
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &e) {
+        std::cerr << "hthd: " << e.what() << std::endl;
+        return 2;
+    }
+}

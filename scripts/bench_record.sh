@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 #
-# Record the bench_perf suite into a BENCH_*.json artifact.
+# Record a benchmark suite into a BENCH_*.json artifact.
 #
 #   scripts/bench_record.sh [-o BENCH_PR2.json] [-b <git-ref>]
-#                           [-r repetitions]
+#                           [-r repetitions] [-t bench_target]
 #
-# Builds the Release bench binary, runs it with
+#   scripts/bench_record.sh -t bench_fleet -o BENCH_PR3.json
+#
+# Builds the Release bench binary (-t names the target; default
+# bench_perf), runs it with
 # --benchmark_format=json, and writes a summary JSON containing the
 # median wall time and counters per benchmark. With -b, the given
 # git ref is built in a temporary worktree and benchmarked
@@ -23,23 +26,25 @@ cd "$(dirname "$0")/.."
 out=BENCH_PR2.json
 baseline_ref=""
 reps=5
+target=bench_perf
 
-while getopts "o:b:r:" opt; do
+while getopts "o:b:r:t:" opt; do
     case $opt in
       o) out=$OPTARG ;;
       b) baseline_ref=$OPTARG ;;
       r) reps=$OPTARG ;;
+      t) target=$OPTARG ;;
       *) exit 2 ;;
     esac
 done
 
 build_bench() { # <src-dir> <build-dir>
     cmake -S "$1" -B "$2" -DCMAKE_BUILD_TYPE=Release >/dev/null
-    cmake --build "$2" -j"$(nproc)" --target bench_perf >/dev/null
+    cmake --build "$2" -j"$(nproc)" --target "$target" >/dev/null
 }
 
 run_bench() { # <build-dir> <json-out>
-    "$1"/bench/bench_perf \
+    "$1"/bench/"$target" \
         --benchmark_format=json \
         --benchmark_repetitions="$reps" \
         --benchmark_report_aggregates_only=true \

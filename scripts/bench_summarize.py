@@ -37,7 +37,9 @@ def load_runs(paths):
             for key, value in b.items():
                 if key in ("guest_insns/s", "bb_cache_hit%",
                            "union_cache_hit%", "events",
-                           "rule_matches/event"):
+                           "rule_matches/event", "sessions_per_sec",
+                           "hw_cores", "bytes_per_second",
+                           "trace_bytes"):
                     entry["counters"][key] = value
     return merged
 

@@ -1,5 +1,8 @@
 #include "core/Hth.hh"
 
+#include <algorithm>
+#include <tuple>
+
 namespace hth
 {
 
@@ -21,8 +24,15 @@ Hth::Hth(HthOptions options) : options_(std::move(options))
     libc_ = os::installLibc(*kernel_);
 
     secpert_ = std::make_unique<secpert::Secpert>(options_.policy);
+    harrier::EventSink *sink = secpert_.get();
+    if (options_.eventTap) {
+        tee_ = std::make_unique<harrier::TeeSink>(
+            std::vector<harrier::EventSink *>{options_.eventTap,
+                                              secpert_.get()});
+        sink = tee_.get();
+    }
     harrier_ =
-        std::make_unique<harrier::Harrier>(*secpert_, options_.harrier);
+        std::make_unique<harrier::Harrier>(*sink, options_.harrier);
     harrier_->attach(*kernel_);
 }
 
@@ -41,6 +51,17 @@ Hth::monitor(const std::string &path,
     report.status = kernel_->run(options_.maxTicks);
     report.warnings = secpert_->warnings();
     report.staticFindings = secpert_->staticFindings();
+    // Stable order independent of image-load sequence, so identical
+    // sessions produce byte-identical reports (fleet determinism).
+    std::stable_sort(report.staticFindings.begin(),
+                     report.staticFindings.end(),
+                     [](const secpert::StaticFinding &a,
+                        const secpert::StaticFinding &b) {
+                         return std::tie(a.image, a.address, a.kind,
+                                         a.level) <
+                                std::tie(b.image, b.address, b.kind,
+                                         b.level);
+                     });
     report.transcript = secpert_->transcript();
     report.fireTrace = secpert_->env().fireTraceToString();
     report.stdoutData = proc.stdoutData;

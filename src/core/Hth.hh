@@ -47,6 +47,14 @@ struct HthOptions
 
     /** Live-process cap (fork-bomb containment). */
     size_t processLimit = 200;
+
+    /**
+     * Extra observer of the Harrier event stream (not owned). When
+     * set, events are tee'd to the tap first and then to Secpert —
+     * this is how a trace::TraceWriter records a session without
+     * disturbing the live analysis.
+     */
+    harrier::EventSink *eventTap = nullptr;
 };
 
 /** Everything HTH observed and concluded about one run. */
@@ -126,6 +134,7 @@ class Hth
     HthOptions options_;
     std::unique_ptr<os::Kernel> kernel_;
     std::unique_ptr<secpert::Secpert> secpert_;
+    std::unique_ptr<harrier::TeeSink> tee_;  //!< only with eventTap
     std::unique_ptr<harrier::Harrier> harrier_;
     os::LibcHandles libc_;
 };

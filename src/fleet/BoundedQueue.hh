@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A bounded multi-producer / multi-consumer queue.
+ *
+ * The fleet's only hand-off point between submitters and workers.
+ * push() blocks while the queue is full — that is the backpressure
+ * that keeps a fast submitter from buffering an unbounded manifest
+ * in memory — and pop() blocks while it is empty. close() wakes
+ * everyone: pending pushes fail, pops drain what remains and then
+ * return nullopt.
+ */
+
+#ifndef HTH_FLEET_BOUNDEDQUEUE_HH
+#define HTH_FLEET_BOUNDEDQUEUE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "support/Logging.hh"
+
+namespace hth::fleet
+{
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity)
+    {
+        panicIf(capacity == 0, "BoundedQueue: zero capacity");
+    }
+
+    /**
+     * Enqueue @p item, blocking while the queue is full.
+     * @return false when the queue was closed instead.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock lock(mutex_);
+        notFull_.wait(lock, [this] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue the oldest item, blocking while the queue is empty.
+     * @return nullopt once the queue is closed and drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock lock(mutex_);
+        notEmpty_.wait(lock, [this] {
+            return closed_ || !items_.empty();
+        });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return item;
+    }
+
+    /** Reject further pushes; pops drain the remaining items. */
+    void
+    close()
+    {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    /** Close and also discard everything still queued. */
+    std::deque<T>
+    closeAndDrain()
+    {
+        std::deque<T> dropped;
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+            dropped.swap(items_);
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+        return dropped;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace hth::fleet
+
+#endif // HTH_FLEET_BOUNDEDQUEUE_HH

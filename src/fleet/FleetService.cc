@@ -1,0 +1,218 @@
+#include "fleet/FleetService.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/Logging.hh"
+#include "trace/TraceWriter.hh"
+
+namespace hth::fleet
+{
+
+std::string
+FleetReport::summary(bool includeTiming) const
+{
+    std::ostringstream out;
+    out << "fleet: " << sessions << " sessions, " << completed
+        << " completed, " << failed << " failed, " << cancelled
+        << " cancelled, " << flagged << " flagged\n";
+    out << "warnings: " << warnings << " (low "
+        << warningsBySeverity[(int)secpert::Severity::Low]
+        << ", medium "
+        << warningsBySeverity[(int)secpert::Severity::Medium]
+        << ", high "
+        << warningsBySeverity[(int)secpert::Severity::High] << ")\n";
+    for (const auto &[rule, count] : warningsByRule)
+        out << "  " << rule << ": " << count << "\n";
+    out << "work: " << instructions << " instructions, " << syscalls
+        << " syscalls, " << eventsAnalyzed << " events, "
+        << rulesFired << " rules fired\n";
+    if (includeTiming) {
+        out << "wall: " << wallSeconds << " s ("
+            << sessionsPerSec() << " sessions/s)\n";
+    }
+    return out.str();
+}
+
+FleetService::FleetService(FleetConfig config)
+    : config_(config),
+      queue_(config.queueCapacity
+                 ? config.queueCapacity
+                 : 2 * std::max<size_t>(
+                           1, config.workers
+                                  ? config.workers
+                                  : std::thread::hardware_concurrency())),
+      start_(std::chrono::steady_clock::now())
+{
+    size_t n = config_.workers;
+    if (n == 0)
+        n = std::max<size_t>(1, std::thread::hardware_concurrency());
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+FleetService::~FleetService()
+{
+    if (!finished_) {
+        cancelPending();
+        for (std::thread &t : workers_)
+            if (t.joinable())
+                t.join();
+    }
+}
+
+size_t
+FleetService::submit(FleetJob job)
+{
+    size_t index;
+    std::string id = job.id;
+    {
+        std::lock_guard lock(resultsMutex_);
+        panicIf(finished_, "FleetService: submit after finish()");
+        index = submitted_++;
+        FleetResult placeholder;
+        placeholder.index = index;
+        placeholder.id = id;
+        results_.push_back(std::move(placeholder));
+    }
+    // May block: this is the manifest backpressure.
+    if (!queue_.push({index, std::move(job)}))
+        markCancelled(index, id);
+    return index;
+}
+
+void
+FleetService::cancelPending()
+{
+    for (auto &[index, job] : queue_.closeAndDrain())
+        markCancelled(index, job.id);
+}
+
+FleetReport
+FleetService::finish()
+{
+    queue_.close();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+
+    FleetReport agg;
+    {
+        std::lock_guard lock(resultsMutex_);
+        panicIf(finished_, "FleetService: finish() called twice");
+        finished_ = true;
+        agg.results = std::move(results_);
+    }
+    agg.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+
+    // Aggregate in submission order over ordered containers: the
+    // same manifest always yields the same summary bytes.
+    agg.sessions = agg.results.size();
+    for (const FleetResult &r : agg.results) {
+        if (r.cancelled) {
+            ++agg.cancelled;
+            continue;
+        }
+        if (!r.completed) {
+            ++agg.failed;
+            continue;
+        }
+        ++agg.completed;
+        if (r.report.flagged())
+            ++agg.flagged;
+        for (const secpert::Warning &w : r.report.warnings) {
+            ++agg.warnings;
+            ++agg.warningsByRule[w.rule];
+            ++agg.warningsBySeverity[(int)w.severity];
+        }
+        agg.instructions += r.report.instructions;
+        agg.syscalls += r.report.syscalls;
+        agg.eventsAnalyzed += r.report.eventsAnalyzed;
+        agg.rulesFired += r.report.rulesFired;
+    }
+    return agg;
+}
+
+FleetResult
+FleetService::runJob(const FleetJob &job, size_t index,
+                     uint64_t tick_budget)
+{
+    FleetResult result;
+    result.index = index;
+    result.id = job.id;
+    try {
+        HthOptions options = job.options;
+        if (tick_budget)
+            options.maxTicks = std::min(options.maxTicks, tick_budget);
+
+        // Sessions that record attach a TraceWriter as the event
+        // tap: Secpert still sees the live stream, the trace file
+        // gets the durable copy.
+        std::unique_ptr<trace::TraceWriter> writer;
+        if (!job.tracePath.empty()) {
+            writer =
+                std::make_unique<trace::TraceWriter>(job.tracePath);
+            options.eventTap = writer.get();
+        }
+
+        Hth hth(options);
+        if (job.setup)
+            job.setup(hth.kernel());
+
+        std::vector<std::string> argv = job.argv;
+        if (argv.empty())
+            argv.push_back(job.path);
+
+        result.report =
+            hth.monitor(job.path, argv, job.env, job.stdinData);
+        if (writer)
+            writer->finish();
+        result.completed = true;
+    } catch (const std::exception &e) {
+        result.error = e.what();
+    }
+    return result;
+}
+
+void
+FleetService::workerLoop()
+{
+    while (auto item = queue_.pop()) {
+        auto &[index, job] = *item;
+        storeResult(runJob(job, index, config_.tickBudget));
+    }
+}
+
+void
+FleetService::storeResult(FleetResult result)
+{
+    std::lock_guard lock(resultsMutex_);
+    panicIf(result.index >= results_.size(),
+            "FleetService: result for unknown job ", result.index);
+    results_[result.index] = std::move(result);
+}
+
+void
+FleetService::markCancelled(size_t index, const std::string &id)
+{
+    FleetResult result;
+    result.index = index;
+    result.id = id;
+    result.cancelled = true;
+    storeResult(std::move(result));
+}
+
+FleetReport
+FleetService::run(std::vector<FleetJob> jobs, FleetConfig config)
+{
+    FleetService service(config);
+    for (FleetJob &job : jobs)
+        service.submit(std::move(job));
+    return service.finish();
+}
+
+} // namespace hth::fleet

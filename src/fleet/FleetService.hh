@@ -1,0 +1,194 @@
+/**
+ * @file
+ * FleetService: concurrent multi-session monitoring.
+ *
+ * The paper deploys one Harrier watching one process feeding one
+ * Secpert; a production deployment has a corpus of suspects and a
+ * machine with cores to spare. The fleet runs N fully independent
+ * Hth sessions — each with its own kernel, VM, taint store and
+ * expert system, so no monitored state is shared — across a fixed
+ * worker-thread pool fed by a bounded MPMC queue.
+ *
+ * Guarantees:
+ *  - backpressure: submit() blocks while `queueCapacity` jobs wait,
+ *    so an arbitrarily large manifest never buffers unboundedly;
+ *  - determinism: results are collected in submission order and the
+ *    aggregate report iterates ordered containers, so two fleet runs
+ *    of the same manifest produce byte-identical summaries (modulo
+ *    wall-clock timing, which summary() can exclude);
+ *  - budgets: every session honors its HthOptions::maxTicks, and
+ *    FleetConfig::tickBudget can cap the whole fleet tighter;
+ *  - isolation: a session that throws (bad manifest entry, policy
+ *    error) fails alone — the error text lands in its FleetResult
+ *    and the fleet keeps draining;
+ *  - cancellation: cancelPending() drops everything still queued
+ *    (marked cancelled, never run) while in-flight sessions finish,
+ *    and finish() joins the pool gracefully.
+ */
+
+#ifndef HTH_FLEET_FLEETSERVICE_HH
+#define HTH_FLEET_FLEETSERVICE_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/Hth.hh"
+#include "fleet/BoundedQueue.hh"
+
+namespace hth::fleet
+{
+
+/** One monitored session the fleet should run. */
+struct FleetJob
+{
+    std::string id;             //!< label for results / reports
+
+    HthOptions options;
+
+    /** Populate the session's guest world (VFS, network, ...). */
+    std::function<void(os::Kernel &)> setup;
+
+    std::string path;           //!< binary to monitor
+    std::vector<std::string> argv;
+    std::vector<std::string> env;
+    std::string stdinData;
+
+    /** Record this session's event stream here when non-empty. */
+    std::string tracePath;
+};
+
+/** Outcome of one fleet job, in submission order. */
+struct FleetResult
+{
+    size_t index = 0;           //!< submission index
+    std::string id;
+    Report report;              //!< valid when completed
+    bool completed = false;     //!< session ran to a Report
+    bool cancelled = false;     //!< dropped from the queue, never ran
+    std::string error;          //!< exception text when failed
+};
+
+/** Fleet sizing and budgets. */
+struct FleetConfig
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    size_t workers = 0;
+
+    /** Queue slots before submit() blocks; 0 = 2 x workers. */
+    size_t queueCapacity = 0;
+
+    /** When nonzero, caps every job's HthOptions::maxTicks. */
+    uint64_t tickBudget = 0;
+};
+
+/** Aggregated outcome of a whole fleet run. */
+struct FleetReport
+{
+    std::vector<FleetResult> results;   //!< submission order
+
+    uint64_t sessions = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t cancelled = 0;
+    uint64_t flagged = 0;       //!< completed sessions with warnings
+
+    /** Warning counts keyed by policy rule name (ordered). */
+    std::map<std::string, uint64_t> warningsByRule;
+
+    /** Warning counts indexed by (int)Severity (1..3). */
+    std::array<uint64_t, 4> warningsBySeverity{};
+
+    uint64_t warnings = 0;
+    uint64_t instructions = 0;
+    uint64_t syscalls = 0;
+    uint64_t eventsAnalyzed = 0;
+    uint64_t rulesFired = 0;
+
+    double wallSeconds = 0;
+
+    double
+    sessionsPerSec() const
+    {
+        return wallSeconds > 0 ? (double)sessions / wallSeconds : 0;
+    }
+
+    /**
+     * Human-readable aggregate. With @p includeTiming false the text
+     * is a pure function of the session outcomes — byte-identical
+     * run-to-run for the same manifest, whatever the interleaving.
+     */
+    std::string summary(bool includeTiming = true) const;
+};
+
+/** The fleet: a worker pool running independent Hth sessions. */
+class FleetService
+{
+  public:
+    explicit FleetService(FleetConfig config = {});
+
+    /** Cancels whatever is still pending and joins the pool. */
+    ~FleetService();
+
+    FleetService(const FleetService &) = delete;
+    FleetService &operator=(const FleetService &) = delete;
+
+    /**
+     * Enqueue @p job, blocking while the queue is full
+     * (backpressure). Jobs submitted after cancelPending() are
+     * recorded as cancelled without running.
+     * @return the job's submission index.
+     */
+    size_t submit(FleetJob job);
+
+    /**
+     * Drop every queued-but-unstarted job (their results read
+     * cancelled); sessions already running finish normally.
+     */
+    void cancelPending();
+
+    /**
+     * Graceful shutdown: close the queue, wait for in-flight
+     * sessions, join every worker and aggregate. May be called once.
+     */
+    FleetReport finish();
+
+    const FleetConfig &config() const { return config_; }
+
+    /** Resolved worker count ( > 0 ). */
+    size_t workers() const { return workers_.size(); }
+
+    /** Convenience: run @p jobs to completion under @p config. */
+    static FleetReport run(std::vector<FleetJob> jobs,
+                           FleetConfig config = {});
+
+    /** Run one job to a FleetResult (also the worker body). */
+    static FleetResult runJob(const FleetJob &job, size_t index,
+                              uint64_t tick_budget = 0);
+
+  private:
+    void workerLoop();
+    void storeResult(FleetResult result);
+    void markCancelled(size_t index, const std::string &id);
+
+    FleetConfig config_;
+    BoundedQueue<std::pair<size_t, FleetJob>> queue_;
+    std::vector<std::thread> workers_;
+
+    std::mutex resultsMutex_;
+    std::vector<FleetResult> results_;
+    size_t submitted_ = 0;
+
+    bool finished_ = false;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace hth::fleet
+
+#endif // HTH_FLEET_FLEETSERVICE_HH

@@ -112,6 +112,44 @@ class EventSink
     }
 };
 
+/**
+ * Fans one event stream out to several sinks, in order. Lets a
+ * trace recorder (or any other observer) sit in front of the live
+ * Secpert without either knowing about the other.
+ */
+class TeeSink : public EventSink
+{
+  public:
+    explicit TeeSink(std::vector<EventSink *> sinks)
+        : sinks_(std::move(sinks))
+    {
+    }
+
+    void
+    onResourceAccess(const ResourceAccessEvent &ev) override
+    {
+        for (EventSink *sink : sinks_)
+            sink->onResourceAccess(ev);
+    }
+
+    void
+    onResourceIo(const ResourceIoEvent &ev) override
+    {
+        for (EventSink *sink : sinks_)
+            sink->onResourceIo(ev);
+    }
+
+    void
+    onStaticFinding(const StaticFindingEvent &ev) override
+    {
+        for (EventSink *sink : sinks_)
+            sink->onStaticFinding(ev);
+    }
+
+  private:
+    std::vector<EventSink *> sinks_;
+};
+
 } // namespace hth::harrier
 
 #endif // HTH_HARRIER_EVENT_HH

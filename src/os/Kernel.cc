@@ -963,9 +963,11 @@ void
 Kernel::sysPipe(Process &p)
 {
     vm::Machine &m = p.machine;
-    static int pipe_counter = 0;
+    // Per-kernel (not static): concurrent fleet sessions must not
+    // share a counter, and identical sessions must name their pipes
+    // identically run-to-run.
     const std::string name =
-        "pipe:[" + std::to_string(++pipe_counter) + "]";
+        "pipe:[" + std::to_string(++pipeCounter_) + "]";
     auto node = std::make_shared<VfsNode>();
     node->kind = VfsNode::Kind::Fifo;
     node->path = name;

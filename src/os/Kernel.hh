@@ -202,6 +202,7 @@ class Kernel
 
     std::vector<std::unique_ptr<Process>> processes_;
     int nextPid_ = 1;
+    int pipeCounter_ = 0;
     uint64_t time_ = 0;
     size_t processLimit_ = 4096;
 

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The HTH event-trace wire format.
+ *
+ * A trace file is a durable, replayable serialization of the
+ * Harrier -> Secpert event channel (paper §6.1.2): capture runs at
+ * the edge with a TraceWriter tee'd in front of (or instead of) the
+ * expert system, and analysis replays the file — possibly much
+ * later, possibly against a newer policy — with a TraceReader.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   File   := Header Frame* EndFrame
+ *   Header := magic "HTHTRC\n\0" (8 bytes)
+ *             u32 version            (currently 1)
+ *             u32 crc32(magic + version)
+ *   Frame  := u8  type               (FrameType)
+ *             u32 payload length
+ *             payload bytes
+ *             u32 crc32(type + length + payload)
+ *
+ * The End frame carries the total event count, so a file that simply
+ * stops (truncated capture, crashed edge node) is distinguishable
+ * from one that was closed cleanly. Strings are u32 length + bytes;
+ * vectors are u32 count + elements; enums are u8.
+ */
+
+#ifndef HTH_TRACE_TRACE_HH
+#define HTH_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hth::trace
+{
+
+/** File magic: 8 bytes at offset 0. */
+constexpr char MAGIC[8] = {'H', 'T', 'H', 'T', 'R', 'C', '\n', '\0'};
+
+/** Current wire-format version. */
+constexpr uint32_t VERSION = 1;
+
+/** Frame discriminator. */
+enum class FrameType : uint8_t
+{
+    ResourceAccess = 1,
+    ResourceIo = 2,
+    StaticFinding = 3,
+    End = 0xff,
+};
+
+/** CRC-32 (IEEE 802.3, reflected) of @p len bytes at @p data. */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+
+} // namespace hth::trace
+
+#endif // HTH_TRACE_TRACE_HH

@@ -1,0 +1,183 @@
+#include "trace/TraceReader.hh"
+
+#include <cstring>
+
+#include "support/Logging.hh"
+#include "trace/Wire.hh"
+
+namespace hth::trace
+{
+
+namespace
+{
+
+/** A frame payload larger than this is a corrupt length field. */
+constexpr uint32_t MAX_PAYLOAD = 64u * 1024 * 1024;
+
+harrier::EventContext
+decodeContext(Cursor &cur)
+{
+    harrier::EventContext ctx;
+    ctx.pid = (int)cur.u32();
+    ctx.binaryPath = cur.str();
+    ctx.time = cur.u64();
+    ctx.absTime = cur.u64();
+    ctx.frequency = cur.u64();
+    ctx.address = cur.u32();
+    return ctx;
+}
+
+void
+deliverResourceAccess(Cursor &cur, harrier::EventSink &sink)
+{
+    harrier::ResourceAccessEvent ev;
+    ev.ctx = decodeContext(cur);
+    ev.syscall = cur.str();
+    ev.resName = cur.str();
+    ev.resType = (taint::SourceType)cur.u8();
+    ev.origins = cur.origins();
+    ev.isProcessCreate = cur.boolean();
+    ev.amount = cur.u64();
+    cur.expectEnd();
+    sink.onResourceAccess(ev);
+}
+
+void
+deliverResourceIo(Cursor &cur, harrier::EventSink &sink)
+{
+    harrier::ResourceIoEvent ev;
+    ev.ctx = decodeContext(cur);
+    ev.syscall = cur.str();
+    ev.isWrite = cur.boolean();
+    ev.source.type = (taint::SourceType)cur.u8();
+    ev.source.name = cur.str();
+    ev.sourceOrigins = cur.origins();
+    ev.targetName = cur.str();
+    ev.targetType = (taint::SourceType)cur.u8();
+    ev.targetOrigins = cur.origins();
+    ev.viaServer = cur.boolean();
+    ev.serverName = cur.str();
+    ev.serverOrigins = cur.origins();
+    ev.length = cur.u32();
+    cur.expectEnd();
+    sink.onResourceIo(ev);
+}
+
+void
+deliverStaticFinding(Cursor &cur, harrier::EventSink &sink)
+{
+    harrier::StaticFindingEvent ev;
+    ev.imagePath = cur.str();
+    ev.kind = cur.str();
+    ev.level = (int)cur.u32();
+    ev.address = cur.u32();
+    ev.syscall = cur.str();
+    ev.resource = cur.str();
+    ev.detail = cur.str();
+    cur.expectEnd();
+    sink.onStaticFinding(ev);
+}
+
+} // namespace
+
+TraceReader::TraceReader(std::istream &in) : in_(in)
+{
+    readHeader();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : owned_(std::make_unique<std::ifstream>(path, std::ios::binary)),
+      in_(*owned_)
+{
+    fatalIf(!*owned_, "trace: cannot open ", path);
+    readHeader();
+}
+
+void
+TraceReader::readHeader()
+{
+    char header[16];
+    in_.read(header, sizeof(header));
+    fatalIf(in_.gcount() != sizeof(header),
+            "trace: truncated header");
+    fatalIf(std::memcmp(header, MAGIC, sizeof(MAGIC)) != 0,
+            "trace: bad magic (not an HTH trace)");
+
+    Cursor cur(header + sizeof(MAGIC), 8);
+    version_ = cur.u32();
+    uint32_t expect = cur.u32();
+    fatalIf(crc32(header, 12) != expect, "trace: header CRC mismatch");
+    fatalIf(version_ != VERSION, "trace: unsupported version ",
+            version_, " (reader speaks ", VERSION, ")");
+}
+
+bool
+TraceReader::next(harrier::EventSink &sink)
+{
+    if (done_)
+        return false;
+
+    char head[5];
+    in_.read(head, sizeof(head));
+    if (in_.gcount() == 0)
+        fatal("trace: truncated (missing End frame)");
+    fatalIf(in_.gcount() != sizeof(head),
+            "trace: truncated frame header");
+
+    Cursor headCur(head, sizeof(head));
+    auto type = (FrameType)headCur.u8();
+    uint32_t len = headCur.u32();
+    fatalIf(len > MAX_PAYLOAD, "trace: corrupt frame length ", len);
+
+    std::string payload(len, '\0');
+    if (len > 0) {
+        in_.read(payload.data(), (std::streamsize)len);
+        fatalIf(in_.gcount() != (std::streamsize)len,
+                "trace: truncated frame payload");
+    }
+
+    char tail[4];
+    in_.read(tail, sizeof(tail));
+    fatalIf(in_.gcount() != sizeof(tail),
+            "trace: truncated frame CRC");
+    uint32_t crc = crc32(head, sizeof(head));
+    crc = crc32(payload.data(), payload.size(), crc);
+    uint32_t expect = Cursor(tail, sizeof(tail)).u32();
+    fatalIf(crc != expect, "trace: frame CRC mismatch");
+
+    Cursor cur(payload.data(), payload.size());
+    switch (type) {
+      case FrameType::ResourceAccess:
+        deliverResourceAccess(cur, sink);
+        break;
+      case FrameType::ResourceIo:
+        deliverResourceIo(cur, sink);
+        break;
+      case FrameType::StaticFinding:
+        deliverStaticFinding(cur, sink);
+        break;
+      case FrameType::End: {
+        uint64_t declared = cur.u64();
+        cur.expectEnd();
+        fatalIf(declared != events_, "trace: End frame declares ",
+                declared, " events, replayed ", events_);
+        done_ = true;
+        return false;
+      }
+      default:
+        fatal("trace: unknown frame type ", (int)type);
+    }
+    ++events_;
+    return true;
+}
+
+uint64_t
+TraceReader::replay(harrier::EventSink &sink)
+{
+    uint64_t delivered = 0;
+    while (next(sink))
+        ++delivered;
+    return delivered;
+}
+
+} // namespace hth::trace

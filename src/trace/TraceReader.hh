@@ -1,0 +1,72 @@
+/**
+ * @file
+ * TraceReader: replays a recorded trace into any EventSink.
+ *
+ * The reader validates the header on construction and every frame
+ * CRC before delivery; a corrupted, truncated or version-mismatched
+ * trace raises FatalError (bad input, not an HTH bug). A trace whose
+ * End frame is missing is reported as truncated — an edge node that
+ * died mid-capture is distinguishable from a clean shutdown.
+ */
+
+#ifndef HTH_TRACE_TRACEREADER_HH
+#define HTH_TRACE_TRACEREADER_HH
+
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <string>
+
+#include "harrier/Event.hh"
+#include "trace/Trace.hh"
+
+namespace hth::trace
+{
+
+/** Deserializes a trace stream and replays it. */
+class TraceReader
+{
+  public:
+    /** Read from @p in (kept by reference; must outlive the reader). */
+    explicit TraceReader(std::istream &in);
+
+    /** Read from the file at @p path. */
+    explicit TraceReader(const std::string &path);
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /**
+     * Deliver the next event to @p sink.
+     * @return false once the End frame is reached.
+     */
+    bool next(harrier::EventSink &sink);
+
+    /**
+     * Replay every remaining event into @p sink.
+     * @return the number of events delivered.
+     */
+    uint64_t replay(harrier::EventSink &sink);
+
+    /** Wire-format version declared by the header. */
+    uint32_t version() const { return version_; }
+
+    /** Events delivered so far. */
+    uint64_t eventsReplayed() const { return events_; }
+
+    /** True once the End frame has been consumed. */
+    bool atEnd() const { return done_; }
+
+  private:
+    void readHeader();
+
+    std::unique_ptr<std::ifstream> owned_;  //!< file-path ctor only
+    std::istream &in_;
+    uint32_t version_ = 0;
+    uint64_t events_ = 0;
+    bool done_ = false;
+};
+
+} // namespace hth::trace
+
+#endif // HTH_TRACE_TRACEREADER_HH

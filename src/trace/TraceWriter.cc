@@ -1,0 +1,184 @@
+#include "trace/TraceWriter.hh"
+
+#include "support/Logging.hh"
+#include "trace/Wire.hh"
+
+namespace hth::trace
+{
+
+namespace
+{
+
+/** The CRC-32 (IEEE, reflected) lookup table, built once. */
+const uint32_t *
+crcTable()
+{
+    static const auto table = [] {
+        auto t = std::make_unique<uint32_t[]>(256);
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table.get();
+}
+
+void
+encodeContext(Encoder &enc, const harrier::EventContext &ctx)
+{
+    enc.u32((uint32_t)ctx.pid);
+    enc.str(ctx.binaryPath);
+    enc.u64(ctx.time);
+    enc.u64(ctx.absTime);
+    enc.u64(ctx.frequency);
+    enc.u32(ctx.address);
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    const uint32_t *table = crcTable();
+    const auto *p = (const uint8_t *)data;
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+TraceWriter::TraceWriter(std::ostream &out,
+                         harrier::EventSink *downstream)
+    : out_(out), downstream_(downstream)
+{
+    writeHeader();
+}
+
+TraceWriter::TraceWriter(const std::string &path,
+                         harrier::EventSink *downstream)
+    : owned_(std::make_unique<std::ofstream>(
+          path, std::ios::binary | std::ios::trunc)),
+      out_(*owned_), downstream_(downstream)
+{
+    fatalIf(!*owned_, "trace: cannot open ", path, " for writing");
+    writeHeader();
+}
+
+TraceWriter::~TraceWriter()
+{
+    try {
+        finish();
+    } catch (...) {
+        // A destructor cannot report the failure; callers who care
+        // about durability call finish() themselves.
+    }
+}
+
+void
+TraceWriter::writeHeader()
+{
+    Encoder enc;
+    for (char c : MAGIC)
+        enc.u8((uint8_t)c);
+    enc.u32(VERSION);
+    enc.u32(crc32(enc.bytes().data(), enc.bytes().size()));
+    out_.write(enc.bytes().data(), (std::streamsize)enc.bytes().size());
+    stats_.bytes += enc.bytes().size();
+}
+
+void
+TraceWriter::writeFrame(FrameType type, const std::string &payload)
+{
+    fatalIf(finished_, "trace: event after finish()");
+    Encoder frame;
+    frame.u8((uint8_t)type);
+    frame.u32((uint32_t)payload.size());
+    const std::string &head = frame.bytes();
+
+    uint32_t crc = crc32(head.data(), head.size());
+    crc = crc32(payload.data(), payload.size(), crc);
+
+    out_.write(head.data(), (std::streamsize)head.size());
+    out_.write(payload.data(), (std::streamsize)payload.size());
+    Encoder tail;
+    tail.u32(crc);
+    out_.write(tail.bytes().data(),
+               (std::streamsize)tail.bytes().size());
+    fatalIf(!out_, "trace: write failed");
+
+    stats_.bytes += head.size() + payload.size() + 4;
+    if (type != FrameType::End)
+        ++stats_.events;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    Encoder enc;
+    enc.u64(stats_.events);
+    writeFrame(FrameType::End, enc.bytes());
+    out_.flush();
+    fatalIf(!out_, "trace: flush failed");
+    finished_ = true;
+}
+
+void
+TraceWriter::onResourceAccess(const harrier::ResourceAccessEvent &ev)
+{
+    Encoder enc;
+    encodeContext(enc, ev.ctx);
+    enc.str(ev.syscall);
+    enc.str(ev.resName);
+    enc.u8((uint8_t)ev.resType);
+    enc.origins(ev.origins);
+    enc.boolean(ev.isProcessCreate);
+    enc.u64(ev.amount);
+    writeFrame(FrameType::ResourceAccess, enc.bytes());
+    if (downstream_)
+        downstream_->onResourceAccess(ev);
+}
+
+void
+TraceWriter::onResourceIo(const harrier::ResourceIoEvent &ev)
+{
+    Encoder enc;
+    encodeContext(enc, ev.ctx);
+    enc.str(ev.syscall);
+    enc.boolean(ev.isWrite);
+    enc.u8((uint8_t)ev.source.type);
+    enc.str(ev.source.name);
+    enc.origins(ev.sourceOrigins);
+    enc.str(ev.targetName);
+    enc.u8((uint8_t)ev.targetType);
+    enc.origins(ev.targetOrigins);
+    enc.boolean(ev.viaServer);
+    enc.str(ev.serverName);
+    enc.origins(ev.serverOrigins);
+    enc.u32(ev.length);
+    writeFrame(FrameType::ResourceIo, enc.bytes());
+    if (downstream_)
+        downstream_->onResourceIo(ev);
+}
+
+void
+TraceWriter::onStaticFinding(const harrier::StaticFindingEvent &ev)
+{
+    Encoder enc;
+    enc.str(ev.imagePath);
+    enc.str(ev.kind);
+    enc.u32((uint32_t)ev.level);
+    enc.u32(ev.address);
+    enc.str(ev.syscall);
+    enc.str(ev.resource);
+    enc.str(ev.detail);
+    writeFrame(FrameType::StaticFinding, enc.bytes());
+    if (downstream_)
+        downstream_->onStaticFinding(ev);
+}
+
+} // namespace hth::trace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * TraceWriter: records the Harrier event stream as a binary trace.
+ *
+ * Implements harrier::EventSink, so it can stand anywhere Secpert
+ * can: directly as Harrier's sink (capture-only edge node), or tee'd
+ * in front of a live Secpert via HthOptions::eventTap. An optional
+ * downstream sink makes the writer itself a one-stage tee for
+ * standalone use.
+ *
+ * The destructor finishes the trace (End frame + flush); call
+ * finish() explicitly to observe write errors.
+ */
+
+#ifndef HTH_TRACE_TRACEWRITER_HH
+#define HTH_TRACE_TRACEWRITER_HH
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+
+#include "harrier/Event.hh"
+#include "trace/Trace.hh"
+
+namespace hth::trace
+{
+
+/** Capture statistics. */
+struct TraceWriterStats
+{
+    uint64_t events = 0;        //!< frames written (excluding End)
+    uint64_t bytes = 0;         //!< total bytes including framing
+};
+
+/** Serializes Harrier events into a trace stream. */
+class TraceWriter : public harrier::EventSink
+{
+  public:
+    /** Write to @p out (kept by reference; must outlive the writer). */
+    explicit TraceWriter(std::ostream &out,
+                         harrier::EventSink *downstream = nullptr);
+
+    /** Write to the file at @p path (truncating). */
+    explicit TraceWriter(const std::string &path,
+                         harrier::EventSink *downstream = nullptr);
+
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** @name harrier::EventSink @{ */
+    void onResourceAccess(const harrier::ResourceAccessEvent &ev)
+        override;
+    void onResourceIo(const harrier::ResourceIoEvent &ev) override;
+    void onStaticFinding(const harrier::StaticFindingEvent &ev)
+        override;
+    /** @} */
+
+    /**
+     * Write the End frame and flush. Idempotent; called by the
+     * destructor if not called explicitly. Raises FatalError if the
+     * stream went bad.
+     */
+    void finish();
+
+    const TraceWriterStats &stats() const { return stats_; }
+
+  private:
+    void writeHeader();
+    void writeFrame(FrameType type, const std::string &payload);
+
+    std::unique_ptr<std::ofstream> owned_;  //!< file-path ctor only
+    std::ostream &out_;
+    harrier::EventSink *downstream_;
+    bool finished_ = false;
+    TraceWriterStats stats_;
+};
+
+} // namespace hth::trace
+
+#endif // HTH_TRACE_TRACEWRITER_HH

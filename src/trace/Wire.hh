@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Byte-level encode/decode helpers shared by TraceWriter and
+ * TraceReader. Everything is little-endian and bounds-checked on the
+ * decode side: a Cursor that runs past its buffer raises FatalError
+ * (a trace problem, not an HTH bug).
+ */
+
+#ifndef HTH_TRACE_WIRE_HH
+#define HTH_TRACE_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harrier/Event.hh"
+#include "support/Logging.hh"
+
+namespace hth::trace
+{
+
+/** Append-only little-endian byte buffer. */
+class Encoder
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        bytes_.push_back((char)v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes_.push_back((char)(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes_.push_back((char)(v >> (8 * i)));
+    }
+
+    void
+    boolean(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32((uint32_t)s.size());
+        bytes_.append(s);
+    }
+
+    void
+    origins(const std::vector<harrier::OriginRef> &refs)
+    {
+        u32((uint32_t)refs.size());
+        for (const harrier::OriginRef &ref : refs) {
+            u8((uint8_t)ref.type);
+            str(ref.name);
+        }
+    }
+
+    const std::string &bytes() const { return bytes_; }
+
+  private:
+    std::string bytes_;
+};
+
+/** Bounds-checked little-endian reader over a decoded payload. */
+class Cursor
+{
+  public:
+    Cursor(const char *data, size_t len) : data_(data), len_(len) {}
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return (uint8_t)data_[pos_++];
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= (uint32_t)(uint8_t)data_[pos_++] << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= (uint64_t)(uint8_t)data_[pos_++] << (8 * i);
+        return v;
+    }
+
+    bool boolean() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        need(n);
+        std::string s(data_ + pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    std::vector<harrier::OriginRef>
+    origins()
+    {
+        uint32_t n = u32();
+        // Each entry is at least 5 bytes; a huge count means a
+        // corrupt length field, not a huge trace.
+        fatalIf(n > remaining() / 5 + 1,
+                "trace: corrupt origin count ", n);
+        std::vector<harrier::OriginRef> refs;
+        refs.reserve(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            harrier::OriginRef ref;
+            ref.type = (taint::SourceType)u8();
+            ref.name = str();
+            refs.push_back(std::move(ref));
+        }
+        return refs;
+    }
+
+    size_t remaining() const { return len_ - pos_; }
+
+    /** All payload bytes must be consumed by a well-formed decoder. */
+    void
+    expectEnd() const
+    {
+        fatalIf(pos_ != len_, "trace: ", len_ - pos_,
+                " trailing bytes in frame payload");
+    }
+
+  private:
+    void
+    need(size_t n)
+    {
+        fatalIf(len_ - pos_ < n,
+                "trace: frame payload truncated (need ", n,
+                " bytes, have ", len_ - pos_, ")");
+    }
+
+    const char *data_;
+    size_t len_;
+    size_t pos_ = 0;
+};
+
+} // namespace hth::trace
+
+#endif // HTH_TRACE_WIRE_HH

@@ -64,4 +64,22 @@ runScenario(const Scenario &scenario, const HthOptions &options)
     return result;
 }
 
+fleet::FleetJob
+toFleetJob(const Scenario &scenario, const HthOptions &options,
+           const std::string &trace_path)
+{
+    fleet::FleetJob job;
+    job.id = scenario.id;
+    job.options = options;
+    if (scenario.disableTaint)
+        job.options.taintTracking = false;
+    job.setup = scenario.setup;
+    job.path = scenario.path;
+    job.argv = scenario.argv;
+    job.env = scenario.env;
+    job.stdinData = scenario.stdinData;
+    job.tracePath = trace_path;
+    return job;
+}
+
 } // namespace hth::workloads

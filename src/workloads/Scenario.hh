@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/Hth.hh"
+#include "fleet/FleetService.hh"
 
 namespace hth::workloads
 {
@@ -67,6 +68,14 @@ struct ScenarioResult
 /** Run @p scenario under a fresh HTH instance. */
 ScenarioResult runScenario(const Scenario &scenario,
                            const HthOptions &options = {});
+
+/**
+ * Package @p scenario as a fleet job (same taint handling as
+ * runScenario). @p trace_path, when non-empty, records the session.
+ */
+fleet::FleetJob toFleetJob(const Scenario &scenario,
+                           const HthOptions &options = {},
+                           const std::string &trace_path = "");
 
 } // namespace hth::workloads
 

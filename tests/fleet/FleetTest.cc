@@ -1,0 +1,349 @@
+/**
+ * @file
+ * FleetService tests: concurrent sessions over the workload corpus
+ * must reproduce the sequential results exactly (determinism),
+ * respect backpressure, tick budgets and cancellation, isolate
+ * per-job failures, and optionally record replayable traces.
+ *
+ * These tests are the primary target of the `tsan` preset: every
+ * worker-pool code path runs here under contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+
+#include "fleet/FleetService.hh"
+#include "trace/TraceReader.hh"
+#include "workloads/Exploits.hh"
+#include "workloads/Macro.hh"
+#include "workloads/Micro.hh"
+#include "workloads/Trusted.hh"
+
+using namespace hth;
+using namespace hth::fleet;
+using namespace hth::workloads;
+
+namespace
+{
+
+std::vector<Scenario>
+corpus()
+{
+    std::vector<Scenario> all;
+    for (auto &&list :
+         {executionFlowScenarios(), resourceAbuseScenarios(),
+          infoFlowScenarios(), macroScenarios(),
+          trustedProgramScenarios(), exploitScenarios()})
+        for (auto &s : list)
+            all.push_back(std::move(s));
+    return all;
+}
+
+std::vector<FleetJob>
+corpusJobs()
+{
+    std::vector<FleetJob> jobs;
+    for (const Scenario &s : corpus())
+        jobs.push_back(toFleetJob(s));
+    return jobs;
+}
+
+/** Counts replayed events without analyzing them. */
+struct CountingSink : harrier::EventSink
+{
+    uint64_t events = 0;
+    void
+    onResourceAccess(const harrier::ResourceAccessEvent &) override
+    {
+        ++events;
+    }
+    void
+    onResourceIo(const harrier::ResourceIoEvent &) override
+    {
+        ++events;
+    }
+    void
+    onStaticFinding(const harrier::StaticFindingEvent &) override
+    {
+        ++events;
+    }
+};
+
+} // namespace
+
+TEST(Fleet, MatchesSequentialReference)
+{
+    std::vector<Scenario> all = corpus();
+
+    FleetConfig config;
+    config.workers = 4;
+    FleetReport fleet = FleetService::run(corpusJobs(), config);
+
+    ASSERT_EQ(fleet.results.size(), all.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+        const FleetResult &r = fleet.results[i];
+        // Submission order is preserved no matter which worker ran
+        // the session or when it finished.
+        EXPECT_EQ(r.index, i);
+        EXPECT_EQ(r.id, all[i].id);
+        ASSERT_TRUE(r.completed) << r.id << ": " << r.error;
+
+        ScenarioResult ref = runScenario(all[i]);
+        EXPECT_EQ(r.report.transcript, ref.report.transcript)
+            << r.id;
+        EXPECT_EQ(r.report.fireTrace, ref.report.fireTrace) << r.id;
+        EXPECT_EQ(r.report.warnings.size(),
+                  ref.report.warnings.size())
+            << r.id;
+        EXPECT_EQ(r.report.flagged(), all[i].expectMalicious)
+            << r.id;
+    }
+}
+
+TEST(Fleet, AggregateIsDeterministicRunToRun)
+{
+    FleetConfig config;
+    config.workers = 4;
+    config.queueCapacity = 3;   // force backpressure while at it
+
+    FleetReport a = FleetService::run(corpusJobs(), config);
+    FleetReport b = FleetService::run(corpusJobs(), config);
+
+    // Byte-identical aggregate output, whatever the interleaving.
+    EXPECT_EQ(a.summary(false), b.summary(false));
+    EXPECT_EQ(a.sessions, b.sessions);
+    EXPECT_EQ(a.warnings, b.warnings);
+    EXPECT_EQ(a.warningsByRule, b.warningsByRule);
+    EXPECT_EQ(a.warningsBySeverity, b.warningsBySeverity);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.eventsAnalyzed, b.eventsAnalyzed);
+    EXPECT_EQ(a.rulesFired, b.rulesFired);
+
+    // And the per-session reports line up pairwise.
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_EQ(a.results[i].report.transcript,
+                  b.results[i].report.transcript);
+        EXPECT_EQ(a.results[i].report.fireTrace,
+                  b.results[i].report.fireTrace);
+    }
+}
+
+TEST(Fleet, AggregateCountsAreConsistent)
+{
+    FleetConfig config;
+    config.workers = 2;
+    FleetReport report = FleetService::run(corpusJobs(), config);
+
+    uint64_t by_rule = 0;
+    for (const auto &[rule, count] : report.warningsByRule)
+        by_rule += count;
+    uint64_t by_sev = 0;
+    for (uint64_t c : report.warningsBySeverity)
+        by_sev += c;
+    EXPECT_EQ(report.warnings, by_rule);
+    EXPECT_EQ(report.warnings, by_sev);
+    EXPECT_EQ(report.sessions,
+              report.completed + report.failed + report.cancelled);
+    EXPECT_GT(report.flagged, 0u);
+    EXPECT_GT(report.warnings, 0u);
+
+    std::string summary = report.summary(false);
+    EXPECT_NE(summary.find("fleet:"), std::string::npos);
+    EXPECT_EQ(summary.find("wall:"), std::string::npos);
+    EXPECT_NE(report.summary(true).find("wall:"),
+              std::string::npos);
+}
+
+TEST(Fleet, TickBudgetCapsSessions)
+{
+    // An infinite-loop guest: without a budget it would burn the
+    // full default 20M ticks. The fleet budget must cut it short.
+    std::vector<Scenario> abuse = resourceAbuseScenarios();
+    FleetConfig config;
+    config.workers = 2;
+    config.tickBudget = 5000;
+
+    std::vector<FleetJob> jobs;
+    for (const Scenario &s : abuse)
+        jobs.push_back(toFleetJob(s));
+    FleetReport report = FleetService::run(std::move(jobs), config);
+
+    for (const FleetResult &r : report.results) {
+        ASSERT_TRUE(r.completed) << r.id << ": " << r.error;
+        EXPECT_LE(r.report.instructions, 5000u + os::Kernel::QUANTUM)
+            << r.id;
+    }
+}
+
+TEST(Fleet, FailedJobIsIsolated)
+{
+    std::vector<FleetJob> jobs;
+
+    FleetJob bad;
+    bad.id = "missing_binary";
+    bad.path = "/bin/does-not-exist";
+    jobs.push_back(bad);
+
+    std::vector<Scenario> micro = executionFlowScenarios();
+    jobs.push_back(toFleetJob(micro[0]));
+
+    FleetConfig config;
+    config.workers = 2;
+    FleetReport report = FleetService::run(std::move(jobs), config);
+
+    ASSERT_EQ(report.results.size(), 2u);
+    EXPECT_FALSE(report.results[0].completed);
+    EXPECT_NE(report.results[0].error.find("no binary"),
+              std::string::npos);
+    EXPECT_TRUE(report.results[1].completed)
+        << report.results[1].error;
+    EXPECT_EQ(report.failed, 1u);
+    EXPECT_EQ(report.completed, 1u);
+}
+
+TEST(Fleet, CancelPendingDropsQueuedJobs)
+{
+    // One worker, and a gate job that blocks it until we say go: the
+    // jobs queued behind the gate are provably still pending when
+    // cancelPending() runs.
+    std::mutex m;
+    std::condition_variable cv;
+    bool started = false;
+    bool go = false;
+
+    FleetConfig config;
+    config.workers = 1;
+    config.queueCapacity = 16;
+    FleetService service(config);
+
+    std::vector<Scenario> micro = executionFlowScenarios();
+    FleetJob gate = toFleetJob(micro[0]);
+    gate.id = "gate";
+    gate.setup = [&, inner = gate.setup](os::Kernel &k) {
+        {
+            std::unique_lock lock(m);
+            started = true;
+            cv.notify_all();
+            cv.wait(lock, [&] { return go; });
+        }
+        if (inner)
+            inner(k);
+    };
+    service.submit(std::move(gate));
+
+    // Only once the worker is provably inside the gate job are the
+    // next five jobs guaranteed to still be queued when cancelled.
+    {
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return started; });
+    }
+    for (int i = 0; i < 5; ++i)
+        service.submit(toFleetJob(micro[0]));
+
+    service.cancelPending();
+    {
+        std::lock_guard lock(m);
+        go = true;
+    }
+    cv.notify_all();
+
+    FleetReport report = service.finish();
+    ASSERT_EQ(report.results.size(), 6u);
+    EXPECT_TRUE(report.results[0].completed)
+        << report.results[0].error;
+    for (size_t i = 1; i < 6; ++i) {
+        EXPECT_TRUE(report.results[i].cancelled) << i;
+        EXPECT_FALSE(report.results[i].completed) << i;
+    }
+    EXPECT_EQ(report.cancelled, 5u);
+    EXPECT_EQ(report.completed, 1u);
+
+    // Submissions after cancellation are cancelled immediately.
+    // (A fresh service is needed: this one is finished.)
+}
+
+TEST(Fleet, BackpressureWithTinyQueue)
+{
+    // queueCapacity 1 forces submit() to block on nearly every call;
+    // the run must still complete with all results in order.
+    FleetConfig config;
+    config.workers = 2;
+    config.queueCapacity = 1;
+
+    std::vector<Scenario> micro = executionFlowScenarios();
+    std::vector<FleetJob> jobs;
+    for (int rep = 0; rep < 4; ++rep)
+        for (const Scenario &s : micro)
+            jobs.push_back(toFleetJob(s));
+    size_t n = jobs.size();
+
+    FleetReport report = FleetService::run(std::move(jobs), config);
+    ASSERT_EQ(report.results.size(), n);
+    EXPECT_EQ(report.completed, n);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(report.results[i].index, i);
+}
+
+TEST(Fleet, RecordsReplayableTraces)
+{
+    std::vector<Scenario> micro = executionFlowScenarios();
+    std::vector<FleetJob> jobs;
+    std::vector<std::string> paths;
+    for (size_t i = 0; i < micro.size(); ++i) {
+        std::string path =
+            "fleet_trace_" + std::to_string(i) + ".hthtrc";
+        paths.push_back(path);
+        jobs.push_back(toFleetJob(micro[i], {}, path));
+    }
+
+    FleetConfig config;
+    config.workers = 4;
+    FleetReport report = FleetService::run(std::move(jobs), config);
+
+    for (size_t i = 0; i < paths.size(); ++i) {
+        ASSERT_TRUE(report.results[i].completed)
+            << report.results[i].error;
+        trace::TraceReader reader(paths[i]);
+        CountingSink sink;
+        reader.replay(sink);
+        EXPECT_GT(sink.events, 0u) << paths[i];
+        std::remove(paths[i].c_str());
+    }
+}
+
+TEST(Fleet, DestructorAbandonsCleanly)
+{
+    // Dropping a service with queued work must not hang or crash;
+    // this is the unclean-shutdown path.
+    std::vector<Scenario> micro = executionFlowScenarios();
+    FleetConfig config;
+    config.workers = 2;
+    config.queueCapacity = 8;
+    {
+        FleetService service(config);
+        for (int i = 0; i < 8; ++i)
+            service.submit(toFleetJob(micro[i % micro.size()]));
+        // No finish(): the destructor cancels and joins.
+    }
+    SUCCEED();
+}
+
+TEST(Fleet, DefaultsResolveWorkersAndQueue)
+{
+    FleetService service{FleetConfig{}};
+    EXPECT_GE(service.workers(), 1u);
+    FleetReport report = service.finish();
+    EXPECT_EQ(report.sessions, 0u);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

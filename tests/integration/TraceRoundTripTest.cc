@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Trace record/replay fidelity over the whole workload corpus.
+ *
+ * Every scenario runs live with a TraceWriter tee'd in front of
+ * Secpert (HthOptions::eventTap); the recorded trace is then
+ * replayed into a fresh Secpert. Capture and analysis are fully
+ * decoupled, so the replayed expert system must reach byte-identical
+ * conclusions: same transcript, same CLIPS fire trace, same
+ * warnings. Mirrors DifferentialTest.cc, with the trace file in
+ * place of the matcher strategy as the varied dimension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "secpert/Secpert.hh"
+#include "trace/TraceReader.hh"
+#include "trace/TraceWriter.hh"
+#include "workloads/Exploits.hh"
+#include "workloads/Macro.hh"
+#include "workloads/Micro.hh"
+#include "workloads/Trusted.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+std::string
+warningsToString(const std::vector<secpert::Warning> &warnings)
+{
+    std::string out;
+    for (const auto &w : warnings) {
+        out += std::to_string((int)w.severity);
+        out += ' ';
+        out += w.rule;
+        out += " pid=";
+        out += std::to_string(w.pid);
+        out += ' ';
+        out += w.message;
+        out += '\n';
+    }
+    return out;
+}
+
+class TraceRoundTripTest : public ::testing::TestWithParam<Scenario>
+{
+};
+
+} // namespace
+
+TEST_P(TraceRoundTripTest, ReplayReproducesLiveRun)
+{
+    const Scenario &s = GetParam();
+
+    // Live run, recording the event stream on the side.
+    std::stringstream bytes;
+    trace::TraceWriter writer(bytes);
+    HthOptions options;
+    options.eventTap = &writer;
+    Report live = runScenario(s, options).report;
+    writer.finish();
+
+    // Offline analysis: a fresh expert system fed only the trace.
+    trace::TraceReader reader(bytes);
+    secpert::Secpert replayed(options.policy);
+    uint64_t events = reader.replay(replayed);
+
+    // The trace also carries static-finding frames, which Secpert
+    // does not count as analyzed events.
+    EXPECT_GE(events, live.eventsAnalyzed) << s.id;
+    EXPECT_EQ(replayed.staticFindings().size(),
+              live.staticFindings.size())
+        << s.id;
+    EXPECT_EQ(replayed.transcript(), live.transcript) << s.id;
+    EXPECT_EQ(replayed.env().fireTraceToString(), live.fireTrace)
+        << s.id;
+    EXPECT_EQ(warningsToString(replayed.warnings()),
+              warningsToString(live.warnings))
+        << s.id;
+    EXPECT_EQ(replayed.stats().eventsAnalyzed, live.eventsAnalyzed)
+        << s.id;
+    EXPECT_EQ(replayed.stats().rulesFired, live.rulesFired) << s.id;
+
+    // The malicious scenarios must actually flag through the replay
+    // path, or the comparison is vacuous.
+    if (s.expectMalicious) {
+        EXPECT_FALSE(replayed.warnings().empty()) << s.id;
+    }
+
+    // A corrupted copy of the same trace must be rejected, not
+    // silently mis-analyzed.
+    std::string raw = bytes.str();
+    if (raw.size() > 40) {
+        raw[raw.size() / 2] ^= 0x20;
+        std::istringstream corrupt(raw);
+        secpert::Secpert victim(options.policy);
+        EXPECT_THROW(
+            {
+                trace::TraceReader r(corrupt);
+                r.replay(victim);
+            },
+            FatalError)
+            << s.id;
+    }
+}
+
+namespace
+{
+
+std::vector<Scenario>
+allScenarios()
+{
+    std::vector<Scenario> all;
+    for (auto &&list :
+         {executionFlowScenarios(), resourceAbuseScenarios(),
+          infoFlowScenarios(), macroScenarios(),
+          trustedProgramScenarios(), exploitScenarios()})
+        for (auto &s : list)
+            all.push_back(std::move(s));
+    return all;
+}
+
+std::string
+scenarioName(const ::testing::TestParamInfo<Scenario> &info)
+{
+    std::string name;
+    for (char c : info.param.id)
+        if (std::isalnum((unsigned char)c))
+            name += c;
+    return name;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Corpus, TraceRoundTripTest,
+                         ::testing::ValuesIn(allScenarios()),
+                         scenarioName);
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

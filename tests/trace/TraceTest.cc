@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Unit tests for the binary event-trace layer: wire-format
+ * round-trips for every event type and field, header validation,
+ * and rejection of corrupted / truncated traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/Logging.hh"
+#include "trace/Trace.hh"
+#include "trace/TraceReader.hh"
+#include "trace/TraceWriter.hh"
+
+using namespace hth;
+using namespace hth::trace;
+using namespace hth::harrier;
+
+namespace
+{
+
+/** Stores every delivered event for field-by-field comparison. */
+struct CaptureSink : EventSink
+{
+    std::vector<ResourceAccessEvent> accesses;
+    std::vector<ResourceIoEvent> ios;
+    std::vector<StaticFindingEvent> findings;
+
+    void
+    onResourceAccess(const ResourceAccessEvent &ev) override
+    {
+        accesses.push_back(ev);
+    }
+
+    void
+    onResourceIo(const ResourceIoEvent &ev) override
+    {
+        ios.push_back(ev);
+    }
+
+    void
+    onStaticFinding(const StaticFindingEvent &ev) override
+    {
+        findings.push_back(ev);
+    }
+};
+
+ResourceAccessEvent
+sampleAccess()
+{
+    ResourceAccessEvent ev;
+    ev.ctx.pid = 42;
+    ev.ctx.binaryPath = "/bin/suspect";
+    ev.ctx.time = 1234;
+    ev.ctx.absTime = 99999;
+    ev.ctx.frequency = 7;
+    ev.ctx.address = 0xdeadbeef;
+    ev.syscall = "SYS_execve";
+    ev.resName = "/bin/sh";
+    ev.resType = taint::SourceType::Binary;
+    ev.origins = {{taint::SourceType::Socket, "10.0.0.1:99"},
+                  {taint::SourceType::UserInput, "stdin"}};
+    ev.isProcessCreate = true;
+    ev.amount = 4096;
+    return ev;
+}
+
+ResourceIoEvent
+sampleIo()
+{
+    ResourceIoEvent ev;
+    ev.ctx.pid = 7;
+    ev.ctx.binaryPath = "/bin/leaky";
+    ev.ctx.time = 55;
+    ev.ctx.absTime = 60;
+    ev.ctx.frequency = 1;
+    ev.ctx.address = 0x1000;
+    ev.syscall = "SYS_write";
+    ev.isWrite = true;
+    ev.source = {taint::SourceType::File, "/etc/passwd"};
+    ev.sourceOrigins = {{taint::SourceType::Binary, "/bin/leaky"}};
+    ev.targetName = "10.1.2.3:31337";
+    ev.targetType = taint::SourceType::Socket;
+    ev.targetOrigins = {{taint::SourceType::Binary, "/bin/leaky"}};
+    ev.viaServer = true;
+    ev.serverName = "0.0.0.0:8080";
+    ev.serverOrigins = {{taint::SourceType::UserInput, "argv"}};
+    ev.length = 512;
+    return ev;
+}
+
+StaticFindingEvent
+sampleFinding()
+{
+    StaticFindingEvent ev;
+    ev.imagePath = "/bin/suspect";
+    ev.kind = "MAGIC_GUARD";
+    ev.level = 3;
+    ev.address = 0x44;
+    ev.syscall = "SYS_execve";
+    ev.resource = "/bin/sh";
+    ev.detail = "guard compares socket input against constant";
+    return ev;
+}
+
+/** Record the three sample events into a finished trace string. */
+std::string
+sampleTrace()
+{
+    std::ostringstream out;
+    TraceWriter writer(out);
+    writer.onResourceAccess(sampleAccess());
+    writer.onResourceIo(sampleIo());
+    writer.onStaticFinding(sampleFinding());
+    writer.finish();
+    return out.str();
+}
+
+} // namespace
+
+TEST(Crc32, KnownVector)
+{
+    // The IEEE 802.3 check value for "123456789".
+    EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+    // Incremental == one-shot.
+    uint32_t inc = crc32("1234", 4);
+    inc = crc32("56789", 5, inc);
+    EXPECT_EQ(inc, 0xcbf43926u);
+}
+
+TEST(TraceRoundTrip, AllFieldsSurvive)
+{
+    std::istringstream in(sampleTrace());
+    TraceReader reader(in);
+    EXPECT_EQ(reader.version(), VERSION);
+
+    CaptureSink sink;
+    EXPECT_EQ(reader.replay(sink), 3u);
+    EXPECT_TRUE(reader.atEnd());
+
+    ASSERT_EQ(sink.accesses.size(), 1u);
+    const ResourceAccessEvent &a = sink.accesses[0];
+    const ResourceAccessEvent want_a = sampleAccess();
+    EXPECT_EQ(a.ctx.pid, want_a.ctx.pid);
+    EXPECT_EQ(a.ctx.binaryPath, want_a.ctx.binaryPath);
+    EXPECT_EQ(a.ctx.time, want_a.ctx.time);
+    EXPECT_EQ(a.ctx.absTime, want_a.ctx.absTime);
+    EXPECT_EQ(a.ctx.frequency, want_a.ctx.frequency);
+    EXPECT_EQ(a.ctx.address, want_a.ctx.address);
+    EXPECT_EQ(a.syscall, want_a.syscall);
+    EXPECT_EQ(a.resName, want_a.resName);
+    EXPECT_EQ(a.resType, want_a.resType);
+    EXPECT_EQ(a.origins, want_a.origins);
+    EXPECT_EQ(a.isProcessCreate, want_a.isProcessCreate);
+    EXPECT_EQ(a.amount, want_a.amount);
+
+    ASSERT_EQ(sink.ios.size(), 1u);
+    const ResourceIoEvent &io = sink.ios[0];
+    const ResourceIoEvent want_io = sampleIo();
+    EXPECT_EQ(io.ctx.pid, want_io.ctx.pid);
+    EXPECT_EQ(io.syscall, want_io.syscall);
+    EXPECT_EQ(io.isWrite, want_io.isWrite);
+    EXPECT_EQ(io.source, want_io.source);
+    EXPECT_EQ(io.sourceOrigins, want_io.sourceOrigins);
+    EXPECT_EQ(io.targetName, want_io.targetName);
+    EXPECT_EQ(io.targetType, want_io.targetType);
+    EXPECT_EQ(io.targetOrigins, want_io.targetOrigins);
+    EXPECT_EQ(io.viaServer, want_io.viaServer);
+    EXPECT_EQ(io.serverName, want_io.serverName);
+    EXPECT_EQ(io.serverOrigins, want_io.serverOrigins);
+    EXPECT_EQ(io.length, want_io.length);
+
+    ASSERT_EQ(sink.findings.size(), 1u);
+    const StaticFindingEvent &f = sink.findings[0];
+    const StaticFindingEvent want_f = sampleFinding();
+    EXPECT_EQ(f.imagePath, want_f.imagePath);
+    EXPECT_EQ(f.kind, want_f.kind);
+    EXPECT_EQ(f.level, want_f.level);
+    EXPECT_EQ(f.address, want_f.address);
+    EXPECT_EQ(f.syscall, want_f.syscall);
+    EXPECT_EQ(f.resource, want_f.resource);
+    EXPECT_EQ(f.detail, want_f.detail);
+}
+
+TEST(TraceRoundTrip, EmptyTraceIsValid)
+{
+    std::ostringstream out;
+    TraceWriter writer(out);
+    writer.finish();
+
+    std::istringstream in(out.str());
+    TraceReader reader(in);
+    CaptureSink sink;
+    EXPECT_EQ(reader.replay(sink), 0u);
+    EXPECT_TRUE(reader.atEnd());
+}
+
+TEST(TraceRoundTrip, StepwiseNextMatchesReplay)
+{
+    std::istringstream in(sampleTrace());
+    TraceReader reader(in);
+    CaptureSink sink;
+    int steps = 0;
+    while (reader.next(sink))
+        ++steps;
+    EXPECT_EQ(steps, 3);
+    EXPECT_FALSE(reader.next(sink));    // idempotent at end
+}
+
+TEST(TraceWriter, StatsCountEventsAndBytes)
+{
+    std::ostringstream out;
+    TraceWriter writer(out);
+    writer.onResourceAccess(sampleAccess());
+    writer.onResourceIo(sampleIo());
+    writer.finish();
+    EXPECT_EQ(writer.stats().events, 2u);
+    EXPECT_EQ(writer.stats().bytes, out.str().size());
+}
+
+TEST(TraceWriter, EventAfterFinishIsFatal)
+{
+    std::ostringstream out;
+    TraceWriter writer(out);
+    writer.finish();
+    EXPECT_THROW(writer.onResourceAccess(sampleAccess()),
+                 FatalError);
+}
+
+TEST(TraceWriter, TeesToDownstream)
+{
+    std::ostringstream out;
+    CaptureSink downstream;
+    TraceWriter writer(out, &downstream);
+    writer.onResourceAccess(sampleAccess());
+    writer.onStaticFinding(sampleFinding());
+    EXPECT_EQ(downstream.accesses.size(), 1u);
+    EXPECT_EQ(downstream.findings.size(), 1u);
+}
+
+TEST(TraceReject, BadMagic)
+{
+    std::string bytes = sampleTrace();
+    bytes[0] = 'X';
+    std::istringstream in(bytes);
+    EXPECT_THROW(TraceReader reader(in), FatalError);
+}
+
+TEST(TraceReject, UnsupportedVersion)
+{
+    std::string bytes = sampleTrace();
+    // Bump the version field and fix the header CRC so only the
+    // version check can object.
+    bytes[8] = (char)(VERSION + 1);
+    uint32_t crc = crc32(bytes.data(), 12);
+    for (int i = 0; i < 4; ++i)
+        bytes[12 + i] = (char)(crc >> (8 * i));
+    std::istringstream in(bytes);
+    EXPECT_THROW(TraceReader reader(in), FatalError);
+}
+
+TEST(TraceReject, HeaderCrcMismatch)
+{
+    std::string bytes = sampleTrace();
+    bytes[9] ^= 0x01;   // corrupt version without fixing the CRC
+    std::istringstream in(bytes);
+    EXPECT_THROW(TraceReader reader(in), FatalError);
+}
+
+TEST(TraceReject, TruncatedHeader)
+{
+    std::string bytes = sampleTrace().substr(0, 10);
+    std::istringstream in(bytes);
+    EXPECT_THROW(TraceReader reader(in), FatalError);
+}
+
+TEST(TraceReject, CorruptedFramePayload)
+{
+    std::string bytes = sampleTrace();
+    // Flip one byte in the middle of the first frame's payload
+    // (well past the 16-byte header and 5-byte frame head).
+    bytes[30] ^= 0x40;
+    std::istringstream in(bytes);
+    TraceReader reader(in);
+    CaptureSink sink;
+    EXPECT_THROW(reader.replay(sink), FatalError);
+}
+
+TEST(TraceReject, TruncatedMidFrame)
+{
+    std::string full = sampleTrace();
+    std::string bytes = full.substr(0, full.size() / 2);
+    std::istringstream in(bytes);
+    TraceReader reader(in);
+    CaptureSink sink;
+    EXPECT_THROW(reader.replay(sink), FatalError);
+}
+
+TEST(TraceReject, MissingEndFrame)
+{
+    // Chop the End frame (1 type + 4 len + 8 payload + 4 crc = 17
+    // bytes) off an otherwise intact trace: an edge capture that
+    // died must not read as complete.
+    std::string full = sampleTrace();
+    std::string bytes = full.substr(0, full.size() - 17);
+    std::istringstream in(bytes);
+    TraceReader reader(in);
+    CaptureSink sink;
+    try {
+        reader.replay(sink);
+        FAIL() << "truncated trace accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("End"),
+                  std::string::npos);
+    }
+    // Every intact frame before the cut was still delivered.
+    EXPECT_EQ(sink.accesses.size(), 1u);
+    EXPECT_EQ(sink.ios.size(), 1u);
+    EXPECT_EQ(sink.findings.size(), 1u);
+}
+
+TEST(TraceFile, WritesAndReadsByPath)
+{
+    const std::string path = "trace_test_tmp.hthtrc";
+    {
+        TraceWriter writer(path);
+        writer.onResourceAccess(sampleAccess());
+        writer.finish();
+    }
+    TraceReader reader(path);
+    CaptureSink sink;
+    EXPECT_EQ(reader.replay(sink), 1u);
+    std::remove(path.c_str());
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
