@@ -57,6 +57,21 @@ mark(bool value)
     return value ? "yes" : "";
 }
 
+/** Named counter from a run's telemetry snapshot (0 when absent). */
+inline uint64_t
+telemetryCounter(const Report &report, const std::string &name)
+{
+    return report.telemetry.metrics.counter(name);
+}
+
+/** hits / (hits + misses) as a percentage, safe on zero totals. */
+inline double
+hitRatePercent(uint64_t hits, uint64_t misses)
+{
+    uint64_t total = hits + misses;
+    return total ? 100.0 * (double)hits / (double)total : 0.0;
+}
+
 /**
  * Run a scenario list and print the classification table the
  * paper's §8.1-§8.3 tables use. @return number of misclassified.

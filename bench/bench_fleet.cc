@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <sstream>
 #include <thread>
 #include <variant>
@@ -127,6 +128,8 @@ BM_FleetSessions(benchmark::State &state)
     config.workers = (size_t)state.range(0);
 
     uint64_t sessions = 0;
+    uint64_t queue_high_water = 0;
+    uint64_t backpressure_stalls = 0;
     for (auto _ : state) {
         fleet::FleetReport report =
             fleet::FleetService::run(jobs, config);
@@ -135,12 +138,20 @@ BM_FleetSessions(benchmark::State &state)
             break;
         }
         sessions += report.sessions;
+        queue_high_water = std::max(
+            queue_high_water,
+            report.telemetry.metrics.gauge("fleet.queue_depth").max);
+        backpressure_stalls += report.telemetry.metrics.counter(
+            "fleet.backpressure_stalls");
         benchmark::DoNotOptimize(report.warnings);
     }
     state.counters["sessions_per_sec"] = benchmark::Counter(
         (double)sessions, benchmark::Counter::kIsRate);
     state.counters["hw_cores"] =
         (double)std::thread::hardware_concurrency();
+    state.counters["queue_high_water"] = (double)queue_high_water;
+    state.counters["backpressure_stalls"] =
+        (double)backpressure_stalls;
 }
 BENCHMARK(BM_FleetSessions)
     ->ArgName("workers")

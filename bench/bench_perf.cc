@@ -11,9 +11,12 @@
  *   BM_VmMonitored   — monitor attached (BB callbacks + events),
  *                      taint off
  *   BM_VmTaint       — full HTH: monitor + data-flow tracking
+ *   BM_VmTaintNoTelemetry — BM_VmTaint with the phase profiler off
+ *                      (the telemetry-overhead baseline)
  *   BM_TagStoreUnion — the memoised tag-set union primitive
  *   BM_ShadowMemory  — shadow byte tagging
  *   BM_ClipsEvent    — Secpert cost per analyzed event
+ *                      (+ a NoTelemetry twin without a profiler)
  *
  * Counters report guest instructions per second so the slowdown
  * ratios (the §9 "shape": taint ≫ monitor ≈ bare) are explicit.
@@ -21,7 +24,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "BenchUtil.hh"
 #include "core/Hth.hh"
+#include "obs/Profiler.hh"
 #include "harrier/Harrier.hh"
 #include "secpert/Secpert.hh"
 #include "taint/Shadow.hh"
@@ -77,10 +82,11 @@ struct GuestRun
 
 /** Run the guest; returns executed instructions + cache behaviour. */
 GuestRun
-runGuest(bool monitored, bool taint)
+runGuest(bool monitored, bool taint, bool telemetry)
 {
     HthOptions options;
     options.taintTracking = taint;
+    options.telemetry = telemetry;
     Hth hth(options);
     if (!monitored) {
         // Detach Harrier: raw kernel + VM only.
@@ -89,24 +95,25 @@ runGuest(bool monitored, bool taint)
     }
     auto image = makeComputeGuest(GUEST_ITERS);
     hth.kernel().vfs().addBinary(image->path, image);
-    hth.monitor(image->path, {image->path});
+    Report report = hth.monitor(image->path, {image->path});
     GuestRun run;
-    for (const auto &p : hth.kernel().processes()) {
-        const vm::MachineStats &st = p->machine.stats();
-        run.instructions += st.instructions;
-        run.blockCacheHits += st.blockCacheHits;
-        run.blockCacheMisses += st.blockCacheMisses;
-    }
+    run.instructions =
+        bench::telemetryCounter(report, "vm.instructions");
+    run.blockCacheHits =
+        bench::telemetryCounter(report, "vm.block_cache.hits");
+    run.blockCacheMisses =
+        bench::telemetryCounter(report, "vm.block_cache.misses");
     return run;
 }
 
-/** Shared body of the three VM benches. */
+/** Shared body of the VM benches. */
 void
-runVmBench(benchmark::State &state, bool monitored, bool taint)
+runVmBench(benchmark::State &state, bool monitored, bool taint,
+           bool telemetry = true)
 {
     GuestRun total;
     for (auto _ : state) {
-        GuestRun run = runGuest(monitored, taint);
+        GuestRun run = runGuest(monitored, taint, telemetry);
         total.instructions += run.instructions;
         total.blockCacheHits += run.blockCacheHits;
         total.blockCacheMisses += run.blockCacheMisses;
@@ -115,10 +122,8 @@ runVmBench(benchmark::State &state, bool monitored, bool taint)
         (double)total.instructions, benchmark::Counter::kIsRate);
     // Decoded-block cache efficiency: hits / (hits + misses). The
     // cached-vs-uncached dispatch ratio of the PIN-style code cache.
-    state.counters["bb_cache_hit%"] =
-        100.0 * (double)total.blockCacheHits /
-        (double)std::max<uint64_t>(
-            1, total.blockCacheHits + total.blockCacheMisses);
+    state.counters["bb_cache_hit%"] = bench::hitRatePercent(
+        total.blockCacheHits, total.blockCacheMisses);
 }
 
 void
@@ -141,6 +146,15 @@ BM_VmTaint(benchmark::State &state)
     runVmBench(state, true, true);
 }
 BENCHMARK(BM_VmTaint);
+
+/** BM_VmTaint with the phase profiler disabled: the pair bounds the
+ * telemetry overhead (budget: < 5%). */
+void
+BM_VmTaintNoTelemetry(benchmark::State &state)
+{
+    runVmBench(state, true, true, false);
+}
+BENCHMARK(BM_VmTaintNoTelemetry);
 
 void
 BM_TagStoreUnion(benchmark::State &state)
@@ -182,11 +196,17 @@ BENCHMARK(BM_ShadowMemory);
 /** Shared body of the two Secpert benches: the matcher strategy is
  * the only difference, so their ratio is the incremental speedup. */
 void
-runClipsBench(benchmark::State &state, bool naive)
+runClipsBench(benchmark::State &state, bool naive,
+              bool telemetry = true)
 {
     secpert::PolicyConfig config;
     config.naiveMatcher = naive;
     secpert::Secpert secpert(config);
+    obs::PhaseProfiler profiler;
+    if (telemetry) {
+        secpert.setProfiler(&profiler);
+        profiler.start();
+    }
     harrier::ResourceAccessEvent ev;
     ev.ctx.pid = 1;
     ev.ctx.time = 10;
@@ -213,6 +233,15 @@ BM_ClipsEvent(benchmark::State &state)
     runClipsBench(state, false);
 }
 BENCHMARK(BM_ClipsEvent);
+
+/** BM_ClipsEvent without a profiler attached: the telemetry-overhead
+ * baseline for the expert-system path. */
+void
+BM_ClipsEventNoTelemetry(benchmark::State &state)
+{
+    runClipsBench(state, false, false);
+}
+BENCHMARK(BM_ClipsEventNoTelemetry);
 
 /** The naive full-recomputation matcher, kept as the reference
  * oracle: BM_ClipsEvent / BM_ClipsEventNaive is the win from

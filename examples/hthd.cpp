@@ -12,6 +12,7 @@
  *   hthd --workers 4 manifest.txt
  *   hthd --workers 4 --trace-dir traces
  *   hthd --replay traces/grabem.hthtrc
+ *   hthd --stats-json stats.json --stats-interval 5
  *
  * A manifest names one scenario id per line (`#` starts a comment);
  * the line `all` expands to the whole corpus. Without a manifest
@@ -22,16 +23,20 @@
  * paper's classification.
  */
 
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fleet/FleetService.hh"
+#include "obs/StatsSink.hh"
 #include "secpert/Secpert.hh"
 #include "support/Logging.hh"
 #include "trace/TraceReader.hh"
@@ -123,7 +128,10 @@ usage()
         "  --tick-budget N    cap every session at N virtual ticks\n"
         "  --trace-dir DIR    record one event trace per session\n"
         "  --replay FILE      re-analyze a recorded trace and exit\n"
-        "  --summary-only     suppress per-session result lines\n";
+        "  --summary-only     suppress per-session result lines\n"
+        "  --stats-json FILE  write fleet telemetry as JSON lines\n"
+        "  --stats-interval N progress line to stderr every N s\n"
+        "                     (default 0 = off)\n";
     return 2;
 }
 
@@ -133,6 +141,8 @@ run(int argc, char **argv)
     fleet::FleetConfig config;
     std::string trace_dir;
     std::string manifest_path;
+    std::string stats_json;
+    unsigned stats_interval = 0;
     bool summary_only = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -157,6 +167,10 @@ run(int argc, char **argv)
             return replayTrace(value());
         } else if (arg == "--summary-only") {
             summary_only = true;
+        } else if (arg == "--stats-json") {
+            stats_json = value();
+        } else if (arg == "--stats-interval") {
+            stats_interval = (unsigned)std::stoul(value());
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -196,6 +210,26 @@ run(int argc, char **argv)
     fleet::FleetService service(config);
     std::cout << "hthd: " << selected.size() << " sessions on "
               << service.workers() << " workers\n";
+
+    // The periodic stats line sleeps in short slices so shutdown
+    // never waits a whole interval.
+    std::atomic<bool> stats_stop{false};
+    std::thread stats_thread;
+    if (stats_interval > 0) {
+        stats_thread = std::thread([&] {
+            using namespace std::chrono;
+            auto next = steady_clock::now() +
+                        seconds(stats_interval);
+            while (!stats_stop.load()) {
+                std::this_thread::sleep_for(milliseconds(100));
+                if (steady_clock::now() < next)
+                    continue;
+                next += seconds(stats_interval);
+                std::cerr << service.statusLine() << "\n";
+            }
+        });
+    }
+
     for (const Scenario *s : selected) {
         std::string trace_path;
         if (!trace_dir.empty())
@@ -204,6 +238,23 @@ run(int argc, char **argv)
         service.submit(toFleetJob(*s, {}, trace_path));
     }
     fleet::FleetReport report = service.finish();
+    if (stats_thread.joinable()) {
+        stats_stop.store(true);
+        stats_thread.join();
+    }
+
+    if (!stats_json.empty()) {
+        std::ofstream out(stats_json);
+        fatalIf(!out, "hthd: cannot write ", stats_json);
+        out << "{\"type\":\"fleet\",\"sessions\":"
+            << report.sessions << ",\"completed\":"
+            << report.completed << ",\"failed\":" << report.failed
+            << ",\"cancelled\":" << report.cancelled
+            << ",\"flagged\":" << report.flagged
+            << ",\"warnings\":" << report.warnings
+            << ",\"wall_seconds\":" << report.wallSeconds << "}\n";
+        obs::writeJsonLines(report.telemetry, out);
+    }
 
     int divergent = 0;
     for (const fleet::FleetResult &r : report.results) {

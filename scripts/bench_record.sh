@@ -3,12 +3,13 @@
 # Record a benchmark suite into a BENCH_*.json artifact.
 #
 #   scripts/bench_record.sh [-o BENCH_PR2.json] [-b <git-ref>]
-#                           [-r repetitions] [-t bench_target]
+#                           [-r repetitions] [-t bench_target]...
 #
 #   scripts/bench_record.sh -t bench_fleet -o BENCH_PR3.json
+#   scripts/bench_record.sh -t bench_perf -t bench_fleet -o BENCH_PR5.json
 #
-# Builds the Release bench binary (-t names the target; default
-# bench_perf), runs it with
+# Builds the Release bench binaries (-t names a target and may be
+# repeated; default bench_perf), runs each with
 # --benchmark_format=json, and writes a summary JSON containing the
 # median wall time and counters per benchmark. With -b, the given
 # git ref is built in a temporary worktree and benchmarked
@@ -26,29 +27,34 @@ cd "$(dirname "$0")/.."
 out=BENCH_PR2.json
 baseline_ref=""
 reps=5
-target=bench_perf
+targets=()
 
 while getopts "o:b:r:t:" opt; do
     case $opt in
       o) out=$OPTARG ;;
       b) baseline_ref=$OPTARG ;;
       r) reps=$OPTARG ;;
-      t) target=$OPTARG ;;
+      t) targets+=("$OPTARG") ;;
       *) exit 2 ;;
     esac
 done
+[ ${#targets[@]} -gt 0 ] || targets=(bench_perf)
 
 build_bench() { # <src-dir> <build-dir>
     cmake -S "$1" -B "$2" -DCMAKE_BUILD_TYPE=Release >/dev/null
-    cmake --build "$2" -j"$(nproc)" --target "$target" >/dev/null
+    cmake --build "$2" -j"$(nproc)" --target "${targets[@]}" \
+        >/dev/null
 }
 
-run_bench() { # <build-dir> <json-out>
-    "$1"/bench/"$target" \
-        --benchmark_format=json \
-        --benchmark_repetitions="$reps" \
-        --benchmark_report_aggregates_only=true \
-        >"$2"
+run_bench() { # <build-dir> <json-out-prefix>
+    local target
+    for target in "${targets[@]}"; do
+        "$1"/bench/"$target" \
+            --benchmark_format=json \
+            --benchmark_repetitions="$reps" \
+            --benchmark_report_aggregates_only=true \
+            >"$2.$target.json"
+    done
 }
 
 echo "building current tree (Release)..."
@@ -72,23 +78,26 @@ fi
 
 tmp=$(mktemp -d)
 echo "running current ($reps repetitions)..."
-run_bench build-bench "$tmp/current.json"
+run_bench build-bench "$tmp/current"
 if [ -n "$baseline_ref" ]; then
     echo "running baseline ($reps repetitions, interleaved)..."
-    run_bench "$baseline_wt/build-bench" "$tmp/baseline.json"
+    run_bench "$baseline_wt/build-bench" "$tmp/baseline"
     # Second interleaved pass: medians over both passes absorb any
     # frequency-scaling step between the two runs above.
-    run_bench build-bench "$tmp/current2.json"
-    run_bench "$baseline_wt/build-bench" "$tmp/baseline2.json"
+    run_bench build-bench "$tmp/current2"
+    run_bench "$baseline_wt/build-bench" "$tmp/baseline2"
 fi
 
-python3 scripts/bench_summarize.py \
-    --out "$out" \
-    --current "$tmp/current.json" \
-    ${baseline_ref:+--current "$tmp/current2.json"} \
-    ${baseline_ref:+--baseline "$tmp/baseline.json"} \
-    ${baseline_ref:+--baseline "$tmp/baseline2.json"} \
-    ${baseline_ref:+--baseline-ref "$baseline_ref"}
+args=(--out "$out")
+for f in "$tmp"/current.*.json; do args+=(--current "$f"); done
+if [ -n "$baseline_ref" ]; then
+    for f in "$tmp"/current2.*.json; do args+=(--current "$f"); done
+    for f in "$tmp"/baseline.*.json "$tmp"/baseline2.*.json; do
+        args+=(--baseline "$f")
+    done
+    args+=(--baseline-ref "$baseline_ref")
+fi
+python3 scripts/bench_summarize.py "${args[@]}"
 
 rm -rf "$tmp"
 echo "wrote $out"

@@ -39,7 +39,8 @@ def load_runs(paths):
                            "union_cache_hit%", "events",
                            "rule_matches/event", "sessions_per_sec",
                            "hw_cores", "bytes_per_second",
-                           "trace_bytes"):
+                           "trace_bytes", "queue_high_water",
+                           "backpressure_stalls"):
                     entry["counters"][key] = value
     return merged
 

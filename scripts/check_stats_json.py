@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate an `hthd --stats-json` artifact.
+
+The file is line-oriented JSON: every line must parse standalone,
+the mandatory record types must be present, and the fleet-aggregated
+numbers must be self-consistent (phase times summing to the run
+total, session counts matching, core counters non-zero). Used as a
+ctest smoke so a schema regression fails the build, not a consumer.
+
+usage: check_stats_json.py <stats.json> [expected-sessions]
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_stats_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_stats_json.py <stats.json> [sessions]")
+    path = sys.argv[1]
+    expected_sessions = (
+        int(sys.argv[2]) if len(sys.argv) > 2 else None)
+
+    records = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                fail(f"line {lineno} is not valid JSON: {e}")
+    if not records:
+        fail("file is empty")
+
+    by_type = {}
+    for r in records:
+        if "type" not in r:
+            fail(f"record without type: {r}")
+        by_type.setdefault(r["type"], []).append(r)
+
+    for required in ("fleet", "run", "phase", "counter"):
+        if required not in by_type:
+            fail(f"no '{required}' record")
+
+    fleet = by_type["fleet"][0]
+    for key in ("sessions", "completed", "failed", "cancelled",
+                "flagged", "wall_seconds"):
+        if key not in fleet:
+            fail(f"fleet record lacks '{key}'")
+    if expected_sessions is not None:
+        if fleet["sessions"] != expected_sessions:
+            fail(f"fleet.sessions = {fleet['sessions']}, expected "
+                 f"{expected_sessions}")
+    if fleet["completed"] != fleet["sessions"]:
+        fail("not every session completed")
+
+    run = by_type["run"][0]
+    if "profiled" not in run or "total_ns" not in run:
+        fail("run record lacks profiled/total_ns")
+    phase_ns = sum(p["ns"] for p in by_type["phase"])
+    if run["profiled"] and phase_ns != run["total_ns"]:
+        fail(f"phase ns sum {phase_ns} != total_ns "
+             f"{run['total_ns']}")
+
+    counters = {c["name"]: c["value"] for c in by_type["counter"]}
+    for name in ("vm.instructions", "os.syscalls",
+                 "secpert.events_analyzed", "fleet.sessions"):
+        if name not in counters:
+            fail(f"missing counter '{name}'")
+        if counters[name] == 0:
+            fail(f"counter '{name}' is zero")
+    if counters["fleet.sessions"] != fleet["sessions"]:
+        fail("counter fleet.sessions disagrees with fleet record")
+
+    print(f"check_stats_json: OK ({len(records)} records, "
+          f"{fleet['sessions']} sessions, "
+          f"{len(counters)} counters)")
+
+
+if __name__ == "__main__":
+    main()

@@ -374,6 +374,7 @@ Environment::compileRule(const Sexpr &form)
         if (rule->hasTest)
             testRules_.push_back(rules_.size());
         ruleDirty_.push_back(1);
+        ruleActivations_.push_back(0);
         anyDirty_ = true;
         rules_.push_back(std::move(rule));
     }
@@ -741,6 +742,9 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
         act.recency = used.empty()
             ? 0 : *std::max_element(used.begin(), used.end());
         out.push_back(std::move(act));
+        ++stats_.activations;
+        if (rule.defIndex < ruleActivations_.size())
+            ++ruleActivations_[rule.defIndex];
         return;
     }
 
@@ -750,6 +754,7 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
         auto it = factsByTmpl_.find(ce.pattern.tmpl->name);
         if (it == factsByTmpl_.end())
             return;
+        ++stats_.alphaHits;
         // By index, size re-read each pass: robust against the
         // template vector changing underneath (RHS execution never
         // runs during matching, but test CEs evaluate arbitrary
@@ -792,6 +797,7 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
       case CondElement::Kind::Not: {
         auto it = factsByTmpl_.find(ce.pattern.tmpl->name);
         if (it != factsByTmpl_.end()) {
+            ++stats_.alphaHits;
             for (Fact *f : it->second) {
                 if (f->retracted)
                     continue;
@@ -811,6 +817,7 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
         auto it = factsByTmpl_.find(ce.pattern.tmpl->name);
         if (it == factsByTmpl_.end())
             return;
+        ++stats_.alphaHits;
         for (Fact *f : it->second) {
             if (f->retracted)
                 continue;
@@ -931,6 +938,7 @@ Environment::refreshAgenda()
         ruleDirty_[i] = 0;
         removeActivationsOf(rules_[i].get());
         ++stats_.ruleMatches;
+        ++stats_.dirtyRescans;
         Bindings binds;
         std::vector<FactId> used;
         matchFrom(*rules_[i], 0, binds, used, agenda_);
@@ -956,11 +964,15 @@ Environment::run(int max_fires)
 {
     int fired = 0;
     while (max_fires < 0 || fired < max_fires) {
-        if (strategy_ == MatchStrategy::Naive) {
-            agenda_.clear();
-            computeActivations(agenda_);
-        } else {
-            refreshAgenda();
+        {
+            obs::PhaseScope match(profiler_,
+                                  obs::Phase::ClipsMatch);
+            if (strategy_ == MatchStrategy::Naive) {
+                agenda_.clear();
+                computeActivations(agenda_);
+            } else {
+                refreshAgenda();
+            }
         }
         if (agenda_.empty())
             break;
@@ -988,11 +1000,31 @@ Environment::run(int max_fires)
         ++stats_.fires;
         ++fired;
 
+        obs::PhaseScope fire(profiler_, obs::Phase::ClipsFire);
         Bindings binds = std::move(top.binds);
         for (const auto &action : top.rule->rhs)
             eval(action, binds);
     }
     return fired;
+}
+
+std::map<std::string, uint64_t>
+Environment::activationCountsByRule() const
+{
+    std::map<std::string, uint64_t> out;
+    for (size_t i = 0; i < rules_.size(); ++i)
+        if (i < ruleActivations_.size() && ruleActivations_[i])
+            out[rules_[i]->name] += ruleActivations_[i];
+    return out;
+}
+
+std::map<std::string, uint64_t>
+Environment::fireCountsByRule() const
+{
+    std::map<std::string, uint64_t> out;
+    for (const FireRecord &fr : fireTrace_)
+        ++out[fr.rule];
+    return out;
 }
 
 std::string

@@ -38,6 +38,7 @@
 #include "clips/Rule.hh"
 #include "clips/Sexpr.hh"
 #include "clips/Value.hh"
+#include "obs/Profiler.hh"
 
 namespace hth::clips
 {
@@ -129,6 +130,13 @@ struct EngineStats
     uint64_t ruleMatches = 0;
     /** Largest agenda observed when selecting an activation. */
     uint64_t agendaPeak = 0;
+    /** Activations pushed onto an agenda (pre-refraction joins). */
+    uint64_t activations = 0;
+    /** Non-empty alpha-memory (template index) lookups during
+     * matching. */
+    uint64_t alphaHits = 0;
+    /** Dirty-rule rescans performed by the incremental matcher. */
+    uint64_t dirtyRescans = 0;
 };
 
 /**
@@ -234,6 +242,19 @@ class Environment
     std::string fireTraceToString() const;
 
     const EngineStats &stats() const { return stats_; }
+
+    /** Activations created per rule since construction, keyed by
+     * rule name (redefinitions of a name accumulate). */
+    std::map<std::string, uint64_t> activationCountsByRule() const;
+
+    /** Firings per rule, derived from the fire trace. */
+    std::map<std::string, uint64_t> fireCountsByRule() const;
+
+    /** Attribute match/fire time to @p profiler (null detaches). */
+    void setProfiler(obs::PhaseProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
 
     /** Switch matchers; pending agenda state is rebuilt so traces
      * are unaffected by when the switch happens. */
@@ -352,6 +373,9 @@ class Environment
     uint64_t retractsSinceSweep_ = 0;
     std::vector<FireRecord> fireTrace_;
     EngineStats stats_;
+    /** Activations per rule, parallel to rules_ (Rule::defIndex). */
+    std::vector<uint64_t> ruleActivations_;
+    obs::PhaseProfiler *profiler_ = nullptr;
 
     /** @name Incremental matcher state @{ */
     MatchStrategy strategy_ = MatchStrategy::Incremental;

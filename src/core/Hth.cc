@@ -34,6 +34,12 @@ Hth::Hth(HthOptions options) : options_(std::move(options))
     harrier_ =
         std::make_unique<harrier::Harrier>(*sink, options_.harrier);
     harrier_->attach(*kernel_);
+
+    if (options_.telemetry) {
+        kernel_->setProfiler(&profiler_);
+        harrier_->setProfiler(&profiler_);
+        secpert_->setProfiler(&profiler_);
+    }
 }
 
 Hth::~Hth() = default;
@@ -44,11 +50,15 @@ Hth::monitor(const std::string &path,
              const std::vector<std::string> &env,
              const std::string &stdin_data)
 {
+    if (options_.telemetry)
+        profiler_.start(obs::Phase::Setup);
+
     os::Process &proc = kernel_->spawn(path, argv, env);
     proc.stdinData = stdin_data;
 
     Report report;
     report.status = kernel_->run(options_.maxTicks);
+    profiler_.stop();
     report.warnings = secpert_->warnings();
     report.staticFindings = secpert_->staticFindings();
     // Stable order independent of image-load sequence, so identical
@@ -66,11 +76,120 @@ Hth::monitor(const std::string &path,
     report.fireTrace = secpert_->env().fireTraceToString();
     report.stdoutData = proc.stdoutData;
     report.exitCode = proc.exitCode;
-    report.instructions = kernel_->now();
-    report.syscalls = kernel_->stats().syscalls;
-    report.eventsAnalyzed = secpert_->stats().eventsAnalyzed;
-    report.rulesFired = secpert_->stats().rulesFired;
+    collectTelemetry(report);
     return report;
+}
+
+void
+Hth::collectTelemetry(Report &report)
+{
+    // Set-semantics harvest: each counter holds the layer's own
+    // cumulative total, so repeated monitor() calls on one instance
+    // stay consistent (the registry mirrors the stats structs, it
+    // does not double-count them).
+    auto set = [&](const char *name, uint64_t v) {
+        metrics_.counter(name).set(v);
+    };
+
+    vm::MachineStats vmTotals;
+    taint::ShadowStats shadowTotals;
+    uint64_t shadowPages = 0;
+    for (const auto &p : kernel_->processes()) {
+        const vm::MachineStats &ms = p->machine.stats();
+        vmTotals.instructions += ms.instructions;
+        vmTotals.basicBlocks += ms.basicBlocks;
+        vmTotals.taintOps += ms.taintOps;
+        vmTotals.blockCacheHits += ms.blockCacheHits;
+        vmTotals.blockCacheMisses += ms.blockCacheMisses;
+        vmTotals.blockCacheInvalidations +=
+            ms.blockCacheInvalidations;
+        vmTotals.insnsDecoded += ms.insnsDecoded;
+        const taint::ShadowStats &ss = p->machine.shadow().stats();
+        shadowTotals.pagesMaterialized += ss.pagesMaterialized;
+        shadowTotals.emptyReadSkips += ss.emptyReadSkips;
+        shadowTotals.emptyWriteSkips += ss.emptyWriteSkips;
+        shadowPages += p->machine.shadow().pageCount();
+    }
+    set("vm.instructions", vmTotals.instructions);
+    set("vm.basic_blocks", vmTotals.basicBlocks);
+    set("vm.taint_ops", vmTotals.taintOps);
+    set("vm.block_cache.hits", vmTotals.blockCacheHits);
+    set("vm.block_cache.misses", vmTotals.blockCacheMisses);
+    set("vm.block_cache.invalidations",
+        vmTotals.blockCacheInvalidations);
+    set("vm.block_cache.insns_decoded", vmTotals.insnsDecoded);
+    set("taint.shadow.pages_materialized",
+        shadowTotals.pagesMaterialized);
+    set("taint.shadow.empty_read_skips",
+        shadowTotals.emptyReadSkips);
+    set("taint.shadow.empty_write_skips",
+        shadowTotals.emptyWriteSkips);
+    metrics_.gauge("taint.shadow.pages_live").set(shadowPages);
+
+    const taint::TagStoreStats &tags = kernel_->tagStore().stats();
+    set("taint.tags.union_calls", tags.unionCalls);
+    set("taint.tags.union_cache_hits", tags.unionCacheHits);
+    set("taint.tags.sets_interned", tags.setsInterned);
+
+    const os::KernelStats &ks = kernel_->stats();
+    set("os.ticks", kernel_->now());
+    set("os.syscalls", ks.syscalls);
+    set("os.context_switches", ks.contextSwitches);
+    set("os.processes_created", ks.processesCreated);
+    set("os.stdin_bytes_read", ks.stdinBytesRead);
+    set("os.socket_bytes_read", ks.socketBytesRead);
+    set("os.native_calls", ks.nativeCalls);
+    set("os.vfs_ops", ks.vfsOps);
+    for (size_t n = 0; n < ks.syscallsByNumber.size(); ++n)
+        if (ks.syscallsByNumber[n])
+            metrics_
+                .counter(std::string("os.syscall.") +
+                         os::syscallName((int)n))
+                .set(ks.syscallsByNumber[n]);
+
+    const harrier::HarrierStats &hs = harrier_->stats();
+    set("harrier.bb_callbacks", hs.bbCallbacks);
+    set("harrier.access_events", hs.accessEvents);
+    set("harrier.io_events", hs.ioEvents);
+    set("harrier.short_circuits", hs.shortCircuits);
+    set("harrier.images_analyzed", hs.imagesAnalyzed);
+    set("harrier.static_findings", hs.staticFindings);
+
+    const secpert::SecpertStats &sp = secpert_->stats();
+    set("secpert.events_analyzed", sp.eventsAnalyzed);
+    set("secpert.rules_fired", sp.rulesFired);
+    set("secpert.warnings_suppressed", sp.warningsSuppressed);
+    set("secpert.static_findings", sp.staticFindings);
+
+    const clips::EngineStats &es = secpert_->env().stats();
+    set("clips.fires", es.fires);
+    set("clips.asserts", es.asserts);
+    set("clips.retracts", es.retracts);
+    set("clips.match_passes", es.matchPasses);
+    set("clips.rule_matches", es.ruleMatches);
+    set("clips.activations", es.activations);
+    set("clips.alpha_hits", es.alphaHits);
+    set("clips.dirty_rescans", es.dirtyRescans);
+    metrics_.gauge("clips.agenda_peak").set(es.agendaPeak);
+    for (const auto &[rule, n] :
+         secpert_->env().activationCountsByRule())
+        metrics_.counter("clips.activations." + rule).set(n);
+    for (const auto &[rule, n] : secpert_->env().fireCountsByRule())
+        metrics_.counter("clips.fires." + rule).set(n);
+
+    report.telemetry.profiled = options_.telemetry;
+    report.telemetry.phases = profiler_.breakdown();
+    report.telemetry.metrics = metrics_.snapshot();
+
+    // Deprecated aliases, by definition identical to the snapshot.
+    report.instructions =
+        report.telemetry.metrics.counter("os.ticks");
+    report.syscalls =
+        report.telemetry.metrics.counter("os.syscalls");
+    report.eventsAnalyzed =
+        report.telemetry.metrics.counter("secpert.events_analyzed");
+    report.rulesFired =
+        report.telemetry.metrics.counter("secpert.rules_fired");
 }
 
 } // namespace hth

@@ -26,6 +26,9 @@
 #include <vector>
 
 #include "harrier/Harrier.hh"
+#include "obs/Metrics.hh"
+#include "obs/Profiler.hh"
+#include "obs/Telemetry.hh"
 #include "os/Kernel.hh"
 #include "os/Libc.hh"
 #include "secpert/Secpert.hh"
@@ -55,6 +58,15 @@ struct HthOptions
      * disturbing the live analysis.
      */
     harrier::EventSink *eventTap = nullptr;
+
+    /**
+     * Phase profiling + the Report.telemetry snapshot. The phase
+     * profiler reads a clock only at phase transitions (syscalls,
+     * event dispatch — never per instruction), so the cost is well
+     * under the 5% overhead budget; disable only for the strictest
+     * baseline measurements.
+     */
+    bool telemetry = true;
 };
 
 /** Everything HTH observed and concluded about one run. */
@@ -75,7 +87,22 @@ struct Report
     std::string stdoutData;        //!< the monitored program's stdout
     int exitCode = 0;
 
-    /** Execution statistics for the performance evaluation. */
+    /**
+     * Structured run telemetry: the per-phase time breakdown and
+     * every named counter/gauge/histogram harvested from the stack
+     * (block-cache behaviour, per-rule activations, syscalls by
+     * number, shadow-page traffic, ...). This is the stats surface;
+     * everything below is derived from it.
+     */
+    obs::RunTelemetry telemetry;
+
+    /**
+     * @deprecated Loose execution counters kept for source
+     * compatibility. They are populated from the telemetry
+     * snapshot ("os.ticks", "os.syscalls",
+     * "secpert.events_analyzed", "secpert.rules_fired") and always
+     * match it exactly; new code should read telemetry.metrics.
+     */
     uint64_t instructions = 0;
     uint64_t syscalls = 0;
     uint64_t eventsAnalyzed = 0;
@@ -121,6 +148,12 @@ class Hth
     secpert::Secpert &secpert() { return *secpert_; }
     const HthOptions &options() const { return options_; }
 
+    /** This instance's metric registry (live, pre-harvest). */
+    obs::MetricRegistry &metrics() { return metrics_; }
+
+    /** This instance's phase profiler. */
+    obs::PhaseProfiler &profiler() { return profiler_; }
+
     /**
      * Run @p path under full monitoring until the guest world goes
      * idle, and report what the policy concluded.
@@ -131,12 +164,17 @@ class Hth
                    const std::string &stdin_data = "");
 
   private:
+    /** Harvest every layer's stats into metrics_ / the report. */
+    void collectTelemetry(Report &report);
+
     HthOptions options_;
     std::unique_ptr<os::Kernel> kernel_;
     std::unique_ptr<secpert::Secpert> secpert_;
     std::unique_ptr<harrier::TeeSink> tee_;  //!< only with eventTap
     std::unique_ptr<harrier::Harrier> harrier_;
     os::LibcHandles libc_;
+    obs::MetricRegistry metrics_;
+    obs::PhaseProfiler profiler_;
 };
 
 } // namespace hth

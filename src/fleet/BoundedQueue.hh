@@ -13,7 +13,9 @@
 #ifndef HTH_FLEET_BOUNDEDQUEUE_HH
 #define HTH_FLEET_BOUNDEDQUEUE_HH
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -40,12 +42,16 @@ class BoundedQueue
     push(T item)
     {
         std::unique_lock lock(mutex_);
-        notFull_.wait(lock, [this] {
-            return closed_ || items_.size() < capacity_;
-        });
+        if (!closed_ && items_.size() >= capacity_) {
+            ++pushStalls_;
+            notFull_.wait(lock, [this] {
+                return closed_ || items_.size() < capacity_;
+            });
+        }
         if (closed_)
             return false;
         items_.push_back(std::move(item));
+        highWater_ = std::max(highWater_, items_.size());
         lock.unlock();
         notEmpty_.notify_one();
         return true;
@@ -112,6 +118,22 @@ class BoundedQueue
         return closed_;
     }
 
+    /** Largest queue depth ever reached. */
+    size_t
+    highWater() const
+    {
+        std::lock_guard lock(mutex_);
+        return highWater_;
+    }
+
+    /** Pushes that had to block on a full queue (backpressure). */
+    uint64_t
+    pushStalls() const
+    {
+        std::lock_guard lock(mutex_);
+        return pushStalls_;
+    }
+
   private:
     const size_t capacity_;
     mutable std::mutex mutex_;
@@ -119,6 +141,8 @@ class BoundedQueue
     std::condition_variable notEmpty_;
     std::deque<T> items_;
     bool closed_ = false;
+    size_t highWater_ = 0;
+    uint64_t pushStalls_ = 0;
 };
 
 } // namespace hth::fleet

@@ -49,7 +49,7 @@ FleetService::FleetService(FleetConfig config)
         n = std::max<size_t>(1, std::thread::hardware_concurrency());
     workers_.reserve(n);
     for (size_t i = 0; i < n; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 FleetService::~FleetService()
@@ -133,8 +133,53 @@ FleetService::finish()
         agg.syscalls += r.report.syscalls;
         agg.eventsAnalyzed += r.report.eventsAnalyzed;
         agg.rulesFired += r.report.rulesFired;
+        agg.telemetry.merge(r.report.telemetry);
     }
+
+    // Overlay the fleet's own metrics on the merged session view.
+    metrics_.counter("fleet.sessions").set(agg.sessions);
+    metrics_.counter("fleet.completed").set(agg.completed);
+    metrics_.counter("fleet.failed").set(agg.failed);
+    metrics_.counter("fleet.cancelled").set(agg.cancelled);
+    metrics_.counter("fleet.flagged").set(agg.flagged);
+    metrics_.counter("fleet.backpressure_stalls")
+        .set(queue_.pushStalls());
+    metrics_.gauge("fleet.queue_depth").set(queue_.highWater());
+    agg.telemetry.metrics.merge(metrics_.snapshot());
     return agg;
+}
+
+FleetProgress
+FleetService::progress() const
+{
+    FleetProgress p;
+    {
+        std::lock_guard lock(resultsMutex_);
+        p.submitted = results_.size();
+        for (const FleetResult &r : results_) {
+            if (r.cancelled)
+                ++p.cancelled;
+            else if (r.completed)
+                ++p.completed;
+            else if (!r.error.empty())
+                ++p.failed;
+        }
+    }
+    p.queued = queue_.size();
+    return p;
+}
+
+std::string
+FleetService::statusLine() const
+{
+    FleetProgress p = progress();
+    std::ostringstream out;
+    out << "fleet: " << p.done() << "/" << p.submitted << " done ("
+        << p.completed << " ok, " << p.failed << " failed, "
+        << p.cancelled << " cancelled), " << p.queued
+        << " queued, depth max " << queue_.highWater()
+        << ", stalls " << queue_.pushStalls();
+    return out.str();
 }
 
 FleetResult
@@ -174,16 +219,39 @@ FleetService::runJob(const FleetJob &job, size_t index,
         result.completed = true;
     } catch (const std::exception &e) {
         result.error = e.what();
+        warn("fleet job ", job.id.empty() ? job.path : job.id,
+             " failed: ", result.error);
     }
     return result;
 }
 
 void
-FleetService::workerLoop()
+FleetService::workerLoop(size_t worker_index)
 {
+    // Cells resolved once: the loop body only does relaxed adds.
+    obs::Counter &busy = metrics_.counter(
+        "fleet.worker." + std::to_string(worker_index) +
+        ".busy_us");
+    obs::Counter &ran = metrics_.counter(
+        "fleet.worker." + std::to_string(worker_index) +
+        ".sessions");
+    obs::Histogram &latency = metrics_.histogram("fleet.session_us");
+    obs::Gauge &depth = metrics_.gauge("fleet.queue_depth");
+
     while (auto item = queue_.pop()) {
+        depth.set(queue_.size());
         auto &[index, job] = *item;
-        storeResult(runJob(job, index, config_.tickBudget));
+        auto t0 = std::chrono::steady_clock::now();
+        FleetResult result = runJob(job, index, config_.tickBudget);
+        uint64_t us =
+            (uint64_t)std::chrono::duration_cast<
+                std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        busy.add(us);
+        ran.add(1);
+        latency.record(us);
+        storeResult(std::move(result));
     }
 }
 

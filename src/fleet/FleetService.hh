@@ -41,6 +41,8 @@
 
 #include "core/Hth.hh"
 #include "fleet/BoundedQueue.hh"
+#include "obs/Metrics.hh"
+#include "obs/Telemetry.hh"
 
 namespace hth::fleet
 {
@@ -111,6 +113,13 @@ struct FleetReport
     uint64_t eventsAnalyzed = 0;
     uint64_t rulesFired = 0;
 
+    /**
+     * Session telemetry merged across every completed session, plus
+     * the fleet's own metrics (queue depth high-water, per-worker
+     * busy time, session-latency histogram, backpressure stalls).
+     */
+    obs::RunTelemetry telemetry;
+
     double wallSeconds = 0;
 
     double
@@ -125,6 +134,22 @@ struct FleetReport
      * run-to-run for the same manifest, whatever the interleaving.
      */
     std::string summary(bool includeTiming = true) const;
+};
+
+/** Live counts for progress reporting while a fleet is running. */
+struct FleetProgress
+{
+    size_t submitted = 0;
+    size_t completed = 0;
+    size_t failed = 0;
+    size_t cancelled = 0;
+    size_t queued = 0;      //!< submitted, not yet picked up
+
+    size_t
+    done() const
+    {
+        return completed + failed + cancelled;
+    }
 };
 
 /** The fleet: a worker pool running independent Hth sessions. */
@@ -164,6 +189,15 @@ class FleetService
     /** Resolved worker count ( > 0 ). */
     size_t workers() const { return workers_.size(); }
 
+    /** Snapshot of live progress (safe from any thread). */
+    FleetProgress progress() const;
+
+    /** One-line progress summary for periodic status output. */
+    std::string statusLine() const;
+
+    /** The fleet-level registry (queue/worker metrics, live). */
+    obs::MetricRegistry &metrics() { return metrics_; }
+
     /** Convenience: run @p jobs to completion under @p config. */
     static FleetReport run(std::vector<FleetJob> jobs,
                            FleetConfig config = {});
@@ -173,7 +207,7 @@ class FleetService
                               uint64_t tick_budget = 0);
 
   private:
-    void workerLoop();
+    void workerLoop(size_t worker_index);
     void storeResult(FleetResult result);
     void markCancelled(size_t index, const std::string &id);
 
@@ -181,9 +215,12 @@ class FleetService
     BoundedQueue<std::pair<size_t, FleetJob>> queue_;
     std::vector<std::thread> workers_;
 
-    std::mutex resultsMutex_;
+    mutable std::mutex resultsMutex_;
     std::vector<FleetResult> results_;
     size_t submitted_ = 0;
+
+    /** Fleet-level metrics; workers write through cached refs. */
+    obs::MetricRegistry metrics_;
 
     bool finished_ = false;
     std::chrono::steady_clock::time_point start_;

@@ -43,6 +43,7 @@ Harrier::imageLoaded(vm::Machine &m, const vm::LoadedImage &img)
     const vm::Image *key = img.image.get();
     if (!analyzedImages_.insert(key).second)
         return; // each distinct image is screened once
+    obs::PhaseScope analysis(profiler_, obs::Phase::StaticAnalysis);
     ++stats_.imagesAnalyzed;
 
     analysis::StaticReport report = analysis::analyzeImage(*key);
@@ -157,6 +158,8 @@ void
 Harrier::syscallEvent(os::Kernel &k, os::Process &p,
                       const os::SyscallView &view)
 {
+    obs::PhaseScope dispatch(profiler_,
+                             obs::Phase::EventDispatch);
     if (view.isWrite) {
         ResourceIoEvent ev;
         ev.ctx = makeContext(k, p);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "harrier/Event.hh"
+#include "obs/Profiler.hh"
 #include "os/Kernel.hh"
 #include "os/Monitor.hh"
 #include "vm/Machine.hh"
@@ -93,6 +94,13 @@ class Harrier : public vm::Instrumentor, public os::Monitor
     const HarrierStats &stats() const { return stats_; }
     const HarrierConfig &config() const { return config_; }
 
+    /** Attribute event-dispatch / static-analysis time to
+     * @p profiler (null detaches). */
+    void setProfiler(obs::PhaseProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
     /** BB execution count observed at @p addr for @p pid. */
     uint64_t bbCount(int pid, uint32_t addr) const;
 
@@ -123,6 +131,7 @@ class Harrier : public vm::Instrumentor, public os::Monitor
     /** Images already pre-screened (one analysis per Image). */
     std::set<const vm::Image *> analyzedImages_;
     HarrierStats stats_;
+    obs::PhaseProfiler *profiler_ = nullptr;
 };
 
 } // namespace hth::harrier

@@ -1,0 +1,133 @@
+#include "obs/Metrics.hh"
+
+#include <algorithm>
+#include <tuple>
+
+namespace hth::obs
+{
+
+uint64_t
+Histogram::upperBound(size_t i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= BUCKETS - 1)
+        return UINT64_MAX;
+    return (uint64_t{1} << i) - 1;
+}
+
+uint64_t
+MetricSnapshot::counter(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+GaugeValue
+MetricSnapshot::gauge(const std::string &name) const
+{
+    auto it = gauges.find(name);
+    return it == gauges.end() ? GaugeValue{} : it->second;
+}
+
+void
+MetricSnapshot::merge(const MetricSnapshot &other)
+{
+    for (const auto &[name, value] : other.counters)
+        counters[name] += value;
+    for (const auto &[name, value] : other.gauges) {
+        GaugeValue &mine = gauges[name];
+        mine.value = std::max(mine.value, value.value);
+        mine.max = std::max(mine.max, value.max);
+    }
+    for (const auto &[name, value] : other.histograms) {
+        HistogramValue &mine = histograms[name];
+        mine.count += value.count;
+        mine.sum += value.sum;
+        // Bucket lists are sparse but share the fixed bound grid, so
+        // merging is a sorted-sequence union.
+        std::vector<std::pair<uint64_t, uint64_t>> merged;
+        merged.reserve(mine.buckets.size() + value.buckets.size());
+        auto a = mine.buckets.begin(), ae = mine.buckets.end();
+        auto b = value.buckets.begin(), be = value.buckets.end();
+        while (a != ae || b != be) {
+            if (b == be || (a != ae && a->first < b->first))
+                merged.push_back(*a++);
+            else if (a == ae || b->first < a->first)
+                merged.push_back(*b++);
+            else {
+                merged.emplace_back(a->first, a->second + b->second);
+                ++a, ++b;
+            }
+        }
+        mine.buckets = std::move(merged);
+    }
+}
+
+Counter &
+MetricRegistry::counter(std::string_view name)
+{
+    std::lock_guard lock(mutex_);
+    auto it = counterIndex_.find(name);
+    if (it != counterIndex_.end())
+        return *it->second;
+    // piecewise: the atomic cells are neither movable nor copyable.
+    auto &entry = counters_.emplace_back(std::piecewise_construct,
+                                         std::forward_as_tuple(name),
+                                         std::forward_as_tuple());
+    counterIndex_.emplace(entry.first, &entry.second);
+    return entry.second;
+}
+
+Gauge &
+MetricRegistry::gauge(std::string_view name)
+{
+    std::lock_guard lock(mutex_);
+    auto it = gaugeIndex_.find(name);
+    if (it != gaugeIndex_.end())
+        return *it->second;
+    auto &entry = gauges_.emplace_back(std::piecewise_construct,
+                                       std::forward_as_tuple(name),
+                                       std::forward_as_tuple());
+    gaugeIndex_.emplace(entry.first, &entry.second);
+    return entry.second;
+}
+
+Histogram &
+MetricRegistry::histogram(std::string_view name)
+{
+    std::lock_guard lock(mutex_);
+    auto it = histogramIndex_.find(name);
+    if (it != histogramIndex_.end())
+        return *it->second;
+    auto &entry =
+        histograms_.emplace_back(std::piecewise_construct,
+                                 std::forward_as_tuple(name),
+                                 std::forward_as_tuple());
+    histogramIndex_.emplace(entry.first, &entry.second);
+    return entry.second;
+}
+
+MetricSnapshot
+MetricRegistry::snapshot() const
+{
+    std::lock_guard lock(mutex_);
+    MetricSnapshot snap;
+    for (const auto &[name, cell] : counters_)
+        snap.counters[name] = cell.value();
+    for (const auto &[name, cell] : gauges_)
+        snap.gauges[name] = GaugeValue{cell.value(), cell.max()};
+    for (const auto &[name, cell] : histograms_) {
+        HistogramValue value;
+        value.count = cell.count();
+        value.sum = cell.sum();
+        for (size_t i = 0; i < Histogram::BUCKETS; ++i)
+            if (uint64_t n = cell.bucket(i))
+                value.buckets.emplace_back(Histogram::upperBound(i),
+                                           n);
+        snap.histograms[name] = std::move(value);
+    }
+    return snap;
+}
+
+} // namespace hth::obs

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Metric registry: named counters, gauges and fixed-bucket
+ * histograms.
+ *
+ * Design constraints, in order:
+ *
+ *  1. Hot paths stay hot. Layer-internal counting keeps using the
+ *     plain uint64 stats structs each layer already owns
+ *     (MachineStats, EngineStats, KernelStats, ...); those are
+ *     harvested into a registry once per run. Only metrics that are
+ *     genuinely written from several threads (fleet-level queue and
+ *     worker metrics) touch the registry directly, and those writes
+ *     are single relaxed atomic adds — no locks on the fast path.
+ *
+ *  2. Thread-safe aggregation. Counter/Gauge/Histogram cells are
+ *     relaxed atomics, so a fleet worker can bump them while another
+ *     thread snapshots; registration (name -> cell lookup) takes a
+ *     mutex but callers cache the returned reference, which stays
+ *     valid for the registry's lifetime (deque storage, no
+ *     reallocation).
+ *
+ *  3. Deterministic output. Snapshots use ordered maps so two
+ *     identical runs render byte-identical text/JSON.
+ */
+
+#ifndef HTH_OBS_METRICS_HH
+#define HTH_OBS_METRICS_HH
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hth::obs
+{
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** Overwrite — used when harvesting a layer's own stats struct. */
+    void
+    set(uint64_t value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Instantaneous level; remembers its high-water mark. */
+class Gauge
+{
+  public:
+    void
+    set(uint64_t value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+        uint64_t seen = max_.load(std::memory_order_relaxed);
+        while (value > seen &&
+               !max_.compare_exchange_weak(seen, value,
+                                           std::memory_order_relaxed))
+            ;
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+    std::atomic<uint64_t> max_{0};
+};
+
+/**
+ * Power-of-two bucketed latency histogram. Bucket 0 holds zero;
+ * bucket i (i >= 1) holds values in [2^(i-1), 2^i). The unit is up
+ * to the caller (fleet session times record microseconds).
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t BUCKETS = 40;
+
+    void
+    record(uint64_t value)
+    {
+        size_t b = value == 0
+                       ? 0
+                       : std::min<size_t>(BUCKETS - 1,
+                                          std::bit_width(value));
+        buckets_[b].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    bucket(size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Inclusive upper bound of bucket @p i (UINT64_MAX for last). */
+    static uint64_t upperBound(size_t i);
+
+  private:
+    std::atomic<uint64_t> buckets_[BUCKETS]{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+};
+
+/** Point-in-time copy of a Gauge. */
+struct GaugeValue
+{
+    uint64_t value = 0;
+    uint64_t max = 0;
+
+    bool
+    operator==(const GaugeValue &) const = default;
+};
+
+/** Point-in-time copy of a Histogram. */
+struct HistogramValue
+{
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    /** (inclusive upper bound, count) for each non-empty bucket. */
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+    bool
+    operator==(const HistogramValue &) const = default;
+};
+
+/**
+ * Ordered, plain-data copy of a registry. This is what travels in
+ * Report.telemetry and what sinks render; ordered maps make the
+ * output deterministic.
+ */
+struct MetricSnapshot
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, GaugeValue> gauges;
+    std::map<std::string, HistogramValue> histograms;
+
+    /** Value of @p name, or 0 when absent. */
+    uint64_t counter(const std::string &name) const;
+    GaugeValue gauge(const std::string &name) const;
+
+    /**
+     * Fold @p other in: counters and histograms add, gauges keep
+     * the max (a fleet-level queue depth is a level, not a total).
+     */
+    void merge(const MetricSnapshot &other);
+
+    bool
+    operator==(const MetricSnapshot &) const = default;
+};
+
+/**
+ * Owns named metric cells. get-or-create is mutex-guarded; the
+ * returned references are stable for the registry's lifetime, so
+ * callers look a cell up once and then update it lock-free.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    MetricSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<std::pair<std::string, Counter>> counters_;
+    std::deque<std::pair<std::string, Gauge>> gauges_;
+    std::deque<std::pair<std::string, Histogram>> histograms_;
+    std::unordered_map<std::string_view, Counter *> counterIndex_;
+    std::unordered_map<std::string_view, Gauge *> gaugeIndex_;
+    std::unordered_map<std::string_view, Histogram *> histogramIndex_;
+};
+
+} // namespace hth::obs
+
+#endif // HTH_OBS_METRICS_HH

@@ -1,0 +1,114 @@
+#include "obs/Profiler.hh"
+
+#include <chrono>
+
+namespace hth::obs
+{
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+    case Phase::Setup: return "setup";
+    case Phase::VmExecute: return "vm_execute";
+    case Phase::TaintOps: return "taint_ops";
+    case Phase::Kernel: return "kernel";
+    case Phase::EventDispatch: return "event_dispatch";
+    case Phase::ClipsMatch: return "clips_match";
+    case Phase::ClipsFire: return "clips_fire";
+    case Phase::StaticAnalysis: return "static_analysis";
+    case Phase::Other: return "other";
+    }
+    return "?";
+}
+
+double
+PhaseBreakdown::share(Phase phase) const
+{
+    if (totalNs == 0)
+        return 0.0;
+    return static_cast<double>(phaseNs(phase)) /
+           static_cast<double>(totalNs);
+}
+
+void
+PhaseBreakdown::merge(const PhaseBreakdown &other)
+{
+    for (size_t i = 0; i < PHASE_COUNT; ++i) {
+        ns[i] += other.ns[i];
+        entries[i] += other.entries[i];
+    }
+    totalNs += other.totalNs;
+}
+
+uint64_t
+PhaseProfiler::nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+PhaseProfiler::start(Phase initial)
+{
+    if (running_)
+        stop();
+    current_ = initial;
+    ++acc_.entries[static_cast<size_t>(initial)];
+    lastNs_ = nowNs();
+    running_ = true;
+}
+
+void
+PhaseProfiler::stop()
+{
+    if (!running_)
+        return;
+    uint64_t now = nowNs();
+    uint64_t elapsed = now - lastNs_;
+    acc_.ns[static_cast<size_t>(current_)] += elapsed;
+    acc_.totalNs += elapsed;
+    running_ = false;
+}
+
+Phase
+PhaseProfiler::switchTo(Phase phase)
+{
+    if (!running_)
+        return phase;
+    Phase previous = current_;
+    if (phase == previous)
+        return previous;
+    uint64_t now = nowNs();
+    uint64_t elapsed = now - lastNs_;
+    acc_.ns[static_cast<size_t>(previous)] += elapsed;
+    acc_.totalNs += elapsed;
+    lastNs_ = now;
+    current_ = phase;
+    ++acc_.entries[static_cast<size_t>(phase)];
+    return previous;
+}
+
+PhaseBreakdown
+PhaseProfiler::breakdown() const
+{
+    PhaseBreakdown out = acc_;
+    if (running_) {
+        uint64_t elapsed = nowNs() - lastNs_;
+        out.ns[static_cast<size_t>(current_)] += elapsed;
+        out.totalNs += elapsed;
+    }
+    return out;
+}
+
+void
+PhaseProfiler::reset()
+{
+    acc_ = PhaseBreakdown{};
+    running_ = false;
+    current_ = Phase::Other;
+    lastNs_ = 0;
+}
+
+} // namespace hth::obs

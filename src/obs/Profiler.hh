@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Phase profiler: attributes a run's wall time to the coarse phases
+ * of the paper's overhead model (§8.2): VM execution, taint
+ * propagation, kernel emulation, event dispatch, CLIPS match and
+ * fire, static analysis.
+ *
+ * The profiler is transition-based: it keeps exactly one "current
+ * phase" and reads the clock only when the phase *changes*, never
+ * per scope pair. Scopes are placed at coarse boundaries (the
+ * scheduler loop, a syscall, an event dispatch), so steady-state
+ * guest execution pays nothing — the phase simply stays VmExecute.
+ * A consequence worth having: the per-phase times sum to the total
+ * profiled time exactly, by construction.
+ *
+ * PhaseScope is a save/restore RAII guard and is null-safe: with a
+ * null profiler (telemetry off) it compiles down to two pointer
+ * tests.
+ *
+ * The profiler is deliberately single-threaded — each Hth instance
+ * owns one and each monitored run executes on one thread. Fleet
+ * aggregation merges the resulting PhaseBreakdown values, which are
+ * plain data.
+ */
+
+#ifndef HTH_OBS_PROFILER_HH
+#define HTH_OBS_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hth::obs
+{
+
+/** Where a monitored run spends its time. */
+enum class Phase : uint8_t
+{
+    Setup,          //!< process spawn, image loading, world setup
+    VmExecute,      //!< decode + execute, incl. inline taint prop
+    TaintOps,       //!< bulk tag work outside the interpreter loop
+    Kernel,         //!< emulated syscall + native call handling
+    EventDispatch,  //!< Harrier building + routing events
+    ClipsMatch,     //!< pattern matching / agenda refresh
+    ClipsFire,      //!< RHS evaluation of fired rules
+    StaticAnalysis, //!< pre-screening of loaded images
+    Other,          //!< anything not claimed by a scope
+};
+
+inline constexpr size_t PHASE_COUNT = 9;
+
+/** Stable lower_snake name, e.g. "vm_execute". */
+const char *phaseName(Phase phase);
+
+/** Per-phase totals; plain data, mergeable across runs. */
+struct PhaseBreakdown
+{
+    std::array<uint64_t, PHASE_COUNT> ns{};
+    std::array<uint64_t, PHASE_COUNT> entries{};
+    uint64_t totalNs = 0;
+
+    uint64_t
+    phaseNs(Phase phase) const
+    {
+        return ns[static_cast<size_t>(phase)];
+    }
+
+    /** Fraction of totalNs spent in @p phase (0 when unprofiled). */
+    double share(Phase phase) const;
+
+    void merge(const PhaseBreakdown &other);
+
+    bool
+    operator==(const PhaseBreakdown &) const = default;
+};
+
+class PhaseProfiler
+{
+  public:
+    /** Begin attributing time, starting in @p initial. */
+    void start(Phase initial = Phase::Other);
+
+    /** Stop the clock; breakdown() totals are final until start(). */
+    void stop();
+
+    bool
+    running() const
+    {
+        return running_;
+    }
+
+    /**
+     * Enter @p phase, returning the phase that was current (for the
+     * caller to restore). No-op returning @p phase when stopped.
+     */
+    Phase switchTo(Phase phase);
+
+    /**
+     * Totals accumulated so far. Safe to call while running: the
+     * open phase's elapsed time is included without disturbing the
+     * live state.
+     */
+    PhaseBreakdown breakdown() const;
+
+    void reset();
+
+  private:
+    static uint64_t nowNs();
+
+    PhaseBreakdown acc_;
+    uint64_t lastNs_ = 0;
+    Phase current_ = Phase::Other;
+    bool running_ = false;
+};
+
+/**
+ * RAII phase guard: switches to @p phase, restores the previous
+ * phase on destruction. Null profiler => no-op.
+ */
+class PhaseScope
+{
+  public:
+    PhaseScope(PhaseProfiler *profiler, Phase phase)
+        : profiler_(profiler)
+    {
+        if (profiler_)
+            previous_ = profiler_->switchTo(phase);
+    }
+
+    ~PhaseScope()
+    {
+        if (profiler_)
+            profiler_->switchTo(previous_);
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    PhaseProfiler *profiler_;
+    Phase previous_ = Phase::Other;
+};
+
+} // namespace hth::obs
+
+#endif // HTH_OBS_PROFILER_HH

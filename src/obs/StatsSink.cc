@@ -1,0 +1,145 @@
+#include "obs/StatsSink.hh"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace hth::obs
+{
+
+namespace
+{
+
+/** "12.3%" / "1.234 ms" style helpers for the text renderer. */
+std::string
+fmtPercent(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%5.1f%%", fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtMs(uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f ms",
+                  static_cast<double>(ns) / 1e6);
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+renderText(const RunTelemetry &telemetry)
+{
+    std::ostringstream out;
+    out << "phases (total " << fmtMs(telemetry.phases.totalNs)
+        << (telemetry.profiled ? "" : ", profiling off") << ")\n";
+    for (size_t i = 0; i < PHASE_COUNT; ++i) {
+        Phase phase = static_cast<Phase>(i);
+        uint64_t ns = telemetry.phases.ns[i];
+        if (ns == 0 && telemetry.phases.entries[i] == 0)
+            continue;
+        out << "  " << fmtPercent(telemetry.phases.share(phase))
+            << "  " << fmtMs(ns) << "  " << phaseName(phase) << " ("
+            << telemetry.phases.entries[i] << " entries)\n";
+    }
+    if (!telemetry.metrics.counters.empty()) {
+        out << "counters\n";
+        for (const auto &[name, value] :
+             telemetry.metrics.counters)
+            out << "  " << name << " = " << value << "\n";
+    }
+    if (!telemetry.metrics.gauges.empty()) {
+        out << "gauges\n";
+        for (const auto &[name, value] : telemetry.metrics.gauges)
+            out << "  " << name << " = " << value.value
+                << " (max " << value.max << ")\n";
+    }
+    if (!telemetry.metrics.histograms.empty()) {
+        out << "histograms\n";
+        for (const auto &[name, value] :
+             telemetry.metrics.histograms) {
+            out << "  " << name << ": count " << value.count
+                << ", sum " << value.sum << "\n";
+            for (const auto &[le, n] : value.buckets)
+                out << "    le " << le << ": " << n << "\n";
+        }
+    }
+    return out.str();
+}
+
+void
+writeJsonLines(const RunTelemetry &telemetry, std::ostream &out)
+{
+    out << "{\"type\":\"run\",\"profiled\":"
+        << (telemetry.profiled ? "true" : "false")
+        << ",\"total_ns\":" << telemetry.phases.totalNs << "}\n";
+    for (size_t i = 0; i < PHASE_COUNT; ++i) {
+        if (telemetry.phases.ns[i] == 0 &&
+            telemetry.phases.entries[i] == 0)
+            continue;
+        out << "{\"type\":\"phase\",\"name\":\""
+            << phaseName(static_cast<Phase>(i))
+            << "\",\"ns\":" << telemetry.phases.ns[i]
+            << ",\"entries\":" << telemetry.phases.entries[i]
+            << "}\n";
+    }
+    for (const auto &[name, value] : telemetry.metrics.counters)
+        out << "{\"type\":\"counter\",\"name\":\""
+            << jsonEscape(name) << "\",\"value\":" << value
+            << "}\n";
+    for (const auto &[name, value] : telemetry.metrics.gauges)
+        out << "{\"type\":\"gauge\",\"name\":\"" << jsonEscape(name)
+            << "\",\"value\":" << value.value
+            << ",\"max\":" << value.max << "}\n";
+    for (const auto &[name, value] : telemetry.metrics.histograms) {
+        out << "{\"type\":\"histogram\",\"name\":\""
+            << jsonEscape(name) << "\",\"count\":" << value.count
+            << ",\"sum\":" << value.sum << ",\"buckets\":[";
+        bool first = true;
+        for (const auto &[le, n] : value.buckets) {
+            if (!first)
+                out << ",";
+            first = false;
+            out << "[" << le << "," << n << "]";
+        }
+        out << "]}\n";
+    }
+}
+
+std::string
+renderJsonLines(const RunTelemetry &telemetry)
+{
+    std::ostringstream out;
+    writeJsonLines(telemetry, out);
+    return out.str();
+}
+
+} // namespace hth::obs

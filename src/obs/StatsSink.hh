@@ -1,0 +1,42 @@
+/**
+ * @file
+ * StatsSink: renders RunTelemetry for humans (aligned text) and for
+ * machines (line-oriented JSON — one self-contained JSON object per
+ * line, so consumers can stream, grep and tail without a full-file
+ * parser).
+ */
+
+#ifndef HTH_OBS_STATS_SINK_HH
+#define HTH_OBS_STATS_SINK_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/Telemetry.hh"
+
+namespace hth::obs
+{
+
+/** Human-readable multi-line report (phases, then metrics). */
+std::string renderText(const RunTelemetry &telemetry);
+
+/**
+ * Line-oriented JSON. Emits one object per line:
+ *
+ *   {"type":"run","profiled":true,"total_ns":N}
+ *   {"type":"phase","name":"vm_execute","ns":N,"entries":N}
+ *   {"type":"counter","name":"os.syscalls","value":N}
+ *   {"type":"gauge","name":"fleet.queue_depth","value":N,"max":N}
+ *   {"type":"histogram","name":...,"count":N,"sum":N,
+ *    "buckets":[[le,count],...]}
+ */
+std::string renderJsonLines(const RunTelemetry &telemetry);
+
+void writeJsonLines(const RunTelemetry &telemetry, std::ostream &out);
+
+/** JSON string escaping for metric names (quotes, control chars). */
+std::string jsonEscape(const std::string &raw);
+
+} // namespace hth::obs
+
+#endif // HTH_OBS_STATS_SINK_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * RunTelemetry: the structured self-observation record of one
+ * monitored run (or, merged, of a whole fleet batch). Carried by
+ * Report and FleetReport; rendered by StatsSink.
+ */
+
+#ifndef HTH_OBS_TELEMETRY_HH
+#define HTH_OBS_TELEMETRY_HH
+
+#include "obs/Metrics.hh"
+#include "obs/Profiler.hh"
+
+namespace hth::obs
+{
+
+struct RunTelemetry
+{
+    /** False when the run had telemetry disabled (phases empty). */
+    bool profiled = false;
+
+    /** Wall-time attribution; phase times sum to phases.totalNs. */
+    PhaseBreakdown phases;
+
+    /** Named counters/gauges/histograms harvested from all layers. */
+    MetricSnapshot metrics;
+
+    /** Fold another run in: phases add, metrics merge. */
+    void
+    merge(const RunTelemetry &other)
+    {
+        profiled = profiled || other.profiled;
+        phases.merge(other.phases);
+        metrics.merge(other.metrics);
+    }
+
+    bool
+    operator==(const RunTelemetry &) const = default;
+};
+
+} // namespace hth::obs
+
+#endif // HTH_OBS_TELEMETRY_HH

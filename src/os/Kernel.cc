@@ -245,6 +245,10 @@ Kernel::exitProcess(Process &p, int code)
 RunStatus
 Kernel::run(uint64_t max_ticks)
 {
+    // One phase switch for the whole scheduler loop: steady-state
+    // guest execution costs no clock reads. Syscall and native
+    // handlers re-attribute their own slices.
+    obs::PhaseScope vm(profiler_, obs::Phase::VmExecute);
     const uint64_t deadline = time_ + max_ticks;
     while (time_ < deadline) {
         bool any_live = false;
@@ -396,9 +400,23 @@ Kernel::fdView(Process &p, int number, int fd) const
 void
 Kernel::handleSyscall(Process &p)
 {
+    obs::PhaseScope os(profiler_, obs::Phase::Kernel);
     ++stats_.syscalls;
     vm::Machine &m = p.machine;
     const int num = (int)m.reg(Reg::Eax);
+    if (num >= 0 && (size_t)num < stats_.syscallsByNumber.size())
+        ++stats_.syscallsByNumber[num];
+    switch (num) {
+      case NR_open:
+      case NR_creat:
+      case NR_unlink:
+      case NR_mknod:
+      case NR_chmod:
+        ++stats_.vfsOps;
+        break;
+      default:
+        break;
+    }
 
     switch (num) {
       case NR_exit:
@@ -521,6 +539,9 @@ Kernel::sysFork(Process &p, bool is_clone)
 int
 Kernel::doRead(Process &p, OpenFile &f, uint32_t buf, uint32_t len)
 {
+    // Bulk tagged copies: this is source-tag application, the
+    // paper's "taint propagation" cost outside the interpreter.
+    obs::PhaseScope taint(profiler_, obs::Phase::TaintOps);
     vm::Machine &m = p.machine;
     switch (f.kind) {
       case OpenFile::Kind::Stdin: {
@@ -622,6 +643,7 @@ Kernel::sysRead(Process &p)
 void
 Kernel::doWrite(Process &p, OpenFile &f, uint32_t buf, uint32_t len)
 {
+    obs::PhaseScope taint(profiler_, obs::Phase::TaintOps);
     vm::Machine &m = p.machine;
     std::vector<uint8_t> data(len);
     m.mem().readBytes(buf, data.data(), len);
@@ -1210,6 +1232,8 @@ Kernel::sysNanosleep(Process &p)
 void
 Kernel::handleNative(Process &p, const std::string &name)
 {
+    obs::PhaseScope os(profiler_, obs::Phase::Kernel);
+    ++stats_.nativeCalls;
     auto it = natives_.find(name);
     fatalIf(it == natives_.end(), "no native handler for ", name);
     if (monitor_)

@@ -17,12 +17,14 @@
 #ifndef HTH_OS_KERNEL_HH
 #define HTH_OS_KERNEL_HH
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/Profiler.hh"
 #include "os/Monitor.hh"
 #include "os/Net.hh"
 #include "os/Process.hh"
@@ -50,6 +52,10 @@ struct KernelStats
     uint64_t contextSwitches = 0;
     uint64_t stdinBytesRead = 0;
     uint64_t socketBytesRead = 0;
+    uint64_t nativeCalls = 0;  //!< C++-implemented libc routines
+    uint64_t vfsOps = 0;       //!< path-level VFS syscalls
+    /** Per-syscall-number counts (i386 numbers are all < 256). */
+    std::array<uint64_t, 256> syscallsByNumber{};
 };
 
 /** The simulated OS. */
@@ -124,6 +130,13 @@ class Kernel
     uint64_t now() const { return time_; }
 
     const KernelStats &stats() const { return stats_; }
+
+    /** Attribute scheduler/syscall time to @p profiler (null
+     * detaches; scopes become no-ops). */
+    void setProfiler(obs::PhaseProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
 
     /** @} */
     /** @name Queries and services for the monitor / natives @{ */
@@ -219,6 +232,7 @@ class Kernel
     taint::TagSetId userInputTag_ = 0;
 
     KernelStats stats_;
+    obs::PhaseProfiler *profiler_ = nullptr;
 };
 
 } // namespace hth::os

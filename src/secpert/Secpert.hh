@@ -85,6 +85,12 @@ class Secpert : public harrier::EventSink
     const PolicyConfig &config() const { return config_; }
     const SecpertStats &stats() const { return stats_; }
 
+    /** Attribute CLIPS match/fire time to @p profiler. */
+    void setProfiler(obs::PhaseProfiler *profiler)
+    {
+        env_.setProfiler(profiler);
+    }
+
     /** Load additional user rules into the policy. */
     void loadRules(const std::string &clips_source);
 

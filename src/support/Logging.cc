@@ -1,0 +1,67 @@
+#include "support/Logging.hh"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace hth
+{
+
+namespace
+{
+
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** The installed sink; empty means "default stderr". */
+LogSink &
+currentSink()
+{
+    static LogSink sink;
+    return sink;
+}
+
+void
+stderrSink(LogLevel level, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n", logLevelName(level),
+                 message.c_str());
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    return level == LogLevel::Warn ? "warn" : "inform";
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    std::lock_guard lock(logMutex());
+    LogSink previous = std::move(currentSink());
+    currentSink() = std::move(sink);
+    return previous;
+}
+
+namespace detail
+{
+
+void
+emitLog(LogLevel level, const std::string &message)
+{
+    std::lock_guard lock(logMutex());
+    if (currentSink())
+        currentSink()(level, message);
+    else
+        stderrSink(level, message);
+}
+
+} // namespace detail
+
+} // namespace hth

@@ -11,12 +11,36 @@
 #ifndef HTH_SUPPORT_LOGGING_HH
 #define HTH_SUPPORT_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace hth
 {
+
+/** Severity of a non-throwing log message. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+};
+
+/** Stable lower-case name: "inform" / "warn". */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Receiver for warn()/inform() output. The sink runs under the
+ * logging mutex: keep it quick and never log from inside it.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Install a process-wide log sink, returning the previous one so
+ * callers (tests, the fleet daemon) can capture output and restore.
+ * An empty function restores the default stderr sink.
+ */
+LogSink setLogSink(LogSink sink);
 
 /** Error raised by panic(); indicates a bug inside HTH. */
 class PanicError : public std::logic_error
@@ -45,7 +69,28 @@ concat(Args &&...args)
     return oss.str();
 }
 
+/** Hand a finished message to the current sink (thread-safe). */
+void emitLog(LogLevel level, const std::string &message);
+
 } // namespace detail
+
+/** Report something suspicious that execution can survive. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog(LogLevel::Warn,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Purely informative status output. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLog(LogLevel::Inform,
+                    detail::concat(std::forward<Args>(args)...));
+}
 
 /** Abort with an internal-invariant failure. Never returns. */
 template <typename... Args>

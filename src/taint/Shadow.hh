@@ -32,6 +32,19 @@
 namespace hth::taint
 {
 
+/**
+ * Shadow-memory self-observation. Plain uint64 adds on paths that
+ * are already slow (page allocation) or that replace slower work
+ * (EMPTY fast paths); harvested into the telemetry registry at end
+ * of run.
+ */
+struct ShadowStats
+{
+    uint64_t pagesMaterialized = 0; //!< pages allocated on demand
+    uint64_t emptyReadSkips = 0;    //!< whole-page skips in rangeUnion
+    uint64_t emptyWriteSkips = 0;   //!< EMPTY writes to absent pages
+};
+
 /** Per-byte shadow memory, sparsely paged. */
 class ShadowMemory
 {
@@ -56,8 +69,10 @@ class ShadowMemory
         const uint32_t pno = addr >> PAGE_BITS;
         Page *p = lookup(pno);
         if (!p) {
-            if (id == TagStore::EMPTY)
+            if (id == TagStore::EMPTY) {
+                ++stats_.emptyWriteSkips;
                 return; // never allocate a page to store "empty"
+            }
             p = &ensure(pno);
         }
         (*p)[addr & (PAGE_SIZE - 1)] = id;
@@ -106,6 +121,8 @@ class ShadowMemory
                     acc = store.unite(acc, v);
                     last = v;
                 }
+            } else {
+                ++stats_.emptyReadSkips;
             }
             addr += chunk;
             len -= chunk;
@@ -124,6 +141,8 @@ class ShadowMemory
     }
 
     size_t pageCount() const { return pages_.size(); }
+
+    const ShadowStats &stats() const { return stats_; }
 
   private:
     using Page = std::array<TagSetId, PAGE_SIZE>;
@@ -151,6 +170,7 @@ class ShadowMemory
         if (inserted) {
             it->second = std::make_unique<Page>();
             it->second->fill(TagStore::EMPTY);
+            ++stats_.pagesMaterialized;
         }
         tlbPno_ = pno;
         tlbPage_ = it->second.get();
@@ -158,6 +178,9 @@ class ShadowMemory
     }
 
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+
+    /** Mutated from const range reads: observation, not state. */
+    mutable ShadowStats stats_;
 
     /** One-entry page cache. Pages live until the map dies, so the
      * raw pointer cannot dangle while this object is usable. */

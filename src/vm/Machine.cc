@@ -212,6 +212,7 @@ Machine::enterBlock(uint32_t pc)
         return nullptr; // pc at the exact end of text
 
     ++stats_.blockCacheMisses;
+    stats_.insnsDecoded += n;
     CachedBlock blk;
     blk.img = img;
     blk.insns = img->text.data() + start;

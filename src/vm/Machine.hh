@@ -110,6 +110,7 @@ struct MachineStats
     uint64_t blockCacheHits = 0;
     uint64_t blockCacheMisses = 0;
     uint64_t blockCacheInvalidations = 0;
+    uint64_t insnsDecoded = 0; //!< instructions put into cached blocks
 };
 
 /** One guest hardware context. */

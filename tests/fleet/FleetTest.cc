@@ -333,6 +333,73 @@ TEST(Fleet, DestructorAbandonsCleanly)
     SUCCEED();
 }
 
+TEST(Fleet, TelemetryAggregatesAcrossSessions)
+{
+    std::vector<FleetJob> jobs = corpusJobs();
+    FleetConfig config;
+    config.workers = 4;
+    config.queueCapacity = 2; // force some backpressure traffic
+
+    FleetService service(config);
+    for (FleetJob &job : jobs)
+        service.submit(std::move(job));
+    FleetReport report = service.finish();
+    ASSERT_EQ(report.completed, report.sessions);
+
+    // The aggregate is the exact counter sum over the per-session
+    // snapshots (merge is commutative addition, so scheduling order
+    // cannot change it).
+    uint64_t syscalls = 0, instructions = 0, fires = 0;
+    for (const FleetResult &r : report.results) {
+        syscalls +=
+            r.report.telemetry.metrics.counter("os.syscalls");
+        instructions +=
+            r.report.telemetry.metrics.counter("vm.instructions");
+        fires += r.report.telemetry.metrics.counter("clips.fires");
+    }
+    const obs::MetricSnapshot &m = report.telemetry.metrics;
+    EXPECT_EQ(m.counter("os.syscalls"), syscalls);
+    EXPECT_EQ(m.counter("vm.instructions"), instructions);
+    EXPECT_EQ(m.counter("clips.fires"), fires);
+    EXPECT_GT(syscalls, 0u);
+
+    // Fleet-level overlay: session accounting and worker activity.
+    EXPECT_EQ(m.counter("fleet.sessions"), report.sessions);
+    EXPECT_EQ(m.counter("fleet.completed"), report.completed);
+    ASSERT_EQ(m.histograms.count("fleet.session_us"), 1u);
+    EXPECT_EQ(m.histograms.at("fleet.session_us").count,
+              report.sessions);
+    uint64_t worker_sessions = 0;
+    for (const auto &[name, value] : m.counters)
+        if (name.rfind("fleet.worker.", 0) == 0 &&
+            name.find(".sessions") != std::string::npos)
+            worker_sessions += value;
+    EXPECT_EQ(worker_sessions, report.sessions);
+
+    // Phase time merged from every profiled session.
+    EXPECT_TRUE(report.telemetry.profiled);
+    EXPECT_GT(report.telemetry.phases.totalNs, 0u);
+}
+
+TEST(Fleet, ProgressAndStatusLine)
+{
+    std::vector<FleetJob> jobs = corpusJobs();
+    jobs.resize(4);
+    FleetService service({.workers = 2});
+    for (FleetJob &job : jobs)
+        service.submit(std::move(job));
+
+    FleetProgress mid = service.progress();
+    EXPECT_EQ(mid.submitted, 4u);
+    EXPECT_LE(mid.done() + mid.queued, 4u);
+    EXPECT_FALSE(service.statusLine().empty());
+
+    FleetReport report = service.finish();
+    EXPECT_EQ(report.completed, 4u);
+    EXPECT_NE(report.summary(false).find("4 sessions"),
+              std::string::npos);
+}
+
 TEST(Fleet, DefaultsResolveWorkersAndQueue)
 {
     FleetService service{FleetConfig{}};

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the observability layer: the metric registry
+ * (counters, gauges, histograms, snapshots, merging), the phase
+ * profiler, and the stats sinks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/Metrics.hh"
+#include "obs/Profiler.hh"
+#include "obs/StatsSink.hh"
+#include "obs/Telemetry.hh"
+
+using namespace hth;
+using namespace hth::obs;
+
+TEST(Metrics, CounterAddAndSet)
+{
+    MetricRegistry registry;
+    Counter &c = registry.counter("a.b");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.set(3);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(Metrics, GetOrCreateReturnsSameCell)
+{
+    MetricRegistry registry;
+    Counter &a = registry.counter("x");
+    Counter &b = registry.counter("x");
+    EXPECT_EQ(&a, &b);
+    a.add(5);
+    EXPECT_EQ(b.value(), 5u);
+    // Distinct kinds with the same name are distinct cells.
+    registry.gauge("x").set(7);
+    EXPECT_EQ(registry.counter("x").value(), 5u);
+}
+
+TEST(Metrics, GaugeTracksHighWater)
+{
+    MetricRegistry registry;
+    Gauge &g = registry.gauge("depth");
+    g.set(4);
+    g.set(9);
+    g.set(2);
+    EXPECT_EQ(g.value(), 2u);
+    EXPECT_EQ(g.max(), 9u);
+}
+
+TEST(Metrics, HistogramPowerOfTwoBuckets)
+{
+    MetricRegistry registry;
+    Histogram &h = registry.histogram("lat");
+    h.record(0);   // bucket 0
+    h.record(1);   // [1,2) -> bucket 1
+    h.record(2);   // [2,4) -> bucket 2
+    h.record(3);   // [2,4) -> bucket 2
+    h.record(700); // [512,1024) -> bucket 10
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 706u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(10), 1u);
+    EXPECT_EQ(Histogram::upperBound(0), 0u);
+    EXPECT_EQ(Histogram::upperBound(1), 1u);
+    EXPECT_EQ(Histogram::upperBound(2), 3u);
+    EXPECT_EQ(Histogram::upperBound(10), 1023u);
+}
+
+TEST(Metrics, SnapshotIsOrderedAndComplete)
+{
+    MetricRegistry registry;
+    registry.counter("zeta").set(1);
+    registry.counter("alpha").set(2);
+    registry.gauge("g").set(5);
+    registry.histogram("h").record(3);
+
+    MetricSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters.begin()->first, "alpha");
+    EXPECT_EQ(snap.counter("zeta"), 1u);
+    EXPECT_EQ(snap.counter("missing"), 0u);
+    EXPECT_EQ(snap.gauge("g").value, 5u);
+    ASSERT_EQ(snap.histograms.count("h"), 1u);
+    EXPECT_EQ(snap.histograms.at("h").count, 1u);
+    ASSERT_EQ(snap.histograms.at("h").buckets.size(), 1u);
+    EXPECT_EQ(snap.histograms.at("h").buckets[0].second, 1u);
+}
+
+TEST(Metrics, MergeAddsCountersAndKeepsGaugeMax)
+{
+    MetricRegistry a, b;
+    a.counter("n").set(3);
+    b.counter("n").set(4);
+    b.counter("only_b").set(1);
+    a.gauge("depth").set(9);
+    b.gauge("depth").set(5);
+    a.histogram("h").record(2);
+    b.histogram("h").record(2);
+    b.histogram("h").record(100);
+
+    MetricSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.counter("n"), 7u);
+    EXPECT_EQ(merged.counter("only_b"), 1u);
+    EXPECT_EQ(merged.gauge("depth").max, 9u);
+    EXPECT_EQ(merged.histograms.at("h").count, 3u);
+    EXPECT_EQ(merged.histograms.at("h").sum, 104u);
+    // Bucket union: [2,4) has 2, [64,128) has 1.
+    ASSERT_EQ(merged.histograms.at("h").buckets.size(), 2u);
+    EXPECT_EQ(merged.histograms.at("h").buckets[0].second, 2u);
+    EXPECT_EQ(merged.histograms.at("h").buckets[1].second, 1u);
+}
+
+TEST(Metrics, ConcurrentWritersAreExact)
+{
+    MetricRegistry registry;
+    constexpr int THREADS = 4;
+    constexpr int PER_THREAD = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < THREADS; ++t)
+        threads.emplace_back([&registry] {
+            // Get-or-create raced from every thread, then lock-free
+            // adds — the fleet worker pattern.
+            Counter &c = registry.counter("shared");
+            Histogram &h = registry.histogram("hist");
+            for (int i = 0; i < PER_THREAD; ++i) {
+                c.add();
+                h.record((uint64_t)i);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(registry.counter("shared").value(),
+              (uint64_t)THREADS * PER_THREAD);
+    EXPECT_EQ(registry.histogram("hist").count(),
+              (uint64_t)THREADS * PER_THREAD);
+}
+
+TEST(Profiler, PhasesSumToTotalExactly)
+{
+    PhaseProfiler profiler;
+    profiler.start(Phase::Setup);
+    {
+        PhaseScope vm(&profiler, Phase::VmExecute);
+        {
+            PhaseScope k(&profiler, Phase::Kernel);
+        }
+    }
+    profiler.stop();
+
+    PhaseBreakdown b = profiler.breakdown();
+    uint64_t sum = 0;
+    for (size_t i = 0; i < PHASE_COUNT; ++i)
+        sum += b.ns[i];
+    EXPECT_EQ(sum, b.totalNs);
+    // Restores count as entries too: Setup is entered at start and
+    // again when the VmExecute scope closes.
+    EXPECT_EQ(b.entries[(size_t)Phase::Setup], 2u);
+    EXPECT_EQ(b.entries[(size_t)Phase::VmExecute], 2u);
+    EXPECT_EQ(b.entries[(size_t)Phase::Kernel], 1u);
+}
+
+TEST(Profiler, ScopeRestoresPreviousPhase)
+{
+    PhaseProfiler profiler;
+    profiler.start(Phase::VmExecute);
+    {
+        PhaseScope k(&profiler, Phase::Kernel);
+        {
+            PhaseScope d(&profiler, Phase::EventDispatch);
+        }
+        // Re-entering the current phase is an uncounted no-op.
+        PhaseScope again(&profiler, Phase::Kernel);
+    }
+    profiler.stop();
+    PhaseBreakdown b = profiler.breakdown();
+    // VmExecute entered once at start, re-entered after the Kernel
+    // scope closed: the restore path, not a fresh entry.
+    EXPECT_EQ(b.entries[(size_t)Phase::EventDispatch], 1u);
+    EXPECT_GE(b.entries[(size_t)Phase::Kernel], 1u);
+}
+
+TEST(Profiler, NullProfilerScopesAreNoOps)
+{
+    PhaseScope scope(nullptr, Phase::ClipsMatch);
+    PhaseProfiler stopped;
+    // switchTo on a stopped profiler must not attribute time.
+    EXPECT_EQ(stopped.switchTo(Phase::Kernel), Phase::Kernel);
+    EXPECT_EQ(stopped.breakdown().totalNs, 0u);
+}
+
+TEST(Profiler, MergeAddsBreakdowns)
+{
+    PhaseBreakdown a, b;
+    a.ns[(size_t)Phase::VmExecute] = 10;
+    a.entries[(size_t)Phase::VmExecute] = 1;
+    a.totalNs = 10;
+    b.ns[(size_t)Phase::VmExecute] = 5;
+    b.ns[(size_t)Phase::Kernel] = 2;
+    b.entries[(size_t)Phase::Kernel] = 1;
+    b.totalNs = 7;
+    a.merge(b);
+    EXPECT_EQ(a.phaseNs(Phase::VmExecute), 15u);
+    EXPECT_EQ(a.phaseNs(Phase::Kernel), 2u);
+    EXPECT_EQ(a.totalNs, 17u);
+    EXPECT_DOUBLE_EQ(a.share(Phase::Kernel), 2.0 / 17.0);
+}
+
+TEST(Profiler, PhaseNamesAreStable)
+{
+    EXPECT_STREQ(phaseName(Phase::VmExecute), "vm_execute");
+    EXPECT_STREQ(phaseName(Phase::ClipsMatch), "clips_match");
+    EXPECT_STREQ(phaseName(Phase::StaticAnalysis), "static_analysis");
+    EXPECT_STREQ(phaseName(Phase::Other), "other");
+}
+
+TEST(StatsSink, JsonLinesShape)
+{
+    RunTelemetry t;
+    t.profiled = true;
+    t.phases.ns[(size_t)Phase::VmExecute] = 123;
+    t.phases.entries[(size_t)Phase::VmExecute] = 2;
+    t.phases.totalNs = 123;
+    t.metrics.counters["os.syscalls"] = 7;
+    t.metrics.gauges["fleet.queue_depth"] = {1, 4};
+    t.metrics.histograms["fleet.session_us"] = {2, 10, {{7, 2}}};
+
+    std::string json = renderJsonLines(t);
+    EXPECT_NE(json.find("{\"type\":\"run\",\"profiled\":true,"
+                        "\"total_ns\":123}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"type\":\"phase\",\"name\":\"vm_execute\","
+                        "\"ns\":123,\"entries\":2}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"type\":\"counter\",\"name\":"
+                        "\"os.syscalls\",\"value\":7}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"type\":\"gauge\",\"name\":"
+                        "\"fleet.queue_depth\",\"value\":1,"
+                        "\"max\":4}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"buckets\":[[7,2]]"), std::string::npos);
+
+    // Every line parses standalone: balanced braces, no trailing
+    // garbage (the streaming-consumer contract).
+    std::istringstream lines(json);
+    std::string line;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+    }
+
+    std::ostringstream out;
+    writeJsonLines(t, out);
+    EXPECT_EQ(out.str(), json);
+}
+
+TEST(StatsSink, TextRenderMentionsPhasesAndMetrics)
+{
+    RunTelemetry t;
+    t.profiled = true;
+    t.phases.ns[(size_t)Phase::ClipsFire] = 1000000;
+    t.phases.entries[(size_t)Phase::ClipsFire] = 3;
+    t.phases.totalNs = 2000000;
+    t.metrics.counters["clips.fires"] = 3;
+    std::string text = renderText(t);
+    EXPECT_NE(text.find("clips_fire"), std::string::npos);
+    EXPECT_NE(text.find("clips.fires"), std::string::npos);
+}
+
+TEST(StatsSink, JsonEscape)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("q\"b\\s"), "q\\\"b\\\\s");
+    EXPECT_EQ(jsonEscape(std::string("\n", 1)), "\\n");
+}
+
+TEST(Telemetry, MergeCombinesPhasesAndMetrics)
+{
+    RunTelemetry a, b;
+    a.profiled = false;
+    a.metrics.counters["n"] = 1;
+    a.phases.totalNs = 5;
+    a.phases.ns[(size_t)Phase::Other] = 5;
+    b.profiled = true;
+    b.metrics.counters["n"] = 2;
+    b.phases.totalNs = 7;
+    b.phases.ns[(size_t)Phase::Other] = 7;
+    a.merge(b);
+    EXPECT_TRUE(a.profiled);
+    EXPECT_EQ(a.metrics.counter("n"), 3u);
+    EXPECT_EQ(a.phases.totalNs, 12u);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Integration tests for Report.telemetry: the phase breakdown must
+ * account for the run's wall time, and the harvested counters must
+ * agree with the layer-internal stats they mirror.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <numeric>
+
+#include "core/Hth.hh"
+#include "obs/StatsSink.hh"
+#include "workloads/GuestLib.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+/** A tight loop: exercises the block cache (hot hits, few misses). */
+std::shared_ptr<const vm::Image>
+makeLoopGuest(int iterations)
+{
+    Gasm a("/t/loop");
+    a.label("main");
+    a.entry("main");
+    a.movi(Reg::Ebp, 0);
+    a.label("loop");
+    a.addi(Reg::Ebp, 1);
+    a.cmpi(Reg::Ebp, iterations);
+    a.jl("loop");
+    a.exit(0);
+    return a.build();
+}
+
+/** A dropper that trips io_BINARY_to_FILE (per-rule counters). */
+std::shared_ptr<const vm::Image>
+makeDropper()
+{
+    Gasm a("/t/dropper");
+    a.dataString("path", "/tmp/.loot");
+    a.dataString("payload", "bad-bytes");
+    a.label("main");
+    a.entry("main");
+    a.creatSym("path");
+    a.mov(Reg::Ebp, Reg::Eax);
+    a.writeFd(Reg::Ebp, "payload", 9);
+    a.exit(0);
+    return a.build();
+}
+
+uint64_t
+phaseSum(const obs::PhaseBreakdown &b)
+{
+    return std::accumulate(b.ns.begin(), b.ns.end(), uint64_t{0});
+}
+
+} // namespace
+
+TEST(Telemetry, PhaseTotalsAccountForRunWallTime)
+{
+    Hth hth;
+    auto image = makeLoopGuest(50000);
+    hth.kernel().vfs().addBinary(image->path, image);
+
+    auto t0 = std::chrono::steady_clock::now();
+    Report report = hth.monitor(image->path, {image->path});
+    uint64_t wall_ns =
+        (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    ASSERT_TRUE(report.telemetry.profiled);
+    const obs::PhaseBreakdown &phases = report.telemetry.phases;
+    // The transition design makes per-phase times sum to the total
+    // exactly; the total is bounded by what we measured around the
+    // call (monitor() does a little work outside the profiled span,
+    // so equality is one-sided).
+    EXPECT_EQ(phaseSum(phases), phases.totalNs);
+    EXPECT_GT(phases.totalNs, 0u);
+    EXPECT_LE(phases.totalNs, wall_ns);
+    // A pure compute loop spends its profiled time executing.
+    EXPECT_GT(phases.phaseNs(obs::Phase::VmExecute), 0u);
+    EXPECT_GT(phases.share(obs::Phase::VmExecute), 0.5);
+}
+
+TEST(Telemetry, BlockCacheCountersMatchMachineStats)
+{
+    Hth hth;
+    auto image = makeLoopGuest(5000);
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report report = hth.monitor(image->path, {image->path});
+
+    uint64_t hits = 0, misses = 0, invalidations = 0, insns = 0;
+    for (const auto &p : hth.kernel().processes()) {
+        const vm::MachineStats &ms = p->machine.stats();
+        hits += ms.blockCacheHits;
+        misses += ms.blockCacheMisses;
+        invalidations += ms.blockCacheInvalidations;
+        insns += ms.instructions;
+    }
+    const obs::MetricSnapshot &m = report.telemetry.metrics;
+    EXPECT_EQ(m.counter("vm.block_cache.hits"), hits);
+    EXPECT_EQ(m.counter("vm.block_cache.misses"), misses);
+    EXPECT_EQ(m.counter("vm.block_cache.invalidations"),
+              invalidations);
+    EXPECT_EQ(m.counter("vm.instructions"), insns);
+    // The loop re-enters its two blocks thousands of times: the
+    // cache must be doing nearly all the dispatches.
+    EXPECT_GT(hits, misses * 100);
+    // Every miss decoded at least one instruction.
+    EXPECT_GE(m.counter("vm.block_cache.insns_decoded"), misses);
+    EXPECT_GT(misses, 0u);
+}
+
+TEST(Telemetry, SyscallsCountedByNumber)
+{
+    Hth hth;
+    auto image = makeDropper();
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report report = hth.monitor(image->path, {image->path});
+
+    const obs::MetricSnapshot &m = report.telemetry.metrics;
+    EXPECT_EQ(m.counter("os.syscall.SYS_creat"), 1u);
+    EXPECT_EQ(m.counter("os.syscall.SYS_write"), 1u);
+    EXPECT_EQ(m.counter("os.syscall.SYS_exit"), 1u);
+    // Per-number counts decompose the total.
+    uint64_t by_number = 0;
+    for (const auto &[name, value] : m.counters)
+        if (name.rfind("os.syscall.", 0) == 0)
+            by_number += value;
+    EXPECT_EQ(by_number, m.counter("os.syscalls"));
+    EXPECT_GT(m.counter("os.vfs_ops"), 0u);
+}
+
+TEST(Telemetry, PerRuleCountersOnFlaggedRun)
+{
+    Hth hth;
+    auto image = makeDropper();
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report report = hth.monitor(image->path, {image->path});
+
+    ASSERT_TRUE(report.flagged());
+    const obs::MetricSnapshot &m = report.telemetry.metrics;
+    EXPECT_GE(m.counter("clips.fires.io_BINARY_to_FILE"), 1u);
+    EXPECT_GE(m.counter("clips.activations.io_BINARY_to_FILE"), 1u);
+    // Activations bound fires: every fire was an activation first.
+    uint64_t fires = 0, activations = 0;
+    for (const auto &[name, value] : m.counters) {
+        if (name.rfind("clips.fires.", 0) == 0)
+            fires += value;
+        if (name.rfind("clips.activations.", 0) == 0)
+            activations += value;
+    }
+    EXPECT_EQ(fires, m.counter("clips.fires"));
+    EXPECT_GE(activations, fires);
+    EXPECT_GT(m.counter("clips.alpha_hits"), 0u);
+}
+
+TEST(Telemetry, LegacyReportFieldsMatchSnapshot)
+{
+    Hth hth;
+    auto image = makeDropper();
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report report = hth.monitor(image->path, {image->path});
+
+    const obs::MetricSnapshot &m = report.telemetry.metrics;
+    EXPECT_EQ(report.instructions, m.counter("os.ticks"));
+    EXPECT_EQ(report.syscalls, m.counter("os.syscalls"));
+    EXPECT_EQ(report.eventsAnalyzed,
+              m.counter("secpert.events_analyzed"));
+    EXPECT_EQ(report.rulesFired, m.counter("secpert.rules_fired"));
+    EXPECT_GT(report.instructions, 0u);
+    EXPECT_GT(report.syscalls, 0u);
+}
+
+TEST(Telemetry, DisabledTelemetryStillHarvestsCounters)
+{
+    HthOptions options;
+    options.telemetry = false;
+    Hth hth(options);
+    auto image = makeLoopGuest(1000);
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report report = hth.monitor(image->path, {image->path});
+
+    EXPECT_FALSE(report.telemetry.profiled);
+    EXPECT_EQ(report.telemetry.phases.totalNs, 0u);
+    // The counter harvest is end-of-run bookkeeping, not profiling:
+    // it stays on so Reports remain comparable.
+    EXPECT_GT(report.telemetry.metrics.counter("vm.instructions"),
+              0u);
+    EXPECT_GT(report.instructions, 0u);
+}
+
+TEST(Telemetry, RepeatedMonitorDoesNotDoubleCount)
+{
+    Hth hth;
+    auto image = makeDropper();
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report first = hth.monitor(image->path, {image->path});
+    Report second = hth.monitor(image->path, {image->path});
+
+    // Set-semantics harvest: the second snapshot reflects cumulative
+    // layer stats, never snapshot + snapshot.
+    EXPECT_GE(second.telemetry.metrics.counter("os.syscalls"),
+              first.telemetry.metrics.counter("os.syscalls"));
+    EXPECT_LT(second.telemetry.metrics.counter("os.syscalls"),
+              2 * first.telemetry.metrics.counter("os.syscalls") + 1);
+    EXPECT_EQ(second.syscalls,
+              second.telemetry.metrics.counter("os.syscalls"));
+}
+
+TEST(Telemetry, RendersWithoutError)
+{
+    Hth hth;
+    auto image = makeDropper();
+    hth.kernel().vfs().addBinary(image->path, image);
+    Report report = hth.monitor(image->path, {image->path});
+
+    std::string text = obs::renderText(report.telemetry);
+    EXPECT_NE(text.find("vm_execute"), std::string::npos);
+    EXPECT_NE(text.find("os.syscalls"), std::string::npos);
+    std::string json = obs::renderJsonLines(report.telemetry);
+    EXPECT_NE(json.find("\"type\":\"run\""), std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"phase\""), std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -122,6 +122,33 @@ TEST(Logging, PanicAndFatal)
     }
 }
 
+TEST(Logging, WarnInformRouteThroughSink)
+{
+    std::vector<std::pair<LogLevel, std::string>> captured;
+    LogSink previous =
+        setLogSink([&](LogLevel level, const std::string &msg) {
+            captured.emplace_back(level, msg);
+        });
+    warn("tainted jump to ", 0xdead, " in ", "/bin/evil");
+    inform("fleet drained");
+    setLogSink(std::move(previous));
+    // After restore, output goes back to the previous sink, not ours.
+    inform("not captured");
+
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second,
+              "tainted jump to 57005 in /bin/evil");
+    EXPECT_EQ(captured[1].first, LogLevel::Inform);
+    EXPECT_EQ(captured[1].second, "fleet drained");
+}
+
+TEST(Logging, LogLevelNames)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+    EXPECT_STREQ(logLevelName(LogLevel::Inform), "inform");
+}
+
 int
 main(int argc, char **argv)
 {
