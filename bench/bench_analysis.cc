@@ -12,6 +12,10 @@
  *                      guard/dormant-code detection), swept over
  *                      synthetic branchy guests of growing size
  *   BM_AnalyzeCsh    — a realistic workload binary (the canned csh)
+ *   BM_TaintReach    — the interprocedural taint-reachability pass
+ *                      alone, over the largest corpus images
+ *   BM_TriggerSynth  — path-sensitive trigger-condition synthesis
+ *                      alone, over the same images
  *   BM_LintPolicy    — the rule linter over the shipped policy
  */
 
@@ -20,7 +24,10 @@
 #include "analysis/Analyzer.hh"
 #include "analysis/Cfg.hh"
 #include "analysis/Lint.hh"
+#include "analysis/Taint.hh"
+#include "analysis/Trigger.hh"
 #include "secpert/Policy.hh"
+#include "workloads/Exploits.hh"
 #include "workloads/GuestLib.hh"
 
 using namespace hth;
@@ -108,6 +115,58 @@ BM_AnalyzeCsh(benchmark::State &state)
         (double)blocks, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_AnalyzeCsh);
+
+/** The two largest real corpus images the deep passes run over:
+ * pma (the biggest exploit binary) and the dormant "updated"
+ * backdoor (the trigger-synthesis motivating case). */
+std::shared_ptr<const vm::Image>
+corpusImage(int which)
+{
+    return which == 0 ? makePmaImage() : makeUpdatedImage();
+}
+
+void
+BM_TaintReach(benchmark::State &state)
+{
+    auto image = corpusImage((int)state.range(0));
+    analysis::Cfg cfg = analysis::buildCfg(*image);
+    uint64_t funcs = 0;
+    uint64_t sinks = 0;
+    for (auto _ : state) {
+        analysis::TaintResult r =
+            analysis::runTaint(cfg, analysis::TaintStrategy::Summary);
+        funcs += r.stats.functionsSummarized;
+        sinks += r.sinks.size();
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(image->path);
+    state.counters["funcs/s"] = benchmark::Counter(
+        (double)funcs, benchmark::Counter::kIsRate);
+    state.counters["sinks"] = benchmark::Counter(
+        (double)sinks / (double)state.iterations());
+}
+BENCHMARK(BM_TaintReach)->Arg(0)->Arg(1);
+
+void
+BM_TriggerSynth(benchmark::State &state)
+{
+    auto image = corpusImage((int)state.range(0));
+    analysis::Cfg cfg = analysis::buildCfg(*image);
+    uint64_t paths = 0;
+    uint64_t solver = 0;
+    for (auto _ : state) {
+        analysis::TriggerResult r = analysis::synthesizeTriggers(cfg);
+        paths += r.pathsExplored;
+        solver += r.solverIterations;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(image->path);
+    state.counters["paths/s"] = benchmark::Counter(
+        (double)paths, benchmark::Counter::kIsRate);
+    state.counters["solver_iters/s"] = benchmark::Counter(
+        (double)solver, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TriggerSynth)->Arg(0)->Arg(1);
 
 void
 BM_LintPolicy(benchmark::State &state)

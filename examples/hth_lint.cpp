@@ -2,18 +2,19 @@
  * @file
  * hth-lint: the offline front end of the static pre-screening pass.
  *
- * Three modes:
+ * Three modes, each with an optional machine-readable output:
  *
- *   hth_lint                      lint the built-in Secpert policy
- *   hth_lint --policy FILE.clp    lint a policy file (against the
- *                                 built-in template declarations)
- *   hth_lint --image FILE.s       assemble an HVM text-assembly
- *                                 guest and print its static audit
+ *   hth_lint [--json]                 lint the built-in Secpert policy
+ *   hth_lint [--json] --policy FILE.clp
+ *                                     lint a policy file (against the
+ *                                     built-in template declarations)
+ *   hth_lint [--json] --image FILE.s  assemble an HVM text-assembly
+ *                                     guest and print its static audit
  *
- * Exit status: 0 clean, 1 lint errors / findings of at least
- * MEDIUM, 2 usage or I/O problems. Warnings and INFO/LOW findings
- * are printed but do not fail the run, so the tool can sit in a
- * build pipeline without blocking on advisory output.
+ * Exit status: 0 clean, 1 error-severity lint issues / findings of
+ * at least MEDIUM, 2 usage or I/O problems. Warnings and INFO/LOW
+ * findings are printed but do not fail the run, so the tool can sit
+ * in a build pipeline without blocking on advisory output.
  */
 
 #include <fstream>
@@ -23,6 +24,7 @@
 
 #include "analysis/Analyzer.hh"
 #include "analysis/Lint.hh"
+#include "obs/StatsSink.hh"
 #include "secpert/Policy.hh"
 #include "support/Logging.hh"
 #include "vm/TextAsm.hh"
@@ -33,7 +35,8 @@ namespace
 int
 usage()
 {
-    std::cerr << "usage: hth_lint [--policy FILE.clp | --image FILE.s]"
+    std::cerr << "usage: hth_lint [--json] "
+                 "[--policy FILE.clp | --image FILE.s]"
               << std::endl;
     return 2;
 }
@@ -50,20 +53,91 @@ readFile(const std::string &path, std::string &out)
     return true;
 }
 
-int
-lintSource(const std::string &what, const std::string &source)
+std::string
+hex(const std::vector<uint8_t> &bytes)
 {
+    static const char *digits = "0123456789abcdef";
+    std::string out;
+    for (uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+int
+lintSource(const std::string &what, const std::string &source,
+           bool json)
+{
+    using hth::obs::jsonEscape;
     auto issues = hth::analysis::lintPolicy(source);
+    bool failed = hth::analysis::hasLintErrors(issues);
+    if (json) {
+        std::ostringstream os;
+        os << "{\"mode\":\"policy\",\"target\":\"" << jsonEscape(what)
+           << "\",\"issues\":[";
+        bool first = true;
+        for (const auto &i : issues) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"severity\":\""
+               << (i.isError() ? "error" : "warning")
+               << "\",\"construct\":\"" << jsonEscape(i.construct)
+               << "\",\"message\":\"" << jsonEscape(i.message)
+               << "\"}";
+        }
+        os << "],\"clean\":" << (failed ? "false" : "true") << "}";
+        std::cout << os.str() << std::endl;
+        return failed ? 1 : 0;
+    }
     if (issues.empty()) {
         std::cout << what << ": clean" << std::endl;
         return 0;
     }
     std::cout << hth::analysis::lintToString(issues);
-    return hth::analysis::hasLintErrors(issues) ? 1 : 0;
+    return failed ? 1 : 0;
+}
+
+std::string
+reportToJson(const hth::analysis::StaticReport &report)
+{
+    using hth::obs::jsonEscape;
+    std::ostringstream os;
+    os << "{\"mode\":\"image\",\"target\":\""
+       << jsonEscape(report.imagePath) << "\",\"blocks\":"
+       << report.blockCount
+       << ",\"reachable_blocks\":" << report.reachableBlocks
+       << ",\"instructions\":" << report.instructionCount
+       << ",\"stats\":{\"functions_summarized\":"
+       << report.stats.functionsSummarized
+       << ",\"paths_explored\":" << report.stats.pathsExplored
+       << ",\"solver_iterations\":" << report.stats.solverIterations
+       << "},\"findings\":[";
+    bool first = true;
+    for (const auto &f : report.findings) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"kind\":\"" << hth::analysis::kindName(f.kind)
+           << "\",\"level\":" << (int)f.level << ",\"level_name\":\""
+           << hth::analysis::levelName(f.level) << "\",\"address\":"
+           << f.address << ",\"syscall\":\"" << jsonEscape(f.syscall)
+           << "\",\"resource\":\"" << jsonEscape(f.resource)
+           << "\",\"detail\":\"" << jsonEscape(f.detail) << "\"";
+        if (!f.witness.empty())
+            os << ",\"witness\":\"" << hex(f.witness) << "\"";
+        os << "}";
+    }
+    os << "],\"flagged\":"
+       << (report.flagged(hth::analysis::Level::Medium) ? "true"
+                                                        : "false")
+       << "}";
+    return os.str();
 }
 
 int
-auditImage(const std::string &path)
+auditImage(const std::string &path, bool json)
 {
     std::string source;
     if (!readFile(path, source)) {
@@ -74,7 +148,10 @@ auditImage(const std::string &path)
         auto image = hth::vm::assemble(path, source);
         hth::analysis::StaticReport report =
             hth::analysis::analyzeImage(*image);
-        std::cout << hth::analysis::reportToString(report);
+        if (json)
+            std::cout << reportToJson(report) << std::endl;
+        else
+            std::cout << hth::analysis::reportToString(report);
         return report.flagged(hth::analysis::Level::Medium) ? 1 : 0;
     } catch (const hth::FatalError &e) {
         std::cerr << "hth_lint: " << e.what() << std::endl;
@@ -87,15 +164,23 @@ auditImage(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    if (argc == 1)
+    std::vector<std::string> args(argv + 1, argv + argc);
+    bool json = false;
+    if (!args.empty() && args[0] == "--json") {
+        json = true;
+        args.erase(args.begin());
+    }
+
+    if (args.empty())
         return lintSource("built-in policy",
                           hth::secpert::policyDeclarations() +
-                              hth::secpert::policyRules());
+                              hth::secpert::policyRules(),
+                          json);
 
-    if (argc != 3)
+    if (args.size() != 2)
         return usage();
-    std::string mode = argv[1];
-    std::string path = argv[2];
+    const std::string &mode = args[0];
+    const std::string &path = args[1];
 
     if (mode == "--policy") {
         std::string source;
@@ -106,10 +191,11 @@ main(int argc, char **argv)
         }
         // User rules load on top of the engine's declarations; lint
         // them the same way so slot checks see the real templates.
-        return lintSource(path, hth::secpert::policyDeclarations() +
-                                    source);
+        return lintSource(path,
+                          hth::secpert::policyDeclarations() + source,
+                          json);
     }
     if (mode == "--image")
-        return auditImage(path);
+        return auditImage(path, json);
     return usage();
 }

@@ -274,6 +274,21 @@ run(int argc, char **argv)
                 verdict += " (DIVERGES from paper)";
                 ++divergent;
             }
+            // Static-analysis signal, independent of the dynamic
+            // verdict: a dormant trojan shows up here even when the
+            // monitored run itself stayed clean.
+            size_t taint_paths = 0, triggers = 0;
+            for (const auto &f : r.report.staticFindings) {
+                if (f.kind == "TAINT_PATH")
+                    ++taint_paths;
+                else if (f.kind == "TRIGGER_HYPOTHESIS")
+                    ++triggers;
+            }
+            if (taint_paths || triggers)
+                verdict += " [static: " +
+                           std::to_string(taint_paths) +
+                           " taint-path, " + std::to_string(triggers) +
+                           " trigger-hypothesis]";
         }
         if (!summary_only)
             std::cout << "  [" << r.index << "] " << r.id << ": "

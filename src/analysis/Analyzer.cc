@@ -6,6 +6,8 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/Taint.hh"
+#include "analysis/Trigger.hh"
 #include "os/Syscalls.hh"
 
 namespace hth::analysis
@@ -38,6 +40,8 @@ kindName(Kind kind)
       case Kind::JumpOutOfText: return "JUMP_OUT_OF_TEXT";
       case Kind::StackImbalance: return "STACK_IMBALANCE";
       case Kind::UnreachableCode: return "UNREACHABLE_CODE";
+      case Kind::TaintPath: return "TAINT_PATH";
+      case Kind::TriggerHypothesis: return "TRIGGER_HYPOTHESIS";
     }
     return "?";
 }
@@ -167,6 +171,8 @@ class Analysis
                    bool collect);
     void runFixpoint();
     void collect();
+    void runTaintPass();
+    void runTriggerPass();
     void visitSyscall(const State &s, uint32_t addr);
     void scanUnreachable();
     void findGuards();
@@ -753,6 +759,67 @@ Analysis::findGuards()
     }
 }
 
+void
+Analysis::runTaintPass()
+{
+    TaintResult taint = runTaint(cfg_, TaintStrategy::Summary);
+    report_.stats.functionsSummarized +=
+        taint.stats.functionsSummarized;
+    report_.stats.pathsExplored += taint.stats.pathsExplored;
+
+    auto levelOf = [](int warn) {
+        return warn >= 3   ? Level::High
+               : warn == 2 ? Level::Medium
+                           : Level::Low;
+    };
+    for (const TaintSink &sink : taint.sinks)
+        addFinding(Kind::TaintPath, levelOf(sink.warn), sink.address,
+                   sink.syscall, sink.target, sink.detail);
+}
+
+void
+Analysis::runTriggerPass()
+{
+    TriggerResult triggers = synthesizeTriggers(cfg_);
+    report_.stats.pathsExplored += triggers.pathsExplored;
+    report_.stats.solverIterations += triggers.solverIterations;
+
+    for (const TriggerHypothesis &h : triggers.hypotheses) {
+        std::ostringstream os;
+        os << h.origin << " input {";
+        for (size_t i = 0; i < h.witness.size(); ++i) {
+            if (i)
+                os << " ";
+            char c = (char)h.witness[i];
+            if (c >= 0x20 && c < 0x7f)
+                os << "'" << c << "'";
+            else
+                os << "0x" << std::hex << (int)h.witness[i]
+                   << std::dec;
+        }
+        os << "} satisfies";
+        for (const std::string &p : h.predicates)
+            os << " [" << p << "]";
+        os << " and fires " << h.syscall;
+        if (!h.sliceGuards.empty()) {
+            os << " (slice guards @";
+            for (size_t i = 0; i < h.sliceGuards.size(); ++i)
+                os << (i ? "," : "") << h.sliceGuards[i];
+            os << ")";
+        }
+
+        Finding f;
+        f.kind = Kind::TriggerHypothesis;
+        f.level = h.warn >= 3 ? Level::High : Level::Medium;
+        f.address = h.address;
+        f.syscall = h.syscall;
+        f.resource = h.resource;
+        f.detail = os.str();
+        f.witness = h.witness;
+        report_.findings.push_back(std::move(f));
+    }
+}
+
 StaticReport
 Analysis::run()
 {
@@ -765,6 +832,8 @@ Analysis::run()
     collect();
     scanUnreachable();
     findGuards();
+    runTaintPass();
+    runTriggerPass();
 
     for (uint32_t site : cfg_.jumpsOutOfText)
         addFinding(Kind::JumpOutOfText, Level::Medium, site, "", "",
@@ -803,11 +872,14 @@ Analysis::run()
                        "call to " + ext.name + "()");
     }
 
+    // Deterministic ordering: by address, then kind. Golden tests
+    // and Secpert fact-insertion order rely on this being stable
+    // across platforms and container iteration orders.
     std::sort(report_.findings.begin(), report_.findings.end(),
               [](const Finding &a, const Finding &b) {
-                  if (a.level != b.level)
-                      return (int)a.level > (int)b.level;
-                  return a.address < b.address;
+                  if (a.address != b.address)
+                      return a.address < b.address;
+                  return (int)a.kind < (int)b.kind;
               });
     return std::move(report_);
 }
@@ -827,7 +899,13 @@ reportToString(const StaticReport &report)
     os << report.imagePath << ": " << report.instructionCount
        << " instructions, " << report.blockCount << " blocks ("
        << report.reachableBlocks << " reachable), "
-       << report.findings.size() << " finding(s)\n";
+       << report.findings.size() << " finding(s)";
+    if (report.stats.functionsSummarized ||
+        report.stats.pathsExplored || report.stats.solverIterations)
+        os << " [fn=" << report.stats.functionsSummarized
+           << " paths=" << report.stats.pathsExplored
+           << " solver=" << report.stats.solverIterations << "]";
+    os << "\n";
     for (const Finding &f : report.findings) {
         os << "  [" << levelName(f.level) << "] " << kindName(f.kind)
            << " @" << f.address;
@@ -835,6 +913,13 @@ reportToString(const StaticReport &report)
             os << " " << f.syscall;
         if (!f.detail.empty())
             os << ": " << f.detail;
+        if (!f.witness.empty()) {
+            os << " witness=";
+            static const char *hex = "0123456789abcdef";
+            for (uint8_t b : f.witness) {
+                os << hex[b >> 4] << hex[b & 0xf];
+            }
+        }
         os << "\n";
     }
     return os.str();

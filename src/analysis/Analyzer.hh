@@ -55,6 +55,8 @@ enum class Kind
     JumpOutOfText,  //!< direct branch target outside .text
     StackImbalance, //!< non-empty abstract stack at ret
     UnreachableCode,//!< blocks no path from entry reaches
+    TaintPath,      //!< input-derived data reaches a dangerous sink
+    TriggerHypothesis,  //!< synthesized input fires a dormant path
 };
 
 /** Fact symbol, e.g. "MAGIC_GUARD". */
@@ -69,6 +71,10 @@ struct Finding
     std::string syscall;        //!< "SYS_execve", ... (may be empty)
     std::string resource;       //!< recovered argument string
     std::string detail;         //!< human-readable explanation
+
+    /** For TriggerHypothesis: concrete input bytes that drive the
+     * guest down the guarded path. Empty otherwise. */
+    std::vector<uint8_t> witness;
 };
 
 /** A syscall site the dataflow pass resolved. */
@@ -81,6 +87,14 @@ struct SyscallSite
     std::string resource;
 };
 
+/** Work performed by the deeper analysis passes (metrics feed). */
+struct AnalysisStats
+{
+    uint64_t functionsSummarized = 0;
+    uint64_t pathsExplored = 0;
+    uint64_t solverIterations = 0;
+};
+
 /** Everything the analyzer concluded about one image. */
 struct StaticReport
 {
@@ -90,6 +104,7 @@ struct StaticReport
     size_t instructionCount = 0;
     std::vector<SyscallSite> syscalls;
     std::vector<Finding> findings;
+    AnalysisStats stats;
 
     bool
     flagged(Level floor) const

@@ -1,0 +1,163 @@
+#include "analysis/Constraint.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace hth::analysis
+{
+
+uint32_t
+SymExpr::apply(uint32_t v) const
+{
+    for (const SymOp &op : ops) {
+        switch (op.k) {
+        case SymOp::Xor:
+            v ^= op.imm;
+            break;
+        case SymOp::And:
+            v &= op.imm;
+            break;
+        case SymOp::Or:
+            v |= op.imm;
+            break;
+        case SymOp::Add:
+            v += op.imm;
+            break;
+        case SymOp::Sub:
+            v -= op.imm;
+            break;
+        case SymOp::Mul:
+            v *= op.imm;
+            break;
+        case SymOp::Shl:
+            // Mirror Machine.cc: shift counts are masked to 5 bits.
+            v <<= (op.imm & 31);
+            break;
+        case SymOp::Shr:
+            v >>= (op.imm & 31);
+            break;
+        }
+    }
+    return v;
+}
+
+const char *
+cmpOpName(CmpOp op)
+{
+    switch (op) {
+    case CmpOp::Eq:
+        return "==";
+    case CmpOp::Ne:
+        return "!=";
+    case CmpOp::Lt:
+        return "<";
+    case CmpOp::Ge:
+        return ">=";
+    }
+    return "?";
+}
+
+bool
+Constraint::holds(uint32_t byte_value) const
+{
+    uint32_t lhs = expr.apply(byte_value);
+    switch (op) {
+    case CmpOp::Eq:
+        return lhs == rhs;
+    case CmpOp::Ne:
+        return lhs != rhs;
+    case CmpOp::Lt:
+        return static_cast<int32_t>(lhs - rhs) < 0;
+    case CmpOp::Ge:
+        return static_cast<int32_t>(lhs - rhs) >= 0;
+    }
+    return false;
+}
+
+std::string
+Constraint::toString() const
+{
+    std::ostringstream os;
+    os << "in[" << expr.slot << "]";
+    for (const SymOp &sop : expr.ops) {
+        const char *n = "?";
+        switch (sop.k) {
+        case SymOp::Xor:
+            n = "^";
+            break;
+        case SymOp::And:
+            n = "&";
+            break;
+        case SymOp::Or:
+            n = "|";
+            break;
+        case SymOp::Add:
+            n = "+";
+            break;
+        case SymOp::Sub:
+            n = "-";
+            break;
+        case SymOp::Mul:
+            n = "*";
+            break;
+        case SymOp::Shl:
+            n = "<<";
+            break;
+        case SymOp::Shr:
+            n = ">>";
+            break;
+        }
+        os << n << sop.imm;
+    }
+    os << " " << cmpOpName(op) << " " << rhs;
+    return os.str();
+}
+
+SolveResult
+solveConstraints(const std::vector<Constraint> &constraints,
+                 int selectivity_max)
+{
+    SolveResult result;
+
+    // Group constraints by slot; each group is an independent
+    // 256-value search.
+    std::map<int, std::vector<const Constraint *>> by_slot;
+    for (const Constraint &c : constraints)
+        if (c.expr.slot >= 0)
+            by_slot[c.expr.slot].push_back(&c);
+
+    if (by_slot.empty())
+        return result;
+
+    result.satisfiable = true;
+    bool any_selective = false;
+    for (const auto &[slot, cs] : by_slot) {
+        SlotSolution sol;
+        sol.slot = slot;
+        for (uint32_t v = 0; v < 256; ++v) {
+            bool ok = true;
+            for (const Constraint *c : cs) {
+                ++result.iterations;
+                if (!c->holds(v)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                if (!sol.value)
+                    sol.value = static_cast<uint8_t>(v);
+                ++sol.satisfyingCount;
+            }
+        }
+        if (!sol.value)
+            result.satisfiable = false;
+        else if (sol.satisfyingCount <= selectivity_max)
+            any_selective = true;
+        result.slots.push_back(sol);
+    }
+    result.selective = result.satisfiable && any_selective;
+    return result;
+}
+
+} // namespace hth::analysis

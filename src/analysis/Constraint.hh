@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Guard-predicate constraints over single input bytes, and a small
+ * brute-force evaluator that synthesizes witness bytes.
+ *
+ * The trigger-synthesis pass (Trigger.cc) models each byte loaded
+ * from an input buffer (read / recv) as a symbolic slot and tracks
+ * the chain of arithmetic applied to it (xor/and/or with constants,
+ * add/sub/mul, shifts). A conditional branch whose flags depend on
+ * such an expression contributes one Constraint; the evaluator
+ * solves the accumulated system per slot by exhaustive search over
+ * the 256 byte values, mirroring the VM's 32-bit semantics exactly
+ * (Machine.cc: Jz/Jnz test equality, Jl/Jge test the sign of the
+ * 32-bit subtraction).
+ */
+
+#ifndef HTH_ANALYSIS_CONSTRAINT_HH
+#define HTH_ANALYSIS_CONSTRAINT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hth::analysis
+{
+
+/** One arithmetic step applied to an input byte. */
+struct SymOp
+{
+    enum K
+    {
+        Xor,
+        And,
+        Or,
+        Add,
+        Sub,
+        Mul,
+        Shl,
+        Shr,
+    };
+    K k = Xor;
+    uint32_t imm = 0;
+
+    bool operator==(const SymOp &) const = default;
+};
+
+/** An input byte with a chain of constant operations applied. */
+struct SymExpr
+{
+    int slot = -1;              //!< input-slot id (Trigger.cc)
+    std::vector<SymOp> ops;
+
+    /** Evaluate the chain on byte value @p v (32-bit arithmetic). */
+    uint32_t apply(uint32_t v) const;
+
+    bool operator==(const SymExpr &) const = default;
+};
+
+/** The comparison a conditional branch performs on an expression. */
+enum class CmpOp
+{
+    Eq,     //!< Jz taken
+    Ne,     //!< Jnz taken
+    Lt,     //!< Jl taken: (int32_t)(lhs - rhs) < 0
+    Ge,     //!< Jge taken
+};
+
+const char *cmpOpName(CmpOp op);
+
+/** One path constraint: `expr CMP rhs` must hold. */
+struct Constraint
+{
+    SymExpr expr;
+    CmpOp op = CmpOp::Eq;
+    uint32_t rhs = 0;
+
+    bool holds(uint32_t byte_value) const;
+    std::string toString() const;
+};
+
+/** Per-slot solution of a constraint system. */
+struct SlotSolution
+{
+    int slot = -1;
+    std::optional<uint8_t> value;   //!< smallest satisfying byte
+    int satisfyingCount = 0;        //!< of the 256 byte values
+};
+
+/** Outcome of solving a whole constraint system. */
+struct SolveResult
+{
+    bool satisfiable = false;
+
+    /**
+     * True when the system is satisfiable *and* at least one slot is
+     * selective (few satisfying values): a guard that admits almost
+     * every input — a bare disequality, say — is not a trigger.
+     */
+    bool selective = false;
+
+    std::vector<SlotSolution> slots;    //!< sorted by slot id
+    uint64_t iterations = 0;            //!< evaluator work performed
+};
+
+/**
+ * Solve @p constraints by brute force, one slot at a time (slots are
+ * independent: each expression reads a single input byte). A slot
+ * counts as selective when at most @p selectivity_max of its 256
+ * byte values satisfy its constraints.
+ */
+SolveResult solveConstraints(const std::vector<Constraint> &constraints,
+                             int selectivity_max = 16);
+
+} // namespace hth::analysis
+
+#endif // HTH_ANALYSIS_CONSTRAINT_HH

@@ -1,0 +1,1288 @@
+#include "analysis/Taint.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "os/Syscalls.hh"
+
+namespace hth::analysis
+{
+
+using vm::Instruction;
+using vm::INSN_SIZE;
+using vm::Opcode;
+using vm::Reg;
+
+std::string
+taintMaskName(uint32_t mask)
+{
+    static const std::pair<uint32_t, const char *> names[] = {
+        {T_BINARY, "binary"},       {T_HARDWARE, "hardware"},
+        {T_STDIN, "stdin"},         {T_FILE_HARD, "file-hard"},
+        {T_FILE_USER, "file-user"}, {T_FILE_REMOTE, "file-remote"},
+        {T_FILE_OTHER, "file-other"},
+        {T_SOCK_HARD, "sock-hard"}, {T_SOCK_USER, "sock-user"},
+        {T_SOCK_REMOTE, "sock-remote"},
+        {T_SOCK_OTHER, "sock-other"},
+        {T_SOCK_SRV_HARD, "sock-server-hard"},
+        {T_ARGV, "argv"},
+    };
+    std::string out;
+    for (const auto &[bit, name] : names) {
+        if (!(mask & bit))
+            continue;
+        if (!out.empty())
+            out += "|";
+        out += name;
+    }
+    return out.empty() ? "none" : out;
+}
+
+const char *
+nameClassName(NameClass c)
+{
+    switch (c) {
+    case NameClass::Hard:
+        return "hard";
+    case NameClass::User:
+        return "user";
+    case NameClass::Remote:
+        return "remote";
+    case NameClass::Other:
+        return "other";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr uint32_t SOCK_BITS = T_SOCK_HARD | T_SOCK_USER |
+                               T_SOCK_REMOTE | T_SOCK_OTHER |
+                               T_SOCK_SRV_HARD;
+constexpr uint32_t FILE_BITS = T_FILE_HARD | T_FILE_USER |
+                               T_FILE_REMOTE | T_FILE_OTHER;
+
+/** Abstract value with taint provenance. */
+struct TVal
+{
+    enum K
+    {
+        Unknown,    //!< anything
+        Const,      //!< program constant
+        DataAddr,   //!< image-relative address (from a relocation)
+        Fd,         //!< descriptor returned at syscall site v
+    };
+    K k = Unknown;
+    uint32_t v = 0;
+    uint32_t taint = 0;
+
+    bool operator==(const TVal &) const = default;
+    bool isAddr() const { return k == Const || k == DataAddr; }
+    bool trivial() const { return k == Unknown && taint == 0; }
+};
+
+TVal
+unknownT(uint32_t taint = 0)
+{
+    return {TVal::Unknown, 0, taint};
+}
+
+TVal
+joinTVal(const TVal &a, const TVal &b)
+{
+    if (a.k == b.k && a.v == b.v)
+        return {a.k, a.v, a.taint | b.taint};
+    return unknownT(a.taint | b.taint);
+}
+
+/** Flow-sensitive state: registers + constant-addressed memory. */
+struct TState
+{
+    std::array<TVal, vm::NUM_REGS> regs{};
+    std::map<uint32_t, TVal> mem;
+
+    bool operator==(const TState &) const = default;
+};
+
+/** dst = join(dst, src) in place; true when dst changed. Values
+ * require agreement on both sides (must information); taint is a
+ * may property and survives one-sided entries. */
+bool
+joinInto(TState &dst, const TState &src)
+{
+    bool changed = false;
+    for (size_t i = 0; i < vm::NUM_REGS; ++i) {
+        TVal j = joinTVal(dst.regs[i], src.regs[i]);
+        if (!(j == dst.regs[i])) {
+            dst.regs[i] = j;
+            changed = true;
+        }
+    }
+    for (auto it = dst.mem.begin(); it != dst.mem.end();) {
+        auto sit = src.mem.find(it->first);
+        TVal j = sit != src.mem.end()
+                     ? joinTVal(it->second, sit->second)
+                     : unknownT(it->second.taint);
+        if (j.trivial()) {
+            it = dst.mem.erase(it);
+            changed = true;
+            continue;
+        }
+        if (!(j == it->second)) {
+            it->second = j;
+            changed = true;
+        }
+        ++it;
+    }
+    for (const auto &[addr, val] : src.mem) {
+        if (dst.mem.count(addr))
+            continue;
+        TVal j = unknownT(val.taint);
+        if (!j.trivial()) {
+            dst.mem.emplace(addr, j);
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/** The flags of the last Cmp/CmpI (only the naive engine branches
+ * on them; the summary engine explores both arms). */
+struct TFlags
+{
+    bool valid = false;
+    TVal lhs, rhs;
+};
+
+/** Name / address provenance of a file or socket resource. */
+struct NameInfo
+{
+    NameClass cls = NameClass::Other;
+    std::string name;
+};
+
+/** What the analysis knows about a descriptor-returning site. */
+struct FdInfo
+{
+    bool isSocket = false;
+    bool server = false;
+    bool accepted = false;
+    NameClass cls = NameClass::Other;
+    std::string name;
+};
+
+int
+classRank(NameClass c)
+{
+    switch (c) {
+    case NameClass::Other:
+        return 0;
+    case NameClass::Hard:
+        return 1;
+    case NameClass::User:
+        return 2;
+    case NameClass::Remote:
+        return 3;
+    }
+    return 0;
+}
+
+/** A `[start, end)` range some input source writes into. */
+struct InputRegion
+{
+    uint32_t start = 0;
+    uint32_t end = 0;
+    uint32_t taint = 0;
+};
+
+/** Interprocedural summary state of one function. */
+struct FuncState
+{
+    bool hasIn = false;
+    TState in;              //!< join over call-site states
+    bool hasOut = false;
+    TState out;             //!< join over ret-site states
+    std::set<uint32_t> callers;
+};
+
+/** Shared abstract machine + the two exploration drivers. */
+class TaintEngine
+{
+  public:
+    explicit TaintEngine(const Cfg &cfg)
+        : cfg_(cfg), image_(*cfg.image)
+    {
+    }
+
+    TaintResult run(TaintStrategy strategy);
+
+  private:
+    // -- shared transfer function ---------------------------------
+    void applyInsn(TState &s, const Instruction &insn, uint32_t addr);
+    bool modelSyscall(TState &s, uint32_t addr);
+    TVal loadFrom(const TState &s, uint32_t at, bool byteWide) const;
+
+    // -- provenance classification --------------------------------
+    NameInfo classifyName(const TVal &ptr) const;
+    uint32_t regionTaintAt(uint32_t addr) const;
+    uint32_t regionTaintSpan(uint32_t start, uint32_t end) const;
+    uint32_t globalTaintSpan(uint32_t start, uint32_t end) const;
+    bool inInitializedData(uint32_t addr) const;
+    std::string dataStr(uint32_t addr) const;
+    uint32_t sockTaint(const FdInfo &fi) const;
+
+    // -- global table mutation (accumulated across passes) --------
+    void addRegion(uint32_t start, uint32_t end, uint32_t taint);
+    void noteGlobalStore(uint32_t addr, uint32_t taint);
+    FdInfo &fdAt(uint32_t site, bool is_socket);
+    void raiseFdClass(FdInfo &fi, const NameInfo &ni);
+
+    // -- sinks ----------------------------------------------------
+    void sinkData(uint32_t addr, const char *syscall,
+                  const FdInfo &target, const TVal &data,
+                  const TVal &len);
+    void recordSink(uint32_t addr, const char *syscall, int warn,
+                    uint32_t mask, std::string target,
+                    std::string detail);
+    static int warnFor(uint32_t mask, const FdInfo &target);
+
+    // -- summary engine -------------------------------------------
+    void runSummary();
+    void analyzeFunction(uint32_t fentry, bool collect);
+    void joinCallee(uint32_t target, const TState &s,
+                    uint32_t caller);
+    TState entryState() const;
+
+    // -- naive path oracle ----------------------------------------
+    void runNaive();
+    void explorePath(uint32_t pc, TState s, TFlags flags,
+                     std::vector<uint32_t> retStack,
+                     std::map<uint32_t, int> visits, bool collect,
+                     uint64_t &steps, int depth);
+
+    const Cfg &cfg_;
+    const vm::Image &image_;
+
+    std::map<uint32_t, FdInfo> fds_;
+    std::vector<InputRegion> regions_;
+    std::map<uint32_t, uint32_t> globalTaint_;
+    bool tablesChanged_ = false;
+
+    std::map<uint32_t, FuncState> funcs_;
+    std::deque<uint32_t> pending_;
+
+    /** Worklist membership stamps, indexed by pc/INSN_SIZE; an entry
+     * is queued when its stamp equals the current generation. One
+     * generation per analyzeFunction call avoids clearing. */
+    std::vector<uint32_t> wlStamp_;
+    uint32_t wlGen_ = 0;
+
+    std::map<std::pair<uint32_t, std::string>, TaintSink> sinks_;
+    TaintStats stats_;
+};
+
+uint32_t
+TaintEngine::regionTaintAt(uint32_t addr) const
+{
+    uint32_t t = 0;
+    for (const InputRegion &r : regions_)
+        if (addr >= r.start && addr < r.end)
+            t |= r.taint;
+    return t;
+}
+
+uint32_t
+TaintEngine::regionTaintSpan(uint32_t start, uint32_t end) const
+{
+    uint32_t t = 0;
+    for (const InputRegion &r : regions_)
+        if (start < r.end && r.start < end)
+            t |= r.taint;
+    return t;
+}
+
+uint32_t
+TaintEngine::globalTaintSpan(uint32_t start, uint32_t end) const
+{
+    uint32_t t = 0;
+    for (auto it = globalTaint_.lower_bound(start);
+         it != globalTaint_.end() && it->first < end; ++it)
+        t |= it->second;
+    return t;
+}
+
+bool
+TaintEngine::inInitializedData(uint32_t addr) const
+{
+    uint32_t base = image_.dataOffset();
+    return addr >= base && addr < base + image_.data.size();
+}
+
+std::string
+TaintEngine::dataStr(uint32_t addr) const
+{
+    if (!inInitializedData(addr))
+        return "";
+    std::string out;
+    for (uint32_t i = addr - image_.dataOffset();
+         i < image_.data.size() && out.size() < 64; ++i) {
+        char c = (char)image_.data[i];
+        if (c == '\0')
+            break;
+        out += (c >= 0x20 && c < 0x7f) ? c : '.';
+    }
+    return out;
+}
+
+NameInfo
+TaintEngine::classifyName(const TVal &ptr) const
+{
+    uint32_t t = ptr.taint;
+    std::string hard_name;
+    if (ptr.isAddr()) {
+        // A short scan suffices: names are NUL-terminated strings.
+        // An input region that starts *after* the pointer is a
+        // separate buffer that happens to sit next in the data
+        // section, not part of this name — stop the scan there, or
+        // every string adjacent to a read buffer would inherit its
+        // taint.
+        uint32_t end = ptr.v + 32;
+        for (const InputRegion &r : regions_)
+            if (r.start > ptr.v && r.start < end)
+                end = r.start;
+        t |= regionTaintSpan(ptr.v, end);
+        t |= globalTaintSpan(ptr.v, end);
+        hard_name = dataStr(ptr.v);
+    }
+
+    NameInfo ni;
+    if (t & SOCK_BITS) {
+        ni.cls = NameClass::Remote;
+        ni.name = "<received>";
+    } else if (t & (T_STDIN | T_ARGV)) {
+        ni.cls = NameClass::User;
+        ni.name = "<user>";
+    } else if (t & (FILE_BITS | T_HARDWARE)) {
+        ni.cls = NameClass::Other;
+        ni.name = "<derived>";
+    } else if (ptr.isAddr() && inInitializedData(ptr.v)) {
+        ni.cls = NameClass::Hard;
+        ni.name = hard_name;
+    } else {
+        ni.cls = NameClass::Other;
+        ni.name = "<unknown>";
+    }
+    return ni;
+}
+
+uint32_t
+TaintEngine::sockTaint(const FdInfo &fi) const
+{
+    if (fi.accepted)
+        return fi.cls == NameClass::Hard     ? T_SOCK_SRV_HARD
+               : fi.cls == NameClass::User   ? T_SOCK_USER
+               : fi.cls == NameClass::Remote ? T_SOCK_REMOTE
+                                             : T_SOCK_OTHER;
+    switch (fi.cls) {
+    case NameClass::Hard:
+        return T_SOCK_HARD;
+    case NameClass::User:
+        return T_SOCK_USER;
+    case NameClass::Remote:
+        return T_SOCK_REMOTE;
+    case NameClass::Other:
+        return T_SOCK_OTHER;
+    }
+    return T_SOCK_OTHER;
+}
+
+void
+TaintEngine::addRegion(uint32_t start, uint32_t end, uint32_t taint)
+{
+    if (start >= end || taint == 0)
+        return;
+    for (InputRegion &r : regions_) {
+        if (r.start == start && r.end == end) {
+            if ((r.taint | taint) != r.taint) {
+                r.taint |= taint;
+                tablesChanged_ = true;
+            }
+            return;
+        }
+    }
+    regions_.push_back({start, end, taint});
+    tablesChanged_ = true;
+}
+
+void
+TaintEngine::noteGlobalStore(uint32_t addr, uint32_t taint)
+{
+    if (taint == 0)
+        return;
+    uint32_t &cell = globalTaint_[addr];
+    if ((cell | taint) != cell) {
+        cell |= taint;
+        tablesChanged_ = true;
+    }
+}
+
+FdInfo &
+TaintEngine::fdAt(uint32_t site, bool is_socket)
+{
+    auto it = fds_.find(site);
+    if (it == fds_.end()) {
+        tablesChanged_ = true;
+        it = fds_.emplace(site, FdInfo{}).first;
+        it->second.isSocket = is_socket;
+    }
+    return it->second;
+}
+
+void
+TaintEngine::raiseFdClass(FdInfo &fi, const NameInfo &ni)
+{
+    if (classRank(ni.cls) > classRank(fi.cls)) {
+        fi.cls = ni.cls;
+        fi.name = ni.name;
+        tablesChanged_ = true;
+    } else if (fi.name.empty() && !ni.name.empty()) {
+        fi.name = ni.name;
+    }
+}
+
+TVal
+TaintEngine::loadFrom(const TState &s, uint32_t at,
+                      bool byteWide) const
+{
+    auto it = s.mem.find(at);
+    if (it != s.mem.end())
+        return it->second;
+    uint32_t t = regionTaintAt(at);
+    auto git = globalTaint_.find(at);
+    if (git != globalTaint_.end())
+        t |= git->second;
+    if (t != 0)
+        return unknownT(t);
+    if (byteWide && inInitializedData(at))
+        return {TVal::Const, image_.data[at - image_.dataOffset()],
+                0};
+    if (!byteWide && inInitializedData(at) &&
+        inInitializedData(at + 3)) {
+        uint32_t base = at - image_.dataOffset();
+        uint32_t w = 0;
+        for (int i = 3; i >= 0; --i)
+            w = (w << 8) | image_.data[base + i];
+        return {TVal::Const, w, 0};
+    }
+    return unknownT();
+}
+
+void
+TaintEngine::applyInsn(TState &s, const Instruction &insn,
+                       uint32_t addr)
+{
+    uint32_t idx = addr / INSN_SIZE;
+    bool relocated = cfg_.relocatedIndices.count(idx) != 0;
+    TVal a = s.regs[(size_t)insn.r1];
+    TVal b = s.regs[(size_t)insn.r2];
+    auto set = [&](Reg r, TVal v) { s.regs[(size_t)r] = v; };
+
+    auto foldBin = [&](auto op) -> TVal {
+        uint32_t t = a.taint | b.taint;
+        if (a.k == TVal::Const && b.k == TVal::Const)
+            return {TVal::Const, op(a.v, b.v), t};
+        return unknownT(t);
+    };
+    auto addImm = [&](const TVal &base, int32_t imm) -> TVal {
+        if (base.isAddr())
+            return {base.k, base.v + (uint32_t)imm, base.taint};
+        return unknownT(base.taint);
+    };
+
+    switch (insn.op) {
+    case Opcode::MovRR:
+        set(insn.r1, b);
+        break;
+    case Opcode::MovRI:
+        set(insn.r1, {relocated ? TVal::DataAddr : TVal::Const,
+                      (uint32_t)insn.imm, 0});
+        break;
+    case Opcode::Lea:
+        set(insn.r1, addImm(b, insn.imm));
+        break;
+    case Opcode::Load:
+    case Opcode::LoadB:
+        if (b.isAddr()) {
+            TVal v = loadFrom(s, b.v + (uint32_t)insn.imm,
+                              insn.op == Opcode::LoadB);
+            v.taint |= b.taint;
+            set(insn.r1, v);
+        } else {
+            // Pointer taint flows to the loaded value: a deref
+            // through an argv-derived pointer yields argv data.
+            set(insn.r1, unknownT(b.taint));
+        }
+        break;
+    case Opcode::Store:
+    case Opcode::StoreB:
+        if (b.isAddr()) {
+            uint32_t at = b.v + (uint32_t)insn.imm;
+            if (a.trivial())
+                s.mem.erase(at);
+            else
+                s.mem[at] = a;
+            noteGlobalStore(at, a.taint);
+        }
+        // Stores through unknown pointers are dropped: inventing a
+        // flow here would poison every clean image.
+        break;
+    case Opcode::Push:
+    case Opcode::PushI:
+        break;
+    case Opcode::Pop:
+        set(insn.r1, unknownT());
+        break;
+    case Opcode::Add:
+        if (a.k == TVal::DataAddr && b.k == TVal::Const)
+            set(insn.r1,
+                {TVal::DataAddr, a.v + b.v, a.taint | b.taint});
+        else if (a.k == TVal::Const && b.k == TVal::DataAddr)
+            set(insn.r1,
+                {TVal::DataAddr, a.v + b.v, a.taint | b.taint});
+        else
+            set(insn.r1, foldBin([](uint32_t x, uint32_t y) {
+                    return x + y;
+                }));
+        break;
+    case Opcode::AddI:
+        set(insn.r1, addImm(a, insn.imm));
+        break;
+    case Opcode::Sub:
+        set(insn.r1, foldBin([](uint32_t x, uint32_t y) {
+                return x - y;
+            }));
+        break;
+    case Opcode::And:
+        set(insn.r1, foldBin([](uint32_t x, uint32_t y) {
+                return x & y;
+            }));
+        break;
+    case Opcode::Or:
+        set(insn.r1, foldBin([](uint32_t x, uint32_t y) {
+                return x | y;
+            }));
+        break;
+    case Opcode::Xor:
+        if (insn.r1 == insn.r2)
+            set(insn.r1, {TVal::Const, 0, 0});
+        else
+            set(insn.r1, foldBin([](uint32_t x, uint32_t y) {
+                    return x ^ y;
+                }));
+        break;
+    case Opcode::Mul:
+        set(insn.r1, foldBin([](uint32_t x, uint32_t y) {
+                return x * y;
+            }));
+        break;
+    case Opcode::Shl:
+        set(insn.r1, a.k == TVal::Const
+                         ? TVal{TVal::Const,
+                                a.v << (insn.imm & 31), a.taint}
+                         : unknownT(a.taint));
+        break;
+    case Opcode::Shr:
+        set(insn.r1, a.k == TVal::Const
+                         ? TVal{TVal::Const,
+                                a.v >> (insn.imm & 31), a.taint}
+                         : unknownT(a.taint));
+        break;
+    case Opcode::CpuId:
+        set(Reg::Eax, unknownT(T_HARDWARE));
+        set(Reg::Ebx, unknownT(T_HARDWARE));
+        set(Reg::Ecx, unknownT(T_HARDWARE));
+        set(Reg::Edx, unknownT(T_HARDWARE));
+        break;
+    case Opcode::Native:
+        // cdecl contract; native results are treated as clean (an
+        // under-approximation, same as the dynamic monitor's
+        // library-call policy).
+        set(Reg::Eax, unknownT());
+        set(Reg::Ecx, unknownT());
+        set(Reg::Edx, unknownT());
+        break;
+    default:
+        break;
+    }
+}
+
+int
+TaintEngine::warnFor(uint32_t mask, const FdInfo &target)
+{
+    bool th = target.cls == NameClass::Hard;
+    bool tu = target.cls == NameClass::User;
+    bool tr = target.cls == NameClass::Remote;
+    int warn = 0;
+    auto up = [&](int w) { warn = std::max(warn, w); };
+
+    // Mirror of §4.3 (workloads/Micro.cc expectedOutcome).
+    if (mask & T_BINARY)
+        if (th)
+            up(target.isSocket ? 1 : 3);
+    if (mask & (T_HARDWARE | T_STDIN))
+        if (th)
+            up(3);
+    if (mask & T_FILE_HARD) {
+        if (tu)
+            up(1);
+        if (th)
+            up(3);
+        // Hard-coded file contents leaving on a socket of unknown
+        // provenance: exfiltration shape (pwsafe trojan).
+        if (target.isSocket && target.cls == NameClass::Other)
+            up(1);
+    }
+    if (mask & T_FILE_USER)
+        if (th)
+            up(1);
+    if (mask & T_FILE_REMOTE)
+        up(3);
+    if (mask & T_SOCK_HARD) {
+        if (tu)
+            up(1);
+        if (th)
+            up(3);
+    }
+    if (mask & T_SOCK_USER)
+        if (th)
+            up(1);
+    if (mask & T_SOCK_REMOTE)
+        up(3);
+    if (mask & T_SOCK_SRV_HARD)
+        up(3);
+    if (tr)
+        up(3);
+    if (target.isSocket && target.server &&
+        target.cls == NameClass::Hard)
+        up(3);
+    return warn;
+}
+
+void
+TaintEngine::recordSink(uint32_t addr, const char *syscall, int warn,
+                        uint32_t mask, std::string target,
+                        std::string detail)
+{
+    auto key = std::make_pair(addr, std::string(syscall));
+    auto it = sinks_.find(key);
+    if (it == sinks_.end()) {
+        TaintSink sink;
+        sink.address = addr;
+        sink.syscall = syscall;
+        sink.warn = warn;
+        sink.sourceMask = mask;
+        sink.target = std::move(target);
+        sink.detail = std::move(detail);
+        sinks_.emplace(std::move(key), std::move(sink));
+        return;
+    }
+    it->second.sourceMask |= mask;
+    if (warn > it->second.warn) {
+        it->second.warn = warn;
+        it->second.target = std::move(target);
+        it->second.detail = std::move(detail);
+    }
+}
+
+void
+TaintEngine::sinkData(uint32_t addr, const char *syscall,
+                      const FdInfo &target, const TVal &data,
+                      const TVal &len)
+{
+    if (!data.isAddr())
+        return;
+    uint32_t span =
+        len.k == TVal::Const ? std::min<uint32_t>(len.v, 4096) : 64;
+    uint32_t start = data.v, end = data.v + span;
+    uint32_t mask =
+        regionTaintSpan(start, end) | globalTaintSpan(start, end);
+    if (mask == 0) {
+        uint32_t dbase = image_.dataOffset();
+        if (start < dbase + image_.data.size() && end > dbase)
+            mask = T_BINARY;
+    }
+    if (mask == 0)
+        return;
+    int warn = warnFor(mask, target);
+    if (warn == 0)
+        return;
+    std::ostringstream os;
+    os << taintMaskName(mask) << " data reaches "
+       << (target.isSocket ? "socket" : "file") << " "
+       << nameClassName(target.cls);
+    if (target.server)
+        os << " (server)";
+    if (!target.name.empty())
+        os << " \"" << target.name << "\"";
+    recordSink(addr, syscall, warn, mask, target.name, os.str());
+}
+
+/**
+ * Interpret an `int 0x80`. Returns true when the syscall terminates
+ * the path (exit). Sinks are recorded on every sweep into a table
+ * the caller clears per pass; the converged pass's records are
+ * exactly what a separate collection sweep would produce, and the
+ * (addr, syscall) dedup key absorbs re-analysis within a pass.
+ */
+bool
+TaintEngine::modelSyscall(TState &s, uint32_t addr)
+{
+    TVal nr = s.regs[(size_t)Reg::Eax];
+    TVal ebx = s.regs[(size_t)Reg::Ebx];
+    TVal ecx = s.regs[(size_t)Reg::Ecx];
+    TVal edx = s.regs[(size_t)Reg::Edx];
+    auto setEax = [&](TVal v) { s.regs[(size_t)Reg::Eax] = v; };
+
+    if (nr.k != TVal::Const) {
+        setEax(unknownT());
+        return false;
+    }
+
+    auto fdTarget = [&](const TVal &fd, FdInfo &out) -> bool {
+        if (fd.k == TVal::Const)
+            return false;   // fds 0..2: stdout is never a sink
+        if (fd.k == TVal::Fd) {
+            auto it = fds_.find(fd.v);
+            if (it == fds_.end())
+                return false;
+            out = it->second;
+            return true;
+        }
+        return false;
+    };
+
+    switch (nr.v) {
+    case os::NR_exit:
+        return true;
+
+    case os::NR_read: {
+        uint32_t t = 0;
+        if (ebx.k == TVal::Const) {
+            if (ebx.v == 0)
+                t = T_STDIN;
+        } else if (ebx.k == TVal::Fd) {
+            auto it = fds_.find(ebx.v);
+            if (it != fds_.end()) {
+                const FdInfo &fi = it->second;
+                if (fi.isSocket)
+                    t = sockTaint(fi);
+                else
+                    switch (fi.cls) {
+                    case NameClass::Hard:
+                        t = T_FILE_HARD;
+                        break;
+                    case NameClass::User:
+                        t = T_FILE_USER;
+                        break;
+                    case NameClass::Remote:
+                        t = T_FILE_REMOTE;
+                        break;
+                    case NameClass::Other:
+                        t = T_FILE_OTHER;
+                        break;
+                    }
+            }
+        } else {
+            t = T_FILE_OTHER;
+        }
+        if (t && ecx.isAddr()) {
+            uint32_t n =
+                edx.k == TVal::Const ? std::min<uint32_t>(edx.v, 4096)
+                                     : 64;
+            addRegion(ecx.v, ecx.v + n, t);
+        }
+        // The returned *length* of tainted data is not itself
+        // tainted (matches the dynamic propagation policy).
+        setEax(unknownT());
+        return false;
+    }
+
+    case os::NR_open:
+    case os::NR_creat: {
+        NameInfo ni = classifyName(ebx);
+        FdInfo &fi = fdAt(addr, false);
+        raiseFdClass(fi, ni);
+        setEax({TVal::Fd, addr, 0});
+        return false;
+    }
+
+    case os::NR_write: {
+        FdInfo target;
+        if (fdTarget(ebx, target))
+            sinkData(addr, "SYS_write", target, ecx, edx);
+        setEax(unknownT());
+        return false;
+    }
+
+    case os::NR_execve: {
+        NameInfo ni = classifyName(ebx);
+        if (ni.cls == NameClass::Remote)
+            recordSink(addr, "SYS_execve", 3, ebx.taint | SOCK_BITS,
+                       ni.name,
+                       "execve of a remotely supplied name");
+        else if (ni.cls == NameClass::Hard)
+            recordSink(addr, "SYS_execve", 1, T_BINARY, ni.name,
+                       "execve of hard-coded \"" + ni.name + "\"");
+        setEax(unknownT());
+        return false;
+    }
+
+    case os::NR_socketcall: {
+        uint32_t op = ebx.k == TVal::Const ? ebx.v : 0;
+        auto argWord = [&](uint32_t i) -> TVal {
+            if (!ecx.isAddr())
+                return unknownT();
+            auto it = s.mem.find(ecx.v + i * 4);
+            return it == s.mem.end() ? unknownT() : it->second;
+        };
+        switch (op) {
+        case os::SOCKOP_socket:
+            fdAt(addr, true);
+            setEax({TVal::Fd, addr, 0});
+            return false;
+        case os::SOCKOP_connect: {
+            TVal fd = argWord(0), aptr = argWord(1);
+            NameInfo ni = classifyName(aptr);
+            if (fd.k == TVal::Fd)
+                raiseFdClass(fdAt(fd.v, true), ni);
+            if (ni.cls == NameClass::Remote)
+                recordSink(addr, "SYS_connect", 3,
+                           aptr.taint | regionTaintAt(
+                                            aptr.isAddr() ? aptr.v
+                                                          : 0),
+                           ni.name,
+                           "connect to a remotely supplied address");
+            setEax(unknownT());
+            return false;
+        }
+        case os::SOCKOP_bind: {
+            TVal fd = argWord(0), aptr = argWord(1);
+            if (fd.k == TVal::Fd)
+                raiseFdClass(fdAt(fd.v, true), classifyName(aptr));
+            setEax(unknownT());
+            return false;
+        }
+        case os::SOCKOP_listen: {
+            TVal fd = argWord(0);
+            if (fd.k == TVal::Fd) {
+                FdInfo &fi = fdAt(fd.v, true);
+                if (!fi.server) {
+                    fi.server = true;
+                    tablesChanged_ = true;
+                }
+            }
+            setEax(unknownT());
+            return false;
+        }
+        case os::SOCKOP_accept: {
+            TVal fd = argWord(0);
+            FdInfo &conn = fdAt(addr, true);
+            conn.server = true;
+            if (!conn.accepted) {
+                conn.accepted = true;
+                tablesChanged_ = true;
+            }
+            if (fd.k == TVal::Fd) {
+                const FdInfo &listener = fdAt(fd.v, true);
+                raiseFdClass(conn,
+                             {listener.cls, listener.name});
+            }
+            setEax({TVal::Fd, addr, 0});
+            return false;
+        }
+        case os::SOCKOP_send: {
+            TVal fd = argWord(0);
+            FdInfo target;
+            if (fdTarget(fd, target))
+                sinkData(addr, "SYS_send", target, argWord(1),
+                         argWord(2));
+            setEax(unknownT());
+            return false;
+        }
+        case os::SOCKOP_recv: {
+            TVal fd = argWord(0);
+            uint32_t t = T_SOCK_OTHER;
+            if (fd.k == TVal::Fd) {
+                auto it = fds_.find(fd.v);
+                if (it != fds_.end())
+                    t = sockTaint(it->second);
+            }
+            TVal buf = argWord(1), len = argWord(2);
+            if (buf.isAddr()) {
+                uint32_t n = len.k == TVal::Const
+                                 ? std::min<uint32_t>(len.v, 4096)
+                                 : 64;
+                addRegion(buf.v, buf.v + n, t);
+            }
+            setEax(unknownT());
+            return false;
+        }
+        default:
+            setEax(unknownT());
+            return false;
+        }
+    }
+
+    default:
+        setEax(unknownT());
+        return false;
+    }
+}
+
+TState
+TaintEngine::entryState() const
+{
+    TState s;
+    // Process entry: EBX = argv, ECX = environment.
+    s.regs[(size_t)Reg::Ebx] = unknownT(T_ARGV);
+    s.regs[(size_t)Reg::Ecx] = unknownT(T_ARGV);
+    return s;
+}
+
+void
+TaintEngine::joinCallee(uint32_t target, const TState &s,
+                        uint32_t caller)
+{
+    FuncState &cs = funcs_[target];
+    cs.callers.insert(caller);
+    if (!cs.hasIn) {
+        cs.in = s;
+        cs.hasIn = true;
+        pending_.push_back(target);
+        return;
+    }
+    if (joinInto(cs.in, s))
+        pending_.push_back(target);
+}
+
+void
+TaintEngine::analyzeFunction(uint32_t fentry, bool collect)
+{
+    const BasicBlock *ebb = cfg_.blockAt(fentry);
+    if (!ebb)
+        return;
+    FuncState &fs = funcs_[fentry];
+    if (!collect)
+        ++stats_.functionsSummarized;
+
+    std::map<uint32_t, TState> bin;
+    bin[ebb->start] = fs.in;
+    std::deque<uint32_t> wl{ebb->start};
+    if (wlStamp_.size() < cfg_.text.size())
+        wlStamp_.resize(cfg_.text.size(), 0);
+    uint32_t gen = ++wlGen_;
+    wlStamp_[ebb->start / INSN_SIZE] = gen;
+    size_t budget = cfg_.blocks.size() * 64 + 256;
+    bool haveOut = false;
+    TState outAcc;
+
+    auto enqueue = [&](uint32_t succ) {
+        uint32_t &stamp = wlStamp_[succ / INSN_SIZE];
+        if (stamp != gen) {
+            stamp = gen;
+            wl.push_back(succ);
+        }
+    };
+    auto flow = [&](uint32_t succ, const TState &o) {
+        if (succ / INSN_SIZE >= cfg_.text.size())
+            return;
+        auto it = bin.find(succ);
+        if (it == bin.end()) {
+            bin.emplace(succ, o);
+            enqueue(succ);
+            return;
+        }
+        if (joinInto(it->second, o))
+            enqueue(succ);
+    };
+
+    while (!wl.empty() && budget-- > 0) {
+        uint32_t start = wl.front();
+        wl.pop_front();
+        wlStamp_[start / INSN_SIZE] = 0;
+        auto bit = cfg_.blocks.find(start);
+        if (bit == cfg_.blocks.end())
+            continue;
+        const BasicBlock &bb = bit->second;
+
+        TState s = bin.find(start)->second;
+        bool terminated = false;
+        for (uint32_t addr = bb.start; addr < bb.end;
+             addr += INSN_SIZE) {
+            const Instruction &insn = cfg_.insnAt(addr);
+            if (insn.op == Opcode::Int80) {
+                if (modelSyscall(s, addr)) {
+                    terminated = true;
+                    break;
+                }
+            } else {
+                applyInsn(s, insn, addr);
+            }
+        }
+        if (terminated)
+            continue;
+
+        const Instruction &last = cfg_.insnAt(bb.end - INSN_SIZE);
+        if (last.op == Opcode::Call) {
+            uint32_t tgt = (uint32_t)last.imm;
+            if (!collect)
+                joinCallee(tgt, s, fentry);
+            TState after;
+            auto cit = funcs_.find(tgt);
+            if (cit != funcs_.end() && cit->second.hasOut) {
+                after = cit->second.out;
+            } else {
+                after = s;
+                after.regs[(size_t)Reg::Eax] = unknownT();
+                after.regs[(size_t)Reg::Ecx] = unknownT();
+                after.regs[(size_t)Reg::Edx] = unknownT();
+            }
+            const BasicBlock *tb = cfg_.blockAt(tgt);
+            uint32_t tstart = tb ? tb->start : tgt;
+            for (uint32_t succ : bb.succs)
+                if (succ != tstart)
+                    flow(succ, after);
+        } else if (last.op == Opcode::CallSym ||
+                   last.op == Opcode::CallR) {
+            TState after = s;
+            after.regs[(size_t)Reg::Eax] = unknownT();
+            after.regs[(size_t)Reg::Ecx] = unknownT();
+            after.regs[(size_t)Reg::Edx] = unknownT();
+            for (uint32_t succ : bb.succs)
+                flow(succ, after);
+        } else if (last.op == Opcode::Ret) {
+            if (!haveOut) {
+                outAcc = s;
+                haveOut = true;
+            } else {
+                joinInto(outAcc, s);
+            }
+        } else {
+            for (uint32_t succ : bb.succs)
+                flow(succ, s);
+        }
+    }
+
+    if (collect)
+        return;
+
+    if (haveOut &&
+        (!fs.hasOut || !(outAcc == fs.out))) {
+        fs.out = std::move(outAcc);
+        fs.hasOut = true;
+        for (uint32_t c : fs.callers)
+            pending_.push_back(c);
+    }
+}
+
+void
+TaintEngine::runSummary()
+{
+    uint32_t entry = image_.entry;
+    if (!cfg_.blockAt(entry))
+        return;
+    FuncState &ef = funcs_[entry];
+    ef.hasIn = true;
+    ef.in = entryState();
+
+    bool converged = false;
+    bool passComplete = false;
+    for (int pass = 0; pass < 8; ++pass) {
+        tablesChanged_ = false;
+        // Sinks are re-recorded from scratch every pass: the pass
+        // that finds the tables stable runs over converged states,
+        // so its records ARE the collection and no separate sweep
+        // is needed on top of the confirmation pass.
+        sinks_.clear();
+        pending_.clear();
+        for (const auto &[fe, fs] : funcs_)
+            if (fs.hasIn)
+                pending_.push_back(fe);
+        size_t budget =
+            64 + funcs_.size() * 32 + cfg_.blocks.size() * 8;
+        while (!pending_.empty() && budget-- > 0) {
+            uint32_t fe = pending_.front();
+            pending_.pop_front();
+            if (!funcs_[fe].hasIn)
+                continue;
+            analyzeFunction(fe, false);
+        }
+        passComplete = pending_.empty();
+        if (!tablesChanged_) {
+            converged = true;
+            break;
+        }
+    }
+
+    // Fallback collection sweep — only when the pass cap or the
+    // work budget cut the loop short of a clean confirmation pass.
+    if (!converged || !passComplete) {
+        sinks_.clear();
+        for (const auto &[fe, fs] : funcs_)
+            if (fs.hasIn)
+                analyzeFunction(fe, true);
+    }
+}
+
+void
+TaintEngine::explorePath(uint32_t pc, TState s, TFlags flags,
+                         std::vector<uint32_t> retStack,
+                         std::map<uint32_t, int> visits,
+                         bool collect, uint64_t &steps, int depth)
+{
+    constexpr uint64_t MAX_STEPS = 300000;
+    constexpr int MAX_BLOCK_VISITS = 4;
+    constexpr int MAX_CALL_DEPTH = 16;
+    constexpr int MAX_FORK_DEPTH = 64;
+
+    while (true) {
+        if (++steps > MAX_STEPS)
+            break;
+        if (pc >= cfg_.textSize())
+            break;
+        if (cfg_.blocks.count(pc) &&
+            ++visits[pc] > MAX_BLOCK_VISITS)
+            break;
+
+        const Instruction &insn = cfg_.insnAt(pc);
+        uint32_t next = pc + INSN_SIZE;
+        switch (insn.op) {
+        case Opcode::Halt:
+            goto done;
+        case Opcode::Jmp:
+            next = (uint32_t)insn.imm;
+            break;
+        case Opcode::Jz:
+        case Opcode::Jnz:
+        case Opcode::Jl:
+        case Opcode::Jge: {
+            uint32_t tgt = (uint32_t)insn.imm;
+            if (flags.valid && flags.lhs.k == TVal::Const &&
+                flags.rhs.k == TVal::Const) {
+                bool zf = flags.lhs.v == flags.rhs.v;
+                bool sf = (int32_t)(flags.lhs.v - flags.rhs.v) < 0;
+                bool taken = insn.op == Opcode::Jz    ? zf
+                             : insn.op == Opcode::Jnz ? !zf
+                             : insn.op == Opcode::Jl  ? sf
+                                                      : !sf;
+                if (taken)
+                    next = tgt;
+            } else if (depth < MAX_FORK_DEPTH) {
+                explorePath(tgt, s, flags, retStack, visits,
+                            collect, steps, depth + 1);
+                // fall through on this path
+            } else {
+                goto done;
+            }
+            break;
+        }
+        case Opcode::Cmp:
+            flags = {true, s.regs[(size_t)insn.r1],
+                     s.regs[(size_t)insn.r2]};
+            break;
+        case Opcode::CmpI:
+            flags = {true, s.regs[(size_t)insn.r1],
+                     {TVal::Const, (uint32_t)insn.imm, 0}};
+            break;
+        case Opcode::Call:
+            if ((int)retStack.size() < MAX_CALL_DEPTH) {
+                retStack.push_back(next);
+                next = (uint32_t)insn.imm;
+            } else {
+                s.regs[(size_t)Reg::Eax] = unknownT();
+                s.regs[(size_t)Reg::Ecx] = unknownT();
+                s.regs[(size_t)Reg::Edx] = unknownT();
+            }
+            break;
+        case Opcode::CallSym:
+        case Opcode::CallR:
+        case Opcode::Native:
+            s.regs[(size_t)Reg::Eax] = unknownT();
+            s.regs[(size_t)Reg::Ecx] = unknownT();
+            s.regs[(size_t)Reg::Edx] = unknownT();
+            break;
+        case Opcode::Ret:
+            if (retStack.empty())
+                goto done;
+            next = retStack.back();
+            retStack.pop_back();
+            break;
+        case Opcode::Int80:
+            if (modelSyscall(s, pc))
+                goto done;
+            break;
+        default:
+            applyInsn(s, insn, pc);
+            break;
+        }
+        pc = next;
+    }
+done:
+    if (!collect)
+        ++stats_.pathsExplored;
+}
+
+void
+TaintEngine::runNaive()
+{
+    if (!cfg_.blockAt(image_.entry))
+        return;
+    // Pass 1 accumulates the global tables (regions, descriptor
+    // classes, tainted stores); pass 2 records sinks against the
+    // full tables so path order cannot matter. Sinks recorded
+    // during pass 1 are discarded with the reset below.
+    for (int collect = 0; collect < 2; ++collect) {
+        sinks_.clear();
+        uint64_t steps = 0;
+        explorePath(image_.entry, entryState(), TFlags{}, {}, {},
+                    collect == 1, steps, 0);
+    }
+}
+
+TaintResult
+TaintEngine::run(TaintStrategy strategy)
+{
+    if (strategy == TaintStrategy::Summary)
+        runSummary();
+    else
+        runNaive();
+
+    TaintResult out;
+    out.stats = stats_;
+    for (auto &[key, sink] : sinks_)
+        out.sinks.push_back(sink);
+    std::sort(out.sinks.begin(), out.sinks.end(),
+              [](const TaintSink &a, const TaintSink &b) {
+                  return std::tie(a.address, a.syscall) <
+                         std::tie(b.address, b.syscall);
+              });
+    return out;
+}
+
+} // namespace
+
+TaintResult
+runTaint(const Cfg &cfg, TaintStrategy strategy)
+{
+    if (!cfg.image)
+        return {};
+    TaintEngine engine(cfg);
+    return engine.run(strategy);
+}
+
+} // namespace hth::analysis

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Interprocedural, flow-sensitive static taint reachability.
+ *
+ * The dynamic monitor propagates taint while the guest runs; this
+ * pass asks the same question of the unloaded image: can bytes
+ * derived from an input source (read / recv / argv) reach a
+ * dangerous sink (execve / connect / write / send)? It mirrors the
+ * paper's §4.3 source/target warning matrix, classifying file and
+ * socket names as hard-coded (.data), user-supplied (stdin / argv)
+ * or remote (received over a socket).
+ *
+ * Two engines share one abstract machine:
+ *
+ *  - `Summary`: per-function fixpoints with function summaries
+ *    joined over call sites, driven by a worklist over call edges —
+ *    the production engine;
+ *  - `NaivePaths`: exhaustive bounded path enumeration from the
+ *    entry, inlining calls — an oracle used by differential tests,
+ *    mirroring the MatchStrategy::Naive pattern in secpert.
+ *
+ * Both deliberately under-approximate: unknown values are untainted,
+ * native/library calls return clean registers, and writes to
+ * statically unknown addresses are dropped. A missed flow costs a
+ * finding; an invented flow would poison every trusted binary.
+ */
+
+#ifndef HTH_ANALYSIS_TAINT_HH
+#define HTH_ANALYSIS_TAINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/Cfg.hh"
+
+namespace hth::analysis
+{
+
+/** Taint bits carried by abstract values (sources). */
+enum : uint32_t
+{
+    T_BINARY = 1u << 0,     //!< constants from the image itself
+    T_HARDWARE = 1u << 1,   //!< cpuid results
+    T_STDIN = 1u << 2,      //!< read(0, ...)
+    T_FILE_HARD = 1u << 3,  //!< file opened by hard-coded name
+    T_FILE_USER = 1u << 4,  //!< file named by stdin / argv data
+    T_FILE_REMOTE = 1u << 5,//!< file named by received bytes
+    T_FILE_OTHER = 1u << 6, //!< file of unknown provenance
+    T_SOCK_HARD = 1u << 7,  //!< socket connected to hard-coded addr
+    T_SOCK_USER = 1u << 8,  //!< socket addressed by user data
+    T_SOCK_REMOTE = 1u << 9,//!< socket addressed by received bytes
+    T_SOCK_OTHER = 1u << 10,//!< socket of unknown provenance
+    T_SOCK_SRV_HARD = 1u << 11, //!< accepted on a hard-coded bind
+    T_ARGV = 1u << 12,      //!< argv / environment pointers
+};
+
+/** Render a taint mask as "stdin|file-hard|...". */
+std::string taintMaskName(uint32_t mask);
+
+/** Provenance class of a file name or socket address. */
+enum class NameClass
+{
+    Other = 0,
+    Hard,
+    User,
+    Remote,
+};
+
+const char *nameClassName(NameClass c);
+
+/** Which engine to run. */
+enum class TaintStrategy
+{
+    Summary,    //!< function summaries + worklist (production)
+    NaivePaths, //!< bounded exhaustive path oracle (tests)
+};
+
+/** A dangerous sink some tainted (or hard-coded) data reaches. */
+struct TaintSink
+{
+    uint32_t address = 0;       //!< site of the int80
+    std::string syscall;        //!< "SYS_write", "SYS_execve", ...
+    int warn = 0;               //!< paper warning level 1..3
+    uint32_t sourceMask = 0;    //!< taint bits of the flowing data
+    std::string target;         //!< sink resource description
+    std::string detail;
+};
+
+/** Work counters for the metrics registry. */
+struct TaintStats
+{
+    uint64_t functionsSummarized = 0;
+    uint64_t pathsExplored = 0;
+};
+
+/** Result of one taint pass over an image. */
+struct TaintResult
+{
+    std::vector<TaintSink> sinks;   //!< sorted by (address, syscall)
+    TaintStats stats;
+};
+
+/** Run the taint-reachability analysis over a built CFG. */
+TaintResult runTaint(const Cfg &cfg, TaintStrategy strategy);
+
+} // namespace hth::analysis
+
+#endif // HTH_ANALYSIS_TAINT_HH

@@ -1,0 +1,746 @@
+#include "analysis/Trigger.hh"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "os/Syscalls.hh"
+
+namespace hth::analysis
+{
+
+using vm::Instruction;
+using vm::INSN_SIZE;
+using vm::Opcode;
+using vm::Reg;
+
+namespace
+{
+
+/** Symbolic value: constant, address, or input-byte expression. */
+struct SymVal
+{
+    enum K
+    {
+        Unknown,
+        Const,
+        DataAddr,
+        InputByte,  //!< expr over input slot `slot`
+    };
+    K k = Unknown;
+    uint32_t v = 0;
+    int slot = -1;
+    std::vector<SymOp> ops;
+
+    bool isAddr() const { return k == Const || k == DataAddr; }
+    bool concrete() const { return k == Const || k == DataAddr; }
+};
+
+SymVal
+unknownS()
+{
+    return {};
+}
+
+struct SymFlags
+{
+    bool valid = false;
+    SymVal lhs, rhs;
+};
+
+/** An input buffer discovered on the current path. */
+struct SymRegion
+{
+    uint32_t start = 0;
+    uint32_t end = 0;
+    bool socket = false;
+};
+
+/** Where an input slot came from. */
+struct SlotOrigin
+{
+    bool socket = false;
+    uint32_t offset = 0;    //!< byte position in the input stream
+};
+
+struct PathState
+{
+    std::array<SymVal, vm::NUM_REGS> regs{};
+    std::map<uint32_t, SymVal> mem;
+    SymFlags flags;
+    std::vector<Constraint> constraints;
+    std::vector<SymRegion> regions;
+    std::vector<uint32_t> retStack;
+    /** Per-block visit counts, indexed by dense block id (memcpy on
+     * fork instead of a node-based map copy). */
+    std::vector<uint8_t> visits;
+};
+
+class TriggerSearch
+{
+  public:
+    explicit TriggerSearch(const Cfg &cfg)
+        : cfg_(cfg), image_(*cfg.image),
+          blockIdxByPc_(cfg.text.size(), NO_BLOCK)
+    {
+        uint32_t idx = 0;
+        for (const auto &[start, bb] : cfg_.blocks)
+            blockIdxByPc_[start / vm::INSN_SIZE] = idx++;
+        nblocks_ = idx;
+    }
+
+    TriggerResult run();
+
+  private:
+    void explore(uint32_t pc, PathState s, int depth);
+    void applyInsn(PathState &s, const Instruction &insn,
+                   uint32_t addr);
+    bool modelSyscall(PathState &s, uint32_t addr);
+    void payloadHit(const PathState &s, uint32_t addr,
+                    const char *syscall, int warn,
+                    std::string resource);
+    int slotFor(PathState &s, uint32_t addr);
+    SymVal loadFrom(PathState &s, uint32_t at, bool byteWide);
+    std::string dataStr(uint32_t addr) const;
+    void computeDominators();
+    std::vector<uint32_t> sliceGuardsFor(uint32_t addr) const;
+
+    const Cfg &cfg_;
+    const vm::Image &image_;
+
+    std::map<std::pair<bool, uint32_t>, int> slotIds_;
+    std::vector<SlotOrigin> slotOrigins_;
+
+    std::map<uint32_t, TriggerHypothesis> hyps_;
+    std::set<uint32_t> unsatisfied_;    //!< sites seen but unsolved
+    uint64_t paths_ = 0;
+    uint64_t steps_ = 0;
+    uint64_t solverIterations_ = 0;
+
+    bool domsComputed_ = false;
+    std::unordered_map<uint32_t, uint32_t> idom_;
+    std::unordered_map<uint32_t, size_t> rpoNum_;
+
+    static constexpr uint32_t NO_BLOCK = UINT32_MAX;
+    /** pc/INSN_SIZE -> dense block id, NO_BLOCK between starts. */
+    std::vector<uint32_t> blockIdxByPc_;
+    uint32_t nblocks_ = 0;
+};
+
+constexpr uint64_t MAX_STEPS = 400000;
+constexpr int MAX_BLOCK_VISITS = 4;
+constexpr int MAX_CALL_DEPTH = 16;
+constexpr int MAX_FORK_DEPTH = 48;
+constexpr uint64_t MAX_PATHS = 2048;
+
+std::string
+TriggerSearch::dataStr(uint32_t addr) const
+{
+    uint32_t base = image_.dataOffset();
+    if (addr < base || addr >= base + image_.data.size())
+        return "";
+    std::string out;
+    for (uint32_t i = addr - base;
+         i < image_.data.size() && out.size() < 64; ++i) {
+        char c = (char)image_.data[i];
+        if (c == '\0')
+            break;
+        out += (c >= 0x20 && c < 0x7f) ? c : '.';
+    }
+    return out;
+}
+
+int
+TriggerSearch::slotFor(PathState &s, uint32_t addr)
+{
+    for (const SymRegion &r : s.regions) {
+        if (addr < r.start || addr >= r.end)
+            continue;
+        auto key = std::make_pair(r.socket, addr - r.start);
+        auto it = slotIds_.find(key);
+        if (it != slotIds_.end())
+            return it->second;
+        int id = (int)slotOrigins_.size();
+        slotIds_.emplace(key, id);
+        slotOrigins_.push_back({r.socket, addr - r.start});
+        return id;
+    }
+    return -1;
+}
+
+SymVal
+TriggerSearch::loadFrom(PathState &s, uint32_t at, bool byteWide)
+{
+    auto it = s.mem.find(at);
+    if (it != s.mem.end())
+        return it->second;
+    if (byteWide) {
+        int slot = slotFor(s, at);
+        if (slot >= 0) {
+            SymVal v;
+            v.k = SymVal::InputByte;
+            v.slot = slot;
+            return v;
+        }
+    } else {
+        // Word-wide loads from input buffers are not modelled as
+        // symbolic; guards in the corpus compare single bytes.
+        for (const SymRegion &r : s.regions)
+            if (at < r.end && r.start < at + 4)
+                return unknownS();
+    }
+    uint32_t base = image_.dataOffset();
+    if (byteWide && at >= base && at < base + image_.data.size())
+        return {SymVal::Const, image_.data[at - base], -1, {}};
+    if (!byteWide && at >= base &&
+        at + 4 <= base + image_.data.size()) {
+        uint32_t w = 0;
+        for (int i = 3; i >= 0; --i)
+            w = (w << 8) | image_.data[at - base + i];
+        return {SymVal::Const, w, -1, {}};
+    }
+    return unknownS();
+}
+
+void
+TriggerSearch::applyInsn(PathState &s, const Instruction &insn,
+                         uint32_t addr)
+{
+    uint32_t idx = addr / INSN_SIZE;
+    bool relocated = cfg_.relocatedIndices.count(idx) != 0;
+    SymVal a = s.regs[(size_t)insn.r1];
+    SymVal b = s.regs[(size_t)insn.r2];
+    auto set = [&](Reg r, SymVal v) { s.regs[(size_t)r] = v; };
+
+    // Apply a constant operation to an input-byte expression.
+    auto chain = [](const SymVal &e, SymOp::K k,
+                    uint32_t imm) -> SymVal {
+        SymVal out = e;
+        out.ops.push_back({k, imm});
+        return out;
+    };
+    // Binary op where one side may be a symbolic byte and the other
+    // a constant; `commutes` says const-op-expr equals expr-op-const.
+    auto binOp = [&](SymOp::K k, auto fold,
+                     bool commutes) -> SymVal {
+        if (a.k == SymVal::Const && b.k == SymVal::Const)
+            return {SymVal::Const, fold(a.v, b.v), -1, {}};
+        if (a.k == SymVal::InputByte && b.k == SymVal::Const)
+            return chain(a, k, b.v);
+        if (commutes && a.k == SymVal::Const &&
+            b.k == SymVal::InputByte)
+            return chain(b, k, a.v);
+        return unknownS();
+    };
+
+    switch (insn.op) {
+    case Opcode::MovRR:
+        set(insn.r1, b);
+        break;
+    case Opcode::MovRI:
+        set(insn.r1, {relocated ? SymVal::DataAddr : SymVal::Const,
+                      (uint32_t)insn.imm, -1, {}});
+        break;
+    case Opcode::Lea:
+        if (b.isAddr())
+            set(insn.r1, {b.k, b.v + (uint32_t)insn.imm, -1, {}});
+        else
+            set(insn.r1, unknownS());
+        break;
+    case Opcode::Load:
+    case Opcode::LoadB:
+        if (b.isAddr())
+            set(insn.r1, loadFrom(s, b.v + (uint32_t)insn.imm,
+                                  insn.op == Opcode::LoadB));
+        else
+            set(insn.r1, unknownS());
+        break;
+    case Opcode::Store:
+    case Opcode::StoreB:
+        if (b.isAddr())
+            s.mem[b.v + (uint32_t)insn.imm] = a;
+        break;
+    case Opcode::Push:
+    case Opcode::PushI:
+        break;
+    case Opcode::Pop:
+        set(insn.r1, unknownS());
+        break;
+    case Opcode::Add:
+        if (a.k == SymVal::DataAddr && b.k == SymVal::Const)
+            set(insn.r1, {SymVal::DataAddr, a.v + b.v, -1, {}});
+        else if (a.k == SymVal::Const && b.k == SymVal::DataAddr)
+            set(insn.r1, {SymVal::DataAddr, a.v + b.v, -1, {}});
+        else
+            set(insn.r1,
+                binOp(SymOp::Add,
+                      [](uint32_t x, uint32_t y) { return x + y; },
+                      true));
+        break;
+    case Opcode::AddI:
+        if (a.isAddr())
+            set(insn.r1, {a.k, a.v + (uint32_t)insn.imm, -1, {}});
+        else if (a.k == SymVal::InputByte)
+            set(insn.r1, chain(a, SymOp::Add, (uint32_t)insn.imm));
+        else
+            set(insn.r1, unknownS());
+        break;
+    case Opcode::Sub:
+        set(insn.r1,
+            binOp(SymOp::Sub,
+                  [](uint32_t x, uint32_t y) { return x - y; },
+                  false));
+        break;
+    case Opcode::And:
+        set(insn.r1,
+            binOp(SymOp::And,
+                  [](uint32_t x, uint32_t y) { return x & y; },
+                  true));
+        break;
+    case Opcode::Or:
+        set(insn.r1,
+            binOp(SymOp::Or,
+                  [](uint32_t x, uint32_t y) { return x | y; },
+                  true));
+        break;
+    case Opcode::Xor:
+        if (insn.r1 == insn.r2)
+            set(insn.r1, {SymVal::Const, 0, -1, {}});
+        else
+            set(insn.r1,
+                binOp(SymOp::Xor,
+                      [](uint32_t x, uint32_t y) { return x ^ y; },
+                      true));
+        break;
+    case Opcode::Mul:
+        set(insn.r1,
+            binOp(SymOp::Mul,
+                  [](uint32_t x, uint32_t y) { return x * y; },
+                  true));
+        break;
+    case Opcode::Shl:
+        if (a.k == SymVal::Const)
+            set(insn.r1, {SymVal::Const, a.v << (insn.imm & 31), -1,
+                          {}});
+        else if (a.k == SymVal::InputByte)
+            set(insn.r1, chain(a, SymOp::Shl, (uint32_t)insn.imm));
+        else
+            set(insn.r1, unknownS());
+        break;
+    case Opcode::Shr:
+        if (a.k == SymVal::Const)
+            set(insn.r1, {SymVal::Const, a.v >> (insn.imm & 31), -1,
+                          {}});
+        else if (a.k == SymVal::InputByte)
+            set(insn.r1, chain(a, SymOp::Shr, (uint32_t)insn.imm));
+        else
+            set(insn.r1, unknownS());
+        break;
+    case Opcode::CpuId:
+        set(Reg::Eax, unknownS());
+        set(Reg::Ebx, unknownS());
+        set(Reg::Ecx, unknownS());
+        set(Reg::Edx, unknownS());
+        break;
+    case Opcode::Native:
+        set(Reg::Eax, unknownS());
+        set(Reg::Ecx, unknownS());
+        set(Reg::Edx, unknownS());
+        break;
+    default:
+        break;
+    }
+}
+
+void
+TriggerSearch::payloadHit(const PathState &s, uint32_t addr,
+                          const char *syscall, int warn,
+                          std::string resource)
+{
+    if (s.constraints.empty())
+        return; // unconditional: not a *triggered* payload
+    if (hyps_.count(addr))
+        return;
+
+    SolveResult sol = solveConstraints(s.constraints);
+    solverIterations_ += sol.iterations;
+    if (!sol.satisfiable || !sol.selective) {
+        unsatisfied_.insert(addr);
+        return;
+    }
+
+    TriggerHypothesis h;
+    h.address = addr;
+    h.syscall = syscall;
+    h.warn = warn;
+    h.resource = std::move(resource);
+    for (const Constraint &c : s.constraints)
+        h.predicates.push_back(c.toString());
+    // Dominators are only needed to anchor a slice, and most images
+    // never produce a hypothesis — compute them on first use.
+    if (!domsComputed_) {
+        computeDominators();
+        domsComputed_ = true;
+    }
+    h.sliceGuards = sliceGuardsFor(addr);
+
+    // Build the witness over the origin stream of the constrained
+    // slots; mixed-origin systems use the first slot's stream.
+    bool socket = false;
+    bool haveOrigin = false;
+    uint32_t maxOff = 0;
+    for (const SlotSolution &ss : sol.slots) {
+        const SlotOrigin &o = slotOrigins_[(size_t)ss.slot];
+        if (!haveOrigin) {
+            socket = o.socket;
+            haveOrigin = true;
+        }
+        if (o.socket == socket)
+            maxOff = std::max(maxOff, o.offset);
+    }
+    h.origin = socket ? "socket" : "stdin";
+    h.witness.assign(maxOff + 1, 0x41);     // 'A' filler
+    for (const SlotSolution &ss : sol.slots) {
+        const SlotOrigin &o = slotOrigins_[(size_t)ss.slot];
+        if (o.socket == socket && ss.value)
+            h.witness[o.offset] = *ss.value;
+    }
+    hyps_.emplace(addr, std::move(h));
+}
+
+/** Interpret one syscall; true when the path ends (exit). */
+bool
+TriggerSearch::modelSyscall(PathState &s, uint32_t addr)
+{
+    SymVal nr = s.regs[(size_t)Reg::Eax];
+    SymVal ebx = s.regs[(size_t)Reg::Ebx];
+    SymVal ecx = s.regs[(size_t)Reg::Ecx];
+    SymVal edx = s.regs[(size_t)Reg::Edx];
+    auto setEax = [&](SymVal v) { s.regs[(size_t)Reg::Eax] = v; };
+
+    if (nr.k != SymVal::Const) {
+        setEax(unknownS());
+        return false;
+    }
+
+    switch (nr.v) {
+    case os::NR_exit:
+        return true;
+    case os::NR_read:
+        if (ebx.k == SymVal::Const && ebx.v == 0 && ecx.isAddr()) {
+            uint32_t n = edx.k == SymVal::Const
+                             ? std::min<uint32_t>(edx.v, 4096)
+                             : 64;
+            s.regions.push_back({ecx.v, ecx.v + n, false});
+        }
+        setEax(unknownS());
+        return false;
+    case os::NR_execve:
+        payloadHit(s, addr, "SYS_execve", 3, dataStr(
+                       ebx.isAddr() ? ebx.v : 0));
+        setEax(unknownS());
+        return false;
+    case os::NR_creat:
+        payloadHit(s, addr, "SYS_creat", 2,
+                   dataStr(ebx.isAddr() ? ebx.v : 0));
+        setEax(unknownS());
+        return false;
+    case os::NR_unlink:
+        payloadHit(s, addr, "SYS_unlink", 2,
+                   dataStr(ebx.isAddr() ? ebx.v : 0));
+        setEax(unknownS());
+        return false;
+    case os::NR_chmod:
+        payloadHit(s, addr, "SYS_chmod", 2,
+                   dataStr(ebx.isAddr() ? ebx.v : 0));
+        setEax(unknownS());
+        return false;
+    case os::NR_write:
+        // Writes to std streams are ordinary output; anything else
+        // (unknown or opened descriptor) is a potential payload.
+        if (!(ebx.k == SymVal::Const && ebx.v <= 2))
+            payloadHit(s, addr, "SYS_write", 2, "");
+        setEax(unknownS());
+        return false;
+    case os::NR_socketcall: {
+        uint32_t op = ebx.k == SymVal::Const ? ebx.v : 0;
+        auto argWord = [&](uint32_t i) -> SymVal {
+            if (!ecx.isAddr())
+                return unknownS();
+            auto it = s.mem.find(ecx.v + i * 4);
+            return it == s.mem.end() ? unknownS() : it->second;
+        };
+        switch (op) {
+        case os::SOCKOP_connect: {
+            SymVal aptr = argWord(1);
+            payloadHit(s, addr, "SYS_connect", 3,
+                       dataStr(aptr.isAddr() ? aptr.v : 0));
+            break;
+        }
+        case os::SOCKOP_send:
+            payloadHit(s, addr, "SYS_send", 2, "");
+            break;
+        case os::SOCKOP_recv: {
+            SymVal buf = argWord(1), len = argWord(2);
+            if (buf.isAddr()) {
+                uint32_t n = len.k == SymVal::Const
+                                 ? std::min<uint32_t>(len.v, 4096)
+                                 : 64;
+                s.regions.push_back({buf.v, buf.v + n, true});
+            }
+            break;
+        }
+        default:
+            break;
+        }
+        setEax(unknownS());
+        return false;
+    }
+    default:
+        setEax(unknownS());
+        return false;
+    }
+}
+
+void
+TriggerSearch::explore(uint32_t pc, PathState s, int depth)
+{
+    while (true) {
+        if (++steps_ > MAX_STEPS || paths_ >= MAX_PATHS)
+            break;
+        if (pc >= cfg_.textSize())
+            break;
+        uint32_t bi = blockIdxByPc_[pc / INSN_SIZE];
+        if (bi != NO_BLOCK && ++s.visits[bi] > MAX_BLOCK_VISITS)
+            break;
+
+        const Instruction &insn = cfg_.insnAt(pc);
+        uint32_t next = pc + INSN_SIZE;
+        switch (insn.op) {
+        case Opcode::Halt:
+            goto done;
+        case Opcode::Jmp:
+            next = (uint32_t)insn.imm;
+            break;
+        case Opcode::Jz:
+        case Opcode::Jnz:
+        case Opcode::Jl:
+        case Opcode::Jge: {
+            uint32_t tgt = (uint32_t)insn.imm;
+            const SymFlags &f = s.flags;
+            if (f.valid && f.lhs.concrete() && f.rhs.concrete()) {
+                bool zf = f.lhs.v == f.rhs.v;
+                bool sf = (int32_t)(f.lhs.v - f.rhs.v) < 0;
+                bool taken = insn.op == Opcode::Jz    ? zf
+                             : insn.op == Opcode::Jnz ? !zf
+                             : insn.op == Opcode::Jl  ? sf
+                                                      : !sf;
+                if (taken)
+                    next = tgt;
+                break;
+            }
+            if (depth >= MAX_FORK_DEPTH)
+                goto done;
+            // Symbolic byte against a constant: both arms, each
+            // with its guard predicate. Taken-arm comparisons
+            // mirror Machine.cc exactly.
+            if (f.valid && f.lhs.k == SymVal::InputByte &&
+                f.rhs.k == SymVal::Const) {
+                CmpOp takenOp = insn.op == Opcode::Jz    ? CmpOp::Eq
+                                : insn.op == Opcode::Jnz ? CmpOp::Ne
+                                : insn.op == Opcode::Jl  ? CmpOp::Lt
+                                                         : CmpOp::Ge;
+                CmpOp fallOp = insn.op == Opcode::Jz    ? CmpOp::Ne
+                               : insn.op == Opcode::Jnz ? CmpOp::Eq
+                               : insn.op == Opcode::Jl  ? CmpOp::Ge
+                                                        : CmpOp::Lt;
+                SymExpr expr{f.lhs.slot, f.lhs.ops};
+                PathState tks = s;
+                tks.constraints.push_back({expr, takenOp, f.rhs.v});
+                explore(tgt, std::move(tks), depth + 1);
+                s.constraints.push_back({expr, fallOp, f.rhs.v});
+                break;  // continue on the fallthrough arm
+            }
+            // Opaque condition: both arms, no predicates.
+            explore(tgt, s, depth + 1);
+            break;
+        }
+        case Opcode::Cmp:
+            s.flags = {true, s.regs[(size_t)insn.r1],
+                       s.regs[(size_t)insn.r2]};
+            break;
+        case Opcode::CmpI:
+            s.flags = {true, s.regs[(size_t)insn.r1],
+                       {SymVal::Const, (uint32_t)insn.imm, -1, {}}};
+            break;
+        case Opcode::Call:
+            if ((int)s.retStack.size() < MAX_CALL_DEPTH) {
+                s.retStack.push_back(next);
+                next = (uint32_t)insn.imm;
+            } else {
+                s.regs[(size_t)Reg::Eax] = unknownS();
+                s.regs[(size_t)Reg::Ecx] = unknownS();
+                s.regs[(size_t)Reg::Edx] = unknownS();
+            }
+            break;
+        case Opcode::CallSym:
+        case Opcode::CallR:
+        case Opcode::Native:
+            s.regs[(size_t)Reg::Eax] = unknownS();
+            s.regs[(size_t)Reg::Ecx] = unknownS();
+            s.regs[(size_t)Reg::Edx] = unknownS();
+            break;
+        case Opcode::Ret:
+            if (s.retStack.empty())
+                goto done;
+            next = s.retStack.back();
+            s.retStack.pop_back();
+            break;
+        case Opcode::Int80:
+            if (modelSyscall(s, pc))
+                goto done;
+            break;
+        default:
+            applyInsn(s, insn, pc);
+            break;
+        }
+        pc = next;
+    }
+done:
+    ++paths_;
+}
+
+/** Immediate dominators (Cooper–Harvey–Kennedy): intersect idom
+ * chains by reverse-postorder number instead of materializing full
+ * dominator sets. The set-based formulation is quadratic in block
+ * count — it alone dominated analyzeImage latency on large images —
+ * while the strict dominators of a block are exactly its idom
+ * chain, so nothing observable changes. */
+void
+TriggerSearch::computeDominators()
+{
+    const BasicBlock *ebb = cfg_.blockAt(image_.entry);
+    if (!ebb)
+        return;
+
+    // Reverse postorder over reachable blocks (iterative DFS).
+    std::vector<uint32_t> post;
+    std::set<uint32_t> seen;
+    std::vector<std::pair<uint32_t, size_t>> stack;
+    stack.emplace_back(ebb->start, 0);
+    seen.insert(ebb->start);
+    while (!stack.empty()) {
+        auto &[b, i] = stack.back();
+        const BasicBlock &bb = cfg_.blocks.at(b);
+        if (i < bb.succs.size()) {
+            uint32_t s = bb.succs[i++];
+            auto it = cfg_.blocks.find(s);
+            if (it != cfg_.blocks.end() && it->second.reachable &&
+                seen.insert(s).second)
+                stack.emplace_back(s, 0);
+        } else {
+            post.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::vector<uint32_t> rpo(post.rbegin(), post.rend());
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpoNum_[rpo[i]] = i;
+
+    auto intersect = [&](uint32_t a, uint32_t b) {
+        while (a != b) {
+            while (rpoNum_.at(a) > rpoNum_.at(b))
+                a = idom_.at(a);
+            while (rpoNum_.at(b) > rpoNum_.at(a))
+                b = idom_.at(b);
+        }
+        return a;
+    };
+
+    idom_[ebb->start] = ebb->start;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : rpo) {
+            if (b == ebb->start)
+                continue;
+            uint32_t nidom = 0;
+            bool have = false;
+            for (uint32_t p : cfg_.blocks.at(b).preds) {
+                if (!idom_.count(p))
+                    continue;
+                nidom = have ? intersect(nidom, p) : p;
+                have = true;
+            }
+            if (!have)
+                continue;
+            auto it = idom_.find(b);
+            if (it == idom_.end() || it->second != nidom) {
+                idom_[b] = nidom;
+                changed = true;
+            }
+        }
+    }
+}
+
+std::vector<uint32_t>
+TriggerSearch::sliceGuardsFor(uint32_t addr) const
+{
+    std::vector<uint32_t> guards;
+    const BasicBlock *bb = cfg_.blockAt(addr);
+    if (!bb)
+        return guards;
+    auto it = idom_.find(bb->start);
+    if (it == idom_.end())
+        return guards;
+    // The strict dominators are the idom chain up to the entry
+    // (which is its own idom).
+    for (uint32_t d = it->second;; d = idom_.at(d)) {
+        if (d != bb->start) {
+            const BasicBlock &db = cfg_.blocks.at(d);
+            const Instruction &last =
+                cfg_.insnAt(db.end - INSN_SIZE);
+            if (last.op == Opcode::Jz || last.op == Opcode::Jnz ||
+                last.op == Opcode::Jl || last.op == Opcode::Jge)
+                guards.push_back(db.end - INSN_SIZE);
+        }
+        if (idom_.at(d) == d)
+            break;
+    }
+    std::sort(guards.begin(), guards.end());
+    return guards;
+}
+
+TriggerResult
+TriggerSearch::run()
+{
+    TriggerResult out;
+    if (!cfg_.blockAt(image_.entry))
+        return out;
+
+    PathState init;
+    init.visits.assign(nblocks_, 0);
+    explore(image_.entry, std::move(init), 0);
+
+    out.pathsExplored = paths_;
+    out.solverIterations = solverIterations_;
+    for (auto &[addr, h] : hyps_)
+        out.hypotheses.push_back(std::move(h));
+    return out;
+}
+
+} // namespace
+
+TriggerResult
+synthesizeTriggers(const Cfg &cfg)
+{
+    if (!cfg.image)
+        return {};
+    TriggerSearch search(cfg);
+    return search.run();
+}
+
+} // namespace hth::analysis

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Trigger-condition synthesis for dormant payloads.
+ *
+ * A trojan that stays quiet until it sees a magic input defeats
+ * dynamic monitoring: the dangerous path never executes under benign
+ * load. This pass explores the image path-sensitively from the entry
+ * point, modelling each byte loaded from an input buffer (read from
+ * stdin, recv from a socket) as a symbolic slot. Every conditional
+ * branch whose flags depend on such a byte contributes a guard
+ * predicate to the current path; when the path reaches a dangerous
+ * syscall (execve / connect / send / write to a non-std descriptor /
+ * creat / unlink / chmod), the accumulated predicate system — the
+ * realized backward slice from the payload to its dominating guards
+ * — is handed to the constraint evaluator (Constraint.hh). If it is
+ * satisfiable and selective, the pass emits a trigger hypothesis
+ * carrying concrete witness bytes that drive the guest down the
+ * dormant path.
+ *
+ * Complementing the path exploration, block dominators are computed
+ * so each hypothesis also names the conditional-branch sites that
+ * dominate its payload (the static slice anchors).
+ */
+
+#ifndef HTH_ANALYSIS_TRIGGER_HH
+#define HTH_ANALYSIS_TRIGGER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/Cfg.hh"
+#include "analysis/Constraint.hh"
+
+namespace hth::analysis
+{
+
+/** A synthesized trigger for one dormant payload site. */
+struct TriggerHypothesis
+{
+    uint32_t address = 0;       //!< payload syscall site
+    std::string syscall;        //!< "SYS_execve", ...
+    int warn = 0;               //!< 3 exec/connect, 2 otherwise
+    std::string origin;         //!< "stdin" or "socket"
+    std::vector<uint8_t> witness;   //!< bytes that fire the trigger
+    std::vector<std::string> predicates;    //!< guard constraints
+    std::vector<uint32_t> sliceGuards;  //!< dominating branch sites
+    std::string resource;       //!< payload argument, if recovered
+};
+
+/** Work counters + results of the synthesis pass. */
+struct TriggerResult
+{
+    std::vector<TriggerHypothesis> hypotheses;  //!< sorted by address
+    uint64_t pathsExplored = 0;
+    uint64_t solverIterations = 0;
+};
+
+/** Explore @p cfg and synthesize trigger inputs for guarded
+ * dangerous syscalls. */
+TriggerResult synthesizeTriggers(const Cfg &cfg);
+
+} // namespace hth::analysis
+
+#endif // HTH_ANALYSIS_TRIGGER_HH

@@ -154,6 +154,9 @@ Hth::collectTelemetry(Report &report)
     set("harrier.short_circuits", hs.shortCircuits);
     set("harrier.images_analyzed", hs.imagesAnalyzed);
     set("harrier.static_findings", hs.staticFindings);
+    set("analysis.functions_summarized", hs.functionsSummarized);
+    set("analysis.paths_explored", hs.pathsExplored);
+    set("analysis.solver_iterations", hs.solverIterations);
 
     const secpert::SecpertStats &sp = secpert_->stats();
     set("secpert.events_analyzed", sp.eventsAnalyzed);

@@ -95,6 +95,10 @@ struct StaticFindingEvent
     std::string syscall;        //!< "SYS_execve", ... (may be empty)
     std::string resource;       //!< recovered argument string
     std::string detail;
+
+    /** TRIGGER_HYPOTHESIS only: synthesized input bytes that drive
+     * the guest down the guarded path. Empty otherwise. */
+    std::vector<uint8_t> witness;
 };
 
 /** Receiver of Harrier events (implemented by Secpert). */

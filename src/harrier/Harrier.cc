@@ -48,6 +48,9 @@ Harrier::imageLoaded(vm::Machine &m, const vm::LoadedImage &img)
 
     analysis::StaticReport report = analysis::analyzeImage(*key);
     stats_.staticFindings += report.findings.size();
+    stats_.functionsSummarized += report.stats.functionsSummarized;
+    stats_.pathsExplored += report.stats.pathsExplored;
+    stats_.solverIterations += report.stats.solverIterations;
     for (const analysis::Finding &f : report.findings) {
         StaticFindingEvent ev;
         ev.imagePath = report.imagePath;
@@ -57,6 +60,7 @@ Harrier::imageLoaded(vm::Machine &m, const vm::LoadedImage &img)
         ev.syscall = f.syscall;
         ev.resource = f.resource;
         ev.detail = f.detail;
+        ev.witness = f.witness;
         sink_.onStaticFinding(ev);
     }
 }

@@ -62,6 +62,9 @@ struct HarrierStats
     uint64_t shortCircuits = 0;
     uint64_t imagesAnalyzed = 0;
     uint64_t staticFindings = 0;
+    uint64_t functionsSummarized = 0;   //!< taint summaries built
+    uint64_t pathsExplored = 0;         //!< trigger-synthesis paths
+    uint64_t solverIterations = 0;      //!< constraint-solver work
 };
 
 /** The run-time monitor. */

@@ -83,7 +83,8 @@ policyDeclarations()
   (slot address (default 0))
   (slot syscall (default NONE))
   (slot resource (default ""))
-  (slot detail (default "")))
+  (slot detail (default ""))
+  (slot witness (default "")))   ; hex-encoded trigger bytes
 
 ;;; Marker so a hybrid static+dynamic rule warns once per image.
 (deftemplate static_warned
@@ -394,6 +395,49 @@ policyRules()
   (hth-warn 2 "static_backdoor_guard" ?pid
     (str-cat "statically flagged guard at " ?addr " in " ?img
              " combined with a live network read")))
+
+;;; A synthesized trigger hypothesis says: *these exact input bytes*
+;;; make the program exec a dormant payload. If the program then
+;;; really does execve, the hypothesis has been borne out — the
+;;; dormant path is live. High-severity warn, once per image.
+(defrule static_trigger_confirmed
+  "synthesized trigger for an exec payload + live execve"
+  (declare (salience 5))
+  (static_finding (image ?img) (kind TRIGGER_HYPOTHESIS)
+                  (level ?lvl) (address ?addr)
+                  (syscall SYS_execve) (witness ?wit)
+                  (detail ?detail))
+  (system_call_access (pid ?pid) (binary ?img)
+                      (system_call_name SYS_execve))
+  (not (static_warned (image ?img) (kind TRIGGER_HYPOTHESIS)))
+  (test (>= ?lvl 2))
+  =>
+  (assert (static_warned (image ?img) (kind TRIGGER_HYPOTHESIS)))
+  (print-warning 3)
+  (printout t "Synthesized trigger for " ?img
+            " confirmed by a live exec" crlf
+            ?*TAB* "witness bytes (hex): " ?wit crlf
+            ?*TAB* ?detail crlf)
+  (hth-warn 3 "static_trigger_confirmed" ?pid
+    (str-cat "trigger hypothesis at " ?addr " in " ?img
+             " confirmed by live execve (witness " ?wit ")")))
+
+;;; Passive corroboration: a statically traced input-to-sink taint
+;;; path whose program is now observed writing tainted data. No warn
+;;; of its own — the dynamic io rules own the verdict — but note the
+;;; agreement in the transcript for the operator.
+(defrule static_taint_corroborated
+  "static taint path + live tainted write from the same image"
+  (declare (salience -5))
+  (static_finding (image ?img) (kind TAINT_PATH) (level ?lvl)
+                  (address ?addr) (syscall ?sys))
+  (system_call_io (pid ?pid) (binary ?img) (direction WRITE))
+  (not (static_warned (image ?img) (kind TAINT_PATH)))
+  (test (>= ?lvl 2))
+  =>
+  (assert (static_warned (image ?img) (kind TAINT_PATH)))
+  (printout t "Static taint path at " ?addr " (" ?sys ") in "
+            ?img " corroborated by live io" crlf))
 
 ;;; ---- Information flow (section 4.3) --------------------------------
 )CLP";

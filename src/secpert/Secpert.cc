@@ -198,7 +198,17 @@ Secpert::onStaticFinding(const harrier::StaticFindingEvent &ev)
     f.syscall = ev.syscall;
     f.resource = ev.resource;
     f.detail = ev.detail;
+    f.witness.assign(ev.witness.begin(), ev.witness.end());
     staticFindings_.push_back(f);
+
+    // Witness bytes go into the fact hex-encoded so the policy side
+    // stays printable regardless of what the solver synthesized.
+    std::string witnessHex;
+    for (uint8_t b : ev.witness) {
+        static const char *digits = "0123456789abcdef";
+        witnessHex.push_back(digits[b >> 4]);
+        witnessHex.push_back(digits[b & 0xf]);
+    }
 
     // Assert a persistent fact; unlike dynamic events it survives
     // runEngine()'s retraction sweep, so rules can later combine it
@@ -216,6 +226,7 @@ Secpert::onStaticFinding(const harrier::StaticFindingEvent &ev)
                                : Value::sym(f.syscall)},
             {"resource", Value::str(f.resource)},
             {"detail", Value::str(f.detail)},
+            {"witness", Value::str(witnessHex)},
         });
 }
 

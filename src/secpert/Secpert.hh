@@ -50,6 +50,7 @@ struct StaticFinding
     std::string syscall;
     std::string resource;
     std::string detail;
+    std::string witness;    //!< raw synthesized trigger bytes
 };
 
 /** The security expert. */

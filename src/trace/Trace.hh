@@ -12,7 +12,7 @@
  *
  *   File   := Header Frame* EndFrame
  *   Header := magic "HTHTRC\n\0" (8 bytes)
- *             u32 version            (currently 1)
+ *             u32 version            (currently 2)
  *             u32 crc32(magic + version)
  *   Frame  := u8  type               (FrameType)
  *             u32 payload length
@@ -38,8 +38,9 @@ namespace hth::trace
 /** File magic: 8 bytes at offset 0. */
 constexpr char MAGIC[8] = {'H', 'T', 'H', 'T', 'R', 'C', '\n', '\0'};
 
-/** Current wire-format version. */
-constexpr uint32_t VERSION = 1;
+/** Current wire-format version. Version 2 added the witness field
+ * to StaticFinding frames. */
+constexpr uint32_t VERSION = 2;
 
 /** Frame discriminator. */
 enum class FrameType : uint8_t

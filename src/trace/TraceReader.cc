@@ -74,6 +74,8 @@ deliverStaticFinding(Cursor &cur, harrier::EventSink &sink)
     ev.syscall = cur.str();
     ev.resource = cur.str();
     ev.detail = cur.str();
+    std::string witness = cur.str();
+    ev.witness.assign(witness.begin(), witness.end());
     cur.expectEnd();
     sink.onStaticFinding(ev);
 }

@@ -176,6 +176,7 @@ TraceWriter::onStaticFinding(const harrier::StaticFindingEvent &ev)
     enc.str(ev.syscall);
     enc.str(ev.resource);
     enc.str(ev.detail);
+    enc.str(std::string(ev.witness.begin(), ev.witness.end()));
     writeFrame(FrameType::StaticFinding, enc.bytes());
     if (downstream_)
         downstream_->onStaticFinding(ev);

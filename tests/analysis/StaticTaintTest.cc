@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Tests for the interprocedural static taint engine and the
+ * trigger-condition synthesis pass:
+ *
+ *  - the constraint evaluator (satisfiable / unsatisfiable /
+ *    masked and arithmetic chains, 32-bit semantics);
+ *  - per-function summary construction and interprocedural flow;
+ *  - the summary engine against the naive exhaustive-path oracle
+ *    on acyclic programs (differential);
+ *  - trigger synthesis end to end: the "updated" daemon's magic
+ *    header is recovered as the "Tk7" witness, fed back to the
+ *    guest, and fires the dormant exec path;
+ *  - the corpus-wide golden sweep: trojaned scenarios carry at
+ *    least one taint-path / trigger-hypothesis finding, benign
+ *    scenarios carry none at MEDIUM or above (false-positive
+ *    guard).
+ */
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "analysis/Analyzer.hh"
+#include "analysis/Cfg.hh"
+#include "analysis/Constraint.hh"
+#include "analysis/Taint.hh"
+#include "analysis/Trigger.hh"
+#include "vm/TextAsm.hh"
+#include "workloads/Exploits.hh"
+#include "workloads/Macro.hh"
+#include "workloads/Micro.hh"
+#include "workloads/Trusted.hh"
+
+namespace hth
+{
+namespace
+{
+
+using analysis::CmpOp;
+using analysis::Constraint;
+using analysis::Finding;
+using analysis::Kind;
+using analysis::StaticReport;
+using analysis::SymExpr;
+using analysis::SymOp;
+using analysis::TaintResult;
+using analysis::TaintSink;
+using analysis::TaintStrategy;
+using analysis::TriggerResult;
+using workloads::runScenario;
+using workloads::Scenario;
+using workloads::ScenarioResult;
+
+analysis::Cfg
+cfgOf(const std::string &src)
+{
+    return analysis::buildCfg(*vm::assemble("/test/prog", src));
+}
+
+Constraint
+makeConstraint(int slot, std::vector<SymOp> ops, CmpOp op,
+               uint32_t rhs)
+{
+    Constraint c;
+    c.expr.slot = slot;
+    c.expr.ops = std::move(ops);
+    c.op = op;
+    c.rhs = rhs;
+    return c;
+}
+
+// ---------------------------------------------------------------
+// Constraint evaluator
+// ---------------------------------------------------------------
+
+TEST(ConstraintSolver, XorChainIsSatisfiableAndSelective)
+{
+    // (in[0] ^ 0x5a) == 0x0e  =>  in[0] == 'T'
+    auto r = analysis::solveConstraints({makeConstraint(
+        0, {{SymOp::K::Xor, 0x5a}}, CmpOp::Eq, 0x0e)});
+    EXPECT_TRUE(r.satisfiable);
+    EXPECT_TRUE(r.selective);
+    ASSERT_EQ(r.slots.size(), 1u);
+    ASSERT_TRUE(r.slots[0].value.has_value());
+    EXPECT_EQ(*r.slots[0].value, 'T');
+    EXPECT_EQ(r.slots[0].satisfyingCount, 1u);
+    EXPECT_GT(r.iterations, 0u);
+}
+
+TEST(ConstraintSolver, ContradictionIsUnsatisfiable)
+{
+    auto r = analysis::solveConstraints(
+        {makeConstraint(0, {}, CmpOp::Eq, 1),
+         makeConstraint(0, {}, CmpOp::Eq, 2)});
+    EXPECT_FALSE(r.satisfiable);
+}
+
+TEST(ConstraintSolver, ArithmeticIs32BitNotByteWrapped)
+{
+    // in[0] + 200 ranges over [200, 455] in 32-bit arithmetic:
+    // there is no wrap back to 100 (a byte-wrapped solver would
+    // wrongly report in[0] == 156).
+    auto r = analysis::solveConstraints(
+        {makeConstraint(0, {{SymOp::K::Add, 200}}, CmpOp::Eq, 100)});
+    EXPECT_FALSE(r.satisfiable);
+}
+
+TEST(ConstraintSolver, MaskedCompareCountsAllSatisfyingBytes)
+{
+    // (in[0] & 0x80) == 0x80: half the byte space satisfies it, so
+    // it is satisfiable but far too unselective to be a trigger.
+    auto r = analysis::solveConstraints({makeConstraint(
+        0, {{SymOp::K::And, 0x80}}, CmpOp::Eq, 0x80)});
+    EXPECT_TRUE(r.satisfiable);
+    EXPECT_FALSE(r.selective);
+    ASSERT_EQ(r.slots.size(), 1u);
+    EXPECT_EQ(r.slots[0].satisfyingCount, 128u);
+}
+
+TEST(ConstraintSolver, ShiftsMaskTheCountLikeTheMachine)
+{
+    // Machine.cc masks shift counts with & 31, so in[0] << 32 is
+    // in[0] << 0: satisfied exactly by in[0] == 7.
+    auto r = analysis::solveConstraints(
+        {makeConstraint(0, {{SymOp::K::Shl, 32}}, CmpOp::Eq, 7)});
+    EXPECT_TRUE(r.satisfiable);
+    ASSERT_TRUE(r.slots[0].value.has_value());
+    EXPECT_EQ(*r.slots[0].value, 7);
+}
+
+// ---------------------------------------------------------------
+// Interprocedural summaries
+// ---------------------------------------------------------------
+
+// Input flows through a callee into a caller-side sink: get_input
+// reads stdin into buf; main writes buf to a hard-coded file.
+const char *const INTERPROC = R"(
+    .entry main
+    .space buf 16
+    .data outfile "logfile"
+    main:
+        call get_input
+        movi eax, 8
+        lea  ebx, outfile
+        int80
+        mov  ebp, eax
+        movi eax, 4
+        mov  ebx, ebp
+        lea  ecx, buf
+        movi edx, 16
+        int80
+        movi eax, 1
+        movi ebx, 0
+        int80
+    get_input:
+        movi eax, 3
+        movi ebx, 0
+        lea  ecx, buf
+        movi edx, 16
+        int80
+        ret
+)";
+
+TEST(TaintSummary, StdinReachesFileSinkAcrossCall)
+{
+    TaintResult r =
+        analysis::runTaint(cfgOf(INTERPROC), TaintStrategy::Summary);
+    ASSERT_FALSE(r.sinks.empty());
+    const TaintSink *write = nullptr;
+    for (const TaintSink &s : r.sinks)
+        if (s.syscall == "SYS_write")
+            write = &s;
+    ASSERT_NE(write, nullptr);
+    EXPECT_TRUE(write->sourceMask & analysis::T_STDIN)
+        << write->detail;
+    EXPECT_EQ(write->warn, 3);
+    // Both main and get_input were summarized.
+    EXPECT_GE(r.stats.functionsSummarized, 2u);
+}
+
+TEST(TaintSummary, SinksAreDeterministicallyOrdered)
+{
+    TaintResult r =
+        analysis::runTaint(cfgOf(INTERPROC), TaintStrategy::Summary);
+    EXPECT_TRUE(std::is_sorted(
+        r.sinks.begin(), r.sinks.end(),
+        [](const TaintSink &a, const TaintSink &b) {
+            return std::tie(a.address, a.syscall) <
+                   std::tie(b.address, b.syscall);
+        }));
+}
+
+// ---------------------------------------------------------------
+// Differential: summary engine vs naive exhaustive-path oracle
+// ---------------------------------------------------------------
+
+/** (address, syscall, warn) triples for whole-set comparison. */
+std::set<std::tuple<uint32_t, std::string, int>>
+sinkSet(const TaintResult &r)
+{
+    std::set<std::tuple<uint32_t, std::string, int>> out;
+    for (const TaintSink &s : r.sinks)
+        out.insert({s.address, s.syscall, s.warn});
+    return out;
+}
+
+void
+expectStrategiesAgree(const analysis::Cfg &cfg, const char *what)
+{
+    TaintResult summary =
+        analysis::runTaint(cfg, TaintStrategy::Summary);
+    TaintResult naive =
+        analysis::runTaint(cfg, TaintStrategy::NaivePaths);
+    EXPECT_EQ(sinkSet(summary), sinkSet(naive)) << what;
+    EXPECT_GT(naive.stats.pathsExplored, 0u) << what;
+}
+
+TEST(TaintDifferential, SummaryMatchesNaiveOnAcyclicPrograms)
+{
+    expectStrategiesAgree(cfgOf(INTERPROC), "interproc");
+
+    expectStrategiesAgree(cfgOf(R"(
+        .entry main
+        .space buf 8
+        .data sh "/bin/sh"
+        main:
+            movi eax, 3
+            movi ebx, 0
+            lea  ecx, buf
+            movi edx, 8
+            int80
+            lea  esi, buf
+            loadb eax, [esi]
+            cmpi eax, 120
+            jnz  done
+            movi eax, 11
+            lea  ebx, sh
+            int80
+        done:
+            movi eax, 1
+            movi ebx, 0
+            int80
+    )"),
+                          "guarded execve");
+
+    expectStrategiesAgree(
+        analysis::buildCfg(*workloads::makeUpdatedImage()),
+        "updated daemon");
+}
+
+// ---------------------------------------------------------------
+// Trigger synthesis
+// ---------------------------------------------------------------
+
+TEST(TriggerSynthesis, UpdatedDaemonYieldsTk7Witness)
+{
+    TriggerResult r = analysis::synthesizeTriggers(
+        analysis::buildCfg(*workloads::makeUpdatedImage()));
+    ASSERT_EQ(r.hypotheses.size(), 1u);
+    const auto &h = r.hypotheses[0];
+    EXPECT_EQ(h.syscall, "SYS_execve");
+    EXPECT_EQ(h.warn, 3);
+    EXPECT_EQ(h.origin, "stdin");
+    ASSERT_EQ(h.witness.size(), 3u);
+    EXPECT_EQ(std::string(h.witness.begin(), h.witness.end()), "Tk7");
+    // One predicate per guard byte, one dominating branch per guard.
+    EXPECT_EQ(h.predicates.size(), 3u);
+    EXPECT_EQ(h.sliceGuards.size(), 3u);
+    EXPECT_TRUE(
+        std::is_sorted(h.sliceGuards.begin(), h.sliceGuards.end()));
+    EXPECT_GT(r.solverIterations, 0u);
+    EXPECT_GT(r.pathsExplored, 0u);
+}
+
+TEST(TriggerSynthesis, DisequalityGuardIsNotSelective)
+{
+    // The payload fires for every byte except 'c' — 255 of 256
+    // inputs. That is ordinary command dispatch, not a trigger.
+    TriggerResult r = analysis::synthesizeTriggers(cfgOf(R"(
+        .entry main
+        .space buf 8
+        .data sh "/bin/sh"
+        main:
+            movi eax, 3
+            movi ebx, 0
+            lea  ecx, buf
+            movi edx, 8
+            int80
+            lea  esi, buf
+            loadb eax, [esi]
+            cmpi eax, 99
+            jz   skip
+            movi eax, 11
+            lea  ebx, sh
+            int80
+        skip:
+            movi eax, 1
+            movi ebx, 0
+            int80
+    )"));
+    EXPECT_TRUE(r.hypotheses.empty());
+}
+
+TEST(TriggerSynthesis, EqualityGuardedExecveIsSynthesized)
+{
+    TriggerResult r = analysis::synthesizeTriggers(cfgOf(R"(
+        .entry main
+        .space buf 8
+        .data sh "/bin/sh"
+        main:
+            movi eax, 3
+            movi ebx, 0
+            lea  ecx, buf
+            movi edx, 8
+            int80
+            lea  esi, buf
+            loadb eax, [esi]
+            cmpi eax, 120
+            jnz  skip
+            movi eax, 11
+            lea  ebx, sh
+            int80
+        skip:
+            movi eax, 1
+            movi ebx, 0
+            int80
+    )"));
+    ASSERT_EQ(r.hypotheses.size(), 1u);
+    ASSERT_EQ(r.hypotheses[0].witness.size(), 1u);
+    EXPECT_EQ(r.hypotheses[0].witness[0], 'x');
+}
+
+// ---------------------------------------------------------------
+// Report integration: ordering and finding kinds
+// ---------------------------------------------------------------
+
+TEST(ReportOrdering, FindingsSortByAddressThenKind)
+{
+    StaticReport report =
+        analysis::analyzeImage(*workloads::makeUpdatedImage());
+    EXPECT_TRUE(std::is_sorted(
+        report.findings.begin(), report.findings.end(),
+        [](const Finding &a, const Finding &b) {
+            return std::tie(a.address, a.kind) <
+                   std::tie(b.address, b.kind);
+        }));
+    bool trigger = false;
+    for (const Finding &f : report.findings)
+        trigger |= f.kind == Kind::TriggerHypothesis;
+    EXPECT_TRUE(trigger);
+    EXPECT_GT(report.stats.functionsSummarized, 0u);
+    EXPECT_GT(report.stats.solverIterations, 0u);
+}
+
+// ---------------------------------------------------------------
+// Corpus golden sweep
+// ---------------------------------------------------------------
+
+std::vector<Scenario>
+allScenarios()
+{
+    std::vector<Scenario> all;
+    for (auto &s : workloads::executionFlowScenarios())
+        all.push_back(std::move(s));
+    for (auto &s : workloads::resourceAbuseScenarios())
+        all.push_back(std::move(s));
+    for (auto &s : workloads::infoFlowScenarios())
+        all.push_back(std::move(s));
+    for (auto &s : workloads::trustedProgramScenarios())
+        all.push_back(std::move(s));
+    for (auto &s : workloads::exploitScenarios())
+        all.push_back(std::move(s));
+    for (auto &s : workloads::macroScenarios())
+        all.push_back(std::move(s));
+    return all;
+}
+
+size_t
+taintFindings(const Report &report, int min_level)
+{
+    size_t n = 0;
+    for (const auto &f : report.staticFindings)
+        if ((f.kind == "TAINT_PATH" ||
+             f.kind == "TRIGGER_HYPOTHESIS") &&
+            f.level >= min_level)
+            ++n;
+    return n;
+}
+
+TEST(CorpusGolden, TrojanedImagesCarryTaintOrTriggerFindings)
+{
+    // Purely behavioural trojans (fork bombs, resource abusers)
+    // have no input-to-sink flow for the static pass to find; the
+    // dynamic monitor owns those. xeyes warns on resource
+    // provenance alone (hard-coded remote display), also not a
+    // data flow.
+    const std::set<std::string> behavioural = {
+        "fork: loop forker", "fork: tree forker",
+        "mw2.2.1 (fork flood)", "superforker", "xeyes"};
+    for (const Scenario &s : allScenarios()) {
+        if (!s.expectMalicious || behavioural.count(s.id))
+            continue;
+        ScenarioResult r = runScenario(s);
+        EXPECT_GE(taintFindings(r.report, 0), 1u)
+            << s.id << ": trojaned image has no static taint-path"
+            << " or trigger-hypothesis finding";
+    }
+}
+
+TEST(CorpusGolden, BenignImagesHaveNoMediumTaintFindings)
+{
+    for (const Scenario &s : allScenarios()) {
+        // "updated (dormant)" is the one intentionally-dirty benign
+        // run: same trojaned image, benign input.
+        if (s.expectMalicious || s.disableTaint ||
+            s.id == "updated (dormant)")
+            continue;
+        ScenarioResult r = runScenario(s);
+        EXPECT_EQ(taintFindings(r.report, 2), 0u)
+            << s.id << ": benign image flagged at MEDIUM or above";
+    }
+}
+
+TEST(CorpusGolden, PureTrustedProgramsAreCompletelyClean)
+{
+    const std::set<std::string> pure = {"ls",   "column", "awk",
+                                        "pico", "tail",   "diff",
+                                        "wc",   "bc"};
+    for (const Scenario &s : allScenarios()) {
+        if (!pure.count(s.id))
+            continue;
+        ScenarioResult r = runScenario(s);
+        EXPECT_EQ(taintFindings(r.report, 0), 0u)
+            << s.id << ": trusted program has taint findings";
+    }
+}
+
+// ---------------------------------------------------------------
+// End to end: the synthesized witness wakes the dormant path
+// ---------------------------------------------------------------
+
+TEST(TriggerEndToEnd, WitnessFedToGuestFiresDormantPath)
+{
+    Scenario dormant;
+    for (Scenario &s : workloads::exploitScenarios())
+        if (s.id == "updated (dormant)")
+            dormant = std::move(s);
+    ASSERT_FALSE(dormant.id.empty());
+
+    // Benign input: the backdoor stays dormant, no warning fires,
+    // but the static pass reports the trigger hypothesis.
+    ScenarioResult quiet = runScenario(dormant);
+    EXPECT_FALSE(quiet.flagged);
+    std::string witness;
+    for (const auto &f : quiet.report.staticFindings)
+        if (f.kind == "TRIGGER_HYPOTHESIS")
+            witness = f.witness;
+    ASSERT_FALSE(witness.empty());
+    EXPECT_EQ(witness, "Tk7");
+
+    // Feed the witness back in: the dormant exec path executes and
+    // the hybrid static+dynamic rule raises HIGH.
+    Scenario triggered = dormant;
+    triggered.stdinData = witness;
+    triggered.expectMalicious = true;
+    ScenarioResult fired = runScenario(triggered);
+    EXPECT_TRUE(fired.flagged);
+    EXPECT_GE((int)fired.report.maxSeverity(),
+              (int)secpert::Severity::High);
+    EXPECT_NE(fired.report.transcript.find("confirmed by a live exec"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace hth
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
