@@ -78,15 +78,19 @@ struct GuestRun
     uint64_t instructions = 0;
     uint64_t blockCacheHits = 0;
     uint64_t blockCacheMisses = 0;
+    uint64_t superblockInsns = 0;
+    uint64_t superblockDeopts = 0;
 };
 
 /** Run the guest; returns executed instructions + cache behaviour. */
 GuestRun
-runGuest(bool monitored, bool taint, bool telemetry)
+runGuest(bool monitored, bool taint, bool telemetry,
+         bool superblocks = true)
 {
     HthOptions options;
     options.taintTracking = taint;
     options.telemetry = telemetry;
+    options.superblocks = superblocks;
     Hth hth(options);
     if (!monitored) {
         // Detach Harrier: raw kernel + VM only.
@@ -103,20 +107,27 @@ runGuest(bool monitored, bool taint, bool telemetry)
         bench::telemetryCounter(report, "vm.block_cache.hits");
     run.blockCacheMisses =
         bench::telemetryCounter(report, "vm.block_cache.misses");
+    run.superblockInsns = bench::telemetryCounter(
+        report, "vm.dispatch.superblock_insns");
+    run.superblockDeopts =
+        bench::telemetryCounter(report, "vm.superblock.deopts");
     return run;
 }
 
 /** Shared body of the VM benches. */
 void
 runVmBench(benchmark::State &state, bool monitored, bool taint,
-           bool telemetry = true)
+           bool telemetry = true, bool superblocks = true)
 {
     GuestRun total;
     for (auto _ : state) {
-        GuestRun run = runGuest(monitored, taint, telemetry);
+        GuestRun run =
+            runGuest(monitored, taint, telemetry, superblocks);
         total.instructions += run.instructions;
         total.blockCacheHits += run.blockCacheHits;
         total.blockCacheMisses += run.blockCacheMisses;
+        total.superblockInsns += run.superblockInsns;
+        total.superblockDeopts += run.superblockDeopts;
     }
     state.counters["guest_insns/s"] = benchmark::Counter(
         (double)total.instructions, benchmark::Counter::kIsRate);
@@ -124,6 +135,12 @@ runVmBench(benchmark::State &state, bool monitored, bool taint,
     // cached-vs-uncached dispatch ratio of the PIN-style code cache.
     state.counters["bb_cache_hit%"] = bench::hitRatePercent(
         total.blockCacheHits, total.blockCacheMisses);
+    // Trace-dispatch coverage: share of guest instructions retired
+    // inside linked superblocks rather than by generic dispatch.
+    state.counters["sb_insn%"] =
+        100.0 * (double)total.superblockInsns /
+        (double)std::max<uint64_t>(1, total.instructions);
+    state.counters["sb_deopts"] = (double)total.superblockDeopts;
 }
 
 void
@@ -155,6 +172,16 @@ BM_VmTaintNoTelemetry(benchmark::State &state)
     runVmBench(state, true, true, false);
 }
 BENCHMARK(BM_VmTaintNoTelemetry);
+
+/** BM_VmTaint with the trace-linking engine disabled: the ablation
+ * baseline, so BM_VmTaintNoSuperblocks / BM_VmTaint is the win from
+ * superblock formation + threaded dispatch alone. */
+void
+BM_VmTaintNoSuperblocks(benchmark::State &state)
+{
+    runVmBench(state, true, true, true, false);
+}
+BENCHMARK(BM_VmTaintNoSuperblocks);
 
 void
 BM_TagStoreUnion(benchmark::State &state)

@@ -128,6 +128,7 @@ usage()
         "  --tick-budget N    cap every session at N virtual ticks\n"
         "  --trace-dir DIR    record one event trace per session\n"
         "  --replay FILE      re-analyze a recorded trace and exit\n"
+        "  --no-superblocks   disable the trace-linking VM engine\n"
         "  --summary-only     suppress per-session result lines\n"
         "  --stats-json FILE  write fleet telemetry as JSON lines\n"
         "  --stats-interval N progress line to stderr every N s\n"
@@ -144,6 +145,7 @@ run(int argc, char **argv)
     std::string stats_json;
     unsigned stats_interval = 0;
     bool summary_only = false;
+    HthOptions session_options;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -165,6 +167,8 @@ run(int argc, char **argv)
             trace_dir = value();
         } else if (arg == "--replay") {
             return replayTrace(value());
+        } else if (arg == "--no-superblocks") {
+            session_options.superblocks = false;
         } else if (arg == "--summary-only") {
             summary_only = true;
         } else if (arg == "--stats-json") {
@@ -235,7 +239,7 @@ run(int argc, char **argv)
         if (!trace_dir.empty())
             trace_path =
                 trace_dir + "/" + sanitize(s->id) + ".hthtrc";
-        service.submit(toFleetJob(*s, {}, trace_path));
+        service.submit(toFleetJob(*s, session_options, trace_path));
     }
     fleet::FleetReport report = service.finish();
     if (stats_thread.joinable()) {

@@ -3,7 +3,8 @@
 # Record a benchmark suite into a BENCH_*.json artifact.
 #
 #   scripts/bench_record.sh [-o BENCH_PR2.json] [-b <git-ref>]
-#                           [-r repetitions] [-t bench_target]...
+#                           [-r repetitions] [-p passes]
+#                           [-t bench_target]...
 #
 #   scripts/bench_record.sh -t bench_fleet -o BENCH_PR3.json
 #   scripts/bench_record.sh -t bench_perf -t bench_fleet -o BENCH_PR5.json
@@ -13,9 +14,11 @@
 # --benchmark_format=json, and writes a summary JSON containing the
 # median wall time and counters per benchmark. With -b, the given
 # git ref is built in a temporary worktree and benchmarked
-# INTERLEAVED with the current tree (run pairs back to back), so CPU
-# frequency drift cancels out of the reported speedups; the output
-# then carries both "baseline" and "current" sections plus ratios.
+# INTERLEAVED with the current tree (-p alternating pass pairs,
+# default 2, back to back), so CPU frequency drift cancels out of
+# the reported speedups; the output then carries both "baseline"
+# and "current" sections plus ratios. More, shorter passes (-p 4
+# -r 3) cancel drift at a finer grain than the default.
 #
 # Wall-clock comparisons against numbers recorded on another day or
 # another machine are meaningless — always re-record the baseline.
@@ -27,13 +30,15 @@ cd "$(dirname "$0")/.."
 out=BENCH_PR2.json
 baseline_ref=""
 reps=5
+passes=2
 targets=()
 
-while getopts "o:b:r:t:" opt; do
+while getopts "o:b:r:p:t:" opt; do
     case $opt in
       o) out=$OPTARG ;;
       b) baseline_ref=$OPTARG ;;
       r) reps=$OPTARG ;;
+      p) passes=$OPTARG ;;
       t) targets+=("$OPTARG") ;;
       *) exit 2 ;;
     esac
@@ -77,24 +82,24 @@ if [ -n "$baseline_ref" ]; then
 fi
 
 tmp=$(mktemp -d)
-echo "running current ($reps repetitions)..."
-run_bench build-bench "$tmp/current"
 if [ -n "$baseline_ref" ]; then
-    echo "running baseline ($reps repetitions, interleaved)..."
-    run_bench "$baseline_wt/build-bench" "$tmp/baseline"
-    # Second interleaved pass: medians over both passes absorb any
-    # frequency-scaling step between the two runs above.
-    run_bench build-bench "$tmp/current2"
-    run_bench "$baseline_wt/build-bench" "$tmp/baseline2"
+    # Alternating pass pairs: medians pooled over every pass absorb
+    # frequency-scaling steps between any two runs.
+    for pass in $(seq 1 "$passes"); do
+        echo "pass $pass/$passes: current ($reps repetitions)..."
+        run_bench build-bench "$tmp/current$pass"
+        echo "pass $pass/$passes: baseline (interleaved)..."
+        run_bench "$baseline_wt/build-bench" "$tmp/baseline$pass"
+    done
+else
+    echo "running current ($reps repetitions)..."
+    run_bench build-bench "$tmp/current1"
 fi
 
 args=(--out "$out")
-for f in "$tmp"/current.*.json; do args+=(--current "$f"); done
+for f in "$tmp"/current*.json; do args+=(--current "$f"); done
 if [ -n "$baseline_ref" ]; then
-    for f in "$tmp"/current2.*.json; do args+=(--current "$f"); done
-    for f in "$tmp"/baseline.*.json "$tmp"/baseline2.*.json; do
-        args+=(--baseline "$f")
-    done
+    for f in "$tmp"/baseline*.json; do args+=(--baseline "$f"); done
     args+=(--baseline-ref "$baseline_ref")
 fi
 python3 scripts/bench_summarize.py "${args[@]}"

@@ -11,6 +11,7 @@ machine-speed drift.
 
 import argparse
 import json
+import os
 import statistics
 
 
@@ -67,7 +68,9 @@ def main():
     args = ap.parse_args()
 
     current = summarise(load_runs(args.current))
-    doc = {"current": current}
+    # Always record the machine's core count: scaling curves (e.g.
+    # bench_fleet's worker sweep) are meaningless without it.
+    doc = {"hw_cores": os.cpu_count(), "current": current}
 
     if args.baseline:
         baseline = summarise(load_runs(args.baseline))

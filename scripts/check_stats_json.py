@@ -79,6 +79,27 @@ def main():
     if counters["fleet.sessions"] != fleet["sessions"]:
         fail("counter fleet.sessions disagrees with fleet record")
 
+    # The trace-engine counters must always be present so the
+    # ablation is observable; zero values are legal (engine off, or
+    # no loop ever got hot).
+    for name in ("vm.superblock.formed", "vm.superblock.entered",
+                 "vm.superblock.deopts", "vm.superblock.chained_exits",
+                 "vm.dispatch.superblock_insns",
+                 "vm.dispatch.generic_insns"):
+        if name not in counters:
+            fail(f"missing counter '{name}'")
+    gauges = {g["name"]: g["value"]
+              for g in by_type.get("gauge", [])}
+    if "vm.dispatch.threaded" not in gauges:
+        fail("missing gauge 'vm.dispatch.threaded'")
+    if gauges["vm.dispatch.threaded"] not in (0, 1):
+        fail("gauge 'vm.dispatch.threaded' must be 0 or 1")
+    sb = counters["vm.dispatch.superblock_insns"]
+    generic = counters["vm.dispatch.generic_insns"]
+    if sb + generic != counters["vm.instructions"]:
+        fail(f"dispatch split {sb}+{generic} != vm.instructions "
+             f"{counters['vm.instructions']}")
+
     print(f"check_stats_json: OK ({len(records)} records, "
           f"{fleet['sessions']} sessions, "
           f"{len(counters)} counters)")

@@ -20,6 +20,7 @@ Hth::Hth(HthOptions options) : options_(std::move(options))
 {
     kernel_ = std::make_unique<os::Kernel>();
     kernel_->setTaintTracking(options_.taintTracking);
+    kernel_->setSuperblocks(options_.superblocks);
     kernel_->setProcessLimit(options_.processLimit);
     libc_ = os::installLibc(*kernel_);
 
@@ -104,6 +105,12 @@ Hth::collectTelemetry(Report &report)
         vmTotals.blockCacheInvalidations +=
             ms.blockCacheInvalidations;
         vmTotals.insnsDecoded += ms.insnsDecoded;
+        vmTotals.superblocksFormed += ms.superblocksFormed;
+        vmTotals.superblockEntries += ms.superblockEntries;
+        vmTotals.superblockChainedExits +=
+            ms.superblockChainedExits;
+        vmTotals.superblockDeopts += ms.superblockDeopts;
+        vmTotals.superblockInsns += ms.superblockInsns;
         const taint::ShadowStats &ss = p->machine.shadow().stats();
         shadowTotals.pagesMaterialized += ss.pagesMaterialized;
         shadowTotals.emptyReadSkips += ss.emptyReadSkips;
@@ -118,6 +125,20 @@ Hth::collectTelemetry(Report &report)
     set("vm.block_cache.invalidations",
         vmTotals.blockCacheInvalidations);
     set("vm.block_cache.insns_decoded", vmTotals.insnsDecoded);
+    set("vm.superblock.formed", vmTotals.superblocksFormed);
+    set("vm.superblock.entered", vmTotals.superblockEntries);
+    set("vm.superblock.chained_exits",
+        vmTotals.superblockChainedExits);
+    set("vm.superblock.deopts", vmTotals.superblockDeopts);
+    // Dispatch split: instructions retired inside linked traces vs
+    // by the generic decode-dispatch loop. Their sum is always
+    // vm.instructions; the threaded gauge records which dispatch
+    // mechanism the build compiled in (1 = computed goto).
+    set("vm.dispatch.superblock_insns", vmTotals.superblockInsns);
+    set("vm.dispatch.generic_insns",
+        vmTotals.instructions - vmTotals.superblockInsns);
+    metrics_.gauge("vm.dispatch.threaded")
+        .set(vm::Machine::threadedDispatch() ? 1 : 0);
     set("taint.shadow.pages_materialized",
         shadowTotals.pagesMaterialized);
     set("taint.shadow.empty_read_skips",

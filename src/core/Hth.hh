@@ -42,6 +42,12 @@ struct HthOptions
     /** Instruction-level data-flow tracking (§7.3). */
     bool taintTracking = true;
 
+    /** Trace-linking VM engine: chain hot basic blocks into
+     * superblocks with threaded dispatch and untainted-fast-path
+     * specialization. Behaviour-neutral (identical Reports either
+     * way); off is the ablation baseline for benchmarks. */
+    bool superblocks = true;
+
     harrier::HarrierConfig harrier;
     secpert::PolicyConfig policy;
 

@@ -73,15 +73,26 @@ void
 Harrier::basicBlock(vm::Machine &m, uint32_t pc)
 {
     ++stats_.bbCallbacks;
-    auto it = machineMons_.find(&m);
-    if (it == machineMons_.end())
-        return;
-    ProcMon &mon = *it->second;
+    ProcMon *monp = lastMon_;
+    if (&m != lastMachine_) {
+        auto it = machineMons_.find(&m);
+        if (it == machineMons_.end())
+            return;
+        lastMachine_ = &m;
+        lastMon_ = monp = it->second;
+    }
+    ProcMon &mon = *monp;
     if (!mon.appImg)
         mon.appImg = m.appImage();
     if (!mon.appImg || !mon.appImg->containsText(pc))
         return; // shared-object code: keep the last application BB
-    ++mon.bbCount[pc];
+    if (pc == mon.lastCountPc && mon.lastCountSlot) {
+        ++*mon.lastCountSlot;
+    } else {
+        mon.lastCountSlot = &mon.bbCount[pc];
+        mon.lastCountPc = pc;
+        ++*mon.lastCountSlot;
+    }
     mon.lastAppBb = pc;
 }
 
@@ -109,6 +120,8 @@ Harrier::processStarted(os::Kernel &k, os::Process &p)
     ProcMon &mon = procs_[p.pid];
     mon = ProcMon{};
     machineMons_[&p.machine] = &mon;
+    lastMachine_ = nullptr;
+    lastMon_ = nullptr;
 }
 
 void
@@ -117,6 +130,8 @@ Harrier::processExited(os::Kernel &k, os::Process &p, int code)
     (void)k;
     (void)code;
     machineMons_.erase(&p.machine);
+    lastMachine_ = nullptr;
+    lastMon_ = nullptr;
 }
 
 //

@@ -111,6 +111,13 @@ class Harrier : public vm::Instrumentor, public os::Monitor
     struct ProcMon
     {
         std::unordered_map<uint32_t, uint64_t> bbCount;
+        /** Count slot of the most recent application BB: a loop
+         * re-enters one block millions of times, so the repeat hit
+         * increments through this pointer instead of re-hashing
+         * (slots are stable inside bbCount). Reset with the map by
+         * `mon = ProcMon{}` on (re)start. */
+        uint32_t lastCountPc = 0;
+        uint64_t *lastCountSlot = nullptr;
         uint32_t lastAppBb = 0;
         taint::TagSetId pendingNameTags = taint::TagStore::EMPTY;
         /** Application image, resolved lazily on the first BB after
@@ -130,6 +137,13 @@ class Harrier : public vm::Instrumentor, public os::Monitor
     /** One hash lookup per BB callback: machine straight to its
      * monitor record (ProcMon nodes are stable inside procs_). */
     std::unordered_map<const vm::Machine *, ProcMon *> machineMons_;
+
+    /** Last machine resolved through machineMons_: consecutive BB
+     * callbacks come overwhelmingly from one machine (a scheduler
+     * quantum), so the repeat case is a pointer compare. Cleared on
+     * any process lifecycle change. */
+    const vm::Machine *lastMachine_ = nullptr;
+    ProcMon *lastMon_ = nullptr;
 
     /** Images already pre-screened (one analysis per Image). */
     std::set<const vm::Image *> analyzedImages_;

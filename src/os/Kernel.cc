@@ -186,6 +186,7 @@ Kernel::spawn(const std::string &path,
     proc->ppid = 0;
     proc->startTime = time_;
     proc->machine.setTaintTracking(trackTaint_);
+    proc->machine.setSuperblocks(superblocks_);
     proc->machine.setInstrumentor(instrumentor_);
     setupStdio(*proc);
     loadProcessImages(*proc, path, node->binary);
@@ -251,7 +252,7 @@ Kernel::run(uint64_t max_ticks)
     obs::PhaseScope vm(profiler_, obs::Phase::VmExecute);
     const uint64_t deadline = time_ + max_ticks;
     while (time_ < deadline) {
-        bool any_live = false;
+        size_t live = 0;
         bool any_runnable = false;
         for (auto &p : processes_) {
             if (p->state == ProcState::Blocked) {
@@ -264,11 +265,11 @@ Kernel::run(uint64_t max_ticks)
                 }
             }
             if (p->state != ProcState::Zombie)
-                any_live = true;
+                ++live;
             if (p->state == ProcState::Runnable)
                 any_runnable = true;
         }
-        if (!any_live)
+        if (live == 0)
             return RunStatus::Done;
         if (!any_runnable) {
             // Everything is blocked: jump time to the next sleeper.
@@ -287,20 +288,29 @@ Kernel::run(uint64_t max_ticks)
             if (p.state != ProcState::Runnable)
                 continue;
             ++stats_.contextSwitches;
-            runQuantum(p);
+            // A lone process cannot be preempted and cannot wake
+            // anyone: slicing it into QUANTUM-sized runs is pure
+            // scheduler overhead (and forces the VM to pause hot
+            // traces every QUANTUM instructions). Hand it the whole
+            // remaining tick budget instead — runQuantum bails the
+            // moment a fork/spawn ends the solo guarantee, and time
+            // advances by executed instructions either way, so every
+            // event timestamp is identical. With company present the
+            // round-robin QUANTUM cadence is unchanged.
+            runQuantum(p, live == 1 ? deadline - time_ : QUANTUM);
         }
     }
     return RunStatus::TickLimit;
 }
 
 void
-Kernel::runQuantum(Process &p)
+Kernel::runQuantum(Process &p, uint64_t budget)
 {
     // Let the machine burn through whole decoded blocks and only
     // come back when the kernel must act; ticks advance in bulk by
     // the retired-instruction count (one tick per instruction, as
     // before).
-    uint64_t budget = QUANTUM;
+    const size_t procs0 = processes_.size();
     while (budget && p.state == ProcState::Runnable) {
         uint64_t executed = 0;
         vm::StepResult res = p.machine.run(budget, executed);
@@ -322,6 +332,8 @@ Kernel::runQuantum(Process &p)
             exitProcess(p, 139);
             return;
         }
+        if (processes_.size() != procs0)
+            return; // fork/spawn: back to round-robin scheduling
     }
 }
 

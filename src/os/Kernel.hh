@@ -87,6 +87,10 @@ class Kernel
     void setTaintTracking(bool on) { trackTaint_ = on; }
     bool taintTracking() const { return trackTaint_; }
 
+    /** Enable the trace-linking engine in new processes. */
+    void setSuperblocks(bool on) { superblocks_ = on; }
+    bool superblocks() const { return superblocks_; }
+
     /** PIN-style instrumentor installed into every new machine. */
     void setInstrumentor(vm::Instrumentor *ins) { instrumentor_ = ins; }
 
@@ -168,7 +172,7 @@ class Kernel
     /** @} */
 
   private:
-    void runQuantum(Process &p);
+    void runQuantum(Process &p, uint64_t budget);
     void handleSyscall(Process &p);
     void handleNative(Process &p, const std::string &name);
     void exitProcess(Process &p, int code);
@@ -225,6 +229,7 @@ class Kernel
     Monitor *monitor_ = nullptr;
     vm::Instrumentor *instrumentor_ = nullptr;
     bool trackTaint_ = false;
+    bool superblocks_ = true;
 
     taint::ResourceId stdinRes_ = 0;
     taint::ResourceId stdoutRes_ = 0;

@@ -144,20 +144,54 @@ class ShadowMemory
 
     const ShadowStats &stats() const { return stats_; }
 
+    /**
+     * Page-materialization epoch: bumps every time a page is
+     * allocated and never otherwise. A consumer that proved
+     * "no shadow page exists" (the superblock untainted fast path)
+     * re-validates the proof with one compare against this.
+     */
+    uint64_t materializeEpoch() const
+    {
+        return stats_.pagesMaterialized;
+    }
+
+    /** True when no byte anywhere carries a tag (pages are never
+     * deallocated, so emptiness is monotone until clone/reset). */
+    bool empty() const { return pages_.empty(); }
+
+    /** @name Specialized-path accounting
+     * The superblock untainted fast path skips shadow lookups it
+     * has proven redundant; these record the stats the skipped
+     * generic operations would have counted, so telemetry is
+     * identical with specialization on or off. @{ */
+    void noteEmptyReadSkips(uint64_t n) const
+    {
+        stats_.emptyReadSkips += n;
+    }
+    void noteEmptyWriteSkip() const { ++stats_.emptyWriteSkips; }
+    /** @} */
+
   private:
     using Page = std::array<TagSetId, PAGE_SIZE>;
 
     static constexpr uint32_t NO_PAGE = 0xffffffffu;
 
-    /** Existing page or nullptr; refreshes the micro-TLB. */
+    /** Existing page or nullptr; refreshes the micro-TLB. The
+     * negative entry makes repeated misses on one absent page (a
+     * hot loop over untainted memory) a compare instead of a hash
+     * probe; it is cleared whenever a page materializes. */
     Page *
     lookup(uint32_t pno) const
     {
         if (pno == tlbPno_)
             return tlbPage_;
-        auto it = pages_.find(pno);
-        if (it == pages_.end())
+        if (pno == absentPno_)
             return nullptr;
+        auto it = pages_.find(pno);
+        if (it == pages_.end()) {
+            absentPno_ = pno;
+            return nullptr;
+        }
         tlbPno_ = pno;
         tlbPage_ = it->second.get();
         return tlbPage_;
@@ -171,6 +205,7 @@ class ShadowMemory
             it->second = std::make_unique<Page>();
             it->second->fill(TagStore::EMPTY);
             ++stats_.pagesMaterialized;
+            absentPno_ = NO_PAGE;
         }
         tlbPno_ = pno;
         tlbPage_ = it->second.get();
@@ -186,6 +221,9 @@ class ShadowMemory
      * raw pointer cannot dangle while this object is usable. */
     mutable uint32_t tlbPno_ = NO_PAGE;
     mutable Page *tlbPage_ = nullptr;
+
+    /** One-entry negative cache: last page number known absent. */
+    mutable uint32_t absentPno_ = NO_PAGE;
 };
 
 } // namespace hth::taint

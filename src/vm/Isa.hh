@@ -116,6 +116,29 @@ isControlTransfer(Opcode op)
     }
 }
 
+/**
+ * True for the direct jumps a superblock trace can link through:
+ * their observed successor is a static target (imm) or the
+ * fall-through, so the recorded direction can be re-dispatched
+ * inside the trace and the other direction becomes a side exit.
+ * Calls, returns, syscalls and Halt end a trace instead (their
+ * continuation is dynamic or leaves the VM).
+ */
+constexpr bool
+isTraceLink(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jmp:
+      case Opcode::Jz:
+      case Opcode::Jnz:
+      case Opcode::Jl:
+      case Opcode::Jge:
+        return true;
+      default:
+        return false;
+    }
+}
+
 /** One decoded instruction. */
 struct Instruction
 {

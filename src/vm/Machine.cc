@@ -202,8 +202,10 @@ Machine::enterBlock(uint32_t pc)
     const uint32_t start = (pc - img->base) / INSN_SIZE;
     const uint32_t limit = (uint32_t)img->text.size();
     uint32_t n = 0;
+    bool hasNative = false;
     while (start + n < limit) {
         const Opcode op = img->text[start + n].op;
+        hasNative |= (op == Opcode::Native);
         ++n;
         if (isControlTransfer(op))
             break;
@@ -218,6 +220,10 @@ Machine::enterBlock(uint32_t pc)
     blk.insns = img->text.data() + start;
     blk.startPc = pc;
     blk.count = n;
+    // Native yields to the kernel mid-block; keep such blocks on
+    // the generic path rather than teaching traces to re-enter
+    // mid-sequence.
+    blk.noSb = hasNative;
     return &blockCache_.emplace(pc, blk).first->second;
 }
 
@@ -225,9 +231,21 @@ void
 Machine::invalidateBlockCache()
 {
     ++stats_.blockCacheInvalidations;
+    ++cacheGen_;
+    // Published traces may still be executing (an instrumentor
+    // callback can invalidate mid-trace); park them until the next
+    // run() entry instead of destroying them under the engine.
+    for (auto &[pc, blk] : blockCache_)
+        if (blk.sb)
+            retiredSbs_.push_back(std::move(blk.sb));
     blockCache_.clear();
     curBlock_ = nullptr;
     curOff_ = 0;
+    pausedSb_ = nullptr;
+    // A trace being recorded references blocks that no longer
+    // exist; abandon it (re-forms if the path stays hot).
+    recording_ = false;
+    recordPcs_.clear();
 }
 
 TagSetId
@@ -327,6 +345,491 @@ Machine::propagate(const Instruction &insn, uint32_t pc,
     }
 }
 
+//
+// Trace linking (superblock formation)
+//
+
+namespace
+{
+
+/** Link handler for @p op when the recorded direction is the taken
+ * branch target. */
+uint16_t
+linkTaken(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jz:  return SB_JZ_TAKEN;
+      case Opcode::Jnz: return SB_JNZ_TAKEN;
+      case Opcode::Jl:  return SB_JL_TAKEN;
+      default:          return SB_JGE_TAKEN;
+    }
+}
+
+/** Link handler for @p op when the recorded direction fell through. */
+uint16_t
+linkFall(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jz:  return SB_JZ_FALL;
+      case Opcode::Jnz: return SB_JNZ_FALL;
+      case Opcode::Jl:  return SB_JL_FALL;
+      default:          return SB_JGE_FALL;
+    }
+}
+
+/** Untainted-specialization upgrade for memory-touching handlers;
+ * identity for everything else. */
+uint16_t
+specializeHandler(uint16_t h)
+{
+    switch (h) {
+      case SB_LOAD_T:   return SB_LOAD_TE;
+      case SB_LOADB_T:  return SB_LOADB_TE;
+      case SB_STORE_T:  return SB_STORE_TE;
+      case SB_STOREB_T: return SB_STOREB_TE;
+      case SB_PUSH_T:   return SB_PUSH_TE;
+      case SB_POP_T:    return SB_POP_TE;
+      default:          return h;
+    }
+}
+
+/** Fused macro-op for a compare followed by an in-trace branch
+ * (SB_NUM_HANDLERS when the pair is not fusable). */
+uint16_t
+fuseCmpBranch(bool immediate, uint16_t branch)
+{
+    switch (branch) {
+      case SB_JZ_TAKEN:
+        return immediate ? SB_CMPI_JZ_TAKEN : SB_CMP_JZ_TAKEN;
+      case SB_JZ_FALL:
+        return immediate ? SB_CMPI_JZ_FALL : SB_CMP_JZ_FALL;
+      case SB_JNZ_TAKEN:
+        return immediate ? SB_CMPI_JNZ_TAKEN : SB_CMP_JNZ_TAKEN;
+      case SB_JNZ_FALL:
+        return immediate ? SB_CMPI_JNZ_FALL : SB_CMP_JNZ_FALL;
+      case SB_JL_TAKEN:
+        return immediate ? SB_CMPI_JL_TAKEN : SB_CMP_JL_TAKEN;
+      case SB_JL_FALL:
+        return immediate ? SB_CMPI_JL_FALL : SB_CMP_JL_FALL;
+      case SB_JGE_TAKEN:
+        return immediate ? SB_CMPI_JGE_TAKEN : SB_CMP_JGE_TAKEN;
+      case SB_JGE_FALL:
+        return immediate ? SB_CMPI_JGE_FALL : SB_CMP_JGE_FALL;
+      default:
+        return SB_NUM_HANDLERS;
+    }
+}
+
+/** Triple macro-op for a counter bump in front of a fused
+ * compare-and-branch (SB_NUM_HANDLERS when not fusable). */
+uint16_t
+fuseAddiCmpiBranch(uint16_t cmpBranch)
+{
+    switch (cmpBranch) {
+      case SB_CMPI_JZ_TAKEN:   return SB_ADDI_CMPI_JZ_TAKEN;
+      case SB_CMPI_JZ_FALL:    return SB_ADDI_CMPI_JZ_FALL;
+      case SB_CMPI_JNZ_TAKEN:  return SB_ADDI_CMPI_JNZ_TAKEN;
+      case SB_CMPI_JNZ_FALL:   return SB_ADDI_CMPI_JNZ_FALL;
+      case SB_CMPI_JL_TAKEN:   return SB_ADDI_CMPI_JL_TAKEN;
+      case SB_CMPI_JL_FALL:    return SB_ADDI_CMPI_JL_FALL;
+      case SB_CMPI_JGE_TAKEN:  return SB_ADDI_CMPI_JGE_TAKEN;
+      case SB_CMPI_JGE_FALL:   return SB_ADDI_CMPI_JGE_FALL;
+      default:                 return SB_NUM_HANDLERS;
+    }
+}
+
+/**
+ * Peephole pass over a built trace: rewrite the first op of known
+ * adjacent groups to a fused macro-op handler. The trailing ops stay
+ * in place unmodified — branch targets may still land on them, and
+ * the fused handler falls back to them on the budget edge.
+ */
+void
+fusePeepholes(std::vector<SbOp> &ops)
+{
+    for (size_t i = 0; i + 1 < ops.size(); ++i) {
+        SbOp &a = ops[i];
+        const SbOp &b = ops[i + 1];
+        if (a.handler == SB_CMP || a.handler == SB_CMPI) {
+            const uint16_t fused =
+                fuseCmpBranch(a.handler == SB_CMPI, b.handler);
+            if (fused != SB_NUM_HANDLERS) {
+                a.handler = fused;
+                ++i; // pair consumed
+            }
+        } else if (((a.handler == SB_MOVRI && b.handler == SB_ADD) ||
+                    (a.handler == SB_MOVRI_T &&
+                     b.handler == SB_ADD_T)) &&
+                   b.r1 == a.r1 && b.r2 != a.r1) {
+            // `add a, a` is excluded: the fused taint handler reads
+            // the index tag before writing the result tag.
+            a.handler = (a.handler == SB_MOVRI) ? SB_MOVRI_ADD
+                                                : SB_MOVRI_ADD_T;
+            ++i;
+        } else if (b.handler == SB_ADDI) {
+            // Memory op + pointer/counter bump. `_TE` variants stay
+            // unfused: their deopt path must never have a
+            // half-retired macro-op to unwind.
+            switch (a.handler) {
+              case SB_LOAD:     a.handler = SB_LOAD_ADDI; break;
+              case SB_LOAD_T:   a.handler = SB_LOAD_T_ADDI; break;
+              case SB_LOADB:    a.handler = SB_LOADB_ADDI; break;
+              case SB_LOADB_T:  a.handler = SB_LOADB_T_ADDI; break;
+              case SB_STORE:    a.handler = SB_STORE_ADDI; break;
+              case SB_STORE_T:  a.handler = SB_STORE_T_ADDI; break;
+              case SB_STOREB:   a.handler = SB_STOREB_ADDI; break;
+              case SB_STOREB_T: a.handler = SB_STOREB_T_ADDI; break;
+              default:          continue;
+            }
+            ++i;
+        }
+    }
+    // Second pass: grow `addi; cmpi+jcc` pairs into the loop-control
+    // triple. Runs after pair fusion so the compare is already fused
+    // with its branch (the triple's budget-edge fallback retires the
+    // addi alone and re-enters at the intact pair).
+    for (size_t i = 0; i + 2 < ops.size(); ++i) {
+        SbOp &a = ops[i];
+        if (a.handler != SB_ADDI)
+            continue;
+        const uint16_t fused =
+            fuseAddiCmpiBranch(ops[i + 1].handler);
+        if (fused != SB_NUM_HANDLERS) {
+            a.handler = fused;
+            i += 2; // triple consumed
+        }
+    }
+    // Third pass: grow an address-formation pair that feeds a fused
+    // memory group into the four-instruction indexed-access macro-op
+    // (`lea base; add base, index; load/store; bump`). Both
+    // constituent pairs already fused, so every interior op keeps an
+    // executable form for mid-group entry (branch targets,
+    // budget-edge resume).
+    for (size_t i = 0; i + 3 < ops.size(); ++i) {
+        SbOp &a = ops[i];
+        uint16_t fused = SB_NUM_HANDLERS;
+        if (a.handler == SB_MOVRI_ADD) {
+            switch (ops[i + 2].handler) {
+              case SB_LOAD_ADDI:
+                fused = SB_MOVRI_ADD_LOAD_ADDI; break;
+              case SB_LOADB_ADDI:
+                fused = SB_MOVRI_ADD_LOADB_ADDI; break;
+              case SB_STORE_ADDI:
+                fused = SB_MOVRI_ADD_STORE_ADDI; break;
+              case SB_STOREB_ADDI:
+                fused = SB_MOVRI_ADD_STOREB_ADDI; break;
+              default: break;
+            }
+        } else if (a.handler == SB_MOVRI_ADD_T) {
+            switch (ops[i + 2].handler) {
+              case SB_LOAD_T_ADDI:
+                fused = SB_MOVRI_ADD_LOAD_T_ADDI; break;
+              case SB_LOADB_T_ADDI:
+                fused = SB_MOVRI_ADD_LOADB_T_ADDI; break;
+              case SB_STORE_T_ADDI:
+                fused = SB_MOVRI_ADD_STORE_T_ADDI; break;
+              case SB_STOREB_T_ADDI:
+                fused = SB_MOVRI_ADD_STOREB_T_ADDI; break;
+              default: break;
+            }
+        }
+        if (fused != SB_NUM_HANDLERS) {
+            a.handler = fused;
+            i += 3; // quad consumed
+        }
+    }
+}
+
+} // namespace
+
+void
+Machine::appendRecorded(uint32_t pc, const CachedBlock &blk)
+{
+    recordPcs_.push_back(pc);
+    const Instruction &lastInsn = blk.insns[blk.count - 1];
+    // Only a direct jump's observed direction can be re-dispatched
+    // inside the trace; anything else (call, ret, syscall, halt,
+    // fall-off-text) ends the trace at this block.
+    if (!isTraceLink(lastInsn.op) ||
+        recordPcs_.size() >= MAX_SB_BLOCKS)
+        finalizeTrace(false);
+}
+
+void
+Machine::recordArrival(uint32_t pc, const CachedBlock &blk)
+{
+    if (pc == recordPcs_.front()) {
+        finalizeTrace(true); // closed a loop back to the entry
+        return;
+    }
+    for (uint32_t p : recordPcs_)
+        if (p == pc) {
+            finalizeTrace(false); // internal cycle: stop at the jump
+            return;
+        }
+    if (blk.noSb || blk.sb) {
+        finalizeTrace(false); // don't trace through another trace
+        return;
+    }
+    appendRecorded(pc, blk);
+}
+
+void
+Machine::finalizeTrace(bool loopBack)
+{
+    recording_ = false;
+    if (recordPcs_.empty())
+        return;
+    auto entryIt = blockCache_.find(recordPcs_.front());
+    if (entryIt == blockCache_.end())
+        return;
+    CachedBlock &entry = entryIt->second;
+    // Unbuildable content (redirected control mid-recording, a bad
+    // import index the generic path must fault on, an undecodable
+    // opcode) permanently pins the entry block to the generic path.
+    auto fail = [&entry]() { entry.noSb = true; };
+
+    const bool taint = trackTaint_;
+    auto sb = std::make_shared<Superblock>();
+    sb->entryPc = recordPcs_.front();
+    sb->blockCount = (uint32_t)recordPcs_.size();
+    sb->taintMode = taint;
+
+    bool sawPushI = false;
+    // Interning is memoised inside the TagStore and builds are
+    // rare, so per-instruction interning here is fine.
+    auto binTag = [this](const LoadedImage *img) {
+        return tags_->single(
+            {taint::SourceType::Binary, img->resource});
+    };
+
+    size_t pendingLink = SIZE_MAX; // link awaiting next block index
+
+    for (size_t i = 0; i < recordPcs_.size(); ++i) {
+        auto it = blockCache_.find(recordPcs_[i]);
+        if (it == blockCache_.end())
+            return fail();
+        const CachedBlock &blk = it->second;
+        if (blk.noSb || blk.count == 0)
+            return fail();
+
+        const bool last = (i + 1 == recordPcs_.size());
+        uint32_t succ = 0;
+        bool linked = false;
+        if (!last) {
+            succ = recordPcs_[i + 1];
+            linked = true;
+        } else if (loopBack) {
+            succ = recordPcs_.front();
+            linked = true;
+        }
+        if (linked && !isTraceLink(blk.insns[blk.count - 1].op))
+            return fail();
+
+        if (pendingLink != SIZE_MAX) {
+            sb->ops[pendingLink].dest = (uint32_t)sb->ops.size();
+            pendingLink = SIZE_MAX;
+        }
+
+        SbOp bbOp;
+        bbOp.handler = SB_BB;
+        bbOp.pc = blk.startPc;
+        sb->ops.push_back(bbOp);
+
+        for (uint32_t j = 0; j < blk.count; ++j) {
+            const Instruction &insn = blk.insns[j];
+            SbOp o;
+            o.r1 = insn.r1;
+            o.r2 = insn.r2;
+            o.imm = insn.imm;
+            o.pc = blk.startPc + j * INSN_SIZE;
+            const bool term = (j + 1 == blk.count);
+
+            if (term && isTraceLink(insn.op) && linked) {
+                // In-trace link: the recorded direction continues at
+                // `dest`, the other becomes a side exit.
+                const uint32_t taken = (uint32_t)insn.imm;
+                const uint32_t fall = o.pc + INSN_SIZE;
+                if (insn.op == Opcode::Jmp) {
+                    if (taken != succ)
+                        return fail(); // redirected mid-recording
+                    o.handler = SB_JMP;
+                } else if (taken == succ) {
+                    o.handler = linkTaken(insn.op);
+                    o.exitPc = fall;
+                } else if (fall == succ) {
+                    o.handler = linkFall(insn.op);
+                    o.exitPc = taken;
+                } else {
+                    return fail();
+                }
+                if (last)
+                    o.dest = 0; // loop back to the entry SB_BB
+                else
+                    pendingLink = sb->ops.size();
+                sb->ops.push_back(o);
+                continue;
+            }
+            if (term && isControlTransfer(insn.op)) {
+                // Trace-terminal stub: execute and leave the trace.
+                switch (insn.op) {
+                  case Opcode::Jmp:  o.handler = SB_XJMP; break;
+                  case Opcode::Jz:   o.handler = SB_XJZ; break;
+                  case Opcode::Jnz:  o.handler = SB_XJNZ; break;
+                  case Opcode::Jl:   o.handler = SB_XJL; break;
+                  case Opcode::Jge:  o.handler = SB_XJGE; break;
+                  case Opcode::Call: o.handler = SB_XCALL; break;
+                  case Opcode::CallSym: {
+                    const auto &addrs = blk.img->importAddrs;
+                    if ((size_t)insn.imm >= addrs.size())
+                        return fail();
+                    o.imm = (int32_t)addrs[insn.imm];
+                    o.handler = SB_XCALLSYM;
+                    break;
+                  }
+                  case Opcode::CallR: o.handler = SB_XCALLR; break;
+                  case Opcode::Ret:   o.handler = SB_XRET; break;
+                  case Opcode::Int80:
+                    o.handler = SB_XSYSCALL;
+                    sb->exitImg = blk.img;
+                    break;
+                  case Opcode::Halt:  o.handler = SB_XHALT; break;
+                  default:
+                    return fail();
+                }
+                sb->ops.push_back(o);
+                continue;
+            }
+
+            // Body instruction (or a non-transfer final instruction
+            // when the block runs off the end of text).
+            switch (insn.op) {
+              case Opcode::Nop:
+                o.handler = SB_NOP;
+                break;
+              case Opcode::MovRR:
+                o.handler = taint ? SB_MOVRR_T : SB_MOVRR;
+                break;
+              case Opcode::MovRI:
+                if (taint) {
+                    o.tag = binTag(blk.img);
+                    o.handler = SB_MOVRI_T;
+                } else {
+                    o.handler = SB_MOVRI;
+                }
+                break;
+              case Opcode::Lea:
+                o.handler = taint ? SB_LEA_T : SB_LEA;
+                break;
+              case Opcode::Load:
+                o.handler = taint ? SB_LOAD_T : SB_LOAD;
+                break;
+              case Opcode::LoadB:
+                o.handler = taint ? SB_LOADB_T : SB_LOADB;
+                break;
+              case Opcode::Store:
+                o.handler = taint ? SB_STORE_T : SB_STORE;
+                break;
+              case Opcode::StoreB:
+                o.handler = taint ? SB_STOREB_T : SB_STOREB;
+                break;
+              case Opcode::Push:
+                o.handler = taint ? SB_PUSH_T : SB_PUSH;
+                break;
+              case Opcode::PushI:
+                if (taint) {
+                    o.tag = binTag(blk.img);
+                    o.handler = SB_PUSHI_T;
+                    sawPushI = true;
+                } else {
+                    o.handler = SB_PUSHI;
+                }
+                break;
+              case Opcode::Pop:
+                o.handler = taint ? SB_POP_T : SB_POP;
+                break;
+              case Opcode::Add:
+                o.handler = taint ? SB_ADD_T : SB_ADD;
+                break;
+              case Opcode::AddI:
+                o.handler = SB_ADDI;
+                break;
+              case Opcode::Sub:
+                o.handler = taint ? SB_SUB_T : SB_SUB;
+                break;
+              case Opcode::And:
+                o.handler = taint ? SB_AND_T : SB_AND;
+                break;
+              case Opcode::Or:
+                o.handler = taint ? SB_OR_T : SB_OR;
+                break;
+              case Opcode::Xor:
+                o.handler = !taint ? SB_XOR
+                            : insn.r1 == insn.r2 ? SB_XORZ_T
+                                                 : SB_XOR_T;
+                break;
+              case Opcode::Mul:
+                o.handler = taint ? SB_MUL_T : SB_MUL;
+                break;
+              case Opcode::Shl:
+                o.handler = SB_SHL;
+                break;
+              case Opcode::Shr:
+                o.handler = SB_SHR;
+                break;
+              case Opcode::Cmp:
+                o.handler = SB_CMP;
+                break;
+              case Opcode::CmpI:
+                o.handler = SB_CMPI;
+                break;
+              case Opcode::CpuId:
+                if (taint) {
+                    o.tag = tags_->single(
+                        {taint::SourceType::Hardware,
+                         taint::NO_RESOURCE});
+                    o.handler = SB_CPUID_T;
+                } else {
+                    o.handler = SB_CPUID;
+                }
+                break;
+              default:
+                return fail(); // Native (noSb already) / unknown
+            }
+            sb->ops.push_back(o);
+            if (term) {
+                // Fell off decoded text: hand back to the generic
+                // loop at the next pc, which faults exactly as the
+                // interpreter always has.
+                SbOp off;
+                off.handler = SB_XFALLOFF;
+                off.pc = o.pc + INSN_SIZE;
+                sb->ops.push_back(off);
+            }
+        }
+    }
+
+    // Untainted specialization: if no shadow page exists, every
+    // load provably yields EMPTY and every EMPTY store provably
+    // goes nowhere — swap in propagation-free handlers guarded by
+    // the materialization epoch (checked at entry) and per-store
+    // deopt checks. PushI pushes a BINARY-tagged constant, which
+    // would immediately materialize a stack page, so its presence
+    // disqualifies the whole trace.
+    if (taint && shadow_.empty() && !sawPushI) {
+        for (SbOp &o : sb->ops)
+            o.handler = specializeHandler(o.handler);
+        sb->specialized = true;
+        sb->shadowEpoch = shadow_.materializeEpoch();
+    }
+
+    fusePeepholes(sb->ops);
+
+    entry.sb = std::move(sb);
+    entry.heat = 0;
+    ++stats_.superblocksFormed;
+}
+
 StepResult
 Machine::step()
 {
@@ -341,7 +844,48 @@ Machine::run(uint64_t budget, uint64_t &executed)
     if (halted_)
         return {StepKind::Halted, {}, nullptr, {}};
 
+    // No trace frame is live here: traces retired since the last
+    // entry (deopt, invalidation) can finally be released.
+    retiredSbs_.clear();
+
     while (executed < budget) {
+        if (pausedSb_) {
+            // The previous quantum ran out mid-trace; re-enter at
+            // the paused op. Guard order matters: the generation
+            // check validates the raw pointer itself before any
+            // dereference, the rest re-validate what the entry
+            // guards proved (kernel redirects show up as an eip_ or
+            // bbStart_ mismatch and fall back to the generic path).
+            const Superblock *ps = pausedSb_;
+            const uint32_t pop = pausedOp_;
+            const uint32_t pbb = pausedBbPc_;
+            pausedSb_ = nullptr;
+            if (cacheGen_ == pausedGen_ && superblocks_ &&
+                !insnHook_ && traceDepth_ == 0 && !bbStart_ &&
+                ps->taintMode == trackTaint_ &&
+                (!ps->specialized ||
+                 shadow_.materializeEpoch() == ps->shadowEpoch) &&
+                eip_ == ps->ops[pop].pc) {
+                uint64_t sub = 0;
+                StepResult r = runSuperblock(*ps, budget - executed,
+                                             sub, pop, pbb);
+                executed += sub;
+                if (r.kind != StepKind::Ok)
+                    return r;
+                continue;
+            }
+            // Guard failed: restore the generic cursor the pause
+            // skipped, so a mid-block eip_ resumes in place instead
+            // of minting a duplicate block-cache entry. The cache
+            // may be gone (generation mismatch) or eip_ redirected;
+            // the null cursor then re-enters through enterBlock.
+            auto it = blockCache_.find(pbb);
+            if (it != blockCache_.end() && eip_ >= pbb &&
+                eip_ < pbb + it->second.count * INSN_SIZE) {
+                curBlock_ = &it->second;
+                curOff_ = (eip_ - pbb) / INSN_SIZE;
+            }
+        }
         const uint32_t pc = eip_;
         // Cursor fast path: the next instruction of the current cached
         // block is exactly pc. Anything else (block entry, redirected
@@ -356,8 +900,54 @@ Machine::run(uint64_t budget, uint64_t &executed)
                 return {StepKind::Fault, {}, nullptr, faultMsg_};
             }
         }
+
+        // Trace-linking engine: acts only at true block entries, and
+        // only when no per-instruction observer needs the generic
+        // loop (the instruction hook and the trace ring see one
+        // instruction at a time; traces retire them in batches).
+        if (bbStart_ && curOff_ == 0 && superblocks_ &&
+            !insnHook_ && traceDepth_ == 0) {
+            if (recording_)
+                recordArrival(pc, *curBlock_);
+            CachedBlock *blk = curBlock_;
+            if (blk->sb) {
+                // Entry guards: the trace must match the current
+                // taint mode, and a specialized trace is only valid
+                // while its emptiness proof holds. Raw pointer: the
+                // entry stays alive through deopt / invalidation
+                // via retiredSbs_, so the hot path pays no atomic
+                // refcount traffic.
+                const Superblock *sb = blk->sb.get();
+                if (sb->taintMode != trackTaint_ ||
+                    (sb->specialized &&
+                     shadow_.materializeEpoch() != sb->shadowEpoch)) {
+                    ++stats_.superblockDeopts;
+                    blk->sb.reset();
+                    blk->heat = 0;
+                } else {
+                    uint64_t sub = 0;
+                    StepResult r =
+                        runSuperblock(*sb, budget - executed, sub, 0,
+                                      sb->entryPc);
+                    executed += sub;
+                    // runSuperblock left the cursor consistent
+                    // with eip_ (restored mid-block on a budget
+                    // pause or deopt, re-resolved otherwise).
+                    if (r.kind != StepKind::Ok)
+                        return r;
+                    continue;
+                }
+            } else if (!recording_ && !blk->noSb &&
+                       ++blk->heat >= HOT_THRESHOLD) {
+                recording_ = true;
+                recordPcs_.clear();
+                appendRecorded(pc, *blk);
+            }
+        }
+
+        const uint64_t gen = cacheGen_;
         const LoadedImage *img = curBlock_->img;
-        const Instruction &insn = curBlock_->insns[curOff_];
+        const Instruction *insn = &curBlock_->insns[curOff_];
         ++curOff_;
 
         if (bbStart_) {
@@ -368,20 +958,39 @@ Machine::run(uint64_t budget, uint64_t &executed)
         }
 
         if (insnHook_)
-            instrumentor_->instruction(*this, insn, pc);
+            instrumentor_->instruction(*this, *insn, pc);
+
+        if (gen != cacheGen_) {
+            // An instrumentor callback changed the image set
+            // mid-step (loadImage or resetForExec):
+            // invalidateBlockCache() nulled curBlock_ defensively,
+            // and img/insn may alias storage resetForExec
+            // destroyed. Re-resolve pc before touching either.
+            curBlock_ = enterBlock(pc);
+            curOff_ = 1;
+            if (!curBlock_) {
+                halted_ = true;
+                faultMsg_ = "bad fetch at " + std::to_string(pc) +
+                            " (image set changed mid-step)";
+                return {StepKind::Fault, {}, nullptr, faultMsg_};
+            }
+            img = curBlock_->img;
+            insn = &curBlock_->insns[0];
+        }
+
         if (traceDepth_) {
             if (trace_.size() >= traceDepth_)
                 trace_.pop_front();
-            trace_.push_back({pc, insn});
+            trace_.push_back({pc, *insn});
         }
         if (trackTaint_)
-            propagate(insn, pc, *img);
+            propagate(*insn, pc, *img);
 
         ++stats_.instructions;
         ++executed;
         uint32_t next = pc + INSN_SIZE;
 
-        switch (insn.op) {
+        switch (insn->op) {
           case Opcode::Halt:
             halted_ = true;
             eip_ = next;
@@ -390,127 +999,127 @@ Machine::run(uint64_t budget, uint64_t &executed)
             break;
 
           case Opcode::MovRR:
-            setReg(insn.r1, reg(insn.r2));
+            setReg(insn->r1, reg(insn->r2));
             break;
           case Opcode::MovRI:
-            setReg(insn.r1, (uint32_t)insn.imm);
+            setReg(insn->r1, (uint32_t)insn->imm);
             break;
           case Opcode::Lea:
-            setReg(insn.r1, reg(insn.r2) + (uint32_t)insn.imm);
+            setReg(insn->r1, reg(insn->r2) + (uint32_t)insn->imm);
             break;
           case Opcode::Load:
-            setReg(insn.r1, mem_.read32(reg(insn.r2) + (uint32_t)insn.imm));
+            setReg(insn->r1, mem_.read32(reg(insn->r2) + (uint32_t)insn->imm));
             break;
           case Opcode::Store:
-            mem_.write32(reg(insn.r2) + (uint32_t)insn.imm, reg(insn.r1));
+            mem_.write32(reg(insn->r2) + (uint32_t)insn->imm, reg(insn->r1));
             break;
           case Opcode::LoadB:
-            setReg(insn.r1, mem_.read8(reg(insn.r2) + (uint32_t)insn.imm));
+            setReg(insn->r1, mem_.read8(reg(insn->r2) + (uint32_t)insn->imm));
             break;
           case Opcode::StoreB:
-            mem_.write8(reg(insn.r2) + (uint32_t)insn.imm,
-                        (uint8_t)reg(insn.r1));
+            mem_.write8(reg(insn->r2) + (uint32_t)insn->imm,
+                        (uint8_t)reg(insn->r1));
             break;
 
           case Opcode::Push:
-            push32(reg(insn.r1), trackTaint_ ? regTag(insn.r1)
+            push32(reg(insn->r1), trackTaint_ ? regTag(insn->r1)
                                              : TagStore::EMPTY);
             break;
           case Opcode::PushI:
-            push32((uint32_t)insn.imm,
+            push32((uint32_t)insn->imm,
                    trackTaint_ ? binaryTag(*img) : TagStore::EMPTY);
             break;
           case Opcode::Pop: {
             TagSetId tag = TagStore::EMPTY;
             uint32_t v = pop32(trackTaint_ ? &tag : nullptr);
-            setReg(insn.r1, v);
+            setReg(insn->r1, v);
             if (trackTaint_)
-                setRegTag(insn.r1, tag);
+                setRegTag(insn->r1, tag);
             break;
           }
 
           case Opcode::Add:
-            setReg(insn.r1, reg(insn.r1) + reg(insn.r2));
+            setReg(insn->r1, reg(insn->r1) + reg(insn->r2));
             break;
           case Opcode::AddI:
-            setReg(insn.r1, reg(insn.r1) + (uint32_t)insn.imm);
+            setReg(insn->r1, reg(insn->r1) + (uint32_t)insn->imm);
             break;
           case Opcode::Sub:
-            setReg(insn.r1, reg(insn.r1) - reg(insn.r2));
+            setReg(insn->r1, reg(insn->r1) - reg(insn->r2));
             break;
           case Opcode::And:
-            setReg(insn.r1, reg(insn.r1) & reg(insn.r2));
+            setReg(insn->r1, reg(insn->r1) & reg(insn->r2));
             break;
           case Opcode::Or:
-            setReg(insn.r1, reg(insn.r1) | reg(insn.r2));
+            setReg(insn->r1, reg(insn->r1) | reg(insn->r2));
             break;
           case Opcode::Xor:
-            setReg(insn.r1, reg(insn.r1) ^ reg(insn.r2));
+            setReg(insn->r1, reg(insn->r1) ^ reg(insn->r2));
             break;
           case Opcode::Mul:
-            setReg(insn.r1, reg(insn.r1) * reg(insn.r2));
+            setReg(insn->r1, reg(insn->r1) * reg(insn->r2));
             break;
           case Opcode::Shl:
-            setReg(insn.r1, reg(insn.r1) << (insn.imm & 31));
+            setReg(insn->r1, reg(insn->r1) << (insn->imm & 31));
             break;
           case Opcode::Shr:
-            setReg(insn.r1, reg(insn.r1) >> (insn.imm & 31));
+            setReg(insn->r1, reg(insn->r1) >> (insn->imm & 31));
             break;
 
           case Opcode::Cmp: {
-            uint32_t a = reg(insn.r1), b = reg(insn.r2);
+            uint32_t a = reg(insn->r1), b = reg(insn->r2);
             zf_ = (a == b);
             sf_ = ((int32_t)(a - b) < 0);
             break;
           }
           case Opcode::CmpI: {
-            uint32_t a = reg(insn.r1), b = (uint32_t)insn.imm;
+            uint32_t a = reg(insn->r1), b = (uint32_t)insn->imm;
             zf_ = (a == b);
             sf_ = ((int32_t)(a - b) < 0);
             break;
           }
 
           case Opcode::Jmp:
-            next = (uint32_t)insn.imm;
+            next = (uint32_t)insn->imm;
             break;
           case Opcode::Jz:
             if (zf_)
-                next = (uint32_t)insn.imm;
+                next = (uint32_t)insn->imm;
             break;
           case Opcode::Jnz:
             if (!zf_)
-                next = (uint32_t)insn.imm;
+                next = (uint32_t)insn->imm;
             break;
           case Opcode::Jl:
             if (sf_)
-                next = (uint32_t)insn.imm;
+                next = (uint32_t)insn->imm;
             break;
           case Opcode::Jge:
             if (!sf_)
-                next = (uint32_t)insn.imm;
+                next = (uint32_t)insn->imm;
             break;
 
           case Opcode::Call:
             push32(next, TagStore::EMPTY);
-            next = (uint32_t)insn.imm;
+            next = (uint32_t)insn->imm;
             if (instrumentor_)
                 instrumentor_->routineEnter(*this, next);
             break;
           case Opcode::CallSym: {
             const auto &addrs = img->importAddrs;
-            if ((size_t)insn.imm >= addrs.size()) {
+            if ((size_t)insn->imm >= addrs.size()) {
                 halted_ = true;
                 return {StepKind::Fault, {}, img, "bad import index"};
             }
             push32(next, TagStore::EMPTY);
-            next = addrs[insn.imm];
+            next = addrs[insn->imm];
             if (instrumentor_)
                 instrumentor_->routineEnter(*this, next);
             break;
           }
           case Opcode::CallR:
             push32(next, TagStore::EMPTY);
-            next = reg(insn.r1);
+            next = reg(insn->r1);
             if (instrumentor_)
                 instrumentor_->routineEnter(*this, next);
             break;
@@ -531,23 +1140,1016 @@ Machine::run(uint64_t budget, uint64_t &executed)
             break;
           case Opcode::Native: {
             const auto &names = img->image->natives;
-            if ((size_t)insn.imm >= names.size()) {
+            if ((size_t)insn->imm >= names.size()) {
                 halted_ = true;
                 return {StepKind::Fault, {}, img, "bad native index"};
             }
             eip_ = next;
-            return {StepKind::Native, names[insn.imm], img, {}};
+            return {StepKind::Native, names[insn->imm], img, {}};
           }
           default:
             halted_ = true;
             return {StepKind::Fault, {}, img, "bad opcode"};
         }
 
-        if (isControlTransfer(insn.op))
+        if (isControlTransfer(insn->op))
             bbStart_ = true;
         eip_ = next;
     }
     return {};
+}
+
+//
+// Superblock execution
+//
+
+/** Computed-goto (labels-as-values) dispatch where the compiler
+ * supports it; the portable switch fallback otherwise. */
+#if defined(__GNUC__) || defined(__clang__)
+#define HTH_COMPUTED_GOTO 1
+#endif
+
+bool
+Machine::threadedDispatch()
+{
+#ifdef HTH_COMPUTED_GOTO
+    return true;
+#else
+    return false;
+#endif
+}
+
+StepResult
+Machine::runSuperblock(const Superblock &sb, uint64_t budget,
+                       uint64_t &executed, uint32_t startOp,
+                       uint32_t startBbPc)
+{
+    ++stats_.superblockEntries;
+    const uint64_t gen0 = cacheGen_;
+    const SbOp *const base = sb.ops.data();
+    const SbOp *op = base + startOp;
+    uint64_t n = 0;   //!< instructions retired in this entry
+    uint64_t bbs = 0; //!< block boundaries crossed
+    const bool taint = sb.taintMode;
+    uint32_t *const R = regs_.data();
+    TagSetId *const RT = regTags_.data();
+    taint::ShadowMemory &sh = shadow_;
+    GuestMemory &gm = mem_;
+    TagStore &ts = *tags_;
+    constexpr size_t ESP = (size_t)Reg::Esp;
+    constexpr uint32_t SHPM = taint::ShadowMemory::PAGE_SIZE - 1;
+    StepResult result{};
+    bool deopt = false;
+    bool resume = false;        //!< exiting at a mid-block pc
+    uint32_t bbPc = startBbPc;  //!< start pc of the current block
+
+/* Budget-exact prologue of every instruction-consuming handler:
+ * the generic loop checks `executed < budget` before each
+ * instruction, so a trace must stop on the exact same boundary
+ * with eip_ parked on the unexecuted instruction. The pause is
+ * remembered so the next run() can re-enter right here. */
+#define SB_INSN()                                                   \
+    do {                                                            \
+        if (n == budget) {                                          \
+            eip_ = op->pc;                                          \
+            bbStart_ = false;                                       \
+            resume = true;                                          \
+            pausedSb_ = &sb;                                        \
+            pausedOp_ = (uint32_t)(op - base);                      \
+            pausedBbPc_ = bbPc;                                     \
+            pausedGen_ = cacheGen_;                                 \
+            goto sb_done;                                           \
+        }                                                           \
+        ++n;                                                        \
+    } while (0)
+
+#ifdef HTH_COMPUTED_GOTO
+    static const void *const kLabels[] = {
+#define HTH_SB_LABEL(name) &&lbl_##name,
+        HTH_SB_HANDLERS(HTH_SB_LABEL)
+#undef HTH_SB_LABEL
+    };
+#define SB_CASE(name) lbl_##name
+#define SB_DISPATCH() goto *kLabels[op->handler]
+#define SB_NEXT()                                                   \
+    do {                                                            \
+        ++op;                                                       \
+        SB_DISPATCH();                                              \
+    } while (0)
+    SB_DISPATCH();
+#else
+#define SB_CASE(name) case name
+#define SB_DISPATCH() goto sb_dispatch
+#define SB_NEXT()                                                   \
+    do {                                                            \
+        ++op;                                                       \
+        goto sb_dispatch;                                           \
+    } while (0)
+  sb_dispatch:
+    switch (op->handler) {
+#endif
+
+    SB_CASE(SB_BB) : {
+        // Block boundary: same accounting and callback the generic
+        // loop performs at a basic-block entry, with the same
+        // budget rule (the callback fires with the block's first
+        // instruction, never before the budget allows it).
+        if (n == budget) {
+            eip_ = op->pc;
+            bbStart_ = true;
+            goto sb_done;
+        }
+        bbPc = op->pc;
+        ++bbs;
+        ++stats_.basicBlocks;
+        if (instrumentor_) {
+            eip_ = op->pc;
+            instrumentor_->basicBlock(*this, op->pc);
+            if (cacheGen_ != gen0) {
+                // The callback changed the image set: this trace
+                // may describe stale code. Resume generically at
+                // the block body (its callback already fired).
+                eip_ = op->pc;
+                bbStart_ = false;
+                goto sb_done;
+            }
+        }
+        SB_NEXT();
+    }
+    SB_CASE(SB_NOP) : {
+        SB_INSN();
+        SB_NEXT();
+    }
+    SB_CASE(SB_MOVRR) : {
+        SB_INSN();
+        R[(size_t)op->r1] = R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_MOVRR_T) : {
+        SB_INSN();
+        RT[(size_t)op->r1] = RT[(size_t)op->r2];
+        R[(size_t)op->r1] = R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_MOVRI) : {
+        SB_INSN();
+        R[(size_t)op->r1] = (uint32_t)op->imm;
+        SB_NEXT();
+    }
+    SB_CASE(SB_MOVRI_T) : {
+        SB_INSN();
+        RT[(size_t)op->r1] = op->tag;
+        R[(size_t)op->r1] = (uint32_t)op->imm;
+        SB_NEXT();
+    }
+    SB_CASE(SB_LEA) : {
+        SB_INSN();
+        R[(size_t)op->r1] = R[(size_t)op->r2] + (uint32_t)op->imm;
+        SB_NEXT();
+    }
+    SB_CASE(SB_LEA_T) : {
+        SB_INSN();
+        RT[(size_t)op->r1] = RT[(size_t)op->r2];
+        R[(size_t)op->r1] = R[(size_t)op->r2] + (uint32_t)op->imm;
+        SB_NEXT();
+    }
+    SB_CASE(SB_LOAD) : {
+        SB_INSN();
+        R[(size_t)op->r1] =
+            gm.read32(R[(size_t)op->r2] + (uint32_t)op->imm);
+        SB_NEXT();
+    }
+    SB_CASE(SB_LOAD_T) : {
+        SB_INSN();
+        const uint32_t ea = R[(size_t)op->r2] + (uint32_t)op->imm;
+        RT[(size_t)op->r1] = sh.rangeUnion(ts, ea, 4);
+        R[(size_t)op->r1] = gm.read32(ea);
+        SB_NEXT();
+    }
+    SB_CASE(SB_LOAD_TE) : {
+        SB_INSN();
+        const uint32_t ea = R[(size_t)op->r2] + (uint32_t)op->imm;
+        sh.noteEmptyReadSkips(1 + ((ea & SHPM) > SHPM - 3));
+        RT[(size_t)op->r1] = TagStore::EMPTY;
+        R[(size_t)op->r1] = gm.read32(ea);
+        SB_NEXT();
+    }
+    SB_CASE(SB_LOADB) : {
+        SB_INSN();
+        R[(size_t)op->r1] =
+            gm.read8(R[(size_t)op->r2] + (uint32_t)op->imm);
+        SB_NEXT();
+    }
+    SB_CASE(SB_LOADB_T) : {
+        SB_INSN();
+        const uint32_t ea = R[(size_t)op->r2] + (uint32_t)op->imm;
+        RT[(size_t)op->r1] = sh.get(ea);
+        R[(size_t)op->r1] = gm.read8(ea);
+        SB_NEXT();
+    }
+    SB_CASE(SB_LOADB_TE) : {
+        SB_INSN();
+        RT[(size_t)op->r1] = TagStore::EMPTY;
+        R[(size_t)op->r1] =
+            gm.read8(R[(size_t)op->r2] + (uint32_t)op->imm);
+        SB_NEXT();
+    }
+    SB_CASE(SB_STORE) : {
+        SB_INSN();
+        gm.write32(R[(size_t)op->r2] + (uint32_t)op->imm,
+                   R[(size_t)op->r1]);
+        SB_NEXT();
+    }
+    SB_CASE(SB_STORE_T) : {
+        SB_INSN();
+        const uint32_t ea = R[(size_t)op->r2] + (uint32_t)op->imm;
+        sh.setRange(ea, 4, RT[(size_t)op->r1]);
+        gm.write32(ea, R[(size_t)op->r1]);
+        SB_NEXT();
+    }
+    SB_CASE(SB_STORE_TE) : {
+        SB_INSN();
+        const uint32_t ea = R[(size_t)op->r2] + (uint32_t)op->imm;
+        if (RT[(size_t)op->r1] != TagStore::EMPTY) {
+            // Taint reached a specialized store: perform the
+            // generic operation, then deoptimize the trace.
+            sh.setRange(ea, 4, RT[(size_t)op->r1]);
+            gm.write32(ea, R[(size_t)op->r1]);
+            goto sb_deopt;
+        }
+        gm.write32(ea, R[(size_t)op->r1]);
+        SB_NEXT();
+    }
+    SB_CASE(SB_STOREB) : {
+        SB_INSN();
+        gm.write8(R[(size_t)op->r2] + (uint32_t)op->imm,
+                  (uint8_t)R[(size_t)op->r1]);
+        SB_NEXT();
+    }
+    SB_CASE(SB_STOREB_T) : {
+        SB_INSN();
+        const uint32_t ea = R[(size_t)op->r2] + (uint32_t)op->imm;
+        sh.set(ea, RT[(size_t)op->r1]);
+        gm.write8(ea, (uint8_t)R[(size_t)op->r1]);
+        SB_NEXT();
+    }
+    SB_CASE(SB_STOREB_TE) : {
+        SB_INSN();
+        const uint32_t ea = R[(size_t)op->r2] + (uint32_t)op->imm;
+        if (RT[(size_t)op->r1] != TagStore::EMPTY) {
+            sh.set(ea, RT[(size_t)op->r1]);
+            gm.write8(ea, (uint8_t)R[(size_t)op->r1]);
+            goto sb_deopt;
+        }
+        sh.noteEmptyWriteSkip(); // what set(ea, EMPTY) would count
+        gm.write8(ea, (uint8_t)R[(size_t)op->r1]);
+        SB_NEXT();
+    }
+    SB_CASE(SB_PUSH) : {
+        SB_INSN();
+        push32(R[(size_t)op->r1], TagStore::EMPTY);
+        SB_NEXT();
+    }
+    SB_CASE(SB_PUSH_T) : {
+        SB_INSN();
+        push32(R[(size_t)op->r1], RT[(size_t)op->r1]);
+        SB_NEXT();
+    }
+    SB_CASE(SB_PUSH_TE) : {
+        SB_INSN();
+        if (RT[(size_t)op->r1] != TagStore::EMPTY) {
+            push32(R[(size_t)op->r1], RT[(size_t)op->r1]);
+            goto sb_deopt;
+        }
+        const uint32_t v = R[(size_t)op->r1];
+        const uint32_t esp = R[ESP] - 4;
+        R[ESP] = esp;
+        gm.write32(esp, v);
+        SB_NEXT();
+    }
+    SB_CASE(SB_PUSHI) : {
+        SB_INSN();
+        push32((uint32_t)op->imm, TagStore::EMPTY);
+        SB_NEXT();
+    }
+    SB_CASE(SB_PUSHI_T) : {
+        SB_INSN();
+        push32((uint32_t)op->imm, op->tag);
+        SB_NEXT();
+    }
+    SB_CASE(SB_POP) : {
+        SB_INSN();
+        const uint32_t esp = R[ESP];
+        const uint32_t v = gm.read32(esp);
+        R[ESP] = esp + 4;
+        R[(size_t)op->r1] = v;
+        SB_NEXT();
+    }
+    SB_CASE(SB_POP_T) : {
+        SB_INSN();
+        TagSetId t = TagStore::EMPTY;
+        const uint32_t v = pop32(&t);
+        R[(size_t)op->r1] = v;
+        RT[(size_t)op->r1] = t;
+        SB_NEXT();
+    }
+    SB_CASE(SB_POP_TE) : {
+        SB_INSN();
+        const uint32_t esp = R[ESP];
+        sh.noteEmptyReadSkips(1 + ((esp & SHPM) > SHPM - 3));
+        const uint32_t v = gm.read32(esp);
+        R[ESP] = esp + 4;
+        R[(size_t)op->r1] = v;
+        RT[(size_t)op->r1] = TagStore::EMPTY;
+        SB_NEXT();
+    }
+    SB_CASE(SB_ADD) : {
+        SB_INSN();
+        R[(size_t)op->r1] += R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_ADD_T) : {
+        SB_INSN();
+        {
+            // unite()'s trivial cases (equal and empty operands are
+            // the overwhelming steady state) inline to a compare.
+            const TagSetId a = RT[(size_t)op->r1];
+            const TagSetId b = RT[(size_t)op->r2];
+            if (a != b && b != TagStore::EMPTY)
+                RT[(size_t)op->r1] =
+                    (a == TagStore::EMPTY) ? b : ts.unite(a, b);
+        }
+        R[(size_t)op->r1] += R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_ADDI) : {
+        SB_INSN();
+        R[(size_t)op->r1] += (uint32_t)op->imm;
+        SB_NEXT();
+    }
+    SB_CASE(SB_SUB) : {
+        SB_INSN();
+        R[(size_t)op->r1] -= R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_SUB_T) : {
+        SB_INSN();
+        {
+            // unite()'s trivial cases (equal and empty operands are
+            // the overwhelming steady state) inline to a compare.
+            const TagSetId a = RT[(size_t)op->r1];
+            const TagSetId b = RT[(size_t)op->r2];
+            if (a != b && b != TagStore::EMPTY)
+                RT[(size_t)op->r1] =
+                    (a == TagStore::EMPTY) ? b : ts.unite(a, b);
+        }
+        R[(size_t)op->r1] -= R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_AND) : {
+        SB_INSN();
+        R[(size_t)op->r1] &= R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_AND_T) : {
+        SB_INSN();
+        {
+            // unite()'s trivial cases (equal and empty operands are
+            // the overwhelming steady state) inline to a compare.
+            const TagSetId a = RT[(size_t)op->r1];
+            const TagSetId b = RT[(size_t)op->r2];
+            if (a != b && b != TagStore::EMPTY)
+                RT[(size_t)op->r1] =
+                    (a == TagStore::EMPTY) ? b : ts.unite(a, b);
+        }
+        R[(size_t)op->r1] &= R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_OR) : {
+        SB_INSN();
+        R[(size_t)op->r1] |= R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_OR_T) : {
+        SB_INSN();
+        {
+            // unite()'s trivial cases (equal and empty operands are
+            // the overwhelming steady state) inline to a compare.
+            const TagSetId a = RT[(size_t)op->r1];
+            const TagSetId b = RT[(size_t)op->r2];
+            if (a != b && b != TagStore::EMPTY)
+                RT[(size_t)op->r1] =
+                    (a == TagStore::EMPTY) ? b : ts.unite(a, b);
+        }
+        R[(size_t)op->r1] |= R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_XOR) : {
+        SB_INSN();
+        R[(size_t)op->r1] ^= R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_XOR_T) : {
+        SB_INSN();
+        {
+            // unite()'s trivial cases (equal and empty operands are
+            // the overwhelming steady state) inline to a compare.
+            const TagSetId a = RT[(size_t)op->r1];
+            const TagSetId b = RT[(size_t)op->r2];
+            if (a != b && b != TagStore::EMPTY)
+                RT[(size_t)op->r1] =
+                    (a == TagStore::EMPTY) ? b : ts.unite(a, b);
+        }
+        R[(size_t)op->r1] ^= R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_XORZ_T) : {
+        // xor r,r zero idiom: constant result, taint cleared.
+        SB_INSN();
+        RT[(size_t)op->r1] = TagStore::EMPTY;
+        R[(size_t)op->r1] = 0;
+        SB_NEXT();
+    }
+    SB_CASE(SB_MUL) : {
+        SB_INSN();
+        R[(size_t)op->r1] *= R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_MUL_T) : {
+        SB_INSN();
+        {
+            // unite()'s trivial cases (equal and empty operands are
+            // the overwhelming steady state) inline to a compare.
+            const TagSetId a = RT[(size_t)op->r1];
+            const TagSetId b = RT[(size_t)op->r2];
+            if (a != b && b != TagStore::EMPTY)
+                RT[(size_t)op->r1] =
+                    (a == TagStore::EMPTY) ? b : ts.unite(a, b);
+        }
+        R[(size_t)op->r1] *= R[(size_t)op->r2];
+        SB_NEXT();
+    }
+    SB_CASE(SB_SHL) : {
+        SB_INSN();
+        R[(size_t)op->r1] <<= (op->imm & 31);
+        SB_NEXT();
+    }
+    SB_CASE(SB_SHR) : {
+        SB_INSN();
+        R[(size_t)op->r1] >>= (op->imm & 31);
+        SB_NEXT();
+    }
+    SB_CASE(SB_CMP) : {
+        SB_INSN();
+        const uint32_t a = R[(size_t)op->r1];
+        const uint32_t b = R[(size_t)op->r2];
+        zf_ = (a == b);
+        sf_ = ((int32_t)(a - b) < 0);
+        SB_NEXT();
+    }
+    SB_CASE(SB_CMPI) : {
+        SB_INSN();
+        const uint32_t a = R[(size_t)op->r1];
+        const uint32_t b = (uint32_t)op->imm;
+        zf_ = (a == b);
+        sf_ = ((int32_t)(a - b) < 0);
+        SB_NEXT();
+    }
+
+/* Fused compare-and-branch: both guest instructions retire in one
+ * dispatch when two fit in the budget; on the budget edge only the
+ * compare retires and the unfused branch op at the next index takes
+ * over, so pause points stay instruction-exact. LINK is the
+ * condition under which the recorded direction (dest) continues. */
+#define SB_CMP_BR(NAME, BVAL, LINK)                                 \
+    SB_CASE(NAME) : {                                               \
+        if (budget - n >= 2) {                                      \
+            n += 2;                                                 \
+            const uint32_t a = R[(size_t)op->r1];                   \
+            const uint32_t b = (uint32_t)(BVAL);                    \
+            zf_ = (a == b);                                         \
+            sf_ = ((int32_t)(a - b) < 0);                           \
+            ++op;                                                   \
+            if (LINK) {                                             \
+                op = base + op->dest;                               \
+                SB_DISPATCH();                                      \
+            }                                                       \
+            eip_ = op->exitPc;                                      \
+            bbStart_ = true;                                        \
+            goto sb_done;                                           \
+        }                                                           \
+        SB_INSN();                                                  \
+        const uint32_t a = R[(size_t)op->r1];                       \
+        const uint32_t b = (uint32_t)(BVAL);                        \
+        zf_ = (a == b);                                             \
+        sf_ = ((int32_t)(a - b) < 0);                               \
+        SB_NEXT();                                                  \
+    }
+
+    SB_CMP_BR(SB_CMP_JZ_TAKEN, R[(size_t)op->r2], zf_)
+    SB_CMP_BR(SB_CMP_JZ_FALL, R[(size_t)op->r2], !zf_)
+    SB_CMP_BR(SB_CMP_JNZ_TAKEN, R[(size_t)op->r2], !zf_)
+    SB_CMP_BR(SB_CMP_JNZ_FALL, R[(size_t)op->r2], zf_)
+    SB_CMP_BR(SB_CMP_JL_TAKEN, R[(size_t)op->r2], sf_)
+    SB_CMP_BR(SB_CMP_JL_FALL, R[(size_t)op->r2], !sf_)
+    SB_CMP_BR(SB_CMP_JGE_TAKEN, R[(size_t)op->r2], !sf_)
+    SB_CMP_BR(SB_CMP_JGE_FALL, R[(size_t)op->r2], sf_)
+    SB_CMP_BR(SB_CMPI_JZ_TAKEN, op->imm, zf_)
+    SB_CMP_BR(SB_CMPI_JZ_FALL, op->imm, !zf_)
+    SB_CMP_BR(SB_CMPI_JNZ_TAKEN, op->imm, !zf_)
+    SB_CMP_BR(SB_CMPI_JNZ_FALL, op->imm, zf_)
+    SB_CMP_BR(SB_CMPI_JL_TAKEN, op->imm, sf_)
+    SB_CMP_BR(SB_CMPI_JL_FALL, op->imm, !sf_)
+    SB_CMP_BR(SB_CMPI_JGE_TAKEN, op->imm, !sf_)
+    SB_CMP_BR(SB_CMPI_JGE_FALL, op->imm, sf_)
+
+#undef SB_CMP_BR
+
+/* Fused loop control (addi i,1; cmpi i,n; jcc): three guest
+ * instructions, one dispatch. The counter bump has no taint effect
+ * (an immediate carries no new tag) so the same handler serves every
+ * execution mode. On the budget edge only the addi retires and the
+ * still-fused compare-and-branch pair at the next index takes over,
+ * keeping pause points instruction-exact. */
+#define SB_ADDI_CMPI_BR(NAME, LINK)                                 \
+    SB_CASE(NAME) : {                                               \
+        if (budget - n >= 3) {                                      \
+            n += 3;                                                 \
+            R[(size_t)op->r1] += (uint32_t)op->imm;                 \
+            const SbOp *cmp = op + 1;                               \
+            const uint32_t a = R[(size_t)cmp->r1];                  \
+            const uint32_t b = (uint32_t)cmp->imm;                  \
+            zf_ = (a == b);                                         \
+            sf_ = ((int32_t)(a - b) < 0);                           \
+            op += 2;                                                \
+            if (LINK) {                                             \
+                op = base + op->dest;                               \
+                SB_DISPATCH();                                      \
+            }                                                       \
+            eip_ = op->exitPc;                                      \
+            bbStart_ = true;                                        \
+            goto sb_done;                                           \
+        }                                                           \
+        SB_INSN();                                                  \
+        R[(size_t)op->r1] += (uint32_t)op->imm;                     \
+        SB_NEXT();                                                  \
+    }
+
+    SB_ADDI_CMPI_BR(SB_ADDI_CMPI_JZ_TAKEN, zf_)
+    SB_ADDI_CMPI_BR(SB_ADDI_CMPI_JZ_FALL, !zf_)
+    SB_ADDI_CMPI_BR(SB_ADDI_CMPI_JNZ_TAKEN, !zf_)
+    SB_ADDI_CMPI_BR(SB_ADDI_CMPI_JNZ_FALL, zf_)
+    SB_ADDI_CMPI_BR(SB_ADDI_CMPI_JL_TAKEN, sf_)
+    SB_ADDI_CMPI_BR(SB_ADDI_CMPI_JL_FALL, !sf_)
+    SB_ADDI_CMPI_BR(SB_ADDI_CMPI_JGE_TAKEN, !sf_)
+    SB_ADDI_CMPI_BR(SB_ADDI_CMPI_JGE_FALL, sf_)
+
+#undef SB_ADDI_CMPI_BR
+
+/* Fused memory op + addi (pointer/counter bump): the body of the
+ * unfused memory handler followed by the increment, one dispatch.
+ * Guest memory cannot fault (unmapped reads yield 0, writes
+ * allocate), so the pair always retires atomically on the fast
+ * path; on the budget edge only the memory op retires and the
+ * unfused addi at the next index takes over. */
+#define SB_MEM_ADDI(NAME, ...)                                      \
+    SB_CASE(NAME) : {                                               \
+        if (budget - n >= 2) {                                      \
+            n += 2;                                                 \
+            { __VA_ARGS__; }                                        \
+            const SbOp *ai = op + 1;                                \
+            R[(size_t)ai->r1] += (uint32_t)ai->imm;                 \
+            op += 2;                                                \
+            SB_DISPATCH();                                          \
+        }                                                           \
+        SB_INSN();                                                  \
+        { __VA_ARGS__; }                                            \
+        SB_NEXT();                                                  \
+    }
+
+    SB_MEM_ADDI(SB_LOAD_ADDI,
+        R[(size_t)op->r1] =
+            gm.read32(R[(size_t)op->r2] + (uint32_t)op->imm))
+    SB_MEM_ADDI(SB_LOAD_T_ADDI,
+        const uint32_t ea = R[(size_t)op->r2] + (uint32_t)op->imm;
+        RT[(size_t)op->r1] = sh.rangeUnion(ts, ea, 4);
+        R[(size_t)op->r1] = gm.read32(ea))
+    SB_MEM_ADDI(SB_LOADB_ADDI,
+        R[(size_t)op->r1] =
+            gm.read8(R[(size_t)op->r2] + (uint32_t)op->imm))
+    SB_MEM_ADDI(SB_LOADB_T_ADDI,
+        const uint32_t ea = R[(size_t)op->r2] + (uint32_t)op->imm;
+        RT[(size_t)op->r1] = sh.get(ea);
+        R[(size_t)op->r1] = gm.read8(ea))
+    SB_MEM_ADDI(SB_STORE_ADDI,
+        gm.write32(R[(size_t)op->r2] + (uint32_t)op->imm,
+                   R[(size_t)op->r1]))
+    SB_MEM_ADDI(SB_STORE_T_ADDI,
+        const uint32_t ea = R[(size_t)op->r2] + (uint32_t)op->imm;
+        sh.setRange(ea, 4, RT[(size_t)op->r1]);
+        gm.write32(ea, R[(size_t)op->r1]))
+    SB_MEM_ADDI(SB_STOREB_ADDI,
+        gm.write8(R[(size_t)op->r2] + (uint32_t)op->imm,
+                  (uint8_t)R[(size_t)op->r1]))
+    SB_MEM_ADDI(SB_STOREB_T_ADDI,
+        const uint32_t ea = R[(size_t)op->r2] + (uint32_t)op->imm;
+        sh.set(ea, RT[(size_t)op->r1]);
+        gm.write8(ea, (uint8_t)R[(size_t)op->r1]))
+
+#undef SB_MEM_ADDI
+
+    // Four-instruction indexed-access macro-ops: address formation
+    // (movri base; add base, index) fused straight into the memory
+    // group it feeds (load/store; bump). One dispatch for the whole
+    // array-copy idiom; the budget-edge fallback retires only the
+    // movri and re-enters at the intact trailing pair chain.
+#define SB_IDX_MEM(NAME, ...)                                       \
+    SB_CASE(NAME) : {                                               \
+        if (budget - n >= 4) {                                      \
+            n += 4;                                                 \
+            const SbOp *add = op + 1;                               \
+            const SbOp *mem = op + 2;                               \
+            const SbOp *ai = op + 3;                                \
+            R[(size_t)op->r1] = (uint32_t)op->imm;                  \
+            R[(size_t)add->r1] += R[(size_t)add->r2];               \
+            { __VA_ARGS__; }                                        \
+            R[(size_t)ai->r1] += (uint32_t)ai->imm;                 \
+            op += 4;                                                \
+            SB_DISPATCH();                                          \
+        }                                                           \
+        SB_INSN();                                                  \
+        R[(size_t)op->r1] = (uint32_t)op->imm;                      \
+        SB_NEXT();                                                  \
+    }
+
+#define SB_IDX_MEM_T(NAME, ...)                                     \
+    SB_CASE(NAME) : {                                               \
+        if (budget - n >= 4) {                                      \
+            n += 4;                                                 \
+            const SbOp *add = op + 1;                               \
+            const SbOp *mem = op + 2;                               \
+            const SbOp *ai = op + 3;                                \
+            R[(size_t)op->r1] = (uint32_t)op->imm;                  \
+            R[(size_t)add->r1] += R[(size_t)add->r2];               \
+            const TagSetId bt = RT[(size_t)add->r2];                \
+            RT[(size_t)op->r1] =                                    \
+                (bt == TagStore::EMPTY || bt == op->tag)            \
+                    ? op->tag                                       \
+                    : (op->tag == TagStore::EMPTY                   \
+                           ? bt                                     \
+                           : ts.unite(op->tag, bt));                \
+            { __VA_ARGS__; }                                        \
+            R[(size_t)ai->r1] += (uint32_t)ai->imm;                 \
+            op += 4;                                                \
+            SB_DISPATCH();                                          \
+        }                                                           \
+        SB_INSN();                                                  \
+        RT[(size_t)op->r1] = op->tag;                               \
+        R[(size_t)op->r1] = (uint32_t)op->imm;                      \
+        SB_NEXT();                                                  \
+    }
+
+    SB_IDX_MEM(SB_MOVRI_ADD_LOAD_ADDI,
+        R[(size_t)mem->r1] =
+            gm.read32(R[(size_t)mem->r2] + (uint32_t)mem->imm))
+    SB_IDX_MEM_T(SB_MOVRI_ADD_LOAD_T_ADDI,
+        const uint32_t ea = R[(size_t)mem->r2] + (uint32_t)mem->imm;
+        RT[(size_t)mem->r1] = sh.rangeUnion(ts, ea, 4);
+        R[(size_t)mem->r1] = gm.read32(ea))
+    SB_IDX_MEM(SB_MOVRI_ADD_LOADB_ADDI,
+        R[(size_t)mem->r1] =
+            gm.read8(R[(size_t)mem->r2] + (uint32_t)mem->imm))
+    SB_IDX_MEM_T(SB_MOVRI_ADD_LOADB_T_ADDI,
+        const uint32_t ea = R[(size_t)mem->r2] + (uint32_t)mem->imm;
+        RT[(size_t)mem->r1] = sh.get(ea);
+        R[(size_t)mem->r1] = gm.read8(ea))
+    SB_IDX_MEM(SB_MOVRI_ADD_STORE_ADDI,
+        gm.write32(R[(size_t)mem->r2] + (uint32_t)mem->imm,
+                   R[(size_t)mem->r1]))
+    SB_IDX_MEM_T(SB_MOVRI_ADD_STORE_T_ADDI,
+        const uint32_t ea = R[(size_t)mem->r2] + (uint32_t)mem->imm;
+        sh.setRange(ea, 4, RT[(size_t)mem->r1]);
+        gm.write32(ea, R[(size_t)mem->r1]))
+    SB_IDX_MEM(SB_MOVRI_ADD_STOREB_ADDI,
+        gm.write8(R[(size_t)mem->r2] + (uint32_t)mem->imm,
+                  (uint8_t)R[(size_t)mem->r1]))
+    SB_IDX_MEM_T(SB_MOVRI_ADD_STOREB_T_ADDI,
+        const uint32_t ea = R[(size_t)mem->r2] + (uint32_t)mem->imm;
+        sh.set(ea, RT[(size_t)mem->r1]);
+        gm.write8(ea, (uint8_t)R[(size_t)mem->r1]))
+
+#undef SB_IDX_MEM
+#undef SB_IDX_MEM_T
+
+    // Fused address formation (movri base; add base, index): the
+    // dominant two-instruction idiom of indexed addressing. Same
+    // budget-edge contract as the compare-and-branch fusions.
+    SB_CASE(SB_MOVRI_ADD) : {
+        if (budget - n >= 2) {
+            n += 2;
+            const SbOp *add = op + 1;
+            R[(size_t)op->r1] = (uint32_t)op->imm;
+            R[(size_t)add->r1] += R[(size_t)add->r2];
+            op += 2;
+            SB_DISPATCH();
+        }
+        SB_INSN();
+        R[(size_t)op->r1] = (uint32_t)op->imm;
+        SB_NEXT();
+    }
+    SB_CASE(SB_MOVRI_ADD_T) : {
+        if (budget - n >= 2) {
+            n += 2;
+            const SbOp *add = op + 1;
+            R[(size_t)op->r1] = (uint32_t)op->imm;
+            R[(size_t)add->r1] += R[(size_t)add->r2];
+            // movri leaves op->tag in RT[r1]; the add unites the
+            // index register's tag in (inline unite fast path).
+            const TagSetId bt = RT[(size_t)add->r2];
+            RT[(size_t)op->r1] =
+                (bt == TagStore::EMPTY || bt == op->tag)
+                    ? op->tag
+                    : (op->tag == TagStore::EMPTY
+                           ? bt
+                           : ts.unite(op->tag, bt));
+            op += 2;
+            SB_DISPATCH();
+        }
+        SB_INSN();
+        RT[(size_t)op->r1] = op->tag;
+        R[(size_t)op->r1] = (uint32_t)op->imm;
+        SB_NEXT();
+    }
+    SB_CASE(SB_CPUID) : {
+        SB_INSN();
+        R[(size_t)Reg::Eax] = 0x48544856; // "HTHV"
+        R[(size_t)Reg::Ebx] = 0x756e6548;
+        R[(size_t)Reg::Ecx] = 0x6c65746e;
+        R[(size_t)Reg::Edx] = 0x49656e69;
+        SB_NEXT();
+    }
+    SB_CASE(SB_CPUID_T) : {
+        SB_INSN();
+        RT[(size_t)Reg::Eax] = op->tag; // HARDWARE, pre-interned
+        RT[(size_t)Reg::Ebx] = op->tag;
+        RT[(size_t)Reg::Ecx] = op->tag;
+        RT[(size_t)Reg::Edx] = op->tag;
+        R[(size_t)Reg::Eax] = 0x48544856;
+        R[(size_t)Reg::Ebx] = 0x756e6548;
+        R[(size_t)Reg::Ecx] = 0x6c65746e;
+        R[(size_t)Reg::Edx] = 0x49656e69;
+        SB_NEXT();
+    }
+
+    // In-trace links: the recorded direction re-dispatches without
+    // touching eip_ or the block cache; the other side exits.
+    SB_CASE(SB_JMP) : {
+        SB_INSN();
+        op = base + op->dest;
+        SB_DISPATCH();
+    }
+    SB_CASE(SB_JZ_TAKEN) : {
+        SB_INSN();
+        if (zf_) {
+            op = base + op->dest;
+            SB_DISPATCH();
+        }
+        eip_ = op->exitPc;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_JZ_FALL) : {
+        SB_INSN();
+        if (!zf_) {
+            op = base + op->dest;
+            SB_DISPATCH();
+        }
+        eip_ = op->exitPc;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_JNZ_TAKEN) : {
+        SB_INSN();
+        if (!zf_) {
+            op = base + op->dest;
+            SB_DISPATCH();
+        }
+        eip_ = op->exitPc;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_JNZ_FALL) : {
+        SB_INSN();
+        if (zf_) {
+            op = base + op->dest;
+            SB_DISPATCH();
+        }
+        eip_ = op->exitPc;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_JL_TAKEN) : {
+        SB_INSN();
+        if (sf_) {
+            op = base + op->dest;
+            SB_DISPATCH();
+        }
+        eip_ = op->exitPc;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_JL_FALL) : {
+        SB_INSN();
+        if (!sf_) {
+            op = base + op->dest;
+            SB_DISPATCH();
+        }
+        eip_ = op->exitPc;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_JGE_TAKEN) : {
+        SB_INSN();
+        if (!sf_) {
+            op = base + op->dest;
+            SB_DISPATCH();
+        }
+        eip_ = op->exitPc;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_JGE_FALL) : {
+        SB_INSN();
+        if (sf_) {
+            op = base + op->dest;
+            SB_DISPATCH();
+        }
+        eip_ = op->exitPc;
+        bbStart_ = true;
+        goto sb_done;
+    }
+
+    // Trace terminals: execute the transfer and leave the trace
+    // with exactly the machine state the generic loop would have.
+    SB_CASE(SB_XJMP) : {
+        SB_INSN();
+        eip_ = (uint32_t)op->imm;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_XJZ) : {
+        SB_INSN();
+        eip_ = zf_ ? (uint32_t)op->imm : op->pc + INSN_SIZE;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_XJNZ) : {
+        SB_INSN();
+        eip_ = !zf_ ? (uint32_t)op->imm : op->pc + INSN_SIZE;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_XJL) : {
+        SB_INSN();
+        eip_ = sf_ ? (uint32_t)op->imm : op->pc + INSN_SIZE;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_XJGE) : {
+        SB_INSN();
+        eip_ = !sf_ ? (uint32_t)op->imm : op->pc + INSN_SIZE;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_XCALL) : {
+        SB_INSN();
+        push32(op->pc + INSN_SIZE, TagStore::EMPTY);
+        const uint32_t tgt = (uint32_t)op->imm;
+        if (instrumentor_) {
+            eip_ = op->pc; // what the callback observes generically
+            instrumentor_->routineEnter(*this, tgt);
+        }
+        eip_ = tgt;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_XCALLSYM) : {
+        // imm was pre-resolved through the import table at build.
+        SB_INSN();
+        push32(op->pc + INSN_SIZE, TagStore::EMPTY);
+        const uint32_t tgt = (uint32_t)op->imm;
+        if (instrumentor_) {
+            eip_ = op->pc;
+            instrumentor_->routineEnter(*this, tgt);
+        }
+        eip_ = tgt;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_XCALLR) : {
+        SB_INSN();
+        push32(op->pc + INSN_SIZE, TagStore::EMPTY);
+        const uint32_t tgt = R[(size_t)op->r1];
+        if (instrumentor_) {
+            eip_ = op->pc;
+            instrumentor_->routineEnter(*this, tgt);
+        }
+        eip_ = tgt;
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_XRET) : {
+        SB_INSN();
+        eip_ = pop32();
+        bbStart_ = true;
+        goto sb_done;
+    }
+    SB_CASE(SB_XSYSCALL) : {
+        SB_INSN();
+        eip_ = op->pc + INSN_SIZE;
+        bbStart_ = true;
+        result = {StepKind::Syscall, {}, sb.exitImg, {}};
+        goto sb_done;
+    }
+    SB_CASE(SB_XHALT) : {
+        SB_INSN();
+        halted_ = true;
+        eip_ = op->pc + INSN_SIZE;
+        bbStart_ = false; // generic Halt returns without setting it
+        result = {StepKind::Halted, {}, nullptr, {}};
+        goto sb_done;
+    }
+    SB_CASE(SB_XFALLOFF) : {
+        // Pseudo-op (consumes no budget): the trace ran off the end
+        // of decoded text. Resume generically, which faults exactly
+        // as the interpreter always has.
+        eip_ = op->pc;
+        bbStart_ = false;
+        goto sb_done;
+    }
+
+#ifndef HTH_COMPUTED_GOTO
+      default:
+        break;
+    }
+#endif
+
+sb_deopt:
+    ++stats_.superblockDeopts;
+    deopt = true;
+    eip_ = op->pc + INSN_SIZE; // the deopting insn already retired
+    bbStart_ = false;
+    resume = true;
+    // fall through
+sb_done:
+    stats_.instructions += n;
+    stats_.superblockInsns += n;
+    if (taint)
+        stats_.taintOps += n; // propagate() counts one per insn
+    if (bbs > 1)
+        stats_.superblockChainedExits += bbs - 1;
+    executed = n;
+    if (deopt) {
+        // Unpublish the trace so the path re-forms (and re-proves,
+        // or gives up on, its specialization) under current taint
+        // conditions; parked in retiredSbs_ because this frame is
+        // still inside its ops array.
+        auto it = blockCache_.find(sb.entryPc);
+        if (it != blockCache_.end() && it->second.sb.get() == &sb) {
+            retiredSbs_.push_back(std::move(it->second.sb));
+            it->second.heat = 0;
+        }
+    }
+    if (resume) {
+        if (pausedSb_) {
+            // Budget pause: the overwhelmingly common next event is
+            // the fast-path re-entry at run()'s top, which never
+            // looks at the cursor. Null it and let run() restore it
+            // (one hash find) only if the re-entry guard fails.
+            curBlock_ = nullptr;
+            curOff_ = 0;
+        } else {
+            // Deopt stopped at a mid-block pc: restore the generic
+            // cursor so resumption continues in place rather than
+            // minting a duplicate block-cache entry keyed at a
+            // mid-block address.
+            auto it = blockCache_.find(bbPc);
+            if (it != blockCache_.end() && eip_ >= bbPc &&
+                eip_ < bbPc + it->second.count * INSN_SIZE) {
+                curBlock_ = &it->second;
+                curOff_ = (eip_ - bbPc) / INSN_SIZE;
+            } else {
+                curBlock_ = nullptr;
+                curOff_ = 0;
+            }
+        }
+    }
+    return result;
+
+#undef SB_INSN
+#undef SB_CASE
+#undef SB_DISPATCH
+#undef SB_NEXT
 }
 
 void
@@ -591,6 +2193,7 @@ Machine::cloneForFork() const
     out.halted_ = halted_;
     out.bbStart_ = bbStart_;
     out.trackTaint_ = trackTaint_;
+    out.superblocks_ = superblocks_;
     out.mem_ = mem_.clone();
     out.shadow_ = shadow_.clone();
     out.images_ = images_;

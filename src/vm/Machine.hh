@@ -28,6 +28,7 @@
 #include "vm/Image.hh"
 #include "vm/Isa.hh"
 #include "vm/Memory.hh"
+#include "vm/Superblock.hh"
 
 namespace hth::vm
 {
@@ -111,6 +112,13 @@ struct MachineStats
     uint64_t blockCacheMisses = 0;
     uint64_t blockCacheInvalidations = 0;
     uint64_t insnsDecoded = 0; //!< instructions put into cached blocks
+
+    /** Trace-linking engine behaviour. */
+    uint64_t superblocksFormed = 0;   //!< traces built and published
+    uint64_t superblockEntries = 0;   //!< runSuperblock invocations
+    uint64_t superblockChainedExits = 0; //!< in-trace block links taken
+    uint64_t superblockDeopts = 0;    //!< guard failures / taint deopts
+    uint64_t superblockInsns = 0;     //!< insns retired inside traces
 };
 
 /** One guest hardware context. */
@@ -192,6 +200,15 @@ class Machine
     void setTaintTracking(bool on) { trackTaint_ = on; }
     bool taintTracking() const { return trackTaint_; }
 
+    /** Enable/disable superblock formation and execution (ablation
+     * toggle; observable behaviour is identical either way). */
+    void setSuperblocks(bool on) { superblocks_ = on; }
+    bool superblocksEnabled() const { return superblocks_; }
+
+    /** True when superblock bodies dispatch via computed goto
+     * (labels-as-values); false on the portable switch fallback. */
+    static bool threadedDispatch();
+
     /** Execute one instruction (or yield at a kernel boundary). */
     StepResult step();
 
@@ -265,6 +282,17 @@ class Machine
         uint32_t startPc = 0;
         uint32_t count = 0;
         taint::TagSetId binTag = NO_TAG;    //!< lazily resolved
+
+        /** Entries at block start since the last (re)build; trace
+         * recording begins when this crosses HOT_THRESHOLD. */
+        uint32_t heat = 0;
+        /** Block never forms or joins a superblock (contains a
+         * Native mid-block, or a previous build attempt failed). */
+        bool noSb = false;
+        /** Published trace entered at this block, if any. Shared:
+         * runSuperblock keeps the ops alive across an instrumentor
+         * invalidating the cache mid-trace. */
+        std::shared_ptr<const Superblock> sb;
     };
 
     /** Sentinel for "BINARY tag not resolved yet". */
@@ -294,6 +322,36 @@ class Machine
     void propagate(const Instruction &insn, uint32_t pc,
                    const LoadedImage &img);
 
+    /** @name Trace-linking engine @{ */
+
+    /** Entries at block start before recording begins. */
+    static constexpr uint32_t HOT_THRESHOLD = 16;
+    /** Longest trace, in basic blocks. */
+    static constexpr uint32_t MAX_SB_BLOCKS = 16;
+
+    /** Append @p blk (entered at @p pc) to the trace being
+     * recorded; finalizes when the block cannot link onward. */
+    void appendRecorded(uint32_t pc, const CachedBlock &blk);
+
+    /** Process a block-entry arrival while recording: extend the
+     * trace or finalize it (loop-back / revisit / unlinkable). */
+    void recordArrival(uint32_t pc, const CachedBlock &blk);
+
+    /** Build the recorded trace and publish it on its entry block.
+     * On unbuildable content the entry block is marked noSb. */
+    void finalizeTrace(bool loopBack);
+
+    /** Execute @p sb until a side exit, terminal, budget expiry or
+     * deopt. @p executed receives retired instructions. Execution
+     * starts at op index @p startOp whose containing block begins
+     * at @p startBbPc (0 / sb.entryPc for a fresh entry; a paused
+     * position when resuming across a budget boundary). */
+    StepResult runSuperblock(const Superblock &sb, uint64_t budget,
+                             uint64_t &executed, uint32_t startOp,
+                             uint32_t startBbPc);
+
+    /** @} */
+
     taint::TagStore *tags_;
     std::array<uint32_t, NUM_REGS> regs_{};
     std::array<taint::TagSetId, NUM_REGS> regTags_{};
@@ -318,7 +376,34 @@ class Machine
      * into it. */
     std::unordered_map<uint32_t, CachedBlock> blockCache_;
     CachedBlock *curBlock_ = nullptr;
+
+    /** Traces unpublished while possibly executing (deopt, cache
+     * invalidation): kept alive here until the next run() entry, at
+     * which point no trace frame can reference them. Lets the hot
+     * entry path execute through a raw pointer instead of paying
+     * two atomic refcount operations per quantum. */
+    std::vector<std::shared_ptr<const Superblock>> retiredSbs_;
+
+    /** Budget pause inside a trace: the next run() resumes directly
+     * at this op instead of limping to the next block head through
+     * the generic loop. Valid only while pausedGen_ == cacheGen_
+     * (checked first — the pointer dangles after an invalidation)
+     * and re-validated against eip_ / taint mode / shadow epoch. */
+    const Superblock *pausedSb_ = nullptr;
+    uint32_t pausedOp_ = 0;
+    uint32_t pausedBbPc_ = 0;
+    uint64_t pausedGen_ = 0;
     uint32_t curOff_ = 0;   //!< index of the next insn in curBlock_
+
+    /** Bumped by every invalidateBlockCache(): lets in-flight
+     * execution detect that an instrumentor callback changed the
+     * image set mid-step and re-resolve its pointers. */
+    uint64_t cacheGen_ = 0;
+
+    bool superblocks_ = true;
+    bool recording_ = false;
+    /** Entry pcs of the blocks recorded so far, in chain order. */
+    std::vector<uint32_t> recordPcs_;
 
     Instrumentor *instrumentor_ = nullptr;
     bool insnHook_ = false; //!< instrumentor_->wantsInstructions()

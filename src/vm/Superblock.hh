@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Superblocks: linked traces of decoded basic blocks.
+ *
+ * PR 2's decoded-block cache removed re-decoding but still returned
+ * to the interpreter's outer loop — one hash lookup, one
+ * branch-target resolution — at every block boundary. A superblock
+ * goes the rest of the PIN-code-cache way: once a block is hot, the
+ * machine records the block chain execution actually follows and
+ * flattens it into one instruction sequence with internal side-exit
+ * stubs, so straight-line hot paths (loops above all) execute
+ * without touching the block cache or the outer dispatch loop at
+ * all.
+ *
+ * Each element is a pre-specialized operation: the handler id fuses
+ * the opcode with the execution mode chosen at build time (taint
+ * tracking on/off, provably-untainted fast path), the per-image
+ * BINARY tag of immediates is pre-interned, and import-table call
+ * targets are pre-resolved. Handler ids index the dispatch table of
+ * Machine::runSuperblock (computed-goto when the compiler supports
+ * labels-as-values, a switch otherwise).
+ */
+
+#ifndef HTH_VM_SUPERBLOCK_HH
+#define HTH_VM_SUPERBLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "taint/TagSet.hh"
+#include "vm/Isa.hh"
+
+namespace hth::vm
+{
+
+struct LoadedImage;
+
+/**
+ * Superblock operation handlers. One id per (opcode × mode)
+ * specialization the builder can emit:
+ *
+ *  - plain names execute with taint tracking off;
+ *  - `_T` variants fuse the generic taint propagation of §7.3.1
+ *    into the executing handler (one dispatch instead of two);
+ *  - `_TE` variants are the provably-untainted fast path: emitted
+ *    only when the whole shadow memory was EMPTY at build time,
+ *    they skip shadow lookups entirely and deoptimize the
+ *    superblock the moment a taint source would materialize;
+ *  - `SB_J*_TAKEN` / `SB_J*_FALL` are in-trace branches whose
+ *    recorded direction continues inside the superblock (`dest`)
+ *    and whose other direction is a side exit (`exitPc`);
+ *  - `SB_X*` are trace-terminal stubs that leave the superblock;
+ *  - macro-ops (`SB_MOVRI_ADD*`, `SB_CMP*_J*`, `SB_ADDI_CMPI_J*`)
+ *    are peephole fusions of two or three adjacent guest
+ *    instructions into one dispatch. The trailing instructions keep
+ *    their own unfused (or pair-fused) ops at the following
+ *    indices: the fused handler consumes the whole group when the
+ *    budget allows and falls back to retiring just the first
+ *    instruction otherwise, so budget accounting and pause points
+ *    stay instruction-exact. The `ADDI_CMPI` triple is the
+ *    loop-control idiom (`addi i,1; cmpi i,n; jcc`) — the counter
+ *    bump has no taint effect (immediates carry no new tag), so one
+ *    handler serves every execution mode. Memory ops followed by an
+ *    `addi` (`SB_LOAD*_ADDI`, `SB_STORE*_ADDI`) fuse in the plain
+ *    and `_T` modes only: `_TE` handlers stay unfused so the deopt
+ *    path never has a half-retired macro-op to unwind. A
+ *    `movri+add` pair immediately feeding such a memory group
+ *    grows into the four-instruction indexed-access macro-op
+ *    (`SB_MOVRI_ADD_LOAD*_ADDI`, `SB_MOVRI_ADD_STORE*_ADDI`): the
+ *    `lea base; add base, index; mem; bump` idiom of array copies
+ *    retires in a single dispatch.
+ *
+ * The list is an X-macro so the enum, the computed-goto label table
+ * and the switch fallback can never disagree on ordering.
+ */
+#define HTH_SB_HANDLERS(X)                                          \
+    X(SB_BB)                                                        \
+    X(SB_NOP)                                                       \
+    X(SB_MOVRR) X(SB_MOVRR_T)                                       \
+    X(SB_MOVRI) X(SB_MOVRI_T)                                       \
+    X(SB_LEA) X(SB_LEA_T)                                           \
+    X(SB_LOAD) X(SB_LOAD_T) X(SB_LOAD_TE)                           \
+    X(SB_LOADB) X(SB_LOADB_T) X(SB_LOADB_TE)                        \
+    X(SB_STORE) X(SB_STORE_T) X(SB_STORE_TE)                        \
+    X(SB_STOREB) X(SB_STOREB_T) X(SB_STOREB_TE)                     \
+    X(SB_PUSH) X(SB_PUSH_T) X(SB_PUSH_TE)                           \
+    X(SB_PUSHI) X(SB_PUSHI_T)                                       \
+    X(SB_POP) X(SB_POP_T) X(SB_POP_TE)                              \
+    X(SB_ADD) X(SB_ADD_T)                                           \
+    X(SB_ADDI)                                                      \
+    X(SB_SUB) X(SB_SUB_T)                                           \
+    X(SB_AND) X(SB_AND_T)                                           \
+    X(SB_OR) X(SB_OR_T)                                             \
+    X(SB_XOR) X(SB_XOR_T) X(SB_XORZ_T)                              \
+    X(SB_MUL) X(SB_MUL_T)                                           \
+    X(SB_SHL) X(SB_SHR)                                             \
+    X(SB_CMP) X(SB_CMPI)                                            \
+    X(SB_MOVRI_ADD) X(SB_MOVRI_ADD_T)                               \
+    X(SB_CMP_JZ_TAKEN) X(SB_CMP_JZ_FALL)                            \
+    X(SB_CMP_JNZ_TAKEN) X(SB_CMP_JNZ_FALL)                          \
+    X(SB_CMP_JL_TAKEN) X(SB_CMP_JL_FALL)                            \
+    X(SB_CMP_JGE_TAKEN) X(SB_CMP_JGE_FALL)                          \
+    X(SB_CMPI_JZ_TAKEN) X(SB_CMPI_JZ_FALL)                          \
+    X(SB_CMPI_JNZ_TAKEN) X(SB_CMPI_JNZ_FALL)                        \
+    X(SB_CMPI_JL_TAKEN) X(SB_CMPI_JL_FALL)                          \
+    X(SB_CMPI_JGE_TAKEN) X(SB_CMPI_JGE_FALL)                        \
+    X(SB_ADDI_CMPI_JZ_TAKEN) X(SB_ADDI_CMPI_JZ_FALL)                \
+    X(SB_ADDI_CMPI_JNZ_TAKEN) X(SB_ADDI_CMPI_JNZ_FALL)              \
+    X(SB_ADDI_CMPI_JL_TAKEN) X(SB_ADDI_CMPI_JL_FALL)                \
+    X(SB_ADDI_CMPI_JGE_TAKEN) X(SB_ADDI_CMPI_JGE_FALL)              \
+    X(SB_LOAD_ADDI) X(SB_LOAD_T_ADDI)                               \
+    X(SB_LOADB_ADDI) X(SB_LOADB_T_ADDI)                             \
+    X(SB_STORE_ADDI) X(SB_STORE_T_ADDI)                             \
+    X(SB_STOREB_ADDI) X(SB_STOREB_T_ADDI)                           \
+    X(SB_MOVRI_ADD_LOAD_ADDI) X(SB_MOVRI_ADD_LOAD_T_ADDI)          \
+    X(SB_MOVRI_ADD_LOADB_ADDI) X(SB_MOVRI_ADD_LOADB_T_ADDI)        \
+    X(SB_MOVRI_ADD_STORE_ADDI) X(SB_MOVRI_ADD_STORE_T_ADDI)        \
+    X(SB_MOVRI_ADD_STOREB_ADDI) X(SB_MOVRI_ADD_STOREB_T_ADDI)      \
+    X(SB_CPUID) X(SB_CPUID_T)                                       \
+    X(SB_JMP)                                                       \
+    X(SB_JZ_TAKEN) X(SB_JZ_FALL)                                    \
+    X(SB_JNZ_TAKEN) X(SB_JNZ_FALL)                                  \
+    X(SB_JL_TAKEN) X(SB_JL_FALL)                                    \
+    X(SB_JGE_TAKEN) X(SB_JGE_FALL)                                  \
+    X(SB_XJMP) X(SB_XJZ) X(SB_XJNZ) X(SB_XJL) X(SB_XJGE)            \
+    X(SB_XCALL) X(SB_XCALLSYM) X(SB_XCALLR) X(SB_XRET)              \
+    X(SB_XSYSCALL) X(SB_XHALT) X(SB_XFALLOFF)
+
+enum SbHandler : uint16_t
+{
+#define HTH_SB_ENUM(name) name,
+    HTH_SB_HANDLERS(HTH_SB_ENUM)
+#undef HTH_SB_ENUM
+    SB_NUM_HANDLERS,
+};
+
+/** One pre-specialized superblock operation. */
+struct SbOp
+{
+    uint16_t handler = SB_NOP;
+    Reg r1 = Reg::Eax;
+    Reg r2 = Reg::Eax;
+    int32_t imm = 0;            //!< operand / pre-resolved target
+    uint32_t pc = 0;            //!< guest pc of this instruction
+    taint::TagSetId tag = 0;    //!< pre-interned constant tag
+    uint32_t dest = 0;          //!< in-trace continuation op index
+    uint32_t exitPc = 0;        //!< resume pc for the side exit
+};
+
+/** A formed trace. Immutable once published into the block cache. */
+struct Superblock
+{
+    uint32_t entryPc = 0;
+    uint32_t blockCount = 0;    //!< constituent basic blocks
+    bool taintMode = false;     //!< built for taint tracking on
+    bool specialized = false;   //!< `_TE` untainted fast path in use
+    /** Shadow materialization epoch the `_TE` specialization was
+     * proven against; any later page materialization invalidates
+     * the proof and the entry guard deoptimizes. */
+    uint64_t shadowEpoch = 0;
+    /** Image of the final block (a SB_XSYSCALL terminal reports it
+     * in its StepResult, exactly as the generic loop does). */
+    const LoadedImage *exitImg = nullptr;
+    std::vector<SbOp> ops;
+};
+
+} // namespace hth::vm
+
+#endif // HTH_VM_SUPERBLOCK_HH

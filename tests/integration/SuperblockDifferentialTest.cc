@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Trace-engine ablation differential tests.
+ *
+ * The trace-linking engine (superblock formation, threaded
+ * dispatch, untainted specialization) is a pure performance layer:
+ * with it on or off, every scenario in the workloads corpus must
+ * produce the identical analysis — same CLIPS fire trace, same
+ * warnings, same transcript, same guest-visible behaviour, same
+ * instruction accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/Exploits.hh"
+#include "workloads/Macro.hh"
+#include "workloads/Micro.hh"
+#include "workloads/Trusted.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+/** Run @p s with the trace engine on or off. */
+Report
+runWith(const Scenario &s, bool superblocks)
+{
+    HthOptions options;
+    options.superblocks = superblocks;
+    return runScenario(s, options).report;
+}
+
+/** Warnings rendered one per line for whole-list comparison. */
+std::string
+warningsToString(const Report &r)
+{
+    std::string out;
+    for (const auto &w : r.warnings) {
+        out += std::to_string((int)w.severity);
+        out += ' ';
+        out += w.rule;
+        out += " pid=";
+        out += std::to_string(w.pid);
+        out += ' ';
+        out += w.message;
+        out += '\n';
+    }
+    return out;
+}
+
+class SuperblockDifferentialTest
+    : public ::testing::TestWithParam<Scenario>
+{
+};
+
+} // namespace
+
+TEST_P(SuperblockDifferentialTest, AblationAgrees)
+{
+    const Scenario &s = GetParam();
+    Report on = runWith(s, true);
+    Report off = runWith(s, false);
+
+    // Identical analysis: the expert system must see the exact same
+    // event stream in the exact same order.
+    EXPECT_EQ(on.fireTrace, off.fireTrace);
+    EXPECT_EQ(warningsToString(on), warningsToString(off));
+    EXPECT_EQ(on.maxSeverity(), off.maxSeverity());
+    EXPECT_EQ(on.transcript, off.transcript);
+    EXPECT_EQ(on.eventsAnalyzed, off.eventsAnalyzed);
+    EXPECT_EQ(on.rulesFired, off.rulesFired);
+
+    // Identical guest-visible execution and accounting: traces
+    // retire the same instructions the generic loop would.
+    EXPECT_EQ(on.status, off.status);
+    EXPECT_EQ(on.stdoutData, off.stdoutData);
+    EXPECT_EQ(on.exitCode, off.exitCode);
+    EXPECT_EQ(on.instructions, off.instructions) << s.id;
+    EXPECT_EQ(on.syscalls, off.syscalls) << s.id;
+
+    // The ablated side must genuinely have the engine off.
+    EXPECT_EQ(off.telemetry.metrics.counter("vm.superblock.formed"),
+              0u);
+
+    if (s.expectMalicious) {
+        EXPECT_FALSE(on.fireTrace.empty()) << s.id;
+    }
+}
+
+namespace
+{
+
+std::vector<Scenario>
+allScenarios()
+{
+    std::vector<Scenario> all;
+    for (auto &&list :
+         {executionFlowScenarios(), resourceAbuseScenarios(),
+          infoFlowScenarios(), macroScenarios(),
+          trustedProgramScenarios(), exploitScenarios()})
+        for (auto &s : list)
+            all.push_back(std::move(s));
+    return all;
+}
+
+std::string
+scenarioName(const ::testing::TestParamInfo<Scenario> &info)
+{
+    // gtest parameter names must be alphanumeric.
+    std::string name;
+    for (char c : info.param.id)
+        if (std::isalnum((unsigned char)c))
+            name += c;
+    return name;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SuperblockDifferentialTest,
+                         ::testing::ValuesIn(allScenarios()),
+                         scenarioName);
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -95,12 +95,14 @@ TEST(Telemetry, BlockCacheCountersMatchMachineStats)
     Report report = hth.monitor(image->path, {image->path});
 
     uint64_t hits = 0, misses = 0, invalidations = 0, insns = 0;
+    uint64_t sbInsns = 0;
     for (const auto &p : hth.kernel().processes()) {
         const vm::MachineStats &ms = p->machine.stats();
         hits += ms.blockCacheHits;
         misses += ms.blockCacheMisses;
         invalidations += ms.blockCacheInvalidations;
         insns += ms.instructions;
+        sbInsns += ms.superblockInsns;
     }
     const obs::MetricSnapshot &m = report.telemetry.metrics;
     EXPECT_EQ(m.counter("vm.block_cache.hits"), hits);
@@ -108,9 +110,11 @@ TEST(Telemetry, BlockCacheCountersMatchMachineStats)
     EXPECT_EQ(m.counter("vm.block_cache.invalidations"),
               invalidations);
     EXPECT_EQ(m.counter("vm.instructions"), insns);
-    // The loop re-enters its two blocks thousands of times: the
-    // cache must be doing nearly all the dispatches.
-    EXPECT_GT(hits, misses * 100);
+    // The loop re-enters its two blocks thousands of times: nearly
+    // every dispatch must come from the cache or from inside a
+    // linked trace (which bypasses the cache entirely, so cache
+    // hits alone no longer bound dispatch work).
+    EXPECT_GT(hits + sbInsns, misses * 100);
     // Every miss decoded at least one instruction.
     EXPECT_GE(m.counter("vm.block_cache.insns_decoded"), misses);
     EXPECT_GT(misses, 0u);

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Unit tests for the trace-linking engine: superblock formation,
+ * budget-exact pause/resume, untainted specialization and its
+ * deoptimization guards, invalidation, the ablation toggle, and the
+ * instrumentation-hook interactions (including callbacks that
+ * invalidate the block cache mid-execution).
+ */
+
+#include <gtest/gtest.h>
+
+#include "taint/TagSet.hh"
+#include "vm/Asm.hh"
+#include "vm/Machine.hh"
+
+using namespace hth;
+using namespace hth::vm;
+using taint::SourceType;
+using taint::TagSetId;
+using taint::TagStore;
+
+namespace
+{
+
+/** Load @p image into @p m positioned at its entry. */
+void
+loadAt(Machine &m, std::shared_ptr<const Image> image,
+       taint::ResourceId res = 1)
+{
+    const LoadedImage &li = m.loadImage(std::move(image), res);
+    m.setEip(li.base + li.image->entry);
+}
+
+/** Drive @p m to halt through run() (the trace-dispatch surface;
+ * step() never enters traces). Returns total retired instructions. */
+uint64_t
+runAll(Machine &m, uint64_t chunk = 1 << 20)
+{
+    uint64_t total = 0;
+    while (!m.halted()) {
+        uint64_t n = 0;
+        StepResult r = m.run(chunk, n);
+        total += n;
+        if (r.kind == StepKind::Fault) {
+            ADD_FAILURE() << "fault: " << r.faultReason;
+            break;
+        }
+        if (r.kind == StepKind::Halted)
+            break;
+        EXPECT_NE(r.kind, StepKind::Syscall) << "unexpected syscall";
+        EXPECT_NE(r.kind, StepKind::Native) << "unexpected native";
+    }
+    return total;
+}
+
+/** A counting loop long enough to cross HOT_THRESHOLD many times. */
+std::shared_ptr<const Image>
+makeHotLoop(int n)
+{
+    Asm a("/t/hot");
+    a.movi(Reg::Ecx, 0);
+    a.label("loop");
+    a.addi(Reg::Ecx, 1);
+    a.cmpi(Reg::Ecx, n);
+    a.jl("loop");
+    a.halt();
+    return a.build();
+}
+
+/** A loop that loads from and stores to bss every iteration (the
+ * memory ops the untainted specialization rewrites). */
+std::shared_ptr<const Image>
+makeMemLoop(int n)
+{
+    Asm a("/t/mem");
+    a.dataSpace("buf", 64);
+    a.movi(Reg::Ecx, 0);
+    a.label("loop");
+    a.leaSym(Reg::Esi, "buf");
+    a.load(Reg::Eax, Reg::Esi, 0);
+    a.store(Reg::Esi, 4, Reg::Eax);
+    a.addi(Reg::Ecx, 1);
+    a.cmpi(Reg::Ecx, n);
+    a.jl("loop");
+    a.halt();
+    return a.build();
+}
+
+} // namespace
+
+TEST(Superblock, FormsOnHotLoopAndCountsDispatch)
+{
+    TagStore tags;
+    Machine m(tags);
+    ASSERT_TRUE(m.superblocksEnabled());
+    loadAt(m, makeHotLoop(500));
+    runAll(m);
+
+    const MachineStats &st = m.stats();
+    EXPECT_EQ(m.reg(Reg::Ecx), 500u);
+    EXPECT_GE(st.superblocksFormed, 1u);
+    EXPECT_GE(st.superblockEntries, 1u);
+    EXPECT_GT(st.superblockInsns, 0u);
+    EXPECT_LE(st.superblockInsns, st.instructions);
+    // The loop body re-dispatches in-trace: the overwhelming share
+    // of instructions must retire inside the trace.
+    EXPECT_GT(st.superblockInsns * 10, st.instructions * 9);
+    EXPECT_EQ(st.superblockDeopts, 0u);
+}
+
+TEST(Superblock, AblationTogglesEngineOffIdentically)
+{
+    TagStore tagsOn, tagsOff;
+    Machine on(tagsOn), off(tagsOff);
+    off.setSuperblocks(false);
+    EXPECT_FALSE(off.superblocksEnabled());
+    loadAt(on, makeHotLoop(300));
+    loadAt(off, makeHotLoop(300));
+    uint64_t nOn = runAll(on);
+    uint64_t nOff = runAll(off);
+
+    // Same architectural outcome, no traces on the ablated side.
+    EXPECT_EQ(nOn, nOff);
+    EXPECT_EQ(on.stats().instructions, off.stats().instructions);
+    EXPECT_EQ(on.stats().basicBlocks, off.stats().basicBlocks);
+    EXPECT_EQ(on.reg(Reg::Ecx), off.reg(Reg::Ecx));
+    EXPECT_GE(on.stats().superblocksFormed, 1u);
+    EXPECT_EQ(off.stats().superblocksFormed, 0u);
+    EXPECT_EQ(off.stats().superblockInsns, 0u);
+}
+
+TEST(Superblock, BudgetExactPauseAndResume)
+{
+    // Drive the hot loop in awkward budgets so every pause lands
+    // mid-trace; accounting must stay instruction-exact and the
+    // architectural result identical to a step()-driven twin.
+    TagStore tagsA, tagsB;
+    Machine a(tagsA), b(tagsB);
+    loadAt(a, makeHotLoop(300));
+    loadAt(b, makeHotLoop(300));
+
+    uint64_t executed = 0;
+    uint64_t budget = 1;
+    while (!a.halted()) {
+        uint64_t n = 0;
+        StepResult r = a.run(budget, n);
+        ASSERT_NE(r.kind, StepKind::Fault) << r.faultReason;
+        EXPECT_LE(n, budget);
+        executed += n;
+        budget = budget % 13 + 1; // 1..13, co-prime with the loop
+    }
+    while (!b.halted())
+        b.step();
+
+    EXPECT_EQ(executed, a.stats().instructions);
+    EXPECT_EQ(a.stats().instructions, b.stats().instructions);
+    EXPECT_EQ(a.stats().basicBlocks, b.stats().basicBlocks);
+    EXPECT_EQ(a.reg(Reg::Ecx), b.reg(Reg::Ecx));
+    // Small budgets still enter traces (pause/resume fast path).
+    EXPECT_GT(a.stats().superblockInsns, 0u);
+}
+
+TEST(Superblock, UntaintedSpecializationProvenAndKept)
+{
+    TagStore tags;
+    Machine m(tags);
+    m.setTaintTracking(true);
+    // bss-only image: nothing taints the shadow, so the trace is
+    // provably untainted and must never deoptimize.
+    loadAt(m, makeMemLoop(300));
+    runAll(m);
+
+    EXPECT_EQ(m.reg(Reg::Ecx), 300u);
+    EXPECT_GE(m.stats().superblocksFormed, 1u);
+    EXPECT_GT(m.stats().superblockInsns, 0u);
+    EXPECT_EQ(m.stats().superblockDeopts, 0u);
+    // The loaded value was never tainted.
+    EXPECT_EQ(m.regTag(Reg::Eax), TagStore::EMPTY);
+}
+
+TEST(Superblock, DeoptWhenShadowMaterializes)
+{
+    TagStore tags;
+    Machine m(tags);
+    m.setTaintTracking(true);
+    loadAt(m, makeMemLoop(400));
+
+    // Run far enough for the specialized trace to form and run.
+    uint64_t n = 0;
+    ASSERT_EQ(m.run(600, n).kind, StepKind::Ok);
+    ASSERT_GE(m.stats().superblocksFormed, 1u);
+    ASSERT_EQ(m.stats().superblockDeopts, 0u);
+
+    // An external taint source materializes a shadow page: the
+    // emptiness proof is void, the entry guard must deoptimize and
+    // the path re-form without the specialization.
+    TagSetId tag =
+        tags.single({SourceType::UserInput, taint::NO_RESOURCE});
+    const uint32_t bufAddr = m.images().front().base +
+                             m.images().front().image->bssOffset();
+    m.shadow().set(bufAddr, tag);
+
+    runAll(m);
+    EXPECT_EQ(m.reg(Reg::Ecx), 400u);
+    EXPECT_GE(m.stats().superblockDeopts, 1u);
+    EXPECT_GE(m.stats().superblocksFormed, 2u); // re-formed
+    // The re-formed generic-taint trace now propagates: the load
+    // from the tainted buffer taints Eax.
+    EXPECT_EQ(m.regTag(Reg::Eax), tag);
+}
+
+TEST(Superblock, DeoptWhenTaintReachesSpecializedStore)
+{
+    TagStore tags;
+    Machine m(tags);
+    m.setTaintTracking(true);
+    // The stored register is zeroed with xor r,r (which clears its
+    // tag, §7.3.1) outside the loop and never written inside it, so
+    // the specialized trace stores a provably-untainted value —
+    // until the test taints the register externally.
+    Asm a("/t/st");
+    a.dataSpace("buf", 64);
+    a.movi(Reg::Ecx, 0);
+    a.xor_(Reg::Edx, Reg::Edx);
+    a.label("loop");
+    a.leaSym(Reg::Esi, "buf");
+    a.store(Reg::Esi, 0, Reg::Edx);
+    a.addi(Reg::Ecx, 1);
+    a.cmpi(Reg::Ecx, 400);
+    a.jl("loop");
+    a.halt();
+    loadAt(m, a.build());
+
+    // Pause mid-run with the specialized trace live, then taint the
+    // register the trace stores through. The in-trace deopt guard
+    // must catch the tainted store, perform the generic operation
+    // (shadow updated!) and unpublish the trace.
+    uint64_t n = 0;
+    ASSERT_EQ(m.run(600, n).kind, StepKind::Ok);
+    ASSERT_GE(m.stats().superblocksFormed, 1u);
+    ASSERT_EQ(m.stats().superblockDeopts, 0u);
+
+    TagSetId tag =
+        tags.single({SourceType::Socket, taint::NO_RESOURCE});
+    m.setRegTag(Reg::Edx, tag);
+
+    runAll(m);
+    EXPECT_EQ(m.reg(Reg::Ecx), 400u);
+    EXPECT_GE(m.stats().superblockDeopts, 1u);
+    // The deopting store wrote its taint through before exiting.
+    const uint32_t bufAddr = m.images().front().base +
+                             m.images().front().image->bssOffset();
+    EXPECT_EQ(m.shadow().rangeUnion(tags, bufAddr, 4), tag);
+}
+
+TEST(Superblock, ResetForExecDropsTraces)
+{
+    TagStore tags;
+    Machine m(tags);
+    loadAt(m, makeHotLoop(200));
+    runAll(m);
+    ASSERT_GE(m.stats().superblocksFormed, 1u);
+    const uint64_t invs = m.stats().blockCacheInvalidations;
+
+    // execve: traces hold image pointers and decoded text — they
+    // must die with the block cache.
+    m.resetForExec();
+    EXPECT_EQ(m.stats().blockCacheInvalidations, invs + 1);
+
+    loadAt(m, makeHotLoop(100));
+    runAll(m);
+    EXPECT_EQ(m.reg(Reg::Ecx), 100u);
+    EXPECT_GE(m.stats().superblocksFormed, 2u);
+}
+
+namespace
+{
+
+/** An instrumentor that maps a shared object once, mid-execution,
+ * from a chosen callback — invalidating the block cache while the
+ * machine is inside a step or a trace. */
+struct MidRunLoader : Instrumentor
+{
+    Machine *m = nullptr;
+    int triggerBb = -1;     //!< basicBlock() count that loads
+    int triggerInsn = -1;   //!< instruction() count that loads
+    bool wantInsns = false;
+    int bbs = 0;
+    int insns = 0;
+    bool loaded = false;
+
+    void
+    maybeLoad()
+    {
+        if (loaded)
+            return;
+        loaded = true;
+        Asm so("/t/mid.so", /*shared_object=*/true);
+        so.label("fn");
+        so.ret();
+        m->loadImage(so.build(), 7);
+    }
+    void
+    basicBlock(Machine &, uint32_t) override
+    {
+        if (++bbs == triggerBb)
+            maybeLoad();
+    }
+    bool wantsInstructions() const override { return wantInsns; }
+    void
+    instruction(Machine &, const Instruction &, uint32_t) override
+    {
+        if (++insns == triggerInsn)
+            maybeLoad();
+    }
+};
+
+} // namespace
+
+TEST(Superblock, InstructionHookForcesGenericDispatch)
+{
+    // The per-instruction hook observes one instruction at a time;
+    // traces batch them, so the engine must stand down entirely.
+    TagStore tags;
+    Machine m(tags);
+    MidRunLoader ins;
+    ins.m = &m;
+    ins.wantInsns = true;
+    m.setInstrumentor(&ins);
+    loadAt(m, makeHotLoop(200));
+    runAll(m);
+
+    EXPECT_EQ(m.reg(Reg::Ecx), 200u);
+    EXPECT_EQ(m.stats().superblocksFormed, 0u);
+    EXPECT_EQ(m.stats().superblockInsns, 0u);
+    EXPECT_EQ((uint64_t)ins.insns, m.stats().instructions);
+}
+
+TEST(Superblock, InstructionHookLoadImageMidStepRecovers)
+{
+    // Regression for the generic-loop staleness fix: an
+    // instruction() callback that invalidates the block cache used
+    // to leave the loop iterating over freed decoded text.
+    TagStore tags;
+    Machine m(tags);
+    MidRunLoader ins;
+    ins.m = &m;
+    ins.wantInsns = true;
+    ins.triggerInsn = 150; // mid-loop, inside a cached block
+    m.setInstrumentor(&ins);
+    loadAt(m, makeHotLoop(200));
+    runAll(m);
+
+    EXPECT_TRUE(ins.loaded);
+    EXPECT_EQ(m.reg(Reg::Ecx), 200u);
+    EXPECT_EQ((uint64_t)ins.insns, m.stats().instructions);
+}
+
+TEST(Superblock, BasicBlockHookLoadImageMidTraceRecovers)
+{
+    // The block-boundary callback fires from inside executing
+    // traces too. Invalidation there frees the very ops array being
+    // executed (parked in retiredSbs_ until the trace exits); the
+    // generation check must exit the trace and re-enter generically
+    // with the architectural state intact.
+    TagStore tags;
+    Machine m(tags);
+    MidRunLoader ins;
+    ins.m = &m;
+    ins.triggerBb = 60; // after the loop trace formed (threshold 16)
+    m.setInstrumentor(&ins);
+    loadAt(m, makeHotLoop(200));
+    runAll(m);
+
+    EXPECT_TRUE(ins.loaded);
+    EXPECT_EQ(m.reg(Reg::Ecx), 200u);
+    EXPECT_GE(m.stats().superblocksFormed, 1u);
+    EXPECT_GE(m.stats().blockCacheInvalidations, 1u);
+}
+
+TEST(Superblock, PausedTraceSurvivesInvalidationBetweenRuns)
+{
+    // Pause inside a trace, invalidate, resume: the paused-trace
+    // fast path must notice the generation change and fall back to
+    // generic dispatch instead of dereferencing the dead trace.
+    TagStore tags;
+    Machine m(tags);
+    loadAt(m, makeHotLoop(300));
+
+    uint64_t n = 0;
+    ASSERT_EQ(m.run(500, n).kind, StepKind::Ok); // paused mid-trace
+    ASSERT_GE(m.stats().superblocksFormed, 1u);
+
+    Asm so("/t/pause.so", /*shared_object=*/true);
+    so.label("fn");
+    so.ret();
+    m.loadImage(so.build(), 9); // invalidates everything
+
+    runAll(m);
+    EXPECT_EQ(m.reg(Reg::Ecx), 300u);
+}
+
+TEST(Superblock, ThreadedDispatchReportsCompileTimeChoice)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    EXPECT_TRUE(Machine::threadedDispatch());
+#else
+    EXPECT_FALSE(Machine::threadedDispatch());
+#endif
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
