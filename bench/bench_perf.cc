@@ -25,6 +25,8 @@
 #include <benchmark/benchmark.h>
 
 #include "BenchUtil.hh"
+#include "anomaly/Baseline.hh"
+#include "anomaly/Scorer.hh"
 #include "core/Hth.hh"
 #include "obs/Profiler.hh"
 #include "harrier/Harrier.hh"
@@ -279,6 +281,63 @@ BM_ClipsEventNaive(benchmark::State &state)
     runClipsBench(state, true);
 }
 BENCHMARK(BM_ClipsEventNaive);
+
+/** Deviation scoring at fleet scale: one RunTelemetry snapshot
+ * against a realistic-width baseline (a few hundred metrics). The
+ * scorer runs once per monitored session, so it must stay µs-scale
+ * next to the session's ms-scale guest execution. */
+void
+BM_AnomalyScore(benchmark::State &state)
+{
+    const int metricCount = 256;
+    anomaly::BaselineBuilder builder("bench");
+    obs::RunTelemetry sample;
+    sample.profiled = true;
+    for (int i = 0; i < metricCount; ++i)
+        sample.metrics.counters["metric." + std::to_string(i)] =
+            1000 + i;
+    for (int s = 0; s < 5; ++s) {
+        for (auto &[name, value] : sample.metrics.counters)
+            value += 7;   // mild seed-to-seed drift
+        builder.addSample(sample);
+    }
+    anomaly::BaselineProfile baseline = builder.build();
+
+    obs::RunTelemetry run = sample;
+    run.metrics.counters["metric.13"] *= 3;        // one deviant
+    run.metrics.counters["novel.syscall"] = 1;     // one novel
+    double aggregate = 0;
+    for (auto _ : state) {
+        anomaly::AnomalyScore score =
+            anomaly::scoreTelemetry(run, "bench", baseline);
+        aggregate = score.aggregate;
+        benchmark::DoNotOptimize(score);
+    }
+    state.counters["metrics_scored"] = metricCount + 1;
+    state.counters["aggregate"] = aggregate;
+}
+BENCHMARK(BM_AnomalyScore);
+
+/** Baseline persistence cost (serialize + parse of a full profile):
+ * bounds what `hthd --baseline-record` pays per scenario. */
+void
+BM_BaselineRoundTrip(benchmark::State &state)
+{
+    anomaly::BaselineBuilder builder("bench");
+    obs::RunTelemetry sample;
+    sample.profiled = true;
+    for (int i = 0; i < 256; ++i)
+        sample.metrics.counters["metric." + std::to_string(i)] =
+            12345 + i * 3;
+    for (int s = 0; s < 5; ++s)
+        builder.addSample(sample);
+    anomaly::BaselineProfile baseline = builder.build();
+    for (auto _ : state) {
+        std::string text = anomaly::serializeBaseline(baseline);
+        benchmark::DoNotOptimize(anomaly::parseBaseline(text));
+    }
+}
+BENCHMARK(BM_BaselineRoundTrip);
 
 } // namespace
 

@@ -13,6 +13,14 @@
  *   hthd --workers 4 --trace-dir traces
  *   hthd --replay traces/grabem.hthtrc
  *   hthd --stats-json stats.json --stats-interval 5
+ *   hthd --baseline-record baselines --baseline-runs 5
+ *   hthd --baseline baselines
+ *
+ * --baseline-record runs every selected clean scenario N times
+ * under varied seeds and writes one baseline profile per scenario;
+ * --baseline (a profile file or the recorded directory) scores each
+ * session's telemetry against its baseline and joins anomalous
+ * verdicts into the expert system.
  *
  * A manifest names one scenario id per line (`#` starts a comment);
  * the line `all` expands to the whole corpus. Without a manifest
@@ -35,11 +43,13 @@
 #include <thread>
 #include <vector>
 
+#include "anomaly/Baseline.hh"
 #include "fleet/FleetService.hh"
 #include "obs/StatsSink.hh"
 #include "secpert/Secpert.hh"
 #include "support/Logging.hh"
 #include "trace/TraceReader.hh"
+#include "workloads/AnomalyCorpus.hh"
 #include "workloads/Exploits.hh"
 #include "workloads/Macro.hh"
 #include "workloads/Micro.hh"
@@ -58,7 +68,8 @@ corpus()
     for (auto &&list :
          {executionFlowScenarios(), resourceAbuseScenarios(),
           infoFlowScenarios(), macroScenarios(),
-          trustedProgramScenarios(), exploitScenarios()})
+          trustedProgramScenarios(), exploitScenarios(),
+          anomalyScenarios()})
         for (auto &s : list)
             all.push_back(std::move(s));
     return all;
@@ -132,7 +143,14 @@ usage()
         "  --summary-only     suppress per-session result lines\n"
         "  --stats-json FILE  write fleet telemetry as JSON lines\n"
         "  --stats-interval N progress line to stderr every N s\n"
-        "                     (default 0 = off)\n";
+        "                     (default 0 = off)\n"
+        "  --baseline-record DIR  record clean baselines (one per\n"
+        "                     selected non-malicious scenario), exit\n"
+        "  --baseline-runs N  seeded runs per baseline (default 5)\n"
+        "  --baseline PATH    score sessions against PATH: a profile\n"
+        "                     file (applied to every session) or a\n"
+        "                     --baseline-record directory (matched\n"
+        "                     per scenario id)\n";
     return 2;
 }
 
@@ -143,6 +161,9 @@ run(int argc, char **argv)
     std::string trace_dir;
     std::string manifest_path;
     std::string stats_json;
+    std::string baseline_record_dir;
+    std::string baseline_path;
+    uint32_t baseline_runs = 5;
     unsigned stats_interval = 0;
     bool summary_only = false;
     HthOptions session_options;
@@ -175,6 +196,14 @@ run(int argc, char **argv)
             stats_json = value();
         } else if (arg == "--stats-interval") {
             stats_interval = (unsigned)std::stoul(value());
+        } else if (arg == "--baseline-record") {
+            baseline_record_dir = value();
+        } else if (arg == "--baseline-runs") {
+            baseline_runs = (uint32_t)std::stoul(value());
+            fatalIf(baseline_runs == 0,
+                    "hthd: --baseline-runs must be positive");
+        } else if (arg == "--baseline") {
+            baseline_path = value();
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -208,6 +237,44 @@ run(int argc, char **argv)
         }
     }
 
+    if (!baseline_record_dir.empty()) {
+        std::filesystem::create_directories(baseline_record_dir);
+        size_t recorded = 0, skipped = 0;
+        for (const Scenario *s : selected) {
+            // A baseline is a model of *trusted* behaviour; profiling
+            // a known-malicious scenario would launder its telemetry
+            // into the reference distribution.
+            if (s->expectMalicious) {
+                ++skipped;
+                continue;
+            }
+            anomaly::BaselineProfile profile =
+                recordScenarioBaseline(*s, baseline_runs,
+                                       session_options);
+            std::string path = baseline_record_dir + "/" +
+                               sanitize(s->id) + ".baseline";
+            anomaly::saveBaseline(path, profile);
+            std::cout << "  recorded " << path << " ("
+                      << profile.samples << " runs, "
+                      << profile.metrics.size() << " metrics)\n";
+            ++recorded;
+        }
+        std::cout << "hthd: " << recorded << " baselines recorded, "
+                  << skipped << " malicious scenarios skipped\n";
+        return 0;
+    }
+
+    std::shared_ptr<const anomaly::BaselineProfile> shared_baseline;
+    bool baseline_is_dir = false;
+    if (!baseline_path.empty()) {
+        if (std::filesystem::is_directory(baseline_path))
+            baseline_is_dir = true;
+        else
+            shared_baseline =
+                std::make_shared<anomaly::BaselineProfile>(
+                    anomaly::loadBaseline(baseline_path));
+    }
+
     if (!trace_dir.empty())
         std::filesystem::create_directories(trace_dir);
 
@@ -239,7 +306,24 @@ run(int argc, char **argv)
         if (!trace_dir.empty())
             trace_path =
                 trace_dir + "/" + sanitize(s->id) + ".hthtrc";
-        service.submit(toFleetJob(*s, session_options, trace_path));
+        HthOptions opts = session_options;
+        if (shared_baseline) {
+            // One profile judging every session: a deliberate
+            // cross-scenario comparison, so the name check is off.
+            opts.baseline = shared_baseline;
+            opts.baselineRunName = s->id;
+            opts.scorer.allowNameMismatch = true;
+        } else if (baseline_is_dir) {
+            std::string profile_path = baseline_path + "/" +
+                                       sanitize(s->id) + ".baseline";
+            if (std::filesystem::exists(profile_path)) {
+                opts.baseline =
+                    std::make_shared<anomaly::BaselineProfile>(
+                        anomaly::loadBaseline(profile_path));
+                opts.baselineRunName = s->id;
+            }
+        }
+        service.submit(toFleetJob(*s, opts, trace_path));
     }
     fleet::FleetReport report = service.finish();
     if (stats_thread.joinable()) {
@@ -250,13 +334,22 @@ run(int argc, char **argv)
     if (!stats_json.empty()) {
         std::ofstream out(stats_json);
         fatalIf(!out, "hthd: cannot write ", stats_json);
-        out << "{\"type\":\"fleet\",\"sessions\":"
-            << report.sessions << ",\"completed\":"
-            << report.completed << ",\"failed\":" << report.failed
+        out << "{\"type\":\"fleet\",\"schema_version\":2"
+            << ",\"sessions\":" << report.sessions
+            << ",\"completed\":" << report.completed
+            << ",\"failed\":" << report.failed
             << ",\"cancelled\":" << report.cancelled
             << ",\"flagged\":" << report.flagged
             << ",\"warnings\":" << report.warnings
             << ",\"wall_seconds\":" << report.wallSeconds << "}\n";
+        // Always present, even with no baseline configured, so
+        // consumers can distinguish "anomaly detection off" from
+        // "on and nothing scored".
+        out << "{\"type\":\"anomaly\",\"enabled\":"
+            << (baseline_path.empty() ? "false" : "true")
+            << ",\"baseline\":\"" << obs::jsonEscape(baseline_path)
+            << "\",\"scored\":" << report.anomalyScored
+            << ",\"anomalous\":" << report.anomalous << "}\n";
         obs::writeJsonLines(report.telemetry, out);
     }
 
@@ -293,6 +386,20 @@ run(int argc, char **argv)
                            std::to_string(taint_paths) +
                            " taint-path, " + std::to_string(triggers) +
                            " trigger-hypothesis]";
+            if (r.report.anomalyScored) {
+                std::ostringstream az;
+                az.setf(std::ios::fixed);
+                az.precision(2);
+                az << " [anomaly: score "
+                   << r.report.anomaly.aggregate << " vs baseline "
+                   << r.report.anomaly.baselineName;
+                if (r.report.anomaly.anomalous &&
+                    !r.report.anomaly.top.empty())
+                    az << ", ANOMALOUS, worst metric "
+                       << r.report.anomaly.top.front().metric;
+                az << "]";
+                verdict += az.str();
+            }
         }
         if (!summary_only)
             std::cout << "  [" << r.index << "] " << r.id << ": "

@@ -13,14 +13,29 @@ import argparse
 import json
 import os
 import statistics
+import sys
 
 
-def load_runs(paths):
+def fail(msg):
+    print(f"bench_summarize: error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_runs(paths, role):
     """benchmark name -> {"times_us": [...], "counters": {...}}."""
     merged = {}
     for path in paths:
-        with open(path) as f:
-            doc = json.load(f)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except OSError as e:
+            fail(f"cannot read {role} file '{path}': {e.strerror}")
+        except json.JSONDecodeError as e:
+            fail(f"{role} file '{path}' is not valid benchmark "
+                 f"JSON: {e}")
+        if "benchmarks" not in doc:
+            fail(f"{role} file '{path}' has no 'benchmarks' key — "
+                 f"was it produced with --benchmark_out_format=json?")
         for b in doc.get("benchmarks", []):
             # With --benchmark_report_aggregates_only the file holds
             # _mean/_median/_stddev rows; pool the _median ones.
@@ -67,21 +82,34 @@ def main():
     ap.add_argument("--baseline-ref", default=None)
     args = ap.parse_args()
 
-    current = summarise(load_runs(args.current))
+    current = summarise(load_runs(args.current, "current"))
+    if not current:
+        fail("current run files contain no benchmarks")
     # Always record the machine's core count: scaling curves (e.g.
     # bench_fleet's worker sweep) are meaningless without it.
-    doc = {"hw_cores": os.cpu_count(), "current": current}
+    hw_cores = os.cpu_count()
+    doc = {"hw_cores": hw_cores, "current": current}
 
     if args.baseline:
-        baseline = summarise(load_runs(args.baseline))
+        baseline = summarise(load_runs(args.baseline, "baseline"))
+        shared = sorted(current.keys() & baseline.keys())
+        if not shared:
+            fail("baseline and current share no benchmark names — "
+                 f"baseline has {sorted(baseline)[:5]}..., current "
+                 f"has {sorted(current)[:5]}...; comparing different "
+                 "suites?")
+        print(f"bench_summarize: comparing {len(shared)} benchmarks "
+              f"against {args.baseline_ref or 'baseline'} "
+              f"on {hw_cores} cores")
         doc["baseline"] = baseline
         doc["baseline_ref"] = args.baseline_ref
         speedups = {}
-        for name, cur in current.items():
-            base = baseline.get(name)
-            if base and cur["median_us"] > 0:
+        for name in shared:
+            cur = current[name]
+            if cur["median_us"] > 0:
                 speedups[name] = round(
-                    base["median_us"] / cur["median_us"], 2)
+                    baseline[name]["median_us"] / cur["median_us"],
+                    2)
         doc["speedup"] = speedups
 
     with open(args.out, "w") as f:

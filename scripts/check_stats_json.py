@@ -45,15 +45,18 @@ def main():
             fail(f"record without type: {r}")
         by_type.setdefault(r["type"], []).append(r)
 
-    for required in ("fleet", "run", "phase", "counter"):
+    for required in ("fleet", "run", "phase", "counter", "anomaly"):
         if required not in by_type:
             fail(f"no '{required}' record")
 
     fleet = by_type["fleet"][0]
-    for key in ("sessions", "completed", "failed", "cancelled",
-                "flagged", "wall_seconds"):
+    for key in ("schema_version", "sessions", "completed", "failed",
+                "cancelled", "flagged", "wall_seconds"):
         if key not in fleet:
             fail(f"fleet record lacks '{key}'")
+    if fleet["schema_version"] != 2:
+        fail(f"schema_version = {fleet['schema_version']}, this "
+             f"checker validates version 2")
     if expected_sessions is not None:
         if fleet["sessions"] != expected_sessions:
             fail(f"fleet.sessions = {fleet['sessions']}, expected "
@@ -99,6 +102,20 @@ def main():
     if sb + generic != counters["vm.instructions"]:
         fail(f"dispatch split {sb}+{generic} != vm.instructions "
              f"{counters['vm.instructions']}")
+
+    # Anomaly summary: always emitted, so a consumer can distinguish
+    # "no baseline was applied" from "the record went missing".
+    anomaly = by_type["anomaly"][0]
+    for key in ("enabled", "baseline", "scored", "anomalous"):
+        if key not in anomaly:
+            fail(f"anomaly record lacks '{key}'")
+    if anomaly["anomalous"] > anomaly["scored"]:
+        fail(f"anomaly.anomalous {anomaly['anomalous']} > scored "
+             f"{anomaly['scored']}")
+    if not anomaly["enabled"] and anomaly["scored"] != 0:
+        fail("anomaly scoring disabled but sessions were scored")
+    if anomaly["enabled"] and not anomaly["baseline"]:
+        fail("anomaly scoring enabled without a baseline path")
 
     print(f"check_stats_json: OK ({len(records)} records, "
           f"{fleet['sessions']} sessions, "

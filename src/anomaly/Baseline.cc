@@ -1,0 +1,169 @@
+#include "anomaly/Baseline.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/StatsSink.hh"
+#include "support/Json.hh"
+#include "support/Logging.hh"
+
+namespace hth::anomaly
+{
+
+using support::JsonValue;
+
+BaselineBuilder::BaselineBuilder(std::string name)
+    : name_(std::move(name))
+{
+}
+
+void
+BaselineBuilder::addSample(const obs::RunTelemetry &telemetry)
+{
+    ++samples_;
+    for (const auto &[name, value] : telemetry.metrics.counters)
+        metrics_[name].add((double)value);
+    for (const auto &[name, value] : telemetry.metrics.gauges)
+        metrics_[name].add((double)value.value);
+    // A metric absent from this snapshot but seen before is an
+    // observation of zero, not a gap — e.g. a per-rule activation
+    // counter that only some seeds trip. Without this, its variance
+    // would understate and its mean overstate.
+    for (auto &[name, stats] : metrics_)
+        while (stats.count < samples_)
+            stats.add(0.0);
+}
+
+BaselineProfile
+BaselineBuilder::build() const
+{
+    fatalIf(samples_ == 0,
+            "baseline '", name_, "': no samples folded in");
+    BaselineProfile profile;
+    profile.name = name_;
+    profile.samples = samples_;
+    profile.metrics = metrics_;
+    return profile;
+}
+
+BaselineProfile
+profileBaseline(const std::string &name,
+                const std::vector<uint32_t> &seeds,
+                const std::function<obs::RunTelemetry(uint32_t)> &runner)
+{
+    fatalIf(seeds.empty(), "baseline '", name, "': no seeds");
+    BaselineBuilder builder(name);
+    for (uint32_t seed : seeds)
+        builder.addSample(runner(seed));
+    return builder.build();
+}
+
+namespace
+{
+
+/** %.17g: the shortest text that reparses to the same double. */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+serializeBaseline(const BaselineProfile &profile)
+{
+    std::ostringstream out;
+    out << "{\"type\":\"baseline\",\"version\":"
+        << BaselineProfile::FORMAT_VERSION << ",\"name\":\""
+        << obs::jsonEscape(profile.name)
+        << "\",\"samples\":" << profile.samples << "}\n";
+    for (const auto &[name, s] : profile.metrics)
+        out << "{\"type\":\"metric\",\"name\":\""
+            << obs::jsonEscape(name) << "\",\"count\":" << s.count
+            << ",\"sum\":" << fmtDouble(s.sum)
+            << ",\"sumsq\":" << fmtDouble(s.sumSq)
+            << ",\"min\":" << fmtDouble(s.minValue)
+            << ",\"max\":" << fmtDouble(s.maxValue) << "}\n";
+    return out.str();
+}
+
+BaselineProfile
+parseBaseline(const std::string &text)
+{
+    BaselineProfile profile;
+    bool sawHeader = false;
+    size_t lineno = 0;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JsonValue v = support::parseJson(line);
+        fatalIf(!v.isObject() || !v.has("type"),
+                "baseline line ", lineno, ": not a typed record");
+        const std::string &type = v.at("type").str();
+        if (type == "baseline") {
+            fatalIf(sawHeader,
+                    "baseline line ", lineno, ": duplicate header");
+            int version = (int)v.at("version").number();
+            fatalIf(version != BaselineProfile::FORMAT_VERSION,
+                    "baseline: format version ", version,
+                    " unsupported (this build reads version ",
+                    BaselineProfile::FORMAT_VERSION, ")");
+            profile.name = v.at("name").str();
+            profile.samples = (uint32_t)v.at("samples").number();
+            sawHeader = true;
+        } else if (type == "metric") {
+            fatalIf(!sawHeader, "baseline line ", lineno,
+                    ": metric record before header");
+            const std::string &name = v.at("name").str();
+            MetricStats s;
+            s.count = (uint64_t)v.at("count").number();
+            s.sum = v.at("sum").number();
+            s.sumSq = v.at("sumsq").number();
+            s.minValue = v.at("min").number();
+            s.maxValue = v.at("max").number();
+            fatalIf(s.count == 0 || s.count > profile.samples,
+                    "baseline line ", lineno, ": metric '", name,
+                    "' has implausible count ", s.count);
+            bool inserted =
+                profile.metrics.emplace(name, s).second;
+            fatalIf(!inserted, "baseline line ", lineno,
+                    ": duplicate metric '", name, "'");
+        } else {
+            fatal("baseline line ", lineno,
+                  ": unknown record type '", type, "'");
+        }
+    }
+    fatalIf(!sawHeader, "baseline: no header record");
+    fatalIf(profile.samples == 0, "baseline: zero samples");
+    fatalIf(profile.metrics.empty(), "baseline: no metric records");
+    return profile;
+}
+
+void
+saveBaseline(const std::string &path, const BaselineProfile &profile)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out, "baseline: cannot write ", path);
+    out << serializeBaseline(profile);
+    out.flush();
+    fatalIf(!out, "baseline: write to ", path, " failed");
+}
+
+BaselineProfile
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "baseline: cannot read ", path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseBaseline(text.str());
+}
+
+} // namespace hth::anomaly

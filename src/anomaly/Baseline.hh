@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Multi-seed clean baselines (the statistical anomaly subsystem's
+ * reference model).
+ *
+ * The rule engine only catches behaviour someone wrote a CLIPS rule
+ * for; a trojan with a novel or dormant trigger sails through. The
+ * side-channel literature's recipe (GrayMatter et al.) needs no
+ * trigger knowledge: run the *trusted* program N times under varied
+ * seeds, model every telemetry metric as a distribution, and flag a
+ * suspect run whose metrics deviate. RunTelemetry is the observable
+ * — per-rule activations, syscalls by number, shadow-page traffic,
+ * dispatch mix — and this file is the distribution model:
+ *
+ *   BaselineBuilder  folds RunTelemetry snapshots into per-metric
+ *                    {count, sum, sum-of-squares, min, max},
+ *   BaselineProfile  the finished, versioned profile with a
+ *                    byte-stable JSON-lines serialization.
+ *
+ * Sums are kept as doubles written with %.17g, which round-trips
+ * IEEE doubles exactly: serialize(parse(serialize(p))) ==
+ * serialize(p), the property the persistence tests pin down.
+ * Scoring lives in Scorer.hh; this layer depends only on obs.
+ */
+
+#ifndef HTH_ANOMALY_BASELINE_HH
+#define HTH_ANOMALY_BASELINE_HH
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/Telemetry.hh"
+
+namespace hth::anomaly
+{
+
+/** Accumulated distribution of one metric across baseline runs. */
+struct MetricStats
+{
+    uint64_t count = 0;     //!< samples folded in
+    double sum = 0;
+    double sumSq = 0;
+    double minValue = 0;
+    double maxValue = 0;
+
+    void
+    add(double x)
+    {
+        if (count == 0) {
+            minValue = maxValue = x;
+        } else {
+            minValue = std::min(minValue, x);
+            maxValue = std::max(maxValue, x);
+        }
+        ++count;
+        sum += x;
+        sumSq += x * x;
+    }
+
+    double
+    mean() const
+    {
+        return count ? sum / (double)count : 0.0;
+    }
+
+    /** Population variance; clamped at zero against rounding. */
+    double
+    variance() const
+    {
+        if (count == 0)
+            return 0.0;
+        double m = mean();
+        return std::max(0.0, sumSq / (double)count - m * m);
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    bool
+    operator==(const MetricStats &) const = default;
+};
+
+/**
+ * The distribution of a trusted scenario's telemetry across N
+ * seeded runs. `name` identifies what was profiled (a scenario id);
+ * a scorer refuses to apply a profile to a differently named run
+ * unless told otherwise, so a baseline recorded for one program is
+ * never silently used to judge another.
+ */
+struct BaselineProfile
+{
+    /** Bumped whenever the serialized shape changes. */
+    static constexpr int FORMAT_VERSION = 1;
+
+    std::string name;
+    uint32_t samples = 0;       //!< baseline runs folded in
+
+    /** Counter and gauge distributions, keyed by metric name.
+     * Gauges are stored under their registry name; the two spaces
+     * share one map because registry names never collide. */
+    std::map<std::string, MetricStats> metrics;
+
+    bool
+    operator==(const BaselineProfile &) const = default;
+};
+
+/**
+ * Folds telemetry snapshots into a BaselineProfile. Counters and
+ * gauge levels are profiled; phase wall times and histograms are
+ * not (wall time is nondeterministic — see the determinism test —
+ * and histograms only appear in merged fleet telemetry).
+ */
+class BaselineBuilder
+{
+  public:
+    explicit BaselineBuilder(std::string name);
+
+    /** Fold one clean run in. */
+    void addSample(const obs::RunTelemetry &telemetry);
+
+    /** Finish; fatal() when no samples were added. */
+    BaselineProfile build() const;
+
+    uint32_t samples() const { return samples_; }
+
+  private:
+    std::string name_;
+    uint32_t samples_ = 0;
+    std::map<std::string, MetricStats> metrics_;
+};
+
+/**
+ * Run @p runner once per seed and fold every snapshot — the
+ * "BaselineProfiler" front door. The runner owns scenario mechanics
+ * (this layer knows nothing about kernels or workloads); it gets
+ * the seed and returns the finished run's telemetry.
+ */
+BaselineProfile
+profileBaseline(const std::string &name,
+                const std::vector<uint32_t> &seeds,
+                const std::function<obs::RunTelemetry(uint32_t)> &runner);
+
+/**
+ * Byte-stable JSON-lines serialization:
+ *
+ *   {"type":"baseline","version":1,"name":...,"samples":N}
+ *   {"type":"metric","name":...,"count":N,"sum":...,"sumsq":...,
+ *    "min":...,"max":...}
+ *
+ * Metrics emit in map (byte) order and doubles print with %.17g,
+ * so serialize∘parse is the identity on serialized text.
+ */
+std::string serializeBaseline(const BaselineProfile &profile);
+
+/**
+ * Parse text produced by serializeBaseline(). Rejects — with a
+ * diagnostic naming the problem, never by mis-scoring — a missing
+ * header, an unsupported version, duplicate or malformed metric
+ * records, and unknown record types.
+ */
+BaselineProfile parseBaseline(const std::string &text);
+
+/** Write @p profile to @p path; fatal() on I/O failure. */
+void saveBaseline(const std::string &path,
+                  const BaselineProfile &profile);
+
+/** Load and parse @p path; fatal() when unreadable or invalid. */
+BaselineProfile loadBaseline(const std::string &path);
+
+} // namespace hth::anomaly
+
+#endif // HTH_ANOMALY_BASELINE_HH

@@ -1,0 +1,115 @@
+#include "anomaly/Scorer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/Logging.hh"
+
+namespace hth::anomaly
+{
+
+namespace
+{
+
+bool
+excluded(const std::string &metric, const ScorerConfig &config)
+{
+    for (const auto &prefix : config.excludePrefixes)
+        if (metric.compare(0, prefix.size(), prefix) == 0)
+            return true;
+    return false;
+}
+
+double
+effectiveSigma(const MetricStats &stats, const ScorerConfig &config)
+{
+    double floor =
+        config.absFloor + config.relFloor * std::fabs(stats.mean());
+    return std::max(stats.stddev(), floor);
+}
+
+} // namespace
+
+AnomalyScore
+scoreTelemetry(const obs::RunTelemetry &run,
+               const std::string &runName,
+               const BaselineProfile &baseline,
+               const ScorerConfig &config)
+{
+    fatalIf(baseline.metrics.empty(),
+            "anomaly: baseline '", baseline.name, "' has no metrics");
+    fatalIf(!config.allowNameMismatch && runName != baseline.name,
+            "anomaly: run '", runName,
+            "' scored against baseline '", baseline.name,
+            "' — record a baseline for this scenario or pass a "
+            "matching one");
+
+    // Flatten the run's counters and gauge levels into one ordered
+    // view, mirroring how BaselineBuilder folded its samples.
+    std::map<std::string, double> observed;
+    for (const auto &[name, value] : run.metrics.counters)
+        observed[name] = (double)value;
+    for (const auto &[name, value] : run.metrics.gauges)
+        observed[name] = (double)value.value;
+
+    AnomalyScore score;
+    score.baselineName = baseline.name;
+
+    std::vector<MetricDeviation> deviations;
+    double sumSqZ = 0;
+
+    auto fold = [&](MetricDeviation d) {
+        sumSqZ += d.z * d.z;
+        ++score.scored;
+        score.maxZ = std::max(score.maxZ, d.z);
+        deviations.push_back(std::move(d));
+    };
+
+    // Baseline-known metrics: a metric the run never incremented is
+    // harvested as absent, which means it was observed at zero.
+    for (const auto &[name, stats] : baseline.metrics) {
+        if (excluded(name, config))
+            continue;
+        MetricDeviation d;
+        d.metric = name;
+        auto it = observed.find(name);
+        d.observed = it == observed.end() ? 0.0 : it->second;
+        d.mean = stats.mean();
+        d.sigma = effectiveSigma(stats, config);
+        d.z = std::min(config.zCap,
+                       std::fabs(d.observed - d.mean) / d.sigma);
+        fold(std::move(d));
+    }
+
+    // Novel metrics: behaviour the trusted program never exhibited
+    // across any baseline seed. Maximal evidence by construction.
+    for (const auto &[name, value] : observed) {
+        if (excluded(name, config) || baseline.metrics.count(name))
+            continue;
+        MetricDeviation d;
+        d.metric = name;
+        d.observed = value;
+        d.sigma = effectiveSigma(MetricStats{}, config);
+        d.z = config.zCap;
+        d.novel = true;
+        ++score.novelMetrics;
+        fold(std::move(d));
+    }
+
+    if (score.scored)
+        score.aggregate = std::sqrt(sumSqZ / (double)score.scored);
+    score.anomalous = score.aggregate >= config.threshold;
+
+    std::sort(deviations.begin(), deviations.end(),
+              [](const MetricDeviation &a, const MetricDeviation &b) {
+                  if (a.z != b.z)
+                      return a.z > b.z;
+                  return a.metric < b.metric;
+              });
+    if (deviations.size() > AnomalyScore::topLimit)
+        deviations.resize(AnomalyScore::topLimit);
+    score.top = std::move(deviations);
+    return score;
+}
+
+} // namespace hth::anomaly

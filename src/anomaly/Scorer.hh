@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deviation scoring: one RunTelemetry snapshot against a
+ * BaselineProfile.
+ *
+ * Each scored metric gets a capped z-score against the baseline
+ * distribution; the aggregate is the root-mean-square of the capped
+ * z's — a diagonal Mahalanobis distance with per-metric variance
+ * floors. Policies the tests pin down:
+ *
+ *  - Zero variance never divides by zero: the effective sigma is
+ *    max(stddev, absFloor + relFloor * |mean|). A constant baseline
+ *    metric that moves at all therefore scores, but a one-count
+ *    wobble on a million-scale counter does not.
+ *  - A metric present in the run but absent from the baseline is
+ *    *novel* — a syscall the trusted program never made, a rule that
+ *    never fired — and scores the full cap.
+ *  - A metric in the baseline but missing from the run scores as an
+ *    observation of zero (set-semantics harvest only omits metrics
+ *    that never incremented).
+ *  - Metrics under an excluded prefix (fleet plumbing, the anomaly
+ *    subsystem's own counters) are never scored; nondeterministic
+ *    wall times never reach the scorer because baselines only hold
+ *    counters and gauges.
+ */
+
+#ifndef HTH_ANOMALY_SCORER_HH
+#define HTH_ANOMALY_SCORER_HH
+
+#include <string>
+#include <vector>
+
+#include "anomaly/Baseline.hh"
+#include "obs/Telemetry.hh"
+
+namespace hth::anomaly
+{
+
+/** Knobs for scoreTelemetry(); the defaults are the tuned ones. */
+struct ScorerConfig
+{
+    /** z-scores are capped here so one wild metric cannot swamp the
+     * aggregate, and novel metrics score exactly this much. */
+    double zCap = 8.0;
+
+    /** Effective sigma floor: absFloor + relFloor * |mean|. */
+    double absFloor = 2.0;
+    double relFloor = 0.02;
+
+    /** Aggregate at or above this is anomalous. */
+    double threshold = 1.0;
+
+    /** Metric-name prefixes dropped before scoring. */
+    std::vector<std::string> excludePrefixes = {"fleet.",
+                                                "anomaly."};
+
+    /** When false (default), scoring a run against a baseline whose
+     * name differs is a fatal error — a recorded profile for one
+     * scenario must not silently judge another. hthd's single
+     * `--baseline FILE` mode opts out deliberately. */
+    bool allowNameMismatch = false;
+};
+
+/** One scored metric's contribution. */
+struct MetricDeviation
+{
+    std::string metric;
+    double observed = 0;        //!< the run's value
+    double mean = 0;            //!< baseline mean
+    double sigma = 0;           //!< effective (floored) sigma
+    double z = 0;               //!< capped |observed-mean|/sigma
+    bool novel = false;         //!< absent from the baseline
+};
+
+/** The verdict for one run. */
+struct AnomalyScore
+{
+    std::string baselineName;
+    double aggregate = 0;       //!< RMS of capped z-scores
+    double maxZ = 0;
+    uint32_t scored = 0;        //!< metrics that contributed
+    uint32_t novelMetrics = 0;
+    bool anomalous = false;     //!< aggregate >= threshold
+
+    /** Worst offenders, highest z first (ties by name), capped at
+     * topLimit entries for report brevity. */
+    std::vector<MetricDeviation> top;
+
+    static constexpr size_t topLimit = 8;
+};
+
+/**
+ * Score @p run against @p baseline under @p config.
+ * @p runName is the scenario id of the run being judged; it must
+ * match baseline.name unless config.allowNameMismatch.
+ */
+AnomalyScore scoreTelemetry(const obs::RunTelemetry &run,
+                            const std::string &runName,
+                            const BaselineProfile &baseline,
+                            const ScorerConfig &config = {});
+
+} // namespace hth::anomaly
+
+#endif // HTH_ANOMALY_SCORER_HH

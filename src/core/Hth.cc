@@ -60,6 +60,28 @@ Hth::monitor(const std::string &path,
     Report report;
     report.status = kernel_->run(options_.maxTicks);
     profiler_.stop();
+
+    // Harvest before the anomaly machinery runs: the scored
+    // snapshot must reflect the monitored program, not the scoring
+    // of it. Harvest is set-semantics, so re-running it below is
+    // safe and only refreshes what changed.
+    collectTelemetry(report);
+    if (options_.baseline) {
+        const std::string &runName =
+            options_.baselineRunName.empty()
+                ? options_.baseline->name
+                : options_.baselineRunName;
+        report.anomaly =
+            anomaly::scoreTelemetry(report.telemetry, runName,
+                                    *options_.baseline,
+                                    options_.scorer);
+        report.anomalyScored = true;
+        if (report.anomaly.anomalous) {
+            secpert_->noteAnomaly(runName, report.anomaly);
+            collectTelemetry(report);
+        }
+    }
+
     report.warnings = secpert_->warnings();
     report.staticFindings = secpert_->staticFindings();
     // Stable order independent of image-load sequence, so identical
@@ -77,7 +99,6 @@ Hth::monitor(const std::string &path,
     report.fireTrace = secpert_->env().fireTraceToString();
     report.stdoutData = proc.stdoutData;
     report.exitCode = proc.exitCode;
-    collectTelemetry(report);
     return report;
 }
 

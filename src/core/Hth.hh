@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "anomaly/Baseline.hh"
+#include "anomaly/Scorer.hh"
 #include "harrier/Harrier.hh"
 #include "obs/Metrics.hh"
 #include "obs/Profiler.hh"
@@ -73,6 +75,25 @@ struct HthOptions
      * baseline measurements.
      */
     bool telemetry = true;
+
+    /**
+     * Multi-seed clean baseline to score the run against (shared so
+     * a fleet can hand one profile to many Hth instances). When set,
+     * monitor() scores the first telemetry harvest with `scorer`,
+     * records the verdict in Report.anomaly, and — when anomalous —
+     * feeds it to Secpert as a behavioral_anomaly fact so hybrid
+     * rules can escalate. Requires `telemetry`.
+     */
+    std::shared_ptr<const anomaly::BaselineProfile> baseline;
+    anomaly::ScorerConfig scorer;
+
+    /**
+     * Scenario id of the run being judged, checked against
+     * baseline->name (see ScorerConfig::allowNameMismatch). Empty
+     * means "the caller vouches for the pairing": the baseline's
+     * own name is used and the check trivially passes.
+     */
+    std::string baselineRunName;
 };
 
 /** Everything HTH observed and concluded about one run. */
@@ -101,6 +122,16 @@ struct Report
      * everything below is derived from it.
      */
     obs::RunTelemetry telemetry;
+
+    /**
+     * Statistical deviation verdict, populated (and anomalyScored
+     * set) only when HthOptions::baseline was provided. The score is
+     * computed on the pre-anomaly telemetry harvest; when the run is
+     * anomalous the final `telemetry` additionally reflects the
+     * anomaly rules' own engine activity.
+     */
+    bool anomalyScored = false;
+    anomaly::AnomalyScore anomaly;
 
     /**
      * @deprecated Loose execution counters kept for source

@@ -16,6 +16,9 @@ FleetReport::summary(bool includeTiming) const
     out << "fleet: " << sessions << " sessions, " << completed
         << " completed, " << failed << " failed, " << cancelled
         << " cancelled, " << flagged << " flagged\n";
+    if (anomalyScored)
+        out << "anomaly: " << anomalous << " of " << anomalyScored
+            << " baseline-scored sessions anomalous\n";
     out << "warnings: " << warnings << " (low "
         << warningsBySeverity[(int)secpert::Severity::Low]
         << ", medium "
@@ -124,6 +127,11 @@ FleetService::finish()
         ++agg.completed;
         if (r.report.flagged())
             ++agg.flagged;
+        if (r.report.anomalyScored) {
+            ++agg.anomalyScored;
+            if (r.report.anomaly.anomalous)
+                ++agg.anomalous;
+        }
         for (const secpert::Warning &w : r.report.warnings) {
             ++agg.warnings;
             ++agg.warningsByRule[w.rule];
@@ -142,6 +150,8 @@ FleetService::finish()
     metrics_.counter("fleet.failed").set(agg.failed);
     metrics_.counter("fleet.cancelled").set(agg.cancelled);
     metrics_.counter("fleet.flagged").set(agg.flagged);
+    metrics_.counter("fleet.anomaly_scored").set(agg.anomalyScored);
+    metrics_.counter("fleet.anomalous").set(agg.anomalous);
     metrics_.counter("fleet.backpressure_stalls")
         .set(queue_.pushStalls());
     metrics_.gauge("fleet.queue_depth").set(queue_.highWater());

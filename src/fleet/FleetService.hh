@@ -101,6 +101,11 @@ struct FleetReport
     uint64_t cancelled = 0;
     uint64_t flagged = 0;       //!< completed sessions with warnings
 
+    /** Completed sessions scored against a baseline, and how many
+     * of those crossed the anomaly threshold. */
+    uint64_t anomalyScored = 0;
+    uint64_t anomalous = 0;
+
     /** Warning counts keyed by policy rule name (ordered). */
     std::map<std::string, uint64_t> warningsByRule;
 

@@ -91,6 +91,24 @@ policyDeclarations()
   (slot image)
   (slot kind))
 
+;;; Statistical anomaly verdict from the baseline scorer: the run's
+;;; telemetry deviated from the multi-seed clean baseline. Asserted
+;;; by Secpert::noteAnomaly() only when the aggregate crossed the
+;;; scorer threshold; persists like static_finding so hybrid rules
+;;; can join it with symbolic evidence. score/maxz are z-statistics,
+;;; novel counts metrics the trusted program never exhibited, top is
+;;; the worst-deviating metric's name.
+(deftemplate behavioral_anomaly
+  (slot run (default ""))
+  (slot baseline (default ""))
+  (slot score (default 0.0))
+  (slot maxz (default 0.0))
+  (slot novel (default 0))
+  (slot top (default "")))
+
+;;; Marker so the anomaly rules warn once per scored run.
+(deftemplate anomaly_warned (slot run))
+
 ;;; Thresholds; Secpert overrides these from PolicyConfig.
 (defglobal ?*RARE_FREQUENCY* = 3
            ?*LONG_TIME* = 200
@@ -438,6 +456,56 @@ policyRules()
   (assert (static_warned (image ?img) (kind TAINT_PATH)))
   (printout t "Static taint path at " ?addr " (" ?sys ") in "
             ?img " corroborated by live io" crlf))
+
+;;; ---- Statistical anomaly joins (GrayMatter-style baselines) --------
+;;; Strongest hybrid verdict: the scorer says this run's telemetry
+;;; deviates from the clean baseline AND the static pass synthesized
+;;; a trigger hypothesis for the same workload. Statistical evidence
+;;; confirms the dormant path is live even when no dynamic rule saw
+;;; the payload — escalate to High.
+(defrule anomaly_confirms_static
+  "behavioral anomaly + synthesized trigger hypothesis"
+  (declare (salience 6))
+  (behavioral_anomaly (run ?run) (baseline ?base) (score ?score)
+                      (maxz ?maxz) (top ?top))
+  (static_finding (image ?img) (kind TRIGGER_HYPOTHESIS)
+                  (level ?lvl) (address ?addr))
+  (not (anomaly_warned (run ?run)))
+  (test (>= ?lvl 2))
+  =>
+  (assert (anomaly_warned (run ?run)))
+  (print-warning 3)
+  (printout t "Run " ?run " deviates from clean baseline " ?base
+            " (score " ?score ", worst metric " ?top ")" crlf
+            ?*TAB* "and " ?img
+            " carries a synthesized trigger hypothesis at "
+            ?addr crlf)
+  (hth-warn 3 "anomaly_confirms_static" 0
+    (str-cat "behavioral anomaly (score " ?score ", worst " ?top
+             ") confirms trigger hypothesis at " ?addr
+             " in " ?img)))
+
+;;; Statistical evidence alone: the run deviates but no symbolic
+;;; finding corroborates it. Medium — enough to surface a trojan
+;;; whose trigger logic is invisible to the static model (e.g. a
+;;; guard relating two input bytes) and whose payload fires no
+;;; dynamic rule.
+(defrule behavioral_anomaly_alert
+  "behavioral anomaly without symbolic corroboration"
+  (declare (salience 4))
+  (behavioral_anomaly (run ?run) (baseline ?base) (score ?score)
+                      (maxz ?maxz) (novel ?novel) (top ?top))
+  (not (anomaly_warned (run ?run)))
+  =>
+  (assert (anomaly_warned (run ?run)))
+  (print-warning 2)
+  (printout t "Run " ?run " deviates from clean baseline " ?base
+            crlf ?*TAB* "score " ?score ", max z " ?maxz
+            ", novel metrics " ?novel ", worst metric " ?top crlf)
+  (hth-warn 2 "behavioral_anomaly_alert" 0
+    (str-cat "telemetry deviates from baseline " ?base
+             " (score " ?score ", max z " ?maxz
+             ", worst " ?top ")")))
 
 ;;; ---- Information flow (section 4.3) --------------------------------
 )CLP";

@@ -295,6 +295,25 @@ Secpert::loadRules(const std::string &clips_source)
 }
 
 void
+Secpert::noteAnomaly(const std::string &run,
+                     const anomaly::AnomalyScore &score)
+{
+    env_.assertFact(
+        "behavioral_anomaly",
+        {
+            {"run", Value::str(run)},
+            {"baseline", Value::str(score.baselineName)},
+            {"score", Value::real(score.aggregate)},
+            {"maxz", Value::real(score.maxZ)},
+            {"novel", Value::integer((int64_t)score.novelMetrics)},
+            {"top", Value::str(score.top.empty()
+                                   ? ""
+                                   : score.top.front().metric)},
+        });
+    runEngine();
+}
+
+void
 Secpert::suppress(const std::string &rule_substring,
                   const std::string &message_substring)
 {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "anomaly/Scorer.hh"
 #include "clips/Environment.hh"
 #include "harrier/Event.hh"
 #include "secpert/Policy.hh"
@@ -94,6 +95,16 @@ class Secpert : public harrier::EventSink
 
     /** Load additional user rules into the policy. */
     void loadRules(const std::string &clips_source);
+
+    /**
+     * Feed a statistical verdict from the anomaly scorer into the
+     * rule base: asserts a persistent `behavioral_anomaly` fact and
+     * runs the engine so hybrid rules can join it with symbolic
+     * evidence (static findings, abuse counters). Only anomalous
+     * scores should be fed in; sub-threshold runs assert nothing.
+     */
+    void noteAnomaly(const std::string &run,
+                     const anomaly::AnomalyScore &score);
 
     /**
      * User feedback (§10 extension 8): acknowledge a class of

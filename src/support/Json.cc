@@ -1,0 +1,350 @@
+#include "support/Json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/Logging.hh"
+
+namespace hth::support
+{
+
+bool
+JsonValue::boolean() const
+{
+    fatalIf(kind_ != Kind::Bool, "json: value is not a boolean");
+    return bool_;
+}
+
+double
+JsonValue::number() const
+{
+    fatalIf(kind_ != Kind::Number, "json: value is not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::str() const
+{
+    fatalIf(kind_ != Kind::String, "json: value is not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    fatalIf(kind_ != Kind::Array, "json: value is not an array");
+    return items_;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::members() const
+{
+    fatalIf(kind_ != Kind::Object, "json: value is not an object");
+    return members_;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    fatalIf(kind_ != Kind::Object, "json: value is not an object");
+    auto it = members_.find(key);
+    fatalIf(it == members_.end(), "json: no member '", key, "'");
+    return it->second;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return kind_ == Kind::Object && members_.count(key) != 0;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    if (!has(key))
+        return fallback;
+    return at(key).number();
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return {};
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double n)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = n;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.items_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> m)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.members_ = std::move(m);
+    return v;
+}
+
+namespace
+{
+
+/** One pass over the input; every error carries the byte offset. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        fatalIf(pos_ != text_.size(),
+                "json: trailing content at offset ", pos_);
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    bad(const char *what)
+    {
+        fatal("json: ", what, " at offset ", pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace((unsigned char)text_[pos_]))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            bad("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            bad("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return JsonValue::makeString(string());
+        case 't':
+            if (!consumeWord("true"))
+                bad("bad literal");
+            return JsonValue::makeBool(true);
+        case 'f':
+            if (!consumeWord("false"))
+                bad("bad literal");
+            return JsonValue::makeBool(false);
+        case 'n':
+            if (!consumeWord("null"))
+                bad("bad literal");
+            return JsonValue::makeNull();
+        default: return number();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        std::map<std::string, JsonValue> members;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue::makeObject(std::move(members));
+        }
+        while (true) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            members[key] = value();
+            skipWs();
+            char c = peek();
+            ++pos_;
+            if (c == '}')
+                break;
+            if (c != ',')
+                bad("expected ',' or '}'");
+        }
+        return JsonValue::makeObject(std::move(members));
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        std::vector<JsonValue> items;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue::makeArray(std::move(items));
+        }
+        while (true) {
+            items.push_back(value());
+            skipWs();
+            char c = peek();
+            ++pos_;
+            if (c == ']')
+                break;
+            if (c != ',')
+                bad("expected ',' or ']'");
+        }
+        return JsonValue::makeArray(std::move(items));
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                bad("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                bad("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    bad("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= (unsigned)(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= (unsigned)(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= (unsigned)(h - 'A' + 10);
+                    else
+                        bad("bad \\u escape");
+                }
+                // The emitters only escape control bytes; decode the
+                // BMP point as UTF-8 so round trips are lossless.
+                if (code < 0x80) {
+                    out += (char)code;
+                } else if (code < 0x800) {
+                    out += (char)(0xc0 | (code >> 6));
+                    out += (char)(0x80 | (code & 0x3f));
+                } else {
+                    out += (char)(0xe0 | (code >> 12));
+                    out += (char)(0x80 | ((code >> 6) & 0x3f));
+                    out += (char)(0x80 | (code & 0x3f));
+                }
+                break;
+            }
+            default: bad("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    number()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit((unsigned char)text_[pos_]) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            bad("expected a value");
+        std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fatal("json: bad number '", token, "' at offset ", start);
+        return JsonValue::makeNumber(v);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace hth::support

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A minimal JSON value model and recursive-descent parser.
+ *
+ * The repo emits JSON in several places (stats sinks, hth_lint,
+ * baseline profiles) but until the anomaly subsystem nothing needed
+ * to read it back. This is the smallest reader that covers those
+ * producers: objects, arrays, strings with the escapes jsonEscape()
+ * emits, numbers, booleans and null. Object keys keep insertion
+ * order is NOT guaranteed — lookups go through members(); writers
+ * that need byte-stable output serialize themselves (ordered maps +
+ * fixed float formatting) rather than round-tripping through this
+ * model.
+ *
+ * Errors raise FatalError with a byte offset, so a truncated or
+ * hand-edited baseline file fails with a diagnostic instead of
+ * mis-parsing.
+ */
+
+#ifndef HTH_SUPPORT_JSON_HH
+#define HTH_SUPPORT_JSON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hth::support
+{
+
+/** One parsed JSON value (a tagged tree). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; fatal() on a kind mismatch. */
+    bool boolean() const;
+    double number() const;
+    const std::string &str() const;
+    const std::vector<JsonValue> &items() const;
+    const std::map<std::string, JsonValue> &members() const;
+
+    /** Object member by key; fatal() when absent or not an object. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** True when this is an object containing @p key. */
+    bool has(const std::string &key) const;
+
+    /** Member when present, @p fallback otherwise. */
+    double numberOr(const std::string &key, double fallback) const;
+
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue makeObject(std::map<std::string, JsonValue> m);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::map<std::string, JsonValue> members_;
+};
+
+/**
+ * Parse one JSON document. Trailing non-whitespace after the value
+ * is an error (line-oriented consumers parse line by line).
+ * @throws FatalError with a byte offset on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace hth::support
+
+#endif // HTH_SUPPORT_JSON_HH

@@ -1,0 +1,196 @@
+#include "workloads/AnomalyCorpus.hh"
+
+#include "workloads/GuestLib.hh"
+
+namespace hth::workloads
+{
+
+using namespace os;
+using secpert::Severity;
+
+namespace
+{
+
+/**
+ * Deterministic seed-dependent command text: lowercase letters plus
+ * a trailing newline, 48..303 bytes. Lowercase is trigger-proof by
+ * construction — two bytes in [0x61,0x7a] share the 0x60 bits, so
+ * their xor is below 0x20, and every key in the backdoor's table is
+ * above it.
+ */
+std::string
+seedCommand(uint32_t seed)
+{
+    uint32_t len = 48 + (seed * 2246822519u) % 256;
+    std::string out = "sync ";
+    out.reserve(len + 6);
+    uint32_t x = seed * 374761393u + 668265263u;
+    for (uint32_t i = 0; i < len; ++i) {
+        x = x * 1664525u + 1013904223u;
+        out.push_back((char)('a' + ((x >> 16) % 26)));
+    }
+    out.push_back('\n');
+    return out;
+}
+
+/**
+ * syncd: read a command from stdin, byte-sum it (per-byte loop, so
+ * clean telemetry scales with input length), print a status line.
+ * With `backdoored`, a second pass scans every adjacent byte pair
+ * against a 4-entry xor key table and execs a hard-coded shell on a
+ * match — the InputByte-xor-InputByte guard the static pass cannot
+ * model.
+ */
+std::shared_ptr<const vm::Image>
+makeSyncd(bool backdoored)
+{
+    Gasm a("/sbin/syncd");
+    a.dataString("status", "syncd: ok\n");
+    a.dataSpace("cmdbuf", 384);
+    if (backdoored) {
+        a.dataString("shell", "/bin/sh");
+        a.dataBytes("keys", {0x2b, 0x33, 0x35, 0x39});
+    }
+
+    a.label("main");
+    a.entry("main");
+    a.readSym(0, "cmdbuf", 384);
+    a.mov(Reg::Ebp, Reg::Eax);              // length
+
+    // The daemon's real work: byte-sum the command.
+    a.movi(Reg::Ecx, 0);
+    a.movi(Reg::Edi, 0);
+    a.label("sum_loop");
+    a.cmp(Reg::Ecx, Reg::Ebp);
+    a.jge("sum_done");
+    a.leaSym(Reg::Eax, "cmdbuf");
+    a.add(Reg::Eax, Reg::Ecx);
+    a.loadb(Reg::Edx, Reg::Eax, 0);
+    a.add(Reg::Edi, Reg::Edx);
+    a.addi(Reg::Ecx, 1);
+    a.jmp("sum_loop");
+    a.label("sum_done");
+
+    if (backdoored) {
+        // Trigger scan: for every adjacent pair, compare the xor
+        // against each table key. Nested, so the dormant backdoor
+        // costs several times the daemon's own per-byte work — the
+        // statistical shadow the baseline scorer sees.
+        a.movi(Reg::Ecx, 0);                // pair index
+        a.label("scan_loop");
+        a.mov(Reg::Eax, Reg::Ecx);
+        a.addi(Reg::Eax, 1);
+        a.cmp(Reg::Eax, Reg::Ebp);
+        a.jge("scan_done");
+        a.leaSym(Reg::Esi, "cmdbuf");
+        a.add(Reg::Esi, Reg::Ecx);
+        a.loadb(Reg::Eax, Reg::Esi, 0);
+        a.loadb(Reg::Edx, Reg::Esi, 1);
+        a.xor_(Reg::Eax, Reg::Edx);         // cmd[i] ^ cmd[i+1]
+        a.movi(Reg::Edx, 0);                // key index
+        a.label("key_loop");
+        a.cmpi(Reg::Edx, 4);
+        a.jge("next_pair");
+        a.leaSym(Reg::Esi, "keys");
+        a.add(Reg::Esi, Reg::Edx);
+        a.loadb(Reg::Ebx, Reg::Esi, 0);
+        a.cmp(Reg::Eax, Reg::Ebx);
+        a.jz("wake");
+        a.addi(Reg::Edx, 1);
+        a.jmp("key_loop");
+        a.label("next_pair");
+        a.addi(Reg::Ecx, 1);
+        a.jmp("scan_loop");
+
+        a.label("wake");
+        a.execveSym("shell");
+        a.exit(1);
+        a.label("scan_done");
+    }
+
+    a.writeSym(1, "status", 10);
+    a.exit(0);
+    return a.build();
+}
+
+} // namespace
+
+std::vector<Scenario>
+anomalyScenarios()
+{
+    std::vector<Scenario> out;
+
+    {
+        auto image = makeSyncd(false);
+        Scenario s;
+        s.id = "syncd (clean)";
+        s.description =
+            "trusted status daemon, seed-varied command length";
+        s.path = image->path;
+        s.stdinData = seedCommand(1);
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+        };
+        s.reseed = [](Scenario &sc, uint32_t seed) {
+            sc.stdinData = seedCommand(seed);
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeSyncd(true);
+        Scenario s;
+        s.id = "syncd (backdoored)";
+        s.description =
+            "trojaned syncd rebuild, benign input: the paired-byte "
+            "trigger is invisible to the static pass and fires no "
+            "dynamic rule — only the baseline scorer flags it";
+        s.path = image->path;
+        s.stdinData = seedCommand(1);
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addBinary("/bin/sh", makeNoopBinary("/bin/sh"));
+        };
+        s.reseed = [](Scenario &sc, uint32_t seed) {
+            sc.stdinData = seedCommand(seed);
+        };
+        // Dynamically and statically clean by design; the anomaly
+        // evaluation proves the statistical path catches it.
+        s.expectMalicious = false;
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeSyncd(true);
+        Scenario s;
+        s.id = "syncd (woken)";
+        s.description =
+            "trojaned syncd fed a trigger pair ('G' xor 'l' = 0x2b): "
+            "the dormant exec path goes live";
+        s.path = image->path;
+        s.stdinData = "sync Gl\n";
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addBinary("/bin/sh", makeNoopBinary("/bin/sh"));
+        };
+        s.expectMalicious = true;
+        s.expectSeverity = Severity::Low;
+        out.push_back(std::move(s));
+    }
+
+    return out;
+}
+
+std::shared_ptr<const vm::Image>
+makeSyncdImage()
+{
+    return makeSyncd(false);
+}
+
+std::shared_ptr<const vm::Image>
+makeSyncdBackdooredImage()
+{
+    return makeSyncd(true);
+}
+
+} // namespace hth::workloads

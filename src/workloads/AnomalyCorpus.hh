@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The anomaly-detection corpus: a clean "syncd" status daemon and a
+ * trojaned rebuild of it whose trigger relates *two input bytes*
+ * (cmd[i] xor cmd[i+1] against a key table).
+ *
+ * That guard shape is deliberately chosen to be invisible to the
+ * static trigger-synthesis pass: the symbolic model tracks
+ * InputByte-op-Constant chains, and an InputByte-op-InputByte
+ * expression degrades to Unknown, so no TRIGGER_HYPOTHESIS finding
+ * is ever produced. Under benign input the backdoor also fires no
+ * dynamic rule — the only observable is the statistical one: the
+ * trigger-scanning loop roughly doubles the per-byte instruction
+ * work, which the multi-seed baseline scorer flags.
+ */
+
+#ifndef HTH_WORKLOADS_ANOMALYCORPUS_HH
+#define HTH_WORKLOADS_ANOMALYCORPUS_HH
+
+#include <memory>
+#include <vector>
+
+#include "vm/Image.hh"
+#include "workloads/Scenario.hh"
+
+namespace hth::workloads
+{
+
+/**
+ * Scenarios, in order:
+ *  - "syncd (clean)"      the trusted reference daemon, reseedable;
+ *  - "syncd (backdoored)" trojaned rebuild, benign input: no static
+ *                         finding, no dynamic warning — only the
+ *                         baseline scorer can tell it apart;
+ *  - "syncd (woken)"      trojaned rebuild fed a trigger pair: the
+ *                         dormant exec path goes live.
+ */
+std::vector<Scenario> anomalyScenarios();
+
+/** The clean syncd image on its own (baseline test input). */
+std::shared_ptr<const vm::Image> makeSyncdImage();
+
+/** The backdoored syncd image on its own. */
+std::shared_ptr<const vm::Image> makeSyncdBackdooredImage();
+
+} // namespace hth::workloads
+
+#endif // HTH_WORKLOADS_ANOMALYCORPUS_HH

@@ -1,5 +1,7 @@
 #include "workloads/Scenario.hh"
 
+#include "support/Logging.hh"
+
 namespace hth::workloads
 {
 
@@ -62,6 +64,33 @@ runScenario(const Scenario &scenario, const HthOptions &options)
         }
     }
     return result;
+}
+
+ScenarioResult
+runScenarioSeeded(const Scenario &scenario, uint32_t seed,
+                  const HthOptions &options)
+{
+    Scenario seeded = scenario;
+    if (seeded.reseed)
+        seeded.reseed(seeded, seed);
+    return runScenario(seeded, options);
+}
+
+anomaly::BaselineProfile
+recordScenarioBaseline(const Scenario &scenario, uint32_t runs,
+                       const HthOptions &options)
+{
+    fatalIf(runs == 0, "baseline: need at least one run for '",
+            scenario.id, "'");
+    std::vector<uint32_t> seeds;
+    seeds.reserve(runs);
+    for (uint32_t s = 1; s <= runs; ++s)
+        seeds.push_back(s);
+    return anomaly::profileBaseline(
+        scenario.id, seeds, [&](uint32_t seed) {
+            return runScenarioSeeded(scenario, seed, options)
+                .report.telemetry;
+        });
 }
 
 fleet::FleetJob

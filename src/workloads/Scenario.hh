@@ -48,6 +48,14 @@ struct Scenario
 
     /** Minimum severity expected when malicious. */
     secpert::Severity expectSeverity = secpert::Severity::Low;
+
+    /**
+     * Seed hook for baseline recording: perturb the scenario's
+     * inputs (stdin, argv, file contents) deterministically from
+     * @p seed before the run. Scenarios without one are fixed-input
+     * and profile with zero variance on input-driven metrics.
+     */
+    std::function<void(Scenario &, uint32_t seed)> reseed;
 };
 
 /** Outcome of a scenario run. */
@@ -68,6 +76,24 @@ struct ScenarioResult
 /** Run @p scenario under a fresh HTH instance. */
 ScenarioResult runScenario(const Scenario &scenario,
                            const HthOptions &options = {});
+
+/**
+ * Run a seed-perturbed copy of @p scenario: applies
+ * Scenario::reseed (when present) with @p seed, then runScenario().
+ * The input to multi-seed baseline recording.
+ */
+ScenarioResult runScenarioSeeded(const Scenario &scenario,
+                                 uint32_t seed,
+                                 const HthOptions &options = {});
+
+/**
+ * Record a clean baseline for @p scenario: run it once per seed in
+ * 1..runs and fold every run's telemetry into a profile named by the
+ * scenario id.
+ */
+anomaly::BaselineProfile
+recordScenarioBaseline(const Scenario &scenario, uint32_t runs,
+                       const HthOptions &options = {});
 
 /**
  * Package @p scenario as a fleet job (same taint handling as

@@ -389,6 +389,141 @@ makeLibX11()
     return a.build();
 }
 
+/**
+ * Deterministic pseudo-random text for the noisy scenarios: the
+ * length (64..383 bytes) and bytes both derive from the seed, so
+ * loop trip counts and I/O volumes vary run to run the way a real
+ * clean workload's do.
+ */
+std::string
+noisyContent(uint32_t seed)
+{
+    uint32_t len = 64 + (seed * 2654435761u) % 320;
+    std::string out;
+    out.reserve(len + 1);
+    uint32_t x = seed * 747796405u + 2891336453u;
+    for (uint32_t i = 0; i < len; ++i) {
+        x = x * 1664525u + 1013904223u;
+        out.push_back((char)('a' + ((x >> 16) % 26)));
+    }
+    out.push_back('\n');
+    return out;
+}
+
+/** cksum: byte-sum the user-named file, print the digits. The
+ * summing loop's trip count tracks the file length. */
+std::shared_ptr<const vm::Image>
+makeCksum()
+{
+    Gasm a("/usr/bin/cksum");
+    a.dataSpace("buf", 512);
+    a.dataSpace("digits", 16);
+    a.dataSpace("argv_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+    a.loadArgv(1);
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.readFd(Reg::Esi, "buf", 512);
+    a.mov(Reg::Ebp, Reg::Eax);              // length
+    a.closeFd(Reg::Esi);
+    a.movi(Reg::Ecx, 0);                    // index
+    a.movi(Reg::Edi, 0);                    // sum
+    a.label("loop");
+    a.cmp(Reg::Ecx, Reg::Ebp);
+    a.jge("done");
+    a.leaSym(Reg::Eax, "buf");
+    a.add(Reg::Eax, Reg::Ecx);
+    a.loadb(Reg::Edx, Reg::Eax, 0);
+    a.add(Reg::Edi, Reg::Edx);
+    a.addi(Reg::Ecx, 1);
+    a.jmp("loop");
+    a.label("done");
+    a.pushSym("digits");
+    a.push(Reg::Edi);
+    a.callImport("itoa");
+    a.addi(Reg::Esp, 8);
+    a.libc1("strlen", "digits");
+    a.mov(Reg::Edx, Reg::Eax);
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "digits");
+    a.sysc(NR_write);
+    a.exit(0);
+    return a.build();
+}
+
+/** rev: print the user-named file reversed (per-byte copy loop). */
+std::shared_ptr<const vm::Image>
+makeRev()
+{
+    Gasm a("/usr/bin/rev");
+    a.dataSpace("buf", 512);
+    a.dataSpace("out", 512);
+    a.dataSpace("argv_slot", 4);
+    a.label("main");
+    a.entry("main");
+    a.leaSym(Reg::Edi, "argv_slot");
+    a.store(Reg::Edi, 0, Reg::Ebx);
+    a.loadArgv(1);
+    a.openReg(Reg::Eax, GO_RDONLY);
+    a.mov(Reg::Esi, Reg::Eax);
+    a.readFd(Reg::Esi, "buf", 512);
+    a.mov(Reg::Ebp, Reg::Eax);              // length
+    a.closeFd(Reg::Esi);
+    a.movi(Reg::Ecx, 0);                    // index
+    a.label("loop");
+    a.cmp(Reg::Ecx, Reg::Ebp);
+    a.jge("done");
+    a.leaSym(Reg::Eax, "buf");
+    a.add(Reg::Eax, Reg::Ecx);
+    a.loadb(Reg::Edx, Reg::Eax, 0);         // buf[i]
+    a.leaSym(Reg::Eax, "out");
+    a.add(Reg::Eax, Reg::Ebp);
+    a.sub(Reg::Eax, Reg::Ecx);
+    a.storeb(Reg::Eax, -1, Reg::Edx);       // out[len-1-i]
+    a.addi(Reg::Ecx, 1);
+    a.jmp("loop");
+    a.label("done");
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "out");
+    a.mov(Reg::Edx, Reg::Ebp);
+    a.sysc(NR_write);
+    a.exit(0);
+    return a.build();
+}
+
+/** rot13: caesar-shift stdin onto stdout, one loop pass per byte. */
+std::shared_ptr<const vm::Image>
+makeRot13()
+{
+    Gasm a("/usr/bin/rot13");
+    a.dataSpace("buf", 512);
+    a.label("main");
+    a.entry("main");
+    a.readSym(0, "buf", 512);
+    a.mov(Reg::Ebp, Reg::Eax);              // length
+    a.movi(Reg::Ecx, 0);                    // index
+    a.label("loop");
+    a.cmp(Reg::Ecx, Reg::Ebp);
+    a.jge("done");
+    a.leaSym(Reg::Eax, "buf");
+    a.add(Reg::Eax, Reg::Ecx);
+    a.loadb(Reg::Edx, Reg::Eax, 0);
+    a.addi(Reg::Edx, 13);
+    a.storeb(Reg::Eax, 0, Reg::Edx);
+    a.addi(Reg::Ecx, 1);
+    a.jmp("loop");
+    a.label("done");
+    a.movi(Reg::Ebx, 1);
+    a.leaSym(Reg::Ecx, "buf");
+    a.mov(Reg::Edx, Reg::Ebp);
+    a.sysc(NR_write);
+    a.exit(0);
+    return a.build();
+}
+
 } // namespace
 
 std::vector<Scenario>
@@ -608,6 +743,71 @@ trustedProgramScenarios()
         };
         s.expectMalicious = true;       // the documented Low warnings
         s.expectSeverity = Severity::Low;
+        out.push_back(std::move(s));
+    }
+
+    // Trusted-but-noisy scenarios for the anomaly baselines: their
+    // loop trip counts and I/O volumes vary with the seed, so a
+    // multi-seed baseline records genuine per-metric variance
+    // instead of the degenerate zero-variance profile a fixed-input
+    // scenario produces.
+    {
+        auto image = makeCksum();
+        Scenario s;
+        s.id = "cksum (noisy)";
+        s.description =
+            "checksum a data file whose length varies by seed";
+        s.path = image->path;
+        s.argv = {image->path, "data.txt"};
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("data.txt", noisyContent(1));
+        };
+        s.reseed = [image](Scenario &sc, uint32_t seed) {
+            sc.setup = [image, seed](Kernel &k) {
+                k.vfs().addBinary(image->path, image);
+                k.vfs().addFile("data.txt", noisyContent(seed));
+            };
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeRev();
+        Scenario s;
+        s.id = "rev (noisy)";
+        s.description =
+            "reverse a data file whose length varies by seed";
+        s.path = image->path;
+        s.argv = {image->path, "notes.txt"};
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+            k.vfs().addFile("notes.txt", noisyContent(2));
+        };
+        s.reseed = [image](Scenario &sc, uint32_t seed) {
+            sc.setup = [image, seed](Kernel &k) {
+                k.vfs().addBinary(image->path, image);
+                k.vfs().addFile("notes.txt",
+                                noisyContent(seed * 2 + 1));
+            };
+        };
+        out.push_back(std::move(s));
+    }
+
+    {
+        auto image = makeRot13();
+        Scenario s;
+        s.id = "rot13 (noisy)";
+        s.description =
+            "caesar-shift stdin of seed-dependent length";
+        s.path = image->path;
+        s.stdinData = noisyContent(3);
+        s.setup = [image](Kernel &k) {
+            k.vfs().addBinary(image->path, image);
+        };
+        s.reseed = [](Scenario &sc, uint32_t seed) {
+            sc.stdinData = noisyContent(seed * 3 + 2);
+        };
         out.push_back(std::move(s));
     }
 

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Corpus-wide evaluation of the statistical anomaly subsystem: clean
+ * baselines separate trojaned workloads from trusted ones.
+ *
+ * The star witness is the backdoored syncd daemon, whose trigger
+ * relates two input bytes (cmd[i] xor cmd[i+1] against a key table).
+ * That guard shape degrades to Unknown in the static trigger
+ * synthesizer — no TRIGGER_HYPOTHESIS fact — and under benign input
+ * the payload never runs, so no dynamic rule fires either. The only
+ * detector left standing is the multi-seed baseline scorer, which
+ * sees the trigger-scan loop's extra per-byte instruction work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workloads/AnomalyCorpus.hh"
+#include "workloads/Exploits.hh"
+#include "workloads/Trusted.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+Scenario
+findScenario(const std::vector<Scenario> &all, const std::string &id)
+{
+    for (const Scenario &s : all)
+        if (s.id == id)
+            return s;
+    ADD_FAILURE() << "scenario not found: " << id;
+    return {};
+}
+
+/** The clean syncd baseline, recorded once (5 seeded runs). */
+const std::shared_ptr<const anomaly::BaselineProfile> &
+syncdBaseline()
+{
+    static auto profile =
+        std::make_shared<const anomaly::BaselineProfile>(
+            recordScenarioBaseline(
+                findScenario(anomalyScenarios(), "syncd (clean)"),
+                5));
+    return profile;
+}
+
+/** Run @p scenario (reseeded) scored against the syncd baseline. */
+ScenarioResult
+runScored(const Scenario &scenario, uint32_t seed,
+          bool allow_name_mismatch = false)
+{
+    HthOptions options;
+    options.baseline = syncdBaseline();
+    if (allow_name_mismatch)
+        options.scorer.allowNameMismatch = true;
+    else
+        options.baselineRunName = scenario.id;
+    return runScenarioSeeded(scenario, seed, options);
+}
+
+} // namespace
+
+TEST(AnomalyEval, BaselineCoversRealMetrics)
+{
+    const anomaly::BaselineProfile &base = *syncdBaseline();
+    EXPECT_EQ(base.name, "syncd (clean)");
+    EXPECT_EQ(base.samples, 5u);
+    // The profile must span the interesting layers, not just a
+    // couple of top-level counters.
+    EXPECT_GT(base.metrics.size(), 20u);
+    EXPECT_TRUE(base.metrics.count("os.ticks"));
+    EXPECT_TRUE(base.metrics.count("os.syscalls"));
+    // Wall times are nondeterministic and never profiled.
+    for (const auto &[name, stats] : base.metrics)
+        EXPECT_EQ(name.find("phase."), std::string::npos) << name;
+}
+
+TEST(AnomalyEval, CleanHeldOutSeedsScoreLow)
+{
+    Scenario clean =
+        findScenario(anomalyScenarios(), "syncd (clean)");
+    for (uint32_t seed : {6u, 7u, 8u}) {
+        ScenarioResult r = runScored(clean, seed);
+        ASSERT_TRUE(r.report.anomalyScored);
+        EXPECT_FALSE(r.report.anomaly.anomalous)
+            << "seed " << seed << " aggregate "
+            << r.report.anomaly.aggregate;
+        EXPECT_LT(r.report.anomaly.aggregate, 1.0);
+        EXPECT_EQ(r.report.anomaly.novelMetrics, 0u) << "seed "
+                                                     << seed;
+        EXPECT_FALSE(r.flagged);
+    }
+}
+
+TEST(AnomalyEval, DormantBackdoorIsInvisibleToSymbolicAnalysis)
+{
+    // Without a baseline the trojaned daemon under benign input is
+    // indistinguishable from clean: the paired-byte trigger guard
+    // synthesizes no TRIGGER_HYPOTHESIS and no dynamic rule fires.
+    Scenario backdoored =
+        findScenario(anomalyScenarios(), "syncd (backdoored)");
+    ScenarioResult r = runScenarioSeeded(backdoored, 6);
+    EXPECT_FALSE(r.flagged);
+    for (const auto &f : r.report.staticFindings)
+        EXPECT_NE(f.kind, "TRIGGER_HYPOTHESIS") << f.detail;
+}
+
+TEST(AnomalyEval, DormantBackdoorFlaggedByStatisticsAlone)
+{
+    Scenario backdoored =
+        findScenario(anomalyScenarios(), "syncd (backdoored)");
+    for (uint32_t seed : {6u, 7u, 8u}) {
+        ScenarioResult r = runScored(backdoored, seed, true);
+        ASSERT_TRUE(r.report.anomalyScored);
+        EXPECT_TRUE(r.report.anomaly.anomalous)
+            << "seed " << seed << " aggregate "
+            << r.report.anomaly.aggregate;
+        // Statistical evidence alone: Medium via the anomaly rule,
+        // no symbolic co-signer available to escalate.
+        EXPECT_EQ(r.report.countByRule("behavioral_anomaly_alert"),
+                  1u);
+        EXPECT_EQ(r.report.countByRule("anomaly_confirms_static"),
+                  0u);
+        EXPECT_EQ(r.report.maxSeverity(),
+                  secpert::Severity::Medium);
+    }
+}
+
+TEST(AnomalyEval, SeparationGapIsWide)
+{
+    // The decision threshold (1.0) must sit in a real gap, not
+    // between two overlapping clouds.
+    Scenario clean =
+        findScenario(anomalyScenarios(), "syncd (clean)");
+    Scenario backdoored =
+        findScenario(anomalyScenarios(), "syncd (backdoored)");
+    double worst_clean = 0, best_trojan = 1e9;
+    for (uint32_t seed : {6u, 7u, 8u, 9u}) {
+        worst_clean = std::max(
+            worst_clean,
+            runScored(clean, seed).report.anomaly.aggregate);
+        best_trojan = std::min(
+            best_trojan,
+            runScored(backdoored, seed, true)
+                .report.anomaly.aggregate);
+    }
+    EXPECT_LT(worst_clean, 1.0);
+    EXPECT_GT(best_trojan, 1.0);
+    EXPECT_GT(best_trojan, 2.0 * worst_clean)
+        << "clean " << worst_clean << " trojan " << best_trojan;
+}
+
+TEST(AnomalyEval, WokenBackdoorKeepsSymbolicVerdictAndScoresHigh)
+{
+    // Fed a trigger pair the payload goes live: the classic dynamic
+    // rules still own that verdict, and the scorer agrees.
+    Scenario woken =
+        findScenario(anomalyScenarios(), "syncd (woken)");
+    HthOptions options;
+    options.baseline = syncdBaseline();
+    options.scorer.allowNameMismatch = true;
+    ScenarioResult r = runScenario(woken, options);
+    EXPECT_TRUE(r.flagged);
+    EXPECT_TRUE(r.report.anomalyScored);
+    EXPECT_TRUE(r.report.anomaly.anomalous);
+}
+
+TEST(AnomalyEval, AnomalyConfirmingTriggerHypothesisEscalatesHigh)
+{
+    // The "updated" daemon carries a classic single-byte-guard
+    // backdoor: the static pass synthesizes a TRIGGER_HYPOTHESIS
+    // (level >= 2) but dormant runs fire no dynamic rule, so alone
+    // it stays a fact, not a warning. Statistical deviation from a
+    // clean baseline is the missing corroboration — the hybrid rule
+    // joins both facts and escalates to High, pre-empting the
+    // Medium statistics-only alert.
+    Scenario dormant =
+        findScenario(exploitScenarios(), "updated (dormant)");
+
+    ScenarioResult plain = runScenario(dormant);
+    bool sawTrigger = false;
+    for (const auto &f : plain.report.staticFindings)
+        sawTrigger |= f.kind == "TRIGGER_HYPOTHESIS" && f.level >= 2;
+    ASSERT_TRUE(sawTrigger);
+    EXPECT_FALSE(plain.report.flagged(secpert::Severity::High));
+
+    ScenarioResult r = runScored(dormant, 1, true);
+    ASSERT_TRUE(r.report.anomalyScored);
+    EXPECT_TRUE(r.report.anomaly.anomalous);
+    EXPECT_EQ(r.report.countByRule("anomaly_confirms_static"), 1u);
+    EXPECT_EQ(r.report.countByRule("behavioral_anomaly_alert"), 0u);
+    EXPECT_EQ(r.report.maxSeverity(), secpert::Severity::High);
+}
+
+TEST(AnomalyEval, NoisyTrustedScenariosScoreLowAgainstOwnBaselines)
+{
+    // Trusted-but-noisy workloads (seed-varied inputs) must not trip
+    // their own baselines on held-out seeds: the variance the seeds
+    // induce is the variance the profile learns.
+    auto trusted = trustedProgramScenarios();
+    for (const char *id :
+         {"cksum (noisy)", "rev (noisy)", "rot13 (noisy)"}) {
+        Scenario s = findScenario(trusted, id);
+        ASSERT_TRUE(s.reseed) << id;
+        auto base =
+            std::make_shared<const anomaly::BaselineProfile>(
+                recordScenarioBaseline(s, 4));
+        HthOptions options;
+        options.baseline = base;
+        options.baselineRunName = s.id;
+        ScenarioResult r = runScenarioSeeded(s, 9, options);
+        ASSERT_TRUE(r.report.anomalyScored) << id;
+        EXPECT_FALSE(r.report.anomaly.anomalous)
+            << id << " aggregate " << r.report.anomaly.aggregate;
+        EXPECT_FALSE(r.flagged) << id;
+    }
+}
+
+TEST(AnomalyEval, ImposterBinariesScoreHighAgainstSyncdBaseline)
+{
+    // A baseline is program-specific: a *different* trusted program
+    // judged against syncd's profile deviates. This is why the
+    // scorer's name check exists, and why hthd's single-file mode
+    // has to opt out of it explicitly.
+    auto trusted = trustedProgramScenarios();
+    for (const char *id : {"cksum (noisy)", "rot13 (noisy)"}) {
+        Scenario s = findScenario(trusted, id);
+        ScenarioResult r = runScored(s, 6, true);
+        ASSERT_TRUE(r.report.anomalyScored) << id;
+        EXPECT_TRUE(r.report.anomaly.anomalous)
+            << id << " aggregate " << r.report.anomaly.aggregate;
+    }
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

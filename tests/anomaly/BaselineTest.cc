@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the baseline model: MetricStats accumulation,
+ * BaselineBuilder zero-backfill semantics, and the byte-stable
+ * JSON-lines persistence format with its rejection diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "anomaly/Baseline.hh"
+#include "support/Logging.hh"
+
+using namespace hth;
+using namespace hth::anomaly;
+
+namespace
+{
+
+/** A telemetry snapshot with the given counters and gauges. */
+obs::RunTelemetry
+snapshot(std::map<std::string, uint64_t> counters,
+         std::map<std::string, uint64_t> gauges = {})
+{
+    obs::RunTelemetry t;
+    t.profiled = true;
+    t.metrics.counters = std::move(counters);
+    for (const auto &[name, value] : gauges)
+        t.metrics.gauges[name] = {value, value};
+    return t;
+}
+
+/** Fatal diagnostics must name the problem, not just throw. */
+void
+expectParseError(const std::string &text, const std::string &needle)
+{
+    try {
+        parseBaseline(text);
+        FAIL() << "expected rejection containing '" << needle << "'";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "diagnostic was: " << e.what();
+    }
+}
+
+} // namespace
+
+TEST(MetricStats, AccumulatesMoments)
+{
+    MetricStats s;
+    for (double x : {2.0, 4.0, 6.0})
+        s.add(x);
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 8.0 / 3.0);   // population
+    EXPECT_DOUBLE_EQ(s.minValue, 2.0);
+    EXPECT_DOUBLE_EQ(s.maxValue, 6.0);
+}
+
+TEST(MetricStats, ZeroVarianceWhenConstant)
+{
+    MetricStats s;
+    for (int i = 0; i < 5; ++i)
+        s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(BaselineBuilder, FoldsCountersAndGauges)
+{
+    BaselineBuilder b("demo");
+    b.addSample(snapshot({{"os.ticks", 100}}, {{"vm.pages", 7}}));
+    b.addSample(snapshot({{"os.ticks", 110}}, {{"vm.pages", 7}}));
+    BaselineProfile p = b.build();
+    EXPECT_EQ(p.name, "demo");
+    EXPECT_EQ(p.samples, 2u);
+    ASSERT_EQ(p.metrics.size(), 2u);
+    EXPECT_DOUBLE_EQ(p.metrics.at("os.ticks").mean(), 105.0);
+    EXPECT_DOUBLE_EQ(p.metrics.at("vm.pages").mean(), 7.0);
+}
+
+TEST(BaselineBuilder, AbsentMetricIsObservedZero)
+{
+    // "rule.x" fires only under seed 3 of 3. The two runs where it
+    // stayed silent are observations of zero, not gaps: the mean
+    // must dilute and every sample's count must match.
+    BaselineBuilder b("demo");
+    b.addSample(snapshot({{"os.ticks", 100}}));
+    b.addSample(snapshot({{"os.ticks", 100}}));
+    b.addSample(snapshot({{"os.ticks", 100}, {"rule.x", 6}}));
+    BaselineProfile p = b.build();
+    const MetricStats &late = p.metrics.at("rule.x");
+    EXPECT_EQ(late.count, 3u);   // two zeros backfilled
+    EXPECT_DOUBLE_EQ(late.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(late.minValue, 0.0);
+    EXPECT_DOUBLE_EQ(late.maxValue, 6.0);
+
+    // The symmetric case: seen early, absent later.
+    BaselineBuilder b2("demo");
+    b2.addSample(snapshot({{"rule.y", 4}}));
+    b2.addSample(snapshot({{"os.ticks", 1}}));
+    b2.addSample(snapshot({{"os.ticks", 1}}));
+    const MetricStats &early = b2.build().metrics.at("rule.y");
+    EXPECT_EQ(early.count, 3u);
+    EXPECT_DOUBLE_EQ(early.mean(), 4.0 / 3.0);
+}
+
+TEST(BaselineBuilder, NoSamplesIsFatal)
+{
+    BaselineBuilder b("empty");
+    EXPECT_THROW(b.build(), FatalError);
+}
+
+TEST(ProfileBaseline, RunsOncePerSeed)
+{
+    std::vector<uint32_t> seen;
+    BaselineProfile p = profileBaseline(
+        "seeded", {1, 2, 3}, [&](uint32_t seed) {
+            seen.push_back(seed);
+            return snapshot({{"work", 10 * seed}});
+        });
+    EXPECT_EQ(seen, (std::vector<uint32_t>{1, 2, 3}));
+    EXPECT_EQ(p.samples, 3u);
+    EXPECT_DOUBLE_EQ(p.metrics.at("work").mean(), 20.0);
+}
+
+//
+// Persistence: the byte-stability contract and the reject paths.
+//
+
+namespace
+{
+
+BaselineProfile
+sampleProfile()
+{
+    BaselineBuilder b("syncd (clean)");
+    b.addSample(snapshot({{"os.ticks", 12345}, {"os.syscalls", 67}},
+                         {{"taint.pages", 3}}));
+    b.addSample(snapshot({{"os.ticks", 12401}, {"os.syscalls", 67}},
+                         {{"taint.pages", 3}}));
+    // Odd sums exercise the %.17g path (non-integral mean/sumsq).
+    b.addSample(snapshot({{"os.ticks", 12350}, {"os.syscalls", 68}},
+                         {{"taint.pages", 4}}));
+    return b.build();
+}
+
+} // namespace
+
+TEST(BaselinePersistence, SerializeParseIsIdentity)
+{
+    BaselineProfile p = sampleProfile();
+    std::string text = serializeBaseline(p);
+    BaselineProfile back = parseBaseline(text);
+    EXPECT_EQ(back, p);
+    // Byte stability: serialize∘parse is the identity on the text.
+    EXPECT_EQ(serializeBaseline(back), text);
+}
+
+TEST(BaselinePersistence, DoublesRoundTripExactly)
+{
+    // A sum that is not representable in few digits must survive the
+    // %.17g round trip bit-for-bit.
+    BaselineBuilder b("precise");
+    b.addSample(snapshot({{"m", 1}}));
+    b.addSample(snapshot({{"m", 3}}));
+    b.addSample(snapshot({{"m", 4}}));   // mean 8/3
+    BaselineProfile p = b.build();
+    BaselineProfile back = parseBaseline(serializeBaseline(p));
+    EXPECT_EQ(back.metrics.at("m").sum, p.metrics.at("m").sum);
+    EXPECT_EQ(back.metrics.at("m").sumSq, p.metrics.at("m").sumSq);
+    EXPECT_DOUBLE_EQ(back.metrics.at("m").variance(),
+                     p.metrics.at("m").variance());
+}
+
+TEST(BaselinePersistence, SaveLoadRoundTrip)
+{
+    BaselineProfile p = sampleProfile();
+    std::string path =
+        ::testing::TempDir() + "hth_baseline_roundtrip.baseline";
+    saveBaseline(path, p);
+    EXPECT_EQ(loadBaseline(path), p);
+    std::remove(path.c_str());
+}
+
+TEST(BaselinePersistence, LoadMissingFileIsFatal)
+{
+    EXPECT_THROW(loadBaseline("/nonexistent/dir/x.baseline"),
+                 FatalError);
+}
+
+TEST(BaselinePersistence, RejectsUnsupportedVersion)
+{
+    expectParseError(
+        "{\"type\":\"baseline\",\"version\":99,\"name\":\"x\","
+        "\"samples\":2}\n"
+        "{\"type\":\"metric\",\"name\":\"m\",\"count\":2,"
+        "\"sum\":4,\"sumsq\":8,\"min\":2,\"max\":2}\n",
+        "format version 99 unsupported");
+}
+
+TEST(BaselinePersistence, RejectsMissingHeader)
+{
+    expectParseError("", "no header");
+    expectParseError(
+        "{\"type\":\"metric\",\"name\":\"m\",\"count\":1,"
+        "\"sum\":1,\"sumsq\":1,\"min\":1,\"max\":1}\n",
+        "metric record before header");
+}
+
+TEST(BaselinePersistence, RejectsDuplicates)
+{
+    std::string header =
+        "{\"type\":\"baseline\",\"version\":1,\"name\":\"x\","
+        "\"samples\":2}\n";
+    std::string metric =
+        "{\"type\":\"metric\",\"name\":\"m\",\"count\":2,"
+        "\"sum\":4,\"sumsq\":8,\"min\":2,\"max\":2}\n";
+    expectParseError(header + header + metric, "duplicate header");
+    expectParseError(header + metric + metric, "duplicate metric 'm'");
+}
+
+TEST(BaselinePersistence, RejectsImplausibleCount)
+{
+    // count must be 1..samples: every sample folds every metric in
+    // (the builder backfills zeros), so anything else is corruption.
+    expectParseError(
+        "{\"type\":\"baseline\",\"version\":1,\"name\":\"x\","
+        "\"samples\":2}\n"
+        "{\"type\":\"metric\",\"name\":\"m\",\"count\":5,"
+        "\"sum\":4,\"sumsq\":8,\"min\":2,\"max\":2}\n",
+        "implausible count 5");
+}
+
+TEST(BaselinePersistence, RejectsUnknownTypeAndGarbage)
+{
+    expectParseError("{\"type\":\"surprise\"}\n",
+                     "unknown record type 'surprise'");
+    EXPECT_THROW(parseBaseline("not json at all\n"), FatalError);
+    EXPECT_THROW(parseBaseline("[1,2,3]\n"), FatalError);
+}
+
+TEST(BaselinePersistence, RejectsEmptyMetricSet)
+{
+    expectParseError(
+        "{\"type\":\"baseline\",\"version\":1,\"name\":\"x\","
+        "\"samples\":2}\n",
+        "no metric records");
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for deviation scoring: the sigma floor on zero-variance
+ * metrics, the novel-metric and missing-metric policies, z capping,
+ * the RMS aggregate, exclusion prefixes and the baseline-name guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anomaly/Scorer.hh"
+#include "support/Logging.hh"
+
+using namespace hth;
+using namespace hth::anomaly;
+
+namespace
+{
+
+obs::RunTelemetry
+run(std::map<std::string, uint64_t> counters,
+    std::map<std::string, uint64_t> gauges = {})
+{
+    obs::RunTelemetry t;
+    t.profiled = true;
+    t.metrics.counters = std::move(counters);
+    for (const auto &[name, value] : gauges)
+        t.metrics.gauges[name] = {value, value};
+    return t;
+}
+
+/** A baseline where each metric was constant across 4 samples. */
+BaselineProfile
+constantBaseline(std::map<std::string, uint64_t> metrics,
+                 const std::string &name = "demo")
+{
+    BaselineBuilder b(name);
+    for (int i = 0; i < 4; ++i)
+        b.addSample(run(metrics));
+    return b.build();
+}
+
+const MetricDeviation *
+find(const AnomalyScore &score, const std::string &metric)
+{
+    for (const MetricDeviation &d : score.top)
+        if (d.metric == metric)
+            return &d;
+    return nullptr;
+}
+
+} // namespace
+
+TEST(Scorer, IdenticalRunScoresZero)
+{
+    BaselineProfile base = constantBaseline({{"os.ticks", 1000}});
+    AnomalyScore s =
+        scoreTelemetry(run({{"os.ticks", 1000}}), "demo", base);
+    EXPECT_DOUBLE_EQ(s.aggregate, 0.0);
+    EXPECT_DOUBLE_EQ(s.maxZ, 0.0);
+    EXPECT_EQ(s.scored, 1u);
+    EXPECT_EQ(s.novelMetrics, 0u);
+    EXPECT_FALSE(s.anomalous);
+    EXPECT_EQ(s.baselineName, "demo");
+}
+
+TEST(Scorer, ZeroVarianceUsesSigmaFloor)
+{
+    // Constant baseline at 1000: stddev 0, so the effective sigma is
+    // absFloor + relFloor * mean = 2 + 0.02 * 1000 = 22. A one-count
+    // wobble is noise (z ~ 0.045); a big jump is not.
+    BaselineProfile base = constantBaseline({{"os.ticks", 1000}});
+    ScorerConfig cfg;   // defaults: absFloor 2, relFloor 0.02
+
+    AnomalyScore wobble =
+        scoreTelemetry(run({{"os.ticks", 1001}}), "demo", base, cfg);
+    const MetricDeviation *d = find(wobble, "os.ticks");
+    ASSERT_NE(d, nullptr);
+    EXPECT_DOUBLE_EQ(d->sigma, 22.0);
+    EXPECT_DOUBLE_EQ(d->z, 1.0 / 22.0);
+    EXPECT_FALSE(wobble.anomalous);
+
+    AnomalyScore jump =
+        scoreTelemetry(run({{"os.ticks", 2100}}), "demo", base, cfg);
+    EXPECT_DOUBLE_EQ(find(jump, "os.ticks")->z, 8.0);   // 50, capped
+    EXPECT_TRUE(jump.anomalous);
+}
+
+TEST(Scorer, RealVarianceBeatsFloorWhenLarger)
+{
+    // Samples 100 and 300: mean 200, population stddev 100, well
+    // above the floor (2 + 0.02*200 = 6) — the measured spread wins.
+    BaselineBuilder b("demo");
+    b.addSample(run({{"m", 100}}));
+    b.addSample(run({{"m", 300}}));
+    BaselineProfile base = b.build();
+
+    AnomalyScore s = scoreTelemetry(run({{"m", 400}}), "demo", base);
+    const MetricDeviation *d = find(s, "m");
+    ASSERT_NE(d, nullptr);
+    EXPECT_DOUBLE_EQ(d->sigma, 100.0);
+    EXPECT_DOUBLE_EQ(d->z, 2.0);
+}
+
+TEST(Scorer, ZIsCapped)
+{
+    BaselineProfile base = constantBaseline({{"m", 10}});
+    ScorerConfig cfg;
+    cfg.zCap = 8.0;
+    // sigma floor = 2.2; a deviation of 1e6 would give z ~ 4.5e5.
+    AnomalyScore s =
+        scoreTelemetry(run({{"m", 1000000}}), "demo", base, cfg);
+    EXPECT_DOUBLE_EQ(s.maxZ, 8.0);
+    EXPECT_DOUBLE_EQ(s.aggregate, 8.0);
+}
+
+TEST(Scorer, NovelMetricScoresFullCap)
+{
+    // A syscall the trusted program never made across any seed.
+    BaselineProfile base = constantBaseline({{"os.ticks", 1000}});
+    AnomalyScore s = scoreTelemetry(
+        run({{"os.ticks", 1000}, {"os.syscall.11", 1}}), "demo",
+        base);
+    EXPECT_EQ(s.novelMetrics, 1u);
+    EXPECT_EQ(s.scored, 2u);
+    const MetricDeviation *d = find(s, "os.syscall.11");
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->novel);
+    EXPECT_DOUBLE_EQ(d->z, 8.0);
+    // RMS over {0, 8}.
+    EXPECT_DOUBLE_EQ(s.aggregate, std::sqrt(64.0 / 2.0));
+    EXPECT_TRUE(s.anomalous);
+}
+
+TEST(Scorer, BaselineMetricMissingFromRunIsObservedZero)
+{
+    // Set-semantics harvest only omits what never incremented, so a
+    // missing metric is a zero observation — maximally deviant when
+    // the baseline always saw work there.
+    BaselineProfile base = constantBaseline({{"m", 1000}});
+    AnomalyScore s = scoreTelemetry(run({}), "demo", base);
+    const MetricDeviation *d = find(s, "m");
+    ASSERT_NE(d, nullptr);
+    EXPECT_DOUBLE_EQ(d->observed, 0.0);
+    EXPECT_DOUBLE_EQ(d->z, 8.0);   // 1000/22 caps
+}
+
+TEST(Scorer, ExcludedPrefixesNeverScore)
+{
+    BaselineProfile base = constantBaseline(
+        {{"os.ticks", 100}, {"fleet.sessions", 1}});
+    AnomalyScore s = scoreTelemetry(
+        run({{"os.ticks", 100},
+             {"fleet.sessions", 999},
+             {"anomaly.flagged", 5}}),
+        "demo", base);
+    // Neither the wild fleet counter nor the subsystem's own
+    // anomaly.* metric contributes — no feedback loop.
+    EXPECT_EQ(s.scored, 1u);
+    EXPECT_EQ(s.novelMetrics, 0u);
+    EXPECT_DOUBLE_EQ(s.aggregate, 0.0);
+}
+
+TEST(Scorer, AggregateIsRmsOfCappedZ)
+{
+    // Two metrics, z = 3 and z = 4 by construction (stddev 1 floor
+    // won't apply: use large spreads).
+    BaselineBuilder b("demo");
+    b.addSample(run({{"a", 0}, {"b", 0}}));
+    b.addSample(run({{"a", 200}, {"b", 400}}));
+    BaselineProfile base = b.build();
+    // a: mean 100, stddev 100 -> observe 400 => z 3.
+    // b: mean 200, stddev 200 -> observe 1000 => z 4.
+    AnomalyScore s = scoreTelemetry(run({{"a", 400}, {"b", 1000}}),
+                                    "demo", base);
+    EXPECT_DOUBLE_EQ(s.aggregate, std::sqrt((9.0 + 16.0) / 2.0));
+    EXPECT_DOUBLE_EQ(s.maxZ, 4.0);
+    // Top is ordered by z descending.
+    ASSERT_EQ(s.top.size(), 2u);
+    EXPECT_EQ(s.top[0].metric, "b");
+    EXPECT_EQ(s.top[1].metric, "a");
+}
+
+TEST(Scorer, TopIsCappedAndTieBrokenByName)
+{
+    std::map<std::string, uint64_t> metrics;
+    for (char c = 'a'; c <= 'l'; ++c)
+        metrics[std::string("m.") + c] = 100;
+    BaselineProfile base = constantBaseline(metrics);
+    // Every metric deviates identically: ties broken by name, list
+    // capped at topLimit.
+    std::map<std::string, uint64_t> shifted;
+    for (const auto &[name, v] : metrics)
+        shifted[name] = v + 50;
+    AnomalyScore s =
+        scoreTelemetry(run(shifted), "demo", base);
+    ASSERT_EQ(s.top.size(), AnomalyScore::topLimit);
+    EXPECT_EQ(s.top.front().metric, "m.a");
+    EXPECT_EQ(s.top.back().metric, "m.h");
+    EXPECT_EQ(s.scored, 12u);
+}
+
+TEST(Scorer, NameMismatchIsFatalUnlessAllowed)
+{
+    BaselineProfile base = constantBaseline({{"m", 1}}, "cksum");
+    EXPECT_THROW(scoreTelemetry(run({{"m", 1}}), "rev", base),
+                 FatalError);
+
+    ScorerConfig cfg;
+    cfg.allowNameMismatch = true;
+    AnomalyScore s = scoreTelemetry(run({{"m", 1}}), "rev", base,
+                                    cfg);
+    EXPECT_EQ(s.baselineName, "cksum");
+    EXPECT_FALSE(s.anomalous);
+}
+
+TEST(Scorer, EmptyBaselineIsFatal)
+{
+    BaselineProfile base;
+    base.name = "demo";
+    base.samples = 3;
+    EXPECT_THROW(scoreTelemetry(run({{"m", 1}}), "demo", base),
+                 FatalError);
+}
+
+TEST(Scorer, GaugesScoreByLevel)
+{
+    obs::RunTelemetry sample = run({}, {{"taint.pages", 10}});
+    BaselineBuilder b("demo");
+    for (int i = 0; i < 3; ++i)
+        b.addSample(sample);
+    BaselineProfile base = b.build();
+
+    AnomalyScore same =
+        scoreTelemetry(run({}, {{"taint.pages", 10}}), "demo", base);
+    EXPECT_DOUBLE_EQ(same.aggregate, 0.0);
+
+    AnomalyScore moved =
+        scoreTelemetry(run({}, {{"taint.pages", 500}}), "demo",
+                       base);
+    EXPECT_TRUE(moved.anomalous);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

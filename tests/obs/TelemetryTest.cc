@@ -217,6 +217,31 @@ TEST(Telemetry, RepeatedMonitorDoesNotDoubleCount)
               second.telemetry.metrics.counter("os.syscalls"));
 }
 
+TEST(Telemetry, CountersAreDeterministicAcrossIdenticalRuns)
+{
+    // The anomaly scorer's contract: everything a baseline profiles
+    // (counters and gauge levels) is a pure function of the guest
+    // world and inputs. Only wall-clock data — the phase breakdown
+    // and duration histograms — may differ between identical runs,
+    // which is exactly why baselines never include them.
+    auto runOnce = [] {
+        Hth hth;
+        auto image = makeDropper();
+        hth.kernel().vfs().addBinary(image->path, image);
+        return hth.monitor(image->path, {image->path});
+    };
+    Report a = runOnce();
+    Report b = runOnce();
+
+    EXPECT_EQ(a.telemetry.metrics.counters,
+              b.telemetry.metrics.counters);
+    EXPECT_EQ(a.telemetry.metrics.gauges, b.telemetry.metrics.gauges);
+    ASSERT_FALSE(a.telemetry.metrics.counters.empty());
+    // Sanity: the runs really did measure time independently.
+    EXPECT_GT(a.telemetry.phases.totalNs, 0u);
+    EXPECT_GT(b.telemetry.phases.totalNs, 0u);
+}
+
 TEST(Telemetry, RendersWithoutError)
 {
     Hth hth;

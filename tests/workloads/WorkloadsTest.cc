@@ -11,6 +11,7 @@
 
 #include "os/Kernel.hh"
 #include "os/Libc.hh"
+#include "workloads/AnomalyCorpus.hh"
 #include "workloads/Characterize.hh"
 #include "workloads/Exploits.hh"
 #include "workloads/GuestLib.hh"
@@ -145,6 +146,8 @@ TEST(ScenarioRegistry, IdsAreUniqueAndComplete)
         all.push_back(std::move(s));
     for (auto &s : exploitScenarios())
         all.push_back(std::move(s));
+    for (auto &s : anomalyScenarios())
+        all.push_back(std::move(s));
     for (auto &s : macroScenarios())
         all.push_back(std::move(s));
 
@@ -158,9 +161,10 @@ TEST(ScenarioRegistry, IdsAreUniqueAndComplete)
             << "duplicate scenario id " << s.id;
     }
     // Paper coverage: 4 execve + 2 forkers + 29 info-flow probes +
-    // 13 trusted + 9 exploits (7 from Table 8 + the dormant/
-    // triggered "updated" backdoor pair) + 6 macro.
-    EXPECT_EQ(all.size(), 4u + 2u + 29u + 13u + 9u + 6u);
+    // 16 trusted (13 + 3 noisy baseline workloads) + 9 exploits
+    // (7 from Table 8 + the dormant/triggered "updated" backdoor
+    // pair) + 3 anomaly-corpus syncd variants + 6 macro.
+    EXPECT_EQ(all.size(), 4u + 2u + 29u + 16u + 9u + 3u + 6u);
 }
 
 TEST(ScenarioRegistry, CharacterizationCoversAllNine)
