@@ -34,6 +34,7 @@
 #include "taint/Shadow.hh"
 #include "taint/TagSet.hh"
 #include "workloads/GuestLib.hh"
+#include "workloads/SyntheticPolicy.hh"
 
 using namespace hth;
 using namespace hth::workloads;
@@ -222,14 +223,16 @@ BM_ShadowMemory(benchmark::State &state)
 }
 BENCHMARK(BM_ShadowMemory);
 
-/** Shared body of the two Secpert benches: the matcher strategy is
- * the only difference, so their ratio is the incremental speedup. */
+/** Shared body of the Secpert event benches: the matcher strategy is
+ * the only difference, so their ratios isolate the matcher speedup
+ * (Rete vs dirty-rescan vs naive full recomputation). */
 void
-runClipsBench(benchmark::State &state, bool naive,
+runClipsBench(benchmark::State &state,
+              secpert::PolicyConfig::Matcher matcher,
               bool telemetry = true)
 {
     secpert::PolicyConfig config;
-    config.naiveMatcher = naive;
+    config.matcher = matcher;
     secpert::Secpert secpert(config);
     obs::PhaseProfiler profiler;
     if (telemetry) {
@@ -250,16 +253,20 @@ runClipsBench(benchmark::State &state, bool naive,
     state.counters["events"] =
         (double)secpert.stats().eventsAnalyzed;
     // Rule-level match recomputations per event: all rules per pass
-    // under Naive, only the dirtied rules under Incremental.
+    // under Naive, only the dirtied rules under DirtyRescan, zero
+    // under Rete (joins replace rescans; see join_attempts/event).
     state.counters["rule_matches/event"] =
         (double)es.ruleMatches /
+        (double)std::max<uint64_t>(1, secpert.stats().eventsAnalyzed);
+    state.counters["join_attempts/event"] =
+        (double)es.reteJoinAttempts /
         (double)std::max<uint64_t>(1, secpert.stats().eventsAnalyzed);
 }
 
 void
 BM_ClipsEvent(benchmark::State &state)
 {
-    runClipsBench(state, false);
+    runClipsBench(state, secpert::PolicyConfig::Matcher::Rete);
 }
 BENCHMARK(BM_ClipsEvent);
 
@@ -268,19 +275,104 @@ BENCHMARK(BM_ClipsEvent);
 void
 BM_ClipsEventNoTelemetry(benchmark::State &state)
 {
-    runClipsBench(state, false, false);
+    runClipsBench(state, secpert::PolicyConfig::Matcher::Rete,
+                  false);
 }
 BENCHMARK(BM_ClipsEventNoTelemetry);
 
-/** The naive full-recomputation matcher, kept as the reference
- * oracle: BM_ClipsEvent / BM_ClipsEventNaive is the win from
- * incremental matching alone. */
+/** The dirty-rescan matcher (the pre-Rete incremental engine), kept
+ * as a differential oracle: BM_ClipsEvent / BM_ClipsEventDirtyRescan
+ * is the win from delta propagation alone. */
+void
+BM_ClipsEventDirtyRescan(benchmark::State &state)
+{
+    runClipsBench(state,
+                  secpert::PolicyConfig::Matcher::DirtyRescan);
+}
+BENCHMARK(BM_ClipsEventDirtyRescan);
+
+/** The naive full-recomputation matcher, the slowest oracle. */
 void
 BM_ClipsEventNaive(benchmark::State &state)
 {
-    runClipsBench(state, true);
+    runClipsBench(state, secpert::PolicyConfig::Matcher::Naive);
 }
 BENCHMARK(BM_ClipsEventNaive);
+
+/** Policy at scale: the shipped rule base plus a synthetic policy
+ * of range(0) generated rules (workloads::syntheticPolicy — shared
+ * CE prefixes, distinct literal guards and thresholds), pumped with
+ * the standard event. Rete's alpha index routes each assert past
+ * the non-matching guards, so its per-event cost should stay flat
+ * as rules grow; the dirty-rescan oracle (range(1) == 1) rescans
+ * every rule the event's templates dirty, so its cost grows
+ * linearly. The Rete/DirtyRescan ratio at a given rule count is the
+ * policy-at-scale win. */
+void
+BM_ClipsManyRules(benchmark::State &state)
+{
+    secpert::PolicyConfig config;
+    config.matcher =
+        state.range(1) == 0
+            ? secpert::PolicyConfig::Matcher::Rete
+            : secpert::PolicyConfig::Matcher::DirtyRescan;
+    secpert::Secpert secpert(config);
+    SyntheticPolicyConfig syn;
+    syn.ruleCount = (int)state.range(0);
+    secpert.env().loadString(syntheticPolicy(syn));
+    obs::PhaseProfiler profiler;
+    secpert.setProfiler(&profiler);
+    profiler.start();
+
+    // A representative event mix, identical under both strategies:
+    // an execution-flow access event and an information-flow write.
+    // The io event dirties the io and hybrid synthetic families the
+    // access event alone would leave clean.
+    harrier::ResourceAccessEvent access;
+    access.ctx.pid = 1;
+    access.ctx.time = 10;
+    access.ctx.frequency = 5;
+    access.syscall = "SYS_execve";
+    access.resName = "/bin/ls";
+    access.resType = taint::SourceType::File;
+    access.origins = {{taint::SourceType::Binary, "/tmp/a.out"}};
+    harrier::ResourceIoEvent io;
+    io.ctx.pid = 1;
+    io.ctx.time = 10;
+    io.ctx.frequency = 5;
+    io.syscall = "SYS_write";
+    io.isWrite = true;
+    io.source = {taint::SourceType::File, "/etc/passwd"};
+    io.sourceOrigins = {{taint::SourceType::Binary, "/tmp/a.out"}};
+    io.targetName = "/tmp/out";
+    io.targetType = taint::SourceType::File;
+    io.targetOrigins = {{taint::SourceType::Binary, "/tmp/a.out"}};
+    for (auto _ : state) {
+        secpert.onResourceAccess(access);
+        secpert.onResourceIo(io);
+    }
+    profiler.stop();
+
+    const clips::EngineStats &es = secpert.env().stats();
+    uint64_t events =
+        std::max<uint64_t>(1, secpert.stats().eventsAnalyzed);
+    // The acceptance metric: pattern-match nanoseconds per event
+    // (delta propagation under Rete, dirty-rule rescans under the
+    // oracle) with everything else — assert, fire, retract — factored
+    // out.
+    state.counters["match_ns/event"] =
+        (double)profiler.breakdown().phaseNs(obs::Phase::ClipsMatch) /
+        (double)events;
+    state.counters["rule_matches/event"] =
+        (double)es.ruleMatches / (double)events;
+    state.counters["join_attempts/event"] =
+        (double)es.reteJoinAttempts / (double)events;
+    state.counters["beta_live"] =
+        (double)(es.reteTokensCreated - es.reteTokensDestroyed);
+}
+BENCHMARK(BM_ClipsManyRules)
+    ->ArgsProduct({{100, 250, 500, 1000}, {0, 1}})
+    ->ArgNames({"rules", "dirty"});
 
 /** Deviation scoring at fleet scale: one RunTelemetry snapshot
  * against a realistic-width baseline (a few hundred metrics). The

@@ -103,6 +103,25 @@ def main():
         fail(f"dispatch split {sb}+{generic} != vm.instructions "
              f"{counters['vm.instructions']}")
 
+    # The Rete matcher counters must always be present (zeros are
+    # legal: an oracle matcher was selected, or no event ever built
+    # a partial match), and the token balance must close: every
+    # token ever created is either destroyed or still live in a
+    # beta memory. beta_live is emitted as a counter precisely so
+    # fleet aggregation (counters sum) keeps this equation true.
+    for name in ("clips.rete.tokens_created",
+                 "clips.rete.tokens_destroyed",
+                 "clips.rete.join_attempts",
+                 "clips.rete.beta_live"):
+        if name not in counters:
+            fail(f"missing counter '{name}'")
+    created = counters["clips.rete.tokens_created"]
+    destroyed = counters["clips.rete.tokens_destroyed"]
+    live = counters["clips.rete.beta_live"]
+    if created - destroyed != live:
+        fail(f"rete token balance broken: created {created} - "
+             f"destroyed {destroyed} != beta_live {live}")
+
     # Anomaly summary: always emitted, so a consumer can distinguish
     # "no baseline was applied" from "the record went missing".
     anomaly = by_type["anomaly"][0]

@@ -30,6 +30,19 @@ struct RuleInfo
     bool hasTestOrNot = false;
     std::set<std::string> bound;        //!< LHS-bound variables
     std::vector<const Sexpr *> rhs;
+
+    /** Positive patterns in LHS order with the variables each
+     * mentions — the join order the beta network will use. */
+    struct JoinPattern
+    {
+        std::string tmpl;
+        std::set<std::string> vars;
+    };
+    std::vector<JoinPattern> joinOrder;
+    std::set<std::string> posBound;     //!< bound by positive patterns
+    /** Variables whose first occurrence sits inside a `not` CE,
+     * keyed to the negated pattern's template name. */
+    std::map<std::string, std::string> negFirstBound;
 };
 
 class Linter
@@ -56,6 +69,7 @@ class Linter
     void checkSlots(const Sexpr &pattern,
                     const std::string &construct);
     void checkRuleRhs(const RuleInfo &rule);
+    void checkJoinOrder(const RuleInfo &rule);
     void checkShadowing();
 
     static bool valueEqual(const Sexpr &a, const Sexpr &b);
@@ -160,21 +174,46 @@ Linter::collectPattern(const Sexpr &form, RuleInfo &rule,
     checkSlots(form, rule.name);
     Pattern pat;
     pat.tmpl = head;
+    std::set<std::string> pvars;
     for (size_t i = 1; i < form.items.size(); ++i) {
         const Sexpr &item = form.items[i];
         if (item.isList() && !item.head().empty()) {
             auto &values = pat.slots[item.head()];
             for (size_t j = 1; j < item.items.size(); ++j) {
                 values.push_back(&item.items[j]);
-                if (isVariable(item.items[j]))
+                if (isVariable(item.items[j])) {
                     rule.bound.insert(item.items[j].text);
+                    pvars.insert(item.items[j].text);
+                }
             }
         } else if (isVariable(item)) {
             rule.bound.insert(item.text);
+            pvars.insert(item.text);
         }
     }
-    if (positive)
+    if (positive) {
+        // A variable whose first binding sits inside a `not` never
+        // escapes it: this positive use silently matches any value.
+        for (const std::string &v : pvars) {
+            auto neg = rule.negFirstBound.find(v);
+            if (neg != rule.negFirstBound.end() &&
+                !rule.posBound.count(v))
+                warn(rule.name,
+                     "variable ?" + v +
+                         " is first bound inside a negated pattern"
+                         " ('" +
+                         neg->second +
+                         "'); negated patterns export no bindings, so"
+                         " this use matches any value");
+        }
+        rule.posBound.insert(pvars.begin(), pvars.end());
+        rule.joinOrder.push_back({head, std::move(pvars)});
         rule.patterns.push_back(std::move(pat));
+    } else {
+        for (const std::string &v : pvars)
+            if (!rule.posBound.count(v))
+                rule.negFirstBound.emplace(v, head);
+    }
 }
 
 void
@@ -206,6 +245,11 @@ Linter::collectRule(const Sexpr &form)
             form.items[i + 1].isSymbol("<-") &&
             form.items[i + 2].isList()) {
             rule.bound.insert(item.text);
+            // The fact address is positively bound (it may appear in
+            // a later `not` or on the RHS), but it is always fresh —
+            // it cannot link the pattern to earlier joins, so it is
+            // left out of the pattern's join variables.
+            rule.posBound.insert(item.text);
             collectPattern(form.items[i + 2], rule, true);
             i += 3;
             continue;
@@ -227,6 +271,7 @@ void
 Linter::checkRuleRhs(const RuleInfo &rule)
 {
     std::set<std::string> bound = rule.bound;
+    std::set<std::string> rhsBound;
 
     // First sweep: every (bind ?x ...) anywhere on the RHS.
     std::vector<const Sexpr *> work(rule.rhs);
@@ -236,14 +281,17 @@ Linter::checkRuleRhs(const RuleInfo &rule)
         if (!form->isList())
             continue;
         if (form->head() == "bind" && form->items.size() >= 2 &&
-            isVariable(form->items[1]))
+            isVariable(form->items[1])) {
             bound.insert(form->items[1].text);
+            rhsBound.insert(form->items[1].text);
+        }
         for (const Sexpr &item : form->items)
             if (item.isList())
                 work.push_back(&item);
     }
 
     // Second sweep: uses; also slot-check (assert ...) forms.
+    std::set<std::string> negWarned;
     work = rule.rhs;
     while (!work.empty()) {
         const Sexpr *form = work.back();
@@ -253,6 +301,15 @@ Linter::checkRuleRhs(const RuleInfo &rule)
                 error(rule.name,
                       "variable ?" + form->text +
                           " is used on the RHS but never bound");
+            else if (rule.negFirstBound.count(form->text) &&
+                     !rule.posBound.count(form->text) &&
+                     !rhsBound.count(form->text) &&
+                     negWarned.insert(form->text).second)
+                warn(rule.name,
+                     "variable ?" + form->text +
+                         " is only bound inside a negated pattern;"
+                         " negated patterns export no bindings, so it"
+                         " has no value on the RHS");
             continue;
         }
         if (!form->isList())
@@ -263,6 +320,39 @@ Linter::checkRuleRhs(const RuleInfo &rule)
                     checkSlots(form->items[i], rule.name);
         for (const Sexpr &item : form->items)
             work.push_back(&item);
+    }
+}
+
+void
+Linter::checkJoinOrder(const RuleInfo &rule)
+{
+    // A positive pattern that shares no variable with everything
+    // bound before it makes the beta network pair every earlier
+    // partial match with every fact in its alpha memory. Harmless as
+    // the *last* join — the cross product feeds the agenda directly,
+    // and several shipped accounting rules end that way on purpose —
+    // but expensive anywhere earlier, because every later join
+    // multiplies it out again.
+    std::set<std::string> seen;
+    for (size_t i = 0; i < rule.joinOrder.size(); ++i) {
+        const RuleInfo::JoinPattern &jp = rule.joinOrder[i];
+        if (i > 0 && i + 1 < rule.joinOrder.size() && !seen.empty() &&
+            !jp.vars.empty()) {
+            bool linked = false;
+            for (const std::string &v : jp.vars)
+                if (seen.count(v)) {
+                    linked = true;
+                    break;
+                }
+            if (!linked)
+                warn(rule.name,
+                     "pattern '" + jp.tmpl +
+                         "' shares no variable with the patterns"
+                         " before it; the join forms a cross product"
+                         " that every later join multiplies (reorder"
+                         " the LHS or add a linking constraint)");
+        }
+        seen.insert(jp.vars.begin(), jp.vars.end());
     }
 }
 
@@ -350,8 +440,10 @@ Linter::lint(const std::string &source)
                     checkSlots(form.items[i], "assert");
     }
 
-    for (const RuleInfo &rule : rules_)
+    for (const RuleInfo &rule : rules_) {
         checkRuleRhs(rule);
+        checkJoinOrder(rule);
+    }
     checkShadowing();
     return std::move(issues_);
 }

@@ -12,7 +12,15 @@
  *    referenced deftemplate does not declare;
  *  - warning: a rule shadowed by a strictly-more-general rule (every
  *    pattern of the general rule subsumes one of the shadowed
- *    rule's, and the general rule adds no test/not conditions).
+ *    rule's, and the general rule adds no test/not conditions);
+ *  - warning: a positive pattern that shares no variable with the
+ *    patterns before it while further joins follow — under the Rete
+ *    matcher that join is a cross product that every later join
+ *    multiplies out (a *trailing* disconnected pattern is fine and
+ *    stays quiet);
+ *  - warning: a variable first bound inside a negated pattern that
+ *    is then used in a later pattern or on the RHS — negated
+ *    patterns export no bindings, so the use matches any value.
  *
  * Templates not declared in the linted source are skipped by the
  * slot check, so rule fragments can be linted standalone.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "clips/Rete.hh"
 #include "support/Logging.hh"
 
 namespace hth::clips
@@ -11,6 +12,7 @@ namespace hth::clips
 Environment::Environment()
 {
     installBuiltins();
+    rete_ = std::make_unique<ReteNetwork>(*this);
 }
 
 Environment::~Environment() = default;
@@ -198,9 +200,12 @@ Environment::compileFunction(const Sexpr &form)
         ++idx; // comment
     for (; idx < form.items.size(); ++idx)
         fn.body.push_back(form.items[idx]);
-    // (Re)definition can flip test CEs that call the function.
+    // (Re)definition can flip test CEs that call the function —
+    // install before invalidating so Rete re-evaluates against the
+    // new body.
+    const std::string fn_name = fn.name;
+    functions_[fn_name] = std::move(fn);
     markAllTestRulesDirty();
-    functions_[fn.name] = std::move(fn);
 }
 
 /** Whether the expression contains a (bind ...) anywhere. Only
@@ -377,6 +382,12 @@ Environment::compileRule(const Sexpr &form)
         ruleActivations_.push_back(0);
         anyDirty_ = true;
         rules_.push_back(std::move(rule));
+        // Compile into the live Rete network; priming against the
+        // current memories is what makes the new rule match
+        // pre-existing facts (the dirty flag above covers the
+        // oracle strategies).
+        if (rete_)
+            rete_->addRule(*rules_.back());
     }
 }
 
@@ -523,7 +534,15 @@ Environment::assertFact(
     factStore_.push_back(std::move(f));
     factsByTmpl_[tmpl->name].push_back(raw);
     factIndex_[raw->id] = raw;
-    noteTemplateChanged(tmpl);
+    if (rete_) {
+        // Plus-token propagation happens here, at assert time; the
+        // scope attributes it to the match phase run() no longer
+        // pays for.
+        obs::PhaseScope match(profiler_, obs::Phase::ClipsMatch);
+        rete_->onAssert(raw);
+    } else {
+        noteTemplateChanged(tmpl);
+    }
     ++stats_.asserts;
     return raw->id;
 }
@@ -537,14 +556,25 @@ Environment::retract(FactId id)
     Fact *f = it->second;
     f->retracted = true;
     auto &vec = factsByTmpl_[f->tmpl->name];
-    vec.erase(std::remove(vec.begin(), vec.end(), f), vec.end());
+    vec.erase(std::remove(vec.begin(), vec.end(),
+                          (const Fact *)f), vec.end());
+    if (rete_) {
+        // Minus propagation must run while the slots are intact:
+        // negated patterns re-unify against the dying fact to drop
+        // their support counts. It also withdraws every agenda
+        // entry the fact supported.
+        obs::PhaseScope match(profiler_, obs::Phase::ClipsMatch);
+        rete_->onRetract(f);
+    }
     // Nothing reads a retracted fact's fields (fact() hides it, the
-    // matcher only sees live facts), so release the slot storage —
+    // matchers only see live facts), so release the slot storage —
     // the store itself is append-only.
     f->slots.clear();
     f->slots.shrink_to_fit();
-    noteTemplateChanged(f->tmpl);
-    removeActivationsUsing(id);
+    if (!rete_) {
+        noteTemplateChanged(f->tmpl);
+        removeActivationsUsing(id);
+    }
     ++stats_.retracts;
     if (++retractsSinceSweep_ >= 64 + fired_.size() / 2)
         sweepFired();
@@ -570,15 +600,12 @@ Environment::facts() const
     return out;
 }
 
-std::vector<const Fact *>
+const std::vector<const Fact *> &
 Environment::factsByTemplate(const std::string &name) const
 {
-    std::vector<const Fact *> out;
+    static const std::vector<const Fact *> kNone;
     auto it = factsByTmpl_.find(name);
-    if (it != factsByTmpl_.end())
-        for (Fact *f : it->second)
-            out.push_back(f);
-    return out;
+    return it == factsByTmpl_.end() ? kNone : it->second;
 }
 
 void
@@ -591,6 +618,10 @@ Environment::clearFacts()
     retractsSinceSweep_ = 0;
     agenda_.clear();
     markAllRulesDirty();
+    // A fresh network over empty working memory: rules whose LHS is
+    // satisfied vacuously (not-only) re-activate via priming.
+    if (rete_)
+        rebuildRete();
 }
 
 size_t
@@ -705,7 +736,7 @@ Environment::unifySequence(const std::vector<PatTerm> &terms,
 
 bool
 Environment::unifyPattern(const PatternCE &pat, const Fact &f,
-                          Bindings &binds) const
+                          Bindings &binds)
 {
     if (f.tmpl != pat.tmpl)
         return false;
@@ -733,7 +764,9 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
     if (ce_idx == rule.lhs.size()) {
         std::vector<FactId> key = used;
         std::sort(key.begin(), key.end());
-        if (fired_.count({rule.name, key}))
+        if (fired_.count(std::pair<const std::string &,
+                                   const std::vector<FactId> &>(
+                rule.name, key)))
             return;
         Activation act;
         act.rule = &rule;
@@ -763,7 +796,7 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
         // is appending fresh keys — instead of copying both maps
         // for every fact tried.
         for (size_t ci = 0; ci < it->second.size(); ++ci) {
-            Fact *f = it->second[ci];
+            const Fact *f = it->second[ci];
             if (f->retracted)
                 continue;
             size_t vmark = binds.vars.size();
@@ -798,7 +831,7 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
         auto it = factsByTmpl_.find(ce.pattern.tmpl->name);
         if (it != factsByTmpl_.end()) {
             ++stats_.alphaHits;
-            for (Fact *f : it->second) {
+            for (const Fact *f : it->second) {
                 if (f->retracted)
                     continue;
                 // Probe in place and truncate: the unifier only
@@ -818,7 +851,7 @@ Environment::matchFrom(const Rule &rule, size_t ce_idx, Bindings &binds,
         if (it == factsByTmpl_.end())
             return;
         ++stats_.alphaHits;
-        for (Fact *f : it->second) {
+        for (const Fact *f : it->second) {
             if (f->retracted)
                 continue;
             size_t vmark = binds.vars.size();
@@ -879,6 +912,8 @@ Environment::markAllTestRulesDirty()
         ruleDirty_[idx] = 1;
     if (!testRules_.empty())
         anyDirty_ = true;
+    if (rete_)
+        rete_->onTestsInvalidated();
 }
 
 void
@@ -952,11 +987,80 @@ Environment::setMatchStrategy(MatchStrategy s)
     if (strategy_ == s)
         return;
     strategy_ = s;
-    // Hand the new matcher a clean slate; the next run() rebuilds
-    // the agenda from working memory, so the switch point cannot
-    // change what fires.
+    // Hand the new matcher a clean slate; the agenda is rebuilt from
+    // working memory (Rete by terminal priming, the oracles by dirty
+    // rescans on the next run()), so the switch point cannot change
+    // what fires.
     agenda_.clear();
-    markAllRulesDirty();
+    if (s == MatchStrategy::Rete) {
+        rebuildRete();
+    } else {
+        rete_.reset();
+        markAllRulesDirty();
+    }
+}
+
+void
+Environment::rebuildRete()
+{
+    rete_.reset();  // count surviving tokens as destroyed first
+    rete_ = std::make_unique<ReteNetwork>(*this);
+    for (const auto &rule : rules_)
+        rete_->addRule(*rule);
+}
+
+void
+Environment::reteActivate(const Rule *rule, std::vector<FactId> facts,
+                          const Bindings &binds)
+{
+    std::vector<FactId> key = facts;
+    std::sort(key.begin(), key.end());
+    if (fired_.count(std::pair<const std::string &,
+                               const std::vector<FactId> &>(
+            rule->name, key)))
+        return;
+    Activation act;
+    act.rule = rule;
+    act.recency = facts.empty()
+        ? 0 : *std::max_element(facts.begin(), facts.end());
+    act.facts = std::move(facts);
+    act.binds = binds;
+    agenda_.push_back(std::move(act));
+    ++stats_.activations;
+    if (rule->defIndex < ruleActivations_.size())
+        ++ruleActivations_[rule->defIndex];
+}
+
+void
+Environment::reteDeactivate(const Rule *rule,
+                            const std::vector<FactId> &facts)
+{
+    // A token chain determines its fact tuple uniquely, so at most
+    // one agenda entry matches.
+    for (auto it = agenda_.begin(); it != agenda_.end(); ++it) {
+        if (it->rule == rule && it->facts == facts) {
+            agenda_.erase(it);
+            return;
+        }
+    }
+}
+
+size_t
+Environment::reteLiveTokens() const
+{
+    return rete_ ? rete_->liveTokens() : 0;
+}
+
+size_t
+Environment::reteAlphaNodes() const
+{
+    return rete_ ? rete_->alphaNodeCount() : 0;
+}
+
+size_t
+Environment::reteBetaNodes() const
+{
+    return rete_ ? rete_->betaNodeCount() : 0;
 }
 
 int
@@ -964,7 +1068,10 @@ Environment::run(int max_fires)
 {
     int fired = 0;
     while (max_fires < 0 || fired < max_fires) {
-        {
+        // Rete: the agenda was maintained by delta propagation at
+        // assert/retract time; nothing to recompute (and no phase
+        // scope to pay for) here.
+        if (strategy_ != MatchStrategy::Rete) {
             obs::PhaseScope match(profiler_,
                                   obs::Phase::ClipsMatch);
             if (strategy_ == MatchStrategy::Naive) {

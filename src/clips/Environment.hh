@@ -15,10 +15,13 @@
  *    operations)
  *  - agenda ordered by salience then recency, with refraction
  *
- * The matcher is a direct join over working memory rather than a Rete
- * network; facts are indexed by template, which is ample for the
- * event-at-a-time workload Secpert generates (each Harrier event is
- * asserted, resolved and retracted).
+ * The default matcher is a genuine Rete network (see Rete.hh):
+ * rules compile into a shared alpha/beta node graph with token
+ * memories, and an assert or retract propagates only the delta —
+ * match cost follows working-memory churn, not rules × facts. The
+ * pre-Rete matchers are retained as differential oracles: DirtyRescan
+ * (template-indexed alpha memories + dirty-rule rescans) and Naive
+ * (full recompute per fire).
  */
 
 #ifndef HTH_CLIPS_ENVIRONMENT_HH
@@ -125,35 +128,47 @@ struct EngineStats
     uint64_t retracts = 0;
     uint64_t matchPasses = 0;
     /** Rule-level match recomputations: under the naive strategy
-     * every rule per pass, under the incremental strategy only the
-     * rules dirtied by a fact/global change. */
+     * every rule per pass, under DirtyRescan only the rules dirtied
+     * by a fact/global change (the Rete matcher never recomputes). */
     uint64_t ruleMatches = 0;
     /** Largest agenda observed when selecting an activation. */
     uint64_t agendaPeak = 0;
     /** Activations pushed onto an agenda (pre-refraction joins). */
     uint64_t activations = 0;
-    /** Non-empty alpha-memory (template index) lookups during
-     * matching. */
+    /** Alpha-memory hits: under Naive/DirtyRescan, non-empty
+     * template-index lookups while matching; under Rete, facts
+     * accepted into an alpha node's memory. */
     uint64_t alphaHits = 0;
-    /** Dirty-rule rescans performed by the incremental matcher. */
+    /** Dirty-rule rescans performed by the DirtyRescan matcher. */
     uint64_t dirtyRescans = 0;
+    /** @name Rete matcher counters @{ */
+    uint64_t reteTokensCreated = 0;
+    uint64_t reteTokensDestroyed = 0;
+    /** Token × fact unification attempts at join/not/exists nodes. */
+    uint64_t reteJoinAttempts = 0;
+    /** @} */
 };
 
 /**
  * How run() keeps the agenda consistent with working memory.
  *
- * Incremental is the Rete-flavoured default: facts are indexed by
- * template (alpha memories), a fact change dirties only the rules
- * whose left-hand side references that template, and the agenda is
- * maintained across fires instead of rebuilt. Naive recomputes the
- * whole agenda (all rules x all facts) after every fire; it is kept
- * as the reference oracle for differential testing.
+ * Rete is the default: rules compile into a shared alpha/beta node
+ * network with token memories, and assert/retract propagate deltas
+ * that maintain the agenda directly — run() never recomputes a
+ * match. DirtyRescan (the PR 2 incremental matcher) indexes facts by
+ * template, dirties only the rules whose LHS references a changed
+ * template and rescans those; Naive recomputes the whole agenda
+ * (all rules × all facts) after every fire. Both are kept as
+ * reference oracles for differential testing.
  */
 enum class MatchStrategy
 {
     Naive,
-    Incremental,
+    DirtyRescan,
+    Rete,
 };
+
+class ReteNetwork;
 
 /** A record of one rule firing, for tests and diagnostics. */
 struct FireRecord
@@ -213,8 +228,11 @@ class Environment
     /** All live facts, in assertion order. */
     std::vector<const Fact *> facts() const;
 
-    /** Live facts of one template. */
-    std::vector<const Fact *>
+    /** Live facts of one template, in assertion order. Served by
+     * reference straight from the template index — no per-call copy
+     * or working-memory scan. The reference is invalidated by any
+     * assert or retract. */
+    const std::vector<const Fact *> &
     factsByTemplate(const std::string &name) const;
 
     /** Retract every fact (constructs are preserved). */
@@ -263,6 +281,14 @@ class Environment
 
     size_t ruleCount() const { return rules_.size(); }
     size_t liveFactCount() const;
+
+    /** @name Rete network introspection (tests, telemetry) @{ */
+    /** Tokens currently held in beta memories (0 off-Rete); always
+     * equals stats().reteTokensCreated - reteTokensDestroyed. */
+    size_t reteLiveTokens() const;
+    size_t reteAlphaNodes() const;
+    size_t reteBetaNodes() const;
+    /** @} */
 
     /** @} */
     /** @name Embedding hooks @{ */
@@ -336,14 +362,27 @@ class Environment
     void removeActivationsUsing(FactId id);
     /** Drop refraction records that reference dead facts. */
     void sweepFired();
-    bool unifyPattern(const PatternCE &pat, const Fact &f,
-                      Bindings &binds) const;
+    static bool unifyPattern(const PatternCE &pat, const Fact &f,
+                             Bindings &binds);
     static bool unifySequence(const std::vector<PatTerm> &terms,
                               size_t term_idx,
                               const std::vector<Value> &fields,
                               size_t field_idx, Bindings &binds);
     static bool unifyTermSingle(const PatTerm &term, const Value &v,
                                 Bindings &binds);
+    /** @} */
+
+    /** @name Rete integration @{ */
+    /** Tear down and rebuild the network from rules_ + live facts;
+     * terminal priming repopulates the (pre-cleared) agenda. */
+    void rebuildRete();
+    /** A token reached a terminal node: queue an activation unless
+     * refraction already burned its key. */
+    void reteActivate(const Rule *rule, std::vector<FactId> facts,
+                      const Bindings &binds);
+    /** The supporting token died: withdraw the exact activation. */
+    void reteDeactivate(const Rule *rule,
+                        const std::vector<FactId> &facts);
     /** @} */
 
     /** @name Evaluation @{ */
@@ -363,13 +402,32 @@ class Environment
     std::unordered_map<std::string, NativeFn> natives_;
 
     std::vector<std::unique_ptr<Fact>> factStore_;
-    std::unordered_map<std::string, std::vector<Fact *>> factsByTmpl_;
+    /** Template index: live facts per template, assertion order.
+     * Doubles as the factsByTemplate() answer and the Rete alpha
+     * priming source. */
+    std::unordered_map<std::string, std::vector<const Fact *>>
+        factsByTmpl_;
     /** O(1) id lookup; entries persist after retraction (the Fact
      * carries the retracted flag) until clearFacts(). */
     std::unordered_map<FactId, Fact *> factIndex_;
     FactId nextFactId_ = 1;
 
-    std::set<std::pair<std::string, std::vector<FactId>>> fired_;
+    /** Refraction memory, keyed (rule name, sorted supporting fact
+     * ids). Transparent comparator so hot-path lookups can pass a
+     * pair of references instead of copying the name and key. */
+    struct FiredLess
+    {
+        using is_transparent = void;
+        template <typename A, typename B>
+        bool operator()(const A &a, const B &b) const
+        {
+            if (a.first != b.first)
+                return a.first < b.first;
+            return a.second < b.second;
+        }
+    };
+    std::set<std::pair<std::string, std::vector<FactId>>, FiredLess>
+        fired_;
     uint64_t retractsSinceSweep_ = 0;
     std::vector<FireRecord> fireTrace_;
     EngineStats stats_;
@@ -377,12 +435,14 @@ class Environment
     std::vector<uint64_t> ruleActivations_;
     obs::PhaseProfiler *profiler_ = nullptr;
 
-    /** @name Incremental matcher state @{ */
-    MatchStrategy strategy_ = MatchStrategy::Incremental;
+    /** @name Matcher state @{ */
+    MatchStrategy strategy_ = MatchStrategy::Rete;
+    /** Live exactly while strategy_ == Rete. */
+    std::unique_ptr<ReteNetwork> rete_;
     std::vector<Activation> agenda_;    //!< maintained across fires
     std::vector<char> ruleDirty_;       //!< parallel to rules_
     bool anyDirty_ = false;
-    /** Alpha index: template -> indices of rules referencing it. */
+    /** DirtyRescan index: template -> rules referencing it. */
     std::map<const Template *, std::vector<size_t>> rulesByTmpl_;
     std::vector<size_t> testRules_;     //!< rules with test CEs
     /** @} */
@@ -393,6 +453,7 @@ class Environment
     std::vector<std::vector<Value>> valsPool_;
 
     friend struct BuiltinInstaller;
+    friend class ReteNetwork;
 };
 
 } // namespace hth::clips

@@ -1,0 +1,752 @@
+#include "clips/Rete.hh"
+
+#include <algorithm>
+
+#include "support/Logging.hh"
+
+namespace hth::clips
+{
+
+namespace
+{
+
+/** Serialize a value into a hash key that agrees with Value
+ * equality: equal values yield equal keys, and the type prefix keeps
+ * symbol/string/number renderings apart. */
+void
+appendValueKey(std::string &out, const Value &v)
+{
+    switch (v.type()) {
+      case Value::Type::Symbol:
+        out += 'y';
+        out += v.text();
+        return;
+      case Value::Type::String:
+        out += 's';
+        out += v.text();
+        return;
+      case Value::Type::Integer:
+        out += 'i';
+        out += std::to_string(v.intValue());
+        return;
+      case Value::Type::Float:
+        out += 'f';
+        out += std::to_string(v.floatValue());
+        return;
+      case Value::Type::Multi:
+        out += 'm';
+        out += std::to_string(v.items().size());
+        for (const Value &item : v.items()) {
+            out += '|';
+            appendValueKey(out, item);
+        }
+        return;
+    }
+}
+
+std::string
+slotValueKey(int slot, const Value &v)
+{
+    std::string out = std::to_string(slot);
+    out += '=';
+    appendValueKey(out, v);
+    return out;
+}
+
+/** Structural signature of a pattern, variable names included: two
+ * patterns with the same signature match the same facts *and* bind
+ * the same variables, so the nodes built from them are shareable. */
+std::string
+patternSig(const PatternCE &pat)
+{
+    std::string out = pat.tmpl->name;
+    for (const SlotPattern &sp : pat.slotPatterns) {
+        out += '#';
+        out += std::to_string(sp.slotIndex);
+        for (const PatTerm &t : sp.terms) {
+            switch (t.kind) {
+              case PatTerm::Kind::Literal:
+                out += 'L';
+                appendValueKey(out, t.literal);
+                break;
+              case PatTerm::Kind::SingleVar:
+                out += 'V';
+                out += t.var;
+                break;
+              case PatTerm::Kind::MultiVar:
+                out += 'M';
+                out += t.var;
+                break;
+              case PatTerm::Kind::Wildcard:
+                out += 'W';
+                break;
+              case PatTerm::Kind::MultiWild:
+                out += 'X';
+                break;
+            }
+            out += ';';
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+ReteNetwork::ReteNetwork(Environment &env) : env_(env)
+{
+    root_.kind = BetaNode::Kind::Root;
+    auto tok = std::make_unique<Token>();
+    tok->node = &root_;
+    tok->bindsOwner = tok.get();
+    rootToken_ = tok.get();
+    root_.memory.push_back(std::move(tok));
+    ++env_.stats_.reteTokensCreated;
+}
+
+ReteNetwork::~ReteNetwork()
+{
+    // Keep the token balance invariant (created - destroyed = live)
+    // intact across teardown and network rebuilds.
+    env_.stats_.reteTokensDestroyed += liveTokens();
+}
+
+size_t
+ReteNetwork::liveTokens() const
+{
+    size_t n = root_.memory.size();
+    for (const auto &node : nodes_)
+        n += node->memory.size();
+    return n;
+}
+
+//
+// Network construction
+//
+
+std::string
+ReteNetwork::alphaKeyOf(const Template *tmpl,
+                        const std::vector<AlphaTest> &tests)
+{
+    std::string out = tmpl->name;
+    for (const AlphaTest &t : tests) {
+        out += '#';
+        out += slotValueKey(t.slotIndex, t.expect);
+    }
+    return out;
+}
+
+std::string
+ReteNetwork::ceKeyOf(const CondElement &ce)
+{
+    switch (ce.kind) {
+      case CondElement::Kind::Pattern:
+        return "J|" + ce.pattern.factVar + '|' + patternSig(ce.pattern);
+      case CondElement::Kind::Not:
+        return "N|" + patternSig(ce.pattern);
+      case CondElement::Kind::Exists:
+        return "E|" + patternSig(ce.pattern);
+      case CondElement::Kind::Test:
+        return std::string("T|") + (ce.testMutates ? 'm' : 'p') + '|' +
+               ce.testExpr.toString();
+    }
+    return "?";
+}
+
+bool
+ReteNetwork::alphaAccepts(const AlphaNode *a, const Fact *f)
+{
+    for (const AlphaTest &t : a->tests)
+        if (!(f->slots[t.slotIndex] == t.expect))
+            return false;
+    return true;
+}
+
+ReteNetwork::AlphaNode *
+ReteNetwork::internAlpha(const PatternCE &pat)
+{
+    // The constant part of the pattern: every slot whose terms are
+    // all literals. A fully-literal multislot run must equal the
+    // whole multifield, which collapses to one Value comparison.
+    std::vector<AlphaTest> tests;
+    for (const SlotPattern &sp : pat.slotPatterns) {
+        bool all_literal = !sp.terms.empty();
+        for (const PatTerm &t : sp.terms) {
+            if (t.kind != PatTerm::Kind::Literal) {
+                all_literal = false;
+                break;
+            }
+        }
+        if (!all_literal)
+            continue;
+        AlphaTest test;
+        test.slotIndex = sp.slotIndex;
+        const SlotDef &def = pat.tmpl->slots[sp.slotIndex];
+        if (def.multislot) {
+            std::vector<Value> vals;
+            for (const PatTerm &t : sp.terms)
+                vals.push_back(t.literal);
+            test.expect = Value::multi(std::move(vals));
+        } else {
+            test.expect = sp.terms[0].literal;
+        }
+        tests.push_back(std::move(test));
+    }
+    std::stable_sort(tests.begin(), tests.end(),
+                     [](const AlphaTest &a, const AlphaTest &b) {
+                         return a.slotIndex < b.slotIndex;
+                     });
+
+    const std::string sig = alphaKeyOf(pat.tmpl, tests);
+    auto it = alphaBySig_.find(sig);
+    if (it != alphaBySig_.end())
+        return it->second;
+
+    auto node = std::make_unique<AlphaNode>();
+    node->tmpl = pat.tmpl;
+    node->tests = std::move(tests);
+    AlphaNode *raw = node.get();
+    alphas_.push_back(std::move(node));
+    ++alphaCount_;
+    alphaBySig_[sig] = raw;
+
+    TemplateAlphas &ta = alphasByTmpl_[pat.tmpl];
+    if (raw->tests.empty()) {
+        ta.unindexed.push_back(raw);
+    } else {
+        std::vector<int> slots;
+        std::string key;
+        for (const AlphaTest &t : raw->tests) {
+            slots.push_back(t.slotIndex);
+            key += slotValueKey(t.slotIndex, t.expect);
+            key += '#';
+        }
+        SlotSetIndex *ss = nullptr;
+        for (SlotSetIndex &cand : ta.slotSets)
+            if (cand.slots == slots) {
+                ss = &cand;
+                break;
+            }
+        if (!ss) {
+            ta.slotSets.emplace_back();
+            ss = &ta.slotSets.back();
+            ss->slots = std::move(slots);
+        }
+        ss->byKey[key].push_back(raw);
+    }
+
+    // Prime the memory from facts already in working memory; the
+    // node has no successors yet, so nothing propagates.
+    auto fit = env_.factsByTmpl_.find(pat.tmpl->name);
+    if (fit != env_.factsByTmpl_.end()) {
+        for (const Fact *f : fit->second) {
+            if (alphaAccepts(raw, f)) {
+                raw->memory.push_back(f);
+                factAlphas_[f->id].push_back(raw);
+            }
+        }
+    }
+    return raw;
+}
+
+void
+ReteNetwork::attachToAlpha(AlphaNode *alpha, BetaNode *node)
+{
+    // Deepest-first: when one fact feeds several joins of the same
+    // chain, right-activating the descendants before their ancestors
+    // is what makes each (token, fact) pair join exactly once.
+    auto it = std::upper_bound(
+        alpha->successors.begin(), alpha->successors.end(), node,
+        [](const BetaNode *a, const BetaNode *b) {
+            return a->depth > b->depth;
+        });
+    alpha->successors.insert(it, node);
+}
+
+ReteNetwork::BetaNode *
+ReteNetwork::internChild(BetaNode *parent, const CondElement &ce)
+{
+    const std::string key = ceKeyOf(ce);
+    for (BetaNode *s : parent->successors)
+        if (s->kind != BetaNode::Kind::Terminal && s->shareKey == key)
+            return s;
+
+    auto node = std::make_unique<BetaNode>();
+    node->parent = parent;
+    node->depth = parent->depth + 1;
+    node->shareKey = key;
+    switch (ce.kind) {
+      case CondElement::Kind::Pattern:
+        node->kind = BetaNode::Kind::Join;
+        node->pattern = ce.pattern;
+        node->alpha = internAlpha(ce.pattern);
+        break;
+      case CondElement::Kind::Not:
+        node->kind = BetaNode::Kind::Neg;
+        node->pattern = ce.pattern;
+        node->alpha = internAlpha(ce.pattern);
+        break;
+      case CondElement::Kind::Exists:
+        node->kind = BetaNode::Kind::Exists;
+        node->pattern = ce.pattern;
+        node->alpha = internAlpha(ce.pattern);
+        break;
+      case CondElement::Kind::Test:
+        node->kind = BetaNode::Kind::Test;
+        node->testExpr = ce.testExpr;
+        node->testMutates = ce.testMutates;
+        break;
+    }
+    BetaNode *raw = node.get();
+    nodes_.push_back(std::move(node));
+    ++betaCount_;
+    parent->successors.push_back(raw);
+    if (raw->alpha)
+        attachToAlpha(raw->alpha, raw);
+    if (raw->kind == BetaNode::Kind::Test)
+        testNodes_.push_back(raw);
+    primeNode(raw);
+    return raw;
+}
+
+void
+ReteNetwork::addRule(const Rule &rule)
+{
+    BetaNode *cur = &root_;
+    for (const CondElement &ce : rule.lhs)
+        cur = internChild(cur, ce);
+
+    auto node = std::make_unique<BetaNode>();
+    node->kind = BetaNode::Kind::Terminal;
+    node->parent = cur;
+    node->depth = cur->depth + 1;
+    node->rule = &rule;
+    BetaNode *raw = node.get();
+    nodes_.push_back(std::move(node));
+    ++betaCount_;
+    cur->successors.push_back(raw);
+    primeNode(raw);
+}
+
+void
+ReteNetwork::primeNode(BetaNode *node)
+{
+    BetaNode *parent = node->parent;
+    for (size_t i = 0; i < parent->memory.size(); ++i)
+        leftPlus(node, parent->memory[i].get());
+}
+
+//
+// Delta propagation
+//
+
+std::unique_ptr<ReteNetwork::Token>
+ReteNetwork::allocToken()
+{
+    if (tokenPool_.empty())
+        return std::make_unique<Token>();
+    auto tok = std::move(tokenPool_.back());
+    tokenPool_.pop_back();
+    tok->binds.vars.truncate(0);
+    tok->binds.factVars.truncate(0);
+    tok->children.clear();
+    return tok;
+}
+
+ReteNetwork::Token *
+ReteNetwork::makeToken(BetaNode *node, Token *parent, const Fact *f,
+                       Bindings binds)
+{
+    auto tok = allocToken();
+    tok->node = node;
+    tok->parent = parent;
+    tok->fact = f;
+    tok->bindsOwner = tok.get();
+    tok->binds = std::move(binds);
+    Token *raw = tok.get();
+    node->memory.push_back(std::move(tok));
+    if (parent)
+        parent->children.push_back(raw);
+    ++env_.stats_.reteTokensCreated;
+    return raw;
+}
+
+/** A token that adds no bindings of its own (pass-through nodes,
+ * joins that bound nothing new): alias the parent's binding owner
+ * instead of copying the whole binding set. */
+ReteNetwork::Token *
+ReteNetwork::makeSharedToken(BetaNode *node, Token *parent,
+                             const Fact *f)
+{
+    auto tok = allocToken();
+    tok->node = node;
+    tok->parent = parent;
+    tok->fact = f;
+    tok->bindsOwner = parent->bindsOwner;
+    Token *raw = tok.get();
+    node->memory.push_back(std::move(tok));
+    parent->children.push_back(raw);
+    ++env_.stats_.reteTokensCreated;
+    return raw;
+}
+
+std::vector<FactId>
+ReteNetwork::factsOf(const Token *tok)
+{
+    std::vector<FactId> out;
+    for (const Token *t = tok; t; t = t->parent)
+        if (t->fact)
+            out.push_back(t->fact->id);
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+ReteNetwork::Token *
+ReteNetwork::findChildAt(Token *left, BetaNode *node)
+{
+    for (Token *c : left->children)
+        if (c->node == node)
+            return c;
+    return nullptr;
+}
+
+bool
+ReteNetwork::probeMatch(BetaNode *node, Token *left, const Fact *f)
+{
+    // Probe in place and truncate: the unifier's only net effect is
+    // appending fresh variable keys (it never touches factVars here —
+    // factVar binding is done by the caller, and not/exists patterns
+    // cannot carry one).
+    ++env_.stats_.reteJoinAttempts;
+    Bindings &lb = bindsOf(left);
+    const size_t vmark = lb.vars.size();
+    const bool hit = Environment::unifyPattern(node->pattern, *f, lb);
+    lb.vars.truncate(vmark);
+    return hit;
+}
+
+uint64_t
+ReteNetwork::countAlphaMatches(BetaNode *node, Token *left)
+{
+    uint64_t n = 0;
+    for (size_t i = 0; i < node->alpha->memory.size(); ++i)
+        if (probeMatch(node, left, node->alpha->memory[i]))
+            ++n;
+    return n;
+}
+
+bool
+ReteNetwork::evalTest(BetaNode *node, Token *left)
+{
+    if (node->testMutates) {
+        // A (bind ...) inside the test may clobber pattern bindings:
+        // give it a throwaway copy, as the oracle matchers do.
+        Bindings copy = bindsOf(left);
+        return env_.eval(node->testExpr, copy).truthy();
+    }
+    return env_.eval(node->testExpr, bindsOf(left)).truthy();
+}
+
+void
+ReteNetwork::tryJoin(BetaNode *join, Token *left, const Fact *f)
+{
+    ++env_.stats_.reteJoinAttempts;
+    Bindings &lb = bindsOf(left);
+    const size_t vmark = lb.vars.size();
+    if (!Environment::unifyPattern(join->pattern, *f, lb)) {
+        lb.vars.truncate(vmark);
+        return;
+    }
+    Token *tok;
+    if (lb.vars.size() == vmark && join->pattern.factVar.empty()) {
+        // The join bound nothing new (every variable was already
+        // bound, no fact variable): the child can alias the left
+        // token's bindings outright.
+        tok = makeSharedToken(join, left, f);
+    } else {
+        // The child token owns the extended bindings: copy the
+        // prefix it shares with the left token, MOVE the entries
+        // this join appended (they carry the heavy values — fresh
+        // multifield copies), and restore the left token by
+        // truncation.
+        Bindings nb;
+        nb.factVars = lb.factVars;
+        auto &le = lb.vars.entries;
+        auto &ne = nb.vars.entries;
+        ne.reserve(le.size());
+        ne.assign(le.begin(), le.begin() + (ptrdiff_t)vmark);
+        for (size_t i = vmark; i < le.size(); ++i)
+            ne.push_back(std::move(le[i]));
+        lb.vars.truncate(vmark);
+        if (!join->pattern.factVar.empty())
+            nb.factVars[join->pattern.factVar] = f->id;
+        tok = makeToken(join, left, f, std::move(nb));
+    }
+    propagatePlus(tok);
+}
+
+void
+ReteNetwork::leftPlus(BetaNode *node, Token *left)
+{
+    switch (node->kind) {
+      case BetaNode::Kind::Join:
+        for (size_t i = 0; i < node->alpha->memory.size(); ++i)
+            tryJoin(node, left, node->alpha->memory[i]);
+        return;
+      case BetaNode::Kind::Neg: {
+        const uint64_t c = countAlphaMatches(node, left);
+        Token *out = nullptr;
+        if (c == 0)
+            out = makeSharedToken(node, left, nullptr);
+        node->negEntries[left] = NegEntry{c, out};
+        if (out)
+            propagatePlus(out);
+        return;
+      }
+      case BetaNode::Kind::Exists: {
+        const uint64_t c = countAlphaMatches(node, left);
+        Token *out = nullptr;
+        if (c > 0)
+            out = makeSharedToken(node, left, nullptr);
+        node->negEntries[left] = NegEntry{c, out};
+        if (out)
+            propagatePlus(out);
+        return;
+      }
+      case BetaNode::Kind::Test:
+        if (evalTest(node, left))
+            propagatePlus(makeSharedToken(node, left, nullptr));
+        return;
+      case BetaNode::Kind::Terminal:
+        env_.reteActivate(node->rule, factsOf(left), bindsOf(left));
+        return;
+      case BetaNode::Kind::Root:
+        return;
+    }
+}
+
+void
+ReteNetwork::propagatePlus(Token *tok)
+{
+    BetaNode *node = tok->node;
+    for (size_t i = 0; i < node->successors.size(); ++i)
+        leftPlus(node->successors[i], tok);
+}
+
+void
+ReteNetwork::removeToken(Token *tok)
+{
+    BetaNode *node = tok->node;
+    for (BetaNode *s : node->successors) {
+        switch (s->kind) {
+          case BetaNode::Kind::Neg:
+          case BetaNode::Kind::Exists:
+            // The pass-through token, if one was emitted, is in
+            // tok->children and dies with the recursion below.
+            s->negEntries.erase(tok);
+            break;
+          case BetaNode::Kind::Terminal:
+            env_.reteDeactivate(s->rule, factsOf(tok));
+            break;
+          default:
+            break;
+        }
+    }
+    while (!tok->children.empty())
+        removeToken(tok->children.back());
+    if (tok->parent) {
+        auto &siblings = tok->parent->children;
+        siblings.erase(
+            std::remove(siblings.begin(), siblings.end(), tok),
+            siblings.end());
+    }
+    auto &mem = node->memory;
+    for (auto it = mem.begin(); it != mem.end(); ++it) {
+        if (it->get() == tok) {
+            tokenPool_.push_back(std::move(*it));
+            mem.erase(it);
+            break;
+        }
+    }
+    ++env_.stats_.reteTokensDestroyed;
+}
+
+void
+ReteNetwork::rightPlus(BetaNode *node, const Fact *f)
+{
+    BetaNode *parent = node->parent;
+    switch (node->kind) {
+      case BetaNode::Kind::Join:
+        // By index, size re-read: test CEs downstream may evaluate
+        // arbitrary expressions re-entrantly (the oracle matchers
+        // accept the same hazard).
+        for (size_t i = 0; i < parent->memory.size(); ++i)
+            tryJoin(node, parent->memory[i].get(), f);
+        return;
+      case BetaNode::Kind::Neg:
+        for (size_t i = 0; i < parent->memory.size(); ++i) {
+            Token *left = parent->memory[i].get();
+            if (!probeMatch(node, left, f))
+                continue;
+            auto eit = node->negEntries.find(left);
+            if (eit == node->negEntries.end())
+                continue;
+            NegEntry &e = eit->second;
+            ++e.count;
+            if (e.count == 1 && e.out) {
+                Token *out = e.out;
+                e.out = nullptr;
+                removeToken(out);
+            }
+        }
+        return;
+      case BetaNode::Kind::Exists:
+        for (size_t i = 0; i < parent->memory.size(); ++i) {
+            Token *left = parent->memory[i].get();
+            if (!probeMatch(node, left, f))
+                continue;
+            auto eit = node->negEntries.find(left);
+            if (eit == node->negEntries.end())
+                continue;
+            NegEntry &e = eit->second;
+            ++e.count;
+            if (e.count == 1) {
+                Token *out = makeSharedToken(node, left, nullptr);
+                e.out = out;
+                propagatePlus(out);
+            }
+        }
+        return;
+      default:
+        return;
+    }
+}
+
+void
+ReteNetwork::rightMinus(BetaNode *node, const Fact *f)
+{
+    BetaNode *parent = node->parent;
+    switch (node->kind) {
+      case BetaNode::Kind::Join: {
+        std::vector<Token *> hits;
+        for (const auto &tok : node->memory)
+            if (tok->fact == f)
+                hits.push_back(tok.get());
+        for (Token *t : hits)
+            removeToken(t);
+        return;
+      }
+      case BetaNode::Kind::Neg:
+        for (size_t i = 0; i < parent->memory.size(); ++i) {
+            Token *left = parent->memory[i].get();
+            if (!probeMatch(node, left, f))
+                continue;
+            auto eit = node->negEntries.find(left);
+            if (eit == node->negEntries.end())
+                continue;
+            NegEntry &e = eit->second;
+            if (e.count > 0)
+                --e.count;
+            if (e.count == 0 && !e.out) {
+                Token *out = makeSharedToken(node, left, nullptr);
+                eit->second.out = out;
+                propagatePlus(out);
+            }
+        }
+        return;
+      case BetaNode::Kind::Exists:
+        for (size_t i = 0; i < parent->memory.size(); ++i) {
+            Token *left = parent->memory[i].get();
+            if (!probeMatch(node, left, f))
+                continue;
+            auto eit = node->negEntries.find(left);
+            if (eit == node->negEntries.end())
+                continue;
+            NegEntry &e = eit->second;
+            if (e.count > 0)
+                --e.count;
+            if (e.count == 0 && e.out) {
+                Token *out = e.out;
+                e.out = nullptr;
+                removeToken(out);
+            }
+        }
+        return;
+      default:
+        return;
+    }
+}
+
+void
+ReteNetwork::alphaPlus(AlphaNode *alpha, const Fact *f)
+{
+    ++env_.stats_.alphaHits;
+    alpha->memory.push_back(f);
+    factAlphas_[f->id].push_back(alpha);
+    for (size_t i = 0; i < alpha->successors.size(); ++i)
+        rightPlus(alpha->successors[i], f);
+}
+
+void
+ReteNetwork::onAssert(const Fact *f)
+{
+    auto it = alphasByTmpl_.find(f->tmpl);
+    if (it == alphasByTmpl_.end())
+        return;
+    TemplateAlphas &ta = it->second;
+    // Constant-free alphas accept every fact of the template.
+    for (AlphaNode *a : ta.unindexed)
+        alphaPlus(a, f);
+    std::string key;
+    for (SlotSetIndex &ss : ta.slotSets) {
+        key.clear();
+        for (int slot : ss.slots) {
+            key += slotValueKey(slot, f->slots[slot]);
+            key += '#';
+        }
+        auto bit = ss.byKey.find(key);
+        if (bit == ss.byKey.end())
+            continue;
+        // The bucket key covers every test the bucket's alphas
+        // carry, so they match by construction.
+        for (AlphaNode *a : bit->second)
+            alphaPlus(a, f);
+    }
+}
+
+void
+ReteNetwork::onRetract(const Fact *f)
+{
+    auto it = factAlphas_.find(f->id);
+    if (it == factAlphas_.end())
+        return;
+    std::vector<AlphaNode *> list = std::move(it->second);
+    factAlphas_.erase(it);
+    for (AlphaNode *alpha : list) {
+        auto &mem = alpha->memory;
+        mem.erase(std::remove(mem.begin(), mem.end(), f), mem.end());
+        for (size_t i = 0; i < alpha->successors.size(); ++i)
+            rightMinus(alpha->successors[i], f);
+    }
+}
+
+void
+ReteNetwork::onTestsInvalidated()
+{
+    // Nodes were created parents-before-children, so by the time a
+    // test node is re-evaluated its parent memory already reflects
+    // any upstream flips.
+    for (BetaNode *node : testNodes_) {
+        BetaNode *parent = node->parent;
+        for (size_t i = 0; i < parent->memory.size(); ++i) {
+            Token *left = parent->memory[i].get();
+            Token *out = findChildAt(left, node);
+            const bool pass = evalTest(node, left);
+            if (pass && !out)
+                propagatePlus(makeSharedToken(node, left, nullptr));
+            else if (!pass && out)
+                removeToken(out);
+        }
+    }
+}
+
+} // namespace hth::clips

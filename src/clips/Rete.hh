@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Rete network: delta-driven pattern matching.
+ *
+ * The classic two-layer discrimination network (Forgy 1982, the
+ * engine inside real CLIPS 6.x):
+ *
+ *  - The *alpha* layer tests facts against the constant parts of one
+ *    pattern (template + literal slot values). Alpha nodes are shared
+ *    across every rule whose pattern carries the same constants and
+ *    keep a memory of the facts that pass. Per template, alpha nodes
+ *    are reached through a hash index on their most discriminating
+ *    literal, so an assert touches only the alphas whose constants
+ *    can match — match cost stays flat as the rule count grows.
+ *
+ *  - The *beta* layer joins alpha memories left to right along each
+ *    rule's LHS. Each join / not / exists / test node stores the
+ *    partial matches (tokens) that reached it, so an assert or
+ *    retract propagates only the *delta*: a plus-token extends
+ *    existing partial matches, a minus-token tears down exactly the
+ *    tokens the dead fact supported. Negated patterns keep a
+ *    support counter per left token and emit or withdraw their
+ *    output token on 0↔1 flips. Rules with a common CE prefix share
+ *    the beta chain up to the point they diverge.
+ *
+ * Terminal nodes convert arriving tokens into agenda activations
+ * (and token removal into agenda withdrawals); run() never
+ * recomputes matches under this strategy. The naive and dirty-rescan
+ * matchers are kept as differential oracles — see
+ * tests/integration/DifferentialTest.cc.
+ */
+
+#ifndef HTH_CLIPS_RETE_HH
+#define HTH_CLIPS_RETE_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clips/Environment.hh"
+
+namespace hth::clips
+{
+
+class ReteNetwork
+{
+  public:
+    explicit ReteNetwork(Environment &env);
+    ~ReteNetwork();
+
+    ReteNetwork(const ReteNetwork &) = delete;
+    ReteNetwork &operator=(const ReteNetwork &) = delete;
+
+    /** Compile @p rule into the network, sharing alpha nodes and
+     * beta prefixes with already-present rules, and prime it against
+     * the facts already in the network's memories. */
+    void addRule(const Rule &rule);
+
+    /** A fact entered working memory: run it through the alpha
+     * index and propagate plus-tokens. */
+    void onAssert(const Fact *f);
+
+    /** A fact is leaving working memory. Must be called while the
+     * fact's slots are still intact: negated patterns re-unify
+     * against it to decrement their support counters. */
+    void onRetract(const Fact *f);
+
+    /** A global, deffunction or native changed: re-evaluate every
+     * test node over its parent memory and propagate the flips. */
+    void onTestsInvalidated();
+
+    /** @name Introspection (tests, telemetry) @{ */
+    size_t liveTokens() const;
+    size_t alphaNodeCount() const { return alphaCount_; }
+    size_t betaNodeCount() const { return betaCount_; }
+    /** @} */
+
+  private:
+    struct BetaNode;
+
+    /** One constant test: the fact's slot value must equal expect
+     * (for a fully-literal multislot pattern, expect is the whole
+     * multifield). */
+    struct AlphaTest
+    {
+        int slotIndex = -1;
+        Value expect;
+    };
+
+    struct AlphaNode
+    {
+        const Template *tmpl = nullptr;
+        std::vector<AlphaTest> tests;   //!< sorted by slotIndex
+        std::vector<const Fact *> memory;
+        /** Join/not/exists nodes fed by this alpha, deepest first —
+         * right-activating descendants before ancestors is what
+         * keeps a self-joining rule from producing duplicate
+         * tokens (Doorenbos §2.4.1). */
+        std::vector<BetaNode *> successors;
+    };
+
+    /** A partial match: the chain of facts matched so far plus the
+     * cumulative variable bindings. Negation / exists / test nodes
+     * emit pass-through tokens with fact == nullptr.
+     *
+     * Bindings are owned by the nearest ancestor that actually
+     * extended them; pass-through tokens (and joins that bound
+     * nothing new) alias that ancestor via bindsOwner instead of
+     * copying the whole map per node. The owner is always an
+     * ancestor and descendants die first, so the alias cannot
+     * dangle. */
+    struct Token
+    {
+        BetaNode *node = nullptr;   //!< the memory holding this token
+        Token *parent = nullptr;
+        const Fact *fact = nullptr;
+        Token *bindsOwner = nullptr; //!< whose binds are authoritative
+        Bindings binds;              //!< valid iff bindsOwner == this
+        std::vector<Token *> children;
+    };
+
+    /** Per-left-token support for a not/exists node. */
+    struct NegEntry
+    {
+        uint64_t count = 0;     //!< alpha facts matching the token
+        Token *out = nullptr;   //!< pass-through token, when emitted
+    };
+
+    struct BetaNode
+    {
+        enum class Kind { Root, Join, Neg, Exists, Test, Terminal };
+
+        Kind kind = Kind::Root;
+        BetaNode *parent = nullptr;
+        std::vector<BetaNode *> successors;
+        int depth = 0;              //!< root is 0
+        std::string shareKey;       //!< structural signature
+
+        AlphaNode *alpha = nullptr; //!< Join / Neg / Exists
+        PatternCE pattern;          //!< Join / Neg / Exists
+        Sexpr testExpr;             //!< Test
+        bool testMutates = false;   //!< Test
+        const Rule *rule = nullptr; //!< Terminal
+
+        std::vector<std::unique_ptr<Token>> memory;
+        /** Keyed by left-parent token; never iterated (order-free). */
+        std::unordered_map<Token *, NegEntry> negEntries;
+    };
+
+    /** @name Network construction @{ */
+    AlphaNode *internAlpha(const PatternCE &pat);
+    BetaNode *internChild(BetaNode *parent, const CondElement &ce);
+    void attachToAlpha(AlphaNode *alpha, BetaNode *node);
+    void primeNode(BetaNode *node);
+    static std::string alphaKeyOf(const Template *tmpl,
+                                  const std::vector<AlphaTest> &tests);
+    static std::string ceKeyOf(const CondElement &ce);
+    /** @} */
+
+    /** @name Delta propagation @{ */
+    static bool alphaAccepts(const AlphaNode *a, const Fact *f);
+    void alphaPlus(AlphaNode *alpha, const Fact *f);
+    void rightPlus(BetaNode *node, const Fact *f);
+    void rightMinus(BetaNode *node, const Fact *f);
+    void leftPlus(BetaNode *node, Token *left);
+    void propagatePlus(Token *tok);
+    void tryJoin(BetaNode *join, Token *left, const Fact *f);
+    bool probeMatch(BetaNode *node, Token *left, const Fact *f);
+    uint64_t countAlphaMatches(BetaNode *node, Token *left);
+    bool evalTest(BetaNode *node, Token *left);
+    std::unique_ptr<Token> allocToken();
+    Token *makeToken(BetaNode *node, Token *parent, const Fact *f,
+                     Bindings binds);
+    Token *makeSharedToken(BetaNode *node, Token *parent,
+                           const Fact *f);
+    static Bindings &bindsOf(Token *tok) { return tok->bindsOwner->binds; }
+    void removeToken(Token *tok);
+    static Token *findChildAt(Token *left, BetaNode *node);
+    static std::vector<FactId> factsOf(const Token *tok);
+    /** @} */
+
+    Environment &env_;
+    BetaNode root_;
+    Token *rootToken_ = nullptr;
+
+    std::vector<std::unique_ptr<AlphaNode>> alphas_;
+    std::vector<std::unique_ptr<BetaNode>> nodes_;
+    std::vector<BetaNode *> testNodes_;     //!< creation (topo) order
+    size_t alphaCount_ = 0;
+    size_t betaCount_ = 0;      //!< excludes the root
+
+    /** Alpha sharing: structural signature -> node. */
+    std::unordered_map<std::string, AlphaNode *> alphaBySig_;
+
+    /** Per-template alpha routing: constant-free alphas are always
+     * probed; the rest are grouped by the SET of slots their tests
+     * constrain and hashed on the compound (slot, literal) key over
+     * that whole set. An assert does one hash probe per distinct
+     * slot set (a handful per template, however many alphas exist),
+     * and every alpha in the hit bucket matches by construction —
+     * no residual scan, so routing cost is independent of both the
+     * rule count and the alpha count. */
+    struct SlotSetIndex
+    {
+        std::vector<int> slots;     //!< ascending test slot indices
+        std::unordered_map<std::string, std::vector<AlphaNode *>> byKey;
+    };
+    struct TemplateAlphas
+    {
+        std::vector<AlphaNode *> unindexed;
+        std::vector<SlotSetIndex> slotSets;
+    };
+    std::unordered_map<const Template *, TemplateAlphas> alphasByTmpl_;
+
+    /** Which alpha memories hold each fact (for retraction). */
+    std::unordered_map<FactId, std::vector<AlphaNode *>> factAlphas_;
+
+    /** Dead tokens kept for reuse: the steady state of event
+     * processing is a handful of tokens created and destroyed per
+     * event, and recycling keeps their children vectors' capacity
+     * warm instead of paying an allocation round-trip each time.
+     * Bounded by the peak live-token count. */
+    std::vector<std::unique_ptr<Token>> tokenPool_;
+};
+
+} // namespace hth::clips
+
+#endif // HTH_CLIPS_RETE_HH

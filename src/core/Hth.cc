@@ -25,6 +25,8 @@ Hth::Hth(HthOptions options) : options_(std::move(options))
     libc_ = os::installLibc(*kernel_);
 
     secpert_ = std::make_unique<secpert::Secpert>(options_.policy);
+    if (!options_.extraPolicyRules.empty())
+        secpert_->env().loadString(options_.extraPolicyRules);
     harrier::EventSink *sink = secpert_.get();
     if (options_.eventTap) {
         tee_ = std::make_unique<harrier::TeeSink>(
@@ -215,6 +217,14 @@ Hth::collectTelemetry(Report &report)
     set("clips.activations", es.activations);
     set("clips.alpha_hits", es.alphaHits);
     set("clips.dirty_rescans", es.dirtyRescans);
+    set("clips.rete.tokens_created", es.reteTokensCreated);
+    set("clips.rete.tokens_destroyed", es.reteTokensDestroyed);
+    set("clips.rete.join_attempts", es.reteJoinAttempts);
+    // Emitted as a counter, not a gauge: fleet merges sum counters
+    // but max gauges, and created - destroyed == beta_live must
+    // survive the merge (check_stats_json.py asserts it).
+    set("clips.rete.beta_live",
+        es.reteTokensCreated - es.reteTokensDestroyed);
     metrics_.gauge("clips.agenda_peak").set(es.agendaPeak);
     for (const auto &[rule, n] :
          secpert_->env().activationCountsByRule())

@@ -53,6 +53,15 @@ struct HthOptions
     harrier::HarrierConfig harrier;
     secpert::PolicyConfig policy;
 
+    /**
+     * Additional CLIPS rule text loaded after the built-in policy
+     * (same dialect, may reference the policy's deftemplates). This
+     * is how the synthetic policy-at-scale workloads
+     * (workloads::syntheticPolicy) stress the matcher without
+     * touching the shipped rule base.
+     */
+    std::string extraPolicyRules;
+
     /** Virtual-tick budget per monitored run. */
     uint64_t maxTicks = 20000000;
 

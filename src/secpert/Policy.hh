@@ -55,10 +55,25 @@ struct PolicyConfig
     /** Trusted socket name substrings (the paper trusts none). */
     std::vector<std::string> trustedSockets = {};
 
+    /** Which CLIPS match strategy drives the engine. */
+    enum class Matcher
+    {
+        Rete,        //!< delta-driven Rete network (default)
+        DirtyRescan, //!< rescan rules whose templates changed
+        Naive,       //!< full recomputation every run()
+    };
+
     /**
-     * Use the naive full-recomputation matcher instead of the
-     * incremental one. Slower; kept as the reference oracle for
-     * differential testing.
+     * Match strategy. Rete is the production engine; DirtyRescan and
+     * Naive are slower reference oracles kept for differential
+     * testing.
+     */
+    Matcher matcher = Matcher::Rete;
+
+    /**
+     * Legacy override: force the naive full-recomputation matcher
+     * regardless of @ref matcher. Kept so existing differential
+     * harnesses keep compiling.
      */
     bool naiveMatcher = false;
 };

@@ -34,6 +34,11 @@ Secpert::Secpert(PolicyConfig config) : config_(std::move(config))
 {
     if (config_.naiveMatcher)
         env_.setMatchStrategy(clips::MatchStrategy::Naive);
+    else if (config_.matcher == PolicyConfig::Matcher::DirtyRescan)
+        env_.setMatchStrategy(clips::MatchStrategy::DirtyRescan);
+    else if (config_.matcher == PolicyConfig::Matcher::Naive)
+        env_.setMatchStrategy(clips::MatchStrategy::Naive);
+    // Matcher::Rete is the Environment default.
     env_.setOutput(&out_);
     installNatives();
     env_.loadString(policyDeclarations());
@@ -172,8 +177,10 @@ Secpert::runEngine()
     // Events are one-shot: drop whatever the rules did not consume.
     for (const char *tmpl :
          {"system_call_access", "system_call_io", "resolution"}) {
-        for (const clips::Fact *f : env_.factsByTemplate(tmpl))
-            env_.retract(f->id);
+        // The template index shrinks as we retract; re-read it.
+        const auto &live = env_.factsByTemplate(tmpl);
+        while (!live.empty())
+            env_.retract(live.back()->id);
     }
 }
 
@@ -340,13 +347,14 @@ Secpert::importMemory(const std::string &fact_text)
     // Replace the counter facts the declarations asserted so the
     // imported ones are authoritative.
     for (const char *tmpl : {"clone_stats", "mem_stats"}) {
-        auto existing = env_.factsByTemplate(tmpl);
         bool imported =
             fact_text.find(std::string("(") + tmpl) !=
             std::string::npos;
-        if (imported)
-            for (const clips::Fact *f : existing)
-                env_.retract(f->id);
+        if (!imported)
+            continue;
+        const auto &existing = env_.factsByTemplate(tmpl);
+        while (!existing.empty())
+            env_.retract(existing.back()->id);
     }
     for (const clips::Sexpr &form : clips::parseSexprs(fact_text)) {
         clips::Bindings binds;

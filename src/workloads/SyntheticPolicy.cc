@@ -1,0 +1,159 @@
+#include "workloads/SyntheticPolicy.hh"
+
+#include <sstream>
+
+namespace hth::workloads
+{
+
+namespace
+{
+
+/** Deterministic parameter stream (LCG; no libc rand state). */
+struct ParamStream
+{
+    uint64_t state;
+
+    explicit ParamStream(uint64_t seed) : state(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+    uint64_t
+    next()
+    {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state >> 33;
+    }
+
+    /** Uniform-ish int in [lo, hi]. */
+    int
+    range(int lo, int hi)
+    {
+        return lo + (int)(next() % (uint64_t)(hi - lo + 1));
+    }
+};
+
+const char *const SOURCE_TYPES[] = {"FILE", "SOCKET", "BINARY",
+                                    "HARDWARE", "USER_INPUT"};
+const char *const TARGET_TYPES[] = {"FILE", "SOCKET"};
+
+/**
+ * Execution-flow variants (App. A.2 shape). The whole group shares
+ * one alpha pattern — a distinct synthetic syscall literal — and the
+ * variants differ only in their frequency/time thresholds, so Rete
+ * keeps one alpha + one join for the group and forks per-variant
+ * test nodes.
+ */
+void
+emitExecRule(std::ostream &os, int group, int variant, ParamStream &ps)
+{
+    os << "(defrule syn_exec_" << group << "_" << variant
+       << " \"synthetic execution-flow variant\"\n"
+       << "  (system_call_access (pid ?pid)"
+       << " (system_call_name SYS_syn_" << group << ")\n"
+       << "    (frequency ?freq) (time ?time))\n"
+       << "  (test (and (< ?freq " << ps.range(1, 9) << ")"
+       << " (> ?time " << ps.range(50, 500) << ")))\n"
+       << "  =>\n"
+       << "  (bind ?noop 1))\n";
+}
+
+/**
+ * Information-flow variants (§4.3 shape): the group shares the io
+ * pattern (one source/target type pair per group) and each variant
+ * joins a distinct synthetic access fact on ?pid — distinct
+ * second-level joins hanging off a shared beta prefix.
+ */
+void
+emitIoRule(std::ostream &os, int group, int variant, ParamStream &ps)
+{
+    const char *src =
+        SOURCE_TYPES[(size_t)group % (sizeof(SOURCE_TYPES) /
+                                      sizeof(SOURCE_TYPES[0]))];
+    const char *tgt =
+        TARGET_TYPES[(size_t)group % (sizeof(TARGET_TYPES) /
+                                      sizeof(TARGET_TYPES[0]))];
+    (void)ps;
+    os << "(defrule syn_io_" << group << "_" << variant
+       << " \"synthetic information-flow variant\"\n"
+       << "  (system_call_io (pid ?pid) (direction WRITE)\n"
+       << "    (source_type " << src << ") (target_type " << tgt
+       << "))\n"
+       << "  (system_call_access (pid ?pid)"
+       << " (system_call_name SYS_syn_io_" << group << "_" << variant
+       << "))\n"
+       << "  =>\n"
+       << "  (bind ?noop 1))\n";
+}
+
+/**
+ * Hybrid static+dynamic variants: static finding joined with a
+ * write to the flagged image, guarded by a not (warn-once marker).
+ * The join + negation chain is shared group-wide; variants differ
+ * in the severity-floor test below the negation.
+ */
+void
+emitHybridRule(std::ostream &os, int group, int variant,
+               ParamStream &ps)
+{
+    (void)ps;
+    os << "(defrule syn_hybrid_" << group << "_" << variant
+       << " \"synthetic hybrid static+dynamic variant\"\n"
+       << "  (static_finding (image ?img) (kind syn_kind_" << group
+       << ") (level ?lvl))\n"
+       << "  (system_call_io (pid ?pid) (direction WRITE)"
+       << " (target_name ?img))\n"
+       << "  (not (static_warned (image ?img) (kind syn_kind_"
+       << group << ")))\n"
+       << "  (test (>= ?lvl " << variant % 4 << "))\n"
+       << "  =>\n"
+       << "  (bind ?noop 1))\n";
+}
+
+/**
+ * Anomaly-escalation variants: the full join + negation prefix is
+ * identical across the group (and across groups), so the entire
+ * family shares one beta chain; only the score thresholds differ.
+ */
+void
+emitAnomalyRule(std::ostream &os, int group, int variant,
+                ParamStream &ps)
+{
+    os << "(defrule syn_anomaly_" << group << "_" << variant
+       << " \"synthetic anomaly-escalation variant\"\n"
+       << "  (behavioral_anomaly (run ?run) (score ?score)"
+       << " (novel ?novel))\n"
+       << "  (not (anomaly_warned (run ?run)))\n"
+       << "  (test (or (> ?score " << ps.range(4, 40) << ".0)"
+       << " (> ?novel " << ps.range(1, 12) << ")))\n"
+       << "  =>\n"
+       << "  (bind ?noop 1))\n";
+}
+
+} // namespace
+
+std::string
+syntheticPolicy(const SyntheticPolicyConfig &cfg)
+{
+    std::ostringstream os;
+    os << ";;; Synthetic policy: " << cfg.ruleCount << " rules, groups of "
+       << cfg.groupSize << ", seed " << cfg.seed << ".\n";
+
+    ParamStream ps(cfg.seed);
+    int groupSize = cfg.groupSize < 1 ? 1 : cfg.groupSize;
+    int emitted = 0;
+    // Round-robin the families group by group so every rule count
+    // gets a representative mix.
+    for (int group = 0; emitted < cfg.ruleCount; ++group) {
+        for (int variant = 0;
+             variant < groupSize && emitted < cfg.ruleCount;
+             ++variant, ++emitted) {
+            switch (group % 4) {
+            case 0: emitExecRule(os, group, variant, ps); break;
+            case 1: emitIoRule(os, group, variant, ps); break;
+            case 2: emitHybridRule(os, group, variant, ps); break;
+            default: emitAnomalyRule(os, group, variant, ps); break;
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace hth::workloads

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Seeded synthetic policy generator: policy-at-scale workloads.
+ *
+ * Emits parameterized variants of the shipped rule families
+ * (execution-flow, information-flow, hybrid static+dynamic, anomaly
+ * escalation) in the policy's own CLIPS dialect, against the
+ * policy's own deftemplates. Rules come in groups that share a
+ * condition-element prefix verbatim — exercising Rete alpha/beta
+ * node sharing — while carrying distinct literal guards and test
+ * thresholds, so the alpha index must discriminate them and the
+ * dirty-rescan oracle must rescan them all.
+ *
+ * The generated text loads after policyDeclarations() /
+ * policyRules() (pass it via HthOptions::extraPolicyRules or
+ * Environment::loadString). Right-hand sides are deliberately
+ * side-effect-free ((bind ?noop 1)): fires still enter the fire
+ * trace, so differential runs remain byte-comparable, but no
+ * warnings or retractions disturb the shipped policy's behaviour.
+ */
+
+#ifndef HTH_WORKLOADS_SYNTHETICPOLICY_HH
+#define HTH_WORKLOADS_SYNTHETICPOLICY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hth::workloads
+{
+
+/** Knobs for syntheticPolicy(). */
+struct SyntheticPolicyConfig
+{
+    /** Total defrules to emit. */
+    int ruleCount = 500;
+
+    /** Rules per prefix-sharing group (the last group of a family
+     * may be smaller). */
+    int groupSize = 8;
+
+    /** Seed for the threshold / guard parameter stream. The same
+     * seed always yields byte-identical policy text. */
+    uint64_t seed = 0x5eed;
+};
+
+/**
+ * Generate @p cfg.ruleCount synthetic defrules cycling over the four
+ * families. Deterministic in (ruleCount, groupSize, seed).
+ */
+std::string syntheticPolicy(const SyntheticPolicyConfig &cfg = {});
+
+} // namespace hth::workloads
+
+#endif // HTH_WORKLOADS_SYNTHETICPOLICY_HH

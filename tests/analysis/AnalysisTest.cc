@@ -17,6 +17,7 @@
 #include "secpert/Secpert.hh"
 #include "vm/TextAsm.hh"
 #include "workloads/Exploits.hh"
+#include "workloads/SyntheticPolicy.hh"
 #include "workloads/GuestLib.hh"
 #include "workloads/Macro.hh"
 #include "workloads/Micro.hh"
@@ -397,12 +398,136 @@ TEST(Lint, GuardedGeneralRuleDoesNotShadow)
             << analysis::lintToString(issues);
 }
 
+TEST(Lint, CrossProductJoinWarns)
+{
+    // The middle pattern shares no variable with the first, and a
+    // further join follows — the Rete network would multiply the
+    // cross product out again.
+    auto issues = analysis::lintPolicy(
+        "(defrule crossed\n"
+        "  (proc (pid ?pid))\n"
+        "  (conn (port ?port))\n"
+        "  (owner (pid ?pid) (port ?port))\n"
+        " => (printout t \"x\" crlf))");
+    EXPECT_FALSE(analysis::hasLintErrors(issues))
+        << analysis::lintToString(issues);
+    bool warned = false;
+    for (const LintIssue &i : issues)
+        if (!i.isError() && i.construct == "crossed" &&
+            i.message.find("cross product") != std::string::npos)
+            warned = true;
+    EXPECT_TRUE(warned) << analysis::lintToString(issues);
+}
+
+TEST(Lint, TrailingDisconnectedJoinIsQuiet)
+{
+    // A disconnected *last* pattern feeds the agenda directly; the
+    // shipped accounting rules end that way on purpose.
+    auto issues = analysis::lintPolicy(
+        "(defrule tally\n"
+        "  (proc (pid ?pid))\n"
+        "  (stats (count ?c))\n"
+        " => (printout t ?c crlf))");
+    EXPECT_TRUE(issues.empty()) << analysis::lintToString(issues);
+}
+
+TEST(Lint, FactAddressDoesNotHideCrossProduct)
+{
+    // A fact address is always freshly bound, so ?s <- cannot link
+    // the stats pattern to the joins before it: the mid-LHS cross
+    // product is still real and still warned.
+    auto issues = analysis::lintPolicy(
+        "(defrule linked\n"
+        "  (proc (pid ?pid))\n"
+        "  ?s <- (stats (count ?c))\n"
+        "  (quota (pid ?pid) (limit ?c))\n"
+        " => (retract ?s))");
+    bool warned = false;
+    for (const LintIssue &i : issues)
+        if (i.message.find("cross product") != std::string::npos)
+            warned = true;
+    EXPECT_TRUE(warned) << analysis::lintToString(issues);
+}
+
+TEST(Lint, LiteralGuardPatternIsQuiet)
+{
+    // A literal-only guard fact (the shipped resolution idiom) binds
+    // nothing, so it cannot be reordered into a better join — no
+    // cross-product warning even mid-LHS.
+    auto issues = analysis::lintPolicy(
+        "(defrule guarded\n"
+        "  (proc (pid ?pid))\n"
+        "  ?r <- (resolution (status RESOLVE))\n"
+        "  (quota (pid ?pid))\n"
+        " => (retract ?r))");
+    EXPECT_TRUE(issues.empty()) << analysis::lintToString(issues);
+}
+
+TEST(Lint, NegationFirstBoundVariableWarnsOnLaterPattern)
+{
+    auto issues = analysis::lintPolicy(
+        "(defrule negbound\n"
+        "  (proc (pid ?pid))\n"
+        "  (not (blocked (user ?u)))\n"
+        "  (session (user ?u))\n"
+        " => (printout t \"x\" crlf))");
+    EXPECT_FALSE(analysis::hasLintErrors(issues))
+        << analysis::lintToString(issues);
+    bool warned = false;
+    for (const LintIssue &i : issues)
+        if (!i.isError() && i.construct == "negbound" &&
+            i.message.find("?u") != std::string::npos &&
+            i.message.find("negated") != std::string::npos)
+            warned = true;
+    EXPECT_TRUE(warned) << analysis::lintToString(issues);
+}
+
+TEST(Lint, NegationFirstBoundVariableWarnsOnRhsUse)
+{
+    auto issues = analysis::lintPolicy(
+        "(defrule negrhs\n"
+        "  (proc (pid ?pid))\n"
+        "  (not (blocked (user ?u)))\n"
+        " => (printout t ?u crlf))");
+    EXPECT_FALSE(analysis::hasLintErrors(issues))
+        << analysis::lintToString(issues);
+    bool warned = false;
+    for (const LintIssue &i : issues)
+        if (!i.isError() && i.construct == "negrhs" &&
+            i.message.find("?u") != std::string::npos)
+            warned = true;
+    EXPECT_TRUE(warned) << analysis::lintToString(issues);
+}
+
+TEST(Lint, NegationOverEarlierBindingIsQuiet)
+{
+    // The idiomatic once-only guard: ?f is bound by a positive
+    // pattern first, the `not` merely re-uses it.
+    auto issues = analysis::lintPolicy(
+        "(defrule guard\n"
+        "  (download (file ?f))\n"
+        "  (not (seen (file ?f)))\n"
+        " => (assert (seen (file ?f))))");
+    EXPECT_TRUE(issues.empty()) << analysis::lintToString(issues);
+}
+
 TEST(Lint, ShippedPolicyIsClean)
 {
     auto issues = analysis::lintPolicy(secpert::policyDeclarations() +
                                        secpert::policyRules());
     EXPECT_FALSE(analysis::hasLintErrors(issues))
         << analysis::lintToString(issues);
+    EXPECT_TRUE(issues.empty()) << analysis::lintToString(issues);
+}
+
+TEST(Lint, SyntheticPolicyIsClean)
+{
+    // The policy-at-scale generator must emit rules the linter (and
+    // hence the Rete compiler) is happy with, at any size.
+    workloads::SyntheticPolicyConfig cfg;
+    cfg.ruleCount = 200;
+    auto issues = analysis::lintPolicy(secpert::policyDeclarations() +
+                                       workloads::syntheticPolicy(cfg));
     EXPECT_TRUE(issues.empty()) << analysis::lintToString(issues);
 }
 

@@ -771,12 +771,14 @@ strategyTrace(MatchStrategy s)
 
 } // namespace
 
-TEST(MatchStrategyTest, NaiveAndIncrementalTracesAgree)
+TEST(MatchStrategyTest, AllStrategyTracesAgree)
 {
-    std::string inc = strategyTrace(MatchStrategy::Incremental);
+    std::string rete = strategyTrace(MatchStrategy::Rete);
+    std::string dirty = strategyTrace(MatchStrategy::DirtyRescan);
     std::string naive = strategyTrace(MatchStrategy::Naive);
-    EXPECT_EQ(inc, naive);
-    EXPECT_EQ(inc, "ship disk 3\nrestock tape\nship tape 0\n");
+    EXPECT_EQ(rete, naive);
+    EXPECT_EQ(dirty, naive);
+    EXPECT_EQ(rete, "ship disk 3\nrestock tape\nship tape 0\n");
 }
 
 TEST(MatchStrategyTest, SwitchMidStreamPreservesBehaviour)
@@ -794,13 +796,21 @@ TEST(MatchStrategyTest, SwitchMidStreamPreservesBehaviour)
     env.assertString("(order (name disk))");
     EXPECT_EQ(env.run(), 1);
 
-    // And back: the rebuilt agenda must not re-fire old matches.
-    env.setMatchStrategy(MatchStrategy::Incremental);
+    // Through the dirty-rescan matcher: the rebuilt agenda must not
+    // re-fire old matches.
+    env.setMatchStrategy(MatchStrategy::DirtyRescan);
     EXPECT_EQ(env.run(), 0);
     env.assertString("(item (name tape) (qty 0))");
     EXPECT_EQ(env.run(), 1); // restock
-    EXPECT_EQ(out.str(),
-              "ship disk 3\nship disk 3\nrestock tape\n");
+
+    // And back to Rete: the rebuilt network must likewise respect
+    // refraction while matching new facts.
+    env.setMatchStrategy(MatchStrategy::Rete);
+    EXPECT_EQ(env.run(), 0);
+    env.assertString("(order (name tape))");
+    EXPECT_EQ(env.run(), 1); // ship tape
+    EXPECT_EQ(out.str(), "ship disk 3\nship disk 3\nrestock tape\n"
+                         "ship tape 0\n");
 }
 
 TEST(MatchStrategyTest, RetractBeforeRunRemovesActivation)
@@ -816,11 +826,11 @@ TEST(MatchStrategyTest, RetractBeforeRunRemovesActivation)
     EXPECT_EQ(env.run(), 0);
 }
 
-TEST(MatchStrategyTest, IncrementalDoesLessMatchWork)
+TEST(MatchStrategyTest, DirtyRescanDoesLessMatchWork)
 {
-    // Same workload under both strategies: the incremental matcher
-    // must recompute strictly fewer rule matches (only dirty rules)
-    // while firing identically.
+    // Same workload under both oracle strategies: the dirty-rescan
+    // matcher must recompute strictly fewer rule matches (only dirty
+    // rules) while firing identically.
     auto matches = [](MatchStrategy s) {
         Environment env;
         std::ostringstream out;
@@ -834,8 +844,26 @@ TEST(MatchStrategyTest, IncrementalDoesLessMatchWork)
         }
         return env.stats().ruleMatches;
     };
-    EXPECT_LT(matches(MatchStrategy::Incremental),
+    EXPECT_LT(matches(MatchStrategy::DirtyRescan),
               matches(MatchStrategy::Naive));
+}
+
+TEST(MatchStrategyTest, ReteDoesNoPerRunMatchWork)
+{
+    // Under Rete the agenda is maintained at assert/retract time:
+    // run() performs no whole-rule rescans at all.
+    Environment env;
+    std::ostringstream out;
+    env.setOutput(&out);
+    env.loadString(STRATEGY_PROGRAM);
+    for (int i = 0; i < 10; ++i) {
+        env.assertString("(item (name disk) (qty 3))");
+        env.assertString("(order (name disk))");
+        env.run();
+    }
+    EXPECT_EQ(env.stats().ruleMatches, 0u);
+    EXPECT_EQ(env.stats().matchPasses, 0u);
+    EXPECT_GT(env.stats().fires, 0u);
 }
 
 int

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Rete network unit tests: token lifecycle, negation counters,
+ * node sharing and the delta-propagation invariants that the
+ * corpus-level differential tests cannot pin down individually.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "clips/Environment.hh"
+
+using namespace hth::clips;
+
+namespace
+{
+
+/** Fresh environment on the Rete strategy (the default). */
+void
+loadShipping(Environment &env)
+{
+    env.loadString(R"CLP(
+(deftemplate order (slot name) (slot qty))
+(deftemplate stock (slot name) (slot qty))
+(deftemplate hold (slot name))
+)CLP");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Negated-pattern counter semantics
+// ---------------------------------------------------------------
+
+TEST(Rete, NegationCounterFlipsWithdrawAndReemit)
+{
+    Environment env;
+    loadShipping(env);
+    env.loadString(
+        "(defrule ship (order (name ?n)) (not (hold (name ?n)))"
+        " => (assert (shipped (name ?n))))");
+    env.loadString("(deftemplate shipped (slot name))");
+
+    FactId order = env.assertFact("order", {{"name", Value::sym(
+                                                         "disk")}});
+    (void)order;
+    // No hold: the not-node's counter is 0, the activation stands.
+    FactId hold =
+        env.assertFact("hold", {{"name", Value::sym("disk")}});
+    // Counter flipped 0 -> 1 before run(): the activation must have
+    // been withdrawn, so nothing fires.
+    EXPECT_EQ(env.run(), 0);
+
+    // Counter flips back 1 -> 0: the rule re-activates and fires.
+    env.retract(hold);
+    EXPECT_EQ(env.run(), 1);
+    EXPECT_EQ(env.fireCountsByRule()["ship"], 1u);
+}
+
+TEST(Rete, NegationCountsSupportNotJustPresence)
+{
+    Environment env;
+    loadShipping(env);
+    env.loadString("(defrule ship (order (name ?n))"
+                   " (not (hold (name ?n))) => (bind ?x 1))");
+
+    env.assertFact("order", {{"name", Value::sym("disk")}});
+    FactId h1 =
+        env.assertFact("hold", {{"name", Value::sym("disk")}});
+    FactId h2 =
+        env.assertFact("hold", {{"name", Value::sym("disk")}});
+    // Two supporting holds: removing only one must NOT re-emit.
+    env.retract(h1);
+    EXPECT_EQ(env.run(), 0);
+    env.retract(h2);
+    EXPECT_EQ(env.run(), 1);
+}
+
+TEST(Rete, ExistsCollapsesMultipleMatches)
+{
+    Environment env;
+    loadShipping(env);
+    env.loadString("(defrule any (exists (order (name ?)))"
+                   " => (bind ?x 1))");
+
+    env.assertFact("order", {{"name", Value::sym("a")}});
+    env.assertFact("order", {{"name", Value::sym("b")}});
+    // However many orders exist, the exists-node emits one token.
+    EXPECT_EQ(env.run(), 1);
+    EXPECT_EQ(env.run(), 0);
+}
+
+// ---------------------------------------------------------------
+// Retract-driven minus propagation
+// ---------------------------------------------------------------
+
+TEST(Rete, RetractRemovesDependentTokens)
+{
+    Environment env;
+    loadShipping(env);
+    env.loadString("(defrule pair (order (name ?n))"
+                   " (stock (name ?n) (qty ?q)) => (bind ?x 1))");
+
+    FactId order =
+        env.assertFact("order", {{"name", Value::sym("disk")}});
+    size_t withPartial = env.reteLiveTokens();
+    // The order made a partial match (a token at the first join).
+    env.retract(order);
+    // Minus propagation tears exactly that token back down.
+    EXPECT_LT(env.reteLiveTokens(), withPartial);
+
+    // Completing the other half afterwards must not resurrect it.
+    env.assertFact("stock", {{"name", Value::sym("disk")},
+                             {"qty", Value::integer(3)}});
+    EXPECT_EQ(env.run(), 0);
+}
+
+TEST(Rete, RetractWithdrawsPendingActivation)
+{
+    Environment env;
+    loadShipping(env);
+    env.loadString("(defrule solo (order (name ?n)) => (bind ?x 1))");
+
+    FactId order =
+        env.assertFact("order", {{"name", Value::sym("disk")}});
+    // Activation is pending; retract before run() must withdraw it.
+    env.retract(order);
+    EXPECT_EQ(env.run(), 0);
+}
+
+// ---------------------------------------------------------------
+// Token balance invariant
+// ---------------------------------------------------------------
+
+TEST(Rete, TokenBalanceInvariantHolds)
+{
+    Environment env;
+    loadShipping(env);
+    env.loadString("(defrule pair (order (name ?n))"
+                   " (stock (name ?n) (qty ?q))"
+                   " (not (hold (name ?n))) => (bind ?x 1))");
+
+    auto checkBalance = [&env] {
+        const EngineStats &s = env.stats();
+        ASSERT_GE(s.reteTokensCreated, s.reteTokensDestroyed);
+        EXPECT_EQ(s.reteTokensCreated - s.reteTokensDestroyed,
+                  env.reteLiveTokens());
+    };
+
+    checkBalance();
+    FactId order =
+        env.assertFact("order", {{"name", Value::sym("disk")}});
+    checkBalance();
+    env.assertFact("stock", {{"name", Value::sym("disk")},
+                             {"qty", Value::integer(3)}});
+    checkBalance();
+    FactId hold =
+        env.assertFact("hold", {{"name", Value::sym("disk")}});
+    checkBalance();
+    env.retract(hold);
+    env.run();
+    checkBalance();
+    env.retract(order);
+    checkBalance();
+    EXPECT_GT(env.stats().reteTokensDestroyed, 0u);
+}
+
+TEST(Rete, ClearFactsDrainsAllTokens)
+{
+    Environment env;
+    loadShipping(env);
+    env.loadString("(defrule pair (order (name ?n))"
+                   " (stock (name ?n) (qty ?q)) => (bind ?x 1))");
+    // Only the root token is live before any facts arrive.
+    size_t baseline = env.reteLiveTokens();
+    env.assertFact("order", {{"name", Value::sym("disk")}});
+    env.assertFact("stock", {{"name", Value::sym("disk")},
+                             {"qty", Value::integer(3)}});
+    EXPECT_GT(env.reteLiveTokens(), baseline);
+    env.clearFacts();
+    // The rebuilt network is back to the root token, and the
+    // balance counters absorbed the teardown: created - destroyed
+    // still equals the live count.
+    EXPECT_EQ(env.reteLiveTokens(), baseline);
+    EXPECT_EQ(env.stats().reteTokensCreated -
+                  env.stats().reteTokensDestroyed,
+              env.reteLiveTokens());
+}
+
+// ---------------------------------------------------------------
+// Test-node invalidation (globals, deffunctions)
+// ---------------------------------------------------------------
+
+TEST(Rete, GlobalChangeReevaluatesTestNodes)
+{
+    Environment env;
+    loadShipping(env);
+    env.loadString("(defglobal ?*limit* = 5)");
+    env.loadString("(defrule low (stock (name ?n) (qty ?q))"
+                   " (test (< ?q ?*limit*)) => (bind ?x 1))");
+
+    env.assertFact("stock", {{"name", Value::sym("disk")},
+                             {"qty", Value::integer(7)}});
+    // qty 7 >= limit 5: the test node blocks the token.
+    EXPECT_EQ(env.run(), 0);
+
+    // Raising the global must re-evaluate the test over its parent
+    // memory and emit the previously blocked token.
+    env.loadString("(defglobal ?*limit* = 10)");
+    EXPECT_EQ(env.run(), 1);
+
+    // And lowering it again must withdraw a pending activation.
+    env.assertFact("stock", {{"name", Value::sym("tape")},
+                             {"qty", Value::integer(7)}});
+    env.loadString("(defglobal ?*limit* = 5)");
+    EXPECT_EQ(env.run(), 0);
+}
+
+// ---------------------------------------------------------------
+// Node sharing
+// ---------------------------------------------------------------
+
+TEST(Rete, RulesWithSharedPrefixShareNodes)
+{
+    Environment env;
+    loadShipping(env);
+    env.loadString("(defrule a (order (name ?n))"
+                   " (stock (name ?n) (qty ?q)) => (bind ?x 1))");
+    size_t alphasOne = env.reteAlphaNodes();
+    size_t betasOne = env.reteBetaNodes();
+
+    // Same alpha patterns, same first join, one extra CE: only the
+    // divergent tail (not-node + terminal vs terminal) is new.
+    env.loadString("(defrule b (order (name ?n))"
+                   " (stock (name ?n) (qty ?q))"
+                   " (not (hold (name ?n))) => (bind ?x 1))");
+    EXPECT_EQ(env.reteAlphaNodes(), alphasOne + 1); // just `hold`
+    EXPECT_EQ(env.reteBetaNodes(), betasOne + 2);   // neg + terminal
+
+    // An identical LHS shares everything but the terminal.
+    size_t betasTwo = env.reteBetaNodes();
+    env.loadString("(defrule c (order (name ?n))"
+                   " (stock (name ?n) (qty ?q)) => (bind ?x 2))");
+    EXPECT_EQ(env.reteBetaNodes(), betasTwo + 1);
+    EXPECT_EQ(env.reteAlphaNodes(), alphasOne + 1);
+}
+
+TEST(Rete, SharedPrefixStillFiresBothRules)
+{
+    Environment env;
+    loadShipping(env);
+    std::ostringstream out;
+    env.setOutput(&out);
+    env.loadString("(defrule a (order (name ?n))"
+                   " (stock (name ?n) (qty ?q))"
+                   " => (printout t \"a \" ?n crlf))");
+    env.loadString("(defrule b (order (name ?n))"
+                   " (stock (name ?n) (qty ?q))"
+                   " (not (hold (name ?n)))"
+                   " => (printout t \"b \" ?n crlf))");
+    env.assertFact("order", {{"name", Value::sym("disk")}});
+    env.assertFact("stock", {{"name", Value::sym("disk")},
+                             {"qty", Value::integer(3)}});
+    EXPECT_EQ(env.run(), 2);
+    // Both rules saw the shared partial match exactly once.
+    EXPECT_EQ(env.fireCountsByRule()["a"], 1u);
+    EXPECT_EQ(env.fireCountsByRule()["b"], 1u);
+}
+
+// ---------------------------------------------------------------
+// Rules added after facts (priming)
+// ---------------------------------------------------------------
+
+TEST(Rete, LateRuleIsPrimedAgainstExistingFacts)
+{
+    Environment env;
+    loadShipping(env);
+    env.assertFact("order", {{"name", Value::sym("disk")}});
+    env.assertFact("stock", {{"name", Value::sym("disk")},
+                             {"qty", Value::integer(3)}});
+    // The network must backfill memories for a rule that arrives
+    // after its supporting facts.
+    env.loadString("(defrule late (order (name ?n))"
+                   " (stock (name ?n) (qty ?q)) => (bind ?x 1))");
+    EXPECT_EQ(env.run(), 1);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

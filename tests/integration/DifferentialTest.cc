@@ -1,13 +1,20 @@
 /**
  * @file
- * Naive-vs-incremental matcher differential tests.
+ * Matcher differential tests: Rete vs naive vs dirty-rescan.
  *
- * The incremental matcher (alpha memories, dirty-rule marking,
- * maintained agenda) must be observationally identical to the naive
- * full-recomputation oracle. Every scenario in the workloads corpus
- * runs under both strategies; the CLIPS fire trace (rule + supporting
- * fact ids, in firing order), the warning list and the transcript
- * must match byte for byte.
+ * The Rete network (delta propagation, token memories) must be
+ * observationally identical to both oracles: the naive
+ * full-recomputation matcher and the dirty-rescan matcher (alpha
+ * memories, dirty-rule marking). Every scenario in the workloads
+ * corpus runs under all three strategies; the CLIPS fire trace (rule
+ * + supporting fact ids, in firing order), the warning list and the
+ * transcript must match byte for byte.
+ *
+ * A second pass repeats representative scenarios with the synthetic
+ * 500-rule policy loaded on top of the shipped one, so the
+ * equivalence also holds when the beta network is wide enough for
+ * node sharing, negation counters and the alpha slot-set index to
+ * all be under load.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +22,7 @@
 #include "workloads/Exploits.hh"
 #include "workloads/Macro.hh"
 #include "workloads/Micro.hh"
+#include "workloads/SyntheticPolicy.hh"
 #include "workloads/Trusted.hh"
 
 using namespace hth;
@@ -23,12 +31,20 @@ using namespace hth::workloads;
 namespace
 {
 
-/** Run @p s with the naive oracle on or off. */
+using Matcher = secpert::PolicyConfig::Matcher;
+
+/** Run @p s under one matching strategy, optionally with the
+ * synthetic policy-at-scale rules loaded on top. */
 Report
-runWith(const Scenario &s, bool naive)
+runWith(const Scenario &s, Matcher matcher, bool synthetic = false)
 {
     HthOptions options;
-    options.policy.naiveMatcher = naive;
+    options.policy.matcher = matcher;
+    if (synthetic) {
+        SyntheticPolicyConfig cfg;
+        cfg.ruleCount = 500;
+        options.extraPolicyRules = syntheticPolicy(cfg);
+    }
     return runScenario(s, options).report;
 }
 
@@ -50,7 +66,28 @@ warningsToString(const Report &r)
     return out;
 }
 
+void
+expectSame(const Report &rete, const Report &oracle,
+           const char *which)
+{
+    // The observable behaviour of the expert system must not depend
+    // on the matching strategy: same rules, same supporting facts,
+    // same order, same conclusions.
+    EXPECT_EQ(rete.fireTrace, oracle.fireTrace) << which;
+    EXPECT_EQ(warningsToString(rete), warningsToString(oracle))
+        << which;
+    EXPECT_EQ(rete.maxSeverity(), oracle.maxSeverity()) << which;
+    EXPECT_EQ(rete.transcript, oracle.transcript) << which;
+    EXPECT_EQ(rete.eventsAnalyzed, oracle.eventsAnalyzed) << which;
+    EXPECT_EQ(rete.rulesFired, oracle.rulesFired) << which;
+}
+
 class DifferentialTest : public ::testing::TestWithParam<Scenario>
+{
+};
+
+class SyntheticDifferentialTest
+    : public ::testing::TestWithParam<Scenario>
 {
 };
 
@@ -59,23 +96,31 @@ class DifferentialTest : public ::testing::TestWithParam<Scenario>
 TEST_P(DifferentialTest, StrategiesAgree)
 {
     const Scenario &s = GetParam();
-    Report inc = runWith(s, false);
-    Report naive = runWith(s, true);
+    Report rete = runWith(s, Matcher::Rete);
+    Report dirty = runWith(s, Matcher::DirtyRescan);
+    Report naive = runWith(s, Matcher::Naive);
 
-    // The observable behaviour of the expert system must not depend
-    // on the matching strategy: same rules, same supporting facts,
-    // same order, same conclusions.
-    EXPECT_EQ(inc.fireTrace, naive.fireTrace);
-    EXPECT_EQ(warningsToString(inc), warningsToString(naive));
-    EXPECT_EQ(inc.maxSeverity(), naive.maxSeverity());
-    EXPECT_EQ(inc.transcript, naive.transcript);
-    EXPECT_EQ(inc.eventsAnalyzed, naive.eventsAnalyzed);
-    EXPECT_EQ(inc.rulesFired, naive.rulesFired);
+    expectSame(rete, naive, "rete vs naive");
+    expectSame(rete, dirty, "rete vs dirty-rescan");
 
     // Sanity: the interesting scenarios actually exercise the
     // matcher (an empty trace would make the comparison vacuous).
     if (s.expectMalicious) {
-        EXPECT_FALSE(inc.fireTrace.empty()) << s.id;
+        EXPECT_FALSE(rete.fireTrace.empty()) << s.id;
+    }
+}
+
+TEST_P(SyntheticDifferentialTest, StrategiesAgreeAtScale)
+{
+    const Scenario &s = GetParam();
+    Report rete = runWith(s, Matcher::Rete, true);
+    Report dirty = runWith(s, Matcher::DirtyRescan, true);
+    Report naive = runWith(s, Matcher::Naive, true);
+
+    expectSame(rete, naive, "rete vs naive");
+    expectSame(rete, dirty, "rete vs dirty-rescan");
+    if (s.expectMalicious) {
+        EXPECT_FALSE(rete.fireTrace.empty()) << s.id;
     }
 }
 
@@ -95,6 +140,27 @@ allScenarios()
     return all;
 }
 
+/** A small cross-section for the 500-rule pass: running all three
+ * strategies over 500 extra rules is too slow for the whole corpus
+ * (the naive oracle is O(rules × facts) per event), so pick one
+ * scenario per family. */
+std::vector<Scenario>
+representativeScenarios()
+{
+    std::vector<Scenario> reps;
+    auto takeFirst = [&reps](std::vector<Scenario> list) {
+        if (!list.empty())
+            reps.push_back(std::move(list.front()));
+    };
+    takeFirst(executionFlowScenarios());
+    takeFirst(resourceAbuseScenarios());
+    takeFirst(infoFlowScenarios());
+    takeFirst(macroScenarios());
+    takeFirst(trustedProgramScenarios());
+    takeFirst(exploitScenarios());
+    return reps;
+}
+
 std::string
 scenarioName(const ::testing::TestParamInfo<Scenario> &info)
 {
@@ -110,6 +176,10 @@ scenarioName(const ::testing::TestParamInfo<Scenario> &info)
 
 INSTANTIATE_TEST_SUITE_P(Corpus, DifferentialTest,
                          ::testing::ValuesIn(allScenarios()),
+                         scenarioName);
+
+INSTANTIATE_TEST_SUITE_P(Scale500, SyntheticDifferentialTest,
+                         ::testing::ValuesIn(representativeScenarios()),
                          scenarioName);
 
 int
