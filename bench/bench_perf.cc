@@ -13,6 +13,9 @@
  *   BM_VmTaint       — full HTH: monitor + data-flow tracking
  *   BM_VmTaintNoTelemetry — BM_VmTaint with the phase profiler off
  *                      (the telemetry-overhead baseline)
+ *   BM_VmTaintObserved / BM_VmTaintUnobserved — span tracer +
+ *                      flight recorder both on vs both off (the
+ *                      observability-overhead bound, ~5% budget)
  *   BM_TagStoreUnion — the memoised tag-set union primitive
  *   BM_ShadowMemory  — shadow byte tagging
  *   BM_ClipsEvent    — Secpert cost per analyzed event
@@ -88,12 +91,19 @@ struct GuestRun
 /** Run the guest; returns executed instructions + cache behaviour. */
 GuestRun
 runGuest(bool monitored, bool taint, bool telemetry,
-         bool superblocks = true)
+         bool superblocks = true, int observed = -1)
 {
     HthOptions options;
     options.taintTracking = taint;
     options.telemetry = telemetry;
     options.superblocks = superblocks;
+    // observed: -1 = ship defaults (flight on, spans off), 0 = both
+    // off, 1 = both on. The 0/1 twins bound the tracer+recorder
+    // overhead (budget: ~5%).
+    if (observed == 0)
+        options.flightRecorderEntries = 0;
+    else if (observed == 1)
+        options.spanTrace = true;
     Hth hth(options);
     if (!monitored) {
         // Detach Harrier: raw kernel + VM only.
@@ -120,12 +130,13 @@ runGuest(bool monitored, bool taint, bool telemetry,
 /** Shared body of the VM benches. */
 void
 runVmBench(benchmark::State &state, bool monitored, bool taint,
-           bool telemetry = true, bool superblocks = true)
+           bool telemetry = true, bool superblocks = true,
+           int observed = -1)
 {
     GuestRun total;
     for (auto _ : state) {
-        GuestRun run =
-            runGuest(monitored, taint, telemetry, superblocks);
+        GuestRun run = runGuest(monitored, taint, telemetry,
+                                superblocks, observed);
         total.instructions += run.instructions;
         total.blockCacheHits += run.blockCacheHits;
         total.blockCacheMisses += run.blockCacheMisses;
@@ -175,6 +186,23 @@ BM_VmTaintNoTelemetry(benchmark::State &state)
     runVmBench(state, true, true, false);
 }
 BENCHMARK(BM_VmTaintNoTelemetry);
+
+/** BM_VmTaint with span tracing AND the flight recorder on — vs a
+ * twin with both off. The pair bounds the full observability cost
+ * (ring stores + scope clock reads + flight notes; budget ~5%). */
+void
+BM_VmTaintObserved(benchmark::State &state)
+{
+    runVmBench(state, true, true, true, true, 1);
+}
+BENCHMARK(BM_VmTaintObserved);
+
+void
+BM_VmTaintUnobserved(benchmark::State &state)
+{
+    runVmBench(state, true, true, true, true, 0);
+}
+BENCHMARK(BM_VmTaintUnobserved);
 
 /** BM_VmTaint with the trace-linking engine disabled: the ablation
  * baseline, so BM_VmTaintNoSuperblocks / BM_VmTaint is the win from
@@ -229,15 +257,21 @@ BENCHMARK(BM_ShadowMemory);
 void
 runClipsBench(benchmark::State &state,
               secpert::PolicyConfig::Matcher matcher,
-              bool telemetry = true)
+              bool telemetry = true, bool observed = false)
 {
     secpert::PolicyConfig config;
     config.matcher = matcher;
     secpert::Secpert secpert(config);
     obs::PhaseProfiler profiler;
+    obs::SpanTracer tracer;
+    obs::FlightRecorder flight;
     if (telemetry) {
         secpert.setProfiler(&profiler);
         profiler.start();
+    }
+    if (observed) {
+        secpert.setSpanTracer(&tracer);
+        secpert.setFlightRecorder(&flight);
     }
     harrier::ResourceAccessEvent ev;
     ev.ctx.pid = 1;
@@ -279,6 +313,18 @@ BM_ClipsEventNoTelemetry(benchmark::State &state)
                   false);
 }
 BENCHMARK(BM_ClipsEventNoTelemetry);
+
+/** BM_ClipsEvent with a span tracer (one ClipsPump span per event)
+ * and a flight recorder (one note per event and per fire) attached:
+ * with the plain twin this bounds the per-event observability cost
+ * on the hot expert-system path. */
+void
+BM_ClipsEventObserved(benchmark::State &state)
+{
+    runClipsBench(state, secpert::PolicyConfig::Matcher::Rete, true,
+                  true);
+}
+BENCHMARK(BM_ClipsEventObserved);
 
 /** The dirty-rescan matcher (the pre-Rete incremental engine), kept
  * as a differential oracle: BM_ClipsEvent / BM_ClipsEventDirtyRescan

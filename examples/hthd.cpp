@@ -15,6 +15,16 @@
  *   hthd --stats-json stats.json --stats-interval 5
  *   hthd --baseline-record baselines --baseline-runs 5
  *   hthd --baseline baselines
+ *   hthd --trace-spans fleet.trace.json
+ *   hthd --explain verdicts
+ *
+ * --trace-spans turns on span tracing in every session and exports
+ * one Chrome/Perfetto trace_event timeline, one pid/tid lane per
+ * (session, worker). --explain writes each flagged session's
+ * provenance graph (warning -> rule fire -> facts -> events ->
+ * origins / static findings) as JSON and DOT and prints the
+ * human-readable evidence chains; faulted sessions get their
+ * flight-recorder window instead.
  *
  * --baseline-record runs every selected clean scenario N times
  * under varied seeds and writes one baseline profile per scenario;
@@ -45,6 +55,7 @@
 
 #include "anomaly/Baseline.hh"
 #include "fleet/FleetService.hh"
+#include "obs/Span.hh"
 #include "obs/StatsSink.hh"
 #include "secpert/Secpert.hh"
 #include "support/Logging.hh"
@@ -150,7 +161,13 @@ usage()
         "  --baseline PATH    score sessions against PATH: a profile\n"
         "                     file (applied to every session) or a\n"
         "                     --baseline-record directory (matched\n"
-        "                     per scenario id)\n";
+        "                     per scenario id)\n"
+        "  --trace-spans FILE export a Chrome/Perfetto trace_event\n"
+        "                     timeline (one pid/tid lane per\n"
+        "                     session/worker)\n"
+        "  --explain DIR      write per-verdict provenance graphs\n"
+        "                     (JSON + DOT) and print the evidence\n"
+        "                     chain behind every flagged session\n";
     return 2;
 }
 
@@ -163,6 +180,8 @@ run(int argc, char **argv)
     std::string stats_json;
     std::string baseline_record_dir;
     std::string baseline_path;
+    std::string trace_spans;
+    std::string explain_dir;
     uint32_t baseline_runs = 5;
     unsigned stats_interval = 0;
     bool summary_only = false;
@@ -204,6 +223,11 @@ run(int argc, char **argv)
                     "hthd: --baseline-runs must be positive");
         } else if (arg == "--baseline") {
             baseline_path = value();
+        } else if (arg == "--trace-spans") {
+            trace_spans = value();
+            session_options.spanTrace = true;
+        } else if (arg == "--explain") {
+            explain_dir = value();
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -334,7 +358,7 @@ run(int argc, char **argv)
     if (!stats_json.empty()) {
         std::ofstream out(stats_json);
         fatalIf(!out, "hthd: cannot write ", stats_json);
-        out << "{\"type\":\"fleet\",\"schema_version\":2"
+        out << "{\"type\":\"fleet\",\"schema_version\":3"
             << ",\"sessions\":" << report.sessions
             << ",\"completed\":" << report.completed
             << ",\"failed\":" << report.failed
@@ -351,6 +375,71 @@ run(int argc, char **argv)
             << "\",\"scored\":" << report.anomalyScored
             << ",\"anomalous\":" << report.anomalous << "}\n";
         obs::writeJsonLines(report.telemetry, out);
+    }
+
+    if (!trace_spans.empty()) {
+        // One lane per completed session: pid = session, tid = the
+        // worker that ran it, so Perfetto groups the timeline the
+        // way the fleet actually executed it.
+        std::vector<obs::SpanLane> lanes;
+        for (const fleet::FleetResult &r : report.results) {
+            if (!r.completed || r.report.spans.empty())
+                continue;
+            obs::SpanLane lane;
+            lane.pid = (int)r.index + 1;
+            lane.tid = r.worker >= 0 ? r.worker + 1 : 1;
+            lane.processName = r.id;
+            lane.threadName =
+                "worker " + std::to_string(lane.tid - 1);
+            lane.spans = r.report.spans;
+            lane.dropped = r.report.spansDropped;
+            lanes.push_back(std::move(lane));
+        }
+        std::ofstream out(trace_spans);
+        fatalIf(!out, "hthd: cannot write ", trace_spans);
+        obs::writeTraceJson(lanes, out);
+        std::cout << "span trace (" << lanes.size()
+                  << " lanes) written to " << trace_spans << "\n";
+    }
+
+    if (!explain_dir.empty()) {
+        std::filesystem::create_directories(explain_dir);
+        size_t explained = 0;
+        for (const fleet::FleetResult &r : report.results) {
+            if (r.completed && !r.report.provenance.empty()) {
+                std::string base =
+                    explain_dir + "/" + sanitize(r.id);
+                {
+                    std::ofstream out(base + ".provenance.json");
+                    fatalIf(!out, "hthd: cannot write ", base,
+                            ".provenance.json");
+                    r.report.provenance.writeJson(out);
+                }
+                {
+                    std::ofstream out(base + ".provenance.dot");
+                    fatalIf(!out, "hthd: cannot write ", base,
+                            ".provenance.dot");
+                    out << r.report.provenance.toDot();
+                }
+                std::cout << "=== " << r.id << " ===\n"
+                          << r.report.provenance.renderChains();
+                ++explained;
+            } else if (!r.completed && !r.flightLog.empty()) {
+                // Faulted session: no provenance, but the flight
+                // recorder kept the last events before the throw.
+                std::string path = explain_dir + "/" +
+                                   sanitize(r.id) + ".flight.txt";
+                std::ofstream out(path);
+                fatalIf(!out, "hthd: cannot write ", path);
+                for (const std::string &line : r.flightLog)
+                    out << line << "\n";
+                std::cout << "=== " << r.id
+                          << " (faulted; flight recorder in " << path
+                          << ") ===\n";
+            }
+        }
+        std::cout << explained << " provenance graphs written to "
+                  << explain_dir << "/\n";
     }
 
     int divergent = 0;

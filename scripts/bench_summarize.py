@@ -98,18 +98,31 @@ def main():
                  f"baseline has {sorted(baseline)[:5]}..., current "
                  f"has {sorted(current)[:5]}...; comparing different "
                  "suites?")
+        # Suites drift between refs (benchmarks get added or
+        # retired); report the asymmetry instead of dying on it —
+        # speedups are computed over the shared names only.
+        new_names = sorted(current.keys() - baseline.keys())
+        gone_names = sorted(baseline.keys() - current.keys())
         print(f"bench_summarize: comparing {len(shared)} benchmarks "
               f"against {args.baseline_ref or 'baseline'} "
               f"on {hw_cores} cores")
+        for name in new_names:
+            print(f"  {name} (new — not in baseline)")
+        for name in gone_names:
+            print(f"  {name} (gone — baseline only)")
         doc["baseline"] = baseline
         doc["baseline_ref"] = args.baseline_ref
+        if new_names:
+            doc["new"] = new_names
+        if gone_names:
+            doc["gone"] = gone_names
         speedups = {}
         for name in shared:
-            cur = current[name]
-            if cur["median_us"] > 0:
+            cur = current.get(name, {})
+            base = baseline.get(name, {})
+            if cur.get("median_us", 0) > 0 and "median_us" in base:
                 speedups[name] = round(
-                    baseline[name]["median_us"] / cur["median_us"],
-                    2)
+                    base["median_us"] / cur["median_us"], 2)
         doc["speedup"] = speedups
 
     with open(args.out, "w") as f:

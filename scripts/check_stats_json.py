@@ -54,9 +54,9 @@ def main():
                 "cancelled", "flagged", "wall_seconds"):
         if key not in fleet:
             fail(f"fleet record lacks '{key}'")
-    if fleet["schema_version"] != 2:
+    if fleet["schema_version"] != 3:
         fail(f"schema_version = {fleet['schema_version']}, this "
-             f"checker validates version 2")
+             f"checker validates version 3")
     if expected_sessions is not None:
         if fleet["sessions"] != expected_sessions:
             fail(f"fleet.sessions = {fleet['sessions']}, expected "
@@ -121,6 +121,37 @@ def main():
     if created - destroyed != live:
         fail(f"rete token balance broken: created {created} - "
              f"destroyed {destroyed} != beta_live {live}")
+
+    # Schema v3: every histogram record carries latency percentiles
+    # derived from its pow2 buckets. They must be present, ordered
+    # (p50 <= p95 <= p99 <= max) and inside the sampled range.
+    histograms = by_type.get("histogram", [])
+    if not histograms:
+        fail("no 'histogram' record (fleet.session_us expected)")
+    for h in histograms:
+        for key in ("name", "count", "sum", "p50", "p95", "p99",
+                    "buckets"):
+            if key not in h:
+                fail(f"histogram record lacks '{key}': {h}")
+        if h["count"] == 0:
+            continue
+        if not (h["p50"] <= h["p95"] <= h["p99"]):
+            fail(f"histogram '{h['name']}' percentiles not "
+                 f"monotonic: p50={h['p50']} p95={h['p95']} "
+                 f"p99={h['p99']}")
+        # Each percentile is the inclusive upper bound of the pow2
+        # bucket holding that ranked sample, so all three must be
+        # actual bucket edges within the populated range.
+        edges = [le for le, _ in h["buckets"]]
+        if sum(n for _, n in h["buckets"]) != h["count"]:
+            fail(f"histogram '{h['name']}' bucket counts do not "
+                 f"sum to count {h['count']}")
+        for p in ("p50", "p95", "p99"):
+            if h[p] not in edges:
+                fail(f"histogram '{h['name']}' {p}={h[p]} is not "
+                     f"a bucket edge of {edges}")
+    if not any(h["name"] == "fleet.session_us" for h in histograms):
+        fail("missing histogram 'fleet.session_us'")
 
     # Anomaly summary: always emitted, so a consumer can distinguish
     # "no baseline was applied" from "the record went missing".

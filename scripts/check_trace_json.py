@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate an `hthd --trace-spans` artifact.
+
+The file must be a single JSON object in the Chrome/Perfetto
+`trace_event` format: a "traceEvents" array whose entries each carry
+`ph`, `ts` and `pid`, with "X" complete events additionally carrying
+`dur` and `name`, and every (pid, tid) lane announced by "M"
+process_name/thread_name metadata. This is the structural subset
+chrome://tracing and ui.perfetto.dev require to open the file at
+all; used as a ctest smoke so an exporter regression fails the
+build, not a trace viewer.
+
+usage: check_trace_json.py <trace.json> [min-lanes]
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_trace_json.py <trace.json> [min-lanes]")
+    path = sys.argv[1]
+    min_lanes = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("'traceEvents' must be a non-empty array")
+
+    named_lanes = set()
+    span_lanes = set()
+    complete = 0
+    for i, ev in enumerate(events):
+        for key in ("ph", "ts", "pid"):
+            if key not in ev:
+                fail(f"traceEvents[{i}] lacks '{key}': {ev}")
+        ph = ev["ph"]
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_lanes.add(ev["pid"])
+        elif ph == "X":
+            for key in ("dur", "name", "tid"):
+                if key not in ev:
+                    fail(f"complete event [{i}] lacks '{key}': {ev}")
+            if ev["dur"] < 0 or ev["ts"] < 0:
+                fail(f"complete event [{i}] has negative time: {ev}")
+            span_lanes.add(ev["pid"])
+            complete += 1
+        elif ph not in ("i", "I"):
+            fail(f"traceEvents[{i}] has unexpected ph '{ph}'")
+
+    if complete == 0:
+        fail("no 'X' complete events — the trace is empty")
+    unnamed = span_lanes - named_lanes
+    if unnamed:
+        fail(f"lanes {sorted(unnamed)} have spans but no "
+             f"process_name metadata")
+    if len(span_lanes) < min_lanes:
+        fail(f"{len(span_lanes)} lanes with spans, expected at "
+             f"least {min_lanes}")
+
+    print(f"check_trace_json: OK ({complete} spans across "
+          f"{len(span_lanes)} lanes)")
+
+
+if __name__ == "__main__":
+    main()

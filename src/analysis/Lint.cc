@@ -70,6 +70,7 @@ class Linter
                     const std::string &construct);
     void checkRuleRhs(const RuleInfo &rule);
     void checkJoinOrder(const RuleInfo &rule);
+    void checkProvenanceEvidence(const RuleInfo &rule);
     void checkShadowing();
 
     static bool valueEqual(const Sexpr &a, const Sexpr &b);
@@ -356,6 +357,40 @@ Linter::checkJoinOrder(const RuleInfo &rule)
     }
 }
 
+void
+Linter::checkProvenanceEvidence(const RuleInfo &rule)
+{
+    // A High verdict should be explainable: the provenance graph
+    // hangs the evidence chain off the firing rule's matched facts,
+    // reading their bound slots (pids, resources, origins). A rule
+    // that raises severity-3 without binding a single slot variable
+    // in a positive pattern produces a warning node with nothing
+    // under it. Literal severity only — a rule that computes or
+    // forwards its severity (?w) is escalation plumbing, and the
+    // evidence lives with whoever bound ?w.
+    if (!rule.posBound.empty())
+        return;
+    std::vector<const Sexpr *> work(rule.rhs);
+    while (!work.empty()) {
+        const Sexpr *form = work.back();
+        work.pop_back();
+        if (!form->isList())
+            continue;
+        if (form->head() == "hth-warn" && form->items.size() >= 2 &&
+            form->items[1].kind == Sexpr::Kind::Integer &&
+            form->items[1].intValue == 3) {
+            warn(rule.name,
+                 "rule raises a High-severity warning but binds no"
+                 " fact slot in any positive pattern; the verdict's"
+                 " provenance graph will carry no evidence (bind a"
+                 " slot variable so --explain can walk the chain)");
+            return;
+        }
+        for (const Sexpr &item : form->items)
+            work.push_back(&item);
+    }
+}
+
 bool
 Linter::subsumes(const Pattern &general, const Pattern &specific)
 {
@@ -443,6 +478,7 @@ Linter::lint(const std::string &source)
     for (const RuleInfo &rule : rules_) {
         checkRuleRhs(rule);
         checkJoinOrder(rule);
+        checkProvenanceEvidence(rule);
     }
     checkShadowing();
     return std::move(issues_);

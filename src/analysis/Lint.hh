@@ -20,7 +20,11 @@
  *    stays quiet);
  *  - warning: a variable first bound inside a negated pattern that
  *    is then used in a later pattern or on the RHS — negated
- *    patterns export no bindings, so the use matches any value.
+ *    patterns export no bindings, so the use matches any value;
+ *  - warning: a rule whose RHS raises a literal High-severity
+ *    `(hth-warn 3 ...)` while no positive pattern binds any slot
+ *    variable — the verdict's provenance graph would carry no
+ *    evidence chain for `hthd --explain` to walk.
  *
  * Templates not declared in the linted source are skipped by the
  * slot check, so rule fragments can be linted standalone.

@@ -43,6 +43,19 @@ Hth::Hth(HthOptions options) : options_(std::move(options))
         harrier_->setProfiler(&profiler_);
         secpert_->setProfiler(&profiler_);
     }
+    if (options_.spanTrace) {
+        tracer_ = std::make_unique<obs::SpanTracer>(
+            options_.spanRingCapacity);
+        profiler_.setSpanSink(tracer_.get());
+        kernel_->setSpanTracer(tracer_.get());
+        harrier_->setSpanTracer(tracer_.get());
+        secpert_->setSpanTracer(tracer_.get());
+    }
+    if (options_.flightRecorderEntries) {
+        flight_ = std::make_unique<obs::FlightRecorder>(
+            options_.flightRecorderEntries);
+        secpert_->setFlightRecorder(flight_.get());
+    }
 }
 
 Hth::~Hth() = default;
@@ -53,6 +66,8 @@ Hth::monitor(const std::string &path,
              const std::vector<std::string> &env,
              const std::string &stdin_data)
 {
+    uint64_t monitorBegin =
+        tracer_ ? obs::SpanTracer::nowNs() : 0;
     if (options_.telemetry)
         profiler_.start(obs::Phase::Setup);
 
@@ -69,6 +84,8 @@ Hth::monitor(const std::string &path,
     // safe and only refreshes what changed.
     collectTelemetry(report);
     if (options_.baseline) {
+        obs::SpanScope scoring(tracer_.get(),
+                               obs::SpanId::AnomalyScore);
         const std::string &runName =
             options_.baselineRunName.empty()
                 ? options_.baseline->name
@@ -101,6 +118,22 @@ Hth::monitor(const std::string &path,
     report.fireTrace = secpert_->env().fireTraceToString();
     report.stdoutData = proc.stdoutData;
     report.exitCode = proc.exitCode;
+
+    // The evidence chain is assembled whenever something was
+    // flagged; the flight-recorder window rides along only on a
+    // High-severity verdict (the crash-box contract).
+    if (report.flagged()) {
+        report.provenance = secpert_->buildProvenance();
+        if (flight_ && flight_->enabled() &&
+            report.flagged(secpert::Severity::High))
+            report.provenance.flight = flight_->dump();
+    }
+    if (tracer_) {
+        tracer_->record(obs::SpanId::Monitor, monitorBegin,
+                        obs::SpanTracer::nowNs());
+        report.spans = tracer_->snapshot();
+        report.spansDropped = tracer_->dropped();
+    }
     return report;
 }
 
@@ -231,6 +264,13 @@ Hth::collectTelemetry(Report &report)
         metrics_.counter("clips.activations." + rule).set(n);
     for (const auto &[rule, n] : secpert_->env().fireCountsByRule())
         metrics_.counter("clips.fires." + rule).set(n);
+
+    if (tracer_) {
+        set("obs.spans_recorded", tracer_->recorded());
+        set("obs.spans_dropped", tracer_->dropped());
+    }
+    if (flight_)
+        set("obs.flight_notes", flight_->total());
 
     report.telemetry.profiled = options_.telemetry;
     report.telemetry.phases = profiler_.breakdown();

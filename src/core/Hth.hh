@@ -28,8 +28,11 @@
 #include "anomaly/Baseline.hh"
 #include "anomaly/Scorer.hh"
 #include "harrier/Harrier.hh"
+#include "obs/Flight.hh"
 #include "obs/Metrics.hh"
 #include "obs/Profiler.hh"
+#include "obs/Provenance.hh"
+#include "obs/Span.hh"
 #include "obs/Telemetry.hh"
 #include "os/Kernel.hh"
 #include "os/Libc.hh"
@@ -103,6 +106,26 @@ struct HthOptions
      * own name is used and the check trivially passes.
      */
     std::string baselineRunName;
+
+    /**
+     * Span tracing: record begin/end timestamps for the profiler's
+     * phase segments plus the fine-grained operations (image load,
+     * static analysis, superblock formation, CLIPS pump, anomaly
+     * scoring) into a bounded ring, snapshotted into Report.spans.
+     * Off by default — the ring is cheap but not free, and most
+     * runs only want the aggregate phase breakdown.
+     */
+    bool spanTrace = false;
+
+    /** Span ring capacity; oldest spans drop once exceeded. */
+    size_t spanRingCapacity = obs::SpanTracer::DEFAULT_CAPACITY;
+
+    /**
+     * Flight-recorder window (last N events/fires/warnings kept in
+     * fixed storage). Dumped into Report.provenance only when the
+     * verdict reaches High severity; 0 disables recording.
+     */
+    size_t flightRecorderEntries = obs::FlightRecorder::DEFAULT_ENTRIES;
 };
 
 /** Everything HTH observed and concluded about one run. */
@@ -141,6 +164,19 @@ struct Report
      */
     bool anomalyScored = false;
     anomaly::AnomalyScore anomaly;
+
+    /**
+     * The evidence graph behind every warning (warning -> rule fire
+     * -> matched facts -> events / origins / static findings /
+     * anomaly records), built whenever the run was flagged. For a
+     * High-severity verdict the flight-recorder window (last N
+     * events and fires) is attached as provenance.flight.
+     */
+    obs::ProvenanceGraph provenance;
+
+    /** Span-tracer snapshot; non-empty only with spanTrace on. */
+    std::vector<obs::SpanRecord> spans;
+    uint64_t spansDropped = 0;
 
     /**
      * @deprecated Loose execution counters kept for source
@@ -200,6 +236,12 @@ class Hth
     /** This instance's phase profiler. */
     obs::PhaseProfiler &profiler() { return profiler_; }
 
+    /** Span tracer, or null when spanTrace is off. */
+    obs::SpanTracer *spanTracer() { return tracer_.get(); }
+
+    /** Flight recorder, or null when flightRecorderEntries == 0. */
+    obs::FlightRecorder *flightRecorder() { return flight_.get(); }
+
     /**
      * Run @p path under full monitoring until the guest world goes
      * idle, and report what the policy concluded.
@@ -221,6 +263,8 @@ class Hth
     os::LibcHandles libc_;
     obs::MetricRegistry metrics_;
     obs::PhaseProfiler profiler_;
+    std::unique_ptr<obs::SpanTracer> tracer_;
+    std::unique_ptr<obs::FlightRecorder> flight_;
 };
 
 } // namespace hth

@@ -137,6 +137,8 @@ FleetService::finish()
             ++agg.warningsByRule[w.rule];
             ++agg.warningsBySeverity[(int)w.severity];
         }
+        agg.provenanceNodes += r.report.provenance.nodes().size();
+        agg.provenanceEdges += r.report.provenance.edges().size();
         agg.instructions += r.report.instructions;
         agg.syscalls += r.report.syscalls;
         agg.eventsAnalyzed += r.report.eventsAnalyzed;
@@ -152,6 +154,10 @@ FleetService::finish()
     metrics_.counter("fleet.flagged").set(agg.flagged);
     metrics_.counter("fleet.anomaly_scored").set(agg.anomalyScored);
     metrics_.counter("fleet.anomalous").set(agg.anomalous);
+    metrics_.counter("fleet.provenance_nodes")
+        .set(agg.provenanceNodes);
+    metrics_.counter("fleet.provenance_edges")
+        .set(agg.provenanceEdges);
     metrics_.counter("fleet.backpressure_stalls")
         .set(queue_.pushStalls());
     metrics_.gauge("fleet.queue_depth").set(queue_.highWater());
@@ -199,6 +205,10 @@ FleetService::runJob(const FleetJob &job, size_t index,
     FleetResult result;
     result.index = index;
     result.id = job.id;
+    // The session lives outside the try so a fault can still read
+    // its flight recorder: the last events/fires before the
+    // exception are exactly what a post-mortem needs.
+    std::unique_ptr<Hth> hth;
     try {
         HthOptions options = job.options;
         if (tick_budget)
@@ -214,21 +224,24 @@ FleetService::runJob(const FleetJob &job, size_t index,
             options.eventTap = writer.get();
         }
 
-        Hth hth(options);
+        hth = std::make_unique<Hth>(options);
         if (job.setup)
-            job.setup(hth.kernel());
+            job.setup(hth->kernel());
 
         std::vector<std::string> argv = job.argv;
         if (argv.empty())
             argv.push_back(job.path);
 
         result.report =
-            hth.monitor(job.path, argv, job.env, job.stdinData);
+            hth->monitor(job.path, argv, job.env, job.stdinData);
         if (writer)
             writer->finish();
         result.completed = true;
     } catch (const std::exception &e) {
         result.error = e.what();
+        if (hth && hth->flightRecorder() &&
+            hth->flightRecorder()->enabled())
+            result.flightLog = hth->flightRecorder()->dump();
         warn("fleet job ", job.id.empty() ? job.path : job.id,
              " failed: ", result.error);
     }
@@ -253,6 +266,7 @@ FleetService::workerLoop(size_t worker_index)
         auto &[index, job] = *item;
         auto t0 = std::chrono::steady_clock::now();
         FleetResult result = runJob(job, index, config_.tickBudget);
+        result.worker = (int)worker_index;
         uint64_t us =
             (uint64_t)std::chrono::duration_cast<
                 std::chrono::microseconds>(

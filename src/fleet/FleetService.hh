@@ -75,6 +75,17 @@ struct FleetResult
     bool completed = false;     //!< session ran to a Report
     bool cancelled = false;     //!< dropped from the queue, never ran
     std::string error;          //!< exception text when failed
+
+    /** Worker that ran the session (-1 when run outside the pool).
+     * With --trace-spans each (session, worker) pair becomes one
+     * pid/tid lane in the exported timeline. */
+    int worker = -1;
+
+    /** Flight-recorder window captured when the session faulted —
+     * the last events/fires before the exception. Completed
+     * sessions carry theirs in report.provenance.flight instead
+     * (High verdicts only). */
+    std::vector<std::string> flightLog;
 };
 
 /** Fleet sizing and budgets. */
@@ -113,6 +124,12 @@ struct FleetReport
     std::array<uint64_t, 4> warningsBySeverity{};
 
     uint64_t warnings = 0;
+
+    /** Provenance-graph totals across completed flagged sessions
+     * (also overlaid as fleet.provenance_* counters). */
+    uint64_t provenanceNodes = 0;
+    uint64_t provenanceEdges = 0;
+
     uint64_t instructions = 0;
     uint64_t syscalls = 0;
     uint64_t eventsAnalyzed = 0;

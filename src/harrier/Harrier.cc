@@ -1,6 +1,7 @@
 #include "harrier/Harrier.hh"
 
 #include "analysis/Analyzer.hh"
+#include "obs/Span.hh"
 #include "os/Libc.hh"
 #include "support/Logging.hh"
 
@@ -44,6 +45,7 @@ Harrier::imageLoaded(vm::Machine &m, const vm::LoadedImage &img)
     if (!analyzedImages_.insert(key).second)
         return; // each distinct image is screened once
     obs::PhaseScope analysis(profiler_, obs::Phase::StaticAnalysis);
+    obs::SpanScope span(spanTracer_, obs::SpanId::ImageAnalysis);
     ++stats_.imagesAnalyzed;
 
     analysis::StaticReport report = analysis::analyzeImage(*key);

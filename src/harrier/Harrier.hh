@@ -104,6 +104,12 @@ class Harrier : public vm::Instrumentor, public os::Monitor
         profiler_ = profiler;
     }
 
+    /** Record an image_analysis span per screened image. */
+    void setSpanTracer(obs::SpanTracer *tracer)
+    {
+        spanTracer_ = tracer;
+    }
+
     /** BB execution count observed at @p addr for @p pid. */
     uint64_t bbCount(int pid, uint32_t addr) const;
 
@@ -149,6 +155,7 @@ class Harrier : public vm::Instrumentor, public os::Monitor
     std::set<const vm::Image *> analyzedImages_;
     HarrierStats stats_;
     obs::PhaseProfiler *profiler_ = nullptr;
+    obs::SpanTracer *spanTracer_ = nullptr;
 };
 
 } // namespace hth::harrier

@@ -1,0 +1,53 @@
+#include "obs/Flight.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hth::obs
+{
+
+FlightRecorder::FlightRecorder(size_t entries) : ring_(entries)
+{
+}
+
+void
+FlightRecorder::note(uint64_t time, char kind, std::string_view text)
+{
+    if (ring_.empty())
+        return;
+    Entry &e = ring_[head_];
+    e.time = time;
+    e.kind = kind;
+    e.length =
+        (uint8_t)std::min<size_t>(text.size(), TEXT_CAPACITY);
+    std::memcpy(e.text, text.data(), e.length);
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    ++total_;
+}
+
+std::vector<std::string>
+FlightRecorder::dump() const
+{
+    std::vector<std::string> out;
+    size_t live = std::min<uint64_t>(total_, ring_.size());
+    out.reserve(live);
+    size_t start = total_ > ring_.size() ? head_ : 0;
+    for (size_t i = 0; i < live; ++i) {
+        const Entry &e = ring_[(start + i) % ring_.size()];
+        std::string line = "t=" + std::to_string(e.time) + " ";
+        line.push_back(e.kind);
+        line.push_back(' ');
+        line.append(e.text, e.length);
+        out.push_back(std::move(line));
+    }
+    return out;
+}
+
+void
+FlightRecorder::reset()
+{
+    head_ = 0;
+    total_ = 0;
+}
+
+} // namespace hth::obs

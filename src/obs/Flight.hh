@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Flight recorder: a bounded ring of short, fixed-size notes about
+ * the most recent events and rule fires of one session — the
+ * crash-box counterpart to the span tracer's timeline.
+ *
+ * The recorder runs continuously but its contents are only ever
+ * *read* on the cold paths that need a post-mortem: a High-severity
+ * verdict (the provenance dump attaches the last-N window) or a
+ * worker fault (the fleet attaches it to the failed result). Steady
+ * state therefore has to be cheap: entries are fixed char arrays
+ * preallocated at construction, note() copies a truncated message
+ * into the ring slot, and nothing allocates after the constructor.
+ *
+ * Like SpanTracer it is single-threaded by design — one recorder
+ * per Hth instance, one monitored run per thread.
+ */
+
+#ifndef HTH_OBS_FLIGHT_HH
+#define HTH_OBS_FLIGHT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hth::obs
+{
+
+class FlightRecorder
+{
+  public:
+    static constexpr size_t DEFAULT_ENTRIES = 256;
+
+    /** Payload bytes kept per entry; longer notes are truncated. */
+    static constexpr size_t TEXT_CAPACITY = 120;
+
+    /** @p entries == 0 constructs a disabled recorder. */
+    explicit FlightRecorder(size_t entries = DEFAULT_ENTRIES);
+
+    bool enabled() const { return !ring_.empty(); }
+
+    size_t capacity() const { return ring_.size(); }
+
+    /** Total note() calls since construction / reset(). */
+    uint64_t total() const { return total_; }
+
+    /**
+     * Record one note. @p kind is a single tag character by
+     * convention ('E' event, 'F' rule fire, 'W' warning, 'A'
+     * anomaly); @p time is the session's virtual clock.
+     */
+    void note(uint64_t time, char kind, std::string_view text);
+
+    /**
+     * Render the surviving window oldest-first, one line per entry:
+     * "t=<time> <kind> <text>". Cold path — this allocates freely.
+     */
+    std::vector<std::string> dump() const;
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        uint64_t time = 0;
+        char kind = '?';
+        uint8_t length = 0;
+        char text[TEXT_CAPACITY];
+    };
+
+    std::vector<Entry> ring_;
+    size_t head_ = 0;           //!< next write position
+    uint64_t total_ = 0;
+};
+
+} // namespace hth::obs
+
+#endif // HTH_OBS_FLIGHT_HH

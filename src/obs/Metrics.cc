@@ -17,6 +17,25 @@ Histogram::upperBound(size_t i)
 }
 
 uint64_t
+HistogramValue::percentile(double q) const
+{
+    if (count == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th sample, 1-based: ceil(q * count), at least 1.
+    uint64_t rank = (uint64_t)(q * (double)count);
+    if ((double)rank < q * (double)count || rank == 0)
+        ++rank;
+    uint64_t cum = 0;
+    for (const auto &[le, n] : buckets) {
+        cum += n;
+        if (cum >= rank)
+            return le;
+    }
+    return buckets.empty() ? 0 : buckets.back().first;
+}
+
+uint64_t
 MetricSnapshot::counter(const std::string &name) const
 {
     auto it = counters.find(name);

@@ -167,6 +167,15 @@ struct HistogramValue
     /** (inclusive upper bound, count) for each non-empty bucket. */
     std::vector<std::pair<uint64_t, uint64_t>> buckets;
 
+    /**
+     * Value at quantile @p q in [0, 1], conservatively reported as
+     * the inclusive upper bound of the bucket holding the q-th
+     * ranked sample (so p50/p95/p99 never under-state a latency).
+     * Deterministic — a pure function of the bucket counts — and 0
+     * for an empty histogram.
+     */
+    uint64_t percentile(double q) const;
+
     bool
     operator==(const HistogramValue &) const = default;
 };

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/Span.hh"
+
 namespace hth::obs
 {
 
@@ -69,6 +71,7 @@ PhaseProfiler::stop()
     uint64_t elapsed = now - lastNs_;
     acc_.ns[static_cast<size_t>(current_)] += elapsed;
     acc_.totalNs += elapsed;
+    emitSpan(current_, lastNs_, now);
     running_ = false;
 }
 
@@ -84,6 +87,7 @@ PhaseProfiler::switchTo(Phase phase)
     uint64_t elapsed = now - lastNs_;
     acc_.ns[static_cast<size_t>(previous)] += elapsed;
     acc_.totalNs += elapsed;
+    emitSpan(previous, lastNs_, now);
     lastNs_ = now;
     current_ = phase;
     ++acc_.entries[static_cast<size_t>(phase)];
@@ -100,6 +104,14 @@ PhaseProfiler::breakdown() const
         out.totalNs += elapsed;
     }
     return out;
+}
+
+void
+PhaseProfiler::emitSpan(Phase phase, uint64_t begin_ns,
+                        uint64_t end_ns)
+{
+    if (spanSink_)
+        spanSink_->record(spanIdOfPhase(phase), begin_ns, end_ns);
 }
 
 void

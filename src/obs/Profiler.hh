@@ -33,6 +33,8 @@
 namespace hth::obs
 {
 
+class SpanTracer;
+
 /** Where a monitored run spends its time. */
 enum class Phase : uint8_t
 {
@@ -104,13 +106,24 @@ class PhaseProfiler
 
     void reset();
 
+    /**
+     * Mirror every closed phase segment into @p sink as a span.
+     * The profiler already read the clock at both ends of the
+     * segment, so span emission adds no clock reads — phase lanes
+     * come for free at transition granularity. Null disables.
+     */
+    void setSpanSink(SpanTracer *sink) { spanSink_ = sink; }
+
   private:
     static uint64_t nowNs();
+
+    void emitSpan(Phase phase, uint64_t begin_ns, uint64_t end_ns);
 
     PhaseBreakdown acc_;
     uint64_t lastNs_ = 0;
     Phase current_ = Phase::Other;
     bool running_ = false;
+    SpanTracer *spanSink_ = nullptr;
 };
 
 /**

@@ -1,0 +1,251 @@
+#include "obs/Provenance.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/StatsSink.hh"
+
+namespace hth::obs
+{
+
+const std::string *
+ProvNode::attr(const std::string &key) const
+{
+    for (const auto &[k, v] : attrs)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+ProvNode &
+ProvenanceGraph::node(const std::string &id, const std::string &kind)
+{
+    auto it = nodeIndex_.find(id);
+    if (it != nodeIndex_.end())
+        return nodes_[it->second];
+    nodeIndex_.emplace(id, nodes_.size());
+    nodes_.push_back({id, kind, {}});
+    return nodes_.back();
+}
+
+void
+ProvenanceGraph::attr(ProvNode &node, const std::string &key,
+                      const std::string &value)
+{
+    if (!node.attr(key))
+        node.attrs.emplace_back(key, value);
+}
+
+void
+ProvenanceGraph::edge(const std::string &from, const std::string &to,
+                      const std::string &label)
+{
+    std::string key = from + "\x1f" + to + "\x1f" + label;
+    if (!edgeKeys_.insert(std::move(key)).second)
+        return;
+    edges_.push_back({from, to, label});
+}
+
+bool
+ProvenanceGraph::hasNode(const std::string &id) const
+{
+    return nodeIndex_.count(id) != 0;
+}
+
+const ProvNode *
+ProvenanceGraph::findNode(const std::string &id) const
+{
+    auto it = nodeIndex_.find(id);
+    return it == nodeIndex_.end() ? nullptr : &nodes_[it->second];
+}
+
+void
+ProvenanceGraph::writeJson(std::ostream &out) const
+{
+    out << "{\"nodes\":[";
+    bool first = true;
+    for (const ProvNode &n : nodes_) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n{\"id\":\"" << jsonEscape(n.id)
+            << "\",\"kind\":\"" << jsonEscape(n.kind)
+            << "\",\"attrs\":{";
+        bool firstAttr = true;
+        for (const auto &[k, v] : n.attrs) {
+            if (!firstAttr)
+                out << ",";
+            firstAttr = false;
+            out << "\"" << jsonEscape(k) << "\":\"" << jsonEscape(v)
+                << "\"";
+        }
+        out << "}}";
+    }
+    out << "\n],\"edges\":[";
+    first = true;
+    for (const ProvEdge &e : edges_) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n{\"from\":\"" << jsonEscape(e.from)
+            << "\",\"to\":\"" << jsonEscape(e.to)
+            << "\",\"label\":\"" << jsonEscape(e.label) << "\"}";
+    }
+    out << "\n],\"flight\":[";
+    first = true;
+    for (const std::string &line : flight) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n\"" << jsonEscape(line) << "\"";
+    }
+    out << "\n]}\n";
+}
+
+std::string
+ProvenanceGraph::toJson() const
+{
+    std::ostringstream out;
+    writeJson(out);
+    return out.str();
+}
+
+namespace
+{
+
+/** DOT double-quoted string (escape backslash and quote only). */
+std::string
+dotEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** One-line human summary of a node, for chains and DOT labels. */
+std::string
+nodeSummary(const ProvNode &n)
+{
+    auto get = [&](const char *key) {
+        const std::string *v = n.attr(key);
+        return v ? *v : std::string();
+    };
+    if (n.kind == "warning")
+        return "[" + get("severity") + "] " + get("rule") + ": " +
+               get("message");
+    if (n.kind == "fire")
+        return "rule " + get("rule") + " fired";
+    if (n.kind == "fact")
+        return get("template") + " fact " + get("fact");
+    if (n.kind == "event") {
+        std::string s = get("syscall");
+        const std::string direction = get("direction");
+        const std::string resource = get("resource");
+        const std::string source = get("source");
+        if (!direction.empty()) {
+            s += ' ';
+            s += direction;
+        }
+        if (!resource.empty()) {
+            s += ' ';
+            s += resource;
+        } else if (!source.empty()) {
+            s += ' ';
+            s += source;
+            s += " -> ";
+            s += get("target");
+        }
+        return s;
+    }
+    if (n.kind == "origin")
+        return get("class") + " origin " + get("type") + " " +
+               get("name");
+    if (n.kind == "finding")
+        return "static " + get("kind") + " in " + get("image") +
+               " @" + get("address");
+    if (n.kind == "anomaly")
+        return "anomaly score " + get("score") + " vs baseline " +
+               get("baseline");
+    return n.id;
+}
+
+} // namespace
+
+std::string
+ProvenanceGraph::toDot() const
+{
+    std::ostringstream out;
+    out << "digraph provenance {\n"
+        << "  rankdir=LR;\n"
+        << "  node [shape=box, fontname=\"monospace\"];\n";
+    for (const ProvNode &n : nodes_)
+        out << "  \"" << dotEscape(n.id) << "\" [label=\""
+            << dotEscape(n.kind + "\n" + nodeSummary(n)) << "\"];\n";
+    for (const ProvEdge &e : edges_)
+        out << "  \"" << dotEscape(e.from) << "\" -> \""
+            << dotEscape(e.to) << "\" [label=\""
+            << dotEscape(e.label) << "\"];\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+ProvenanceGraph::renderChains() const
+{
+    // Adjacency in edge insertion order; chains are tiny, a linear
+    // scan per node would also do.
+    std::unordered_map<std::string, std::vector<const ProvEdge *>>
+        adj;
+    for (const ProvEdge &e : edges_)
+        adj[e.from].push_back(&e);
+
+    std::ostringstream out;
+    std::vector<std::string> path;   //!< cycle guard
+    auto walk = [&](auto &&self, const std::string &id,
+                    size_t depth) -> void {
+        const ProvNode *n = findNode(id);
+        if (!n)
+            return;
+        for (const std::string &seen : path)
+            if (seen == id)
+                return;
+        path.push_back(id);
+        auto it = adj.find(id);
+        if (it != adj.end()) {
+            for (const ProvEdge *e : it->second) {
+                const ProvNode *to = findNode(e->to);
+                if (!to)
+                    continue;
+                out << std::string(2 * (depth + 1), ' ') << e->label
+                    << ": " << nodeSummary(*to) << "\n";
+                self(self, e->to, depth + 1);
+            }
+        }
+        path.pop_back();
+    };
+
+    for (const ProvNode &n : nodes_) {
+        if (n.kind != "warning")
+            continue;
+        out << nodeSummary(n) << "\n";
+        walk(walk, n.id, 0);
+    }
+    if (!flight.empty()) {
+        out << "flight recorder (last " << flight.size()
+            << " entries):\n";
+        for (const std::string &line : flight)
+            out << "  " << line << "\n";
+    }
+    return out.str();
+}
+
+} // namespace hth::obs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Verdict provenance graph: the evidence chain behind each warning,
+ * as a first-class, serialisable artifact.
+ *
+ * The paper's pitch is that HTH can *explain* a verdict — tainted
+ * origins flow through syscalls into rule fires — but at report time
+ * that chain used to be scattered: the Warning had a message string,
+ * the CLIPS fire trace had fact ids, the facts had origin multislots
+ * and the static findings sat in their own list. A ProvenanceGraph
+ * ties them together:
+ *
+ *     warning --fired_by--> fire --matched--> fact
+ *       fact --describes--> event --*_origin--> origin
+ *       fact --describes--> finding | anomaly
+ *
+ * Nodes and edges keep insertion order (deterministic output for
+ * identical runs) and deduplicate by id, so two warnings sharing an
+ * origin converge on one origin node. The graph renders as JSON (for
+ * tools), DOT (for graphviz) and indented text chains (for
+ * `hthd --explain`).
+ *
+ * This type is pure data + rendering: assembly lives in
+ * secpert::Secpert::buildProvenance(), which owns the fact store.
+ */
+
+#ifndef HTH_OBS_PROVENANCE_HH
+#define HTH_OBS_PROVENANCE_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace hth::obs
+{
+
+/** One evidence node. Attrs keep insertion order, first set wins. */
+struct ProvNode
+{
+    std::string id;     //!< unique, e.g. "warning:0", "origin:SOCKET:pc2"
+    std::string kind;   //!< "warning", "fire", "fact", "event",
+                        //!< "origin", "finding", "anomaly"
+    std::vector<std::pair<std::string, std::string>> attrs;
+
+    const std::string *attr(const std::string &key) const;
+
+    bool operator==(const ProvNode &) const = default;
+};
+
+/** One directed evidence edge, from explanandum to evidence. */
+struct ProvEdge
+{
+    std::string from;
+    std::string to;
+    std::string label;
+
+    bool operator==(const ProvEdge &) const = default;
+};
+
+class ProvenanceGraph
+{
+  public:
+    /** Get-or-create @p id; kind is set on first creation. The
+     * reference is stable for the graph's lifetime (deque store). */
+    ProvNode &node(const std::string &id, const std::string &kind);
+
+    /** Set @p key on @p node unless already present. */
+    static void attr(ProvNode &node, const std::string &key,
+                     const std::string &value);
+
+    /** Add an edge; exact duplicates are dropped. */
+    void edge(const std::string &from, const std::string &to,
+              const std::string &label);
+
+    bool hasNode(const std::string &id) const;
+    const ProvNode *findNode(const std::string &id) const;
+
+    const std::deque<ProvNode> &nodes() const { return nodes_; }
+    const std::vector<ProvEdge> &edges() const { return edges_; }
+
+    bool empty() const { return nodes_.empty(); }
+
+    /**
+     * Flight-recorder window attached when the verdict was High (or
+     * the worker faulted); empty otherwise. Rides along in the JSON
+     * dump so one artifact holds the whole post-mortem.
+     */
+    std::vector<std::string> flight;
+
+    /**
+     * Single JSON object:
+     *   {"nodes":[{"id":..,"kind":..,"attrs":{..}},...],
+     *    "edges":[{"from":..,"to":..,"label":..},...],
+     *    "flight":[...]}
+     */
+    std::string toJson() const;
+    void writeJson(std::ostream &out) const;
+
+    /** Graphviz digraph, one node/edge per line, insertion order. */
+    std::string toDot() const;
+
+    /**
+     * Indented text chains for humans: one block per warning node,
+     * depth-first along the edges, each line "<label>: <summary>".
+     * Shared evidence is printed again per chain (chains are short);
+     * cycles are cut.
+     */
+    std::string renderChains() const;
+
+    bool operator==(const ProvenanceGraph &other) const
+    {
+        return nodes_ == other.nodes_ && edges_ == other.edges_ &&
+               flight == other.flight;
+    }
+
+  private:
+    std::deque<ProvNode> nodes_;
+    std::vector<ProvEdge> edges_;
+    std::unordered_map<std::string, size_t> nodeIndex_;
+    std::unordered_set<std::string> edgeKeys_;
+};
+
+} // namespace hth::obs
+
+#endif // HTH_OBS_PROVENANCE_HH

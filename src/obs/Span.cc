@@ -1,0 +1,159 @@
+#include "obs/Span.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "obs/StatsSink.hh"
+
+namespace hth::obs
+{
+
+const char *
+spanName(SpanId id)
+{
+    switch (id) {
+    case SpanId::Setup: return "setup";
+    case SpanId::VmExecute: return "vm_execute";
+    case SpanId::TaintOps: return "taint_ops";
+    case SpanId::Kernel: return "kernel";
+    case SpanId::EventDispatch: return "event_dispatch";
+    case SpanId::ClipsMatch: return "clips_match";
+    case SpanId::ClipsFire: return "clips_fire";
+    case SpanId::StaticAnalysis: return "static_analysis";
+    case SpanId::Other: return "other";
+    case SpanId::Monitor: return "monitor";
+    case SpanId::ImageLoad: return "image_load";
+    case SpanId::ImageAnalysis: return "image_analysis";
+    case SpanId::SuperblockForm: return "superblock_form";
+    case SpanId::ClipsPump: return "clips_pump";
+    case SpanId::AnomalyScore: return "anomaly_score";
+    }
+    return "?";
+}
+
+SpanTracer::SpanTracer(size_t capacity)
+    : ring_(std::max<size_t>(1, capacity))
+{
+}
+
+uint64_t
+SpanTracer::nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+SpanTracer::record(SpanId id, uint64_t begin_ns, uint64_t end_ns)
+{
+    ring_[head_] = {begin_ns, end_ns, id};
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    ++recorded_;
+}
+
+std::vector<SpanRecord>
+SpanTracer::snapshot() const
+{
+    std::vector<SpanRecord> out;
+    size_t live = std::min<uint64_t>(recorded_, ring_.size());
+    out.reserve(live);
+    // Oldest live record: head_ when wrapped, index 0 otherwise.
+    size_t start = recorded_ > ring_.size() ? head_ : 0;
+    for (size_t i = 0; i < live; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+void
+SpanTracer::reset()
+{
+    head_ = 0;
+    recorded_ = 0;
+}
+
+namespace
+{
+
+/** Microseconds with sub-µs precision, as trace_event wants. */
+std::string
+fmtUs(uint64_t ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  (unsigned long long)(ns / 1000),
+                  (unsigned long long)(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+void
+writeTraceJson(const std::vector<SpanLane> &lanes, std::ostream &out)
+{
+    uint64_t epoch = std::numeric_limits<uint64_t>::max();
+    for (const SpanLane &lane : lanes)
+        for (const SpanRecord &s : lane.spans)
+            epoch = std::min(epoch, s.beginNs);
+    if (epoch == std::numeric_limits<uint64_t>::max())
+        epoch = 0;
+
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n";
+    };
+    for (const SpanLane &lane : lanes) {
+        if (!lane.processName.empty()) {
+            sep();
+            out << "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0"
+                << ",\"pid\":" << lane.pid << ",\"tid\":" << lane.tid
+                << ",\"args\":{\"name\":\""
+                << jsonEscape(lane.processName) << "\"}}";
+        }
+        if (!lane.threadName.empty()) {
+            sep();
+            out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0"
+                << ",\"pid\":" << lane.pid << ",\"tid\":" << lane.tid
+                << ",\"args\":{\"name\":\""
+                << jsonEscape(lane.threadName) << "\"}}";
+        }
+        for (const SpanRecord &s : lane.spans) {
+            sep();
+            uint64_t dur =
+                s.endNs > s.beginNs ? s.endNs - s.beginNs : 0;
+            out << "{\"name\":\"" << spanName(s.id)
+                << "\",\"cat\":\"hth\",\"ph\":\"X\",\"ts\":"
+                << fmtUs(s.beginNs - epoch) << ",\"dur\":"
+                << fmtUs(dur) << ",\"pid\":" << lane.pid
+                << ",\"tid\":" << lane.tid << "}";
+        }
+        if (lane.dropped) {
+            // An instant event marks truncation so a reader of the
+            // timeline knows the lane's left edge is not t=0.
+            sep();
+            out << "{\"name\":\"spans_dropped\",\"cat\":\"hth\","
+                << "\"ph\":\"i\",\"s\":\"t\",\"ts\":0,\"pid\":"
+                << lane.pid << ",\"tid\":" << lane.tid
+                << ",\"args\":{\"count\":" << lane.dropped << "}}";
+        }
+    }
+    out << "\n]}\n";
+}
+
+std::string
+renderTraceJson(const std::vector<SpanLane> &lanes)
+{
+    std::ostringstream out;
+    writeTraceJson(lanes, out);
+    return out.str();
+}
+
+} // namespace hth::obs

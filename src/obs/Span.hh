@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Span tracer: a bounded ring of begin/end time records giving a
+ * monitored run a *timeline*, where the PhaseProfiler gives it a
+ * *budget*.
+ *
+ * Design constraints, in order:
+ *
+ *  1. Low overhead. A SpanTracer is a preallocated fixed-capacity
+ *     ring of plain 24-byte records; record() is an index increment
+ *     and a struct store, no heap, no locks. When the profiler is the
+ *     span source no extra clock reads happen at all — the profiler
+ *     already read the clock at the phase transition and hands both
+ *     timestamps over.
+ *
+ *  2. Single-threaded by construction. Each Hth instance owns one
+ *     tracer and each monitored run executes on one thread (the
+ *     fleet gives every worker its own Hth), so the ring needs no
+ *     synchronisation and stays tsan-clean.
+ *
+ *  3. Standard output format. Lanes export as Chrome/Perfetto
+ *     `trace_event` JSON ("X" complete events plus "M" metadata), so
+ *     a fleet trace opens directly in chrome://tracing or
+ *     ui.perfetto.dev with one pid/tid lane per session/worker.
+ *
+ * Span ids borrow the PhaseProfiler phases (same order, so the
+ * conversion is a cast) and add fine-grained ids for the operations
+ * the phases are too coarse to show: image loading, static analysis
+ * of one image, superblock formation, one CLIPS pump, anomaly
+ * scoring, and the whole monitor() call.
+ */
+
+#ifndef HTH_OBS_SPAN_HH
+#define HTH_OBS_SPAN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/Profiler.hh"
+
+namespace hth::obs
+{
+
+/** What a span measures. The first PHASE_COUNT values mirror Phase. */
+enum class SpanId : uint8_t
+{
+    Setup,          //!< Phase::Setup
+    VmExecute,      //!< Phase::VmExecute
+    TaintOps,       //!< Phase::TaintOps
+    Kernel,         //!< Phase::Kernel
+    EventDispatch,  //!< Phase::EventDispatch
+    ClipsMatch,     //!< Phase::ClipsMatch
+    ClipsFire,      //!< Phase::ClipsFire
+    StaticAnalysis, //!< Phase::StaticAnalysis
+    Other,          //!< Phase::Other
+
+    Monitor,        //!< one whole Hth::monitor() call
+    ImageLoad,      //!< kernel mapping a process's images
+    ImageAnalysis,  //!< static pre-screening of one image
+    SuperblockForm, //!< VM chaining one superblock
+    ClipsPump,      //!< one Secpert event -> assert + run + retract
+    AnomalyScore,   //!< scoring telemetry against a baseline
+};
+
+inline constexpr size_t SPAN_ID_COUNT = 15;
+
+/** Stable lower_snake name, e.g. "clips_pump". */
+const char *spanName(SpanId id);
+
+/** Phases map onto the identically-ordered leading SpanId values. */
+constexpr SpanId
+spanIdOfPhase(Phase phase)
+{
+    return static_cast<SpanId>(static_cast<uint8_t>(phase));
+}
+
+/** One closed span. Times are steady-clock nanoseconds. */
+struct SpanRecord
+{
+    uint64_t beginNs = 0;
+    uint64_t endNs = 0;
+    SpanId id = SpanId::Other;
+
+    bool operator==(const SpanRecord &) const = default;
+};
+
+/**
+ * Bounded ring of SpanRecords. Capacity is fixed at construction;
+ * once full, the oldest record is overwritten and counted as
+ * dropped — tracing never allocates after construction and never
+ * stops the run.
+ */
+class SpanTracer
+{
+  public:
+    static constexpr size_t DEFAULT_CAPACITY = 4096;
+
+    explicit SpanTracer(size_t capacity = DEFAULT_CAPACITY);
+
+    /** Steady-clock nanoseconds, same epoch as PhaseProfiler. */
+    static uint64_t nowNs();
+
+    /** Append a closed span (overwrites the oldest when full). */
+    void record(SpanId id, uint64_t begin_ns, uint64_t end_ns);
+
+    size_t capacity() const { return ring_.size(); }
+
+    /** Total record() calls since construction / reset(). */
+    uint64_t recorded() const { return recorded_; }
+
+    /** Records overwritten because the ring was full. */
+    uint64_t
+    dropped() const
+    {
+        return recorded_ > ring_.size() ? recorded_ - ring_.size()
+                                        : 0;
+    }
+
+    /** Live records, oldest first (ring order == time order). */
+    std::vector<SpanRecord> snapshot() const;
+
+    void reset();
+
+  private:
+    std::vector<SpanRecord> ring_;
+    size_t head_ = 0;           //!< next write position
+    uint64_t recorded_ = 0;
+};
+
+/**
+ * RAII span guard. Null tracer => no-op (two pointer tests), the
+ * same contract as PhaseScope.
+ */
+class SpanScope
+{
+  public:
+    SpanScope(SpanTracer *tracer, SpanId id)
+        : tracer_(tracer), id_(id)
+    {
+        if (tracer_)
+            beginNs_ = SpanTracer::nowNs();
+    }
+
+    ~SpanScope()
+    {
+        if (tracer_)
+            tracer_->record(id_, beginNs_, SpanTracer::nowNs());
+    }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+  private:
+    SpanTracer *tracer_;
+    SpanId id_;
+    uint64_t beginNs_ = 0;
+};
+
+/**
+ * One exported timeline lane: a (pid, tid) pair in the Chrome trace
+ * model. Fleet exports use pid = session, tid = worker.
+ */
+struct SpanLane
+{
+    int pid = 1;
+    int tid = 1;
+    std::string processName;
+    std::string threadName;
+    std::vector<SpanRecord> spans;
+    uint64_t dropped = 0;
+};
+
+/**
+ * Chrome/Perfetto `trace_event` JSON for @p lanes: one "M" metadata
+ * pair per lane naming the process/thread, then one "X" complete
+ * event per span. Timestamps are microseconds rebased to the
+ * earliest span across all lanes, so the trace starts at t=0.
+ */
+std::string renderTraceJson(const std::vector<SpanLane> &lanes);
+
+void writeTraceJson(const std::vector<SpanLane> &lanes,
+                    std::ostream &out);
+
+} // namespace hth::obs
+
+#endif // HTH_OBS_SPAN_HH

@@ -122,7 +122,11 @@ writeJsonLines(const RunTelemetry &telemetry, std::ostream &out)
     for (const auto &[name, value] : telemetry.metrics.histograms) {
         out << "{\"type\":\"histogram\",\"name\":\""
             << jsonEscape(name) << "\",\"count\":" << value.count
-            << ",\"sum\":" << value.sum << ",\"buckets\":[";
+            << ",\"sum\":" << value.sum
+            << ",\"p50\":" << value.percentile(0.50)
+            << ",\"p95\":" << value.percentile(0.95)
+            << ",\"p99\":" << value.percentile(0.99)
+            << ",\"buckets\":[";
         bool first = true;
         for (const auto &[le, n] : value.buckets) {
             if (!first)

@@ -28,7 +28,7 @@ std::string renderText(const RunTelemetry &telemetry);
  *   {"type":"counter","name":"os.syscalls","value":N}
  *   {"type":"gauge","name":"fleet.queue_depth","value":N,"max":N}
  *   {"type":"histogram","name":...,"count":N,"sum":N,
- *    "buckets":[[le,count],...]}
+ *    "p50":N,"p95":N,"p99":N,"buckets":[[le,count],...]}
  */
 std::string renderJsonLines(const RunTelemetry &telemetry);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/Span.hh"
 #include "support/Logging.hh"
 #include "support/StrUtil.hh"
 
@@ -108,6 +109,7 @@ void
 Kernel::loadProcessImages(Process &p, const std::string &path,
                           std::shared_ptr<const vm::Image> binary)
 {
+    obs::SpanScope span(spanTracer_, obs::SpanId::ImageLoad);
     for (const auto &so : sharedObjects_) {
         ResourceId res = resources_.add(SourceType::Binary, so->path,
                                         TagStore::EMPTY);
@@ -188,6 +190,7 @@ Kernel::spawn(const std::string &path,
     proc->machine.setTaintTracking(trackTaint_);
     proc->machine.setSuperblocks(superblocks_);
     proc->machine.setInstrumentor(instrumentor_);
+    proc->machine.setSpanTracer(spanTracer_);
     setupStdio(*proc);
     loadProcessImages(*proc, path, node->binary);
     buildInitialStack(*proc, argv, env);

@@ -142,6 +142,13 @@ class Kernel
         profiler_ = profiler;
     }
 
+    /** Record image_load / superblock_form spans (propagated to
+     * every spawned machine; null detaches for future spawns). */
+    void setSpanTracer(obs::SpanTracer *tracer)
+    {
+        spanTracer_ = tracer;
+    }
+
     /** @} */
     /** @name Queries and services for the monitor / natives @{ */
 
@@ -238,6 +245,7 @@ class Kernel
 
     KernelStats stats_;
     obs::PhaseProfiler *profiler_ = nullptr;
+    obs::SpanTracer *spanTracer_ = nullptr;
 };
 
 } // namespace hth::os

@@ -1,5 +1,7 @@
 #include "secpert/Secpert.hh"
 
+#include "obs/Flight.hh"
+#include "obs/Span.hh"
 #include "support/Logging.hh"
 
 namespace hth::secpert
@@ -144,6 +146,28 @@ Secpert::installNatives()
                     return Value::boolean(false);
                 }
             }
+            if (flight_)
+                flight_->note(lastEventTime_, 'W',
+                              std::string(severityName(w.severity)) +
+                                  " " + w.rule + ": " + w.message);
+            // The engine pushes the FireRecord before evaluating the
+            // RHS, so while hth-warn runs the last trace entry IS the
+            // firing that raised this warning — remember it so
+            // buildProvenance() can walk warning -> fire -> facts.
+            warningFires_.push_back(env_.fireTrace().empty()
+                                        ? SIZE_MAX
+                                        : env_.fireTrace().size() - 1);
+            // Copy the matched facts while they are still live:
+            // retract() releases slot storage, so by report time the
+            // fire's evidence would be unreadable.
+            std::vector<clips::Fact> snapshot;
+            if (!env_.fireTrace().empty()) {
+                for (clips::FactId id :
+                     env_.fireTrace().back().facts)
+                    if (const clips::Fact *f = env_.fact(id))
+                        snapshot.push_back(*f);
+            }
+            warningFacts_.push_back(std::move(snapshot));
             warnings_.push_back(std::move(w));
             return Value::boolean(true);
         });
@@ -172,8 +196,15 @@ Secpert::originTypes(const std::vector<OriginRef> &origins)
 void
 Secpert::runEngine()
 {
+    obs::SpanScope pump(spanTracer_, obs::SpanId::ClipsPump);
     ++stats_.eventsAnalyzed;
     stats_.rulesFired += (uint64_t)env_.run();
+    if (flight_) {
+        const auto &trace = env_.fireTrace();
+        for (; flightFireMark_ < trace.size(); ++flightFireMark_)
+            flight_->note(lastEventTime_, 'F',
+                          trace[flightFireMark_].rule);
+    }
     // Events are one-shot: drop whatever the rules did not consume.
     for (const char *tmpl :
          {"system_call_access", "system_call_io", "resolution"}) {
@@ -240,6 +271,10 @@ Secpert::onStaticFinding(const harrier::StaticFindingEvent &ev)
 void
 Secpert::onResourceAccess(const harrier::ResourceAccessEvent &ev)
 {
+    lastEventTime_ = ev.ctx.absTime;
+    if (flight_)
+        flight_->note(ev.ctx.absTime, 'E',
+                      ev.syscall + " " + ev.resName);
     env_.assertFact(
         "system_call_access",
         {
@@ -265,6 +300,12 @@ Secpert::onResourceAccess(const harrier::ResourceAccessEvent &ev)
 void
 Secpert::onResourceIo(const harrier::ResourceIoEvent &ev)
 {
+    lastEventTime_ = ev.ctx.absTime;
+    if (flight_)
+        flight_->note(ev.ctx.absTime, 'E',
+                      ev.syscall +
+                          (ev.isWrite ? " WRITE " : " READ ") +
+                          ev.source.name + " -> " + ev.targetName);
     env_.assertFact(
         "system_call_io",
         {
@@ -305,6 +346,10 @@ void
 Secpert::noteAnomaly(const std::string &run,
                      const anomaly::AnomalyScore &score)
 {
+    if (flight_)
+        flight_->note(lastEventTime_, 'A',
+                      run + " score " +
+                          std::to_string(score.aggregate));
     env_.assertFact(
         "behavioral_anomaly",
         {
@@ -363,10 +408,179 @@ Secpert::importMemory(const std::string &fact_text)
     }
 }
 
+obs::ProvenanceGraph
+Secpert::buildProvenance() const
+{
+    obs::ProvenanceGraph graph;
+    const std::vector<clips::FireRecord> &trace = env_.fireTrace();
+    for (size_t i = 0; i < warnings_.size(); ++i) {
+        const Warning &w = warnings_[i];
+        std::string wid = "warning:" + std::to_string(i);
+        obs::ProvNode &wn = graph.node(wid, "warning");
+        obs::ProvenanceGraph::attr(wn, "severity",
+                                   severityName(w.severity));
+        obs::ProvenanceGraph::attr(wn, "rule", w.rule);
+        obs::ProvenanceGraph::attr(wn, "pid",
+                                   std::to_string(w.pid));
+        obs::ProvenanceGraph::attr(wn, "message", w.message);
+
+        size_t fi =
+            i < warningFires_.size() ? warningFires_[i] : SIZE_MAX;
+        if (fi >= trace.size())
+            continue;   // raised outside a fire (direct eval)
+        const clips::FireRecord &fire = trace[fi];
+        std::string fid = "fire:" + std::to_string(fi);
+        obs::ProvNode &fn = graph.node(fid, "fire");
+        obs::ProvenanceGraph::attr(fn, "rule", fire.rule);
+        graph.edge(wid, fid, "fired_by");
+
+        const std::vector<clips::Fact> *snapshot =
+            i < warningFacts_.size() ? &warningFacts_[i] : nullptr;
+        for (clips::FactId factId : fire.facts) {
+            std::string nid = "fact:" + std::to_string(factId);
+            const clips::Fact *f = env_.fact(factId);
+            if (!f && snapshot) {
+                // Retracted since the warning fired: fall back to
+                // the copy taken while the RHS ran.
+                for (const clips::Fact &s : *snapshot)
+                    if (s.id == factId) {
+                        f = &s;
+                        break;
+                    }
+            }
+            obs::ProvNode &fact = graph.node(nid, "fact");
+            obs::ProvenanceGraph::attr(fact, "fact",
+                                       std::to_string(factId));
+            if (f) {
+                obs::ProvenanceGraph::attr(fact, "template",
+                                           f->tmpl->name);
+                obs::ProvenanceGraph::attr(fact, "text",
+                                           f->toString());
+            }
+            graph.edge(fid, nid, "matched");
+            if (f)
+                provenanceFromFact(graph, nid, *f);
+        }
+    }
+    return graph;
+}
+
+void
+Secpert::provenanceFromFact(obs::ProvenanceGraph &graph,
+                            const std::string &fact_node_id,
+                            const clips::Fact &f) const
+{
+    using Graph = obs::ProvenanceGraph;
+    const std::string &tmpl = f.tmpl->name;
+    auto text = [&](const char *slot) { return f.slot(slot).text(); };
+    auto num = [&](const char *slot) {
+        return std::to_string(f.slot(slot).intValue());
+    };
+    // Parallel origin multislots -> one origin node per entry.
+    // SOCKET-typed provenance is classed REMOTE: the name or the
+    // bytes came off the network; everything else is LOCAL.
+    auto origins = [&](const std::string &from,
+                       const char *name_slot, const char *type_slot,
+                       const char *label) {
+        const auto &names = f.slot(name_slot).items();
+        const auto &types = f.slot(type_slot).items();
+        for (size_t i = 0; i < names.size() && i < types.size();
+             ++i) {
+            const std::string &type = types[i].text();
+            const std::string &name = names[i].text();
+            std::string oid = "origin:" + type + ":" + name;
+            obs::ProvNode &on = graph.node(oid, "origin");
+            Graph::attr(on, "type", type);
+            Graph::attr(on, "name", name);
+            Graph::attr(on, "class",
+                        type == "SOCKET" ? "REMOTE" : "LOCAL");
+            graph.edge(from, oid, label);
+        }
+    };
+
+    if (tmpl == "system_call_access") {
+        std::string eid = "event:" + std::to_string(f.id);
+        obs::ProvNode &en = graph.node(eid, "event");
+        Graph::attr(en, "syscall", text("system_call_name"));
+        Graph::attr(en, "resource", text("resource_name"));
+        Graph::attr(en, "resource_type", text("resource_type"));
+        Graph::attr(en, "pid", num("pid"));
+        Graph::attr(en, "time", num("abs_time"));
+        graph.edge(fact_node_id, eid, "describes");
+        origins(eid, "resource_origin_name", "resource_origin_type",
+                "resource_origin");
+    } else if (tmpl == "system_call_io") {
+        std::string eid = "event:" + std::to_string(f.id);
+        obs::ProvNode &en = graph.node(eid, "event");
+        Graph::attr(en, "syscall", text("system_call_name"));
+        Graph::attr(en, "direction", text("direction"));
+        Graph::attr(en, "source", text("source_name"));
+        Graph::attr(en, "source_type", text("source_type"));
+        Graph::attr(en, "target", text("target_name"));
+        Graph::attr(en, "target_type", text("target_type"));
+        if (f.slot("via_server").truthy())
+            Graph::attr(en, "server", text("server_name"));
+        Graph::attr(en, "pid", num("pid"));
+        Graph::attr(en, "time", num("abs_time"));
+        graph.edge(fact_node_id, eid, "describes");
+        // The endpoints themselves are origins too: a READ from a
+        // socket makes that socket the provenance of the bytes even
+        // before taint tracking labels them, and it is the node the
+        // REMOTE class hangs off for verdicts like pma's.
+        auto endpoint = [&](const char *name_slot,
+                            const char *type_slot,
+                            const char *label) {
+            const std::string &type = f.slot(type_slot).text();
+            const std::string &name = f.slot(name_slot).text();
+            if (name.empty() || type.empty() || type == "NONE")
+                return;
+            std::string oid = "origin:" + type + ":" + name;
+            obs::ProvNode &on = graph.node(oid, "origin");
+            Graph::attr(on, "type", type);
+            Graph::attr(on, "name", name);
+            Graph::attr(on, "class",
+                        type == "SOCKET" ? "REMOTE" : "LOCAL");
+            graph.edge(eid, oid, label);
+        };
+        endpoint("source_name", "source_type", "source_origin");
+        endpoint("target_name", "target_type", "target_origin");
+        origins(eid, "source_origin_name", "source_origin_type",
+                "source_origin");
+        origins(eid, "target_origin_name", "target_origin_type",
+                "target_origin");
+        origins(eid, "server_origin_name", "server_origin_type",
+                "server_origin");
+    } else if (tmpl == "static_finding") {
+        std::string sid = "finding:" + text("image") + ":" +
+                          text("kind") + ":" + num("address");
+        obs::ProvNode &sn = graph.node(sid, "finding");
+        Graph::attr(sn, "image", text("image"));
+        Graph::attr(sn, "kind", text("kind"));
+        Graph::attr(sn, "level", num("level"));
+        Graph::attr(sn, "address", num("address"));
+        Graph::attr(sn, "syscall", text("syscall"));
+        Graph::attr(sn, "resource", text("resource"));
+        Graph::attr(sn, "detail", text("detail"));
+        Graph::attr(sn, "witness", text("witness"));
+        graph.edge(fact_node_id, sid, "describes");
+    } else if (tmpl == "behavioral_anomaly") {
+        std::string aid = "anomaly:" + text("run");
+        obs::ProvNode &an = graph.node(aid, "anomaly");
+        Graph::attr(an, "run", text("run"));
+        Graph::attr(an, "baseline", text("baseline"));
+        Graph::attr(an, "score",
+                    std::to_string(f.slot("score").floatValue()));
+        Graph::attr(an, "top", text("top"));
+        graph.edge(fact_node_id, aid, "describes");
+    }
+}
+
 void
 Secpert::reset()
 {
     warnings_.clear();
+    warningFires_.clear();
+    warningFacts_.clear();
     staticFindings_.clear();
     staticFindingKeys_.clear();
     out_.str("");

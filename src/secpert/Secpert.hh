@@ -21,8 +21,15 @@
 #include "anomaly/Scorer.hh"
 #include "clips/Environment.hh"
 #include "harrier/Event.hh"
+#include "obs/Provenance.hh"
 #include "secpert/Policy.hh"
 #include "secpert/Warning.hh"
+
+namespace hth::obs
+{
+class FlightRecorder;
+class SpanTracer;
+} // namespace hth::obs
 
 namespace hth::secpert
 {
@@ -93,6 +100,33 @@ class Secpert : public harrier::EventSink
         env_.setProfiler(profiler);
     }
 
+    /** Record a clips_pump span per analyzed event (null detaches). */
+    void setSpanTracer(obs::SpanTracer *tracer)
+    {
+        spanTracer_ = tracer;
+    }
+
+    /**
+     * Stream one-line notes about events ('E'), rule fires ('F'),
+     * warnings ('W') and anomalies ('A') into @p flight so a
+     * High-severity verdict or a worker fault can dump the last-N
+     * window. Null detaches.
+     */
+    void setFlightRecorder(obs::FlightRecorder *flight)
+    {
+        flight_ = flight;
+    }
+
+    /**
+     * Assemble the evidence graph behind every warning raised so
+     * far: warning -> recorded FireRecord -> matched facts ->
+     * the event / origin / static-finding / anomaly data the facts
+     * carry. Event facts are retracted after each pump but persist
+     * in the fact store with readable slots, so the chain is
+     * reconstructed exactly, not approximated.
+     */
+    obs::ProvenanceGraph buildProvenance() const;
+
     /** Load additional user rules into the policy. */
     void loadRules(const std::string &clips_source);
 
@@ -143,14 +177,34 @@ class Secpert : public harrier::EventSink
     bool trustedBinary(const std::string &name) const;
     bool trustedSocket(const std::string &name) const;
 
+    /** Expand one event fact into provenance event+origin nodes. */
+    void provenanceFromFact(obs::ProvenanceGraph &graph,
+                            const std::string &fact_node_id,
+                            const clips::Fact &fact) const;
+
     PolicyConfig config_;
     clips::Environment env_;
     std::ostringstream out_;
     std::vector<Warning> warnings_;
+    /** Per warning: index into env_.fireTrace() of the firing whose
+     * RHS raised it, or SIZE_MAX when raised outside a fire. */
+    std::vector<size_t> warningFires_;
+    /** Per warning: copies of the raising fire's matched facts,
+     * taken while the RHS runs. Event facts are retracted (slot
+     * storage released) after each pump, so warn time is the only
+     * moment the evidence is still readable. Warnings are rare, so
+     * the copies stay off the hot path. */
+    std::vector<std::vector<clips::Fact>> warningFacts_;
     std::vector<StaticFinding> staticFindings_;
     std::set<std::string> staticFindingKeys_;   //!< dedup
     std::vector<std::pair<std::string, std::string>> suppressions_;
     SecpertStats stats_;
+    obs::SpanTracer *spanTracer_ = nullptr;
+    obs::FlightRecorder *flight_ = nullptr;
+    /** fireTrace() entries already noted into the flight recorder. */
+    size_t flightFireMark_ = 0;
+    /** Virtual time of the event being pumped (flight timestamps). */
+    uint64_t lastEventTime_ = 0;
 };
 
 } // namespace hth::secpert

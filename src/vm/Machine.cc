@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/Span.hh"
 #include "support/Logging.hh"
 
 namespace hth::vm
@@ -580,6 +581,7 @@ Machine::finalizeTrace(bool loopBack)
     recording_ = false;
     if (recordPcs_.empty())
         return;
+    obs::SpanScope span(spanTracer_, obs::SpanId::SuperblockForm);
     auto entryIt = blockCache_.find(recordPcs_.front());
     if (entryIt == blockCache_.end())
         return;

@@ -30,6 +30,11 @@
 #include "vm/Memory.hh"
 #include "vm/Superblock.hh"
 
+namespace hth::obs
+{
+class SpanTracer;
+} // namespace hth::obs
+
 namespace hth::vm
 {
 
@@ -204,6 +209,12 @@ class Machine
      * toggle; observable behaviour is identical either way). */
     void setSuperblocks(bool on) { superblocks_ = on; }
     bool superblocksEnabled() const { return superblocks_; }
+
+    /** Record a superblock_form span per chained trace. */
+    void setSpanTracer(obs::SpanTracer *tracer)
+    {
+        spanTracer_ = tracer;
+    }
 
     /** True when superblock bodies dispatch via computed goto
      * (labels-as-values); false on the portable switch fallback. */
@@ -406,6 +417,7 @@ class Machine
     std::vector<uint32_t> recordPcs_;
 
     Instrumentor *instrumentor_ = nullptr;
+    obs::SpanTracer *spanTracer_ = nullptr;
     bool insnHook_ = false; //!< instrumentor_->wantsInstructions()
     MachineStats stats_;
 

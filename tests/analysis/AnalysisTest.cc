@@ -511,6 +511,48 @@ TEST(Lint, NegationOverEarlierBindingIsQuiet)
     EXPECT_TRUE(issues.empty()) << analysis::lintToString(issues);
 }
 
+TEST(Lint, HighSeverityWithoutEvidenceWarns)
+{
+    // A literal severity-3 warning from a rule that binds no slot
+    // variable leaves --explain with a bare warning node: the
+    // provenance walk has no facts to hang evidence off.
+    auto issues = analysis::lintPolicy(
+        "(defrule paranoid (alarm)\n"
+        " => (hth-warn 3 \"paranoid\" 0 \"the sky is falling\"))");
+    EXPECT_FALSE(analysis::hasLintErrors(issues))
+        << analysis::lintToString(issues);
+    bool warned = false;
+    for (const LintIssue &i : issues)
+        if (!i.isError() && i.construct == "paranoid" &&
+            i.message.find("provenance") != std::string::npos)
+            warned = true;
+    EXPECT_TRUE(warned) << analysis::lintToString(issues);
+}
+
+TEST(Lint, HighSeverityWithBoundSlotIsQuiet)
+{
+    auto issues = analysis::lintPolicy(
+        "(defrule grounded (alarm (pid ?pid))\n"
+        " => (hth-warn 3 \"grounded\" ?pid \"evidence attached\"))");
+    EXPECT_TRUE(issues.empty()) << analysis::lintToString(issues);
+}
+
+TEST(Lint, ForwardedSeverityIsQuiet)
+{
+    // Escalation plumbing computes or forwards its severity; the
+    // evidence lives with whoever bound it, not here.
+    auto issues = analysis::lintPolicy(
+        "(defrule forwarder (escalate (level ?w))\n"
+        " => (hth-warn ?w \"forwarder\" 0 \"pass through\"))");
+    EXPECT_TRUE(issues.empty()) << analysis::lintToString(issues);
+    // Even pattern-less forwarding stays quiet: the severity is not
+    // the literal 3 the check keys on.
+    auto issues2 = analysis::lintPolicy(
+        "(defrule lowsev (alarm)\n"
+        " => (hth-warn 2 \"lowsev\" 0 \"medium is fine\"))");
+    EXPECT_TRUE(issues2.empty()) << analysis::lintToString(issues2);
+}
+
 TEST(Lint, ShippedPolicyIsClean)
 {
     auto issues = analysis::lintPolicy(secpert::policyDeclarations() +

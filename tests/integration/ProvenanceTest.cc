@@ -1,0 +1,178 @@
+/**
+ * @file
+ * End-to-end provenance: run the pma backdoor scenario (§8.3.6) and
+ * walk the evidence graph behind its High verdict all the way from
+ * the rule fire to the socket-read event, the REMOTE origin and the
+ * MAGIC_GUARD static finding — then run it again and require the
+ * serialized graph to be byte-identical (the determinism contract
+ * `hthd --explain` relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/Provenance.hh"
+#include "obs/Span.hh"
+#include "support/Json.hh"
+#include "workloads/Exploits.hh"
+#include "workloads/Scenario.hh"
+
+using namespace hth;
+using namespace hth::workloads;
+
+namespace
+{
+
+Scenario
+pmaScenario()
+{
+    for (Scenario &s : exploitScenarios())
+        if (s.id == "pma")
+            return s;
+    ADD_FAILURE() << "pma scenario missing from exploit corpus";
+    return {};
+}
+
+HthOptions
+observedOptions()
+{
+    HthOptions options;
+    options.spanTrace = true;
+    return options;
+}
+
+/** Targets of @p label edges leaving @p from. */
+std::vector<const obs::ProvNode *>
+targets(const obs::ProvenanceGraph &g, const std::string &from,
+        const std::string &label)
+{
+    std::vector<const obs::ProvNode *> out;
+    for (const obs::ProvEdge &e : g.edges())
+        if (e.from == from && e.label == label)
+            if (const obs::ProvNode *n = g.findNode(e.to))
+                out.push_back(n);
+    return out;
+}
+
+bool
+attrEquals(const obs::ProvNode &n, const std::string &key,
+           const std::string &value)
+{
+    const std::string *a = n.attr(key);
+    return a && *a == value;
+}
+
+} // namespace
+
+TEST(Provenance, PmaHighVerdictCarriesFullEvidenceChain)
+{
+    Scenario pma = pmaScenario();
+    ScenarioResult result = runScenario(pma, observedOptions());
+
+    ASSERT_TRUE(result.report.flagged(secpert::Severity::High));
+    const obs::ProvenanceGraph &g = result.report.provenance;
+    ASSERT_FALSE(g.empty());
+
+    // warning(HIGH) --fired_by--> fire --matched--> fact
+    //   --describes--> event(READ from SOCKET)
+    //   --source_origin--> origin(class REMOTE)
+    bool chain = false;
+    for (const obs::ProvNode &w : g.nodes()) {
+        if (w.kind != "warning" || !attrEquals(w, "severity", "HIGH"))
+            continue;
+        for (const obs::ProvNode *fire :
+             targets(g, w.id, "fired_by"))
+            for (const obs::ProvNode *fact :
+                 targets(g, fire->id, "matched"))
+                for (const obs::ProvNode *ev :
+                     targets(g, fact->id, "describes")) {
+                    if (ev->kind != "event" ||
+                        !attrEquals(*ev, "source_type", "SOCKET"))
+                        continue;
+                    for (const obs::ProvNode *origin :
+                         targets(g, ev->id, "source_origin"))
+                        if (attrEquals(*origin, "class", "REMOTE"))
+                            chain = true;
+                }
+    }
+    EXPECT_TRUE(chain)
+        << "no HIGH warning chains to a REMOTE socket origin:\n"
+        << g.renderChains();
+
+    // The hybrid rule puts the load-time evidence in the same
+    // graph: the MAGIC_GUARD trigger comparison found statically.
+    bool found_static = false;
+    for (const obs::ProvNode &n : g.nodes())
+        if (n.kind == "finding" &&
+            attrEquals(n, "kind", "MAGIC_GUARD"))
+            found_static = true;
+    EXPECT_TRUE(found_static)
+        << "MAGIC_GUARD static finding missing:\n"
+        << g.renderChains();
+
+    // High verdict + enabled recorder => the flight window rides
+    // along, and it saw the socket read it is there to explain.
+    ASSERT_FALSE(g.flight.empty());
+    bool saw_read = false;
+    for (const std::string &line : g.flight)
+        if (line.find(" E ") != std::string::npos &&
+            line.find("read") != std::string::npos)
+            saw_read = true;
+    EXPECT_TRUE(saw_read) << "flight recorder lost the read event";
+
+    // Span tracing was on: the ring must hold the whole-monitor
+    // span plus fine-grained ones, and none may be inverted.
+    ASSERT_FALSE(result.report.spans.empty());
+    bool saw_monitor = false;
+    for (const obs::SpanRecord &s : result.report.spans) {
+        EXPECT_LE(s.beginNs, s.endNs);
+        if (s.id == obs::SpanId::Monitor)
+            saw_monitor = true;
+    }
+    EXPECT_TRUE(saw_monitor);
+}
+
+TEST(Provenance, PmaGraphIsByteStableAcrossRuns)
+{
+    Scenario pma = pmaScenario();
+    ScenarioResult a = runScenario(pma, observedOptions());
+    ScenarioResult b = runScenario(pma, observedOptions());
+
+    ASSERT_TRUE(a.report.flagged());
+    EXPECT_TRUE(a.report.provenance == b.report.provenance);
+    EXPECT_EQ(a.report.provenance.toJson(),
+              b.report.provenance.toJson());
+    EXPECT_EQ(a.report.provenance.toDot(),
+              b.report.provenance.toDot());
+
+    // And the serialized form is real JSON a consumer can load.
+    support::JsonValue doc =
+        support::parseJson(a.report.provenance.toJson());
+    EXPECT_FALSE(doc.at("nodes").items().empty());
+    EXPECT_FALSE(doc.at("edges").items().empty());
+    EXPECT_FALSE(doc.at("flight").items().empty());
+}
+
+TEST(Provenance, CleanRunBuildsNoGraph)
+{
+    // An unflagged session must not pay for provenance assembly,
+    // and its report must not carry a stale graph.
+    for (Scenario &s : exploitScenarios()) {
+        if (s.expectMalicious)
+            continue;
+        ScenarioResult r = runScenario(s, observedOptions());
+        if (r.report.flagged())
+            continue; // divergence is FidelityTest's business
+        EXPECT_TRUE(r.report.provenance.empty()) << s.id;
+        EXPECT_TRUE(r.report.provenance.flight.empty()) << s.id;
+    }
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

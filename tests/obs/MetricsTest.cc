@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "obs/Profiler.hh"
 #include "obs/StatsSink.hh"
 #include "obs/Telemetry.hh"
+#include "support/Json.hh"
 
 using namespace hth;
 using namespace hth::obs;
@@ -75,6 +77,74 @@ TEST(Metrics, HistogramPowerOfTwoBuckets)
     EXPECT_EQ(Histogram::upperBound(1), 1u);
     EXPECT_EQ(Histogram::upperBound(2), 3u);
     EXPECT_EQ(Histogram::upperBound(10), 1023u);
+}
+
+TEST(Metrics, PercentilesAreBucketUpperBounds)
+{
+    HistogramValue h;
+    EXPECT_EQ(h.percentile(0.5), 0u); // empty -> 0
+
+    // 100 samples: 50 in [2,4), 45 in [64,128), 5 in [512,1024).
+    h.count = 100;
+    h.buckets = {{3, 50}, {127, 45}, {1023, 5}};
+    EXPECT_EQ(h.percentile(0.50), 3u);
+    EXPECT_EQ(h.percentile(0.95), 127u);
+    EXPECT_EQ(h.percentile(0.99), 1023u);
+    // Clamping: out-of-range quantiles pin to the extremes.
+    EXPECT_EQ(h.percentile(0.0), 3u);
+    EXPECT_EQ(h.percentile(1.0), 1023u);
+    EXPECT_EQ(h.percentile(-1.0), 3u);
+    EXPECT_EQ(h.percentile(2.0), 1023u);
+}
+
+TEST(Metrics, PercentileSingleSample)
+{
+    HistogramValue h;
+    h.count = 1;
+    h.buckets = {{7, 1}};
+    EXPECT_EQ(h.percentile(0.50), 7u);
+    EXPECT_EQ(h.percentile(0.99), 7u);
+}
+
+TEST(StatsSink, JsonLinesCarryPercentiles)
+{
+    RunTelemetry t;
+    HistogramValue h;
+    h.count = 100;
+    h.sum = 5000;
+    h.buckets = {{3, 50}, {127, 45}, {1023, 5}};
+    t.metrics.histograms["fleet.session_us"] = h;
+
+    std::string json = renderJsonLines(t);
+    EXPECT_NE(json.find("\"p50\":3,\"p95\":127,\"p99\":1023"),
+              std::string::npos);
+}
+
+TEST(StatsSink, MetricNamesEscapeCleanly)
+{
+    // Hostile metric names must not corrupt the JSONL stream: each
+    // line still parses, and the parsed name round-trips exactly.
+    const std::string hostile[] = {
+        "quote\"name", "back\\slash", "tab\there",
+        "newline\nname", std::string("ctrl\x01byte"),
+    };
+    RunTelemetry t;
+    for (const std::string &name : hostile)
+        t.metrics.counters[name] = 1;
+    t.metrics.histograms["hist\"\\\n"] = {1, 2, {{3, 1}}};
+
+    std::istringstream lines(renderJsonLines(t));
+    std::string line;
+    std::set<std::string> names;
+    while (std::getline(lines, line)) {
+        support::JsonValue v = support::parseJson(line);
+        if (v.at("type").str() == "counter" ||
+            v.at("type").str() == "histogram")
+            names.insert(v.at("name").str());
+    }
+    for (const std::string &name : hostile)
+        EXPECT_EQ(names.count(name), 1u) << name;
+    EXPECT_EQ(names.count("hist\"\\\n"), 1u);
 }
 
 TEST(Metrics, SnapshotIsOrderedAndComplete)

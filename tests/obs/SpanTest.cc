@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Unit tests for the span tracer (ring semantics, profiler span ids,
+ * Chrome trace_event export), the flight recorder and the provenance
+ * graph — the pure-data observability types, no monitored run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/Flight.hh"
+#include "obs/Provenance.hh"
+#include "obs/Span.hh"
+#include "support/Json.hh"
+
+using namespace hth;
+using namespace hth::obs;
+using support::JsonValue;
+using support::parseJson;
+
+TEST(Span, IdsMirrorPhases)
+{
+    // The cast-based conversion is only sound while the two enums
+    // stay in lockstep; pin each pair.
+    EXPECT_EQ(spanIdOfPhase(Phase::Setup), SpanId::Setup);
+    EXPECT_EQ(spanIdOfPhase(Phase::VmExecute), SpanId::VmExecute);
+    EXPECT_EQ(spanIdOfPhase(Phase::ClipsFire), SpanId::ClipsFire);
+    EXPECT_EQ(spanIdOfPhase(Phase::Other), SpanId::Other);
+    EXPECT_STREQ(spanName(SpanId::VmExecute), "vm_execute");
+    EXPECT_STREQ(spanName(SpanId::ClipsPump), "clips_pump");
+    EXPECT_STREQ(spanName(SpanId::SuperblockForm),
+                 "superblock_form");
+    EXPECT_STREQ(spanName(SpanId::Monitor), "monitor");
+}
+
+TEST(Span, RingRecordsInOrder)
+{
+    SpanTracer tracer(8);
+    for (uint64_t i = 0; i < 5; ++i)
+        tracer.record(SpanId::Kernel, 10 * i, 10 * i + 5);
+    EXPECT_EQ(tracer.recorded(), 5u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    std::vector<SpanRecord> spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 5u);
+    for (size_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].beginNs, 10 * i);
+        EXPECT_EQ(spans[i].endNs, 10 * i + 5);
+    }
+}
+
+TEST(Span, RingWrapsAndCountsDropped)
+{
+    SpanTracer tracer(4);
+    for (uint64_t i = 0; i < 11; ++i)
+        tracer.record(SpanId::ClipsPump, i, i + 1);
+    EXPECT_EQ(tracer.recorded(), 11u);
+    EXPECT_EQ(tracer.dropped(), 7u);
+    // The snapshot holds exactly the newest `capacity` spans,
+    // oldest first — ring order must equal time order after many
+    // wraps, not just one.
+    std::vector<SpanRecord> spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 4u);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(spans[i].beginNs, 7 + i);
+}
+
+TEST(Span, ZeroCapacityIsClamped)
+{
+    // A zero-slot ring would divide by zero on wrap; the tracer
+    // promises at least one slot.
+    SpanTracer tracer(0);
+    EXPECT_GE(tracer.capacity(), 1u);
+    tracer.record(SpanId::Other, 1, 2);
+    EXPECT_EQ(tracer.snapshot().size(), 1u);
+}
+
+TEST(Span, ResetClearsRing)
+{
+    SpanTracer tracer(4);
+    tracer.record(SpanId::Other, 1, 2);
+    tracer.reset();
+    EXPECT_EQ(tracer.recorded(), 0u);
+    EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Span, ScopeIsNullSafeAndRecords)
+{
+    {
+        SpanScope noop(nullptr, SpanId::ImageLoad); // must not crash
+    }
+    SpanTracer tracer(4);
+    {
+        SpanScope scope(&tracer, SpanId::ImageLoad);
+    }
+    std::vector<SpanRecord> spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].id, SpanId::ImageLoad);
+    EXPECT_LE(spans[0].beginNs, spans[0].endNs);
+}
+
+TEST(Span, TraceJsonIsValidAndComplete)
+{
+    SpanLane lane;
+    lane.pid = 3;
+    lane.tid = 2;
+    lane.processName = "pma";
+    lane.threadName = "worker 1";
+    lane.spans = {{1000, 2500, SpanId::VmExecute},
+                  {2500, 2600, SpanId::ClipsPump}};
+
+    std::string json = renderTraceJson({lane});
+    JsonValue doc = parseJson(json);
+    ASSERT_TRUE(doc.isObject());
+    const auto &events = doc.at("traceEvents").items();
+    // 2 metadata (process_name, thread_name) + 2 complete events.
+    ASSERT_EQ(events.size(), 4u);
+
+    size_t metadata = 0, complete = 0;
+    for (const JsonValue &ev : events) {
+        const std::string &ph = ev.at("ph").str();
+        EXPECT_TRUE(ev.has("pid"));
+        EXPECT_TRUE(ev.has("ts"));
+        if (ph == "M") {
+            ++metadata;
+        } else if (ph == "X") {
+            ++complete;
+            EXPECT_EQ(ev.at("pid").number(), 3);
+            EXPECT_EQ(ev.at("tid").number(), 2);
+            EXPECT_TRUE(ev.has("dur"));
+        }
+    }
+    EXPECT_EQ(metadata, 2u);
+    EXPECT_EQ(complete, 2u);
+
+    // Timestamps are rebased to the earliest span: 1000 ns -> 0 us,
+    // and the 1500 ns duration renders as fractional microseconds.
+    EXPECT_NE(json.find("\"ts\":0.000,"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"vm_execute\""),
+              std::string::npos);
+}
+
+TEST(Span, TraceJsonReportsDrops)
+{
+    SpanLane lane;
+    lane.processName = "s";
+    lane.threadName = "w";
+    lane.spans = {{0, 1, SpanId::Other}};
+    lane.dropped = 9;
+    std::string json = renderTraceJson({lane});
+    JsonValue doc = parseJson(json);
+    bool saw_instant = false;
+    for (const JsonValue &ev : doc.at("traceEvents").items())
+        if (ev.at("ph").str() == "i") {
+            saw_instant = true;
+            EXPECT_EQ(ev.at("name").str(), "spans_dropped");
+        }
+    EXPECT_TRUE(saw_instant);
+}
+
+TEST(Span, EmptyLanesStillParse)
+{
+    JsonValue doc = parseJson(renderTraceJson({}));
+    EXPECT_TRUE(doc.at("traceEvents").items().empty());
+}
+
+TEST(Flight, KeepsLastEntriesInOrder)
+{
+    FlightRecorder flight(3);
+    ASSERT_TRUE(flight.enabled());
+    for (uint64_t t = 1; t <= 5; ++t)
+        flight.note(t, 'E', "event " + std::to_string(t));
+    EXPECT_EQ(flight.total(), 5u);
+    std::vector<std::string> dump = flight.dump();
+    ASSERT_EQ(dump.size(), 3u);
+    EXPECT_EQ(dump[0], "t=3 E event 3");
+    EXPECT_EQ(dump[1], "t=4 E event 4");
+    EXPECT_EQ(dump[2], "t=5 E event 5");
+}
+
+TEST(Flight, TruncatesLongTextWithoutHeapChurn)
+{
+    FlightRecorder flight(2);
+    std::string longtext(500, 'x');
+    flight.note(7, 'W', longtext);
+    std::vector<std::string> dump = flight.dump();
+    ASSERT_EQ(dump.size(), 1u);
+    // "t=7 W " prefix + at most TEXT_CAPACITY payload bytes.
+    EXPECT_LE(dump[0].size(),
+              6 + FlightRecorder::TEXT_CAPACITY);
+    EXPECT_EQ(dump[0].substr(0, 8), "t=7 W xx");
+}
+
+TEST(Flight, ZeroEntriesDisables)
+{
+    FlightRecorder flight(0);
+    EXPECT_FALSE(flight.enabled());
+    flight.note(1, 'E', "ignored");
+    EXPECT_TRUE(flight.dump().empty());
+}
+
+TEST(Provenance, NodesAndEdgesDeduplicate)
+{
+    ProvenanceGraph g;
+    ProvNode &w = g.node("warning:0", "warning");
+    ProvenanceGraph::attr(w, "rule", "exec_downloaded");
+    ProvenanceGraph::attr(w, "rule", "ignored-second-set");
+    ProvNode &again = g.node("warning:0", "other-kind-ignored");
+    EXPECT_EQ(&w, &again);
+    EXPECT_EQ(w.kind, "warning");
+    ASSERT_NE(w.attr("rule"), nullptr);
+    EXPECT_EQ(*w.attr("rule"), "exec_downloaded");
+
+    g.node("fire:1", "fire");
+    g.edge("warning:0", "fire:1", "fired_by");
+    g.edge("warning:0", "fire:1", "fired_by");
+    EXPECT_EQ(g.nodes().size(), 2u);
+    EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(Provenance, NodeReferencesStayStable)
+{
+    // Assembly holds references across later insertions; a vector
+    // store would invalidate them.
+    ProvenanceGraph g;
+    ProvNode &first = g.node("a", "warning");
+    for (int i = 0; i < 100; ++i)
+        g.node("n" + std::to_string(i), "fact");
+    ProvenanceGraph::attr(first, "k", "v");
+    EXPECT_EQ(*g.findNode("a")->attr("k"), "v");
+}
+
+TEST(Provenance, JsonRoundTripsStructure)
+{
+    ProvenanceGraph g;
+    ProvNode &w = g.node("warning:0", "warning");
+    ProvenanceGraph::attr(w, "message", "quote \" and \\ back");
+    g.node("origin:SOCKET:gateway", "origin");
+    g.edge("warning:0", "origin:SOCKET:gateway", "source_origin");
+    g.flight = {"t=1 E read net"};
+
+    JsonValue doc = parseJson(g.toJson());
+    ASSERT_EQ(doc.at("nodes").items().size(), 2u);
+    const JsonValue &n0 = doc.at("nodes").items()[0];
+    EXPECT_EQ(n0.at("id").str(), "warning:0");
+    EXPECT_EQ(n0.at("kind").str(), "warning");
+    EXPECT_EQ(n0.at("attrs").at("message").str(),
+              "quote \" and \\ back");
+    const JsonValue &e0 = doc.at("edges").items()[0];
+    EXPECT_EQ(e0.at("from").str(), "warning:0");
+    EXPECT_EQ(e0.at("label").str(), "source_origin");
+    ASSERT_EQ(doc.at("flight").items().size(), 1u);
+    EXPECT_EQ(doc.at("flight").items()[0].str(), "t=1 E read net");
+}
+
+TEST(Provenance, DotAndChainsRenderEveryNode)
+{
+    ProvenanceGraph g;
+    g.node("warning:0", "warning");
+    ProvenanceGraph::attr(g.node("warning:0", "warning"), "rule",
+                          "r1");
+    g.node("fire:0", "fire");
+    g.edge("warning:0", "fire:0", "fired_by");
+
+    std::string dot = g.toDot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("warning:0"), std::string::npos);
+    EXPECT_NE(dot.find("fired_by"), std::string::npos);
+
+    std::string chains = g.renderChains();
+    EXPECT_NE(chains.find("fired_by"), std::string::npos);
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
